@@ -1,0 +1,105 @@
+// Ablation AB4: forward error correction (the paper's approach) vs
+// ARQ detect-and-retransmit on the same channel.
+//
+// ARQ can run the laser far below any FEC operating point because
+// detection tolerates a high raw error rate — but its completion time
+// is a random variable (resends) and its quality floor is the CRC
+// aliasing probability, while FEC gives a deterministic CT and any
+// target BER the SNR affords.
+#include <iostream>
+
+#include "photecc/core/arq.hpp"
+#include "photecc/core/channel_power.hpp"
+#include "photecc/core/harq.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+int main() {
+  using namespace photecc;
+  const link::MwsrChannel channel{link::MwsrParams{}};
+
+  std::cout << "=== Ablation AB4: FEC vs ARQ at iso-quality ===\n\n";
+  math::TextTable table({"scheme", "target BER", "raw p", "Plaser [mW]",
+                         "CT (expected)", "E/bit [pJ]", "1-pass success"});
+
+  for (const double ber : {1e-9, 1e-11, 1e-13}) {
+    for (const char* name : {"w/o ECC", "H(71,64)", "H(7,4)"}) {
+      const auto m = core::evaluate_scheme(
+          channel, *ecc::make_code(name), ber);
+      table.add_row({
+          name, math::format_sci(ber, 0),
+          math::format_sci(m.operating_point.raw_ber, 1),
+          m.feasible
+              ? math::format_fixed(math::as_milli(m.p_laser_w), 2)
+              : "infeasible",
+          math::format_fixed(m.ct, 3) + " (fixed)",
+          m.feasible
+              ? math::format_fixed(math::as_pico(m.energy_per_bit_j), 2)
+              : "-",
+          "100 %",
+      });
+    }
+    {
+      // Type-I HARQ: SECDED corrects singles, retransmits on detected
+      // doubles — the middle ground of the taxonomy.
+      const core::HarqScheme harq;
+      const auto point = harq.solve(channel, ber);
+      const auto m = harq.evaluate(channel, ber);
+      table.add_row({
+          harq.name(), math::format_sci(ber, 0),
+          point.raw_ber > 0.0 ? math::format_sci(point.raw_ber, 1) : "-",
+          point.feasible
+              ? math::format_fixed(math::as_milli(point.p_laser_w), 2)
+              : "infeasible",
+          point.feasible ? math::format_fixed(point.effective_ct, 3)
+                         : "-",
+          m.feasible
+              ? math::format_fixed(math::as_pico(m.energy_per_bit_j), 2)
+              : "-",
+          point.feasible
+              ? math::format_fixed(
+                    100.0 * (1.0 - point.retransmission_rate), 1) + " %"
+              : "-",
+      });
+    }
+    for (const unsigned crc : {8u, 16u, 32u}) {
+      core::ArqParams params;
+      params.crc_width = crc;
+      const core::ArqScheme scheme(params);
+      const auto point = scheme.solve(channel, ber);
+      const auto m = scheme.evaluate(channel, ber);
+      table.add_row({
+          scheme.name(), math::format_sci(ber, 0),
+          point.raw_ber > 0.0 ? math::format_sci(point.raw_ber, 1) : "-",
+          point.feasible
+              ? math::format_fixed(math::as_milli(point.p_laser_w), 2)
+              : "infeasible",
+          point.feasible ? math::format_fixed(point.effective_ct, 3)
+                         : "-",
+          m.feasible
+              ? math::format_fixed(math::as_pico(m.energy_per_bit_j), 2)
+              : "-",
+          point.feasible
+              ? math::format_fixed(
+                    100.0 * (1.0 - point.frame_error_rate), 1) + " %"
+              : "-",
+      });
+    }
+    table.add_separator();
+  }
+  table.render(std::cout);
+
+  std::cout
+      << "\nReadings: ARQ+CRC32 runs the laser at a fraction of every "
+         "FEC point (raw p ~ 1e-2 is fine when errors only need "
+         "*detecting*), and even its expected CT beats H(7,4) — but "
+         "1 frame in ~12 needs a resend, so single-pass latency is not "
+         "guaranteed (the paper's real-time case), and narrow CRCs hit "
+         "their aliasing floor: CRC-8 must run nearly as hot as the "
+         "uncoded link at deep targets.  Type-I HARQ (SECDED) sits in "
+         "between: its p^3 quality floor undercuts the Hamming FEC "
+         "points in laser power while keeping the resend rate orders of "
+         "magnitude below pure ARQ's.\n";
+  return 0;
+}

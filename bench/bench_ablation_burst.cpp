@@ -1,0 +1,103 @@
+// Ablation AB6: burst errors.  The paper's analysis assumes independent
+// bit errors; real optical links also see error bursts (laser
+// transients, thermal drift events).  This bench runs the bit-true
+// H(7,4) stack over a Gilbert-Elliott channel and shows that block
+// interleaving across the 16 parallel codewords restores the coding
+// gain that bursts destroy.
+#include <iostream>
+
+#include "photecc/channel_sim/burst_channel.hpp"
+#include "photecc/ecc/hamming.hpp"
+#include "photecc/ecc/interleaver.hpp"
+#include "photecc/math/rng.hpp"
+#include "photecc/math/table.hpp"
+
+namespace {
+
+using namespace photecc;
+
+ecc::BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  ecc::BitVec w(size);
+  for (std::size_t i = 0; i < size; ++i) w.set(i, rng.bernoulli(0.5));
+  return w;
+}
+
+struct RunResult {
+  double payload_ber;
+  double raw_ber;
+};
+
+RunResult run(const channel_sim::GilbertElliottParams& params,
+              bool interleave, std::uint64_t frames, std::uint64_t seed) {
+  const ecc::HammingCode h74(3);
+  const ecc::BlockInterleaver il(16, 7);
+  channel_sim::GilbertElliottChannel channel(params, seed);
+  math::Xoshiro256 rng(seed ^ 0xF00D);
+  std::uint64_t payload_errors = 0, payload_bits = 0;
+  std::uint64_t raw_errors = 0, raw_bits = 0;
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    std::vector<ecc::BitVec> messages;
+    ecc::BitVec frame(0);
+    for (int b = 0; b < 16; ++b) {
+      messages.push_back(random_word(4, rng));
+      frame = frame.concat(h74.encode(messages.back()));
+    }
+    const ecc::BitVec wire = interleave ? il.interleave(frame) : frame;
+    const ecc::BitVec received_wire = channel.transmit(wire);
+    raw_errors += wire.distance(received_wire);
+    raw_bits += wire.size();
+    const ecc::BitVec received =
+        interleave ? il.deinterleave(received_wire) : received_wire;
+    for (int b = 0; b < 16; ++b) {
+      const auto decoded = h74.decode(received.slice(b * 7, 7));
+      payload_errors += messages[b].distance(decoded.message);
+      payload_bits += 4;
+    }
+  }
+  return {static_cast<double>(payload_errors) /
+              static_cast<double>(payload_bits),
+          static_cast<double>(raw_errors) / static_cast<double>(raw_bits)};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation AB6: burst errors and interleaving "
+               "(bit-true H(7,4) x16, Gilbert-Elliott channel) ===\n\n";
+  math::TextTable table({"mean burst [bits]", "raw BER", "coded, plain",
+                         "coded, interleaved", "interleaving gain"});
+  const std::uint64_t frames = 30000;
+  for (const double mean_burst : {2.0, 5.0, 10.0, 16.0}) {
+    channel_sim::GilbertElliottParams params;
+    params.p_bad_to_good = 1.0 / mean_burst;
+    // Keep the long-run raw BER roughly constant (~1.5e-3) while the
+    // burstiness varies.
+    params.p_good_to_bad = 5e-3 / mean_burst;
+    params.error_prob_good = 0.0;
+    params.error_prob_bad = 0.3;
+    const RunResult plain = run(params, false, frames, 0xAB6);
+    const RunResult interleaved = run(params, true, frames, 0xAB6);
+    table.add_row({
+        math::format_fixed(mean_burst, 0),
+        math::format_sci(plain.raw_ber, 2),
+        math::format_sci(plain.payload_ber, 2),
+        math::format_sci(interleaved.payload_ber, 2),
+        interleaved.payload_ber > 0.0
+            ? math::format_fixed(
+                  plain.payload_ber / interleaved.payload_ber, 1) + "x"
+            : ">" + math::format_fixed(
+                  plain.payload_ber * static_cast<double>(frames) * 64.0,
+                  0) + "x",
+    });
+  }
+  table.render(std::cout);
+  std::cout << "\nReading: without interleaving, a burst longer than one "
+               "codeword defeats single-error correction and the coded "
+               "BER approaches the raw BER; spreading the 16 codewords "
+               "column-wise makes bursts up to 16 bits look like single "
+               "errors per codeword, restoring orders of magnitude.  "
+               "The paper's independent-error assumption is therefore "
+               "safe only with an interleaved mapping — a one-gate-cost "
+               "wiring choice in the serializer.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation AB1: does the trade-off depend on the laser wall-plug model?
+// Re-runs the Fig. 5 sweep under (a) the Fig. 4-calibrated piecewise
+// model and (b) the first-principles self-heating fixed-point model.
+// The claim that must survive: uncoded > H(71,64) > H(7,4) in laser
+// power at iso-BER, with roughly 2x separation, under both models.
+#include <iostream>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/snr_solver.hpp"
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+namespace {
+
+void run_model(
+    const std::string& title,
+    const std::shared_ptr<const photecc::photonics::LaserPowerModel>&
+        model) {
+  using namespace photecc;
+  link::MwsrParams params;
+  params.laser_model = model;
+  const link::MwsrChannel channel{params};
+  const auto schemes = ecc::paper_schemes();
+
+  std::cout << "--- " << title << " ---\n";
+  std::cout << "max deliverable optical power: "
+            << math::format_fixed(
+                   math::as_micro(
+                       channel.laser().max_optical_power(0.25)),
+                   0)
+            << " uW\n";
+  math::TextTable table({"target BER", "w/o ECC [mW]", "H(71,64) [mW]",
+                         "H(7,4) [mW]", "uncoded/H(71,64)"});
+  for (const double ber : {1e-6, 1e-9, 1e-11, 1e-12}) {
+    std::vector<std::string> row{math::format_sci(ber, 0)};
+    double uncoded_power = 0.0, h7164_power = 0.0;
+    for (const auto& code : schemes) {
+      const auto point = link::solve_operating_point(channel, *code, ber);
+      if (code->name() == "w/o ECC") uncoded_power = point.p_laser_w;
+      if (code->name() == "H(71,64)") h7164_power = point.p_laser_w;
+      row.push_back(point.feasible
+                        ? math::format_fixed(
+                              math::as_milli(point.p_laser_w), 2)
+                        : "infeasible");
+    }
+    row.push_back(uncoded_power > 0.0 && h7164_power > 0.0
+                      ? math::format_fixed(uncoded_power / h7164_power, 2)
+                      : "-");
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace photecc;
+  std::cout << "=== Ablation AB1: laser wall-plug model ===\n\n";
+  run_model("calibrated piecewise model (Fig. 4)",
+            photonics::default_laser_model());
+  run_model("self-heating fixed-point model (first principles)",
+            std::make_shared<photonics::SelfHeatingVcselModel>());
+  std::cout << "Shape check: the scheme ordering and the ~2x coded "
+               "saving must hold under both models; only the absolute "
+               "milliwatt values move.\n";
+  return 0;
+}

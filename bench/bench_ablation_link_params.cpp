@@ -1,0 +1,106 @@
+// Ablation AB2: sensitivity of the laser operating point to the link
+// parameters — crosstalk on/off, eye penalty on/off, ONI count,
+// waveguide length and channel spacing — all at BER 1e-11 for the
+// uncoded scheme (the most stressed configuration).
+#include <functional>
+#include <iostream>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/link_budget.hpp"
+#include "photecc/link/snr_solver.hpp"
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+namespace {
+
+using photecc::link::MwsrParams;
+
+void sweep(const std::string& name,
+           const std::vector<std::pair<std::string, MwsrParams>>& cases,
+           photecc::math::TextTable& table) {
+  using namespace photecc;
+  const auto uncoded = ecc::make_code("w/o ECC");
+  const auto h74 = ecc::make_code("H(7,4)");
+  for (const auto& [label, params] : cases) {
+    const link::MwsrChannel channel{params};
+    const auto budget =
+        link::compute_link_budget(channel, channel.worst_channel());
+    const auto pu = link::solve_operating_point(channel, *uncoded, 1e-11);
+    const auto p74 = link::solve_operating_point(channel, *h74, 1e-11);
+    table.add_row({
+        name,
+        label,
+        math::format_fixed(budget.total_loss_db, 2),
+        pu.feasible
+            ? math::format_fixed(math::as_micro(pu.op_laser_w), 0)
+            : ">" + math::format_fixed(math::as_micro(pu.op_laser_w), 0),
+        pu.feasible ? math::format_fixed(math::as_milli(pu.p_laser_w), 2)
+                    : "infeasible",
+        p74.feasible
+            ? math::format_fixed(math::as_milli(p74.p_laser_w), 2)
+            : "infeasible",
+    });
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace photecc;
+  std::cout << "=== Ablation AB2: link parameter sensitivity "
+               "(BER 1e-11) ===\n\n";
+  math::TextTable table({"knob", "value", "path loss [dB]",
+                         "OPlaser unc [uW]", "Plaser unc [mW]",
+                         "Plaser H(7,4) [mW]"});
+
+  {
+    std::vector<std::pair<std::string, MwsrParams>> cases;
+    MwsrParams p;
+    cases.emplace_back("on (default)", p);
+    p.include_crosstalk = false;
+    cases.emplace_back("off", p);
+    sweep("crosstalk", cases, table);
+  }
+  {
+    std::vector<std::pair<std::string, MwsrParams>> cases;
+    MwsrParams p;
+    cases.emplace_back("on (default)", p);
+    p.include_eye_penalty = false;
+    cases.emplace_back("off", p);
+    sweep("eye penalty", cases, table);
+  }
+  {
+    std::vector<std::pair<std::string, MwsrParams>> cases;
+    for (const std::size_t onis : {4u, 8u, 12u, 16u, 24u}) {
+      MwsrParams p;
+      p.oni_count = onis;
+      cases.emplace_back(std::to_string(onis) + " ONIs", p);
+    }
+    sweep("ONI count", cases, table);
+  }
+  {
+    std::vector<std::pair<std::string, MwsrParams>> cases;
+    for (const double cm : {2.0, 6.0, 10.0, 14.0}) {
+      MwsrParams p;
+      p.waveguide_length_m = cm * 1e-2;
+      cases.emplace_back(math::format_fixed(cm, 0) + " cm", p);
+    }
+    sweep("waveguide length", cases, table);
+  }
+  {
+    std::vector<std::pair<std::string, MwsrParams>> cases;
+    for (const double nm : {0.15, 0.30, 0.60, 1.20}) {
+      MwsrParams p;
+      p.grid.channel_spacing_m = nm * 1e-9;
+      cases.emplace_back(math::format_fixed(nm, 2) + " nm", p);
+    }
+    sweep("channel spacing", cases, table);
+  }
+  table.render(std::cout);
+  std::cout << "\nReadings: more ONIs / longer guides push the uncoded "
+               "scheme toward (and past) the 700 uW ceiling first; "
+               "tighter WDM spacing raises crosstalk and with it the "
+               "required laser power; coding consistently buys back "
+               "about half the laser power across the whole space.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation AB5: electrical-layer activity (chip temperature) sweep.
+// The paper evaluates at 25 % activity; here the activity varies from
+// idle to saturated, derating the laser (Li et al. [8] thermal
+// methodology) — showing where each scheme stops reaching BER 1e-11 and
+// how coding extends the thermal envelope.
+#include <iostream>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/snr_solver.hpp"
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+int main() {
+  using namespace photecc;
+  const double target_ber = 1e-11;
+  const auto schemes = ecc::paper_schemes();
+
+  std::cout << "=== Ablation AB5: chip activity (thermal) sweep @ BER "
+            << math::format_sci(target_ber, 0) << " ===\n\n";
+  math::TextTable table({"activity", "OPmax [uW]", "w/o ECC [mW]",
+                         "H(71,64) [mW]", "H(7,4) [mW]"});
+  for (const double activity :
+       {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}) {
+    link::MwsrParams params;
+    params.chip_activity = activity;
+    const link::MwsrChannel channel{params};
+    std::vector<std::string> row{
+        math::format_fixed(100.0 * activity, 0) + " %",
+        math::format_fixed(
+            math::as_micro(channel.laser().max_optical_power(activity)),
+            0)};
+    for (const auto& code : schemes) {
+      const auto point =
+          link::solve_operating_point(channel, *code, target_ber);
+      row.push_back(
+          point.feasible
+              ? math::format_fixed(math::as_milli(point.p_laser_w), 2)
+              : "infeasible");
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+
+  // Find each scheme's thermal ceiling: the highest activity at which
+  // the target is still reachable.
+  std::cout << "\nThermal envelope (highest activity where BER "
+            << math::format_sci(target_ber, 0) << " is reachable):\n";
+  for (const auto& code : schemes) {
+    double best = -1.0;
+    for (double activity = 0.0; activity <= 1.0; activity += 0.01) {
+      link::MwsrParams params;
+      params.chip_activity = activity;
+      const link::MwsrChannel channel{params};
+      if (link::solve_operating_point(channel, *code, target_ber)
+              .feasible) {
+        best = activity;
+      }
+    }
+    std::cout << "  " << code->name() << ": "
+              << (best < 0.0 ? "never"
+                             : math::format_fixed(100.0 * best, 0) + " %")
+              << "\n";
+  }
+  std::cout << "\nReading: the uncoded scheme falls off the thermal "
+               "cliff first (its operating point already sits near the "
+               "700 uW ceiling at 25 % activity); the coded schemes keep "
+               "the link usable deep into high-activity regimes — "
+               "coding as thermal headroom, the paper's hot-spot "
+               "argument quantified.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Software microbenchmarks (google-benchmark): codec and SER/DES
+// throughput of the bit-true models.  These gauge the simulation
+// infrastructure itself (how fast Monte-Carlo experiments run), not the
+// hardware — hardware figures come from the synthesis model.
+#include <benchmark/benchmark.h>
+
+#include "photecc/channel_sim/ook_channel.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/interface/datapath.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace {
+
+using namespace photecc;
+
+ecc::BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  ecc::BitVec word(size);
+  for (std::size_t i = 0; i < size; ++i) word.set(i, rng.bernoulli(0.5));
+  return word;
+}
+
+void BM_HammingEncode(benchmark::State& state, const char* name) {
+  const auto code = ecc::make_code(name);
+  math::Xoshiro256 rng(42);
+  const ecc::BitVec message = random_word(code->message_length(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->encode(message));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(code->message_length()) / 8);
+}
+
+void BM_HammingDecode(benchmark::State& state, const char* name) {
+  const auto code = ecc::make_code(name);
+  math::Xoshiro256 rng(43);
+  ecc::BitVec received =
+      code->encode(random_word(code->message_length(), rng));
+  received.flip(rng.bounded(received.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code->decode(received));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(code->message_length()) / 8);
+}
+
+void BM_DatapathRoundTrip(benchmark::State& state, const char* name) {
+  const auto code = ecc::make_code(name);
+  const interface::TransmitterDatapath tx(code, 64);
+  const interface::ReceiverDatapath rx(code, 64);
+  math::Xoshiro256 rng(44);
+  const ecc::BitVec word = random_word(64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rx.receive(tx.transmit(word)));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 8);
+}
+
+void BM_OokChannel(benchmark::State& state) {
+  channel_sim::OokChannel channel(11.0, 45);
+  bool bit = false;
+  for (auto _ : state) {
+    bit = !bit;
+    benchmark::DoNotOptimize(channel.transmit(bit));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_HammingEncode, h74, "H(7,4)");
+BENCHMARK_CAPTURE(BM_HammingEncode, h7164, "H(71,64)");
+BENCHMARK_CAPTURE(BM_HammingEncode, h127120, "H(127,120)");
+BENCHMARK_CAPTURE(BM_HammingDecode, h74, "H(7,4)");
+BENCHMARK_CAPTURE(BM_HammingDecode, h7164, "H(71,64)");
+BENCHMARK_CAPTURE(BM_HammingDecode, h127120, "H(127,120)");
+BENCHMARK_CAPTURE(BM_DatapathRoundTrip, uncoded, "w/o ECC");
+BENCHMARK_CAPTURE(BM_DatapathRoundTrip, h74, "H(7,4)");
+BENCHMARK_CAPTURE(BM_DatapathRoundTrip, h7164, "H(71,64)");
+BENCHMARK(BM_OokChannel);

@@ -1,0 +1,75 @@
+// Model validation (not a paper figure): bit-true Monte-Carlo BER of
+// the OOK/AWGN channel and the Hamming codecs vs the analytic chain the
+// paper builds on (Eq. 2 / Eq. 3).
+//
+// Sample counts are sized for ~1 s wall clock; raise
+// PHOTECC_MC_SAMPLES for tighter confidence intervals.
+#include <cstdlib>
+#include <iostream>
+
+#include "photecc/channel_sim/monte_carlo.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/table.hpp"
+
+int main() {
+  using namespace photecc;
+  std::uint64_t samples = 200000;
+  if (const char* env = std::getenv("PHOTECC_MC_SAMPLES"))
+    samples = std::strtoull(env, nullptr, 10);
+
+  std::cout << "=== Monte-Carlo validation of Eq. 2 / Eq. 3 ("
+            << samples << " samples/point) ===\n\n";
+
+  math::TextTable raw({"SNR", "analytic p (Eq.3)", "measured p",
+                       "99% Wilson CI", "consistent"});
+  for (const double snr : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const auto m = channel_sim::measure_raw_ber(snr, samples);
+    raw.add_row({math::format_fixed(snr, 1),
+                 math::format_sci(m.analytic_ber, 3),
+                 math::format_sci(m.measured_ber, 3),
+                 "[" + math::format_sci(m.interval.lower, 2) + ", " +
+                     math::format_sci(m.interval.upper, 2) + "]",
+                 m.consistent() ? "yes" : "NO"});
+  }
+  std::cout << "Raw channel (uncoded OOK over AWGN):\n";
+  raw.render(std::cout);
+
+  std::cout << "\nCoded transmission (bit-true encode -> channel -> "
+               "syndrome decode):\n";
+  math::TextTable coded({"code", "SNR", "Eq.2 BER", "measured BER",
+                         "measured/Eq.2"});
+  for (const char* name : {"H(7,4)", "H(15,11)", "H(71,64)", "REP(3,1)",
+                           "eH(8,4)", "BCH(15,7,2)", "BCH(31,21,2)"}) {
+    const auto code = ecc::make_code(name);
+    for (const double snr : {2.0, 3.0}) {
+      const auto m = channel_sim::measure_coded_ber(
+          *code, snr, samples / code->block_length());
+      coded.add_row(
+          {name, math::format_fixed(snr, 1),
+           math::format_sci(m.analytic_ber, 3),
+           math::format_sci(m.measured_ber, 3),
+           math::format_fixed(m.measured_ber / m.analytic_ber, 2)});
+    }
+  }
+  coded.render(std::cout);
+  std::cout << "\nEq. 2 (BER = p - p(1-p)^(n-1)) is itself an "
+               "approximation: it counts a decode failure whenever the "
+               "flipped bit has company, slightly over-counting "
+               "miscorrections; ratios within ~2x are expected and "
+               "observed.\n";
+
+  std::cout << "\nEnd-to-end datapath (64-bit words through "
+               "SER/DES + codec + channel):\n";
+  math::TextTable e2e({"scheme", "SNR", "Eq.2 BER", "measured BER"});
+  for (const char* name : {"w/o ECC", "H(7,4)", "H(71,64)"}) {
+    const auto code = ecc::make_code(name);
+    const double snr = 3.0;
+    const auto m = channel_sim::measure_end_to_end_ber(
+        code, snr, samples / 256, 64);
+    e2e.add_row({name, math::format_fixed(snr, 1),
+                 math::format_sci(m.analytic_ber, 3),
+                 math::format_sci(m.measured_ber, 3)});
+  }
+  e2e.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Design-space explorer: sweeps (code x BER target) over a configurable
+// MWSR channel and emits the trade-off plane as CSV plus the Pareto
+// front as text.
+//
+//   $ ./link_explorer [--onis N] [--lambdas N] [--length-cm L]
+//                     [--all-codes] [--csv]
+//
+// With --csv the full sweep goes to stdout as CSV (plot it directly);
+// otherwise aligned tables are printed.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "photecc/core/report.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/interp.hpp"
+#include "photecc/math/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace photecc;
+
+  link::MwsrParams params;
+  bool all_codes = false;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << arg << '\n';
+        std::exit(1);
+      }
+      return std::strtod(argv[++i], nullptr);
+    };
+    if (arg == "--onis") {
+      params.oni_count = static_cast<std::size_t>(next());
+    } else if (arg == "--lambdas") {
+      params.grid.channel_count = static_cast<std::size_t>(next());
+    } else if (arg == "--length-cm") {
+      params.waveguide_length_m = next() * 1e-2;
+    } else if (arg == "--all-codes") {
+      all_codes = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::cerr << "usage: link_explorer [--onis N] [--lambdas N] "
+                   "[--length-cm L] [--all-codes] [--csv]\n";
+      return 1;
+    }
+  }
+
+  const link::MwsrChannel channel{params};
+  core::SystemConfig system;
+  system.wavelengths = params.grid.channel_count;
+  system.oni_count = params.oni_count;
+
+  const auto codes =
+      all_codes ? ecc::all_known_codes() : ecc::paper_schemes();
+  std::vector<double> bers;
+  for (int e = 12; e >= 4; --e) bers.push_back(std::pow(10.0, -e));
+
+  const auto sweep = core::sweep_tradeoff(channel, codes, bers, system);
+
+  if (csv) {
+    core::pareto_table(sweep).render_csv(std::cout);
+    return 0;
+  }
+
+  std::cout << "MWSR channel: " << params.oni_count << " ONIs, "
+            << params.grid.channel_count << " wavelengths, "
+            << math::format_fixed(params.waveguide_length_m * 100.0, 1)
+            << " cm waveguide\n\n";
+  core::print_table(std::cout, "Trade-off sweep ('*' = Pareto-optimal):",
+                    core::pareto_table(sweep));
+
+  const auto front = sweep.pareto_front();
+  std::cout << "Pareto front, cheapest-time first:\n";
+  for (const std::size_t i : front) {
+    const auto& p = sweep.points[i];
+    std::cout << "  " << p.scheme << " @ BER "
+              << math::format_sci(p.target_ber, 0) << ": "
+              << math::format_fixed(math::as_milli(p.p_channel_w), 2)
+              << " mW, CT " << math::format_fixed(p.ct, 3) << ", "
+              << math::format_fixed(math::as_pico(p.energy_per_bit_j), 2)
+              << " pJ/bit\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "photecc/channel_sim/burst_channel.hpp"
+
+#include <stdexcept>
+
+namespace photecc::channel_sim {
+
+GilbertElliottChannel::GilbertElliottChannel(
+    const GilbertElliottParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  const auto check_prob = [](double p, const char* what) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument(std::string("GilbertElliottChannel: ") +
+                                  what + " outside [0, 1]");
+  };
+  check_prob(params.p_good_to_bad, "p_good_to_bad");
+  check_prob(params.p_bad_to_good, "p_bad_to_good");
+  check_prob(params.error_prob_good, "error_prob_good");
+  check_prob(params.error_prob_bad, "error_prob_bad");
+  if (params.p_good_to_bad + params.p_bad_to_good <= 0.0)
+    throw std::invalid_argument(
+        "GilbertElliottChannel: degenerate chain (no transitions)");
+}
+
+double GilbertElliottChannel::bad_state_fraction() const noexcept {
+  return params_.p_good_to_bad /
+         (params_.p_good_to_bad + params_.p_bad_to_good);
+}
+
+double GilbertElliottChannel::average_error_prob() const noexcept {
+  const double pi_bad = bad_state_fraction();
+  return pi_bad * params_.error_prob_bad +
+         (1.0 - pi_bad) * params_.error_prob_good;
+}
+
+double GilbertElliottChannel::mean_burst_length() const noexcept {
+  return params_.p_bad_to_good > 0.0 ? 1.0 / params_.p_bad_to_good
+                                     : 0.0;
+}
+
+bool GilbertElliottChannel::transmit(bool bit) noexcept {
+  const double p_error =
+      bad_ ? params_.error_prob_bad : params_.error_prob_good;
+  const bool out = rng_.bernoulli(p_error) ? !bit : bit;
+  // Advance the state chain after using the current state.
+  if (bad_) {
+    if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return out;
+}
+
+ecc::BitVec GilbertElliottChannel::transmit(const ecc::BitVec& word)
+    noexcept {
+  ecc::BitVec out(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i)
+    out.set(i, transmit(word.get(i)));
+  return out;
+}
+
+std::vector<bool> GilbertElliottChannel::transmit(
+    const std::vector<bool>& wire) noexcept {
+  std::vector<bool> out;
+  out.reserve(wire.size());
+  for (const bool bit : wire) out.push_back(transmit(bit));
+  return out;
+}
+
+}  // namespace photecc::channel_sim

@@ -1,0 +1,63 @@
+// Gilbert-Elliott two-state burst channel: a Markov chain alternating
+// between a good state (low error probability) and a bad state (high
+// error probability, e.g. a laser transient or a thermal drift event).
+// Used to study how interleaving restores the Hamming schemes'
+// performance when errors cluster.
+#ifndef PHOTECC_CHANNEL_SIM_BURST_CHANNEL_HPP
+#define PHOTECC_CHANNEL_SIM_BURST_CHANNEL_HPP
+
+#include <vector>
+
+#include "photecc/ecc/bitvec.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::channel_sim {
+
+/// Gilbert-Elliott parameters.
+struct GilbertElliottParams {
+  double p_good_to_bad = 1e-3;  ///< per-bit transition probability
+  double p_bad_to_good = 0.1;
+  double error_prob_good = 1e-6;
+  double error_prob_bad = 0.3;
+};
+
+/// The burst channel.
+class GilbertElliottChannel {
+ public:
+  GilbertElliottChannel(const GilbertElliottParams& params,
+                        std::uint64_t seed);
+
+  [[nodiscard]] const GilbertElliottParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Stationary probability of being in the bad state.
+  [[nodiscard]] double bad_state_fraction() const noexcept;
+
+  /// Long-run average bit error probability.
+  [[nodiscard]] double average_error_prob() const noexcept;
+
+  /// Mean burst (bad-state dwell) length in bits.
+  [[nodiscard]] double mean_burst_length() const noexcept;
+
+  /// Transmits one bit through the current state, then advances the
+  /// chain.
+  bool transmit(bool bit) noexcept;
+
+  /// Word/wire overloads.
+  [[nodiscard]] ecc::BitVec transmit(const ecc::BitVec& word) noexcept;
+  [[nodiscard]] std::vector<bool> transmit(
+      const std::vector<bool>& wire) noexcept;
+
+  /// True when the chain currently sits in the bad state.
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  GilbertElliottParams params_;
+  math::Xoshiro256 rng_;
+  bool bad_ = false;
+};
+
+}  // namespace photecc::channel_sim
+
+#endif  // PHOTECC_CHANNEL_SIM_BURST_CHANNEL_HPP

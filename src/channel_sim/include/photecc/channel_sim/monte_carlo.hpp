@@ -1,0 +1,57 @@
+// Monte-Carlo BER measurement harness: validates the analytic models
+// (Eq. 2/3) against bit-true simulation of the codecs over the AWGN OOK
+// channel, including full transmitter -> channel -> receiver runs
+// through the serializer datapaths.
+#ifndef PHOTECC_CHANNEL_SIM_MONTE_CARLO_HPP
+#define PHOTECC_CHANNEL_SIM_MONTE_CARLO_HPP
+
+#include <cstdint>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/math/stats.hpp"
+
+namespace photecc::channel_sim {
+
+/// Outcome of one BER measurement.
+struct BerMeasurement {
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bits = 0;
+  double measured_ber = 0.0;
+  math::ProportionInterval interval{};  ///< Wilson CI at the requested level
+  double analytic_ber = 0.0;            ///< model prediction for comparison
+
+  /// True when the analytic prediction falls inside the interval.
+  [[nodiscard]] bool consistent() const noexcept {
+    return interval.contains(analytic_ber);
+  }
+};
+
+/// Options shared by the measurements.
+struct MonteCarloOptions {
+  std::uint64_t seed = 0x5eed;
+  double confidence = 0.99;
+};
+
+/// Measures the raw (uncoded) channel BER at `snr` over `bits` bits and
+/// compares against Eq. 3.
+BerMeasurement measure_raw_ber(double snr, std::uint64_t bits,
+                               const MonteCarloOptions& options = {});
+
+/// Measures the post-decoding BER of `code` at channel SNR `snr` over
+/// `blocks` codewords of random payloads and compares against the
+/// code's analytic decoded_ber (Eq. 2 for Hamming codes).
+BerMeasurement measure_coded_ber(const ecc::BlockCode& code, double snr,
+                                 std::uint64_t blocks,
+                                 const MonteCarloOptions& options = {});
+
+/// End-to-end run: random Ndata-bit IP words through the transmitter
+/// datapath (encode + serialize), the AWGN channel, and the receiver
+/// datapath (deserialize + decode).  Measures payload BER.
+BerMeasurement measure_end_to_end_ber(const ecc::BlockCodePtr& code,
+                                      double snr, std::uint64_t words,
+                                      std::size_t n_data = 64,
+                                      const MonteCarloOptions& options = {});
+
+}  // namespace photecc::channel_sim
+
+#endif  // PHOTECC_CHANNEL_SIM_MONTE_CARLO_HPP

@@ -1,0 +1,53 @@
+// On-Off-Keying channel with additive white Gaussian noise, calibrated
+// to the paper's SNR definition: a channel constructed with linear SNR
+// `snr` has raw bit error probability exactly
+//
+//     p = 1/2 erfc(sqrt(snr))            (paper Eq. 3)
+//
+// Construction: '1' is sent as analog level 1.0, '0' as level 0.0, the
+// receiver thresholds at 0.5, and the noise deviation is
+// sigma = 1 / (2 sqrt(2 snr)), so that Q(0.5/sigma) = 1/2 erfc(sqrt(snr)).
+#ifndef PHOTECC_CHANNEL_SIM_OOK_CHANNEL_HPP
+#define PHOTECC_CHANNEL_SIM_OOK_CHANNEL_HPP
+
+#include <vector>
+
+#include "photecc/ecc/bitvec.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::channel_sim {
+
+/// AWGN OOK channel.
+class OokChannel {
+ public:
+  /// `snr` must be positive.
+  OokChannel(double snr, std::uint64_t seed);
+
+  [[nodiscard]] double snr() const noexcept { return snr_; }
+  [[nodiscard]] double noise_sigma() const noexcept { return sigma_; }
+
+  /// Analytic raw error probability of this channel (Eq. 3).
+  [[nodiscard]] double analytic_raw_ber() const noexcept;
+
+  /// Transmits one bit; returns the detected bit.
+  bool transmit(bool bit) noexcept;
+
+  /// Analog sample for one bit before thresholding (for eye diagrams).
+  double transmit_analog(bool bit) noexcept;
+
+  /// Transmits a whole word; returns the detected word.
+  [[nodiscard]] ecc::BitVec transmit(const ecc::BitVec& word) noexcept;
+
+  /// Transmits a wire sequence (serializer output).
+  [[nodiscard]] std::vector<bool> transmit(
+      const std::vector<bool>& wire) noexcept;
+
+ private:
+  double snr_;
+  double sigma_;
+  math::Xoshiro256 rng_;
+};
+
+}  // namespace photecc::channel_sim
+
+#endif  // PHOTECC_CHANNEL_SIM_OOK_CHANNEL_HPP

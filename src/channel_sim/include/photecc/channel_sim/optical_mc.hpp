@@ -1,0 +1,49 @@
+// Optical-level Monte-Carlo of the MWSR channel: instead of the
+// abstract SNR channel, this samples the actual detector photocurrent —
+// ER-limited '1'/'0' power levels through the Lorentzian link, plus
+// crosstalk from *random* data on the other 15 carriers — and
+// thresholds it.  Validates the paper's worst-case crosstalk analysis
+// (Eq. 4) from below: the measured BER must not exceed the analytic
+// worst-case prediction, and must approach the no-crosstalk floor when
+// the neighbours are quiet.
+#ifndef PHOTECC_CHANNEL_SIM_OPTICAL_MC_HPP
+#define PHOTECC_CHANNEL_SIM_OPTICAL_MC_HPP
+
+#include <cstdint>
+
+#include "photecc/link/mwsr_channel.hpp"
+#include "photecc/math/stats.hpp"
+
+namespace photecc::channel_sim {
+
+/// Options for the optical-level measurement.
+struct OpticalMcOptions {
+  std::uint64_t bits = 200000;
+  std::uint64_t seed = 0x0971CA1;
+  /// Neighbour carriers transmit random data when true; all-'1'
+  /// (the analytic worst case) when false.
+  bool random_neighbours = true;
+};
+
+/// Result of one optical-level BER measurement.
+struct OpticalMcResult {
+  double op_laser_w = 0.0;
+  double measured_ber = 0.0;
+  math::ProportionInterval interval{};
+  /// Analytic predictions at this laser power:
+  double worst_case_ber = 0.0;    ///< Eq. 4 chain, all-'1' crosstalk
+  double no_crosstalk_ber = 0.0;  ///< crosstalk-free floor
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bits = 0;
+};
+
+/// Measures the raw BER of channel `ch` (worst channel by default) of
+/// the MWSR link at laser output `op_laser_w`, with full per-sample
+/// crosstalk from the other carriers.
+OpticalMcResult measure_optical_raw_ber(const link::MwsrChannel& channel,
+                                        double op_laser_w,
+                                        const OpticalMcOptions& options = {});
+
+}  // namespace photecc::channel_sim
+
+#endif  // PHOTECC_CHANNEL_SIM_OPTICAL_MC_HPP

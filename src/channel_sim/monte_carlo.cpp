@@ -1,0 +1,91 @@
+#include "photecc/channel_sim/monte_carlo.hpp"
+
+#include <stdexcept>
+
+#include "photecc/channel_sim/ook_channel.hpp"
+#include "photecc/interface/datapath.hpp"
+#include "photecc/math/special.hpp"
+
+namespace photecc::channel_sim {
+namespace {
+
+ecc::BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  ecc::BitVec word(size);
+  for (std::size_t i = 0; i < size; ++i) word.set(i, rng.bernoulli(0.5));
+  return word;
+}
+
+BerMeasurement finalize(std::uint64_t errors, std::uint64_t bits,
+                        double analytic, double confidence) {
+  BerMeasurement m;
+  m.bit_errors = errors;
+  m.bits = bits;
+  m.measured_ber =
+      bits ? static_cast<double>(errors) / static_cast<double>(bits) : 0.0;
+  m.interval = math::wilson_interval(errors, bits, confidence);
+  m.analytic_ber = analytic;
+  return m;
+}
+
+}  // namespace
+
+BerMeasurement measure_raw_ber(double snr, std::uint64_t bits,
+                               const MonteCarloOptions& options) {
+  if (bits == 0) throw std::invalid_argument("measure_raw_ber: zero bits");
+  OokChannel channel(snr, options.seed);
+  math::Xoshiro256 rng(options.seed ^ 0xabcdef);
+  std::uint64_t errors = 0;
+  for (std::uint64_t i = 0; i < bits; ++i) {
+    const bool sent = rng.bernoulli(0.5);
+    if (channel.transmit(sent) != sent) ++errors;
+  }
+  return finalize(errors, bits, math::raw_ber_from_snr(snr),
+                  options.confidence);
+}
+
+BerMeasurement measure_coded_ber(const ecc::BlockCode& code, double snr,
+                                 std::uint64_t blocks,
+                                 const MonteCarloOptions& options) {
+  if (blocks == 0)
+    throw std::invalid_argument("measure_coded_ber: zero blocks");
+  OokChannel channel(snr, options.seed);
+  math::Xoshiro256 rng(options.seed ^ 0xfeedface);
+  const std::size_t k = code.message_length();
+  std::uint64_t errors = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const ecc::BitVec message = random_word(k, rng);
+    const ecc::BitVec sent = code.encode(message);
+    const ecc::BitVec received = channel.transmit(sent);
+    const ecc::DecodeResult decoded = code.decode(received);
+    errors += message.distance(decoded.message);
+  }
+  const double p = math::raw_ber_from_snr(snr);
+  return finalize(errors, blocks * k, code.decoded_ber(p),
+                  options.confidence);
+}
+
+BerMeasurement measure_end_to_end_ber(const ecc::BlockCodePtr& code,
+                                      double snr, std::uint64_t words,
+                                      std::size_t n_data,
+                                      const MonteCarloOptions& options) {
+  if (!code) throw std::invalid_argument("measure_end_to_end_ber: null code");
+  if (words == 0)
+    throw std::invalid_argument("measure_end_to_end_ber: zero words");
+  const interface::TransmitterDatapath tx(code, n_data);
+  const interface::ReceiverDatapath rx(code, n_data);
+  OokChannel channel(snr, options.seed);
+  math::Xoshiro256 rng(options.seed ^ 0xdecade);
+  std::uint64_t errors = 0;
+  for (std::uint64_t w = 0; w < words; ++w) {
+    const ecc::BitVec word = random_word(n_data, rng);
+    const std::vector<bool> wire = tx.transmit(word);
+    const std::vector<bool> received = channel.transmit(wire);
+    const interface::ReceiveResult result = rx.receive(received);
+    errors += word.distance(result.word);
+  }
+  const double p = math::raw_ber_from_snr(snr);
+  return finalize(errors, words * n_data, code->decoded_ber(p),
+                  options.confidence);
+}
+
+}  // namespace photecc::channel_sim

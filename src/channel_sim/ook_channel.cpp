@@ -1,0 +1,44 @@
+#include "photecc/channel_sim/ook_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::channel_sim {
+
+OokChannel::OokChannel(double snr, std::uint64_t seed)
+    : snr_(snr), rng_(seed) {
+  if (snr <= 0.0)
+    throw std::invalid_argument("OokChannel: SNR must be positive");
+  sigma_ = 1.0 / (2.0 * std::sqrt(2.0 * snr));
+}
+
+double OokChannel::analytic_raw_ber() const noexcept {
+  return math::raw_ber_from_snr(snr_);
+}
+
+double OokChannel::transmit_analog(bool bit) noexcept {
+  const double level = bit ? 1.0 : 0.0;
+  return level + sigma_ * rng_.normal();
+}
+
+bool OokChannel::transmit(bool bit) noexcept {
+  return transmit_analog(bit) > 0.5;
+}
+
+ecc::BitVec OokChannel::transmit(const ecc::BitVec& word) noexcept {
+  ecc::BitVec out(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i)
+    out.set(i, transmit(word.get(i)));
+  return out;
+}
+
+std::vector<bool> OokChannel::transmit(const std::vector<bool>& wire) noexcept {
+  std::vector<bool> out;
+  out.reserve(wire.size());
+  for (const bool bit : wire) out.push_back(transmit(bit));
+  return out;
+}
+
+}  // namespace photecc::channel_sim

@@ -1,0 +1,139 @@
+#include "photecc/core/arq.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "photecc/math/roots.hpp"
+#include "photecc/math/special.hpp"
+
+namespace photecc::core {
+
+ArqScheme::ArqScheme(const ArqParams& params) : params_(params) {
+  if (params.frame_payload_bits == 0)
+    throw std::invalid_argument("ArqScheme: empty frame");
+  if (params.crc_width < 1 || params.crc_width > 32)
+    throw std::invalid_argument("ArqScheme: CRC width outside [1, 32]");
+  if (params.max_frame_error_rate <= 0.0 ||
+      params.max_frame_error_rate >= 1.0)
+    throw std::invalid_argument("ArqScheme: FER cap outside (0, 1)");
+}
+
+std::string ArqScheme::name() const {
+  return "ARQ+CRC" + std::to_string(params_.crc_width);
+}
+
+std::size_t ArqScheme::frame_bits() const noexcept {
+  return params_.frame_payload_bits + params_.crc_width;
+}
+
+double ArqScheme::frame_error_rate(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("frame_error_rate: p outside [0, 1]");
+  return 1.0 - std::pow(1.0 - raw_p,
+                        static_cast<double>(frame_bits()));
+}
+
+double ArqScheme::residual_ber(double raw_p) const {
+  const double aliasing = std::pow(2.0, -static_cast<double>(
+                                             params_.crc_width));
+  return 0.5 * frame_error_rate(raw_p) * aliasing;
+}
+
+double ArqScheme::effective_ct(double raw_p) const {
+  const double fer = frame_error_rate(raw_p);
+  if (fer >= 1.0) return std::numeric_limits<double>::infinity();
+  const double overhead =
+      static_cast<double>(frame_bits()) /
+      static_cast<double>(params_.frame_payload_bits);
+  return overhead / (1.0 - fer);
+}
+
+std::optional<double> ArqScheme::required_raw_ber(double target_ber) const {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
+  // residual_ber is increasing in p; the largest admissible p is the
+  // smaller of the residual-BER inverse and the FER cap.
+  const double p_cap_fer =
+      1.0 - std::pow(1.0 - params_.max_frame_error_rate,
+                     1.0 / static_cast<double>(frame_bits()));
+  if (residual_ber(p_cap_fer) <= target_ber) return p_cap_fer;
+  // Aliasing floor check: even p -> 0 keeps residual/raw finite, so a
+  // solution exists iff residual(p) can get under target for p > 0 —
+  // it always can (residual -> 0 with p) — solve by bisection.
+  const auto f = [&](double log10_p) {
+    return std::log10(residual_ber(std::pow(10.0, log10_p))) -
+           std::log10(target_ber);
+  };
+  const auto result = math::bisect(f, -18.0, std::log10(p_cap_fer));
+  if (!result || !result->converged) return std::nullopt;
+  return std::pow(10.0, result->root);
+}
+
+ArqOperatingPoint ArqScheme::solve(const link::MwsrChannel& channel,
+                                   double target_ber) const {
+  ArqOperatingPoint point;
+  point.target_ber = target_ber;
+  const auto p = required_raw_ber(target_ber);
+  if (!p) return point;
+  point.raw_ber = *p;
+  point.snr = math::snr_from_raw_ber(*p);
+  point.frame_error_rate = frame_error_rate(*p);
+  point.expected_transmissions = 1.0 / (1.0 - point.frame_error_rate);
+  point.effective_ct = effective_ct(*p);
+  point.residual_ber = residual_ber(*p);
+
+  const std::size_t ch = channel.worst_channel();
+  const double margin =
+      channel.eye_transmission(ch) - channel.crosstalk_transmission(ch);
+  if (margin <= 0.0) return point;
+  const auto& det = channel.detector().params();
+  point.op_laser_w =
+      point.snr * det.dark_current_a / (det.responsivity_a_per_w * margin);
+  const auto electrical = channel.laser().electrical_power(
+      point.op_laser_w, channel.params().chip_activity);
+  if (!electrical) return point;
+  point.p_laser_w = *electrical;
+  point.feasible = true;
+  return point;
+}
+
+SchemeMetrics ArqScheme::evaluate(const link::MwsrChannel& channel,
+                                  double target_ber,
+                                  const SystemConfig& config) const {
+  const ArqOperatingPoint arq = solve(channel, target_ber);
+  SchemeMetrics m;
+  m.scheme = name();
+  m.target_ber = target_ber;
+  m.code_rate = static_cast<double>(params_.frame_payload_bits) /
+                static_cast<double>(frame_bits());
+  m.ct = arq.effective_ct;
+  m.feasible = arq.feasible;
+  m.operating_point.target_ber = target_ber;
+  m.operating_point.raw_ber = arq.raw_ber;
+  m.operating_point.snr = arq.snr;
+  m.operating_point.op_laser_w = arq.op_laser_w;
+  m.operating_point.p_laser_w = arq.p_laser_w;
+  m.operating_point.feasible = arq.feasible;
+  m.p_mr_w = channel.params().ring.modulation_power_w;
+  // CRC hardware is far simpler than a Hamming codec; charge the
+  // uncoded interface figures (SER/DES + mux dominate either way).
+  m.p_enc_dec_w = config.interface_pair.enc_dec_power_per_wavelength_w(
+      interface::InterfaceMode::kUncoded, config.wavelengths);
+  if (m.feasible) {
+    m.p_laser_w = arq.p_laser_w;
+    m.p_channel_w = m.p_laser_w + m.p_mr_w + m.p_enc_dec_w;
+    // Energy per *delivered* payload bit: retransmissions burn channel
+    // time at the same power, so E/bit scales with the effective CT.
+    m.energy_per_bit_j = m.p_channel_w * m.ct / config.f_mod_hz;
+    m.p_waveguide_w =
+        m.p_channel_w * static_cast<double>(config.wavelengths);
+    m.p_interconnect_w =
+        m.p_waveguide_w *
+        static_cast<double>(config.waveguides_per_channel) *
+        static_cast<double>(config.oni_count);
+  }
+  return m;
+}
+
+}  // namespace photecc::core

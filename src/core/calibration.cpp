@@ -1,0 +1,105 @@
+#include "photecc/core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/channel_sim/monte_carlo.hpp"
+#include "photecc/link/snr_solver.hpp"
+#include "photecc/math/units.hpp"
+
+namespace photecc::core {
+namespace {
+
+/// SNR seen at the detector for a given laser output on the channel's
+/// worst wavelength.
+double snr_at(const link::MwsrChannel& channel, double op_laser_w) {
+  const std::size_t ch = channel.worst_channel();
+  const double margin =
+      channel.eye_transmission(ch) - channel.crosstalk_transmission(ch);
+  const auto& det = channel.detector().params();
+  return det.responsivity_a_per_w * op_laser_w * margin /
+         det.dark_current_a;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_laser(const link::MwsrChannel& channel,
+                                  const ecc::BlockCode& code,
+                                  const CalibrationConfig& config) {
+  if (config.target_ber <= 0.0 || config.target_ber >= 0.5)
+    throw std::invalid_argument("calibrate_laser: bad target BER");
+  if (config.step_db <= 0.0 || config.margin < 1.0)
+    throw std::invalid_argument("calibrate_laser: bad step/margin");
+
+  CalibrationResult result;
+  const double activity = channel.params().chip_activity;
+  const double op_max = channel.laser().max_optical_power(activity);
+
+  // Start 3 dB below the analytic operating point: the loop must climb.
+  const auto analytic =
+      link::solve_operating_point(channel, code, config.target_ber);
+  double op = (analytic.feasible ? analytic.op_laser_w : op_max) *
+              math::from_db(-3.0);
+  op = std::min(op, op_max);
+
+  std::uint64_t seed = config.seed;
+  const auto measure = [&](double op_laser) {
+    CalibrationStep step;
+    step.op_laser_w = op_laser;
+    step.snr = snr_at(channel, op_laser);
+    channel_sim::MonteCarloOptions options;
+    options.seed = ++seed;
+    const auto m = channel_sim::measure_coded_ber(
+        code, step.snr, config.blocks_per_measurement, options);
+    step.measured_ber = m.measured_ber;
+    step.ci_upper = m.interval.upper;
+    step.met_target = step.ci_upper <= config.target_ber * config.margin;
+    result.history.push_back(step);
+    return step;
+  };
+
+  // Phase 1: climb until the target holds (with margin).
+  bool met = false;
+  for (unsigned i = 0; i < config.max_iterations; ++i) {
+    const CalibrationStep step = measure(op);
+    if (step.ci_upper <= config.target_ber) {
+      met = true;
+      break;
+    }
+    const double next = op * math::from_db(config.step_db);
+    if (next > op_max) {
+      // Ceiling: best effort at the maximum.
+      if (op >= op_max) break;
+      op = op_max;
+    } else {
+      op = next;
+    }
+  }
+  if (!met) {
+    result.op_laser_w = op;
+    const auto p = channel.laser().electrical_power(op, activity);
+    result.p_laser_w = p.value_or(0.0);
+    result.measured_ber = result.history.back().measured_ber;
+    return result;  // not converged
+  }
+
+  // Phase 2: back off while the target still holds with the margin.
+  for (unsigned i = 0; i < config.max_iterations; ++i) {
+    const double candidate = op * math::from_db(-config.step_db);
+    const CalibrationStep step = measure(candidate);
+    if (step.ci_upper * config.margin <= config.target_ber) {
+      op = candidate;
+    } else {
+      break;
+    }
+  }
+
+  result.converged = true;
+  result.op_laser_w = op;
+  const auto p = channel.laser().electrical_power(op, activity);
+  result.p_laser_w = p.value_or(0.0);
+  result.measured_ber = result.history.back().measured_ber;
+  return result;
+}
+
+}  // namespace photecc::core

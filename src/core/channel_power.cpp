@@ -1,0 +1,79 @@
+#include "photecc/core/channel_power.hpp"
+
+#include <stdexcept>
+
+namespace photecc::core {
+
+double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
+                                      const SystemConfig& config) {
+  const std::string name = code.name();
+  if (name == "w/o ECC")
+    return config.interface_pair.enc_dec_power_per_wavelength_w(
+        interface::InterfaceMode::kUncoded, config.wavelengths);
+  if (name == "H(7,4)")
+    return config.interface_pair.enc_dec_power_per_wavelength_w(
+        interface::InterfaceMode::kHamming74, config.wavelengths);
+  if (name == "H(71,64)")
+    return config.interface_pair.enc_dec_power_per_wavelength_w(
+        interface::InterfaceMode::kHamming7164, config.wavelengths);
+  // Codes outside Table I: estimate a dedicated coder/decoder pair plus
+  // SER/DES sized for the coded frame.
+  const interface::SynthesisEstimator estimator;
+  const std::size_t k = code.message_length();
+  const std::size_t n_data = estimator.clocks().n_data;
+  const std::size_t blocks = (n_data + k - 1) / k;
+  const std::size_t frame = blocks * code.block_length();
+  const double tx_uw = estimator.encoder_bank(code).dynamic_uw +
+                       estimator.serializer(frame).dynamic_uw +
+                       estimator.path_mux(3, 1).dynamic_uw;
+  const double rx_uw = estimator.decoder_bank(code).dynamic_uw +
+                       estimator.deserializer(frame).dynamic_uw +
+                       estimator.path_mux(3, n_data).dynamic_uw;
+  return (tx_uw + rx_uw) * 1e-6 / static_cast<double>(config.wavelengths);
+}
+
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config) {
+  if (config.wavelengths == 0 || config.f_mod_hz <= 0.0)
+    throw std::invalid_argument("evaluate_scheme: bad SystemConfig");
+  SchemeMetrics m;
+  m.scheme = code.name();
+  m.target_ber = target_ber;
+  m.code_rate = code.code_rate();
+  m.ct = code.communication_time();
+  m.operating_point = link::solve_operating_point(channel, code, target_ber);
+  m.feasible = m.operating_point.feasible;
+
+  m.p_mr_w = channel.params().ring.modulation_power_w;
+  m.p_enc_dec_w = enc_dec_power_per_wavelength_w(code, config);
+  if (m.feasible) {
+    m.p_laser_w = m.operating_point.p_laser_w;
+    m.p_channel_w = m.p_laser_w + m.p_mr_w + m.p_enc_dec_w;
+    // Energy per payload bit: the channel burns Pchannel while moving
+    // payload at Fmod * Rc useful bits per second per wavelength.
+    m.energy_per_bit_j = m.p_channel_w / (config.f_mod_hz * m.code_rate);
+    m.p_waveguide_w =
+        m.p_channel_w * static_cast<double>(config.wavelengths);
+    m.p_interconnect_w =
+        m.p_waveguide_w *
+        static_cast<double>(config.waveguides_per_channel) *
+        static_cast<double>(config.oni_count);
+  }
+  return m;
+}
+
+std::vector<SchemeMetrics> evaluate_schemes(
+    const link::MwsrChannel& channel,
+    const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
+    const SystemConfig& config) {
+  std::vector<SchemeMetrics> out;
+  out.reserve(codes.size());
+  for (const auto& code : codes) {
+    if (!code) throw std::invalid_argument("evaluate_schemes: null code");
+    out.push_back(evaluate_scheme(channel, *code, target_ber, config));
+  }
+  return out;
+}
+
+}  // namespace photecc::core

@@ -1,0 +1,157 @@
+#include "photecc/core/harq.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "photecc/math/roots.hpp"
+#include "photecc/math/special.hpp"
+
+namespace photecc::core {
+
+HarqScheme::HarqScheme(const HarqParams& params) : params_(params) {
+  if (params.m < 3 || params.m > 12)
+    throw std::invalid_argument("HarqScheme: m outside [3, 12]");
+  if (params.max_retransmission_rate <= 0.0 ||
+      params.max_retransmission_rate >= 1.0)
+    throw std::invalid_argument("HarqScheme: rtx cap outside (0, 1)");
+  n_ = (std::size_t{1} << params.m);          // 2^m (extended)
+  k_ = n_ - 1 - params.m;                      // data bits
+}
+
+std::string HarqScheme::name() const {
+  return "HARQ-eH(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+double HarqScheme::residual_ber(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("residual_ber: p outside [0, 1]");
+  if (raw_p == 0.0) return 0.0;
+  // Silent miscorrection: odd-weight >= 3 patterns alias onto a single
+  // error (even overall parity flips).  Exact odd-weight tail
+  // (1 - (1-2p)^n)/2 minus the weight-1 term; computed via expm1/log1p
+  // so the small difference is not lost to 1.0-scale rounding;
+  // ~4 wrong bits out of n after the bogus "correction".
+  const double n = static_cast<double>(n_);
+  // odd_total = (1 - (1-2p)^n) / 2, accurate for tiny p.
+  const double odd_total =
+      -0.5 * std::expm1(n * std::log1p(-2.0 * raw_p));
+  const double weight1 =
+      n * raw_p * std::exp((n - 1.0) * std::log1p(-raw_p));
+  const double odd_ge3 = std::max(0.0, odd_total - weight1);
+  return odd_ge3 * 4.0 / n;
+}
+
+double HarqScheme::retransmission_rate(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("retransmission_rate: p outside [0, 1]");
+  if (raw_p == 0.0) return 0.0;
+  // Detected uncorrectable = even-weight >= 2 patterns (overall parity
+  // consistent, inner syndrome non-zero).  Exact even-weight tail
+  // (1 + (1-2p)^n)/2 - q^n, rearranged to (1 - q^n) - (1 - (1-2p)^n)/2
+  // and computed via expm1/log1p to preserve the tiny difference.
+  const double n = static_cast<double>(n_);
+  const double one_minus_qn = -std::expm1(n * std::log1p(-raw_p));
+  const double odd_total =
+      -0.5 * std::expm1(n * std::log1p(-2.0 * raw_p));
+  return std::max(0.0, one_minus_qn - odd_total);
+}
+
+double HarqScheme::effective_ct(double raw_p) const {
+  const double rtx = retransmission_rate(raw_p);
+  if (rtx >= 1.0) return std::numeric_limits<double>::infinity();
+  const double overhead =
+      static_cast<double>(n_) / static_cast<double>(k_);
+  return overhead / (1.0 - rtx);
+}
+
+std::optional<double> HarqScheme::required_raw_ber(
+    double target_ber) const {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
+  // Cap from the retransmission budget (monotone; bisect).
+  const auto rtx_cap = [&](double log10_p) {
+    return retransmission_rate(std::pow(10.0, log10_p)) -
+           params_.max_retransmission_rate;
+  };
+  double log10_p_cap = std::log10(0.4);
+  if (rtx_cap(log10_p_cap) > 0.0) {
+    const auto cap = math::bisect(rtx_cap, -18.0, log10_p_cap);
+    if (!cap || !cap->converged) return std::nullopt;
+    log10_p_cap = cap->root;
+  }
+  const double p_cap = std::pow(10.0, log10_p_cap);
+  if (residual_ber(p_cap) <= target_ber) return p_cap;
+  const auto f = [&](double log10_p) {
+    return std::log10(residual_ber(std::pow(10.0, log10_p))) -
+           std::log10(target_ber);
+  };
+  const auto result = math::bisect(f, -18.0, log10_p_cap);
+  if (!result || !result->converged) return std::nullopt;
+  return std::pow(10.0, result->root);
+}
+
+HarqOperatingPoint HarqScheme::solve(const link::MwsrChannel& channel,
+                                     double target_ber) const {
+  HarqOperatingPoint point;
+  point.target_ber = target_ber;
+  const auto p = required_raw_ber(target_ber);
+  if (!p) return point;
+  point.raw_ber = *p;
+  point.snr = math::snr_from_raw_ber(*p);
+  point.retransmission_rate = retransmission_rate(*p);
+  point.expected_transmissions = 1.0 / (1.0 - point.retransmission_rate);
+  point.effective_ct = effective_ct(*p);
+  point.residual_ber = residual_ber(*p);
+
+  const std::size_t ch = channel.worst_channel();
+  const double margin =
+      channel.eye_transmission(ch) - channel.crosstalk_transmission(ch);
+  if (margin <= 0.0) return point;
+  const auto& det = channel.detector().params();
+  point.op_laser_w =
+      point.snr * det.dark_current_a / (det.responsivity_a_per_w * margin);
+  const auto electrical = channel.laser().electrical_power(
+      point.op_laser_w, channel.params().chip_activity);
+  if (!electrical) return point;
+  point.p_laser_w = *electrical;
+  point.feasible = true;
+  return point;
+}
+
+SchemeMetrics HarqScheme::evaluate(const link::MwsrChannel& channel,
+                                   double target_ber,
+                                   const SystemConfig& config) const {
+  const HarqOperatingPoint harq = solve(channel, target_ber);
+  SchemeMetrics m;
+  m.scheme = name();
+  m.target_ber = target_ber;
+  m.code_rate = static_cast<double>(k_) / static_cast<double>(n_);
+  m.ct = harq.effective_ct;
+  m.feasible = harq.feasible;
+  m.operating_point.target_ber = target_ber;
+  m.operating_point.raw_ber = harq.raw_ber;
+  m.operating_point.snr = harq.snr;
+  m.operating_point.op_laser_w = harq.op_laser_w;
+  m.operating_point.p_laser_w = harq.p_laser_w;
+  m.operating_point.feasible = harq.feasible;
+  m.p_mr_w = channel.params().ring.modulation_power_w;
+  // A SECDED codec costs about what the paper's Hamming codecs cost;
+  // charge the H(71,64) interface figures (closest block structure).
+  m.p_enc_dec_w = config.interface_pair.enc_dec_power_per_wavelength_w(
+      interface::InterfaceMode::kHamming7164, config.wavelengths);
+  if (m.feasible) {
+    m.p_laser_w = harq.p_laser_w;
+    m.p_channel_w = m.p_laser_w + m.p_mr_w + m.p_enc_dec_w;
+    m.energy_per_bit_j = m.p_channel_w * m.ct / config.f_mod_hz;
+    m.p_waveguide_w =
+        m.p_channel_w * static_cast<double>(config.wavelengths);
+    m.p_interconnect_w =
+        m.p_waveguide_w *
+        static_cast<double>(config.waveguides_per_channel) *
+        static_cast<double>(config.oni_count);
+  }
+  return m;
+}
+
+}  // namespace photecc::core

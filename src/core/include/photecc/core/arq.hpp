@@ -1,0 +1,93 @@
+// ARQ (detect-and-retransmit) transmission scheme: the classic
+// alternative to the paper's forward error correction.  Frames carry a
+// CRC; the receiver requests retransmission on a failed check.  Energy
+// goes down with laser power like FEC, but the cost is paid in
+// *expected* retransmissions instead of fixed parity overhead, and the
+// quality floor is the CRC's undetected-error probability.
+//
+// Model (per frame of F payload bits + c CRC bits, raw channel error
+// probability p):
+//   frame error rate     FER  = 1 - (1-p)^(F+c)
+//   undetected fraction  2^-c   (random-error model of CRC aliasing)
+//   residual BER        ~ FER * 2^-c / 2   (half the bits of an
+//                          undetected bad frame are wrong on average)
+//   expected sends       E[T] = 1 / (1 - FER)
+//   effective CT         (F+c)/F * E[T]    (vs one uncoded pass)
+#ifndef PHOTECC_CORE_ARQ_HPP
+#define PHOTECC_CORE_ARQ_HPP
+
+#include <optional>
+#include <string>
+
+#include "photecc/core/channel_power.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::core {
+
+/// ARQ configuration.
+struct ArqParams {
+  std::size_t frame_payload_bits = 64;
+  unsigned crc_width = 16;
+  /// Operating cap on the frame error rate: beyond this the link
+  /// thrashes (goodput collapse); the solver refuses to run hotter.
+  double max_frame_error_rate = 0.5;
+};
+
+/// Solved ARQ operating point on a channel.
+struct ArqOperatingPoint {
+  double target_ber = 0.0;
+  double raw_ber = 0.0;             ///< channel p at the operating point
+  double snr = 0.0;
+  double op_laser_w = 0.0;
+  double p_laser_w = 0.0;
+  double frame_error_rate = 0.0;
+  double expected_transmissions = 1.0;
+  double effective_ct = 1.0;        ///< includes CRC overhead + resends
+  double residual_ber = 0.0;        ///< undetected-error floor achieved
+  bool feasible = false;
+};
+
+/// Analytic ARQ scheme model.
+class ArqScheme {
+ public:
+  explicit ArqScheme(const ArqParams& params = {});
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] const ArqParams& params() const noexcept { return params_; }
+
+  /// Frame length on the wire (payload + CRC).
+  [[nodiscard]] std::size_t frame_bits() const noexcept;
+
+  /// Residual (post-ARQ) BER at raw channel error probability p.
+  [[nodiscard]] double residual_ber(double raw_p) const;
+
+  /// Frame error rate at raw p.
+  [[nodiscard]] double frame_error_rate(double raw_p) const;
+
+  /// Effective communication-time ratio at raw p (CRC overhead plus
+  /// expected retransmissions), relative to one uncoded payload pass.
+  [[nodiscard]] double effective_ct(double raw_p) const;
+
+  /// Largest raw p meeting `target_ber` residual BER and the FER cap;
+  /// std::nullopt when the CRC's aliasing floor makes the target
+  /// unreachable at any operating point.
+  [[nodiscard]] std::optional<double> required_raw_ber(
+      double target_ber) const;
+
+  /// Full solve on an MWSR channel (laser sized like the FEC solver).
+  [[nodiscard]] ArqOperatingPoint solve(const link::MwsrChannel& channel,
+                                        double target_ber) const;
+
+  /// SchemeMetrics-compatible evaluation for side-by-side tables: CT is
+  /// the *expected* effective CT at the operating point.
+  [[nodiscard]] SchemeMetrics evaluate(const link::MwsrChannel& channel,
+                                       double target_ber,
+                                       const SystemConfig& config = {}) const;
+
+ private:
+  ArqParams params_;
+};
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_ARQ_HPP

@@ -1,0 +1,58 @@
+// Closed-loop transceiver power self-calibration (the direction of
+// Mineo et al. [6], applied to the optical link): instead of trusting
+// the analytic link model, a controller steps the laser output power
+// while *measuring* the post-decoding BER on the live channel, and
+// settles at the cheapest setting that meets the target with a margin.
+//
+// This tracks model error and slow channel drift (temperature,
+// ageing) that an open-loop table cannot.  The measurement plant here
+// is the bit-true Monte-Carlo stack.
+#ifndef PHOTECC_CORE_CALIBRATION_HPP
+#define PHOTECC_CORE_CALIBRATION_HPP
+
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::core {
+
+/// Controller settings.
+struct CalibrationConfig {
+  double target_ber = 1e-4;       ///< must be measurable in the budget
+  double step_db = 0.5;           ///< laser power step per iteration
+  double margin = 2.0;            ///< settle when CI upper * margin <= target
+  unsigned max_iterations = 64;
+  std::uint64_t blocks_per_measurement = 4000;
+  std::uint64_t seed = 0xCA11B;
+};
+
+/// One controller step, for inspection/plotting.
+struct CalibrationStep {
+  double op_laser_w = 0.0;
+  double snr = 0.0;
+  double measured_ber = 0.0;
+  double ci_upper = 0.0;
+  bool met_target = false;
+};
+
+/// Outcome of a calibration run.
+struct CalibrationResult {
+  bool converged = false;
+  double op_laser_w = 0.0;         ///< final setting
+  double p_laser_w = 0.0;          ///< electrical power at the setting
+  double measured_ber = 0.0;
+  std::vector<CalibrationStep> history;
+};
+
+/// Runs the closed loop for `code` on `channel`: starts from the
+/// analytic operating point minus a few dB (deliberately optimistic),
+/// raises the laser until the measured BER upper confidence bound meets
+/// the target, then backs off while it still holds.
+CalibrationResult calibrate_laser(const link::MwsrChannel& channel,
+                                  const ecc::BlockCode& code,
+                                  const CalibrationConfig& config = {});
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_CALIBRATION_HPP

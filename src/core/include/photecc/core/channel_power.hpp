@@ -1,0 +1,70 @@
+// Channel power and energy roll-up (paper Section IV-E):
+//
+//   Pchannel = P_ENC+DEC + P_MR + P_laser     (per wavelength)
+//
+// plus the derived figures the evaluation reports: communication time
+// CT, energy per payload bit, per-waveguide and whole-interconnect
+// power.
+#ifndef PHOTECC_CORE_CHANNEL_POWER_HPP
+#define PHOTECC_CORE_CHANNEL_POWER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/interface/synthesis_model.hpp"
+#include "photecc/link/snr_solver.hpp"
+
+namespace photecc::core {
+
+/// System-level constants of the evaluation (paper Section V).
+struct SystemConfig {
+  double f_mod_hz = 10e9;            ///< modulation speed per wavelength
+  std::size_t wavelengths = 16;      ///< NW per waveguide
+  std::size_t waveguides_per_channel = 16;
+  std::size_t oni_count = 12;        ///< MWSR channels in the interconnect
+  /// Interface synthesis source for P_ENC+DEC (Table I by default).
+  interface::InterfacePair interface_pair = interface::table1_reference();
+};
+
+/// All figures the paper reports for one (code, target BER) pair.
+struct SchemeMetrics {
+  std::string scheme;          ///< code name
+  double target_ber = 0.0;
+  double code_rate = 1.0;      ///< Rc = k/n
+  double ct = 1.0;             ///< communication time, normalised
+  link::LinkOperatingPoint operating_point{};
+  bool feasible = false;
+
+  // Per-wavelength power breakdown [W]:
+  double p_laser_w = 0.0;
+  double p_mr_w = 0.0;
+  double p_enc_dec_w = 0.0;
+  double p_channel_w = 0.0;
+
+  // Derived figures:
+  double energy_per_bit_j = 0.0;       ///< per payload bit
+  double p_waveguide_w = 0.0;          ///< Pchannel x NW
+  double p_interconnect_w = 0.0;       ///< x waveguides x ONIs
+};
+
+/// Maps the paper's three schemes onto Table I interface modes; other
+/// codes fall back to the DSENT-style estimator.
+double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
+                                      const SystemConfig& config);
+
+/// Full evaluation of one scheme at one target BER on one channel.
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config = {});
+
+/// Evaluates several schemes at the same target.
+std::vector<SchemeMetrics> evaluate_schemes(
+    const link::MwsrChannel& channel,
+    const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
+    const SystemConfig& config = {});
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_CHANNEL_POWER_HPP

@@ -1,0 +1,94 @@
+// Type-I Hybrid ARQ on a SECDED (extended Hamming) block code: the
+// receiver corrects single errors in place, requests a retransmission
+// on a *detected* double error, and is silently corrupted only by the
+// rare >= 3-error patterns that alias onto a single-error syndrome.
+// Completes the scheme taxonomy between the paper's pure FEC (fixed
+// time, higher laser power) and pure ARQ (lowest power, no single-pass
+// guarantee).
+//
+// Per-block model (n bits, raw error probability p, q = 1 - p):
+//   P0 = q^n                      clean
+//   P1 = C(n,1) p q^(n-1)         corrected in place
+//   P2 = C(n,2) p^2 q^(n-2)       detected -> retransmit
+//   P3+ = 1 - P0 - P1 - P2        odd-weight part miscorrects silently,
+//                                 even-weight part is detected
+// Retransmission probability  P_rtx = P2 + (even part of P3+)
+// Residual BER ~ (odd part of P3+) * (w+1)/n with w ~ 3 dominating:
+// we bound it with the leading term  P(weight 3) * 4 / n.
+#ifndef PHOTECC_CORE_HARQ_HPP
+#define PHOTECC_CORE_HARQ_HPP
+
+#include <optional>
+#include <string>
+
+#include "photecc/core/channel_power.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::core {
+
+/// HARQ configuration: the SECDED code eH(2^m, 2^m - 1 - m).
+struct HarqParams {
+  unsigned m = 6;  ///< eH(64,57): one block per 64-lambda-ish frame
+  double max_retransmission_rate = 0.5;
+};
+
+/// Solved HARQ operating point.
+struct HarqOperatingPoint {
+  double target_ber = 0.0;
+  double raw_ber = 0.0;
+  double snr = 0.0;
+  double op_laser_w = 0.0;
+  double p_laser_w = 0.0;
+  double retransmission_rate = 0.0;  ///< per block
+  double expected_transmissions = 1.0;
+  double effective_ct = 1.0;
+  double residual_ber = 0.0;
+  bool feasible = false;
+};
+
+/// Analytic type-I HARQ scheme model over eH(2^m, 2^m - 1 - m).
+class HarqScheme {
+ public:
+  explicit HarqScheme(const HarqParams& params = {});
+
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] const HarqParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t block_length() const noexcept { return n_; }
+  [[nodiscard]] std::size_t message_length() const noexcept { return k_; }
+
+  /// Residual (post-HARQ) BER at raw channel error probability p:
+  /// the silent-miscorrection floor.
+  [[nodiscard]] double residual_ber(double raw_p) const;
+
+  /// Probability that a block needs retransmission at raw p.
+  [[nodiscard]] double retransmission_rate(double raw_p) const;
+
+  /// Expected communication-time ratio: rate overhead n/k times the
+  /// expected number of transmissions.
+  [[nodiscard]] double effective_ct(double raw_p) const;
+
+  /// Largest admissible raw p for a target residual BER (also bounded
+  /// by the retransmission-rate cap).
+  [[nodiscard]] std::optional<double> required_raw_ber(
+      double target_ber) const;
+
+  /// Full solve on an MWSR channel.
+  [[nodiscard]] HarqOperatingPoint solve(const link::MwsrChannel& channel,
+                                         double target_ber) const;
+
+  /// SchemeMetrics-compatible evaluation for side-by-side tables.
+  [[nodiscard]] SchemeMetrics evaluate(const link::MwsrChannel& channel,
+                                       double target_ber,
+                                       const SystemConfig& config = {}) const;
+
+ private:
+  HarqParams params_;
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_HARQ_HPP

@@ -1,0 +1,89 @@
+// Optical Link Energy/Performance Manager (paper Section III-C):
+//
+// A source ONI sends a request (destination + communication
+// requirements); the manager answers with the configuration both sides
+// must apply — the coding scheme (w/ or w/o ECC) and the laser output
+// power that meets the BER target.  Policies arbitrate between the
+// feasible schemes: real-time traffic wants minimum communication time,
+// energy-bounded traffic wants minimum energy per bit, thermally
+// constrained regions want minimum channel power.
+#ifndef PHOTECC_CORE_MANAGER_HPP
+#define PHOTECC_CORE_MANAGER_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "photecc/core/channel_power.hpp"
+
+namespace photecc::core {
+
+/// Selection policy among the feasible schemes.
+enum class Policy {
+  kMinPower,   ///< minimise Pchannel (thermal / power-wall relief)
+  kMinEnergy,  ///< minimise energy per payload bit
+  kMinTime,    ///< minimise communication time (real-time traffic)
+};
+
+[[nodiscard]] std::string to_string(Policy policy);
+
+/// One communication request from a source ONI.
+struct CommunicationRequest {
+  double target_ber = 1e-9;
+  Policy policy = Policy::kMinEnergy;
+  /// Deadline expressed as the maximum tolerated communication-time
+  /// ratio (1.0 = no slack over an uncoded transfer).
+  std::optional<double> max_ct;
+  /// Per-wavelength channel power cap [W].
+  std::optional<double> max_channel_power_w;
+};
+
+/// The manager's answer: scheme + laser operating point for both ONIs.
+struct LinkConfiguration {
+  ecc::BlockCodePtr code;
+  SchemeMetrics metrics;
+  /// Laser output power to program into the laser output power
+  /// controller (LOPC) [W].
+  double laser_output_w = 0.0;
+};
+
+/// Centralised manager for one MWSR channel.
+class LinkManager {
+ public:
+  /// `codes` is the scheme menu (paper: uncoded, H(71,64), H(7,4)).
+  LinkManager(link::MwsrChannel channel,
+              std::vector<ecc::BlockCodePtr> codes,
+              SystemConfig config = {});
+
+  /// Resolves a request to a configuration, or std::nullopt when no
+  /// scheme meets all constraints (the caller may relax the request).
+  [[nodiscard]] std::optional<LinkConfiguration> configure(
+      const CommunicationRequest& request) const;
+
+  /// All candidate evaluations for a target BER (for inspection).
+  [[nodiscard]] std::vector<SchemeMetrics> candidates(
+      double target_ber) const;
+
+  /// Lowest BER any scheme in the menu can reach on this channel.
+  [[nodiscard]] double best_reachable_ber() const;
+
+  [[nodiscard]] const link::MwsrChannel& channel() const noexcept {
+    return channel_;
+  }
+  [[nodiscard]] const std::vector<ecc::BlockCodePtr>& codes()
+      const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  link::MwsrChannel channel_;
+  std::vector<ecc::BlockCodePtr> codes_;
+  SystemConfig config_;
+};
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_MANAGER_HPP

@@ -1,0 +1,31 @@
+// Rendering helpers: turn SchemeMetrics / sweeps into the aligned text
+// tables and CSV series the benches print for each paper artefact.
+#ifndef PHOTECC_CORE_REPORT_HPP
+#define PHOTECC_CORE_REPORT_HPP
+
+#include <ostream>
+#include <vector>
+
+#include "photecc/core/tradeoff.hpp"
+#include "photecc/math/table.hpp"
+
+namespace photecc::core {
+
+/// One row per scheme: BER, SNR, OPlaser, Plaser, Pchannel, CT, E/bit.
+math::TextTable metrics_table(const std::vector<SchemeMetrics>& metrics);
+
+/// Fig. 6a-style breakdown: one row per scheme with the three power
+/// contributions.
+math::TextTable breakdown_table(const std::vector<SchemeMetrics>& metrics);
+
+/// Fig. 6b-style series: (CT, Pchannel) per scheme per BER, with a
+/// Pareto marker column.
+math::TextTable pareto_table(const TradeoffSweep& sweep);
+
+/// Streams a table with a caption line above it.
+void print_table(std::ostream& os, const std::string& caption,
+                 const math::TextTable& table);
+
+}  // namespace photecc::core
+
+#endif  // PHOTECC_CORE_REPORT_HPP

@@ -1,0 +1,76 @@
+#include "photecc/core/manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "photecc/link/snr_solver.hpp"
+
+namespace photecc::core {
+
+std::string to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kMinPower: return "min-power";
+    case Policy::kMinEnergy: return "min-energy";
+    case Policy::kMinTime: return "min-time";
+  }
+  throw std::logic_error("to_string: bad Policy");
+}
+
+LinkManager::LinkManager(link::MwsrChannel channel,
+                         std::vector<ecc::BlockCodePtr> codes,
+                         SystemConfig config)
+    : channel_(std::move(channel)),
+      codes_(std::move(codes)),
+      config_(config) {
+  if (codes_.empty())
+    throw std::invalid_argument("LinkManager: empty scheme menu");
+  for (const auto& code : codes_)
+    if (!code) throw std::invalid_argument("LinkManager: null code");
+}
+
+std::vector<SchemeMetrics> LinkManager::candidates(double target_ber) const {
+  return evaluate_schemes(channel_, codes_, target_ber, config_);
+}
+
+std::optional<LinkConfiguration> LinkManager::configure(
+    const CommunicationRequest& request) const {
+  const std::vector<SchemeMetrics> all = candidates(request.target_ber);
+
+  std::optional<std::size_t> best;
+  const auto objective = [&](const SchemeMetrics& m) {
+    switch (request.policy) {
+      case Policy::kMinPower: return m.p_channel_w;
+      case Policy::kMinEnergy: return m.energy_per_bit_j;
+      case Policy::kMinTime: return m.ct;
+    }
+    throw std::logic_error("configure: bad Policy");
+  };
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SchemeMetrics& m = all[i];
+    if (!m.feasible) continue;
+    if (request.max_ct && m.ct > *request.max_ct + 1e-12) continue;
+    if (request.max_channel_power_w &&
+        m.p_channel_w > *request.max_channel_power_w) continue;
+    if (!best || objective(m) < objective(all[*best]) ||
+        (objective(m) == objective(all[*best]) &&
+         m.p_channel_w < all[*best].p_channel_w)) {
+      best = i;
+    }
+  }
+  if (!best) return std::nullopt;
+
+  LinkConfiguration configuration;
+  configuration.code = codes_[*best];
+  configuration.metrics = all[*best];
+  configuration.laser_output_w = all[*best].operating_point.op_laser_w;
+  return configuration;
+}
+
+double LinkManager::best_reachable_ber() const {
+  double best = 0.5;
+  for (const auto& code : codes_)
+    best = std::min(best, link::best_achievable_ber(channel_, *code));
+  return best;
+}
+
+}  // namespace photecc::core

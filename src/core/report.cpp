@@ -1,0 +1,84 @@
+#include "photecc/core/report.hpp"
+
+#include <algorithm>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::core {
+
+math::TextTable metrics_table(const std::vector<SchemeMetrics>& metrics) {
+  math::TextTable table({"scheme", "target BER", "SNR", "OPlaser [uW]",
+                         "Plaser [mW]", "Pchannel [mW]", "CT",
+                         "E/bit [pJ]", "feasible"});
+  for (const auto& m : metrics) {
+    table.add_row({
+        m.scheme,
+        math::format_sci(m.target_ber, 0),
+        math::format_fixed(m.operating_point.snr, 2),
+        m.feasible ? math::format_fixed(
+                         math::as_micro(m.operating_point.op_laser_w), 1)
+                   : ">" + math::format_fixed(
+                         math::as_micro(m.operating_point.op_laser_w), 1),
+        m.feasible ? math::format_fixed(math::as_milli(m.p_laser_w), 2)
+                   : "-",
+        m.feasible ? math::format_fixed(math::as_milli(m.p_channel_w), 2)
+                   : "-",
+        math::format_fixed(m.ct, 3),
+        m.feasible ? math::format_fixed(math::as_pico(m.energy_per_bit_j), 2)
+                   : "-",
+        m.feasible ? "yes" : "NO",
+    });
+  }
+  return table;
+}
+
+math::TextTable breakdown_table(const std::vector<SchemeMetrics>& metrics) {
+  math::TextTable table({"scheme", "Penc+dec [uW]", "PMR [mW]",
+                         "Plaser [mW]", "Pchannel [mW]", "laser share"});
+  for (const auto& m : metrics) {
+    if (!m.feasible) {
+      table.add_row({m.scheme, "-", "-", "-", "infeasible", "-"});
+      continue;
+    }
+    table.add_row({
+        m.scheme,
+        math::format_fixed(math::as_micro(m.p_enc_dec_w), 2),
+        math::format_fixed(math::as_milli(m.p_mr_w), 2),
+        math::format_fixed(math::as_milli(m.p_laser_w), 2),
+        math::format_fixed(math::as_milli(m.p_channel_w), 2),
+        math::format_fixed(100.0 * m.p_laser_w / m.p_channel_w, 1) + " %",
+    });
+  }
+  return table;
+}
+
+math::TextTable pareto_table(const TradeoffSweep& sweep) {
+  const std::vector<std::size_t> front = sweep.pareto_front();
+  math::TextTable table({"scheme", "target BER", "CT", "Pchannel [mW]",
+                         "E/bit [pJ]", "pareto"});
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    const auto& m = sweep.points[i];
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    table.add_row({
+        m.scheme,
+        math::format_sci(m.target_ber, 0),
+        math::format_fixed(m.ct, 3),
+        m.feasible ? math::format_fixed(math::as_milli(m.p_channel_w), 2)
+                   : "infeasible",
+        m.feasible ? math::format_fixed(math::as_pico(m.energy_per_bit_j), 2)
+                   : "-",
+        on_front ? "*" : "",
+    });
+  }
+  return table;
+}
+
+void print_table(std::ostream& os, const std::string& caption,
+                 const math::TextTable& table) {
+  os << caption << '\n';
+  table.render(os);
+  os << '\n';
+}
+
+}  // namespace photecc::core

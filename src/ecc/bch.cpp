@@ -1,0 +1,225 @@
+#include "photecc/ecc/bch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::ecc {
+namespace {
+
+// Multiplies two GF(2) polynomials given as bit masks.
+std::uint64_t poly_mul_gf2(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; b >> i; ++i) {
+    if ((b >> i) & 1u) out ^= a << i;
+  }
+  return out;
+}
+
+unsigned poly_degree(std::uint64_t p) {
+  unsigned d = 0;
+  while (p >> (d + 1)) ++d;
+  return d;
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, unsigned t) : field_(m), t_(t) {
+  if (m < 3) throw std::invalid_argument("BchCode: m must be >= 3");
+  if (t == 0) throw std::invalid_argument("BchCode: t must be >= 1");
+  n_ = field_.order();
+  if (2 * t >= n_)
+    throw std::invalid_argument("BchCode: t too large for the length");
+
+  // g(x) = lcm of minimal polynomials of alpha^1 .. alpha^(2t); since
+  // each minimal polynomial is irreducible, the lcm is the product of
+  // the distinct ones.
+  std::vector<std::uint64_t> minimals;
+  for (unsigned i = 1; i <= 2 * t; ++i) {
+    const std::uint64_t mp = field_.minimal_polynomial(i);
+    if (std::find(minimals.begin(), minimals.end(), mp) == minimals.end())
+      minimals.push_back(mp);
+  }
+  std::uint64_t g = 1;
+  for (const std::uint64_t mp : minimals) g = poly_mul_gf2(g, mp);
+  generator_mask_ = g;
+  const unsigned deg = poly_degree(g);
+  if (deg >= n_)
+    throw std::invalid_argument("BchCode: generator consumes the block");
+  k_ = n_ - deg;
+  generator_.resize(deg + 1);
+  for (unsigned i = 0; i <= deg; ++i)
+    generator_[i] = static_cast<unsigned>((g >> i) & 1u);
+}
+
+std::string BchCode::name() const {
+  return "BCH(" + std::to_string(n_) + "," + std::to_string(k_) + "," +
+         std::to_string(t_) + ")";
+}
+
+BitVec BchCode::encode(const BitVec& message) const {
+  if (message.size() != k_)
+    throw std::invalid_argument(name() + "::encode: message size mismatch");
+  // Systematic encoding: codeword = [parity | message], i.e.
+  // c(x) = x^(n-k) u(x) + (x^(n-k) u(x) mod g(x)).
+  const std::size_t parity_len = n_ - k_;
+  // Long division of x^(n-k) u(x) by g(x) over GF(2), bit by bit
+  // (message degree can exceed 64, so no mask shortcut here).
+  std::vector<unsigned> remainder(parity_len, 0);
+  for (std::size_t i = k_; i-- > 0;) {
+    const unsigned feedback =
+        (message.get(i) ? 1u : 0u) ^ remainder[parity_len - 1];
+    for (std::size_t j = parity_len; j-- > 1;) {
+      remainder[j] = remainder[j - 1] ^ (feedback & generator_[j]);
+    }
+    remainder[0] = feedback & generator_[0];
+  }
+  BitVec code(n_);
+  for (std::size_t i = 0; i < parity_len; ++i)
+    code.set(i, remainder[i] != 0);
+  for (std::size_t i = 0; i < k_; ++i)
+    code.set(parity_len + i, message.get(i));
+  return code;
+}
+
+bool BchCode::syndromes(const BitVec& received,
+                        std::vector<unsigned>& out) const {
+  out.assign(2 * t_, 0);
+  bool all_zero = true;
+  for (unsigned j = 1; j <= 2 * t_; ++j) {
+    unsigned s = 0;
+    for (std::size_t pos = 0; pos < n_; ++pos) {
+      if (received.get(pos))
+        s = GF2m::add(s, field_.alpha_pow(static_cast<int>(pos * j)));
+    }
+    out[j - 1] = s;
+    if (s != 0) all_zero = false;
+  }
+  return all_zero;
+}
+
+DecodeResult BchCode::decode(const BitVec& received) const {
+  if (received.size() != n_)
+    throw std::invalid_argument(name() + "::decode: block size mismatch");
+  const std::size_t parity_len = n_ - k_;
+  const auto extract = [&](const BitVec& word) {
+    BitVec msg(k_);
+    for (std::size_t i = 0; i < k_; ++i)
+      msg.set(i, word.get(parity_len + i));
+    return msg;
+  };
+
+  DecodeResult result;
+  std::vector<unsigned> syn;
+  if (syndromes(received, syn)) {
+    result.message = extract(received);
+    return result;
+  }
+  result.error_detected = true;
+
+  // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+  std::vector<unsigned> sigma{1};     // current locator
+  std::vector<unsigned> prev{1};      // locator before last length change
+  unsigned prev_discrepancy = 1;
+  unsigned lfsr_len = 0;
+  int shift = 1;
+  for (unsigned step = 0; step < 2 * t_; ++step) {
+    // Discrepancy d = S_{step+1} + sum sigma_i S_{step+1-i}.
+    unsigned d = syn[step];
+    for (unsigned i = 1; i <= lfsr_len && i < sigma.size(); ++i) {
+      if (step >= i)
+        d = GF2m::add(d, field_.mul(sigma[i], syn[step - i]));
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    // sigma' = sigma - (d / prev_d) x^shift prev
+    std::vector<unsigned> candidate = sigma;
+    const unsigned scale = field_.div(d, prev_discrepancy);
+    if (candidate.size() < prev.size() + shift)
+      candidate.resize(prev.size() + shift, 0);
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      candidate[i + shift] =
+          GF2m::add(candidate[i + shift], field_.mul(scale, prev[i]));
+    }
+    if (2 * lfsr_len <= step) {
+      prev = sigma;
+      prev_discrepancy = d;
+      lfsr_len = step + 1 - lfsr_len;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(candidate);
+  }
+
+  // Degree check: more errors than t => uncorrectable (detected only).
+  unsigned degree = 0;
+  for (std::size_t i = sigma.size(); i-- > 0;) {
+    if (sigma[i] != 0) {
+      degree = static_cast<unsigned>(i);
+      break;
+    }
+  }
+  if (degree > t_ || degree == 0) {
+    result.message = extract(received);
+    return result;
+  }
+
+  // Chien search: roots of sigma(x) at x = alpha^{-pos} name the error
+  // positions.
+  BitVec corrected = received;
+  unsigned roots = 0;
+  std::size_t last_fix = 0;
+  for (std::size_t pos = 0; pos < n_; ++pos) {
+    const unsigned x = field_.alpha_pow(-static_cast<int>(pos));
+    if (field_.eval_poly(sigma, x) == 0) {
+      corrected.flip(pos);
+      last_fix = pos;
+      ++roots;
+    }
+  }
+  if (roots != degree) {
+    // Locator does not factor into distinct roots: > t errors.
+    result.message = extract(received);
+    return result;
+  }
+  // Verify: corrected word must have zero syndromes.
+  std::vector<unsigned> check;
+  if (!syndromes(corrected, check)) {
+    result.message = extract(received);
+    return result;
+  }
+  result.corrected = true;
+  if (roots == 1) result.corrected_position = last_fix;
+  result.message = extract(corrected);
+  return result;
+}
+
+double BchCode::decoded_ber(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("decoded_ber: raw p outside [0, 1]");
+  if (raw_p == 0.0) return 0.0;
+  // BER = p * P(at least t errors among the remaining n-1 bits): the
+  // observed bit is wrong and the decoder's correction budget is spent
+  // elsewhere.  Reduces to the paper's Eq. 2 for t = 1.  The tail is
+  // summed directly (all-positive terms) so small-p values do not lose
+  // precision to cancellation.
+  const double q = 1.0 - raw_p;
+  const double nm1 = static_cast<double>(n_ - 1);
+  double tail = 0.0;  // P(>= t errors among n-1)
+  double comb = 1.0;
+  for (unsigned j = 1; j <= t_; ++j)
+    comb = comb * (nm1 - static_cast<double>(j - 1)) /
+           static_cast<double>(j);
+  for (unsigned j = t_; j <= n_ - 1; ++j) {
+    tail += comb * std::pow(raw_p, static_cast<double>(j)) *
+            std::pow(q, nm1 - static_cast<double>(j));
+    comb = comb * (nm1 - static_cast<double>(j)) /
+           static_cast<double>(j + 1);
+  }
+  return raw_p * std::min(1.0, tail);
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,62 @@
+#include "photecc/ecc/ber_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/roots.hpp"
+#include "photecc/math/special.hpp"
+#include "photecc/math/units.hpp"
+
+namespace photecc::ecc {
+
+double achieved_ber(const BlockCode& code, double snr) {
+  return code.decoded_ber(math::raw_ber_from_snr(snr));
+}
+
+double required_snr(const BlockCode& code, double target_ber) {
+  const double p = code.required_raw_ber(target_ber);
+  return math::snr_from_raw_ber(p);
+}
+
+double required_snr_uncoded(double target_ber) {
+  return math::snr_from_raw_ber(target_ber);
+}
+
+double coding_gain_db(const BlockCode& code, double target_ber) {
+  const double coded = required_snr(code, target_ber);
+  const double uncoded = required_snr_uncoded(target_ber);
+  return math::to_db(uncoded / coded);
+}
+
+// Default numeric inversion for every BlockCode: decoded_ber is strictly
+// increasing in p on (0, 0.5] for all codes in this library, so a
+// log-space Brent solve is robust.
+double BlockCode::required_raw_ber(double target_ber) const {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
+  if (decoded_ber(0.5) < target_ber)
+    // The code cannot be this bad below p = 0.5; caller asked for a BER
+    // the model cannot represent (never happens for targets < ~0.25).
+    return 0.5;
+  // Solve decoded_ber(10^x) = target_ber for x in [-18, log10(0.5)].
+  const auto f = [&](double x) {
+    return std::log10(decoded_ber(std::pow(10.0, x))) -
+           std::log10(target_ber);
+  };
+  const double lo = -18.0;
+  const double hi = std::log10(0.5);
+  if (f(lo) > 0.0) {
+    // Target is below what p = 1e-18 produces — numerically zero
+    // channel errors; report the bracket edge.
+    return std::pow(10.0, lo);
+  }
+  math::RootOptions opts;
+  opts.x_tolerance = 1e-13;
+  const auto result = math::brent(f, lo, hi, opts);
+  if (!result || !result->converged)
+    throw std::runtime_error("required_raw_ber: inversion failed for " +
+                             name());
+  return std::pow(10.0, result->root);
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,108 @@
+#include "photecc/ecc/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+BitVec BitVec::from_uint(std::uint64_t value, std::size_t size) {
+  if (size > 64)
+    throw std::invalid_argument("BitVec::from_uint: size > 64");
+  BitVec v(size);
+  if (size > 0) {
+    const std::uint64_t mask =
+        size == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << size) - 1);
+    v.words_[0] = value & mask;
+  }
+  return v;
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1')
+      v.set(i, true);
+    else if (bits[i] != '0')
+      throw std::invalid_argument("BitVec::from_string: bad character");
+  }
+  return v;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVec: index out of range");
+}
+
+bool BitVec::get(std::size_t i) const {
+  check_index(i);
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  check_index(i);
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value)
+    words_[i / 64] |= mask;
+  else
+    words_[i / 64] &= ~mask;
+}
+
+void BitVec::flip(std::size_t i) {
+  check_index(i);
+  words_[i / 64] ^= std::uint64_t{1} << (i % 64);
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::size_t BitVec::distance(const BitVec& other) const {
+  if (size_ != other.size_)
+    throw std::invalid_argument("BitVec::distance: size mismatch");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += std::popcount(words_[i] ^ other.words_[i]);
+  return total;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  if (size_ != other.size_)
+    throw std::invalid_argument("BitVec::operator^=: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::uint64_t BitVec::to_uint() const {
+  if (size_ > 64) throw std::logic_error("BitVec::to_uint: size > 64");
+  return words_.empty() ? 0 : words_[0];
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+BitVec BitVec::slice(std::size_t offset, std::size_t count) const {
+  if (offset + count > size_)
+    throw std::out_of_range("BitVec::slice: range out of bounds");
+  BitVec out(count);
+  for (std::size_t i = 0; i < count; ++i) out.set(i, get(offset + i));
+  return out;
+}
+
+BitVec BitVec::concat(const BitVec& other) const {
+  BitVec out(size_ + other.size_);
+  for (std::size_t i = 0; i < size_; ++i) out.set(i, get(i));
+  for (std::size_t i = 0; i < other.size_; ++i)
+    out.set(size_ + i, other.get(i));
+  return out;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+}  // namespace photecc::ecc

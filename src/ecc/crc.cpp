@@ -1,0 +1,55 @@
+#include "photecc/ecc/crc.hpp"
+
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+Crc::Crc(unsigned width, std::uint32_t polynomial, std::string name)
+    : width_(width), polynomial_(polynomial), name_(std::move(name)) {
+  if (width < 1 || width > 32)
+    throw std::invalid_argument("Crc: width outside [1, 32]");
+  top_bit_ = width == 32 ? 0x80000000u : (1u << (width - 1));
+  mask_ = width == 32 ? 0xFFFFFFFFu : ((1u << width) - 1);
+}
+
+std::uint32_t Crc::compute(const BitVec& data) const {
+  // Bit-serial long division: shift data (plus `width` augmenting
+  // zeros) through the register.
+  std::uint32_t reg = 0;
+  const auto step = [&](bool bit) {
+    const bool msb = (reg & top_bit_) != 0;
+    reg = (reg << 1) & mask_;
+    if (bit) reg |= 1u;
+    if (msb) reg ^= polynomial_ & mask_;
+  };
+  for (std::size_t i = 0; i < data.size(); ++i) step(data.get(i));
+  for (unsigned i = 0; i < width_; ++i) step(false);
+  return reg;
+}
+
+BitVec Crc::append(const BitVec& data) const {
+  const std::uint32_t crc = compute(data);
+  BitVec framed(data.size() + width_);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    framed.set(i, data.get(i));
+  // Most significant CRC bit first, matching the division order.
+  for (unsigned i = 0; i < width_; ++i) {
+    const bool bit = (crc >> (width_ - 1 - i)) & 1u;
+    framed.set(data.size() + i, bit);
+  }
+  return framed;
+}
+
+bool Crc::check(const BitVec& framed) const {
+  if (framed.size() < width_)
+    throw std::invalid_argument("Crc::check: frame shorter than the CRC");
+  const BitVec data = framed.slice(0, framed.size() - width_);
+  std::uint32_t expected = 0;
+  for (unsigned i = 0; i < width_; ++i) {
+    expected <<= 1;
+    if (framed.get(framed.size() - width_ + i)) expected |= 1u;
+  }
+  return compute(data) == expected;
+}
+
+}  // namespace photecc::ecc

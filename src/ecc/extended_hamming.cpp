@@ -1,0 +1,79 @@
+#include "photecc/ecc/extended_hamming.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::ecc {
+namespace {
+
+// Data bits of an inner Hamming word, taken as received (no correction).
+BitVec extract_raw_data(const BitVec& inner, std::size_t k) {
+  BitVec data(k);
+  std::size_t idx = 0;
+  for (std::size_t pos = 1; idx < k; ++pos) {
+    const bool is_parity = (pos & (pos - 1)) == 0;
+    if (!is_parity) data.set(idx++, inner.get(pos - 1));
+  }
+  return data;
+}
+
+}  // namespace
+
+ExtendedHammingCode::ExtendedHammingCode(std::size_t m) : base_(m) {
+  n_ = base_.block_length() + 1;
+  k_ = base_.message_length();
+}
+
+std::string ExtendedHammingCode::name() const {
+  return "eH(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+BitVec ExtendedHammingCode::encode(const BitVec& message) const {
+  if (message.size() != k_)
+    throw std::invalid_argument(name() + "::encode: message size mismatch");
+  const BitVec inner = base_.encode(message);
+  const bool overall = (inner.popcount() % 2) != 0;
+  BitVec out = inner.concat(BitVec(1));
+  out.set(n_ - 1, overall);  // even overall parity across the codeword
+  return out;
+}
+
+DecodeResult ExtendedHammingCode::decode(const BitVec& received) const {
+  if (received.size() != n_)
+    throw std::invalid_argument(name() + "::decode: block size mismatch");
+  const BitVec inner = received.slice(0, n_ - 1);
+  const bool parity_ok = (received.popcount() % 2) == 0;
+  DecodeResult inner_result = base_.decode(inner);
+
+  DecodeResult result;
+  if (!inner_result.error_detected && parity_ok) {
+    result.message = inner_result.message;
+    return result;  // clean word
+  }
+  result.error_detected = true;
+  if (!parity_ok) {
+    // Odd overall parity => single error somewhere (inner position or
+    // the overall parity bit itself); the inner decoder's correction is
+    // trustworthy.
+    result.message = inner_result.message;
+    result.corrected = true;
+    result.corrected_position = inner_result.corrected_position;
+    return result;
+  }
+  // Non-zero inner syndrome with even overall parity => double error.
+  // Detected but not correctable: suppress the inner miscorrection and
+  // hand back the raw data bits.
+  result.message = extract_raw_data(inner, k_);
+  result.corrected = false;
+  return result;
+}
+
+double ExtendedHammingCode::decoded_ber(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("decoded_ber: raw p outside [0, 1]");
+  if (raw_p == 0.0) return 0.0;
+  return raw_p -
+         raw_p * std::pow(1.0 - raw_p, static_cast<double>(n_ - 1));
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,129 @@
+#include "photecc/ecc/gf2m.hpp"
+
+#include <stdexcept>
+
+namespace photecc::ecc {
+namespace {
+
+// Standard primitive polynomials over GF(2), bit i = coeff of x^i.
+// Index by m; 0 entries are unsupported.
+constexpr unsigned kPrimitivePoly[] = {
+    0, 0,
+    0x7,     // m=2:  x^2 + x + 1
+    0xB,     // m=3:  x^3 + x + 1
+    0x13,    // m=4:  x^4 + x + 1
+    0x25,    // m=5:  x^5 + x^2 + 1
+    0x43,    // m=6:  x^6 + x + 1
+    0x89,    // m=7:  x^7 + x^3 + 1
+    0x11D,   // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // m=9:  x^9 + x^4 + 1
+    0x409,   // m=10: x^10 + x^3 + 1
+    0x805,   // m=11: x^11 + x^2 + 1
+    0x1053,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201B,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0x402B,  // m=14: x^14 + x^5 + x^3 + x + 1
+};
+
+}  // namespace
+
+GF2m::GF2m(unsigned m) : m_(m) {
+  if (m < 2 || m > 14)
+    throw std::invalid_argument("GF2m: m must be in [2, 14]");
+  q_ = 1u << m;
+  poly_ = kPrimitivePoly[m];
+  exp_.resize(2 * (q_ - 1));
+  log_.assign(q_, 0);
+  unsigned x = 1;
+  for (unsigned i = 0; i < q_ - 1; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & q_) x ^= poly_;
+  }
+  // Doubled table avoids a modulo in mul().
+  for (unsigned i = 0; i < q_ - 1; ++i) exp_[q_ - 1 + i] = exp_[i];
+}
+
+unsigned GF2m::alpha_pow(int power) const noexcept {
+  const int n = static_cast<int>(q_ - 1);
+  int reduced = power % n;
+  if (reduced < 0) reduced += n;
+  return exp_[static_cast<unsigned>(reduced)];
+}
+
+unsigned GF2m::log(unsigned x) const {
+  if (x == 0 || x >= q_)
+    throw std::domain_error("GF2m::log: argument outside (0, q)");
+  return log_[x];
+}
+
+unsigned GF2m::mul(unsigned a, unsigned b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+unsigned GF2m::inv(unsigned x) const {
+  if (x == 0) throw std::domain_error("GF2m::inv: zero has no inverse");
+  return exp_[(q_ - 1) - log_[x]];
+}
+
+unsigned GF2m::div(unsigned a, unsigned b) const {
+  if (b == 0) throw std::domain_error("GF2m::div: division by zero");
+  if (a == 0) return 0;
+  return exp_[log_[a] + (q_ - 1) - log_[b]];
+}
+
+unsigned GF2m::pow(unsigned x, int e) const {
+  if (x == 0) {
+    if (e < 0) throw std::domain_error("GF2m::pow: 0 to negative power");
+    return e == 0 ? 1u : 0u;
+  }
+  const int n = static_cast<int>(q_ - 1);
+  long long idx = static_cast<long long>(log_[x]) * e % n;
+  if (idx < 0) idx += n;
+  return exp_[static_cast<unsigned>(idx)];
+}
+
+unsigned GF2m::eval_poly(const std::vector<unsigned>& coeffs,
+                         unsigned x) const noexcept {
+  unsigned acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = add(mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+std::uint64_t GF2m::minimal_polynomial(unsigned i) const {
+  // The minimal polynomial of beta = alpha^i is prod over the cyclotomic
+  // coset {i, 2i, 4i, ...} of (x - alpha^j).  Build it with polynomial
+  // arithmetic over GF(2^m); the result has GF(2) coefficients.
+  const unsigned n = q_ - 1;
+  std::vector<unsigned> coset;
+  unsigned j = i % n;
+  do {
+    coset.push_back(j);
+    j = (2 * j) % n;
+  } while (j != i % n);
+
+  // poly starts as 1; multiply by (x + alpha^j) per coset member.
+  std::vector<unsigned> poly{1};
+  for (const unsigned e : coset) {
+    const unsigned beta = alpha_pow(static_cast<int>(e));
+    std::vector<unsigned> next(poly.size() + 1, 0);
+    for (std::size_t d = 0; d < poly.size(); ++d) {
+      next[d + 1] = add(next[d + 1], poly[d]);      // x * poly
+      next[d] = add(next[d], mul(beta, poly[d]));   // beta * poly
+    }
+    poly = std::move(next);
+  }
+  std::uint64_t mask = 0;
+  for (std::size_t d = 0; d < poly.size(); ++d) {
+    if (poly[d] > 1)
+      throw std::logic_error(
+          "GF2m::minimal_polynomial: non-binary coefficient");
+    if (poly[d]) mask |= std::uint64_t{1} << d;
+  }
+  return mask;
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,233 @@
+#include "photecc/ecc/hamming.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::ecc {
+namespace {
+
+bool is_power_of_two(std::size_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+// Eq. 2 of the paper.  Guard the domain; p = 0 maps to BER = 0.
+double hamming_eq2(double p, std::size_t n) {
+  if (p < 0.0 || p > 1.0)
+    throw std::domain_error("decoded_ber: raw p outside [0, 1]");
+  if (p == 0.0) return 0.0;
+  return p - p * std::pow(1.0 - p, static_cast<double>(n - 1));
+}
+
+}  // namespace
+
+HammingCode::HammingCode(std::size_t m) : m_(m) {
+  if (m < 2 || m > 16)
+    throw std::invalid_argument("HammingCode: m must be in [2, 16]");
+  n_ = (std::size_t{1} << m) - 1;
+  k_ = n_ - m;
+  data_positions_.reserve(k_);
+  parity_positions_.reserve(m_);
+  for (std::size_t pos = 1; pos <= n_; ++pos) {
+    if (is_power_of_two(pos))
+      parity_positions_.push_back(pos);
+    else
+      data_positions_.push_back(pos);
+  }
+}
+
+std::string HammingCode::name() const {
+  return "H(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+BitVec HammingCode::encode(const BitVec& message) const {
+  if (message.size() != k_)
+    throw std::invalid_argument(name() + "::encode: message size mismatch");
+  BitVec code(n_);
+  // Place data bits at non-power-of-two positions.
+  for (std::size_t i = 0; i < k_; ++i)
+    code.set(data_positions_[i] - 1, message.get(i));
+  // Parity bit at position 2^j covers every position with bit j set.
+  for (std::size_t j = 0; j < m_; ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    bool parity = false;
+    for (std::size_t pos = 1; pos <= n_; ++pos) {
+      if ((pos & pbit) && pos != pbit) parity ^= code.get(pos - 1);
+    }
+    code.set(pbit - 1, parity);
+  }
+  return code;
+}
+
+DecodeResult HammingCode::decode(const BitVec& received) const {
+  if (received.size() != n_)
+    throw std::invalid_argument(name() + "::decode: block size mismatch");
+  std::size_t syndrome = 0;
+  for (std::size_t pos = 1; pos <= n_; ++pos) {
+    if (received.get(pos - 1)) syndrome ^= pos;
+  }
+  DecodeResult result;
+  BitVec corrected = received;
+  if (syndrome != 0) {
+    result.error_detected = true;
+    // For a perfect Hamming code every non-zero syndrome names a valid
+    // position, so correction always applies.
+    corrected.flip(syndrome - 1);
+    result.corrected = true;
+    result.corrected_position = syndrome - 1;
+  }
+  result.message = BitVec(k_);
+  for (std::size_t i = 0; i < k_; ++i)
+    result.message.set(i, corrected.get(data_positions_[i] - 1));
+  return result;
+}
+
+double HammingCode::decoded_ber(double raw_p) const {
+  return hamming_eq2(raw_p, n_);
+}
+
+std::size_t HammingCode::encoder_xor_gates() const noexcept {
+  // Each parity bit is the XOR of (covered positions - 1) inputs, which
+  // takes (inputs - 1) two-input XOR gates in a balanced tree.
+  std::size_t gates = 0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    std::size_t inputs = 0;
+    for (std::size_t pos = 1; pos <= n_; ++pos)
+      if ((pos & pbit) && pos != pbit) ++inputs;
+    if (inputs > 0) gates += inputs - 1;
+  }
+  return gates;
+}
+
+std::size_t HammingCode::decoder_xor_gates() const noexcept {
+  // Syndrome bit j XORs every received position with bit j set
+  // (including the parity position itself).
+  std::size_t gates = 0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    std::size_t inputs = 0;
+    for (std::size_t pos = 1; pos <= n_; ++pos)
+      if (pos & pbit) ++inputs;
+    if (inputs > 0) gates += inputs - 1;
+  }
+  // Correction stage: k XORs flip the addressed data bit.
+  return gates + k_;
+}
+
+// ---------------------------------------------------------------------
+// ShortenedHammingCode
+// ---------------------------------------------------------------------
+
+ShortenedHammingCode::ShortenedHammingCode(std::size_t m,
+                                           std::size_t shorten_by)
+    : base_(m), shorten_by_(shorten_by) {
+  if (shorten_by >= base_.message_length())
+    throw std::invalid_argument(
+        "ShortenedHammingCode: shortening removes the whole message");
+  n_ = base_.block_length() - shorten_by;
+  k_ = base_.message_length() - shorten_by;
+}
+
+std::string ShortenedHammingCode::name() const {
+  return "H(" + std::to_string(n_) + "," + std::to_string(k_) + ")";
+}
+
+BitVec ShortenedHammingCode::pad_message(const BitVec& message) const {
+  // The removed data positions are the *last* shorten_by data bits of
+  // the base code, fixed at zero.
+  BitVec padded(base_.message_length());
+  for (std::size_t i = 0; i < k_; ++i) padded.set(i, message.get(i));
+  return padded;
+}
+
+BitVec ShortenedHammingCode::encode(const BitVec& message) const {
+  if (message.size() != k_)
+    throw std::invalid_argument(name() + "::encode: message size mismatch");
+  const BitVec full = base_.encode(pad_message(message));
+  // Transmit every base-codeword position except the removed (zero)
+  // data positions.
+  BitVec out(n_);
+  std::size_t o = 0;
+  std::vector<bool> removed(base_.block_length(), false);
+  for (std::size_t i = k_; i < base_.message_length(); ++i)
+    removed[base_.data_position(i) - 1] = true;
+  for (std::size_t pos = 0; pos < base_.block_length(); ++pos) {
+    if (!removed[pos]) out.set(o++, full.get(pos));
+  }
+  return out;
+}
+
+DecodeResult ShortenedHammingCode::decode(const BitVec& received) const {
+  if (received.size() != n_)
+    throw std::invalid_argument(name() + "::decode: block size mismatch");
+  // Re-insert the removed (zero) positions, then run the base decoder.
+  std::vector<bool> removed(base_.block_length(), false);
+  for (std::size_t i = k_; i < base_.message_length(); ++i)
+    removed[base_.data_position(i) - 1] = true;
+  BitVec full(base_.block_length());
+  std::size_t o = 0;
+  for (std::size_t pos = 0; pos < base_.block_length(); ++pos) {
+    if (!removed[pos]) full.set(pos, received.get(o++));
+  }
+  DecodeResult base_result = base_.decode(full);
+  DecodeResult result;
+  result.error_detected = base_result.error_detected;
+  // A syndrome addressing a removed position cannot be a single error:
+  // report detection without correction.
+  if (base_result.corrected) {
+    const std::size_t pos = *base_result.corrected_position;
+    if (removed[pos]) {
+      result.corrected = false;
+    } else {
+      result.corrected = true;
+      // Translate base position to shortened codeword index.
+      std::size_t shortened_index = 0;
+      for (std::size_t p = 0; p < pos; ++p)
+        if (!removed[p]) ++shortened_index;
+      result.corrected_position = shortened_index;
+    }
+  }
+  result.message = BitVec(k_);
+  for (std::size_t i = 0; i < k_; ++i)
+    result.message.set(i, base_result.message.get(i));
+  return result;
+}
+
+double ShortenedHammingCode::decoded_ber(double raw_p) const {
+  return hamming_eq2(raw_p, n_);
+}
+
+std::size_t ShortenedHammingCode::encoder_xor_gates() const noexcept {
+  // Parity trees lose the inputs that were shortened away.  Count the
+  // remaining coverage per parity bit.
+  std::size_t gates = 0;
+  std::vector<bool> removed(base_.block_length() + 1, false);
+  for (std::size_t i = k_; i < base_.message_length(); ++i)
+    removed[base_.data_position(i)] = true;
+  for (std::size_t j = 0; j < base_.parity_bits(); ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    std::size_t inputs = 0;
+    for (std::size_t pos = 1; pos <= base_.block_length(); ++pos)
+      if ((pos & pbit) && pos != pbit && !removed[pos]) ++inputs;
+    if (inputs > 0) gates += inputs - 1;
+  }
+  return gates;
+}
+
+std::size_t ShortenedHammingCode::decoder_xor_gates() const noexcept {
+  std::size_t gates = 0;
+  std::vector<bool> removed(base_.block_length() + 1, false);
+  for (std::size_t i = k_; i < base_.message_length(); ++i)
+    removed[base_.data_position(i)] = true;
+  for (std::size_t j = 0; j < base_.parity_bits(); ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    std::size_t inputs = 0;
+    for (std::size_t pos = 1; pos <= base_.block_length(); ++pos)
+      if ((pos & pbit) && !removed[pos]) ++inputs;
+    if (inputs > 0) gates += inputs - 1;
+  }
+  return gates + k_;
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,36 @@
+// Analytic BER/SNR chain of the paper (Section IV-D):
+//
+//   raw channel error probability  p   = 1/2 erfc(sqrt(SNR))     (Eq. 3)
+//   Hamming post-decoding BER      BER = p - p (1-p)^(n-1)       (Eq. 2)
+//   required SNR for a target BER: numeric inversion of the two.
+//
+// Note on Eq. 1: as printed in the paper, SNR = [erfc^-1(1 - 2 BER)]^2
+// is inconsistent with Eq. 3 (it would give vanishing SNR for small
+// BER).  Eq. 3 is the self-consistent definition; we invert that one and
+// document the discrepancy in EXPERIMENTS.md.
+#ifndef PHOTECC_ECC_BER_MODEL_HPP
+#define PHOTECC_ECC_BER_MODEL_HPP
+
+#include "photecc/ecc/block_code.hpp"
+
+namespace photecc::ecc {
+
+/// Post-decoding BER achieved by `code` over a channel with the given
+/// linear SNR.
+double achieved_ber(const BlockCode& code, double snr);
+
+/// Linear SNR required so that `code` reaches `target_ber` after
+/// decoding.  Throws std::domain_error for targets outside (0, 0.5).
+double required_snr(const BlockCode& code, double target_ber);
+
+/// SNR required by an uncoded transmission for `target_ber` (Eq. 3
+/// inverted); equals required_snr(UncodedScheme{}, target_ber).
+double required_snr_uncoded(double target_ber);
+
+/// Coding gain of `code` at `target_ber` in dB:
+/// 10 log10(SNR_uncoded / SNR_coded).
+double coding_gain_db(const BlockCode& code, double target_ber);
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_BER_MODEL_HPP

@@ -1,0 +1,86 @@
+// Abstract interface for the (n, k) block codes studied in the paper,
+// combining the bit-true codec with the analytic post-decoding BER model
+// (Eq. 2) used by the link-power solver.
+#ifndef PHOTECC_ECC_BLOCK_CODE_HPP
+#define PHOTECC_ECC_BLOCK_CODE_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "photecc/ecc/bitvec.hpp"
+
+namespace photecc::ecc {
+
+/// Outcome of decoding one received block.
+struct DecodeResult {
+  BitVec message;                ///< recovered k message bits
+  bool error_detected = false;   ///< syndrome was non-zero
+  bool corrected = false;        ///< a correction was applied
+  /// Codeword bit index that was flipped, when corrected is true.
+  std::optional<std::size_t> corrected_position;
+};
+
+/// An (n, k) block code: bit-true encode/decode plus the analytic BER
+/// model the paper builds its laser-power trade-off on.
+class BlockCode {
+ public:
+  virtual ~BlockCode() = default;
+
+  /// Human-readable name, e.g. "H(7,4)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Codeword length n in bits.
+  [[nodiscard]] virtual std::size_t block_length() const noexcept = 0;
+
+  /// Message length k in bits.
+  [[nodiscard]] virtual std::size_t message_length() const noexcept = 0;
+
+  /// Minimum Hamming distance of the code.
+  [[nodiscard]] virtual std::size_t min_distance() const noexcept = 0;
+
+  /// Encodes k message bits into an n-bit codeword.
+  /// Throws std::invalid_argument on size mismatch.
+  [[nodiscard]] virtual BitVec encode(const BitVec& message) const = 0;
+
+  /// Decodes an n-bit received word, correcting up to the guaranteed
+  /// correction capability.  Throws std::invalid_argument on size
+  /// mismatch.
+  [[nodiscard]] virtual DecodeResult decode(const BitVec& received) const = 0;
+
+  /// Post-decoding bit error rate as a function of the raw channel bit
+  /// error probability p.  For Hamming codes this is the paper's Eq. 2:
+  /// BER = p - p (1-p)^(n-1).
+  [[nodiscard]] virtual double decoded_ber(double raw_p) const = 0;
+
+  /// Inverse of decoded_ber: the raw channel error probability that
+  /// yields exactly `target_ber` after decoding.  The default
+  /// implementation inverts decoded_ber numerically (decoded_ber must be
+  /// strictly increasing on (0, 0.5], which holds for every code here).
+  [[nodiscard]] virtual double required_raw_ber(double target_ber) const;
+
+  /// Guaranteed number of correctable errors: floor((d_min - 1) / 2).
+  [[nodiscard]] std::size_t correctable_errors() const noexcept {
+    return (min_distance() - 1) / 2;
+  }
+
+  /// Code rate Rc = k / n.
+  [[nodiscard]] double code_rate() const noexcept {
+    return static_cast<double>(message_length()) /
+           static_cast<double>(block_length());
+  }
+
+  /// Relative communication time CT = n / k, normalised to the uncoded
+  /// transmission of the same payload (paper Section IV-D: H(7,4) has
+  /// CT = 1.75).
+  [[nodiscard]] double communication_time() const noexcept {
+    return static_cast<double>(block_length()) /
+           static_cast<double>(message_length());
+  }
+};
+
+using BlockCodePtr = std::shared_ptr<const BlockCode>;
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_BLOCK_CODE_HPP

@@ -1,0 +1,49 @@
+// Cyclic redundancy checks: pure error *detection*, the building block
+// of the ARQ (retransmission) alternative to the paper's FEC schemes.
+#ifndef PHOTECC_ECC_CRC_HPP
+#define PHOTECC_ECC_CRC_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "photecc/ecc/bitvec.hpp"
+
+namespace photecc::ecc {
+
+/// CRC over GF(2) with a configurable generator polynomial.
+/// The polynomial is given without the leading x^width term
+/// (e.g. CRC-8 0x07, CRC-16-CCITT 0x1021, CRC-32 0x04C11DB7).
+class Crc {
+ public:
+  /// `width` in [1, 32]; bit i of `polynomial` = coefficient of x^i.
+  Crc(unsigned width, std::uint32_t polynomial, std::string name);
+
+  static Crc crc8() { return {8, 0x07, "CRC-8"}; }
+  static Crc crc16_ccitt() { return {16, 0x1021, "CRC-16-CCITT"}; }
+  static Crc crc32() { return {32, 0x04C11DB7, "CRC-32"}; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// CRC value of a bit sequence (bit 0 processed first, zero initial
+  /// register, no reflection/final-xor — the plain polynomial CRC).
+  [[nodiscard]] std::uint32_t compute(const BitVec& data) const;
+
+  /// data with the CRC appended (width extra bits).
+  [[nodiscard]] BitVec append(const BitVec& data) const;
+
+  /// True when a framed sequence (output of append, possibly corrupted)
+  /// passes the check.
+  [[nodiscard]] bool check(const BitVec& framed) const;
+
+ private:
+  unsigned width_;
+  std::uint32_t polynomial_;
+  std::uint32_t top_bit_;
+  std::uint32_t mask_;
+  std::string name_;
+};
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_CRC_HPP

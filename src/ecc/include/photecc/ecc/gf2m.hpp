@@ -1,0 +1,69 @@
+// Galois field GF(2^m) arithmetic over log/antilog tables — the
+// substrate for the BCH codes (the paper's "other coding techniques").
+#ifndef PHOTECC_ECC_GF2M_HPP
+#define PHOTECC_ECC_GF2M_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace photecc::ecc {
+
+/// GF(2^m) for 2 <= m <= 14, built on the standard primitive
+/// polynomials.  Elements are represented as integers in [0, 2^m).
+class GF2m {
+ public:
+  /// Throws std::invalid_argument outside the supported range.
+  explicit GF2m(unsigned m);
+
+  [[nodiscard]] unsigned m() const noexcept { return m_; }
+  /// Field size q = 2^m.
+  [[nodiscard]] unsigned size() const noexcept { return q_; }
+  /// Multiplicative group order q - 1.
+  [[nodiscard]] unsigned order() const noexcept { return q_ - 1; }
+  /// The primitive polynomial used (bit i = coefficient of x^i).
+  [[nodiscard]] unsigned primitive_polynomial() const noexcept {
+    return poly_;
+  }
+
+  /// alpha^power for the primitive element alpha (power taken modulo
+  /// the group order).
+  [[nodiscard]] unsigned alpha_pow(int power) const noexcept;
+
+  /// Discrete log base alpha; throws std::domain_error for 0.
+  [[nodiscard]] unsigned log(unsigned x) const;
+
+  /// Field addition (= subtraction) is XOR.
+  [[nodiscard]] static unsigned add(unsigned a, unsigned b) noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] unsigned mul(unsigned a, unsigned b) const noexcept;
+
+  /// Multiplicative inverse; throws std::domain_error for 0.
+  [[nodiscard]] unsigned inv(unsigned x) const;
+
+  /// a / b; throws std::domain_error when b == 0.
+  [[nodiscard]] unsigned div(unsigned a, unsigned b) const;
+
+  /// x^e with e possibly negative (x != 0 for negative e).
+  [[nodiscard]] unsigned pow(unsigned x, int e) const;
+
+  /// Evaluates a polynomial (coeffs[i] = coefficient of x^i) at x.
+  [[nodiscard]] unsigned eval_poly(const std::vector<unsigned>& coeffs,
+                                   unsigned x) const noexcept;
+
+  /// Minimal polynomial of alpha^i over GF(2), as a GF(2) coefficient
+  /// bit mask (bit j = coefficient of x^j).
+  [[nodiscard]] std::uint64_t minimal_polynomial(unsigned i) const;
+
+ private:
+  unsigned m_;
+  unsigned q_;
+  unsigned poly_;
+  std::vector<unsigned> exp_;  // exp_[i] = alpha^i, doubled for wrap
+  std::vector<unsigned> log_;  // log_[x] = i with alpha^i = x
+};
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_GF2M_HPP

@@ -1,0 +1,113 @@
+// Hamming code family.
+//
+// HammingCode(m) is the perfect single-error-correcting code with
+// n = 2^m - 1 and k = n - m (H(7,4) for m=3, H(63,57) for m=6, ...).
+// ShortenedHamming deletes leading data positions of a base Hamming
+// code, which is how the paper's H(71,64) is obtained from H(127,120).
+//
+// The codeword layout follows the classic construction: positions are
+// numbered 1..n, parity bits sit at the power-of-two positions, and the
+// syndrome directly names the erroneous position.
+#ifndef PHOTECC_ECC_HAMMING_HPP
+#define PHOTECC_ECC_HAMMING_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+
+namespace photecc::ecc {
+
+/// Perfect Hamming code with m parity bits: (2^m - 1, 2^m - 1 - m).
+class HammingCode : public BlockCode {
+ public:
+  /// Throws std::invalid_argument unless 2 <= m <= 16.
+  explicit HammingCode(std::size_t m);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t block_length() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] std::size_t message_length() const noexcept override {
+    return k_;
+  }
+  [[nodiscard]] std::size_t min_distance() const noexcept override {
+    return 3;
+  }
+  [[nodiscard]] BitVec encode(const BitVec& message) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+
+  /// Paper Eq. 2: BER = p - p (1-p)^(n-1).
+  [[nodiscard]] double decoded_ber(double raw_p) const override;
+
+  [[nodiscard]] std::size_t parity_bits() const noexcept { return m_; }
+
+  /// Number of two-input XOR gates in a tree-structured combinational
+  /// encoder (one tree per parity bit); feeds the synthesis estimator.
+  [[nodiscard]] std::size_t encoder_xor_gates() const noexcept;
+
+  /// Two-input XOR gates for the syndrome computation of the decoder.
+  [[nodiscard]] std::size_t decoder_xor_gates() const noexcept;
+
+ private:
+  friend class ShortenedHammingCode;
+
+  /// Codeword position (1-based) of message bit i (0-based).
+  [[nodiscard]] std::size_t data_position(std::size_t i) const noexcept {
+    return data_positions_[i];
+  }
+
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::size_t> data_positions_;    // 1-based, size k
+  std::vector<std::size_t> parity_positions_;  // 1-based, size m
+};
+
+/// Shortened Hamming code: an (n - s, k - s) code obtained by fixing the
+/// first s data bits of a base (n, k) Hamming code to zero and not
+/// transmitting them.  Still single-error-correcting (d_min >= 3); a
+/// syndrome pointing at a deleted position is reported as a detected,
+/// uncorrectable error.
+class ShortenedHammingCode : public BlockCode {
+ public:
+  /// Base code has parameters (2^m - 1, 2^m - 1 - m); `shorten_by` data
+  /// positions are removed.  Throws std::invalid_argument if shorten_by
+  /// >= k_base.
+  ShortenedHammingCode(std::size_t m, std::size_t shorten_by);
+
+  /// Convenience: the paper's H(71,64) = H(127,120) shortened by 56.
+  static ShortenedHammingCode h71_64() { return {7, 56}; }
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t block_length() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] std::size_t message_length() const noexcept override {
+    return k_;
+  }
+  [[nodiscard]] std::size_t min_distance() const noexcept override {
+    return 3;
+  }
+  [[nodiscard]] BitVec encode(const BitVec& message) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+  [[nodiscard]] double decoded_ber(double raw_p) const override;
+
+  [[nodiscard]] std::size_t parity_bits() const noexcept {
+    return base_.parity_bits();
+  }
+  [[nodiscard]] std::size_t encoder_xor_gates() const noexcept;
+  [[nodiscard]] std::size_t decoder_xor_gates() const noexcept;
+
+ private:
+  [[nodiscard]] BitVec pad_message(const BitVec& message) const;
+
+  HammingCode base_;
+  std::size_t shorten_by_;
+  std::size_t n_;
+  std::size_t k_;
+};
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_HAMMING_HPP

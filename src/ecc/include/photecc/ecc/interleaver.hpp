@@ -1,0 +1,44 @@
+// Block interleaver: spreads burst errors across codewords so that a
+// single-error-correcting code survives bursts up to the interleaving
+// depth.  Write row-wise, transmit column-wise.
+#ifndef PHOTECC_ECC_INTERLEAVER_HPP
+#define PHOTECC_ECC_INTERLEAVER_HPP
+
+#include <cstddef>
+
+#include "photecc/ecc/bitvec.hpp"
+
+namespace photecc::ecc {
+
+/// rows x cols block interleaver.  `rows` is the interleaving depth
+/// (codewords per frame), `cols` the codeword length.
+class BlockInterleaver {
+ public:
+  /// Throws std::invalid_argument when either dimension is zero.
+  BlockInterleaver(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t frame_bits() const noexcept {
+    return rows_ * cols_;
+  }
+
+  /// Burst length guaranteed to leave <= 1 error per deinterleaved row.
+  [[nodiscard]] std::size_t burst_tolerance() const noexcept {
+    return rows_;
+  }
+
+  /// Row-major frame -> column-major wire order.
+  [[nodiscard]] BitVec interleave(const BitVec& frame) const;
+
+  /// Inverse permutation.
+  [[nodiscard]] BitVec deinterleave(const BitVec& frame) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_INTERLEAVER_HPP

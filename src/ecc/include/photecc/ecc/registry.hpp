@@ -1,0 +1,36 @@
+// Factory / registry of the codes used across examples, benches and the
+// runtime manager.
+#ifndef PHOTECC_ECC_REGISTRY_HPP
+#define PHOTECC_ECC_REGISTRY_HPP
+
+#include <string>
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+
+namespace photecc::ecc {
+
+/// Builds a code by name.  Recognised names:
+///   "uncoded" / "w/o ECC"        -> UncodedScheme(64)
+///   "H(7,4)", "H(15,11)", "H(31,26)", "H(63,57)", "H(127,120)"
+///   "H(71,64)", "H(12,8)", "H(38,32)" -> shortened Hamming
+///   "eH(8,4)", "eH(64,57)", ...  -> extended Hamming (SECDED)
+///   "REP(3,1)", "REP(5,1)", ...  -> repetition
+///   "BCH(15,7,2)", "BCH(15,5,3)", "BCH(31,21,2)", "BCH(63,51,2)",
+///   "BCH(127,113,2)"             -> t-error-correcting BCH
+/// Throws std::invalid_argument for unknown names.
+BlockCodePtr make_code(const std::string& name);
+
+/// The paper's three transmission schemes in presentation order:
+/// { w/o ECC, H(71,64), H(7,4) }.
+std::vector<BlockCodePtr> paper_schemes();
+
+/// The full Hamming ladder H(7,4) .. H(127,120) plus H(71,64).
+std::vector<BlockCodePtr> hamming_family();
+
+/// Everything the registry knows, for exhaustive sweeps.
+std::vector<BlockCodePtr> all_known_codes();
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_REGISTRY_HPP

@@ -1,0 +1,40 @@
+// Repetition code baseline: each bit sent r times, majority vote at the
+// receiver.  The weakest-possible ECC — included as the sanity baseline
+// the Hamming family must beat on the trade-off plane.
+#ifndef PHOTECC_ECC_REPETITION_HPP
+#define PHOTECC_ECC_REPETITION_HPP
+
+#include "photecc/ecc/block_code.hpp"
+
+namespace photecc::ecc {
+
+/// (r, 1) repetition code with odd r >= 3.
+class RepetitionCode : public BlockCode {
+ public:
+  /// Throws std::invalid_argument unless r is odd and >= 3.
+  explicit RepetitionCode(std::size_t r);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t block_length() const noexcept override {
+    return r_;
+  }
+  [[nodiscard]] std::size_t message_length() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] std::size_t min_distance() const noexcept override {
+    return r_;
+  }
+  [[nodiscard]] BitVec encode(const BitVec& message) const override;
+  [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+
+  /// Exact majority-vote error probability:
+  /// BER = sum_{j > r/2} C(r, j) p^j (1-p)^(r-j).
+  [[nodiscard]] double decoded_ber(double raw_p) const override;
+
+ private:
+  std::size_t r_;
+};
+
+}  // namespace photecc::ecc
+
+#endif  // PHOTECC_ECC_REPETITION_HPP

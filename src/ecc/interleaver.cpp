@@ -1,0 +1,38 @@
+#include "photecc/ecc/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+BlockInterleaver::BlockInterleaver(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("BlockInterleaver: zero dimension");
+}
+
+BitVec BlockInterleaver::interleave(const BitVec& frame) const {
+  if (frame.size() != frame_bits())
+    throw std::invalid_argument("BlockInterleaver: frame size mismatch");
+  BitVec out(frame_bits());
+  // Input index r*cols + c maps to output index c*rows + r.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.set(c * rows_ + r, frame.get(r * cols_ + c));
+    }
+  }
+  return out;
+}
+
+BitVec BlockInterleaver::deinterleave(const BitVec& frame) const {
+  if (frame.size() != frame_bits())
+    throw std::invalid_argument("BlockInterleaver: frame size mismatch");
+  BitVec out(frame_bits());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.set(r * cols_ + c, frame.get(c * rows_ + r));
+    }
+  }
+  return out;
+}
+
+}  // namespace photecc::ecc

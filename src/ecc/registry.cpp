@@ -1,0 +1,64 @@
+#include "photecc/ecc/registry.hpp"
+
+#include <stdexcept>
+
+#include "photecc/ecc/bch.hpp"
+#include "photecc/ecc/extended_hamming.hpp"
+#include "photecc/ecc/hamming.hpp"
+#include "photecc/ecc/repetition.hpp"
+#include "photecc/ecc/uncoded.hpp"
+
+namespace photecc::ecc {
+
+BlockCodePtr make_code(const std::string& name) {
+  if (name == "uncoded" || name == "w/o ECC")
+    return std::make_shared<UncodedScheme>(64);
+  if (name == "H(7,4)") return std::make_shared<HammingCode>(3);
+  if (name == "H(15,11)") return std::make_shared<HammingCode>(4);
+  if (name == "H(31,26)") return std::make_shared<HammingCode>(5);
+  if (name == "H(63,57)") return std::make_shared<HammingCode>(6);
+  if (name == "H(127,120)") return std::make_shared<HammingCode>(7);
+  if (name == "H(71,64)")
+    return std::make_shared<ShortenedHammingCode>(7, 56);
+  if (name == "H(12,8)")
+    return std::make_shared<ShortenedHammingCode>(4, 3);
+  if (name == "H(38,32)")
+    return std::make_shared<ShortenedHammingCode>(6, 25);
+  if (name == "eH(8,4)") return std::make_shared<ExtendedHammingCode>(3);
+  if (name == "eH(16,11)") return std::make_shared<ExtendedHammingCode>(4);
+  if (name == "eH(64,57)") return std::make_shared<ExtendedHammingCode>(6);
+  if (name == "REP(3,1)") return std::make_shared<RepetitionCode>(3);
+  if (name == "REP(5,1)") return std::make_shared<RepetitionCode>(5);
+  if (name == "REP(7,1)") return std::make_shared<RepetitionCode>(7);
+  if (name == "BCH(15,7,2)") return std::make_shared<BchCode>(4, 2);
+  if (name == "BCH(15,5,3)") return std::make_shared<BchCode>(4, 3);
+  if (name == "BCH(31,21,2)") return std::make_shared<BchCode>(5, 2);
+  if (name == "BCH(63,51,2)") return std::make_shared<BchCode>(6, 2);
+  if (name == "BCH(127,113,2)") return std::make_shared<BchCode>(7, 2);
+  throw std::invalid_argument("make_code: unknown code '" + name + "'");
+}
+
+std::vector<BlockCodePtr> paper_schemes() {
+  return {make_code("w/o ECC"), make_code("H(71,64)"), make_code("H(7,4)")};
+}
+
+std::vector<BlockCodePtr> hamming_family() {
+  return {make_code("H(7,4)"),   make_code("H(15,11)"),
+          make_code("H(31,26)"), make_code("H(63,57)"),
+          make_code("H(71,64)"), make_code("H(127,120)")};
+}
+
+std::vector<BlockCodePtr> all_known_codes() {
+  return {make_code("w/o ECC"),   make_code("H(7,4)"),
+          make_code("H(15,11)"),  make_code("H(31,26)"),
+          make_code("H(63,57)"),  make_code("H(127,120)"),
+          make_code("H(71,64)"),  make_code("H(12,8)"),
+          make_code("H(38,32)"),  make_code("eH(8,4)"),
+          make_code("eH(16,11)"), make_code("eH(64,57)"),
+          make_code("REP(3,1)"),  make_code("REP(5,1)"),
+          make_code("REP(7,1)"),  make_code("BCH(15,7,2)"),
+          make_code("BCH(15,5,3)"), make_code("BCH(31,21,2)"),
+          make_code("BCH(63,51,2)"), make_code("BCH(127,113,2)")};
+}
+
+}  // namespace photecc::ecc

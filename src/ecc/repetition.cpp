@@ -1,0 +1,58 @@
+#include "photecc/ecc/repetition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+RepetitionCode::RepetitionCode(std::size_t r) : r_(r) {
+  if (r < 3 || r % 2 == 0)
+    throw std::invalid_argument("RepetitionCode: r must be odd and >= 3");
+}
+
+std::string RepetitionCode::name() const {
+  return "REP(" + std::to_string(r_) + ",1)";
+}
+
+BitVec RepetitionCode::encode(const BitVec& message) const {
+  if (message.size() != 1)
+    throw std::invalid_argument(name() + "::encode: message size mismatch");
+  BitVec out(r_);
+  if (message.get(0)) {
+    for (std::size_t i = 0; i < r_; ++i) out.set(i, true);
+  }
+  return out;
+}
+
+DecodeResult RepetitionCode::decode(const BitVec& received) const {
+  if (received.size() != r_)
+    throw std::invalid_argument(name() + "::decode: block size mismatch");
+  const std::size_t ones = received.popcount();
+  DecodeResult result;
+  result.message = BitVec(1);
+  result.message.set(0, ones > r_ / 2);
+  // Any mixed pattern means at least one bit differs from the majority.
+  result.error_detected = (ones != 0 && ones != r_);
+  result.corrected = result.error_detected;
+  return result;
+}
+
+double RepetitionCode::decoded_ber(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("decoded_ber: raw p outside [0, 1]");
+  double ber = 0.0;
+  const double q = 1.0 - raw_p;
+  // Majority fails when more than r/2 repetitions flip.
+  for (std::size_t j = r_ / 2 + 1; j <= r_; ++j) {
+    // C(r, j) computed incrementally in log space would be overkill for
+    // r <= ~31; straightforward product is exact enough.
+    double comb = 1.0;
+    for (std::size_t i = 0; i < j; ++i)
+      comb = comb * static_cast<double>(r_ - i) / static_cast<double>(i + 1);
+    ber += comb * std::pow(raw_p, static_cast<double>(j)) *
+           std::pow(q, static_cast<double>(r_ - j));
+  }
+  return ber;
+}
+
+}  // namespace photecc::ecc

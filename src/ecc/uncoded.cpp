@@ -1,0 +1,38 @@
+#include "photecc/ecc/uncoded.hpp"
+
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+UncodedScheme::UncodedScheme(std::size_t width) : width_(width) {
+  if (width == 0)
+    throw std::invalid_argument("UncodedScheme: zero width");
+}
+
+BitVec UncodedScheme::encode(const BitVec& message) const {
+  if (message.size() != width_)
+    throw std::invalid_argument("UncodedScheme::encode: size mismatch");
+  return message;
+}
+
+DecodeResult UncodedScheme::decode(const BitVec& received) const {
+  if (received.size() != width_)
+    throw std::invalid_argument("UncodedScheme::decode: size mismatch");
+  DecodeResult result;
+  result.message = received;
+  return result;  // no redundancy: nothing to detect or correct
+}
+
+double UncodedScheme::decoded_ber(double raw_p) const {
+  if (raw_p < 0.0 || raw_p > 1.0)
+    throw std::domain_error("decoded_ber: raw p outside [0, 1]");
+  return raw_p;
+}
+
+double UncodedScheme::required_raw_ber(double target_ber) const {
+  if (target_ber <= 0.0 || target_ber > 0.5)
+    throw std::domain_error("required_raw_ber: target outside (0, 0.5]");
+  return target_ber;
+}
+
+}  // namespace photecc::ecc

@@ -1,0 +1,69 @@
+#include "photecc/interface/datapath.hpp"
+
+#include <stdexcept>
+
+namespace photecc::interface {
+namespace {
+
+std::size_t check_blocks(const ecc::BlockCode& code, std::size_t n_data) {
+  const std::size_t k = code.message_length();
+  if (k == 0 || n_data % k != 0)
+    throw std::invalid_argument(
+        "datapath: code message length must divide the IP bus width");
+  return n_data / k;
+}
+
+}  // namespace
+
+TransmitterDatapath::TransmitterDatapath(ecc::BlockCodePtr code,
+                                         std::size_t n_data)
+    : code_(std::move(code)), n_data_(n_data) {
+  if (!code_) throw std::invalid_argument("TransmitterDatapath: null code");
+  blocks_ = check_blocks(*code_, n_data_);
+}
+
+std::size_t TransmitterDatapath::frame_bits() const noexcept {
+  return blocks_ * code_->block_length();
+}
+
+std::vector<bool> TransmitterDatapath::transmit(
+    const ecc::BitVec& word) const {
+  if (word.size() != n_data_)
+    throw std::invalid_argument("transmit: word size mismatch");
+  const std::size_t k = code_->message_length();
+  ecc::BitVec frame(0);
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const ecc::BitVec message = word.slice(b * k, k);
+    frame = frame.concat(code_->encode(message));
+  }
+  return Serializer::serialize(frame);
+}
+
+ReceiverDatapath::ReceiverDatapath(ecc::BlockCodePtr code,
+                                   std::size_t n_data)
+    : code_(std::move(code)), n_data_(n_data) {
+  if (!code_) throw std::invalid_argument("ReceiverDatapath: null code");
+  blocks_ = check_blocks(*code_, n_data_);
+}
+
+std::size_t ReceiverDatapath::frame_bits() const noexcept {
+  return blocks_ * code_->block_length();
+}
+
+ReceiveResult ReceiverDatapath::receive(const std::vector<bool>& wire) const {
+  if (wire.size() != frame_bits())
+    throw std::invalid_argument("receive: frame size mismatch");
+  const std::size_t n = code_->block_length();
+  const auto frames = Deserializer::deserialize(wire, n);
+  ReceiveResult result;
+  result.word = ecc::BitVec(0);
+  for (const auto& block : frames) {
+    ecc::DecodeResult decoded = code_->decode(block);
+    if (decoded.error_detected) ++result.detected_blocks;
+    if (decoded.corrected) ++result.corrected_blocks;
+    result.word = result.word.concat(decoded.message);
+  }
+  return result;
+}
+
+}  // namespace photecc::interface

@@ -1,0 +1,70 @@
+// Bit-true transmitter / receiver datapaths of the optical network
+// interface (paper Fig. 2c/2d): path mux -> encoder bank -> serializer
+// on the way out, deserializer -> decoder bank -> path mux on the way
+// in.  One datapath instance models one wavelength's stream; the IP bus
+// word is carved into as many code blocks as fit.
+#ifndef PHOTECC_INTERFACE_DATAPATH_HPP
+#define PHOTECC_INTERFACE_DATAPATH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/interface/serializer.hpp"
+
+namespace photecc::interface {
+
+/// Transmitter: encodes an Ndata-bit IP word and serialises it.
+class TransmitterDatapath {
+ public:
+  /// `code` must evenly divide `n_data` blocks (e.g. H(7,4) with
+  /// n_data = 64 uses 16 blocks); throws std::invalid_argument
+  /// otherwise.
+  TransmitterDatapath(ecc::BlockCodePtr code, std::size_t n_data = 64);
+
+  [[nodiscard]] std::size_t n_data() const noexcept { return n_data_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_; }
+
+  /// Bits on the wire per IP word: block_count * n.
+  [[nodiscard]] std::size_t frame_bits() const noexcept;
+
+  /// Encodes and serialises one IP word (size must equal n_data).
+  [[nodiscard]] std::vector<bool> transmit(const ecc::BitVec& word) const;
+
+  [[nodiscard]] const ecc::BlockCode& code() const noexcept { return *code_; }
+
+ private:
+  ecc::BlockCodePtr code_;
+  std::size_t n_data_;
+  std::size_t blocks_;
+};
+
+/// Result of receiving one frame.
+struct ReceiveResult {
+  ecc::BitVec word;                 ///< recovered Ndata-bit IP word
+  std::size_t corrected_blocks = 0; ///< blocks where a flip was repaired
+  std::size_t detected_blocks = 0;  ///< blocks with a non-zero syndrome
+};
+
+/// Receiver: deserialises a frame and decodes it back to the IP word.
+class ReceiverDatapath {
+ public:
+  ReceiverDatapath(ecc::BlockCodePtr code, std::size_t n_data = 64);
+
+  [[nodiscard]] std::size_t n_data() const noexcept { return n_data_; }
+  [[nodiscard]] std::size_t frame_bits() const noexcept;
+
+  /// Decodes one frame of wire bits (size must equal frame_bits()).
+  [[nodiscard]] ReceiveResult receive(const std::vector<bool>& wire) const;
+
+  [[nodiscard]] const ecc::BlockCode& code() const noexcept { return *code_; }
+
+ private:
+  ecc::BlockCodePtr code_;
+  std::size_t n_data_;
+  std::size_t blocks_;
+};
+
+}  // namespace photecc::interface
+
+#endif  // PHOTECC_INTERFACE_DATAPATH_HPP

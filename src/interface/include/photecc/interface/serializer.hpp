@@ -1,0 +1,74 @@
+// Bit-true serializer / deserializer models (paper Section IV-C).
+//
+// The serializer is a register pipeline of depth equal to the frame
+// size: a parallel frame is loaded through per-register 2:1 muxes, then
+// shifted out one bit per Fmod cycle, bit 0 first.  The deserializer
+// mirrors it.  These models are cycle-accurate at the bit level and are
+// used by the end-to-end Monte-Carlo experiments.
+#ifndef PHOTECC_INTERFACE_SERIALIZER_HPP
+#define PHOTECC_INTERFACE_SERIALIZER_HPP
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "photecc/ecc/bitvec.hpp"
+
+namespace photecc::interface {
+
+/// Parallel-in serial-out register pipeline.
+class Serializer {
+ public:
+  /// `frame_bits` is the pipeline depth (e.g. 112 for H(7,4) frames).
+  explicit Serializer(std::size_t frame_bits);
+
+  [[nodiscard]] std::size_t frame_bits() const noexcept { return depth_; }
+
+  /// True when the pipeline has shifted everything out.
+  [[nodiscard]] bool empty() const noexcept { return remaining_ == 0; }
+
+  /// Loads a frame (size must equal frame_bits); any bits still in the
+  /// pipeline are discarded (load has priority on the input muxes).
+  void load(const ecc::BitVec& frame);
+
+  /// Shifts one bit out (bit 0 of the loaded frame first).  Returns
+  /// std::nullopt when the pipeline is empty.
+  std::optional<bool> shift_out();
+
+  /// Convenience: serialise a whole frame to wire order.
+  [[nodiscard]] static std::vector<bool> serialize(const ecc::BitVec& frame);
+
+ private:
+  std::size_t depth_;
+  std::vector<bool> pipeline_;
+  std::size_t remaining_ = 0;
+};
+
+/// Serial-in parallel-out register pipeline.
+class Deserializer {
+ public:
+  explicit Deserializer(std::size_t frame_bits);
+
+  [[nodiscard]] std::size_t frame_bits() const noexcept { return depth_; }
+
+  /// Number of bits currently captured.
+  [[nodiscard]] std::size_t fill() const noexcept { return fill_; }
+
+  /// Captures one bit; returns the completed frame when the pipeline
+  /// fills, then resets for the next frame.
+  std::optional<ecc::BitVec> shift_in(bool bit);
+
+  /// Convenience: deserialise a full wire sequence (size must be a
+  /// multiple of frame_bits) into frames.
+  [[nodiscard]] static std::vector<ecc::BitVec> deserialize(
+      const std::vector<bool>& wire, std::size_t frame_bits);
+
+ private:
+  std::size_t depth_;
+  std::vector<bool> pipeline_;
+  std::size_t fill_ = 0;
+};
+
+}  // namespace photecc::interface
+
+#endif  // PHOTECC_INTERFACE_SERIALIZER_HPP

@@ -1,0 +1,138 @@
+// Synthesis-results model of the electrical/optical interface
+// (paper Table I, Section V-A).
+//
+// Two sources of numbers are provided:
+//  * table1_reference() — the paper's synthesised values, embedded as a
+//    reference dataset (28 nm FDSOI, FIP = 1 GHz, Ndata = 64,
+//    Fmod = 10 Gb/s);
+//  * SynthesisEstimator — a DSENT-style analytic estimator that derives
+//    area / critical path / static / dynamic power from gate counts
+//    (XOR trees taken from the actual generator matrices, registers
+//    from SER/DES depths, mux widths from the mode count).
+//
+// The estimator exists because we cannot run the authors' synthesis
+// flow; the bench bench_table1_synthesis prints both so the deviation
+// is visible.  Downstream power roll-ups use the reference dataset.
+#ifndef PHOTECC_INTERFACE_SYNTHESIS_MODEL_HPP
+#define PHOTECC_INTERFACE_SYNTHESIS_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/interface/technology.hpp"
+
+namespace photecc::interface {
+
+/// The three communication modes of the synthesised interface.
+enum class InterfaceMode { kUncoded, kHamming74, kHamming7164 };
+
+[[nodiscard]] std::string to_string(InterfaceMode mode);
+
+/// Synthesis figures of one hardware block (one Table I row).
+struct BlockSynthesis {
+  std::string name;
+  double area_um2 = 0.0;
+  double critical_path_ps = 0.0;
+  double static_nw = 0.0;    ///< leakage [nW]
+  double dynamic_uw = 0.0;   ///< switching power at nominal clocks [uW]
+  [[nodiscard]] double total_uw() const noexcept {
+    return dynamic_uw + static_nw * 1e-3;
+  }
+};
+
+/// One side (transmitter or receiver) of the interface.
+struct InterfaceSynthesis {
+  std::vector<BlockSynthesis> blocks;
+  double total_area_um2 = 0.0;
+  /// Active-path powers per mode [uW]: only the selected coding path
+  /// toggles (clock/enable gating), so dynamic power is mode-dependent.
+  double dynamic_uw_uncoded = 0.0;
+  double dynamic_uw_h74 = 0.0;
+  double dynamic_uw_h7164 = 0.0;
+
+  [[nodiscard]] double dynamic_uw(InterfaceMode mode) const;
+};
+
+/// Both sides of the paper's interface.
+struct InterfacePair {
+  InterfaceSynthesis transmitter;
+  InterfaceSynthesis receiver;
+
+  /// Combined TX+RX dynamic power for a mode [W].
+  [[nodiscard]] double total_power_w(InterfaceMode mode) const;
+
+  /// Per-wavelength encoder+decoder power P_ENC+DEC [W] used in the
+  /// channel roll-up (interface shared by `wavelengths` carriers).
+  [[nodiscard]] double enc_dec_power_per_wavelength_w(
+      InterfaceMode mode, std::size_t wavelengths) const;
+};
+
+/// The paper's Table I values.
+InterfacePair table1_reference();
+
+/// Operating frequencies of the synthesised interface.
+struct InterfaceClocks {
+  double f_ip_hz = 1e9;     ///< IP-side parallel clock FIP
+  double f_mod_hz = 10e9;   ///< modulation / serial clock Fmod
+  std::size_t n_data = 64;  ///< IP bus width Ndata
+};
+
+/// DSENT-style analytic estimator.
+class SynthesisEstimator {
+ public:
+  explicit SynthesisEstimator(TechnologyParams tech = fdsoi28(),
+                              InterfaceClocks clocks = {});
+
+  /// Estimate for a bank of Hamming encoders covering the IP bus
+  /// (e.g. 16 x H(7,4) for Ndata = 64).
+  [[nodiscard]] BlockSynthesis encoder_bank(
+      const ecc::BlockCode& code) const;
+
+  /// Estimate for the matching decoder bank.
+  [[nodiscard]] BlockSynthesis decoder_bank(
+      const ecc::BlockCode& code) const;
+
+  /// Serializer of `frame_bits` working at Fmod.
+  [[nodiscard]] BlockSynthesis serializer(std::size_t frame_bits) const;
+
+  /// Deserializer of `frame_bits` working at Fmod.
+  [[nodiscard]] BlockSynthesis deserializer(std::size_t frame_bits) const;
+
+  /// Path-select mux with `ways` inputs of `width` bits at FIP.
+  [[nodiscard]] BlockSynthesis path_mux(std::size_t ways,
+                                        std::size_t width) const;
+
+  /// Assembles a full transmitter (mux + coder banks + serializers) in
+  /// the paper's three-mode configuration.
+  [[nodiscard]] InterfaceSynthesis transmitter() const;
+
+  /// Assembles the full receiver (mux + decoder banks + deserializers).
+  [[nodiscard]] InterfaceSynthesis receiver() const;
+
+  /// Both sides.
+  [[nodiscard]] InterfacePair interface_pair() const;
+
+  [[nodiscard]] const TechnologyParams& technology() const noexcept {
+    return tech_;
+  }
+  [[nodiscard]] const InterfaceClocks& clocks() const noexcept {
+    return clocks_;
+  }
+
+ private:
+  /// Area/leakage/delay from gate-equivalent counts plus dynamic power
+  /// from an explicit per-cycle energy at `clock_hz`.
+  [[nodiscard]] BlockSynthesis from_gates(std::string name,
+                                          double gate_equivalents,
+                                          double energy_per_cycle_j,
+                                          double logic_depth,
+                                          double clock_hz) const;
+
+  TechnologyParams tech_;
+  InterfaceClocks clocks_;
+};
+
+}  // namespace photecc::interface
+
+#endif  // PHOTECC_INTERFACE_SYNTHESIS_MODEL_HPP

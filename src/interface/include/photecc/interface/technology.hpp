@@ -1,0 +1,70 @@
+// CMOS technology parameters for the DSENT-style synthesis estimator.
+//
+// The paper synthesised its interfaces on 28 nm FDSOI (Table I).  We do
+// not have a synthesis flow, so the estimator derives area/power/timing
+// from gate counts and these per-cell constants.  fdsoi28() is
+// calibrated against the paper's Table I rows (the bench
+// bench_table1_synthesis prints estimate and reference side by side):
+// the effective switched energies are in the attojoule range because
+// the reference design is aggressively clock/enable gated — only the
+// selected coding path toggles.
+#ifndef PHOTECC_INTERFACE_TECHNOLOGY_HPP
+#define PHOTECC_INTERFACE_TECHNOLOGY_HPP
+
+#include <string>
+
+namespace photecc::interface {
+
+/// Per-cell constants of a standard-cell technology, DSENT-style.
+struct TechnologyParams {
+  std::string name = "28nm FDSOI";
+  double feature_nm = 28.0;
+
+  // ---- area ----
+  /// Layout area of a two-input NAND-equivalent gate [um^2].
+  double gate_area_um2 = 0.6;
+  /// Gate equivalents of the basic cells.
+  double xor_gate_equivalents = 2.2;
+  double flop_gate_equivalents = 4.5;
+  /// 2:1 mux in a serializer load path (compact, local routing).
+  double mux2_gate_equivalents = 1.8;
+  /// Per-bit gate equivalents of a wide path-select mux (dominated by
+  /// routing; Table I's 64-bit 3:1 mux occupies ~12.7 um^2/bit).
+  double path_mux_bit_gate_equivalents = 10.0;
+  /// Fixed layout overhead per synthesised block [um^2] (well taps,
+  /// enable/clock-gating cells, routing channels).
+  double block_area_overhead_um2 = 12.0;
+
+  // ---- energy (calibrated effective values, activity folded in) ----
+  /// XOR2 energy per evaluated cycle [J].
+  double xor_energy_j = 18e-18;
+  /// Flip-flop energy per clock at the IP clock (clock tree share
+  /// included) [J].
+  double flop_energy_j = 4e-18;
+  /// Flip-flop energy per clock in the SER/DES shift pipelines
+  /// (fine-grained clock gating) [J].
+  double serdes_flop_energy_j = 5e-18;
+  /// Per-bit energy of a wide path-select mux per cycle [J].
+  double path_mux_bit_energy_j = 10e-18;
+  /// Fixed per-block energy per cycle (enable logic, local clocking) [J].
+  double block_energy_j = 0.2e-15;
+
+  // ---- leakage & timing ----
+  /// Leakage per gate equivalent [W] (low-leakage 28 nm FDSOI).
+  double leakage_per_gate_w = 0.01e-9;
+  /// Intrinsic delay of one logic level (FO4-ish) [ps].
+  double gate_delay_ps = 18.0;
+  /// Fixed clock-to-q + setup overhead on registered paths [ps].
+  double sequencing_overhead_ps = 45.0;
+};
+
+/// The paper's 28 nm FDSOI node, calibrated against Table I.
+TechnologyParams fdsoi28();
+
+/// Scaled nodes for technology-sensitivity ablations (first-order
+/// Dennard-style scaling of area, energy, delay and leakage).
+TechnologyParams scaled_node(double feature_nm);
+
+}  // namespace photecc::interface
+
+#endif  // PHOTECC_INTERFACE_TECHNOLOGY_HPP

@@ -1,0 +1,65 @@
+#include "photecc/interface/serializer.hpp"
+
+#include <stdexcept>
+
+namespace photecc::interface {
+
+Serializer::Serializer(std::size_t frame_bits)
+    : depth_(frame_bits), pipeline_(frame_bits, false) {
+  if (frame_bits == 0)
+    throw std::invalid_argument("Serializer: zero frame size");
+}
+
+void Serializer::load(const ecc::BitVec& frame) {
+  if (frame.size() != depth_)
+    throw std::invalid_argument("Serializer::load: frame size mismatch");
+  for (std::size_t i = 0; i < depth_; ++i) pipeline_[i] = frame.get(i);
+  remaining_ = depth_;
+}
+
+std::optional<bool> Serializer::shift_out() {
+  if (remaining_ == 0) return std::nullopt;
+  const bool bit = pipeline_[depth_ - remaining_];
+  --remaining_;
+  return bit;
+}
+
+std::vector<bool> Serializer::serialize(const ecc::BitVec& frame) {
+  Serializer ser(frame.size());
+  ser.load(frame);
+  std::vector<bool> wire;
+  wire.reserve(frame.size());
+  while (auto bit = ser.shift_out()) wire.push_back(*bit);
+  return wire;
+}
+
+Deserializer::Deserializer(std::size_t frame_bits)
+    : depth_(frame_bits), pipeline_(frame_bits, false) {
+  if (frame_bits == 0)
+    throw std::invalid_argument("Deserializer: zero frame size");
+}
+
+std::optional<ecc::BitVec> Deserializer::shift_in(bool bit) {
+  pipeline_[fill_++] = bit;
+  if (fill_ < depth_) return std::nullopt;
+  ecc::BitVec frame(depth_);
+  for (std::size_t i = 0; i < depth_; ++i) frame.set(i, pipeline_[i]);
+  fill_ = 0;
+  return frame;
+}
+
+std::vector<ecc::BitVec> Deserializer::deserialize(
+    const std::vector<bool>& wire, std::size_t frame_bits) {
+  if (frame_bits == 0 || wire.size() % frame_bits != 0)
+    throw std::invalid_argument(
+        "Deserializer::deserialize: wire length not a frame multiple");
+  Deserializer des(frame_bits);
+  std::vector<ecc::BitVec> frames;
+  frames.reserve(wire.size() / frame_bits);
+  for (const bool bit : wire) {
+    if (auto frame = des.shift_in(bit)) frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+}  // namespace photecc::interface

@@ -1,0 +1,282 @@
+#include "photecc/interface/synthesis_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/ecc/hamming.hpp"
+
+namespace photecc::interface {
+
+std::string to_string(InterfaceMode mode) {
+  switch (mode) {
+    case InterfaceMode::kUncoded: return "w/o ECC";
+    case InterfaceMode::kHamming74: return "H(7,4)";
+    case InterfaceMode::kHamming7164: return "H(71,64)";
+  }
+  throw std::logic_error("to_string: bad InterfaceMode");
+}
+
+double InterfaceSynthesis::dynamic_uw(InterfaceMode mode) const {
+  switch (mode) {
+    case InterfaceMode::kUncoded: return dynamic_uw_uncoded;
+    case InterfaceMode::kHamming74: return dynamic_uw_h74;
+    case InterfaceMode::kHamming7164: return dynamic_uw_h7164;
+  }
+  throw std::logic_error("dynamic_uw: bad InterfaceMode");
+}
+
+double InterfacePair::total_power_w(InterfaceMode mode) const {
+  return (transmitter.dynamic_uw(mode) + receiver.dynamic_uw(mode)) * 1e-6;
+}
+
+double InterfacePair::enc_dec_power_per_wavelength_w(
+    InterfaceMode mode, std::size_t wavelengths) const {
+  if (wavelengths == 0)
+    throw std::invalid_argument(
+        "enc_dec_power_per_wavelength_w: zero wavelengths");
+  return total_power_w(mode) / static_cast<double>(wavelengths);
+}
+
+InterfacePair table1_reference() {
+  InterfacePair pair;
+  // --- Transmitter (Table I, upper half) -----------------------------
+  pair.transmitter.blocks = {
+      {"1-bit MUX (3 to 1)", 14.0, 80.0, 0.2, 0.23},
+      {"H(7,4) coders (x16)", 551.0, 210.0, 1.7, 3.13},
+      {"H(71,64) coder", 490.0, 350.0, 1.6, 2.51},
+      {"112-bits SER, H(7,4)", 433.0, 70.0, 6.5, 6.21},
+      {"71-bits SER, H(71,64)", 276.0, 70.0, 4.1, 3.24},
+      {"64-bits SER, w/o ECC", 249.0, 70.0, 3.6, 2.93},
+  };
+  pair.transmitter.total_area_um2 = 2013.0;
+  pair.transmitter.dynamic_uw_h74 = 9.57;
+  pair.transmitter.dynamic_uw_h7164 = 5.99;
+  pair.transmitter.dynamic_uw_uncoded = 3.16;
+
+  // --- Receiver (Table I, lower half) --------------------------------
+  pair.receiver.blocks = {
+      {"64-bits MUX (3 to 1)", 815.0, 80.0, 10.8, 1.55},
+      {"H(7,4) decoders (x16)", 783.0, 300.0, 2.5, 3.80},
+      {"H(71,64) decoder", 648.0, 570.0, 2.2, 2.63},
+      {"112-bits DESER, H(7,4)", 365.0, 60.0, 5.5, 4.75},
+      {"71-bits DESER, H(71,64)", 231.0, 60.0, 3.5, 3.02},
+      {"64-bits DESER, w/o ECC", 208.0, 60.0, 3.0, 2.75},
+  };
+  pair.receiver.total_area_um2 = 3050.0;
+  pair.receiver.dynamic_uw_h74 = 10.10;
+  pair.receiver.dynamic_uw_h7164 = 7.21;
+  pair.receiver.dynamic_uw_uncoded = 4.29;
+  return pair;
+}
+
+// ---------------------------------------------------------------------
+// SynthesisEstimator
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// XOR gate count of a code's encoder/decoder, taken from the concrete
+/// generator structure when available.
+struct CodecGates {
+  double encoder_xors = 0.0;
+  double decoder_xors = 0.0;
+};
+
+CodecGates codec_gates(const ecc::BlockCode& code) {
+  CodecGates gates;
+  if (const auto* hamming = dynamic_cast<const ecc::HammingCode*>(&code)) {
+    gates.encoder_xors = static_cast<double>(hamming->encoder_xor_gates());
+    gates.decoder_xors = static_cast<double>(hamming->decoder_xor_gates());
+    return gates;
+  }
+  if (const auto* shortened =
+          dynamic_cast<const ecc::ShortenedHammingCode*>(&code)) {
+    gates.encoder_xors =
+        static_cast<double>(shortened->encoder_xor_gates());
+    gates.decoder_xors =
+        static_cast<double>(shortened->decoder_xor_gates());
+    return gates;
+  }
+  // Generic fallback: each parity bit XORs about half the message.
+  const double n = static_cast<double>(code.block_length());
+  const double k = static_cast<double>(code.message_length());
+  const double parity = n - k;
+  gates.encoder_xors = parity * k / 2.0;
+  gates.decoder_xors = parity * n / 2.0 + k;
+  return gates;
+}
+
+}  // namespace
+
+SynthesisEstimator::SynthesisEstimator(TechnologyParams tech,
+                                       InterfaceClocks clocks)
+    : tech_(std::move(tech)), clocks_(clocks) {
+  if (clocks_.f_ip_hz <= 0.0 || clocks_.f_mod_hz <= 0.0 ||
+      clocks_.n_data == 0)
+    throw std::invalid_argument("SynthesisEstimator: bad clocks");
+}
+
+BlockSynthesis SynthesisEstimator::from_gates(std::string name,
+                                              double gate_equivalents,
+                                              double energy_per_cycle_j,
+                                              double logic_depth,
+                                              double clock_hz) const {
+  BlockSynthesis block;
+  block.name = std::move(name);
+  block.area_um2 = gate_equivalents * tech_.gate_area_um2 +
+                   tech_.block_area_overhead_um2;
+  block.critical_path_ps =
+      tech_.sequencing_overhead_ps + logic_depth * tech_.gate_delay_ps;
+  block.static_nw = gate_equivalents * tech_.leakage_per_gate_w * 1e9;
+  block.dynamic_uw = energy_per_cycle_j * clock_hz * 1e6;
+  return block;
+}
+
+BlockSynthesis SynthesisEstimator::encoder_bank(
+    const ecc::BlockCode& code) const {
+  const std::size_t k = code.message_length();
+  const std::size_t n = code.block_length();
+  const double banks =
+      std::ceil(static_cast<double>(clocks_.n_data) /
+                static_cast<double>(k));
+  const CodecGates gates = codec_gates(code);
+  const double ge =
+      banks * (gates.encoder_xors * tech_.xor_gate_equivalents +
+               static_cast<double>(n) * tech_.flop_gate_equivalents);
+  const double energy =
+      banks * (gates.encoder_xors * tech_.xor_energy_j +
+               static_cast<double>(n) * tech_.flop_energy_j +
+               tech_.block_energy_j);
+  const double depth =
+      std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(k))));
+  BlockSynthesis block = from_gates(
+      code.name() + " coder bank x" +
+          std::to_string(static_cast<int>(banks)),
+      ge, energy, depth, clocks_.f_ip_hz);
+  // Each bank instance pays its own layout overhead.
+  block.area_um2 += (banks - 1.0) * tech_.block_area_overhead_um2;
+  return block;
+}
+
+BlockSynthesis SynthesisEstimator::decoder_bank(
+    const ecc::BlockCode& code) const {
+  const std::size_t k = code.message_length();
+  const std::size_t n = code.block_length();
+  const double banks =
+      std::ceil(static_cast<double>(clocks_.n_data) /
+                static_cast<double>(k));
+  const CodecGates gates = codec_gates(code);
+  // Syndrome XOR tree + an m->n position decoder (~1.2 GE / position,
+  // charged at half an XOR's energy) + output register over k bits.
+  const double decode_ge = static_cast<double>(n) * 1.2;
+  const double ge =
+      banks * (gates.decoder_xors * tech_.xor_gate_equivalents + decode_ge +
+               static_cast<double>(k) * tech_.flop_gate_equivalents);
+  const double energy =
+      banks * (gates.decoder_xors * tech_.xor_energy_j +
+               static_cast<double>(n) * 0.5 * tech_.xor_energy_j +
+               static_cast<double>(k) * tech_.flop_energy_j +
+               tech_.block_energy_j);
+  const double depth =
+      std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(n)))) +
+      2.0;  // syndrome tree + position decode + correction XOR
+  BlockSynthesis block = from_gates(
+      code.name() + " decoder bank x" +
+          std::to_string(static_cast<int>(banks)),
+      ge, energy, depth, clocks_.f_ip_hz);
+  block.area_um2 += (banks - 1.0) * tech_.block_area_overhead_um2;
+  return block;
+}
+
+BlockSynthesis SynthesisEstimator::serializer(std::size_t frame_bits) const {
+  // Register pipeline with a depth equal to the frame size plus the 2:1
+  // load muxes in front of every register (paper Section IV-C).  The
+  // shift flops clock at Fmod; the load muxes evaluate at the frame
+  // rate (~FIP).
+  const double bits = static_cast<double>(frame_bits);
+  const double ge = bits * (tech_.flop_gate_equivalents +
+                            tech_.mux2_gate_equivalents);
+  BlockSynthesis block =
+      from_gates(std::to_string(frame_bits) + "-bit SER", ge, 0.0, 1.0,
+                 clocks_.f_mod_hz);
+  block.dynamic_uw =
+      (bits * tech_.serdes_flop_energy_j * clocks_.f_mod_hz +
+       (bits * tech_.path_mux_bit_energy_j + tech_.block_energy_j) *
+           clocks_.f_ip_hz) *
+      1e6;
+  return block;
+}
+
+BlockSynthesis SynthesisEstimator::deserializer(
+    std::size_t frame_bits) const {
+  const double bits = static_cast<double>(frame_bits);
+  const double ge = bits * tech_.flop_gate_equivalents;
+  BlockSynthesis block =
+      from_gates(std::to_string(frame_bits) + "-bit DESER", ge, 0.0, 1.0,
+                 clocks_.f_mod_hz);
+  block.dynamic_uw =
+      (bits * tech_.serdes_flop_energy_j * clocks_.f_mod_hz +
+       tech_.block_energy_j * clocks_.f_ip_hz) *
+      1e6;
+  return block;
+}
+
+BlockSynthesis SynthesisEstimator::path_mux(std::size_t ways,
+                                            std::size_t width) const {
+  if (ways < 2) throw std::invalid_argument("path_mux: need >= 2 ways");
+  const double bits = static_cast<double>(width);
+  const double stages = static_cast<double>(ways - 1);
+  const double ge =
+      bits * stages * tech_.path_mux_bit_gate_equivalents;
+  const double energy = bits * stages * tech_.path_mux_bit_energy_j +
+                        tech_.block_energy_j;
+  return from_gates(std::to_string(width) + "-bit MUX (" +
+                        std::to_string(ways) + " to 1)",
+                    ge, energy,
+                    std::ceil(std::log2(static_cast<double>(ways))),
+                    clocks_.f_ip_hz);
+}
+
+InterfaceSynthesis SynthesisEstimator::transmitter() const {
+  const ecc::HammingCode h74(3);
+  const ecc::ShortenedHammingCode h7164(7, 56);
+  InterfaceSynthesis tx;
+  const BlockSynthesis mux = path_mux(3, 1);
+  const BlockSynthesis enc74 = encoder_bank(h74);
+  const BlockSynthesis enc7164 = encoder_bank(h7164);
+  const BlockSynthesis ser112 = serializer(112);
+  const BlockSynthesis ser71 = serializer(71);
+  const BlockSynthesis ser64 = serializer(64);
+  tx.blocks = {mux, enc74, enc7164, ser112, ser71, ser64};
+  for (const auto& b : tx.blocks) tx.total_area_um2 += b.area_um2;
+  tx.dynamic_uw_h74 = mux.dynamic_uw + enc74.dynamic_uw + ser112.dynamic_uw;
+  tx.dynamic_uw_h7164 =
+      mux.dynamic_uw + enc7164.dynamic_uw + ser71.dynamic_uw;
+  tx.dynamic_uw_uncoded = mux.dynamic_uw + ser64.dynamic_uw;
+  return tx;
+}
+
+InterfaceSynthesis SynthesisEstimator::receiver() const {
+  const ecc::HammingCode h74(3);
+  const ecc::ShortenedHammingCode h7164(7, 56);
+  InterfaceSynthesis rx;
+  const BlockSynthesis mux = path_mux(3, clocks_.n_data);
+  const BlockSynthesis dec74 = decoder_bank(h74);
+  const BlockSynthesis dec7164 = decoder_bank(h7164);
+  const BlockSynthesis des112 = deserializer(112);
+  const BlockSynthesis des71 = deserializer(71);
+  const BlockSynthesis des64 = deserializer(64);
+  rx.blocks = {mux, dec74, dec7164, des112, des71, des64};
+  for (const auto& b : rx.blocks) rx.total_area_um2 += b.area_um2;
+  rx.dynamic_uw_h74 = mux.dynamic_uw + dec74.dynamic_uw + des112.dynamic_uw;
+  rx.dynamic_uw_h7164 =
+      mux.dynamic_uw + dec7164.dynamic_uw + des71.dynamic_uw;
+  rx.dynamic_uw_uncoded = mux.dynamic_uw + des64.dynamic_uw;
+  return rx;
+}
+
+InterfacePair SynthesisEstimator::interface_pair() const {
+  return InterfacePair{transmitter(), receiver()};
+}
+
+}  // namespace photecc::interface

@@ -1,0 +1,33 @@
+#include "photecc/interface/technology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::interface {
+
+TechnologyParams fdsoi28() { return TechnologyParams{}; }
+
+TechnologyParams scaled_node(double feature_nm) {
+  if (feature_nm <= 0.0)
+    throw std::invalid_argument("scaled_node: non-positive feature size");
+  TechnologyParams base = fdsoi28();
+  const double s = feature_nm / base.feature_nm;
+  TechnologyParams out = base;
+  out.name = std::to_string(static_cast<int>(feature_nm)) + "nm (scaled)";
+  out.feature_nm = feature_nm;
+  out.gate_area_um2 = base.gate_area_um2 * s * s;
+  out.block_area_overhead_um2 = base.block_area_overhead_um2 * s * s;
+  // Energy ~ C V^2: capacitance scales with s, V with sqrt(s).
+  const double energy_scale = s * s;
+  out.xor_energy_j = base.xor_energy_j * energy_scale;
+  out.flop_energy_j = base.flop_energy_j * energy_scale;
+  out.serdes_flop_energy_j = base.serdes_flop_energy_j * energy_scale;
+  out.path_mux_bit_energy_j = base.path_mux_bit_energy_j * energy_scale;
+  out.block_energy_j = base.block_energy_j * energy_scale;
+  out.leakage_per_gate_w = base.leakage_per_gate_w * s;
+  out.gate_delay_ps = base.gate_delay_ps * s;
+  out.sequencing_overhead_ps = base.sequencing_overhead_ps * s;
+  return out;
+}
+
+}  // namespace photecc::interface

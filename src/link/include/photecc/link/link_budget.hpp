@@ -1,0 +1,36 @@
+// Stage-by-stage insertion-loss walk of the MWSR signal path, for
+// reporting and for validating the channel model against hand
+// calculations.
+#ifndef PHOTECC_LINK_LINK_BUDGET_HPP
+#define PHOTECC_LINK_LINK_BUDGET_HPP
+
+#include <string>
+#include <vector>
+
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::link {
+
+/// One stage of the link budget.
+struct BudgetStage {
+  std::string name;
+  double loss_db = 0.0;           ///< loss contributed by this stage
+  double cumulative_loss_db = 0.0;
+  double cumulative_transmission = 1.0;
+};
+
+/// Full loss walk for the worst-case path of channel `ch`.
+struct LinkBudget {
+  std::vector<BudgetStage> stages;
+  double total_loss_db = 0.0;
+  double total_transmission = 1.0;
+  double eye_penalty_db = 0.0;       ///< (1 - 1/ER) expressed as loss
+  double crosstalk_transmission = 0.0;
+};
+
+/// Computes the budget for channel `ch` of `channel`.
+LinkBudget compute_link_budget(const MwsrChannel& channel, std::size_t ch);
+
+}  // namespace photecc::link
+
+#endif  // PHOTECC_LINK_LINK_BUDGET_HPP

@@ -1,0 +1,127 @@
+// MWSR (Multiple Writer Single Reader) optical channel model — the
+// paper's evaluation substrate (Section IV, after the transmission model
+// of Li et al. [8]).
+//
+// Physical layout along one waveguide:
+//
+//   lasers -> MUX -> writer_1 -> writer_2 -> ... -> writer_{N-1} -> reader
+//
+// Each writer carries NW modulator MRs (one per wavelength); the reader
+// carries NW drop-filter/photodetector pairs.  The worst-case signal
+// path is the writer adjacent to the MUX: its modulated signal crosses
+// every other writer's parked (OFF state) rings before reaching the
+// reader.  Worst-case crosstalk at detector i assumes every other
+// wavelength carries a '1' at full power and leaks through detector i's
+// Lorentzian drop tail.
+#ifndef PHOTECC_LINK_MWSR_CHANNEL_HPP
+#define PHOTECC_LINK_MWSR_CHANNEL_HPP
+
+#include <cstddef>
+#include <memory>
+
+#include "photecc/photonics/laser.hpp"
+#include "photecc/photonics/microring.hpp"
+#include "photecc/photonics/photodetector.hpp"
+#include "photecc/photonics/waveguide.hpp"
+#include "photecc/photonics/wdm.hpp"
+
+namespace photecc::link {
+
+/// Complete parameter set of one MWSR channel.  Defaults reproduce the
+/// paper's evaluation setup: 12 ONIs, 16 wavelengths, 6 cm waveguide at
+/// 0.274 dB/cm, ER = 6.9 dB, R = 1 A/W, i_n = 4 uA, 25 % chip activity.
+struct MwsrParams {
+  std::size_t oni_count = 12;       ///< ONIs on the channel (1 reader)
+  photonics::WdmGrid grid{};        ///< 16 carriers
+  photonics::MicroRingParams ring{};
+  photonics::PhotodetectorParams detector{};
+  double waveguide_loss_db_per_cm = 0.274;  ///< [17]
+  double waveguide_length_m = 0.06;         ///< 6 cm
+  double laser_coupling_loss_db = 1.3;      ///< VCSEL -> waveguide
+  double mux_insertion_loss_db = 1.3;       ///< MMI combiner [12]
+  double chip_activity = 0.25;              ///< electrical-layer activity
+  /// Subtract the residual '0'-level power from the eye amplitude
+  /// (OPsignal refers to the usable eye, not the raw '1' level).
+  bool include_eye_penalty = true;
+  /// Include worst-case inter-channel crosstalk (Eq. 4's OPcrosstalk).
+  bool include_crosstalk = true;
+  /// Wall-plug model; null selects photonics::default_laser_model().
+  std::shared_ptr<const photonics::LaserPowerModel> laser_model{};
+};
+
+/// Static transmission analysis of one MWSR channel.
+class MwsrChannel {
+ public:
+  explicit MwsrChannel(const MwsrParams& params);
+
+  [[nodiscard]] const MwsrParams& params() const noexcept { return params_; }
+
+  /// Number of writers on the channel (oni_count - 1).
+  [[nodiscard]] std::size_t writer_count() const noexcept {
+    return params_.oni_count - 1;
+  }
+
+  /// Parked rings crossed by the worst-case writer's signal.
+  [[nodiscard]] std::size_t intermediate_writer_count() const noexcept {
+    return writer_count() - 1;
+  }
+
+  /// End-to-end power transmission of the worst-case signal path for
+  /// channel `ch`, from laser output to detector input, for a '1'
+  /// (modulator OFF).  Includes laser coupling, MUX, waveguide,
+  /// parked-ring crossings, the active modulator, the reader drop and
+  /// the detector coupling.
+  [[nodiscard]] double signal_path_transmission(std::size_t ch) const;
+
+  /// Same path without the final aligned drop + detector coupling
+  /// (power arriving at the reader on the bus), used by the crosstalk
+  /// computation.
+  [[nodiscard]] double bus_transmission(std::size_t ch) const;
+
+  /// Worst-case crosstalk transmission into detector `ch`: the summed
+  /// leakage of every other carrier (all at '1') through this
+  /// detector's drop tail, normalised to the per-carrier laser output
+  /// power.  Zero when include_crosstalk is false.
+  [[nodiscard]] double crosstalk_transmission(std::size_t ch) const;
+
+  /// Usable eye transmission: signal path scaled by (1 - 1/ER) when
+  /// include_eye_penalty is set.
+  [[nodiscard]] double eye_transmission(std::size_t ch) const;
+
+  /// Worst channel index (largest required laser power: smallest
+  /// eye-minus-crosstalk margin).  With a uniform grid this is a
+  /// mid-grid channel that sees both crosstalk neighbours.
+  [[nodiscard]] std::size_t worst_channel() const;
+
+  /// Extinction ratio of the modulator rings (linear).
+  [[nodiscard]] double extinction_ratio() const noexcept;
+
+  [[nodiscard]] const photonics::MicroRing& ring() const noexcept {
+    return ring_;
+  }
+  [[nodiscard]] const photonics::Photodetector& detector() const noexcept {
+    return detector_;
+  }
+  [[nodiscard]] const photonics::Waveguide& waveguide() const noexcept {
+    return waveguide_;
+  }
+  [[nodiscard]] const photonics::LaserPowerModel& laser() const noexcept {
+    return *laser_;
+  }
+
+ private:
+  /// Through transmission of one parked writer's full ring group for a
+  /// signal on channel `ch` (same-wavelength ring in OFF state + the
+  /// NW-1 neighbouring rings at their grid detunings).
+  [[nodiscard]] double parked_writer_transmission(std::size_t ch) const;
+
+  MwsrParams params_;
+  photonics::MicroRing ring_;
+  photonics::Photodetector detector_;
+  photonics::Waveguide waveguide_;
+  std::shared_ptr<const photonics::LaserPowerModel> laser_;
+};
+
+}  // namespace photecc::link
+
+#endif  // PHOTECC_LINK_MWSR_CHANNEL_HPP

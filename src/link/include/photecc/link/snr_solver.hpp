@@ -1,0 +1,52 @@
+// End-to-end solver chain of the paper (Sections IV-D/IV-E):
+//
+//   target BER --(code model, Eq. 2/3)--> required raw p and SNR
+//             --(Eq. 4)--> required OPsignal at the detector
+//             --(MWSR link budget)--> required laser output OPlaser
+//             --(VCSEL wall-plug model, Fig. 4)--> electrical Plaser
+//
+// plus feasibility against the laser's deliverable maximum (the paper's
+// "BER 1e-12 is not reachable without ECC" result).
+#ifndef PHOTECC_LINK_SNR_SOLVER_HPP
+#define PHOTECC_LINK_SNR_SOLVER_HPP
+
+#include <optional>
+
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::link {
+
+/// Operating point solved for one (code, target BER) pair.
+struct LinkOperatingPoint {
+  double target_ber = 0.0;
+  double raw_ber = 0.0;        ///< required channel error prob. p
+  double snr = 0.0;            ///< required linear SNR (Eq. 3 inverse)
+  double op_signal_w = 0.0;    ///< required eye power at the detector
+  double op_crosstalk_w = 0.0; ///< worst-case crosstalk at the detector
+  double op_laser_w = 0.0;     ///< required laser output power
+  bool feasible = false;       ///< within the laser's deliverable range
+  /// Electrical laser power [W]; meaningful only when feasible.
+  double p_laser_w = 0.0;
+};
+
+/// Solves the full chain for `code` at `target_ber` on `channel`,
+/// using the channel's worst wavelength.
+/// Throws std::domain_error for target_ber outside (0, 0.5).
+LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
+                                         const ecc::BlockCode& code,
+                                         double target_ber);
+
+/// Same, for an explicit wavelength channel index.
+LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
+                                         const ecc::BlockCode& code,
+                                         double target_ber, std::size_t ch);
+
+/// Best post-decoding BER achievable on `channel` with `code` when the
+/// laser runs at its deliverable maximum; the floor of Fig. 5's curves.
+double best_achievable_ber(const MwsrChannel& channel,
+                           const ecc::BlockCode& code);
+
+}  // namespace photecc::link
+
+#endif  // PHOTECC_LINK_SNR_SOLVER_HPP

@@ -1,0 +1,60 @@
+#include "photecc/link/link_budget.hpp"
+
+#include <cmath>
+
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+namespace photecc::link {
+
+LinkBudget compute_link_budget(const MwsrChannel& channel, std::size_t ch) {
+  const MwsrParams& p = channel.params();
+  LinkBudget budget;
+  double transmission = 1.0;
+
+  const auto push = [&](std::string name, double stage_transmission) {
+    transmission *= stage_transmission;
+    BudgetStage stage;
+    stage.name = std::move(name);
+    stage.loss_db = math::transmission_to_loss_db(stage_transmission);
+    stage.cumulative_transmission = transmission;
+    stage.cumulative_loss_db = math::transmission_to_loss_db(transmission);
+    budget.stages.push_back(std::move(stage));
+  };
+
+  push("laser-waveguide coupling",
+       math::loss_db_to_transmission(p.laser_coupling_loss_db));
+  push("MMI multiplexer",
+       math::loss_db_to_transmission(p.mux_insertion_loss_db));
+  push("waveguide propagation (" +
+           math::format_fixed(p.waveguide_length_m * 100.0, 1) + " cm)",
+       channel.waveguide().transmission());
+
+  // Reconstruct the parked-ring contribution from the channel model so
+  // the walk matches signal_path_transmission exactly.
+  const double bus = channel.bus_transmission(ch);
+  const double known =
+      math::loss_db_to_transmission(p.laser_coupling_loss_db) *
+      math::loss_db_to_transmission(p.mux_insertion_loss_db) *
+      channel.waveguide().transmission() * channel.ring().through_off();
+  const double parked_total = bus / known;
+  push("parked writer rings (" +
+           std::to_string(channel.intermediate_writer_count()) +
+           " writers x " + std::to_string(p.grid.channel_count) + " rings)",
+       parked_total);
+  push("active modulator ('1' state)", channel.ring().through_off());
+  push("reader drop filter", channel.ring().drop_aligned());
+  push("photodetector coupling",
+       channel.detector().coupling_transmission());
+
+  budget.total_transmission = transmission;
+  budget.total_loss_db = math::transmission_to_loss_db(transmission);
+  if (p.include_eye_penalty) {
+    const double eye = 1.0 - 1.0 / channel.extinction_ratio();
+    budget.eye_penalty_db = math::transmission_to_loss_db(eye);
+  }
+  budget.crosstalk_transmission = channel.crosstalk_transmission(ch);
+  return budget;
+}
+
+}  // namespace photecc::link

@@ -1,0 +1,76 @@
+#include "photecc/link/snr_solver.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "photecc/ecc/ber_model.hpp"
+#include "photecc/math/special.hpp"
+
+namespace photecc::link {
+
+LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
+                                         const ecc::BlockCode& code,
+                                         double target_ber, std::size_t ch) {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error(
+        "solve_operating_point: target BER outside (0, 0.5)");
+
+  LinkOperatingPoint point;
+  point.target_ber = target_ber;
+  point.raw_ber = code.required_raw_ber(target_ber);
+  point.snr = math::snr_from_raw_ber(point.raw_ber);
+
+  // Both the eye power and the crosstalk scale linearly with the common
+  // per-carrier laser output power OP:
+  //   OP_eye = OP * T_eye,   OP_xt = OP * T_xt
+  //   SNR = R (OP_eye - OP_xt) / i_n
+  // => OP = SNR i_n / (R (T_eye - T_xt)).
+  const double t_eye = channel.eye_transmission(ch);
+  const double t_xt = channel.crosstalk_transmission(ch);
+  const auto& det = channel.detector().params();
+  const double margin = t_eye - t_xt;
+  if (margin <= 0.0) {
+    // Crosstalk exceeds the eye: no laser power can reach the target.
+    point.feasible = false;
+    point.op_laser_w = std::numeric_limits<double>::infinity();
+    return point;
+  }
+  point.op_laser_w =
+      point.snr * det.dark_current_a / (det.responsivity_a_per_w * margin);
+  point.op_signal_w = point.op_laser_w * t_eye;
+  point.op_crosstalk_w = point.op_laser_w * t_xt;
+
+  const auto& laser = channel.laser();
+  const double activity = channel.params().chip_activity;
+  const auto electrical = laser.electrical_power(point.op_laser_w, activity);
+  if (electrical) {
+    point.feasible = true;
+    point.p_laser_w = *electrical;
+  }
+  return point;
+}
+
+LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
+                                         const ecc::BlockCode& code,
+                                         double target_ber) {
+  return solve_operating_point(channel, code, target_ber,
+                               channel.worst_channel());
+}
+
+double best_achievable_ber(const MwsrChannel& channel,
+                           const ecc::BlockCode& code) {
+  const std::size_t ch = channel.worst_channel();
+  const double t_eye = channel.eye_transmission(ch);
+  const double t_xt = channel.crosstalk_transmission(ch);
+  const double margin = t_eye - t_xt;
+  if (margin <= 0.0) return 0.5;
+  const auto& det = channel.detector().params();
+  const double op_max =
+      channel.laser().max_optical_power(channel.params().chip_activity);
+  const double snr_max =
+      det.responsivity_a_per_w * op_max * margin / det.dark_current_a;
+  return ecc::achieved_ber(code, snr_max);
+}
+
+}  // namespace photecc::link

@@ -1,0 +1,57 @@
+// Piecewise-linear interpolation over tabulated curves (e.g. a measured
+// laser wall-plug curve loaded as a lookup table).
+#ifndef PHOTECC_MATH_INTERP_HPP
+#define PHOTECC_MATH_INTERP_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace photecc::math {
+
+/// Immutable piecewise-linear curve y(x) over strictly increasing knots.
+/// Outside the knot range the curve extrapolates linearly from the first
+/// or last segment (clamping is available via `evaluate_clamped`).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Builds the curve; throws std::invalid_argument if sizes differ,
+  /// fewer than two knots are given, or xs is not strictly increasing.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// y at x with linear extrapolation beyond the ends.
+  [[nodiscard]] double evaluate(double x) const;
+
+  /// y at x with the ends clamped to the first/last knot value.
+  [[nodiscard]] double evaluate_clamped(double x) const;
+
+  /// Inverse lookup x(y) for a monotone curve; throws std::logic_error
+  /// if the stored ys are not strictly monotone.
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+  [[nodiscard]] const std::vector<double>& xs() const noexcept { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const noexcept { return ys_; }
+  [[nodiscard]] double x_min() const { return xs_.front(); }
+  [[nodiscard]] double x_max() const { return xs_.back(); }
+
+  /// True when the stored ys are strictly increasing or decreasing.
+  [[nodiscard]] bool is_strictly_monotone() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t segment_for(double x) const noexcept;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// `count` evenly spaced values covering [lo, hi] inclusive.
+std::vector<double> linspace(double lo, double hi, std::size_t count);
+
+/// `count` log10-spaced values covering [lo, hi] inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t count);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_INTERP_HPP

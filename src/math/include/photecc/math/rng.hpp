@@ -1,0 +1,79 @@
+// Deterministic, fast random number generation for Monte-Carlo channel
+// simulation.  xoshiro256** (Blackman & Vigna) with a splitmix64 seeder:
+// reproducible across platforms, much faster than std::mt19937_64, and
+// satisfies the UniformRandomBitGenerator concept so it composes with
+// <random> distributions.
+#ifndef PHOTECC_MATH_RNG_HPP
+#define PHOTECC_MATH_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace photecc::math {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached second draw).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Jump function: advances the stream by 2^128 steps (for making
+  /// independent parallel sub-streams from one seed).
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_RNG_HPP

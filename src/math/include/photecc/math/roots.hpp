@@ -1,0 +1,53 @@
+// Scalar root finding used to invert the paper's BER / link models
+// (Eq. 2 inversion, laser operating-point solves).
+#ifndef PHOTECC_MATH_ROOTS_HPP
+#define PHOTECC_MATH_ROOTS_HPP
+
+#include <functional>
+#include <optional>
+
+namespace photecc::math {
+
+/// Options controlling the iterative solvers.
+struct RootOptions {
+  double x_tolerance = 1e-14;   ///< absolute tolerance on the root
+  double f_tolerance = 0.0;     ///< |f| early-exit tolerance (0 = off)
+  int max_iterations = 200;     ///< iteration budget
+};
+
+/// Result of a root solve.
+struct RootResult {
+  double root = 0.0;
+  double residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Bisection on [lo, hi].  f(lo) and f(hi) must bracket a sign change;
+/// returns std::nullopt otherwise.  Robust and derivative-free.
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const RootOptions& opts = {});
+
+/// Brent's method on [lo, hi] (bracketing required).  Faster convergence
+/// than bisection with the same robustness guarantees.
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const RootOptions& opts = {});
+
+/// Newton-Raphson with analytic derivative, safeguarded by an optional
+/// bracket: steps leaving [lo, hi] are replaced by bisection steps.
+std::optional<RootResult> newton(const std::function<double(double)>& f,
+                                 const std::function<double(double)>& df,
+                                 double x0, double lo, double hi,
+                                 const RootOptions& opts = {});
+
+/// Finds a bracketing interval for a monotone function by geometric
+/// expansion from [lo, hi]; returns the expanded (lo, hi) or nullopt.
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    int max_doublings = 60);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_ROOTS_HPP

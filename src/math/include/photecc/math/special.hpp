@@ -1,0 +1,42 @@
+// Special functions needed by the BER models of the paper:
+//   Eq. (3)  p   = 1/2 * erfc(sqrt(SNR))
+//   inverse  SNR = [erfc^-1(2 p)]^2
+//
+// The standard library provides erfc but not its inverse; we implement
+// erfc_inv with a rational initial guess refined by Halley iterations,
+// accurate to ~1e-14 relative over the full useful domain (arguments in
+// (0, 2), i.e. BERs down to denormal range).
+#ifndef PHOTECC_MATH_SPECIAL_HPP
+#define PHOTECC_MATH_SPECIAL_HPP
+
+namespace photecc::math {
+
+/// Inverse complementary error function: erfc(erfc_inv(y)) == y for
+/// y in (0, 2).  Returns +inf as y -> 0+ and -inf as y -> 2-.
+/// Throws std::domain_error outside [0, 2].
+double erfc_inv(double y);
+
+/// Inverse error function: erf(erf_inv(x)) == x for x in (-1, 1).
+double erf_inv(double x);
+
+/// Gaussian tail Q(x) = P(N(0,1) > x) = 1/2 erfc(x / sqrt(2)).
+double q_function(double x);
+
+/// Inverse of the Gaussian tail: q_inv(q_function(x)) == x.
+double q_inv(double p);
+
+/// Raw OOK bit-error probability from linear SNR, Eq. (3) of the paper:
+/// p = 1/2 erfc(sqrt(snr)).  Requires snr >= 0.
+double raw_ber_from_snr(double snr);
+
+/// Inverse of raw_ber_from_snr: linear SNR required so that the raw
+/// channel error probability equals `ber`.  Requires ber in (0, 0.5].
+double snr_from_raw_ber(double ber);
+
+/// log10 of raw_ber_from_snr, stable for very large SNR where the BER
+/// underflows double precision (uses the asymptotic expansion of erfc).
+double log10_raw_ber_from_snr(double snr);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_SPECIAL_HPP

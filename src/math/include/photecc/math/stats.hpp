@@ -1,0 +1,52 @@
+// Streaming statistics and proportion confidence intervals used by the
+// Monte-Carlo BER measurements.
+#ifndef PHOTECC_MATH_STATS_HPP
+#define PHOTECC_MATH_STATS_HPP
+
+#include <cstdint>
+
+namespace photecc::math {
+
+/// Welford streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval for a binomial proportion.
+struct ProportionInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  [[nodiscard]] bool contains(double p) const noexcept {
+    return p >= lower && p <= upper;
+  }
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// `confidence` (e.g. 0.99).  Well behaved for tiny proportions, which
+/// is exactly the BER-measurement regime.
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials,
+                                   double confidence = 0.99);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_STATS_HPP

@@ -1,0 +1,50 @@
+// Plain-text table rendering used by the benchmark harness to print the
+// paper's tables and figure data series in aligned columns, plus a CSV
+// writer for plotting.
+#ifndef PHOTECC_MATH_TABLE_HPP
+#define PHOTECC_MATH_TABLE_HPP
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace photecc::math {
+
+/// Column-aligned text table.  Build rows of strings (helpers provided
+/// for formatted numbers), then stream it.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with ASCII rules, padded to the widest cell per column.
+  void render(std::ostream& os) const;
+
+  /// Renders as CSV (no separators; quotes cells containing commas).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Fixed-precision formatting: e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Scientific formatting: e.g. format_sci(1.3e-11, 2) == "1.30e-11".
+std::string format_sci(double value, int decimals);
+
+/// Engineering-style value with SI suffix for watts ("14.35 mW").
+std::string format_power(double watts, int decimals = 2);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_TABLE_HPP

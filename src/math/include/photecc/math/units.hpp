@@ -1,0 +1,74 @@
+// Unit helpers and physical constants used across photecc.
+//
+// All internal computation is done in SI base units (watts, metres,
+// seconds, amperes).  These helpers make intent explicit at call sites
+// (`milli_watts(14.3)`) and centralise the dB conversions that the
+// photonic link budget is built from.
+#ifndef PHOTECC_MATH_UNITS_HPP
+#define PHOTECC_MATH_UNITS_HPP
+
+#include <cmath>
+
+namespace photecc::math {
+
+// ---- scale helpers (value -> SI) -------------------------------------
+constexpr double kilo  = 1e3;
+constexpr double mega  = 1e6;
+constexpr double giga  = 1e9;
+constexpr double milli = 1e-3;
+constexpr double micro = 1e-6;
+constexpr double nano  = 1e-9;
+constexpr double pico  = 1e-12;
+constexpr double femto = 1e-15;
+
+/// Watts from milliwatts.
+constexpr double milli_watts(double mw) noexcept { return mw * milli; }
+/// Watts from microwatts.
+constexpr double micro_watts(double uw) noexcept { return uw * micro; }
+/// Metres from centimetres.
+constexpr double centi_metres(double cm) noexcept { return cm * 1e-2; }
+/// Metres from nanometres.
+constexpr double nano_metres(double nm) noexcept { return nm * nano; }
+/// Hertz from gigahertz.
+constexpr double giga_hertz(double ghz) noexcept { return ghz * giga; }
+/// Amperes from microamperes.
+constexpr double micro_amps(double ua) noexcept { return ua * micro; }
+
+/// SI value expressed in milli-units (for reporting).
+constexpr double as_milli(double v) noexcept { return v / milli; }
+/// SI value expressed in micro-units (for reporting).
+constexpr double as_micro(double v) noexcept { return v / micro; }
+/// SI value expressed in pico-units (for reporting).
+constexpr double as_pico(double v) noexcept { return v / pico; }
+
+// ---- decibel conversions ---------------------------------------------
+
+/// Power ratio -> dB.  Requires ratio > 0.
+inline double to_db(double power_ratio) noexcept {
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// dB -> power ratio.
+inline double from_db(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+/// A loss expressed in dB (positive number) -> multiplicative transmission.
+inline double loss_db_to_transmission(double loss_db) noexcept {
+  return from_db(-loss_db);
+}
+
+/// Multiplicative transmission (0..1] -> loss in dB (positive number).
+inline double transmission_to_loss_db(double transmission) noexcept {
+  return -to_db(transmission);
+}
+
+// ---- physical constants -----------------------------------------------
+/// Speed of light in vacuum [m/s].
+constexpr double speed_of_light = 299'792'458.0;
+/// Elementary charge [C].
+constexpr double elementary_charge = 1.602'176'634e-19;
+/// Boltzmann constant [J/K].
+constexpr double boltzmann = 1.380'649e-23;
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_UNITS_HPP

@@ -1,0 +1,94 @@
+#include "photecc/math/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::math {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs,
+                                 std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  if (xs_.size() != ys_.size())
+    throw std::invalid_argument("PiecewiseLinear: xs/ys size mismatch");
+  if (xs_.size() < 2)
+    throw std::invalid_argument("PiecewiseLinear: need at least two knots");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (!(xs_[i] > xs_[i - 1]))
+      throw std::invalid_argument(
+          "PiecewiseLinear: xs must be strictly increasing");
+  }
+}
+
+std::size_t PiecewiseLinear::segment_for(double x) const noexcept {
+  // Index i of the segment [xs_[i], xs_[i+1]] used for x, clamped so
+  // extrapolation uses the first/last segment.
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  if (it == xs_.begin()) return 0;
+  std::size_t i = static_cast<std::size_t>(it - xs_.begin()) - 1;
+  return std::min(i, xs_.size() - 2);
+}
+
+double PiecewiseLinear::evaluate(double x) const {
+  if (empty()) throw std::logic_error("PiecewiseLinear: empty");
+  const std::size_t i = segment_for(x);
+  const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+  return ys_[i] + t * (ys_[i + 1] - ys_[i]);
+}
+
+double PiecewiseLinear::evaluate_clamped(double x) const {
+  if (empty()) throw std::logic_error("PiecewiseLinear: empty");
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  return evaluate(x);
+}
+
+bool PiecewiseLinear::is_strictly_monotone() const noexcept {
+  if (ys_.size() < 2) return false;
+  const bool increasing = ys_[1] > ys_[0];
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    if (increasing ? !(ys_[i] > ys_[i - 1]) : !(ys_[i] < ys_[i - 1]))
+      return false;
+  }
+  return true;
+}
+
+double PiecewiseLinear::inverse(double y) const {
+  if (!is_strictly_monotone())
+    throw std::logic_error("PiecewiseLinear::inverse: ys not monotone");
+  const bool increasing = ys_[1] > ys_[0];
+  // Binary search on ys (reversed comparison when decreasing).
+  std::size_t lo = 0, hi = ys_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    const bool go_right = increasing ? (ys_[mid] <= y) : (ys_[mid] >= y);
+    if (go_right) lo = mid; else hi = mid;
+  }
+  const double t = (y - ys_[lo]) / (ys_[hi] - ys_[lo]);
+  return xs_[lo] + t * (xs_[hi] - xs_[lo]);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0) return {};
+  if (count == 1) return {lo};
+  std::vector<double> out(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // avoid accumulated rounding at the endpoint
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t count) {
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace: bounds must be positive");
+  auto exps = linspace(std::log10(lo), std::log10(hi), count);
+  for (double& e : exps) e = std::pow(10.0, e);
+  if (!exps.empty()) {
+    exps.front() = lo;
+    exps.back() = hi;
+  }
+  return exps;
+}
+
+}  // namespace photecc::math

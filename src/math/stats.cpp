@@ -1,0 +1,70 @@
+#include "photecc/math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::math {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+ProportionInterval wilson_interval(std::uint64_t successes,
+                                   std::uint64_t trials,
+                                   double confidence) {
+  if (trials == 0)
+    throw std::invalid_argument("wilson_interval: zero trials");
+  if (successes > trials)
+    throw std::invalid_argument("wilson_interval: successes > trials");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("wilson_interval: confidence outside (0,1)");
+  const double z = q_inv((1.0 - confidence) / 2.0);
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return ProportionInterval{std::max(0.0, centre - half),
+                            std::min(1.0, centre + half)};
+}
+
+}  // namespace photecc::math

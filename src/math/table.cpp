@@ -1,0 +1,97 @@
+#include "photecc/math/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace photecc::math {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) rule(); else line(row);
+  }
+  rule();
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+std::string format_sci(double value, int decimals) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(decimals) << value;
+  return ss.str();
+}
+
+std::string format_power(double watts, int decimals) {
+  const double aw = std::abs(watts);
+  if (aw >= 1.0) return format_fixed(watts, decimals) + " W";
+  if (aw >= 1e-3) return format_fixed(watts * 1e3, decimals) + " mW";
+  if (aw >= 1e-6) return format_fixed(watts * 1e6, decimals) + " uW";
+  if (aw >= 1e-9) return format_fixed(watts * 1e9, decimals) + " nW";
+  if (aw == 0.0) return "0 W";
+  return format_fixed(watts * 1e12, decimals) + " pW";
+}
+
+}  // namespace photecc::math

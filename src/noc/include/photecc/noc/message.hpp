@@ -1,0 +1,36 @@
+// Message model of the ONoC simulator.
+#ifndef PHOTECC_NOC_MESSAGE_HPP
+#define PHOTECC_NOC_MESSAGE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace photecc::noc {
+
+/// Traffic classes with distinct communication requirements (paper
+/// Section III-C: real-time tasks need deadlines, multimedia-like tasks
+/// can trade BER/time for energy).
+enum class TrafficClass : std::uint8_t {
+  kRealTime,    ///< latency-critical, deadline-bound
+  kMultimedia,  ///< throughput-oriented, energy-saving preferred
+  kBestEffort,  ///< background traffic
+};
+
+[[nodiscard]] std::string to_string(TrafficClass cls);
+
+/// One end-to-end transfer request.
+struct Message {
+  std::uint64_t id = 0;
+  std::size_t source = 0;       ///< writer ONI
+  std::size_t destination = 0;  ///< reader ONI (channel owner)
+  std::uint64_t payload_bits = 0;
+  double creation_time_s = 0.0;
+  TrafficClass traffic_class = TrafficClass::kBestEffort;
+  /// Absolute deadline [s]; empty for no deadline.
+  std::optional<double> deadline_s;
+};
+
+}  // namespace photecc::noc
+
+#endif  // PHOTECC_NOC_MESSAGE_HPP

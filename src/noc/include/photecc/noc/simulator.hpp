@@ -1,0 +1,129 @@
+// Discrete-event simulator of an MWSR ONoC with the Optical Link
+// Energy/Performance Manager in the loop.
+//
+// Topology: one MWSR channel per reader ONI (paper Fig. 2a).  A writer
+// with a pending message requests the destination channel; a round-robin
+// arbiter grants it (token-style, with a fixed arbitration overhead per
+// grant).  The manager then selects the coding scheme and laser setting
+// for the transfer according to the message's traffic class.
+//
+// Energy accounting follows the paper's power model: the laser burns
+// Plaser(scheme) per wavelength while transmitting; with laser gating
+// enabled (ref [9]) it is off when the channel idles, otherwise it keeps
+// burning at the idle operating point.
+#ifndef PHOTECC_NOC_SIMULATOR_HPP
+#define PHOTECC_NOC_SIMULATOR_HPP
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "photecc/core/manager.hpp"
+#include "photecc/noc/message.hpp"
+#include "photecc/noc/traffic.hpp"
+
+namespace photecc::noc {
+
+/// Per-traffic-class communication requirements handed to the manager.
+struct ClassRequirements {
+  double target_ber = 1e-9;
+  core::Policy policy = core::Policy::kMinEnergy;
+  std::optional<double> max_ct;
+  std::optional<double> max_channel_power_w;
+};
+
+/// Simulator configuration.
+struct NocConfig {
+  std::size_t oni_count = 12;
+  link::MwsrParams link_params{};  ///< oni_count is copied in
+  core::SystemConfig system{};
+  /// Scheme menu offered to the manager (paper: the three schemes).
+  std::vector<ecc::BlockCodePtr> scheme_menu;
+  /// Per-class requirements; classes not present use the default.
+  std::map<TrafficClass, ClassRequirements> class_requirements;
+  ClassRequirements default_requirements{};
+  /// Turn lasers off between transfers (ref [9]).
+  bool laser_gating = true;
+  double laser_wake_s = 10e-9;     ///< gating wake-up latency
+  double arbitration_s = 2e-9;     ///< per-grant arbitration overhead
+  double flight_time_s = 0.8e-9;   ///< time of flight over the waveguide
+};
+
+/// Outcome of one delivered message.
+struct DeliveredMessage {
+  Message message;
+  double start_time_s = 0.0;       ///< transmission start (after grant)
+  double completion_time_s = 0.0;
+  double latency_s = 0.0;          ///< completion - creation
+  std::string scheme;              ///< code chosen by the manager
+  double energy_j = 0.0;           ///< laser + MR + codec for this transfer
+  bool deadline_missed = false;
+};
+
+/// Aggregate statistics of one run.
+struct NocStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;       ///< no feasible scheme
+  std::uint64_t deadline_misses = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double total_energy_j = 0.0;
+  double laser_energy_j = 0.0;
+  double mr_energy_j = 0.0;
+  double codec_energy_j = 0.0;
+  double idle_laser_energy_j = 0.0;  ///< burned while idle (no gating)
+  double busy_time_s = 0.0;          ///< summed channel busy time
+  double horizon_s = 0.0;
+  /// Scheme usage histogram (scheme name -> transfers).
+  std::map<std::string, std::uint64_t> scheme_usage;
+  /// Mean latency per traffic class.
+  std::map<TrafficClass, double> class_mean_latency_s;
+
+  /// Energy per delivered payload bit [J].
+  [[nodiscard]] double energy_per_bit_j(std::uint64_t payload_bits) const {
+    return payload_bits ? total_energy_j / static_cast<double>(payload_bits)
+                        : 0.0;
+  }
+};
+
+/// Result of a run: stats plus (optionally) the per-message log.
+struct NocRunResult {
+  NocStats stats;
+  std::uint64_t total_payload_bits = 0;
+  std::vector<DeliveredMessage> log;  ///< filled when keep_log is set
+};
+
+/// The simulator.
+class NocSimulator {
+ public:
+  explicit NocSimulator(NocConfig config);
+
+  /// Runs the schedule produced by `traffic` up to `horizon_s`.
+  /// Transfers still in flight at the horizon complete (the horizon
+  /// bounds arrivals, not drain).
+  [[nodiscard]] NocRunResult run(const TrafficGenerator& traffic,
+                                 double horizon_s, std::uint64_t seed,
+                                 bool keep_log = false) const;
+
+  /// Runs a pre-built message schedule.
+  [[nodiscard]] NocRunResult run(std::vector<Message> schedule,
+                                 double horizon_s,
+                                 bool keep_log = false) const;
+
+  [[nodiscard]] const NocConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const core::LinkManager& manager() const noexcept {
+    return *manager_;
+  }
+
+ private:
+  [[nodiscard]] const ClassRequirements& requirements_for(
+      TrafficClass cls) const;
+
+  NocConfig config_;
+  std::shared_ptr<core::LinkManager> manager_;
+};
+
+}  // namespace photecc::noc
+
+#endif  // PHOTECC_NOC_SIMULATOR_HPP

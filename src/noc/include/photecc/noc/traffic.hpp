@@ -1,0 +1,131 @@
+// Synthetic traffic generation for the ONoC simulator: uniform random,
+// hotspot, periodic streaming and phase-based application traces — the
+// workloads the paper's introduction motivates (real-time + multimedia
+// mixes on a many-core).
+#ifndef PHOTECC_NOC_TRAFFIC_HPP
+#define PHOTECC_NOC_TRAFFIC_HPP
+
+#include <memory>
+#include <vector>
+
+#include "photecc/math/rng.hpp"
+#include "photecc/noc/message.hpp"
+
+namespace photecc::noc {
+
+/// Generates the complete arrival schedule for one simulation run.
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// All messages with creation_time_s < horizon_s, sorted by time.
+  [[nodiscard]] virtual std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const = 0;
+};
+
+/// Poisson arrivals, uniformly random source/destination pairs.
+class UniformRandomTraffic final : public TrafficGenerator {
+ public:
+  /// `rate_msgs_per_s`: aggregate injection rate over the whole NoC.
+  UniformRandomTraffic(std::size_t oni_count, double rate_msgs_per_s,
+                       std::uint64_t payload_bits,
+                       TrafficClass cls = TrafficClass::kBestEffort,
+                       double target_ber = 1e-9);
+
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+  [[nodiscard]] double target_ber() const noexcept { return target_ber_; }
+
+ private:
+  std::size_t oni_count_;
+  double rate_;
+  std::uint64_t payload_bits_;
+  TrafficClass class_;
+  double target_ber_;
+};
+
+/// Like uniform, but a fraction of the traffic targets one hot ONI
+/// (e.g. a memory controller).
+class HotspotTraffic final : public TrafficGenerator {
+ public:
+  HotspotTraffic(std::size_t oni_count, double rate_msgs_per_s,
+                 std::uint64_t payload_bits, std::size_t hotspot,
+                 double hotspot_fraction);
+
+  [[nodiscard]] std::string name() const override { return "hotspot"; }
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+ private:
+  std::size_t oni_count_;
+  double rate_;
+  std::uint64_t payload_bits_;
+  std::size_t hotspot_;
+  double hotspot_fraction_;
+};
+
+/// Periodic multimedia-like streams: fixed-size frames from fixed
+/// producers to fixed consumers with per-frame deadlines.
+class StreamingTraffic final : public TrafficGenerator {
+ public:
+  struct Stream {
+    std::size_t source = 0;
+    std::size_t destination = 0;
+    double period_s = 1e-6;
+    std::uint64_t frame_bits = 64 * 1024;
+    /// Deadline as a fraction of the period.
+    double deadline_fraction = 1.0;
+    TrafficClass cls = TrafficClass::kMultimedia;
+  };
+
+  explicit StreamingTraffic(std::vector<Stream> streams);
+
+  [[nodiscard]] std::string name() const override { return "streaming"; }
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+ private:
+  std::vector<Stream> streams_;
+};
+
+/// Phase-based synthetic application trace: a cyclic sequence of
+/// (duration, generator) phases, e.g. compute (light uniform) then
+/// communicate (heavy all-to-all).
+class PhaseTraceTraffic final : public TrafficGenerator {
+ public:
+  struct Phase {
+    double duration_s = 1e-6;
+    std::shared_ptr<const TrafficGenerator> generator;
+  };
+
+  explicit PhaseTraceTraffic(std::vector<Phase> phases);
+
+  [[nodiscard]] std::string name() const override { return "phase-trace"; }
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// Merges the schedules of several generators.
+class MixedTraffic final : public TrafficGenerator {
+ public:
+  explicit MixedTraffic(
+      std::vector<std::shared_ptr<const TrafficGenerator>> parts);
+
+  [[nodiscard]] std::string name() const override { return "mixed"; }
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+ private:
+  std::vector<std::shared_ptr<const TrafficGenerator>> parts_;
+};
+
+}  // namespace photecc::noc
+
+#endif  // PHOTECC_NOC_TRAFFIC_HPP

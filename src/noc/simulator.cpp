@@ -1,0 +1,205 @@
+#include "photecc/noc/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/stats.hpp"
+
+namespace photecc::noc {
+
+NocSimulator::NocSimulator(NocConfig config) : config_(std::move(config)) {
+  if (config_.oni_count < 2)
+    throw std::invalid_argument("NocSimulator: need >= 2 ONIs");
+  if (config_.scheme_menu.empty())
+    config_.scheme_menu = ecc::paper_schemes();
+  config_.link_params.oni_count = config_.oni_count;
+  config_.system.oni_count = config_.oni_count;
+  manager_ = std::make_shared<core::LinkManager>(
+      link::MwsrChannel(config_.link_params), config_.scheme_menu,
+      config_.system);
+}
+
+const ClassRequirements& NocSimulator::requirements_for(
+    TrafficClass cls) const {
+  const auto it = config_.class_requirements.find(cls);
+  return it == config_.class_requirements.end() ? config_.default_requirements
+                                                : it->second;
+}
+
+NocRunResult NocSimulator::run(const TrafficGenerator& traffic,
+                               double horizon_s, std::uint64_t seed,
+                               bool keep_log) const {
+  return run(traffic.generate(horizon_s, seed), horizon_s, keep_log);
+}
+
+NocRunResult NocSimulator::run(std::vector<Message> schedule,
+                               double horizon_s, bool keep_log) const {
+  if (horizon_s <= 0.0)
+    throw std::invalid_argument("NocSimulator::run: non-positive horizon");
+  NocRunResult result;
+  result.stats.horizon_s = horizon_s;
+
+  const std::size_t nw = config_.system.wavelengths;
+  const double f_mod = config_.system.f_mod_hz;
+
+  // Partition messages per destination channel (channels are
+  // independent: every reader owns its waveguides and wavelengths).
+  std::vector<std::vector<Message>> per_channel(config_.oni_count);
+  for (auto& m : schedule) {
+    if (m.destination >= config_.oni_count || m.source >= config_.oni_count)
+      throw std::invalid_argument("NocSimulator::run: ONI out of range");
+    if (m.source == m.destination)
+      throw std::invalid_argument("NocSimulator::run: self loop message");
+    per_channel[m.destination].push_back(std::move(m));
+  }
+
+  std::vector<double> latencies;
+  std::map<TrafficClass, math::RunningStats> class_latency;
+
+  for (std::size_t ch = 0; ch < config_.oni_count; ++ch) {
+    auto& messages = per_channel[ch];
+    std::stable_sort(messages.begin(), messages.end(),
+                     [](const Message& a, const Message& b) {
+                       return a.creation_time_s < b.creation_time_s;
+                     });
+    // Round-robin arbitration among the writers of this channel.
+    std::vector<std::deque<Message>> queues(config_.oni_count);
+    std::size_t arrival_index = 0;
+    std::size_t rr_next = 0;
+    double now = 0.0;
+    double last_idle_power_w = 0.0;  // laser power of the last config
+    double last_busy_end = 0.0;
+
+    const auto pending_count = [&] {
+      std::size_t count = 0;
+      for (const auto& q : queues) count += q.size();
+      return count;
+    };
+
+    while (arrival_index < messages.size() || pending_count() > 0) {
+      // Admit every arrival up to `now`; if the channel is idle with no
+      // pending work, fast-forward to the next arrival.
+      if (pending_count() == 0 &&
+          messages[arrival_index].creation_time_s > now) {
+        now = messages[arrival_index].creation_time_s;
+      }
+      while (arrival_index < messages.size() &&
+             messages[arrival_index].creation_time_s <= now + 1e-15) {
+        const Message& m = messages[arrival_index];
+        queues[m.source].push_back(m);
+        ++arrival_index;
+      }
+      if (pending_count() == 0) continue;
+
+      // Round-robin grant.
+      std::size_t granted = rr_next;
+      for (std::size_t step = 0; step < config_.oni_count; ++step) {
+        const std::size_t candidate = (rr_next + step) % config_.oni_count;
+        if (!queues[candidate].empty()) {
+          granted = candidate;
+          break;
+        }
+      }
+      rr_next = (granted + 1) % config_.oni_count;
+      Message msg = queues[granted].front();
+      queues[granted].pop_front();
+
+      const ClassRequirements& req = requirements_for(msg.traffic_class);
+      core::CommunicationRequest request;
+      request.target_ber = req.target_ber;
+      request.policy = req.policy;
+      request.max_ct = req.max_ct;
+      request.max_channel_power_w = req.max_channel_power_w;
+      const auto configuration = manager_->configure(request);
+      if (!configuration) {
+        ++result.stats.dropped;
+        continue;
+      }
+      const core::SchemeMetrics& metrics = configuration->metrics;
+
+      const double grant_time = std::max(now, msg.creation_time_s);
+      const bool was_idle = grant_time > last_busy_end + 1e-15;
+      const double wake =
+          (config_.laser_gating && was_idle) ? config_.laser_wake_s : 0.0;
+      // Payload is striped over the NW wavelengths; parity stretches the
+      // serialisation by CT = n/k.
+      const double bits_per_lambda = std::ceil(
+          static_cast<double>(msg.payload_bits) / static_cast<double>(nw));
+      const double serialize_s = bits_per_lambda * metrics.ct / f_mod;
+      const double start = grant_time + config_.arbitration_s + wake;
+      const double end = start + serialize_s + config_.flight_time_s;
+
+      // Energy for this transfer.
+      const double laser_j =
+          metrics.p_laser_w * static_cast<double>(nw) * (serialize_s + wake);
+      const double mr_j =
+          metrics.p_mr_w * static_cast<double>(nw) * serialize_s;
+      const double codec_j =
+          metrics.p_enc_dec_w * static_cast<double>(nw) * serialize_s;
+      result.stats.laser_energy_j += laser_j;
+      result.stats.mr_energy_j += mr_j;
+      result.stats.codec_energy_j += codec_j;
+
+      // Idle laser burn between transfers when gating is off.
+      if (!config_.laser_gating && was_idle && last_idle_power_w > 0.0) {
+        result.stats.idle_laser_energy_j +=
+            last_idle_power_w * static_cast<double>(nw) *
+            (grant_time - last_busy_end);
+      }
+      last_idle_power_w = metrics.p_laser_w;
+      last_busy_end = end;
+      now = end;
+      result.stats.busy_time_s += end - grant_time;
+
+      const double latency = end - msg.creation_time_s;
+      latencies.push_back(latency);
+      class_latency[msg.traffic_class].add(latency);
+      ++result.stats.delivered;
+      result.total_payload_bits += msg.payload_bits;
+      const bool missed = msg.deadline_s && end > *msg.deadline_s;
+      if (missed) ++result.stats.deadline_misses;
+      ++result.stats.scheme_usage[metrics.scheme];
+
+      if (keep_log) {
+        DeliveredMessage d;
+        d.message = msg;
+        d.start_time_s = start;
+        d.completion_time_s = end;
+        d.latency_s = latency;
+        d.scheme = metrics.scheme;
+        d.energy_j = laser_j + mr_j + codec_j;
+        d.deadline_missed = missed;
+        result.log.push_back(std::move(d));
+      }
+    }
+    // Tail idle burn up to the horizon when gating is off.
+    if (!config_.laser_gating && last_idle_power_w > 0.0 &&
+        horizon_s > last_busy_end) {
+      result.stats.idle_laser_energy_j +=
+          last_idle_power_w * static_cast<double>(nw) *
+          (horizon_s - last_busy_end);
+    }
+  }
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    for (const double l : latencies) sum += l;
+    result.stats.mean_latency_s = sum / static_cast<double>(latencies.size());
+    result.stats.max_latency_s = latencies.back();
+    const std::size_t p95_index = static_cast<std::size_t>(
+        std::floor(0.95 * static_cast<double>(latencies.size() - 1)));
+    result.stats.p95_latency_s = latencies[p95_index];
+  }
+  for (const auto& [cls, stats] : class_latency)
+    result.stats.class_mean_latency_s[cls] = stats.mean();
+  result.stats.total_energy_j =
+      result.stats.laser_energy_j + result.stats.mr_energy_j +
+      result.stats.codec_energy_j + result.stats.idle_laser_energy_j;
+  return result;
+}
+
+}  // namespace photecc::noc

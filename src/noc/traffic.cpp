@@ -1,0 +1,230 @@
+#include "photecc/noc/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::noc {
+namespace {
+
+std::string class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kRealTime: return "real-time";
+    case TrafficClass::kMultimedia: return "multimedia";
+    case TrafficClass::kBestEffort: return "best-effort";
+  }
+  throw std::logic_error("class_name: bad TrafficClass");
+}
+
+double exponential(double rate, math::Xoshiro256& rng) {
+  // Inverse-CDF sampling; uniform01 is in [0, 1) so 1-u is in (0, 1].
+  return -std::log(1.0 - rng.uniform01()) / rate;
+}
+
+void sort_by_time(std::vector<Message>& messages) {
+  std::stable_sort(messages.begin(), messages.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.creation_time_s < b.creation_time_s;
+                   });
+}
+
+}  // namespace
+
+std::string to_string(TrafficClass cls) { return class_name(cls); }
+
+// ---------------------------------------------------------------------
+// UniformRandomTraffic
+// ---------------------------------------------------------------------
+
+UniformRandomTraffic::UniformRandomTraffic(std::size_t oni_count,
+                                           double rate_msgs_per_s,
+                                           std::uint64_t payload_bits,
+                                           TrafficClass cls,
+                                           double target_ber)
+    : oni_count_(oni_count),
+      rate_(rate_msgs_per_s),
+      payload_bits_(payload_bits),
+      class_(cls),
+      target_ber_(target_ber) {
+  if (oni_count < 2)
+    throw std::invalid_argument("UniformRandomTraffic: need >= 2 ONIs");
+  if (rate_msgs_per_s <= 0.0 || payload_bits == 0)
+    throw std::invalid_argument("UniformRandomTraffic: bad rate/payload");
+}
+
+std::vector<Message> UniformRandomTraffic::generate(
+    double horizon_s, std::uint64_t seed) const {
+  math::Xoshiro256 rng(seed);
+  std::vector<Message> out;
+  double t = exponential(rate_, rng);
+  std::uint64_t id = 0;
+  while (t < horizon_s) {
+    Message m;
+    m.id = id++;
+    m.creation_time_s = t;
+    m.source = rng.bounded(oni_count_);
+    do {
+      m.destination = rng.bounded(oni_count_);
+    } while (m.destination == m.source);
+    m.payload_bits = payload_bits_;
+    m.traffic_class = class_;
+    out.push_back(m);
+    t += exponential(rate_, rng);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// HotspotTraffic
+// ---------------------------------------------------------------------
+
+HotspotTraffic::HotspotTraffic(std::size_t oni_count, double rate_msgs_per_s,
+                               std::uint64_t payload_bits,
+                               std::size_t hotspot, double hotspot_fraction)
+    : oni_count_(oni_count),
+      rate_(rate_msgs_per_s),
+      payload_bits_(payload_bits),
+      hotspot_(hotspot),
+      hotspot_fraction_(hotspot_fraction) {
+  if (oni_count < 2)
+    throw std::invalid_argument("HotspotTraffic: need >= 2 ONIs");
+  if (hotspot >= oni_count)
+    throw std::invalid_argument("HotspotTraffic: hotspot out of range");
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0)
+    throw std::invalid_argument("HotspotTraffic: fraction outside [0, 1]");
+  if (rate_msgs_per_s <= 0.0 || payload_bits == 0)
+    throw std::invalid_argument("HotspotTraffic: bad rate/payload");
+}
+
+std::vector<Message> HotspotTraffic::generate(double horizon_s,
+                                              std::uint64_t seed) const {
+  math::Xoshiro256 rng(seed);
+  std::vector<Message> out;
+  double t = exponential(rate_, rng);
+  std::uint64_t id = 0;
+  while (t < horizon_s) {
+    Message m;
+    m.id = id++;
+    m.creation_time_s = t;
+    if (rng.bernoulli(hotspot_fraction_)) {
+      m.destination = hotspot_;
+      do {
+        m.source = rng.bounded(oni_count_);
+      } while (m.source == hotspot_);
+    } else {
+      m.source = rng.bounded(oni_count_);
+      do {
+        m.destination = rng.bounded(oni_count_);
+      } while (m.destination == m.source);
+    }
+    m.payload_bits = payload_bits_;
+    m.traffic_class = TrafficClass::kBestEffort;
+    out.push_back(m);
+    t += exponential(rate_, rng);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// StreamingTraffic
+// ---------------------------------------------------------------------
+
+StreamingTraffic::StreamingTraffic(std::vector<Stream> streams)
+    : streams_(std::move(streams)) {
+  if (streams_.empty())
+    throw std::invalid_argument("StreamingTraffic: no streams");
+  for (const auto& s : streams_) {
+    if (s.period_s <= 0.0 || s.frame_bits == 0 ||
+        s.deadline_fraction <= 0.0)
+      throw std::invalid_argument("StreamingTraffic: bad stream");
+    if (s.source == s.destination)
+      throw std::invalid_argument("StreamingTraffic: self loop");
+  }
+}
+
+std::vector<Message> StreamingTraffic::generate(double horizon_s,
+                                                std::uint64_t seed) const {
+  (void)seed;  // periodic schedule is deterministic
+  std::vector<Message> out;
+  std::uint64_t id = 0;
+  for (const auto& s : streams_) {
+    for (double t = 0.0; t < horizon_s; t += s.period_s) {
+      Message m;
+      m.id = id++;
+      m.creation_time_s = t;
+      m.source = s.source;
+      m.destination = s.destination;
+      m.payload_bits = s.frame_bits;
+      m.traffic_class = s.cls;
+      m.deadline_s = t + s.deadline_fraction * s.period_s;
+      out.push_back(m);
+    }
+  }
+  sort_by_time(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// PhaseTraceTraffic
+// ---------------------------------------------------------------------
+
+PhaseTraceTraffic::PhaseTraceTraffic(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  if (phases_.empty())
+    throw std::invalid_argument("PhaseTraceTraffic: no phases");
+  for (const auto& p : phases_) {
+    if (p.duration_s <= 0.0 || !p.generator)
+      throw std::invalid_argument("PhaseTraceTraffic: bad phase");
+  }
+}
+
+std::vector<Message> PhaseTraceTraffic::generate(double horizon_s,
+                                                 std::uint64_t seed) const {
+  std::vector<Message> out;
+  double phase_start = 0.0;
+  std::size_t phase_index = 0;
+  std::uint64_t sub_seed = seed;
+  while (phase_start < horizon_s) {
+    const Phase& phase = phases_[phase_index % phases_.size()];
+    const double span = std::min(phase.duration_s, horizon_s - phase_start);
+    auto chunk = phase.generator->generate(span, ++sub_seed);
+    for (auto& m : chunk) {
+      m.creation_time_s += phase_start;
+      if (m.deadline_s) *m.deadline_s += phase_start;
+      out.push_back(m);
+    }
+    phase_start += phase.duration_s;
+    ++phase_index;
+  }
+  sort_by_time(out);
+  // Re-number to keep ids unique after merging.
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].id = i;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// MixedTraffic
+// ---------------------------------------------------------------------
+
+MixedTraffic::MixedTraffic(
+    std::vector<std::shared_ptr<const TrafficGenerator>> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) throw std::invalid_argument("MixedTraffic: empty");
+  for (const auto& p : parts_)
+    if (!p) throw std::invalid_argument("MixedTraffic: null generator");
+}
+
+std::vector<Message> MixedTraffic::generate(double horizon_s,
+                                            std::uint64_t seed) const {
+  std::vector<Message> out;
+  std::uint64_t sub_seed = seed;
+  for (const auto& part : parts_) {
+    auto chunk = part->generate(horizon_s, ++sub_seed);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  sort_by_time(out);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].id = i;
+  return out;
+}
+
+}  // namespace photecc::noc

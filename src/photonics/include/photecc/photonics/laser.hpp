@@ -1,0 +1,128 @@
+// On-chip laser wall-plug models (paper Section IV-E / Fig. 4).
+//
+// The paper assumes CMOS-compatible PCM-VCSEL sources [16] with a
+// temperature-dependent lasing efficiency, evaluated following the
+// methodology of Li et al. [8] at 25 % chip activity: the electrical
+// power Plaser grows linearly with the requested optical output OPlaser
+// up to ~500 uW (efficiency ~5 %), then exponentially as self-heating
+// degrades the efficiency, with a hard ceiling of 700 uW on the
+// deliverable optical power.
+//
+// Two interchangeable models are provided:
+//  * CalibratedVcselModel — piecewise linear/exponential curve
+//    calibrated to Fig. 4 (the default everywhere).
+//  * SelfHeatingVcselModel — first-principles fixed point of
+//    P = OP / eta(T), T = T_amb + dT_activity + Rth * P, eta linear in
+//    T.  The deliverable-power ceiling emerges from the fold of the
+//    fixed point instead of being imposed.  Used by the laser-model
+//    ablation bench.
+#ifndef PHOTECC_PHOTONICS_LASER_HPP
+#define PHOTECC_PHOTONICS_LASER_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace photecc::photonics {
+
+/// Interface: electrical (wall-plug) power required to emit a given
+/// optical output power, at a given electrical-layer activity factor.
+class LaserPowerModel {
+ public:
+  virtual ~LaserPowerModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Electrical power [W] needed for optical output `op_laser_w` [W] at
+  /// `activity` in [0, 1].  Returns std::nullopt when the requested
+  /// output exceeds the deliverable maximum.
+  [[nodiscard]] virtual std::optional<double> electrical_power(
+      double op_laser_w, double activity) const = 0;
+
+  /// Maximum deliverable optical output power [W] at `activity`.
+  [[nodiscard]] virtual double max_optical_power(double activity) const = 0;
+
+  /// Wall-plug efficiency OP/P at the given operating point, when
+  /// feasible.
+  [[nodiscard]] std::optional<double> efficiency(double op_laser_w,
+                                                 double activity) const;
+};
+
+/// Parameters of the Fig. 4-calibrated piecewise model.
+struct CalibratedVcselParams {
+  double base_efficiency = 0.052;     ///< eta in the linear region
+  double knee_optical_w = 500e-6;     ///< end of the linear region
+  double thermal_scale_w = 387e-6;    ///< exponential growth constant
+  double max_optical_w = 700e-6;      ///< deliverable ceiling (Fig. 4/5)
+  double reference_activity = 0.25;   ///< activity the curve is calibrated at
+  /// Relative efficiency degradation per unit activity above the
+  /// reference (electrical layer heats the optical layer).
+  double activity_derating = 0.6;
+};
+
+/// Piecewise linear/exponential wall-plug curve calibrated to Fig. 4.
+class CalibratedVcselModel final : public LaserPowerModel {
+ public:
+  explicit CalibratedVcselModel(const CalibratedVcselParams& params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "calibrated-vcsel";
+  }
+  [[nodiscard]] std::optional<double> electrical_power(
+      double op_laser_w, double activity) const override;
+  [[nodiscard]] double max_optical_power(double activity) const override;
+
+  [[nodiscard]] const CalibratedVcselParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  /// Efficiency in the linear region after activity derating.
+  [[nodiscard]] double derated_efficiency(double activity) const;
+
+  CalibratedVcselParams params_;
+};
+
+/// Parameters of the physical self-heating model.
+struct SelfHeatingVcselParams {
+  double cold_efficiency = 0.055;      ///< eta at the reference temperature
+  double ambient_temperature_c = 45.0; ///< optical-layer ambient
+  double reference_temperature_c = 45.0;
+  /// Efficiency slope: eta(T) = cold * (1 - slope * (T - Tref)).
+  double efficiency_slope_per_c = 0.012;
+  double thermal_resistance_c_per_w = 1400.0;  ///< self-heating R_th
+  /// Temperature rise contributed by the electrical layer at activity 1.
+  double activity_heating_c = 28.0;
+};
+
+/// Fixed-point self-heating model; the optical ceiling emerges from the
+/// fold of  P = OP / eta(T(P)).
+class SelfHeatingVcselModel final : public LaserPowerModel {
+ public:
+  explicit SelfHeatingVcselModel(const SelfHeatingVcselParams& params = {});
+
+  [[nodiscard]] std::string name() const override {
+    return "self-heating-vcsel";
+  }
+  [[nodiscard]] std::optional<double> electrical_power(
+      double op_laser_w, double activity) const override;
+  [[nodiscard]] double max_optical_power(double activity) const override;
+
+  /// Steady-state junction temperature at the operating point [C].
+  [[nodiscard]] std::optional<double> junction_temperature(
+      double op_laser_w, double activity) const;
+
+  [[nodiscard]] const SelfHeatingVcselParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  SelfHeatingVcselParams params_;
+};
+
+/// The default model used across the library (Fig. 4 calibration).
+std::shared_ptr<const LaserPowerModel> default_laser_model();
+
+}  // namespace photecc::photonics
+
+#endif  // PHOTECC_PHOTONICS_LASER_HPP

@@ -1,0 +1,95 @@
+// Lorentzian micro-ring resonator (MR) model.
+//
+// The paper's Fig. 3 plots the ON/OFF transmission of the modulator MR:
+// in the ON state the resonance is aligned with the optical signal and
+// most power is absorbed; in the OFF state a forward-bias blue shift
+// detunes the resonance and the signal passes with low loss.  The
+// extinction ratio ER is the ON/OFF transmission ratio at the signal
+// wavelength (6.9 dB with the device of [Rakowski et al., OFC'13]).
+//
+// We model the through and drop ports with the standard Lorentzian
+// line shape parameterised by the loaded quality factor Q:
+//
+//   drop(delta)    = drop_max / (1 + (delta/hwhm)^2)
+//   through(delta) = base * (t_min + (delta/hwhm)^2) / (1 + (delta/hwhm)^2)
+//
+// where delta is the detuning from resonance, hwhm = lambda/(2Q), and
+// t_min is chosen so that the ON/OFF ratio at the signal wavelength
+// equals the requested ER given the modulation shift.
+#ifndef PHOTECC_PHOTONICS_MICRORING_HPP
+#define PHOTECC_PHOTONICS_MICRORING_HPP
+
+#include <cstddef>
+
+namespace photecc::photonics {
+
+/// Geometry/spectral parameters of one micro-ring.
+struct MicroRingParams {
+  double resonance_wavelength_m = 1520.25e-9;  ///< lambda_MR at rest
+  double quality_factor = 65000.0;             ///< loaded Q
+  /// Electro-optic resonance shift between OFF and ON states [m].
+  /// OFF state = resonance moved away from the signal by this amount.
+  double modulation_shift_m = 2.0 * 1520.25e-9 / 65000.0;  // 2 x FWHM
+  /// Target ON/OFF extinction ratio at the signal wavelength [dB]
+  /// (paper: 6.9 dB from [15]).
+  double extinction_ratio_db = 6.9;
+  /// Peak drop-port power transfer at resonance (0..1].
+  double drop_max = 0.95;
+  /// Broadband through-port baseline transmission (scattering loss).
+  double base_transmission = 0.9995;
+  /// Electrical modulation power P_MR per wavelength [W] (paper: 1.36 mW).
+  double modulation_power_w = 1.36e-3;
+};
+
+/// Modulator / filter micro-ring with ON (aligned) and OFF (detuned)
+/// states.  All transmissions are linear power ratios.
+class MicroRing {
+ public:
+  explicit MicroRing(const MicroRingParams& params);
+
+  /// Full width at half maximum of the resonance [m].
+  [[nodiscard]] double fwhm() const noexcept { return 2.0 * hwhm_; }
+  [[nodiscard]] double hwhm() const noexcept { return hwhm_; }
+
+  /// Through-port transmission at absolute wavelength `lambda` with the
+  /// resonance at `resonance`.
+  [[nodiscard]] double through(double lambda, double resonance) const noexcept;
+
+  /// Drop-port transmission at absolute wavelength `lambda`.
+  [[nodiscard]] double drop(double lambda, double resonance) const noexcept;
+
+  /// Through transmission for the signal in the ON state (resonance
+  /// aligned with the signal): the '0' level of OOK.
+  [[nodiscard]] double through_on() const noexcept;
+
+  /// Through transmission for the signal in the OFF state (resonance
+  /// detuned by the modulation shift): the '1' level of OOK.
+  [[nodiscard]] double through_off() const noexcept;
+
+  /// Achieved extinction ratio through_off/through_on (linear).
+  [[nodiscard]] double extinction_ratio() const noexcept;
+
+  /// Drop transmission when used as the reader filter for its own
+  /// channel (resonance aligned).
+  [[nodiscard]] double drop_aligned() const noexcept;
+
+  /// Drop leakage for a signal detuned by `delta` from the filter
+  /// resonance (inter-channel crosstalk path).
+  [[nodiscard]] double drop_detuned(double delta) const noexcept;
+
+  /// Residual minimum through transmission t_min solved from ER.
+  [[nodiscard]] double t_min() const noexcept { return t_min_; }
+
+  [[nodiscard]] const MicroRingParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  MicroRingParams params_;
+  double hwhm_;
+  double t_min_;
+};
+
+}  // namespace photecc::photonics
+
+#endif  // PHOTECC_PHOTONICS_MICRORING_HPP

@@ -1,0 +1,51 @@
+// Photodetector model implementing the paper's Eq. 4:
+//
+//   SNR = R * (OPsignal - OPcrosstalk) / i_n
+//
+// with responsivity R = 1 A/W and dark current i_n = 4 uA.
+#ifndef PHOTECC_PHOTONICS_PHOTODETECTOR_HPP
+#define PHOTECC_PHOTONICS_PHOTODETECTOR_HPP
+
+namespace photecc::photonics {
+
+/// Receiver photodetector parameters (paper defaults).
+struct PhotodetectorParams {
+  double responsivity_a_per_w = 1.0;  ///< R [A/W]
+  double dark_current_a = 4e-6;       ///< i_n [A]
+  /// Optical coupling loss from the drop waveguide into the detector
+  /// [dB]; part of the link budget rather than Eq. 4 itself.
+  double coupling_loss_db = 0.3;
+};
+
+/// Photodetector converting received optical power to the paper's SNR.
+class Photodetector {
+ public:
+  explicit Photodetector(const PhotodetectorParams& params = {});
+
+  /// Eq. 4: SNR for a received signal power and worst-case crosstalk
+  /// power (both in watts at the detector).  Returns 0 when crosstalk
+  /// exceeds signal.
+  [[nodiscard]] double snr(double op_signal_w, double op_crosstalk_w) const;
+
+  /// Inverse of Eq. 4: signal power required at the detector for a
+  /// target SNR given the crosstalk power.
+  [[nodiscard]] double required_signal_power(double snr,
+                                             double op_crosstalk_w) const;
+
+  /// Photocurrent for an incident optical power [A].
+  [[nodiscard]] double photocurrent(double op_w) const noexcept;
+
+  /// Power transmission of the detector coupling (from coupling_loss_db).
+  [[nodiscard]] double coupling_transmission() const noexcept;
+
+  [[nodiscard]] const PhotodetectorParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  PhotodetectorParams params_;
+};
+
+}  // namespace photecc::photonics
+
+#endif  // PHOTECC_PHOTONICS_PHOTODETECTOR_HPP

@@ -1,0 +1,34 @@
+// Silicon waveguide propagation-loss model (paper: 0.274 dB/cm, [17]).
+#ifndef PHOTECC_PHOTONICS_WAVEGUIDE_HPP
+#define PHOTECC_PHOTONICS_WAVEGUIDE_HPP
+
+namespace photecc::photonics {
+
+/// Straight waveguide with distributed propagation loss.
+class Waveguide {
+ public:
+  /// `loss_db_per_cm` >= 0; `length_m` >= 0.
+  Waveguide(double loss_db_per_cm, double length_m);
+
+  [[nodiscard]] double length_m() const noexcept { return length_m_; }
+  [[nodiscard]] double loss_db_per_cm() const noexcept {
+    return loss_db_per_cm_;
+  }
+
+  /// Total propagation loss over the full length [dB].
+  [[nodiscard]] double total_loss_db() const noexcept;
+
+  /// Power transmission over the full length (0..1].
+  [[nodiscard]] double transmission() const noexcept;
+
+  /// Power transmission over a partial distance [m].
+  [[nodiscard]] double transmission_over(double distance_m) const;
+
+ private:
+  double loss_db_per_cm_;
+  double length_m_;
+};
+
+}  // namespace photecc::photonics
+
+#endif  // PHOTECC_PHOTONICS_WAVEGUIDE_HPP

@@ -1,0 +1,38 @@
+// Wavelength-division multiplexing grid for the MWSR channel: NW
+// equally spaced carriers combined by an MMI multiplexer (paper Section
+// IV-B, [12]).
+#ifndef PHOTECC_PHOTONICS_WDM_HPP
+#define PHOTECC_PHOTONICS_WDM_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace photecc::photonics {
+
+/// Equally spaced WDM carrier grid.
+struct WdmGrid {
+  double start_wavelength_m = 1520.25e-9;  ///< lambda_0
+  double channel_spacing_m = 0.30e-9;      ///< grid pitch
+  std::size_t channel_count = 16;          ///< NW
+
+  /// Carrier wavelength of channel `index` (0-based).
+  [[nodiscard]] double wavelength(std::size_t index) const;
+
+  /// All carrier wavelengths, ascending.
+  [[nodiscard]] std::vector<double> wavelengths() const;
+
+  /// Absolute detuning between two channels [m].
+  [[nodiscard]] double detuning(std::size_t a, std::size_t b) const;
+};
+
+/// Multiplexer (MMI coupler) combining the NW laser outputs onto the
+/// channel waveguide.
+struct Multiplexer {
+  double insertion_loss_db = 1.5;
+
+  [[nodiscard]] double transmission() const noexcept;
+};
+
+}  // namespace photecc::photonics
+
+#endif  // PHOTECC_PHOTONICS_WDM_HPP

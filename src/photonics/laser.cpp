@@ -1,0 +1,140 @@
+#include "photecc/photonics/laser.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::photonics {
+namespace {
+
+void check_activity(double activity) {
+  if (activity < 0.0 || activity > 1.0)
+    throw std::invalid_argument("laser model: activity outside [0, 1]");
+}
+
+}  // namespace
+
+std::optional<double> LaserPowerModel::efficiency(double op_laser_w,
+                                                  double activity) const {
+  const auto p = electrical_power(op_laser_w, activity);
+  if (!p || *p <= 0.0) return std::nullopt;
+  return op_laser_w / *p;
+}
+
+// ---------------------------------------------------------------------
+// CalibratedVcselModel
+// ---------------------------------------------------------------------
+
+CalibratedVcselModel::CalibratedVcselModel(
+    const CalibratedVcselParams& params)
+    : params_(params) {
+  if (params.base_efficiency <= 0.0 || params.base_efficiency > 1.0)
+    throw std::invalid_argument("CalibratedVcselModel: bad efficiency");
+  if (params.knee_optical_w <= 0.0 ||
+      params.max_optical_w < params.knee_optical_w)
+    throw std::invalid_argument("CalibratedVcselModel: bad knee/max");
+  if (params.thermal_scale_w <= 0.0)
+    throw std::invalid_argument("CalibratedVcselModel: bad thermal scale");
+}
+
+double CalibratedVcselModel::derated_efficiency(double activity) const {
+  check_activity(activity);
+  const double derate =
+      1.0 - params_.activity_derating * (activity - params_.reference_activity);
+  return params_.base_efficiency * std::max(0.05, derate);
+}
+
+std::optional<double> CalibratedVcselModel::electrical_power(
+    double op_laser_w, double activity) const {
+  if (op_laser_w < 0.0)
+    throw std::invalid_argument("electrical_power: negative optical power");
+  if (op_laser_w > max_optical_power(activity)) return std::nullopt;
+  const double eta = derated_efficiency(activity);
+  if (op_laser_w <= params_.knee_optical_w) return op_laser_w / eta;
+  // Exponential thermal-droop region above the knee (Fig. 4 shape).
+  const double knee_power = params_.knee_optical_w / eta;
+  return knee_power * std::exp((op_laser_w - params_.knee_optical_w) /
+                               params_.thermal_scale_w);
+}
+
+double CalibratedVcselModel::max_optical_power(double activity) const {
+  check_activity(activity);
+  // Hotter chip -> lower deliverable maximum; linear derating mirrors
+  // the efficiency derating.
+  const double derate =
+      1.0 - params_.activity_derating * (activity - params_.reference_activity);
+  return params_.max_optical_w * std::clamp(derate, 0.05, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// SelfHeatingVcselModel
+// ---------------------------------------------------------------------
+
+SelfHeatingVcselModel::SelfHeatingVcselModel(
+    const SelfHeatingVcselParams& params)
+    : params_(params) {
+  if (params.cold_efficiency <= 0.0 || params.cold_efficiency > 1.0)
+    throw std::invalid_argument("SelfHeatingVcselModel: bad efficiency");
+  if (params.thermal_resistance_c_per_w < 0.0)
+    throw std::invalid_argument("SelfHeatingVcselModel: bad Rth");
+  if (params.efficiency_slope_per_c < 0.0)
+    throw std::invalid_argument("SelfHeatingVcselModel: bad slope");
+}
+
+std::optional<double> SelfHeatingVcselModel::electrical_power(
+    double op_laser_w, double activity) const {
+  if (op_laser_w < 0.0)
+    throw std::invalid_argument("electrical_power: negative optical power");
+  check_activity(activity);
+  if (op_laser_w == 0.0) return 0.0;
+  // eta(T) = eta0 (1 - s (T - Tref)),  T = Tamb + a*act + Rth P
+  // P eta(T(P)) = OP  =>  quadratic  -eta0 s Rth P^2 + eta0 g P - OP = 0
+  // with g = 1 - s (Tamb + a*act - Tref).
+  const double eta0 = params_.cold_efficiency;
+  const double s = params_.efficiency_slope_per_c;
+  const double rth = params_.thermal_resistance_c_per_w;
+  const double g =
+      1.0 - s * (params_.ambient_temperature_c +
+                 params_.activity_heating_c * activity -
+                 params_.reference_temperature_c);
+  if (g <= 0.0) return std::nullopt;  // too hot to lase at all
+  const double a = eta0 * s * rth;
+  const double b = eta0 * g;
+  if (a == 0.0) return op_laser_w / b;  // no self-heating: linear model
+  const double disc = b * b - 4.0 * a * op_laser_w;
+  if (disc < 0.0) return std::nullopt;  // beyond the fold: undeliverable
+  // The smaller root is the stable operating point.
+  return (b - std::sqrt(disc)) / (2.0 * a);
+}
+
+double SelfHeatingVcselModel::max_optical_power(double activity) const {
+  check_activity(activity);
+  const double eta0 = params_.cold_efficiency;
+  const double s = params_.efficiency_slope_per_c;
+  const double rth = params_.thermal_resistance_c_per_w;
+  const double g =
+      1.0 - s * (params_.ambient_temperature_c +
+                 params_.activity_heating_c * activity -
+                 params_.reference_temperature_c);
+  if (g <= 0.0) return 0.0;
+  if (s == 0.0 || rth == 0.0)
+    return 1.0;  // no fold: effectively unbounded (1 W sentinel)
+  // Fold of the quadratic: OPmax = (eta0 g)^2 / (4 eta0 s Rth).
+  return (eta0 * g) * (eta0 * g) / (4.0 * eta0 * s * rth);
+}
+
+std::optional<double> SelfHeatingVcselModel::junction_temperature(
+    double op_laser_w, double activity) const {
+  const auto p = electrical_power(op_laser_w, activity);
+  if (!p) return std::nullopt;
+  return params_.ambient_temperature_c +
+         params_.activity_heating_c * activity +
+         params_.thermal_resistance_c_per_w * *p;
+}
+
+std::shared_ptr<const LaserPowerModel> default_laser_model() {
+  static const auto model = std::make_shared<CalibratedVcselModel>();
+  return model;
+}
+
+}  // namespace photecc::photonics

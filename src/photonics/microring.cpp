@@ -1,0 +1,72 @@
+#include "photecc/photonics/microring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+
+MicroRing::MicroRing(const MicroRingParams& params) : params_(params) {
+  if (params.quality_factor <= 0.0)
+    throw std::invalid_argument("MicroRing: non-positive Q");
+  if (params.drop_max <= 0.0 || params.drop_max > 1.0)
+    throw std::invalid_argument("MicroRing: drop_max outside (0, 1]");
+  if (params.base_transmission <= 0.0 || params.base_transmission > 1.0)
+    throw std::invalid_argument(
+        "MicroRing: base_transmission outside (0, 1]");
+  if (params.extinction_ratio_db <= 0.0)
+    throw std::invalid_argument("MicroRing: ER must be positive");
+  if (params.modulation_shift_m <= 0.0)
+    throw std::invalid_argument(
+        "MicroRing: modulation shift must be positive");
+  hwhm_ = params.resonance_wavelength_m / (2.0 * params.quality_factor);
+
+  // Solve t_min from the requested ER at the modulation shift:
+  //   through_off / through_on = ER
+  //   (t_min + x^2)/(1 + x^2) / t_min = ER, with x = shift / hwhm
+  // => t_min = x^2 / (ER (1 + x^2) - 1).
+  const double er = math::from_db(params.extinction_ratio_db);
+  const double x = params.modulation_shift_m / hwhm_;
+  const double denom = er * (1.0 + x * x) - 1.0;
+  if (denom <= 0.0)
+    throw std::invalid_argument(
+        "MicroRing: modulation shift too small for the requested ER");
+  t_min_ = x * x / denom;
+  if (t_min_ >= 1.0)
+    throw std::invalid_argument(
+        "MicroRing: inconsistent ER/shift combination (t_min >= 1)");
+}
+
+double MicroRing::through(double lambda, double resonance) const noexcept {
+  const double u = (lambda - resonance) / hwhm_;
+  return params_.base_transmission * (t_min_ + u * u) / (1.0 + u * u);
+}
+
+double MicroRing::drop(double lambda, double resonance) const noexcept {
+  const double u = (lambda - resonance) / hwhm_;
+  return params_.drop_max / (1.0 + u * u);
+}
+
+double MicroRing::through_on() const noexcept {
+  // ON: resonance aligned with the signal.
+  return params_.base_transmission * t_min_;
+}
+
+double MicroRing::through_off() const noexcept {
+  const double x = params_.modulation_shift_m / hwhm_;
+  return params_.base_transmission * (t_min_ + x * x) / (1.0 + x * x);
+}
+
+double MicroRing::extinction_ratio() const noexcept {
+  return through_off() / through_on();
+}
+
+double MicroRing::drop_aligned() const noexcept { return params_.drop_max; }
+
+double MicroRing::drop_detuned(double delta) const noexcept {
+  const double u = delta / hwhm_;
+  return params_.drop_max / (1.0 + u * u);
+}
+
+}  // namespace photecc::photonics

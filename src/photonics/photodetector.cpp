@@ -1,0 +1,48 @@
+#include "photecc/photonics/photodetector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+
+Photodetector::Photodetector(const PhotodetectorParams& params)
+    : params_(params) {
+  if (params.responsivity_a_per_w <= 0.0)
+    throw std::invalid_argument("Photodetector: non-positive responsivity");
+  if (params.dark_current_a <= 0.0)
+    throw std::invalid_argument("Photodetector: non-positive dark current");
+  if (params.coupling_loss_db < 0.0)
+    throw std::invalid_argument("Photodetector: negative coupling loss");
+}
+
+double Photodetector::snr(double op_signal_w, double op_crosstalk_w) const {
+  if (op_signal_w < 0.0 || op_crosstalk_w < 0.0)
+    throw std::invalid_argument("Photodetector::snr: negative power");
+  const double numerator =
+      params_.responsivity_a_per_w * (op_signal_w - op_crosstalk_w);
+  return std::max(0.0, numerator / params_.dark_current_a);
+}
+
+double Photodetector::required_signal_power(double snr_target,
+                                            double op_crosstalk_w) const {
+  if (snr_target < 0.0)
+    throw std::invalid_argument(
+        "Photodetector::required_signal_power: negative SNR");
+  if (op_crosstalk_w < 0.0)
+    throw std::invalid_argument(
+        "Photodetector::required_signal_power: negative crosstalk");
+  return snr_target * params_.dark_current_a / params_.responsivity_a_per_w +
+         op_crosstalk_w;
+}
+
+double Photodetector::photocurrent(double op_w) const noexcept {
+  return params_.responsivity_a_per_w * op_w;
+}
+
+double Photodetector::coupling_transmission() const noexcept {
+  return math::loss_db_to_transmission(params_.coupling_loss_db);
+}
+
+}  // namespace photecc::photonics

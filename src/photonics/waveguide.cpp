@@ -1,0 +1,31 @@
+#include "photecc/photonics/waveguide.hpp"
+
+#include <stdexcept>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+
+Waveguide::Waveguide(double loss_db_per_cm, double length_m)
+    : loss_db_per_cm_(loss_db_per_cm), length_m_(length_m) {
+  if (loss_db_per_cm < 0.0)
+    throw std::invalid_argument("Waveguide: negative loss");
+  if (length_m < 0.0)
+    throw std::invalid_argument("Waveguide: negative length");
+}
+
+double Waveguide::total_loss_db() const noexcept {
+  return loss_db_per_cm_ * length_m_ * 100.0;
+}
+
+double Waveguide::transmission() const noexcept {
+  return math::loss_db_to_transmission(total_loss_db());
+}
+
+double Waveguide::transmission_over(double distance_m) const {
+  if (distance_m < 0.0 || distance_m > length_m_ + 1e-12)
+    throw std::out_of_range("Waveguide: distance outside [0, length]");
+  return math::loss_db_to_transmission(loss_db_per_cm_ * distance_m * 100.0);
+}
+
+}  // namespace photecc::photonics

@@ -1,0 +1,33 @@
+#include "photecc/photonics/wdm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+
+double WdmGrid::wavelength(std::size_t index) const {
+  if (index >= channel_count)
+    throw std::out_of_range("WdmGrid: channel index out of range");
+  return start_wavelength_m +
+         channel_spacing_m * static_cast<double>(index);
+}
+
+std::vector<double> WdmGrid::wavelengths() const {
+  std::vector<double> out;
+  out.reserve(channel_count);
+  for (std::size_t i = 0; i < channel_count; ++i)
+    out.push_back(wavelength(i));
+  return out;
+}
+
+double WdmGrid::detuning(std::size_t a, std::size_t b) const {
+  return std::abs(wavelength(a) - wavelength(b));
+}
+
+double Multiplexer::transmission() const noexcept {
+  return math::loss_db_to_transmission(insertion_loss_db);
+}
+
+}  // namespace photecc::photonics

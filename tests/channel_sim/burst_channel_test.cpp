@@ -1,0 +1,98 @@
+#include "photecc/channel_sim/burst_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photecc::channel_sim {
+namespace {
+
+TEST(GilbertElliott, Validation) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = -0.1;
+  EXPECT_THROW(GilbertElliottChannel(params, 1), std::invalid_argument);
+  params = GilbertElliottParams{};
+  params.error_prob_bad = 1.5;
+  EXPECT_THROW(GilbertElliottChannel(params, 1), std::invalid_argument);
+  params = GilbertElliottParams{};
+  params.p_good_to_bad = 0.0;
+  params.p_bad_to_good = 0.0;
+  EXPECT_THROW(GilbertElliottChannel(params, 1), std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryStatistics) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.09;
+  const GilbertElliottChannel channel(params, 1);
+  EXPECT_NEAR(channel.bad_state_fraction(), 0.1, 1e-12);
+  EXPECT_NEAR(channel.average_error_prob(),
+              0.1 * params.error_prob_bad + 0.9 * params.error_prob_good,
+              1e-12);
+  EXPECT_NEAR(channel.mean_burst_length(), 1.0 / 0.09, 1e-9);
+}
+
+TEST(GilbertElliott, MeasuredErrorRateMatchesStationaryAverage) {
+  GilbertElliottParams params;
+  params.p_good_to_bad = 5e-3;
+  params.p_bad_to_good = 0.05;
+  params.error_prob_good = 1e-4;
+  params.error_prob_bad = 0.25;
+  GilbertElliottChannel channel(params, 7);
+  const int n = 400000;
+  int errors = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool bit = (i & 1) != 0;
+    if (channel.transmit(bit) != bit) ++errors;
+  }
+  const double measured = static_cast<double>(errors) / n;
+  EXPECT_NEAR(measured / channel.average_error_prob(), 1.0, 0.15);
+}
+
+TEST(GilbertElliott, ErrorsActuallyCluster) {
+  // Compare the distribution of gaps between errors against a
+  // memoryless channel of the same average rate: the burst channel
+  // must produce many more back-to-back errors.
+  GilbertElliottParams params;
+  params.p_good_to_bad = 2e-3;
+  params.p_bad_to_good = 0.05;
+  params.error_prob_good = 0.0;
+  params.error_prob_bad = 0.4;
+  GilbertElliottChannel channel(params, 11);
+  const int n = 300000;
+  int errors = 0, adjacent_pairs = 0;
+  bool previous_error = false;
+  for (int i = 0; i < n; ++i) {
+    const bool error = channel.transmit(true) != true;
+    if (error) {
+      ++errors;
+      if (previous_error) ++adjacent_pairs;
+    }
+    previous_error = error;
+  }
+  ASSERT_GT(errors, 100);
+  const double p_avg = static_cast<double>(errors) / n;
+  // Memoryless: P(error | previous error) = p_avg.  Bursty: should be
+  // close to error_prob_bad (0.4), far above p_avg (~0.015).
+  const double conditional =
+      static_cast<double>(adjacent_pairs) / static_cast<double>(errors);
+  EXPECT_GT(conditional, 10.0 * p_avg);
+}
+
+TEST(GilbertElliott, DeterministicPerSeed) {
+  GilbertElliottParams params;
+  GilbertElliottChannel a(params, 5), b(params, 5);
+  for (int i = 0; i < 500; ++i) {
+    const bool bit = (i % 3) == 0;
+    EXPECT_EQ(a.transmit(bit), b.transmit(bit));
+  }
+}
+
+TEST(GilbertElliott, WordOverloadPreservesSize) {
+  GilbertElliottChannel channel(GilbertElliottParams{}, 3);
+  const ecc::BitVec word(37);
+  EXPECT_EQ(channel.transmit(word).size(), 37u);
+  const std::vector<bool> wire(11, true);
+  EXPECT_EQ(channel.transmit(wire).size(), 11u);
+}
+
+}  // namespace
+}  // namespace photecc::channel_sim

@@ -1,0 +1,109 @@
+#include "photecc/channel_sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+
+namespace photecc::channel_sim {
+namespace {
+
+TEST(MonteCarlo, RawBerConsistentWithEquationThree) {
+  // Pick SNRs where the BER is large enough to measure in ~2e5 bits.
+  for (const double snr : {1.0, 2.0, 3.0}) {
+    const BerMeasurement m = measure_raw_ber(snr, 200000);
+    EXPECT_TRUE(m.consistent())
+        << "snr=" << snr << " measured=" << m.measured_ber
+        << " analytic=" << m.analytic_ber << " ci=[" << m.interval.lower
+        << "," << m.interval.upper << "]";
+  }
+}
+
+TEST(MonteCarlo, RawBerFieldsAreCoherent) {
+  const BerMeasurement m = measure_raw_ber(2.0, 50000);
+  EXPECT_EQ(m.bits, 50000u);
+  EXPECT_NEAR(m.measured_ber,
+              static_cast<double>(m.bit_errors) / 50000.0, 1e-15);
+  EXPECT_LE(m.interval.lower, m.measured_ber);
+  EXPECT_GE(m.interval.upper, m.measured_ber);
+}
+
+TEST(MonteCarlo, SeedsChangeTheDrawsNotTheStatistics) {
+  MonteCarloOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const BerMeasurement ma = measure_raw_ber(2.0, 100000, a);
+  const BerMeasurement mb = measure_raw_ber(2.0, 100000, b);
+  EXPECT_NE(ma.bit_errors, mb.bit_errors);  // different streams
+  EXPECT_NEAR(ma.measured_ber / mb.measured_ber, 1.0, 0.2);
+}
+
+TEST(MonteCarlo, SameSeedReproducesExactly) {
+  const BerMeasurement a = measure_raw_ber(2.0, 100000);
+  const BerMeasurement b = measure_raw_ber(2.0, 100000);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+}
+
+class CodedBerValidation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodedBerValidation, MeasuredBerNearEquationTwoPrediction) {
+  // Eq. 2 is itself an approximation of the true post-decoding BER, so
+  // we check agreement within a factor band rather than the Wilson CI:
+  // the measured BER must sit within [x/3, 3x] of the prediction, and
+  // always at or below the raw channel BER.
+  const auto code = ecc::make_code(GetParam());
+  const double snr = 2.5;  // raw p ~ 1.3e-2: plenty of correctable errors
+  const BerMeasurement m = measure_coded_ber(*code, snr, 40000);
+  EXPECT_GT(m.measured_ber, m.analytic_ber / 3.0)
+      << "measured=" << m.measured_ber << " eq2=" << m.analytic_ber;
+  EXPECT_LT(m.measured_ber, m.analytic_ber * 3.0)
+      << "measured=" << m.measured_ber << " eq2=" << m.analytic_ber;
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, CodedBerValidation,
+                         ::testing::Values("H(7,4)", "H(15,11)", "REP(3,1)"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name)
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(MonteCarlo, CodingHelpsAtModerateSnr) {
+  const auto h74 = ecc::make_code("H(7,4)");
+  const double snr = 3.0;
+  const BerMeasurement coded = measure_coded_ber(*h74, snr, 50000);
+  const BerMeasurement raw = measure_raw_ber(snr, 200000);
+  EXPECT_LT(coded.measured_ber, raw.measured_ber);
+}
+
+TEST(MonteCarlo, EndToEndMatchesBlockLevelModel) {
+  const auto code = ecc::make_code("H(7,4)");
+  const BerMeasurement m = measure_end_to_end_ber(code, 2.5, 3000, 64);
+  EXPECT_EQ(m.bits, 3000u * 64u);
+  EXPECT_GT(m.measured_ber, m.analytic_ber / 3.0);
+  EXPECT_LT(m.measured_ber, m.analytic_ber * 3.0);
+}
+
+TEST(MonteCarlo, EndToEndUncodedMatchesRawChannel) {
+  const auto code = ecc::make_code("w/o ECC");
+  const double snr = 2.0;
+  const BerMeasurement m = measure_end_to_end_ber(code, snr, 3000, 64);
+  EXPECT_TRUE(m.consistent())
+      << "measured=" << m.measured_ber << " analytic=" << m.analytic_ber;
+}
+
+TEST(MonteCarlo, InputValidation) {
+  const auto code = ecc::make_code("H(7,4)");
+  EXPECT_THROW((void)measure_raw_ber(2.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)measure_coded_ber(*code, 2.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_end_to_end_ber(nullptr, 2.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_end_to_end_ber(code, 2.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::channel_sim

@@ -1,0 +1,77 @@
+#include "photecc/channel_sim/ook_channel.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::channel_sim {
+namespace {
+
+TEST(OokChannel, SigmaCalibratedToEquationThree) {
+  // sigma = 1 / (2 sqrt(2 snr)) makes Q(0.5/sigma) = 1/2 erfc(sqrt(snr)).
+  const OokChannel channel(4.0, 1);
+  EXPECT_NEAR(channel.noise_sigma(), 1.0 / (2.0 * std::sqrt(8.0)), 1e-15);
+  EXPECT_NEAR(channel.analytic_raw_ber(),
+              math::raw_ber_from_snr(4.0), 1e-15);
+}
+
+TEST(OokChannel, RejectsNonPositiveSnr) {
+  EXPECT_THROW(OokChannel(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(OokChannel(-1.0, 1), std::invalid_argument);
+}
+
+TEST(OokChannel, DeterministicForSameSeed) {
+  OokChannel a(2.0, 99), b(2.0, 99);
+  for (int i = 0; i < 200; ++i) {
+    const bool bit = (i % 3) == 0;
+    EXPECT_EQ(a.transmit(bit), b.transmit(bit));
+  }
+}
+
+TEST(OokChannel, HighSnrIsEssentiallyErrorFree) {
+  OokChannel channel(50.0, 7);  // p ~ 7e-24
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(channel.transmit(true), true);
+    EXPECT_EQ(channel.transmit(false), false);
+  }
+}
+
+TEST(OokChannel, AnalogLevelsAreCentredOnSymbols) {
+  OokChannel channel(10.0, 13);
+  double sum1 = 0.0, sum0 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum1 += channel.transmit_analog(true);
+    sum0 += channel.transmit_analog(false);
+  }
+  EXPECT_NEAR(sum1 / n, 1.0, 0.01);
+  EXPECT_NEAR(sum0 / n, 0.0, 0.01);
+}
+
+TEST(OokChannel, MeasuredRawBerTracksAnalyticPrediction) {
+  // At SNR = 2, p = 1/2 erfc(sqrt(2)) ~ 0.0228: 200k bits give a tight
+  // estimate.
+  const double snr = 2.0;
+  OokChannel channel(snr, 21);
+  const int n = 200000;
+  int errors = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool bit = (i & 1) != 0;
+    if (channel.transmit(bit) != bit) ++errors;
+  }
+  const double measured = static_cast<double>(errors) / n;
+  EXPECT_NEAR(measured / math::raw_ber_from_snr(snr), 1.0, 0.05);
+}
+
+TEST(OokChannel, WordAndWireOverloadsPreserveLength) {
+  OokChannel channel(5.0, 31);
+  const ecc::BitVec word = ecc::BitVec::from_string("10110");
+  EXPECT_EQ(channel.transmit(word).size(), word.size());
+  const std::vector<bool> wire{true, false, true};
+  EXPECT_EQ(channel.transmit(wire).size(), wire.size());
+}
+
+}  // namespace
+}  // namespace photecc::channel_sim

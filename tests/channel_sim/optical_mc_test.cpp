@@ -1,0 +1,99 @@
+#include "photecc/channel_sim/optical_mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/snr_solver.hpp"
+
+namespace photecc::channel_sim {
+namespace {
+
+link::MwsrChannel paper_channel() {
+  return link::MwsrChannel{link::MwsrParams{}};
+}
+
+// Pick a laser power whose BER is measurable (~1e-3) in modest samples.
+double measurable_op(const link::MwsrChannel& channel) {
+  const auto uncoded = ecc::make_code("w/o ECC");
+  return link::solve_operating_point(channel, *uncoded, 1e-3)
+      .op_laser_w;
+}
+
+TEST(OpticalMc, Validation) {
+  const auto channel = paper_channel();
+  EXPECT_THROW((void)measure_optical_raw_ber(channel, 0.0),
+               std::invalid_argument);
+  OpticalMcOptions options;
+  options.bits = 0;
+  EXPECT_THROW((void)measure_optical_raw_ber(channel, 1e-4, options),
+               std::invalid_argument);
+}
+
+TEST(OpticalMc, MeasuredBerBoundedByWorstCasePrediction) {
+  // Random neighbour data cannot be worse than the analytic all-'1'
+  // worst case (allow CI slack).
+  const auto channel = paper_channel();
+  const double op = measurable_op(channel);
+  const auto result = measure_optical_raw_ber(channel, op);
+  EXPECT_LE(result.interval.lower, result.worst_case_ber)
+      << "measured " << result.measured_ber << " worst case "
+      << result.worst_case_ber;
+}
+
+TEST(OpticalMc, MeasuredBerAboveNoCrosstalkFloor) {
+  const auto channel = paper_channel();
+  const double op = measurable_op(channel);
+  const auto result = measure_optical_raw_ber(channel, op);
+  // Random crosstalk jitters the eye: at least the clean floor.
+  EXPECT_GE(result.interval.upper, result.no_crosstalk_ber * 0.8);
+}
+
+TEST(OpticalMc, AllOnesNeighboursApproachTheWorstCase) {
+  // Forcing every neighbour to '1' realises (almost exactly, modulo the
+  // compensated threshold) the worst-case analysis.
+  const auto channel = paper_channel();
+  const double op = measurable_op(channel);
+  OpticalMcOptions options;
+  options.random_neighbours = false;
+  options.bits = 300000;
+  const auto result = measure_optical_raw_ber(channel, op, options);
+  EXPECT_LT(result.measured_ber, result.worst_case_ber * 3.0);
+  EXPECT_GT(result.measured_ber, result.no_crosstalk_ber * 0.3);
+}
+
+TEST(OpticalMc, MoreLaserPowerMeansFewerErrors) {
+  const auto channel = paper_channel();
+  const double op = measurable_op(channel);
+  const auto low = measure_optical_raw_ber(channel, op * 0.8);
+  const auto high = measure_optical_raw_ber(channel, op * 1.3);
+  EXPECT_GT(low.measured_ber, high.measured_ber);
+}
+
+TEST(OpticalMc, DeterministicPerSeed) {
+  const auto channel = paper_channel();
+  const double op = measurable_op(channel);
+  OpticalMcOptions options;
+  options.bits = 20000;
+  const auto a = measure_optical_raw_ber(channel, op, options);
+  const auto b = measure_optical_raw_ber(channel, op, options);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+}
+
+TEST(OpticalMc, CrosstalkFreeChannelMatchesAnalyticFloorExactly) {
+  // With crosstalk disabled in the link model the measurement reduces
+  // to the calibrated AWGN construction: measured ~= no-crosstalk
+  // prediction within the CI.
+  link::MwsrParams params;
+  params.include_crosstalk = false;
+  const link::MwsrChannel channel{params};
+  const double op = measurable_op(channel);
+  OpticalMcOptions options;
+  options.bits = 400000;
+  const auto result = measure_optical_raw_ber(channel, op, options);
+  EXPECT_TRUE(result.interval.contains(result.no_crosstalk_ber))
+      << "measured " << result.measured_ber << " predicted "
+      << result.no_crosstalk_ber;
+}
+
+}  // namespace
+}  // namespace photecc::channel_sim

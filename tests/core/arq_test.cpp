@@ -1,0 +1,155 @@
+#include "photecc/core/arq.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/units.hpp"
+
+namespace photecc::core {
+namespace {
+
+link::MwsrChannel paper_channel() {
+  return link::MwsrChannel{link::MwsrParams{}};
+}
+
+TEST(Arq, Validation) {
+  ArqParams params;
+  params.frame_payload_bits = 0;
+  EXPECT_THROW(ArqScheme{params}, std::invalid_argument);
+  params = ArqParams{};
+  params.crc_width = 0;
+  EXPECT_THROW(ArqScheme{params}, std::invalid_argument);
+  params = ArqParams{};
+  params.max_frame_error_rate = 1.0;
+  EXPECT_THROW(ArqScheme{params}, std::invalid_argument);
+  const ArqScheme scheme;
+  EXPECT_THROW((void)scheme.frame_error_rate(-0.1), std::domain_error);
+  EXPECT_THROW((void)scheme.required_raw_ber(0.0), std::domain_error);
+}
+
+TEST(Arq, FrameErrorRateMatchesClosedForm) {
+  const ArqScheme scheme;  // 64 + 16 bits
+  EXPECT_EQ(scheme.frame_bits(), 80u);
+  for (const double p : {1e-6, 1e-3, 1e-2}) {
+    EXPECT_NEAR(scheme.frame_error_rate(p),
+                1.0 - std::pow(1.0 - p, 80.0), 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(scheme.frame_error_rate(0.0), 0.0);
+}
+
+TEST(Arq, ResidualBerScalesWithCrcAliasing) {
+  ArqParams p8;
+  p8.crc_width = 8;
+  ArqParams p32;
+  p32.crc_width = 32;
+  const ArqScheme crc8(p8), crc32(p32);
+  const double p = 1e-3;
+  // Same payload, wider CRC: the frame is a bit longer (higher FER) but
+  // aliasing drops by 2^-24 — residual must be orders of magnitude
+  // lower.
+  EXPECT_LT(crc32.residual_ber(p), crc8.residual_ber(p) * 1e-6);
+}
+
+TEST(Arq, EffectiveCtGrowsWithErrorRate) {
+  const ArqScheme scheme;
+  const double clean = scheme.effective_ct(1e-9);
+  EXPECT_NEAR(clean, 80.0 / 64.0, 1e-6);  // CRC overhead only
+  EXPECT_GT(scheme.effective_ct(1e-2), clean);
+  // At the FER cap (50 %), the expected sends double.
+  const double p_half = 1.0 - std::pow(0.5, 1.0 / 80.0);
+  EXPECT_NEAR(scheme.effective_ct(p_half), 2.0 * 80.0 / 64.0, 1e-9);
+}
+
+TEST(Arq, RequiredRawBerRoundTrips) {
+  const ArqScheme scheme;
+  for (const double target : {1e-9, 1e-11, 1e-13}) {
+    const auto p = scheme.required_raw_ber(target);
+    ASSERT_TRUE(p.has_value()) << target;
+    // Either limited by the residual target...
+    const double residual = scheme.residual_ber(*p);
+    if (residual < target * 0.99) {
+      // ...or by the FER cap.
+      EXPECT_NEAR(scheme.frame_error_rate(*p), 0.5, 1e-9);
+    } else {
+      EXPECT_NEAR(residual / target, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(Arq, WideCrcSaturatesAtTheFerCap) {
+  ArqParams params;
+  params.crc_width = 32;
+  const ArqScheme scheme(params);
+  // CRC-32 aliasing (2^-33 per frame) is already below 1e-9; the
+  // operating point is the throughput cap, not the quality target.
+  const auto p = scheme.required_raw_ber(1e-9);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(scheme.frame_error_rate(*p), 0.5, 1e-9);
+}
+
+TEST(Arq, SolveOnPaperChannelIsFeasibleAndCheap) {
+  const auto channel = paper_channel();
+  ArqParams params;
+  params.crc_width = 32;
+  const ArqScheme scheme(params);
+  const auto point = scheme.solve(channel, 1e-11);
+  ASSERT_TRUE(point.feasible);
+  // Detection-only lets the laser run far below the FEC operating
+  // points (raw p ~ 1e-2 vs 1e-6).
+  EXPECT_LT(point.p_laser_w, 4e-3);
+  EXPECT_GT(point.effective_ct, 1.2);
+  EXPECT_LE(point.residual_ber, 1e-11 * 1.01);
+}
+
+TEST(Arq, NarrowCrcCannotReachDeepTargetsCheaply) {
+  // CRC-8 aliasing floor: residual <= target forces tiny raw p, so the
+  // laser power approaches the uncoded scheme's.
+  const auto channel = paper_channel();
+  ArqParams p8;
+  p8.crc_width = 8;
+  ArqParams p32;
+  p32.crc_width = 32;
+  const auto weak = ArqScheme(p8).solve(channel, 1e-11);
+  const auto strong = ArqScheme(p32).solve(channel, 1e-11);
+  ASSERT_TRUE(weak.feasible && strong.feasible);
+  EXPECT_GT(weak.p_laser_w, strong.p_laser_w * 2.0);
+}
+
+TEST(Arq, EvaluateProducesConsistentSchemeMetrics) {
+  const auto channel = paper_channel();
+  const ArqScheme scheme;
+  const SchemeMetrics m = scheme.evaluate(channel, 1e-11);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.scheme, "ARQ+CRC16");
+  EXPECT_NEAR(m.p_channel_w, m.p_laser_w + m.p_mr_w + m.p_enc_dec_w,
+              1e-15);
+  EXPECT_NEAR(m.energy_per_bit_j,
+              m.p_channel_w * m.ct / SystemConfig{}.f_mod_hz, 1e-20);
+  EXPECT_GT(m.ct, 1.0);
+}
+
+TEST(Arq, ArqWinsOnExpectationButOffersNoSinglePassGuarantee) {
+  // Under the random-error model a CRC-32 ARQ link at 1e-11 can run at
+  // FER ~ 8.6 % — its *expected* CT (~1.64) even undercuts H(7,4)'s
+  // fixed 1.75, at far lower laser power.  What FEC buys instead is
+  // determinism: its CT is a constant, while ARQ completes in one pass
+  // only with probability 1 - FER (unbounded tail) — the reason the
+  // paper's real-time traffic wants FEC.
+  const auto channel = paper_channel();
+  ArqParams params;
+  params.crc_width = 32;
+  const ArqScheme scheme(params);
+  const auto arq = scheme.solve(channel, 1e-11);
+  const auto h74 = evaluate_scheme(
+      channel, *ecc::make_code("H(7,4)"), 1e-11);
+  ASSERT_TRUE(arq.feasible && h74.feasible);
+  EXPECT_LT(arq.p_laser_w, h74.p_laser_w);
+  EXPECT_LT(arq.effective_ct, h74.ct);         // expectation wins...
+  EXPECT_GT(arq.frame_error_rate, 0.05);       // ...but 1 in 12 frames
+  EXPECT_GT(arq.expected_transmissions, 1.05); // needs a resend
+}
+
+}  // namespace
+}  // namespace photecc::core

@@ -1,0 +1,117 @@
+#include "photecc/core/harq.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "photecc/core/arq.hpp"
+#include "photecc/ecc/registry.hpp"
+
+namespace photecc::core {
+namespace {
+
+link::MwsrChannel paper_channel() {
+  return link::MwsrChannel{link::MwsrParams{}};
+}
+
+TEST(Harq, ParametersAndValidation) {
+  const HarqScheme harq;  // m = 6
+  EXPECT_EQ(harq.name(), "HARQ-eH(64,57)");
+  EXPECT_EQ(harq.block_length(), 64u);
+  EXPECT_EQ(harq.message_length(), 57u);
+  HarqParams bad;
+  bad.m = 2;
+  EXPECT_THROW(HarqScheme{bad}, std::invalid_argument);
+  bad = HarqParams{};
+  bad.max_retransmission_rate = 0.0;
+  EXPECT_THROW(HarqScheme{bad}, std::invalid_argument);
+  EXPECT_THROW((void)harq.residual_ber(-0.1), std::domain_error);
+  EXPECT_THROW((void)harq.required_raw_ber(0.6), std::domain_error);
+}
+
+TEST(Harq, ResidualScalesAsPCubed) {
+  // Silent corruption needs >= 3 errors: residual ~ C(n,3) p^3 * 4/n.
+  const HarqScheme harq;
+  const double p = 1e-6;
+  const double expected =
+      41664.0 * p * p * p * 4.0 / 64.0;  // C(64,3) = 41664
+  EXPECT_NEAR(harq.residual_ber(p) / expected, 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(harq.residual_ber(0.0), 0.0);
+}
+
+TEST(Harq, RetransmissionRateScalesAsPSquared) {
+  const HarqScheme harq;
+  const double p = 1e-6;
+  const double expected = 2016.0 * p * p;  // C(64,2)
+  EXPECT_NEAR(harq.retransmission_rate(p) / expected, 1.0, 1e-3);
+}
+
+TEST(Harq, EffectiveCtApproachesRateOverheadAtLowP) {
+  const HarqScheme harq;
+  EXPECT_NEAR(harq.effective_ct(1e-9), 64.0 / 57.0, 1e-9);
+  EXPECT_GT(harq.effective_ct(1e-2), harq.effective_ct(1e-6));
+}
+
+TEST(Harq, RequiredRawBerRoundTrips) {
+  const HarqScheme harq;
+  for (const double target : {1e-9, 1e-11, 1e-13}) {
+    const auto p = harq.required_raw_ber(target);
+    ASSERT_TRUE(p.has_value()) << target;
+    const double residual = harq.residual_ber(*p);
+    if (residual < target * 0.99) {
+      EXPECT_NEAR(harq.retransmission_rate(*p),
+                  harq.params().max_retransmission_rate, 1e-6);
+    } else {
+      EXPECT_NEAR(residual / target, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(Harq, SitsBetweenFecAndArqOnLaserPower) {
+  // The taxonomy claim: at 1e-11, HARQ's p^3 quality floor admits a
+  // higher raw p than H(7,4)'s effective p^2 (lower laser power), but
+  // CRC-32 pure ARQ (p^1-ish detection budget) runs lower still.
+  const auto channel = paper_channel();
+  const HarqScheme harq;
+  const auto harq_point = harq.solve(channel, 1e-11);
+  const auto fec = evaluate_scheme(
+      channel, *ecc::make_code("H(7,4)"), 1e-11);
+  ArqParams arq_params;
+  arq_params.crc_width = 32;
+  const auto arq = ArqScheme(arq_params).solve(channel, 1e-11);
+  ASSERT_TRUE(harq_point.feasible && fec.feasible && arq.feasible);
+  EXPECT_LT(harq_point.p_laser_w, fec.p_laser_w);
+  EXPECT_GT(harq_point.p_laser_w, arq.p_laser_w);
+  // And a far better single-pass guarantee than pure ARQ.
+  EXPECT_LT(harq_point.retransmission_rate, arq.frame_error_rate / 5.0);
+}
+
+TEST(Harq, EvaluateProducesConsistentMetrics) {
+  const auto channel = paper_channel();
+  const HarqScheme harq;
+  const SchemeMetrics m = harq.evaluate(channel, 1e-11);
+  ASSERT_TRUE(m.feasible);
+  EXPECT_EQ(m.scheme, "HARQ-eH(64,57)");
+  EXPECT_NEAR(m.p_channel_w, m.p_laser_w + m.p_mr_w + m.p_enc_dec_w,
+              1e-15);
+  EXPECT_GT(m.ct, 64.0 / 57.0 - 1e-9);
+  EXPECT_GT(m.energy_per_bit_j, 0.0);
+}
+
+TEST(Harq, InfeasibleBeyondLaserCeiling) {
+  // Crank the target until the required SNR exceeds the ceiling.
+  const auto channel = paper_channel();
+  HarqParams params;
+  params.m = 3;  // eH(8,4): weak, needs high SNR for deep targets
+  const HarqScheme harq(params);
+  const auto point = harq.solve(channel, 1e-15);
+  // Whether feasible or not, fields must be coherent.
+  if (!point.feasible) {
+    EXPECT_GT(point.op_laser_w, 0.0);
+  } else {
+    EXPECT_LE(point.op_laser_w, 700e-6 * 1.0001);
+  }
+}
+
+}  // namespace
+}  // namespace photecc::core

@@ -1,0 +1,149 @@
+#include "photecc/core/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+
+namespace photecc::core {
+namespace {
+
+LinkManager paper_manager() {
+  return LinkManager(link::MwsrChannel{link::MwsrParams{}},
+                     ecc::paper_schemes());
+}
+
+TEST(LinkManager, ConstructionValidation) {
+  EXPECT_THROW(LinkManager(link::MwsrChannel{link::MwsrParams{}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(LinkManager(link::MwsrChannel{link::MwsrParams{}},
+                           {nullptr}),
+               std::invalid_argument);
+}
+
+TEST(LinkManager, MinTimePolicyPicksUncodedWhenFeasible) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-9;
+  request.policy = Policy::kMinTime;
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "w/o ECC");
+  EXPECT_DOUBLE_EQ(config->metrics.ct, 1.0);
+}
+
+TEST(LinkManager, MinPowerPolicyPicksStrongestCode) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinPower;
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "H(7,4)");
+}
+
+TEST(LinkManager, MinEnergyPolicyPicksH7164AtPaperOperatingPoint) {
+  // With E/bit = Pchannel / (Fmod * Rc), H(71,64) wins: large rate,
+  // halved laser power (the paper's 'most energy efficient' scheme).
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinEnergy;
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "H(71,64)");
+}
+
+TEST(LinkManager, DeadlineConstraintForcesFasterScheme) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinPower;
+  request.max_ct = 1.05;  // excludes H(7,4) (1.75) and H(71,64) (1.11)
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "w/o ECC");
+}
+
+TEST(LinkManager, DeadlineAdmitsEqualCt) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinPower;
+  request.max_ct = 71.0 / 64.0;  // exactly H(71,64)'s CT
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "H(71,64)");
+}
+
+TEST(LinkManager, PowerCapExcludesUncoded) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinTime;
+  request.max_channel_power_w = 10e-3;  // uncoded needs ~15.7 mW
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->code->name(), "H(71,64)");  // fastest under the cap
+}
+
+TEST(LinkManager, ImpossibleRequestReturnsNothing) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-12;
+  request.max_ct = 1.0;  // only uncoded, but uncoded can't reach 1e-12
+  EXPECT_FALSE(manager.configure(request).has_value());
+
+  request = CommunicationRequest{};
+  request.target_ber = 1e-9;
+  request.max_channel_power_w = 1e-6;  // nothing fits in a microwatt
+  EXPECT_FALSE(manager.configure(request).has_value());
+}
+
+TEST(LinkManager, TenToMinusTwelveNeedsCoding) {
+  // The paper's feasibility headline, expressed as manager behaviour.
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-12;
+  request.policy = Policy::kMinTime;
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_NE(config->code->name(), "w/o ECC");
+  EXPECT_EQ(config->code->name(), "H(71,64)");  // fastest feasible
+}
+
+TEST(LinkManager, LaserSettingMatchesTheOperatingPoint) {
+  const LinkManager manager = paper_manager();
+  CommunicationRequest request;
+  request.target_ber = 1e-11;
+  request.policy = Policy::kMinPower;
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_DOUBLE_EQ(config->laser_output_w,
+                   config->metrics.operating_point.op_laser_w);
+  EXPECT_GT(config->laser_output_w, 0.0);
+  EXPECT_LE(config->laser_output_w, 700e-6);
+}
+
+TEST(LinkManager, CandidatesExposeTheWholeMenu) {
+  const LinkManager manager = paper_manager();
+  const auto all = manager.candidates(1e-9);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].scheme, "w/o ECC");
+  EXPECT_EQ(all[1].scheme, "H(71,64)");
+  EXPECT_EQ(all[2].scheme, "H(7,4)");
+}
+
+TEST(LinkManager, BestReachableBerBeatsEveryMenuEntryAlone) {
+  const LinkManager manager = paper_manager();
+  const double best = manager.best_reachable_ber();
+  EXPECT_LT(best, 1e-12);  // the coded schemes unlock 1e-12 and beyond
+}
+
+TEST(PolicyNames, Render) {
+  EXPECT_EQ(to_string(Policy::kMinPower), "min-power");
+  EXPECT_EQ(to_string(Policy::kMinEnergy), "min-energy");
+  EXPECT_EQ(to_string(Policy::kMinTime), "min-time");
+}
+
+}  // namespace
+}  // namespace photecc::core

@@ -1,0 +1,78 @@
+#include "photecc/core/report.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+
+namespace photecc::core {
+namespace {
+
+link::MwsrChannel paper_channel() {
+  return link::MwsrChannel{link::MwsrParams{}};
+}
+
+TEST(Report, MetricsTableHasOneRowPerScheme) {
+  const auto metrics =
+      evaluate_schemes(paper_channel(), ecc::paper_schemes(), 1e-11);
+  const math::TextTable table = metrics_table(metrics);
+  EXPECT_EQ(table.row_count(), 3u);
+  std::ostringstream out;
+  table.render(out);
+  EXPECT_NE(out.str().find("w/o ECC"), std::string::npos);
+  EXPECT_NE(out.str().find("H(71,64)"), std::string::npos);
+  EXPECT_NE(out.str().find("H(7,4)"), std::string::npos);
+}
+
+TEST(Report, MetricsTableMarksInfeasibleRows) {
+  const auto metrics =
+      evaluate_schemes(paper_channel(), ecc::paper_schemes(), 1e-12);
+  std::ostringstream out;
+  metrics_table(metrics).render(out);
+  EXPECT_NE(out.str().find("NO"), std::string::npos);
+}
+
+TEST(Report, BreakdownTableShowsLaserShare) {
+  const auto metrics =
+      evaluate_schemes(paper_channel(), ecc::paper_schemes(), 1e-11);
+  std::ostringstream out;
+  breakdown_table(metrics).render(out);
+  EXPECT_NE(out.str().find("%"), std::string::npos);
+  EXPECT_NE(out.str().find("Plaser"), std::string::npos);
+}
+
+TEST(Report, ParetoTableMarksFrontPoints) {
+  const TradeoffSweep sweep = sweep_tradeoff(
+      paper_channel(), ecc::paper_schemes(), {1e-10});
+  std::ostringstream out;
+  pareto_table(sweep).render(out);
+  // All three schemes on the front -> three asterisks.
+  std::size_t stars = 0;
+  for (const char c : out.str())
+    if (c == '*') ++stars;
+  EXPECT_EQ(stars, 3u);
+}
+
+TEST(Report, PrintTablePrependsCaption) {
+  const auto metrics =
+      evaluate_schemes(paper_channel(), ecc::paper_schemes(), 1e-9);
+  std::ostringstream out;
+  print_table(out, "Figure 6a", metrics_table(metrics));
+  EXPECT_EQ(out.str().rfind("Figure 6a", 0), 0u);
+}
+
+TEST(Report, CsvRenderingIsParseable) {
+  const auto metrics =
+      evaluate_schemes(paper_channel(), ecc::paper_schemes(), 1e-9);
+  std::ostringstream out;
+  metrics_table(metrics).render_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 4u);  // header + 3 schemes
+}
+
+}  // namespace
+}  // namespace photecc::core

@@ -1,0 +1,159 @@
+#include "photecc/core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+
+namespace photecc::core {
+namespace {
+
+link::MwsrChannel paper_channel() {
+  return link::MwsrChannel{link::MwsrParams{}};
+}
+
+TEST(Domination, BasicCases) {
+  SchemeMetrics a, b;
+  a.feasible = b.feasible = true;
+  a.p_channel_w = 10e-3;
+  a.ct = 1.0;
+  b.p_channel_w = 8e-3;
+  b.ct = 1.0;
+  EXPECT_TRUE(is_dominated(a, b));   // b cheaper, same time
+  EXPECT_FALSE(is_dominated(b, a));
+  b.ct = 1.5;
+  EXPECT_FALSE(is_dominated(a, b));  // trade-off: neither dominates
+  EXPECT_FALSE(is_dominated(b, a));
+}
+
+TEST(Domination, InfeasibleAlwaysLoses) {
+  SchemeMetrics feasible, infeasible;
+  feasible.feasible = true;
+  feasible.p_channel_w = 1.0;
+  feasible.ct = 100.0;
+  infeasible.feasible = false;
+  EXPECT_TRUE(is_dominated(infeasible, feasible));
+  EXPECT_FALSE(is_dominated(feasible, infeasible));
+}
+
+TEST(Domination, EqualPointsDoNotDominateEachOther) {
+  SchemeMetrics a, b;
+  a.feasible = b.feasible = true;
+  a.p_channel_w = b.p_channel_w = 5e-3;
+  a.ct = b.ct = 1.2;
+  EXPECT_FALSE(is_dominated(a, b));
+  EXPECT_FALSE(is_dominated(b, a));
+}
+
+TEST(ParetoFront, PaperClaimAllThreeSchemesAreOnTheFront) {
+  // Paper Fig. 6b: "For a given BER, all the coding techniques belong
+  // to the Pareto front".
+  const auto channel = paper_channel();
+  for (const double ber : {1e-6, 1e-8, 1e-10, 1e-11}) {
+    const TradeoffSweep sweep =
+        sweep_tradeoff(channel, ecc::paper_schemes(), {ber});
+    const auto front = sweep.pareto_front();
+    EXPECT_EQ(front.size(), 3u) << "ber=" << ber;
+  }
+}
+
+TEST(ParetoFront, SortedByCommunicationTime) {
+  const auto channel = paper_channel();
+  const TradeoffSweep sweep =
+      sweep_tradeoff(channel, ecc::paper_schemes(), {1e-10});
+  const auto front = sweep.pareto_front();
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(sweep.points[front[0]].scheme, "w/o ECC");    // CT 1
+  EXPECT_EQ(sweep.points[front[1]].scheme, "H(71,64)");   // CT 1.11
+  EXPECT_EQ(sweep.points[front[2]].scheme, "H(7,4)");     // CT 1.75
+}
+
+TEST(ParetoFront, MutualNonDomination) {
+  const auto channel = paper_channel();
+  const TradeoffSweep sweep = sweep_tradeoff(
+      channel, ecc::all_known_codes(), {1e-6, 1e-9, 1e-11});
+  const auto front = sweep.pareto_front();
+  ASSERT_GE(front.size(), 2u);
+  for (const std::size_t i : front) {
+    for (const std::size_t j : front) {
+      if (i == j) continue;
+      EXPECT_FALSE(is_dominated(sweep.points[i], sweep.points[j]))
+          << sweep.points[i].scheme << " dominated by "
+          << sweep.points[j].scheme;
+    }
+  }
+}
+
+TEST(ParetoFront, EveryOffFrontPointIsDominatedBySomeFrontPoint) {
+  const auto channel = paper_channel();
+  const TradeoffSweep sweep =
+      sweep_tradeoff(channel, ecc::all_known_codes(), {1e-9});
+  const auto front = sweep.pareto_front();
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    if (!sweep.points[i].feasible) continue;
+    const bool on_front =
+        std::find(front.begin(), front.end(), i) != front.end();
+    if (on_front) continue;
+    bool dominated = false;
+    for (const std::size_t j : front) {
+      if (is_dominated(sweep.points[i], sweep.points[j])) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << sweep.points[i].scheme;
+  }
+}
+
+TEST(ParetoFront, RepetitionBuysPowerOnlyByWastingTimeAndEnergy) {
+  // REP(3,1) occupies the min-power corner of the (P, CT) plane (its
+  // post-decoding BER 3p^2 needs even less SNR than H(7,4)'s 6p^2) but
+  // tripling the transmission time makes it the *least* energy
+  // efficient scheme — the reason the paper studies Hamming instead.
+  const auto channel = paper_channel();
+  const TradeoffSweep sweep = sweep_tradeoff(
+      channel,
+      {ecc::make_code("H(7,4)"), ecc::make_code("H(71,64)"),
+       ecc::make_code("REP(3,1)")},
+      {1e-9});
+  const SchemeMetrics* rep = nullptr;
+  for (const auto& p : sweep.points)
+    if (p.scheme == "REP(3,1)") rep = &p;
+  ASSERT_NE(rep, nullptr);
+  ASSERT_TRUE(rep->feasible);
+  for (const auto& p : sweep.points) {
+    if (p.scheme == "REP(3,1)") continue;
+    EXPECT_GT(rep->energy_per_bit_j, p.energy_per_bit_j) << p.scheme;
+    EXPECT_GT(rep->ct, p.ct) << p.scheme;
+  }
+}
+
+TEST(Sweep, CoversTheFullGrid) {
+  const auto channel = paper_channel();
+  const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
+  const TradeoffSweep sweep =
+      sweep_tradeoff(channel, ecc::paper_schemes(), bers);
+  EXPECT_EQ(sweep.points.size(), 3u * bers.size());
+  // Infeasible uncoded point at 1e-12 must be present but excluded from
+  // the front.
+  std::size_t infeasible = 0;
+  for (const auto& p : sweep.points)
+    if (!p.feasible) ++infeasible;
+  EXPECT_EQ(infeasible, 1u);
+  for (const std::size_t i : sweep.pareto_front())
+    EXPECT_TRUE(sweep.points[i].feasible);
+}
+
+TEST(Sweep, TighterBerCostsMorePowerForEveryScheme) {
+  const auto channel = paper_channel();
+  const TradeoffSweep sweep =
+      sweep_tradeoff(channel, ecc::paper_schemes(), {1e-6, 1e-10});
+  // points laid out BER-major: [1e-6 x 3, 1e-10 x 3]
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_LT(sweep.points[s].p_channel_w,
+              sweep.points[3 + s].p_channel_w)
+        << sweep.points[s].scheme;
+  }
+}
+
+}  // namespace
+}  // namespace photecc::core

@@ -1,0 +1,207 @@
+#include "photecc/ecc/bch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/hamming.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_message(std::size_t size, math::Xoshiro256& rng) {
+  BitVec m(size);
+  for (std::size_t i = 0; i < size; ++i) m.set(i, rng.bernoulli(0.5));
+  return m;
+}
+
+TEST(Bch, ClassicParameterSets) {
+  EXPECT_EQ(BchCode(4, 2).name(), "BCH(15,7,2)");
+  EXPECT_EQ(BchCode(4, 3).name(), "BCH(15,5,3)");
+  EXPECT_EQ(BchCode(5, 2).name(), "BCH(31,21,2)");
+  EXPECT_EQ(BchCode(6, 2).name(), "BCH(63,51,2)");
+  EXPECT_EQ(BchCode(7, 2).name(), "BCH(127,113,2)");
+  EXPECT_EQ(BchCode(4, 2).min_distance(), 5u);
+  EXPECT_EQ(BchCode(4, 2).correctable_errors(), 2u);
+}
+
+TEST(Bch, SingleErrorBchMatchesHammingParameters) {
+  // t = 1 BCH is the Hamming code of the same length.
+  for (const unsigned m : {3u, 4u, 5u, 6u}) {
+    const BchCode bch(m, 1);
+    const HammingCode hamming(m);
+    EXPECT_EQ(bch.block_length(), hamming.block_length());
+    EXPECT_EQ(bch.message_length(), hamming.message_length());
+  }
+}
+
+TEST(Bch, Bch157GeneratorIsTheTextbookPolynomial) {
+  // g(x) = x^8 + x^7 + x^6 + x^4 + 1 = 0x1D1 for BCH(15,7,2) over
+  // GF(16) with x^4 + x + 1.
+  const BchCode code(4, 2);
+  EXPECT_EQ(code.generator_polynomial(), 0x1D1u);
+}
+
+TEST(Bch, Validation) {
+  EXPECT_THROW(BchCode(2, 1), std::invalid_argument);
+  EXPECT_THROW(BchCode(4, 0), std::invalid_argument);
+  EXPECT_THROW(BchCode(4, 8), std::invalid_argument);  // 2t >= n
+  const BchCode code(4, 2);
+  EXPECT_THROW((void)code.encode(BitVec(6)), std::invalid_argument);
+  EXPECT_THROW((void)code.decode(BitVec(14)), std::invalid_argument);
+}
+
+struct BchCase {
+  unsigned m;
+  unsigned t;
+};
+
+class BchFamily : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchFamily, CleanRoundTrip) {
+  const BchCode code(GetParam().m, GetParam().t);
+  math::Xoshiro256 rng(0xBC4 + GetParam().m * 16 + GetParam().t);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BitVec message = random_message(code.message_length(), rng);
+    const BitVec codeword = code.encode(message);
+    EXPECT_EQ(codeword.size(), code.block_length());
+    const DecodeResult result = code.decode(codeword);
+    EXPECT_EQ(result.message, message);
+    EXPECT_FALSE(result.error_detected);
+  }
+}
+
+TEST_P(BchFamily, CodewordsAreMultiplesOfTheGenerator) {
+  // Every systematic codeword evaluated as a GF(2) polynomial must have
+  // zero remainder modulo g(x) — checked via the syndromes being zero,
+  // and structurally via a fresh decode reporting no error.
+  const BchCode code(GetParam().m, GetParam().t);
+  math::Xoshiro256 rng(0x6E0 + GetParam().m);
+  const BitVec cw = code.encode(random_message(code.message_length(), rng));
+  EXPECT_FALSE(code.decode(cw).error_detected);
+}
+
+TEST_P(BchFamily, CorrectsEverySingleError) {
+  const BchCode code(GetParam().m, GetParam().t);
+  math::Xoshiro256 rng(0x51 + GetParam().m);
+  const BitVec message = random_message(code.message_length(), rng);
+  const BitVec codeword = code.encode(message);
+  for (std::size_t pos = 0; pos < code.block_length(); ++pos) {
+    BitVec corrupted = codeword;
+    corrupted.flip(pos);
+    const DecodeResult result = code.decode(corrupted);
+    EXPECT_EQ(result.message, message) << "pos=" << pos;
+    EXPECT_TRUE(result.corrected) << "pos=" << pos;
+  }
+}
+
+TEST_P(BchFamily, CorrectsRandomPatternsUpToT) {
+  const BchCode code(GetParam().m, GetParam().t);
+  math::Xoshiro256 rng(0x77 + GetParam().m * 31 + GetParam().t);
+  const BitVec message = random_message(code.message_length(), rng);
+  const BitVec codeword = code.encode(message);
+  for (unsigned weight = 2; weight <= GetParam().t; ++weight) {
+    for (int trial = 0; trial < 40; ++trial) {
+      BitVec corrupted = codeword;
+      // Distinct random positions.
+      std::vector<std::size_t> positions;
+      while (positions.size() < weight) {
+        const std::size_t pos = rng.bounded(code.block_length());
+        bool seen = false;
+        for (const std::size_t p : positions) seen |= (p == pos);
+        if (!seen) positions.push_back(pos);
+      }
+      for (const std::size_t pos : positions) corrupted.flip(pos);
+      const DecodeResult result = code.decode(corrupted);
+      EXPECT_EQ(result.message, message)
+          << "weight=" << weight << " trial=" << trial;
+      EXPECT_TRUE(result.corrected);
+    }
+  }
+}
+
+TEST_P(BchFamily, BeyondTErrorsAreDetectedNotMiscorrectedSilently) {
+  const BchCode code(GetParam().m, GetParam().t);
+  math::Xoshiro256 rng(0x99 + GetParam().m);
+  const BitVec message = random_message(code.message_length(), rng);
+  const BitVec codeword = code.encode(message);
+  // t+1 errors: the decoder may fail or (rarely, if within distance of
+  // another codeword) miscorrect, but must always flag error_detected
+  // and return a k-bit payload.
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec corrupted = codeword;
+    std::vector<std::size_t> positions;
+    while (positions.size() < GetParam().t + 1) {
+      const std::size_t pos = rng.bounded(code.block_length());
+      bool seen = false;
+      for (const std::size_t p : positions) seen |= (p == pos);
+      if (!seen) positions.push_back(pos);
+    }
+    for (const std::size_t pos : positions) corrupted.flip(pos);
+    const DecodeResult result = code.decode(corrupted);
+    EXPECT_TRUE(result.error_detected);
+    EXPECT_EQ(result.message.size(), code.message_length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, BchFamily,
+    ::testing::Values(BchCase{4, 1}, BchCase{4, 2}, BchCase{4, 3},
+                      BchCase{5, 2}, BchCase{6, 2}, BchCase{7, 2},
+                      BchCase{5, 3}),
+    [](const ::testing::TestParamInfo<BchCase>& param_info) {
+      return "m" + std::to_string(param_info.param.m) + "_t" +
+             std::to_string(param_info.param.t);
+    });
+
+TEST(BchBerModel, ReducesToEquationTwoForTEqualsOne) {
+  const BchCode bch(4, 1);
+  const HammingCode hamming(4);
+  for (const double p : {1e-8, 1e-5, 1e-3, 0.05}) {
+    // The two are computed with different (mathematically equal)
+    // expressions; Eq. 2's p - p(1-p)^(n-1) loses ~1e-9 relative to
+    // cancellation at small p, so compare against that noise floor.
+    EXPECT_NEAR(bch.decoded_ber(p) / hamming.decoded_ber(p), 1.0, 1e-7)
+        << "p=" << p;
+  }
+}
+
+TEST(BchBerModel, HigherTIsStrictlyStronger) {
+  const BchCode t1(4, 1), t2(4, 2), t3(4, 3);
+  for (const double p : {1e-6, 1e-4, 1e-2}) {
+    EXPECT_LT(t2.decoded_ber(p), t1.decoded_ber(p)) << p;
+    EXPECT_LT(t3.decoded_ber(p), t2.decoded_ber(p)) << p;
+  }
+}
+
+TEST(BchBerModel, SmallPAsymptoticScalesAsPTotPlusOne) {
+  // BER ~ C(n-1, t) p^(t+1) for p -> 0.
+  const BchCode code(4, 2);
+  const double p = 1e-7;
+  const double expected = 91.0 * p * p * p;  // C(14,2) = 91
+  EXPECT_NEAR(code.decoded_ber(p) / expected, 1.0, 1e-4);
+}
+
+TEST(BchBerModel, InversionRoundTrips) {
+  const BchCode code(6, 2);
+  for (const double target : {1e-6, 1e-9, 1e-12}) {
+    const double p = code.required_raw_ber(target);
+    EXPECT_NEAR(code.decoded_ber(p) / target, 1.0, 1e-5) << target;
+  }
+}
+
+TEST(BchBerModel, NeedsLessSnrThanHammingAtSameLength) {
+  // BCH(63,51,2) vs H(63,57): double correction buys SNR at a rate cost.
+  const BchCode bch(6, 2);
+  const HammingCode hamming(6);
+  const double target = 1e-11;
+  EXPECT_LT(bch.required_raw_ber(target), 0.5);
+  EXPECT_GT(bch.required_raw_ber(target),
+            hamming.required_raw_ber(target));
+  // Higher tolerable raw p == lower SNR demand.
+}
+
+}  // namespace
+}  // namespace photecc::ecc

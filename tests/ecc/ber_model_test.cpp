@@ -1,0 +1,114 @@
+#include "photecc/ecc/ber_model.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/hamming.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/ecc/uncoded.hpp"
+#include "photecc/math/special.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+TEST(BerModel, AchievedBerChainsEqThreeIntoEqTwo) {
+  const HammingCode h74(3);
+  const double snr = 11.0;
+  const double p = math::raw_ber_from_snr(snr);
+  EXPECT_DOUBLE_EQ(achieved_ber(h74, snr), h74.decoded_ber(p));
+}
+
+TEST(BerModel, RequiredSnrUncodedMatchesDirectInversion) {
+  for (const double ber : {1e-3, 1e-9, 1e-11}) {
+    EXPECT_DOUBLE_EQ(required_snr_uncoded(ber),
+                     math::snr_from_raw_ber(ber));
+  }
+}
+
+class RequiredSnrRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(RequiredSnrRoundTrip, AchievedBerAtRequiredSnrHitsTarget) {
+  const auto [name, target] = GetParam();
+  const BlockCodePtr code = make_code(name);
+  const double snr = required_snr(*code, target);
+  EXPECT_NEAR(achieved_ber(*code, snr) / target, 1.0, 1e-5)
+      << name << " @ " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodesAndTargets, RequiredSnrRoundTrip,
+    ::testing::Combine(::testing::Values("w/o ECC", "H(7,4)", "H(71,64)",
+                                         "H(63,57)", "REP(3,1)"),
+                       ::testing::Values(1e-6, 1e-9, 1e-11, 1e-12)),
+    [](const auto& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      const double target = std::get<1>(param_info.param);
+      return name + "_1em" + std::to_string(static_cast<int>(
+                                 -std::log10(target) + 0.5));
+    });
+
+TEST(BerModel, PaperSnrValues) {
+  // Section V-B operating points at BER 1e-11 (hand-derived from the
+  // paper's equations): uncoded ~22.5, H(7,4) ~11.0, H(71,64) ~12.2.
+  EXPECT_NEAR(required_snr_uncoded(1e-11), 22.5, 0.2);
+  EXPECT_NEAR(required_snr(*make_code("H(7,4)"), 1e-11), 11.05, 0.1);
+  EXPECT_NEAR(required_snr(*make_code("H(71,64)"), 1e-11), 12.23, 0.1);
+}
+
+TEST(BerModel, CodedSnrAlwaysBelowUncoded) {
+  for (const auto& code : hamming_family()) {
+    for (const double ber : {1e-6, 1e-9, 1e-12}) {
+      EXPECT_LT(required_snr(*code, ber), required_snr_uncoded(ber))
+          << code->name() << " @ " << ber;
+    }
+  }
+}
+
+TEST(BerModel, StrongerCodeNeedsLessSnr) {
+  // H(7,4) corrects a larger fraction than H(71,64): lower SNR demand.
+  for (const double ber : {1e-6, 1e-9, 1e-12}) {
+    EXPECT_LT(required_snr(*make_code("H(7,4)"), ber),
+              required_snr(*make_code("H(71,64)"), ber));
+  }
+}
+
+TEST(BerModel, CodingGainPositiveAndOrdered) {
+  const double ber = 1e-11;
+  const double gain74 = coding_gain_db(*make_code("H(7,4)"), ber);
+  const double gain7164 = coding_gain_db(*make_code("H(71,64)"), ber);
+  EXPECT_GT(gain74, gain7164);
+  EXPECT_GT(gain7164, 0.0);
+  // Roughly 3 dB for H(7,4) at 1e-11 (22.5 / 11.05).
+  EXPECT_NEAR(gain74, 3.09, 0.15);
+}
+
+TEST(BerModel, CodingGainGrowsTowardLowBer) {
+  const auto h74 = make_code("H(7,4)");
+  EXPECT_LT(coding_gain_db(*h74, 1e-6), coding_gain_db(*h74, 1e-12));
+}
+
+TEST(BerModel, RequiredSnrMonotoneInTarget) {
+  const auto code = make_code("H(71,64)");
+  double previous = required_snr(*code, 1e-3);
+  for (const double ber : {1e-5, 1e-7, 1e-9, 1e-11, 1e-13}) {
+    const double snr = required_snr(*code, ber);
+    EXPECT_GT(snr, previous) << "ber=" << ber;
+    previous = snr;
+  }
+}
+
+TEST(BerModel, RequiredRawBerRejectsBadTargets) {
+  const HammingCode h74(3);
+  EXPECT_THROW((void)h74.required_raw_ber(0.0), std::domain_error);
+  EXPECT_THROW((void)h74.required_raw_ber(0.5), std::domain_error);
+  EXPECT_THROW((void)h74.required_raw_ber(-1e-9), std::domain_error);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

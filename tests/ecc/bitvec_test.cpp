@@ -1,0 +1,109 @@
+#include "photecc/ecc/bitvec.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::ecc {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  const BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(BitVec, ConstructedZeroInitialised) {
+  const BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlipAcrossWordBoundary) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVec, IndexOutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW((void)v.get(8), std::out_of_range);
+  EXPECT_THROW(v.set(8, true), std::out_of_range);
+  EXPECT_THROW(v.flip(100), std::out_of_range);
+}
+
+TEST(BitVec, FromUintUsesLittleEndianBitOrder) {
+  const BitVec v = BitVec::from_uint(0b1011, 4);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_EQ(v.to_uint(), 0b1011u);
+}
+
+TEST(BitVec, FromUintMasksHighBits) {
+  const BitVec v = BitVec::from_uint(0xFF, 4);
+  EXPECT_EQ(v.to_uint(), 0xFu);
+  EXPECT_THROW(BitVec::from_uint(1, 65), std::invalid_argument);
+}
+
+TEST(BitVec, FromStringRoundTrips) {
+  const std::string bits = "1010011";
+  const BitVec v = BitVec::from_string(bits);
+  EXPECT_EQ(v.to_string(), bits);
+  EXPECT_THROW(BitVec::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVec, XorAndDistance) {
+  const BitVec a = BitVec::from_string("110010");
+  const BitVec b = BitVec::from_string("011010");
+  EXPECT_EQ((a ^ b).to_string(), "101000");
+  EXPECT_EQ(a.distance(b), 2u);
+  EXPECT_EQ(a.distance(a), 0u);
+  const BitVec c(5);
+  EXPECT_THROW((void)a.distance(c), std::invalid_argument);
+}
+
+TEST(BitVec, SliceAndConcat) {
+  const BitVec v = BitVec::from_string("11001010");
+  EXPECT_EQ(v.slice(2, 4).to_string(), "0010");
+  EXPECT_EQ(v.slice(0, 8).to_string(), "11001010");
+  EXPECT_THROW((void)v.slice(5, 4), std::out_of_range);
+  const BitVec joined = v.slice(0, 4).concat(v.slice(4, 4));
+  EXPECT_EQ(joined, v);
+}
+
+TEST(BitVec, EqualityIncludesSize) {
+  EXPECT_EQ(BitVec(4), BitVec(4));
+  EXPECT_NE(BitVec(4), BitVec(5));
+  BitVec a(4), b(4);
+  a.set(2, true);
+  EXPECT_NE(a, b);
+  b.set(2, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, ToUintRejectsWideVectors) {
+  const BitVec v(65);
+  EXPECT_THROW((void)v.to_uint(), std::logic_error);
+}
+
+TEST(BitVec, PopcountOverMultipleWords) {
+  BitVec v(200);
+  for (std::size_t i = 0; i < 200; i += 3) v.set(i, true);
+  EXPECT_EQ(v.popcount(), 67u);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

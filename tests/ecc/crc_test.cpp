@@ -1,0 +1,105 @@
+#include "photecc/ecc/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  BitVec w(size);
+  for (std::size_t i = 0; i < size; ++i) w.set(i, rng.bernoulli(0.5));
+  return w;
+}
+
+TEST(Crc, StandardVariantsConstruct) {
+  EXPECT_EQ(Crc::crc8().width(), 8u);
+  EXPECT_EQ(Crc::crc8().name(), "CRC-8");
+  EXPECT_EQ(Crc::crc16_ccitt().width(), 16u);
+  EXPECT_EQ(Crc::crc32().width(), 32u);
+  EXPECT_THROW(Crc(0, 0x7, "bad"), std::invalid_argument);
+  EXPECT_THROW(Crc(33, 0x7, "bad"), std::invalid_argument);
+}
+
+TEST(Crc, CleanFramesAlwaysPass) {
+  math::Xoshiro256 rng(0xC2C);
+  for (const Crc& crc : {Crc::crc8(), Crc::crc16_ccitt(), Crc::crc32()}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const BitVec data = random_word(64, rng);
+      EXPECT_TRUE(crc.check(crc.append(data))) << crc.name();
+    }
+  }
+}
+
+TEST(Crc, AppendGrowsByWidth) {
+  const Crc crc = Crc::crc16_ccitt();
+  const BitVec data(40);
+  EXPECT_EQ(crc.append(data).size(), 56u);
+}
+
+TEST(Crc, EverySingleBitErrorIsDetected) {
+  // Any CRC with x+1 not dividing... actually every nonzero polynomial
+  // CRC detects all single-bit errors.
+  math::Xoshiro256 rng(0x1B17);
+  for (const Crc& crc : {Crc::crc8(), Crc::crc16_ccitt(), Crc::crc32()}) {
+    const BitVec framed = crc.append(random_word(48, rng));
+    for (std::size_t pos = 0; pos < framed.size(); ++pos) {
+      BitVec corrupted = framed;
+      corrupted.flip(pos);
+      EXPECT_FALSE(crc.check(corrupted))
+          << crc.name() << " missed a flip at " << pos;
+    }
+  }
+}
+
+TEST(Crc, EveryDoubleBitErrorDetectedByCrc16OnShortFrames) {
+  // CRC-16-CCITT has a large enough period to catch all double errors
+  // on frames far below 2^15 bits.
+  const Crc crc = Crc::crc16_ccitt();
+  math::Xoshiro256 rng(0x2B17);
+  const BitVec framed = crc.append(random_word(64, rng));
+  for (std::size_t a = 0; a < framed.size(); ++a) {
+    for (std::size_t b = a + 1; b < framed.size(); b += 5) {
+      BitVec corrupted = framed;
+      corrupted.flip(a);
+      corrupted.flip(b);
+      EXPECT_FALSE(crc.check(corrupted)) << a << "," << b;
+    }
+  }
+}
+
+TEST(Crc, BurstErrorsWithinWidthAreDetected) {
+  // A CRC of width c detects every burst of length <= c.
+  math::Xoshiro256 rng(0xB5E5);
+  for (const Crc& crc : {Crc::crc8(), Crc::crc16_ccitt()}) {
+    const BitVec framed = crc.append(random_word(64, rng));
+    for (std::size_t start = 0; start + crc.width() <= framed.size();
+         start += 3) {
+      BitVec corrupted = framed;
+      // Burst: flip first and last, random inside.
+      corrupted.flip(start);
+      corrupted.flip(start + crc.width() - 1);
+      for (unsigned i = 1; i + 1 < crc.width(); ++i) {
+        if (rng.bernoulli(0.5)) corrupted.flip(start + i);
+      }
+      EXPECT_FALSE(crc.check(corrupted)) << crc.name() << " @" << start;
+    }
+  }
+}
+
+TEST(Crc, ComputeIsDeterministicAndDataDependent) {
+  const Crc crc = Crc::crc16_ccitt();
+  const BitVec a = BitVec::from_string("1011001110001111");
+  const BitVec b = BitVec::from_string("1011001110001110");
+  EXPECT_EQ(crc.compute(a), crc.compute(a));
+  EXPECT_NE(crc.compute(a), crc.compute(b));
+}
+
+TEST(Crc, CheckRejectsUndersizedFrames) {
+  const Crc crc = Crc::crc16_ccitt();
+  EXPECT_THROW((void)crc.check(BitVec(8)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

@@ -1,0 +1,106 @@
+#include "photecc/ecc/extended_hamming.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_message(std::size_t size, math::Xoshiro256& rng) {
+  BitVec m(size);
+  for (std::size_t i = 0; i < size; ++i) m.set(i, rng.bernoulli(0.5));
+  return m;
+}
+
+TEST(ExtendedHamming, ParametersAddOneParityBit) {
+  const ExtendedHammingCode code(3);
+  EXPECT_EQ(code.name(), "eH(8,4)");
+  EXPECT_EQ(code.block_length(), 8u);
+  EXPECT_EQ(code.message_length(), 4u);
+  EXPECT_EQ(code.min_distance(), 4u);
+  EXPECT_EQ(code.correctable_errors(), 1u);
+}
+
+TEST(ExtendedHamming, CodewordsHaveEvenWeight) {
+  const ExtendedHammingCode code(4);
+  math::Xoshiro256 rng(0x5EC);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec cw = code.encode(random_message(11, rng));
+    EXPECT_EQ(cw.popcount() % 2, 0u);
+  }
+}
+
+TEST(ExtendedHamming, CleanRoundTrip) {
+  const ExtendedHammingCode code(3);
+  math::Xoshiro256 rng(0x5ECDED);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BitVec message = random_message(4, rng);
+    const DecodeResult result = code.decode(code.encode(message));
+    EXPECT_EQ(result.message, message);
+    EXPECT_FALSE(result.error_detected);
+  }
+}
+
+class ExtendedHammingOrders : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(ExtendedHammingOrders, CorrectsEverySingleError) {
+  const ExtendedHammingCode code(GetParam());
+  math::Xoshiro256 rng(0xE0 + GetParam());
+  const BitVec message = random_message(code.message_length(), rng);
+  const BitVec codeword = code.encode(message);
+  for (std::size_t pos = 0; pos < code.block_length(); ++pos) {
+    BitVec corrupted = codeword;
+    corrupted.flip(pos);
+    const DecodeResult result = code.decode(corrupted);
+    EXPECT_EQ(result.message, message) << "pos=" << pos;
+    EXPECT_TRUE(result.corrected) << "pos=" << pos;
+  }
+}
+
+TEST_P(ExtendedHammingOrders, DetectsEveryDoubleErrorWithoutMiscorrection) {
+  // SECDED's defining property: any two flips are flagged as detected
+  // and the decoder must NOT claim a correction (which would silently
+  // corrupt a third position).
+  const ExtendedHammingCode code(GetParam());
+  math::Xoshiro256 rng(0xDD + GetParam());
+  const BitVec message = random_message(code.message_length(), rng);
+  const BitVec codeword = code.encode(message);
+  for (std::size_t a = 0; a < code.block_length(); ++a) {
+    for (std::size_t b = a + 1; b < code.block_length();
+         b += (code.block_length() > 16 ? 7 : 1)) {  // sample large codes
+      BitVec corrupted = codeword;
+      corrupted.flip(a);
+      corrupted.flip(b);
+      const DecodeResult result = code.decode(corrupted);
+      EXPECT_TRUE(result.error_detected) << "a=" << a << " b=" << b;
+      EXPECT_FALSE(result.corrected) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ExtendedHammingOrders,
+                         ::testing::Values(3, 4, 5, 6));
+
+TEST(ExtendedHamming, BerModelMatchesPlainHammingForm) {
+  const ExtendedHammingCode code(3);
+  const double p = 1e-4;
+  const double n = 8.0;
+  EXPECT_NEAR(code.decoded_ber(p),
+              p - p * std::pow(1.0 - p, n - 1.0), 1e-18);
+  EXPECT_DOUBLE_EQ(code.decoded_ber(0.0), 0.0);
+  EXPECT_THROW((void)code.decoded_ber(2.0), std::domain_error);
+}
+
+TEST(ExtendedHamming, SizeValidation) {
+  const ExtendedHammingCode code(3);
+  EXPECT_THROW((void)code.encode(BitVec(5)), std::invalid_argument);
+  EXPECT_THROW((void)code.decode(BitVec(7)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

@@ -1,0 +1,135 @@
+#include "photecc/ecc/gf2m.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::ecc {
+namespace {
+
+class GF2mOrders : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GF2mOrders, PowersOfAlphaEnumerateTheMultiplicativeGroup) {
+  const GF2m field(GetParam());
+  std::set<unsigned> seen;
+  for (unsigned i = 0; i < field.order(); ++i) {
+    const unsigned x = field.alpha_pow(static_cast<int>(i));
+    EXPECT_NE(x, 0u);
+    EXPECT_LT(x, field.size());
+    EXPECT_TRUE(seen.insert(x).second) << "alpha^" << i << " repeats";
+  }
+  EXPECT_EQ(seen.size(), field.order());
+}
+
+TEST_P(GF2mOrders, LogIsInverseOfAlphaPow) {
+  const GF2m field(GetParam());
+  for (unsigned i = 0; i < field.order(); ++i) {
+    EXPECT_EQ(field.log(field.alpha_pow(static_cast<int>(i))), i);
+  }
+}
+
+TEST_P(GF2mOrders, MultiplicationAgreesWithLogs) {
+  const GF2m field(GetParam());
+  // Sample pairs; exhaustive for small fields.
+  const unsigned stride = field.size() > 64 ? 7 : 1;
+  for (unsigned a = 1; a < field.size(); a += stride) {
+    for (unsigned b = 1; b < field.size(); b += stride) {
+      const unsigned product = field.mul(a, b);
+      EXPECT_EQ(field.log(product),
+                (field.log(a) + field.log(b)) % field.order());
+    }
+  }
+}
+
+TEST_P(GF2mOrders, EveryNonZeroElementHasAWorkingInverse) {
+  const GF2m field(GetParam());
+  for (unsigned x = 1; x < field.size(); ++x) {
+    EXPECT_EQ(field.mul(x, field.inv(x)), 1u) << "x=" << x;
+  }
+}
+
+TEST_P(GF2mOrders, AlphaPowWrapsNegativeExponents) {
+  const GF2m field(GetParam());
+  EXPECT_EQ(field.alpha_pow(-1),
+            field.inv(field.alpha_pow(1)));
+  EXPECT_EQ(field.alpha_pow(static_cast<int>(field.order())), 1u);
+  EXPECT_EQ(field.alpha_pow(0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GF2mOrders,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10));
+
+TEST(GF2m, AdditionIsXor) {
+  EXPECT_EQ(GF2m::add(0b101, 0b011), 0b110u);
+  EXPECT_EQ(GF2m::add(7, 7), 0u);
+}
+
+TEST(GF2m, DivisionAndPow) {
+  const GF2m field(4);
+  for (unsigned a = 1; a < 16; ++a) {
+    for (unsigned b = 1; b < 16; ++b) {
+      EXPECT_EQ(field.mul(field.div(a, b), b), a);
+    }
+    EXPECT_EQ(field.pow(a, 3), field.mul(a, field.mul(a, a)));
+    EXPECT_EQ(field.mul(field.pow(a, -2), field.pow(a, 2)), 1u);
+  }
+  EXPECT_EQ(field.pow(0, 0), 1u);
+  EXPECT_EQ(field.pow(0, 5), 0u);
+}
+
+TEST(GF2m, DomainErrors) {
+  const GF2m field(3);
+  EXPECT_THROW((void)field.log(0), std::domain_error);
+  EXPECT_THROW((void)field.inv(0), std::domain_error);
+  EXPECT_THROW((void)field.div(1, 0), std::domain_error);
+  EXPECT_THROW((void)field.pow(0, -1), std::domain_error);
+  EXPECT_THROW(GF2m(1), std::invalid_argument);
+  EXPECT_THROW(GF2m(15), std::invalid_argument);
+}
+
+TEST(GF2m, PolynomialEvaluation) {
+  const GF2m field(4);
+  // p(x) = 1 + x: p(alpha) = 1 ^ alpha.
+  const unsigned alpha = field.alpha_pow(1);
+  EXPECT_EQ(field.eval_poly({1, 1}, alpha), GF2m::add(1, alpha));
+  // Constant polynomial.
+  EXPECT_EQ(field.eval_poly({5}, 9), 5u);
+  // Zero polynomial.
+  EXPECT_EQ(field.eval_poly({}, 3), 0u);
+}
+
+TEST(GF2m, MinimalPolynomialOfAlphaIsThePrimitivePolynomial) {
+  for (const unsigned m : {3u, 4u, 5u, 6u, 7u}) {
+    const GF2m field(m);
+    EXPECT_EQ(field.minimal_polynomial(1), field.primitive_polynomial())
+        << "m=" << m;
+  }
+}
+
+TEST(GF2m, MinimalPolynomialAnnihilatesItsElement) {
+  const GF2m field(4);
+  for (unsigned i = 1; i < field.order(); ++i) {
+    const std::uint64_t mp = field.minimal_polynomial(i);
+    // Evaluate the GF(2)-coefficient polynomial at beta = alpha^i.
+    unsigned acc = 0;
+    const unsigned beta = field.alpha_pow(static_cast<int>(i));
+    for (unsigned d = 0; d < 64; ++d) {
+      if ((mp >> d) & 1u)
+        acc = GF2m::add(acc, field.pow(beta, static_cast<int>(d)));
+    }
+    EXPECT_EQ(acc, 0u) << "alpha^" << i;
+  }
+}
+
+TEST(GF2m, KnownGf16MinimalPolynomials) {
+  // Classic table for GF(16) with x^4 + x + 1: m1 = 0x13, m3 = x^4 +
+  // x^3 + x^2 + x + 1 = 0x1F, m5 = x^2 + x + 1 = 0x7.
+  const GF2m field(4);
+  EXPECT_EQ(field.minimal_polynomial(1), 0x13u);
+  EXPECT_EQ(field.minimal_polynomial(3), 0x1Fu);
+  EXPECT_EQ(field.minimal_polynomial(5), 0x7u);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

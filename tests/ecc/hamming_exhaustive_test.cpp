@@ -1,0 +1,113 @@
+// Exhaustive verification of H(7,4): the syndrome decoder must agree
+// with brute-force maximum-likelihood (minimum-distance) decoding over
+// the *entire* 2^7 received-word space, and the code's weight
+// distribution must match the textbook values.  Cheap at n = 7 and a
+// strong guarantee against construction bugs.
+#include <array>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/hamming.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+std::array<BitVec, 16> all_codewords(const HammingCode& code) {
+  std::array<BitVec, 16> out;
+  for (unsigned value = 0; value < 16; ++value) {
+    out[value] = code.encode(BitVec::from_uint(value, 4));
+  }
+  return out;
+}
+
+TEST(HammingExhaustive, WeightDistributionIsTextbook) {
+  // H(7,4) weight enumerator: 1 + 7 z^3 + 7 z^4 + z^7.
+  const HammingCode code(3);
+  std::map<std::size_t, int> histogram;
+  for (const auto& codeword : all_codewords(code))
+    ++histogram[codeword.popcount()];
+  EXPECT_EQ(histogram[0], 1);
+  EXPECT_EQ(histogram[3], 7);
+  EXPECT_EQ(histogram[4], 7);
+  EXPECT_EQ(histogram[7], 1);
+  EXPECT_EQ(histogram.size(), 4u);
+}
+
+TEST(HammingExhaustive, CodewordsFormALinearCode) {
+  // Closure under XOR: the sum of any two codewords is a codeword.
+  const HammingCode code(3);
+  const auto words = all_codewords(code);
+  const auto is_codeword = [&](const BitVec& w) {
+    for (const auto& c : words)
+      if (c == w) return true;
+    return false;
+  };
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      EXPECT_TRUE(is_codeword(a ^ b));
+    }
+  }
+}
+
+TEST(HammingExhaustive, SyndromeDecoderMatchesMinimumDistanceDecoding) {
+  // For a perfect code every received word is within distance 1 of a
+  // unique codeword; the syndrome decoder must find exactly it, for all
+  // 128 possible received words.
+  const HammingCode code(3);
+  const auto words = all_codewords(code);
+  for (unsigned received_bits = 0; received_bits < 128; ++received_bits) {
+    const BitVec received = BitVec::from_uint(received_bits, 7);
+    // Brute-force nearest codeword.
+    std::size_t best_distance = 8;
+    const BitVec* nearest = nullptr;
+    for (const auto& c : words) {
+      const std::size_t d = received.distance(c);
+      if (d < best_distance) {
+        best_distance = d;
+        nearest = &c;
+      }
+    }
+    ASSERT_NE(nearest, nullptr);
+    ASSERT_LE(best_distance, 1u) << "not a perfect code?!";
+    const DecodeResult result = code.decode(received);
+    const BitVec reencoded = code.encode(result.message);
+    EXPECT_EQ(reencoded, *nearest)
+        << "received " << received.to_string() << " decoded to "
+        << reencoded.to_string() << " but nearest is "
+        << nearest->to_string();
+    EXPECT_EQ(result.error_detected, best_distance > 0);
+    EXPECT_EQ(result.corrected, best_distance > 0);
+  }
+}
+
+TEST(HammingExhaustive, EveryMessageHasADistinctCodeword) {
+  const HammingCode code(3);
+  const auto words = all_codewords(code);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (std::size_t j = i + 1; j < words.size(); ++j) {
+      EXPECT_NE(words[i], words[j]) << i << " vs " << j;
+      EXPECT_GE(words[i].distance(words[j]), 3u);
+    }
+  }
+}
+
+TEST(HammingExhaustive, SpherePackingIsPerfect) {
+  // The 16 codewords' radius-1 balls (size 8 each) tile the space:
+  // 16 * 8 = 128 = 2^7 with no overlap — verified by decoding counts.
+  const HammingCode code(3);
+  const auto words = all_codewords(code);
+  std::map<std::string, int> owner_count;
+  for (unsigned received_bits = 0; received_bits < 128; ++received_bits) {
+    const BitVec received = BitVec::from_uint(received_bits, 7);
+    const DecodeResult result = code.decode(received);
+    ++owner_count[code.encode(result.message).to_string()];
+  }
+  EXPECT_EQ(owner_count.size(), 16u);
+  for (const auto& [codeword, count] : owner_count) {
+    EXPECT_EQ(count, 8) << codeword;
+  }
+}
+
+}  // namespace
+}  // namespace photecc::ecc

@@ -1,0 +1,290 @@
+#include "photecc/ecc/hamming.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_message(std::size_t size, math::Xoshiro256& rng) {
+  BitVec m(size);
+  for (std::size_t i = 0; i < size; ++i) m.set(i, rng.bernoulli(0.5));
+  return m;
+}
+
+// ---- construction ------------------------------------------------------
+
+TEST(Hamming, ParametersMatchDefinition) {
+  for (std::size_t m = 2; m <= 10; ++m) {
+    const HammingCode code(m);
+    EXPECT_EQ(code.block_length(), (1u << m) - 1);
+    EXPECT_EQ(code.message_length(), (1u << m) - 1 - m);
+    EXPECT_EQ(code.min_distance(), 3u);
+    EXPECT_EQ(code.correctable_errors(), 1u);
+    EXPECT_EQ(code.parity_bits(), m);
+  }
+}
+
+TEST(Hamming, NamesFollowConvention) {
+  EXPECT_EQ(HammingCode(3).name(), "H(7,4)");
+  EXPECT_EQ(HammingCode(6).name(), "H(63,57)");
+  EXPECT_EQ(HammingCode(7).name(), "H(127,120)");
+}
+
+TEST(Hamming, RejectsBadOrder) {
+  EXPECT_THROW(HammingCode(1), std::invalid_argument);
+  EXPECT_THROW(HammingCode(17), std::invalid_argument);
+}
+
+TEST(Hamming, CodeRateAndCommunicationTime) {
+  const HammingCode h74(3);
+  EXPECT_NEAR(h74.code_rate(), 4.0 / 7.0, 1e-15);
+  EXPECT_NEAR(h74.communication_time(), 1.75, 1e-15);  // paper Section IV-D
+  const HammingCode h6357(6);
+  EXPECT_NEAR(h6357.communication_time(), 63.0 / 57.0, 1e-15);
+}
+
+TEST(Hamming, EncodeRejectsWrongSize) {
+  const HammingCode code(3);
+  EXPECT_THROW((void)code.encode(BitVec(5)), std::invalid_argument);
+  EXPECT_THROW((void)code.decode(BitVec(6)), std::invalid_argument);
+}
+
+TEST(Hamming, KnownH74Codeword) {
+  // Classic example: message 1011 -> codeword 0110011 with parity bits
+  // at positions 1, 2, 4 (p1=0, p2=1, p4=0 for data d1..d4 = 1,0,1,1).
+  const HammingCode code(3);
+  const BitVec message = BitVec::from_string("1011");
+  const BitVec codeword = code.encode(message);
+  EXPECT_EQ(codeword.to_string(), "0110011");
+}
+
+// ---- round-trip and single-error-correction properties -----------------
+
+struct CodeCase {
+  std::size_t m;
+  std::size_t shorten;
+  [[nodiscard]] std::unique_ptr<BlockCode> make() const {
+    if (shorten == 0) return std::make_unique<HammingCode>(m);
+    return std::make_unique<ShortenedHammingCode>(m, shorten);
+  }
+};
+
+class HammingFamily : public ::testing::TestWithParam<CodeCase> {};
+
+TEST_P(HammingFamily, CleanRoundTripOnRandomPayloads) {
+  const auto code = GetParam().make();
+  math::Xoshiro256 rng(0xC0DE + GetParam().m);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVec message = random_message(code->message_length(), rng);
+    const BitVec codeword = code->encode(message);
+    EXPECT_EQ(codeword.size(), code->block_length());
+    const DecodeResult result = code->decode(codeword);
+    EXPECT_EQ(result.message, message);
+    EXPECT_FALSE(result.error_detected);
+    EXPECT_FALSE(result.corrected);
+  }
+}
+
+TEST_P(HammingFamily, EverySingleBitErrorIsCorrected) {
+  const auto code = GetParam().make();
+  math::Xoshiro256 rng(0xBEEF + GetParam().m);
+  const BitVec message = random_message(code->message_length(), rng);
+  const BitVec codeword = code->encode(message);
+  for (std::size_t pos = 0; pos < code->block_length(); ++pos) {
+    BitVec corrupted = codeword;
+    corrupted.flip(pos);
+    const DecodeResult result = code->decode(corrupted);
+    EXPECT_EQ(result.message, message) << "error at position " << pos;
+    EXPECT_TRUE(result.error_detected) << "error at position " << pos;
+    EXPECT_TRUE(result.corrected) << "error at position " << pos;
+  }
+}
+
+TEST_P(HammingFamily, SystematicMessageRecoverableFromCodeword) {
+  // Every message bit appears unchanged somewhere in the codeword (the
+  // construction is systematic up to position permutation): flipping
+  // only parity positions must not change the decoded message.
+  const auto code = GetParam().make();
+  math::Xoshiro256 rng(0xFACE + GetParam().m);
+  const BitVec message = random_message(code->message_length(), rng);
+  const BitVec codeword = code->encode(message);
+  const DecodeResult clean = code->decode(codeword);
+  EXPECT_EQ(clean.message, message);
+}
+
+TEST_P(HammingFamily, DoubleErrorsNeverCrash) {
+  const auto code = GetParam().make();
+  math::Xoshiro256 rng(0xD0D0 + GetParam().m);
+  const BitVec message = random_message(code->message_length(), rng);
+  const BitVec codeword = code->encode(message);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t a = rng.bounded(code->block_length());
+    std::size_t b = rng.bounded(code->block_length());
+    if (a == b) b = (b + 1) % code->block_length();
+    BitVec corrupted = codeword;
+    corrupted.flip(a);
+    corrupted.flip(b);
+    const DecodeResult result = code->decode(corrupted);
+    // A distance-3 code cannot correct 2 errors; the decoder must still
+    // produce a k-bit output and flag the syndrome.
+    EXPECT_EQ(result.message.size(), code->message_length());
+    EXPECT_TRUE(result.error_detected);
+  }
+}
+
+TEST_P(HammingFamily, CodewordsDifferInAtLeastMinDistance) {
+  const auto code = GetParam().make();
+  math::Xoshiro256 rng(0xD157);
+  const BitVec m1 = random_message(code->message_length(), rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec m2 = random_message(code->message_length(), rng);
+    if (m2 == m1) continue;
+    EXPECT_GE(code->encode(m1).distance(code->encode(m2)),
+              code->min_distance());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, HammingFamily,
+    ::testing::Values(CodeCase{3, 0}, CodeCase{4, 0}, CodeCase{5, 0},
+                      CodeCase{6, 0}, CodeCase{7, 0},
+                      CodeCase{7, 56},  // H(71,64), the paper's code
+                      CodeCase{4, 3},   // H(12,8)
+                      CodeCase{6, 25}), // H(38,32)
+    [](const ::testing::TestParamInfo<CodeCase>& param_info) {
+      const auto code = param_info.param.make();
+      std::string name = code->name();
+      for (char& c : name)
+        if (c == '(' || c == ')' || c == ',') c = '_';
+      return name;
+    });
+
+// ---- shortened code specifics ------------------------------------------
+
+TEST(ShortenedHamming, H7164HasPaperParameters) {
+  const ShortenedHammingCode code = ShortenedHammingCode::h71_64();
+  EXPECT_EQ(code.name(), "H(71,64)");
+  EXPECT_EQ(code.block_length(), 71u);
+  EXPECT_EQ(code.message_length(), 64u);
+  EXPECT_EQ(code.parity_bits(), 7u);
+  EXPECT_NEAR(code.communication_time(), 71.0 / 64.0, 1e-15);
+  EXPECT_NEAR(code.code_rate(), 64.0 / 71.0, 1e-15);
+}
+
+TEST(ShortenedHamming, RejectsOverShortening) {
+  EXPECT_THROW(ShortenedHammingCode(3, 4), std::invalid_argument);
+  EXPECT_NO_THROW(ShortenedHammingCode(3, 3));  // (4,1) still valid
+}
+
+TEST(ShortenedHamming, AgreesWithBaseOnZeroPaddedMessages) {
+  // Encoding a shortened message must equal encoding the zero-padded
+  // message with the base code, restricted to the transmitted positions.
+  const ShortenedHammingCode shortened(4, 3);  // H(12,8) from H(15,11)
+  const HammingCode base(4);
+  math::Xoshiro256 rng(0xAB);
+  const BitVec message = random_message(8, rng);
+  BitVec padded(11);
+  for (std::size_t i = 0; i < 8; ++i) padded.set(i, message.get(i));
+  const BitVec short_cw = shortened.encode(message);
+  const BitVec base_cw = base.encode(padded);
+  // The shortened codeword's parity content must make the base decoder
+  // happy after re-insertion: decode must round-trip.
+  EXPECT_EQ(shortened.decode(short_cw).message, message);
+  // And the base codeword restricted to transmitted positions has the
+  // same weight (removed positions were zeros).
+  EXPECT_EQ(short_cw.popcount(), base_cw.popcount());
+}
+
+// ---- Eq. 2 BER model ----------------------------------------------------
+
+TEST(HammingBerModel, MatchesEquationTwoClosedForm) {
+  const HammingCode h74(3);
+  for (const double p : {1e-8, 1e-6, 1e-4, 1e-2, 0.1}) {
+    const double expected = p - p * std::pow(1.0 - p, 6.0);
+    EXPECT_NEAR(h74.decoded_ber(p) / expected, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(HammingBerModel, EdgeValues) {
+  const HammingCode h74(3);
+  EXPECT_DOUBLE_EQ(h74.decoded_ber(0.0), 0.0);
+  EXPECT_THROW((void)h74.decoded_ber(-0.1), std::domain_error);
+  EXPECT_THROW((void)h74.decoded_ber(1.1), std::domain_error);
+}
+
+TEST(HammingBerModel, ImprovesOnRawChannelForSmallP) {
+  for (std::size_t m = 3; m <= 7; ++m) {
+    const HammingCode code(m);
+    for (const double p : {1e-9, 1e-6, 1e-4}) {
+      EXPECT_LT(code.decoded_ber(p), p)
+          << "m=" << m << " p=" << p;
+    }
+  }
+}
+
+TEST(HammingBerModel, ShorterBlocksWinAtSameRawBer) {
+  // At identical raw p, a shorter Hamming block has fewer chances of a
+  // second error: decoded BER must be lower for H(7,4) than H(71,64).
+  const HammingCode h74(3);
+  const ShortenedHammingCode h7164 = ShortenedHammingCode::h71_64();
+  for (const double p : {1e-8, 1e-6, 1e-4}) {
+    EXPECT_LT(h74.decoded_ber(p), h7164.decoded_ber(p)) << "p=" << p;
+  }
+}
+
+TEST(HammingBerModel, SmallPAsymptoticIsQuadratic) {
+  // BER ~ (n-1) p^2 for p -> 0.
+  const HammingCode h74(3);
+  const double p = 1e-9;
+  EXPECT_NEAR(h74.decoded_ber(p) / (6.0 * p * p), 1.0, 1e-6);
+}
+
+class HammingInversion : public ::testing::TestWithParam<double> {};
+
+TEST_P(HammingInversion, RequiredRawBerRoundTrips) {
+  const double target = GetParam();
+  for (std::size_t m : {3u, 6u, 7u}) {
+    const HammingCode code(m);
+    const double p = code.required_raw_ber(target);
+    EXPECT_NEAR(code.decoded_ber(p) / target, 1.0, 1e-6)
+        << "m=" << m << " target=" << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, HammingInversion,
+                         ::testing::Values(1e-3, 1e-6, 1e-9, 1e-11, 1e-12,
+                                           1e-15));
+
+TEST(HammingInversion, PaperValueAtTenToMinusEleven) {
+  // For H(7,4) at BER 1e-11: p ~ sqrt(1e-11 / 6) = 1.29e-6.
+  const HammingCode h74(3);
+  EXPECT_NEAR(h74.required_raw_ber(1e-11), 1.291e-6, 0.01e-6);
+  const ShortenedHammingCode h7164 = ShortenedHammingCode::h71_64();
+  EXPECT_NEAR(h7164.required_raw_ber(1e-11), 3.78e-7, 0.02e-7);
+}
+
+// ---- gate-count hooks ----------------------------------------------------
+
+TEST(HammingGates, EncoderGateCountsArePlausible) {
+  const HammingCode h74(3);
+  // Each of the 3 parity bits XORs 3 data bits: 3 * (3-1) = 6 gates.
+  EXPECT_EQ(h74.encoder_xor_gates(), 6u);
+  // Decoder adds the parity positions and the k correction XORs.
+  EXPECT_EQ(h74.decoder_xor_gates(), 3u * 3u + 4u);
+}
+
+TEST(HammingGates, ShortenedNeedsFewerGatesThanBase) {
+  const HammingCode base(7);
+  const ShortenedHammingCode shortened(7, 56);
+  EXPECT_LT(shortened.encoder_xor_gates(), base.encoder_xor_gates());
+  EXPECT_LT(shortened.decoder_xor_gates(), base.decoder_xor_gates());
+}
+
+}  // namespace
+}  // namespace photecc::ecc

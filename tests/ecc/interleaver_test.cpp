@@ -1,0 +1,136 @@
+#include "photecc/ecc/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/hamming.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  BitVec w(size);
+  for (std::size_t i = 0; i < size; ++i) w.set(i, rng.bernoulli(0.5));
+  return w;
+}
+
+TEST(Interleaver, Validation) {
+  EXPECT_THROW(BlockInterleaver(0, 7), std::invalid_argument);
+  EXPECT_THROW(BlockInterleaver(4, 0), std::invalid_argument);
+  const BlockInterleaver il(4, 7);
+  EXPECT_THROW((void)il.interleave(BitVec(27)), std::invalid_argument);
+  EXPECT_THROW((void)il.deinterleave(BitVec(29)), std::invalid_argument);
+}
+
+TEST(Interleaver, Dimensions) {
+  const BlockInterleaver il(16, 7);
+  EXPECT_EQ(il.rows(), 16u);
+  EXPECT_EQ(il.cols(), 7u);
+  EXPECT_EQ(il.frame_bits(), 112u);
+  EXPECT_EQ(il.burst_tolerance(), 16u);
+}
+
+TEST(Interleaver, KnownSmallPermutation) {
+  // 2x3 frame [a b c / d e f] -> column order [a d b e c f].
+  const BlockInterleaver il(2, 3);
+  const BitVec frame = BitVec::from_string("101001");  // a..f
+  EXPECT_EQ(il.interleave(frame).to_string(), "100011");
+}
+
+class InterleaverShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(InterleaverShapes, RoundTripIsIdentity) {
+  const auto [rows, cols] = GetParam();
+  const BlockInterleaver il(rows, cols);
+  math::Xoshiro256 rng(rows * 131 + cols);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVec frame = random_word(il.frame_bits(), rng);
+    EXPECT_EQ(il.deinterleave(il.interleave(frame)), frame);
+    EXPECT_EQ(il.interleave(il.deinterleave(frame)), frame);
+  }
+}
+
+TEST_P(InterleaverShapes, PreservesPopcount) {
+  const auto [rows, cols] = GetParam();
+  const BlockInterleaver il(rows, cols);
+  math::Xoshiro256 rng(rows * 37 + cols);
+  const BitVec frame = random_word(il.frame_bits(), rng);
+  EXPECT_EQ(il.interleave(frame).popcount(), frame.popcount());
+}
+
+TEST_P(InterleaverShapes, BurstSpreadsToOneErrorPerRow) {
+  // A contiguous burst of length <= rows lands on distinct rows after
+  // deinterleaving.
+  const auto [rows, cols] = GetParam();
+  const BlockInterleaver il(rows, cols);
+  const std::size_t total = il.frame_bits();
+  for (std::size_t start = 0; start + rows <= total; start += 11) {
+    BitVec burst(total);  // error mask
+    for (std::size_t i = 0; i < rows; ++i) burst.set(start + i, true);
+    const BitVec spread = il.deinterleave(burst);
+    // Count errors per row of the deinterleaved frame.
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::size_t errors = 0;
+      for (std::size_t c = 0; c < cols; ++c)
+        if (spread.get(r * cols + c)) ++errors;
+      EXPECT_LE(errors, 1u) << "rows=" << rows << " cols=" << cols
+                            << " start=" << start << " row=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InterleaverShapes,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(2, 3),
+                      std::make_pair<std::size_t, std::size_t>(4, 7),
+                      std::make_pair<std::size_t, std::size_t>(16, 7),
+                      std::make_pair<std::size_t, std::size_t>(8, 71),
+                      std::make_pair<std::size_t, std::size_t>(3, 64)));
+
+TEST(Interleaver, HammingSurvivesABurstWithInterleaving) {
+  // 16 H(7,4) codewords interleaved: a 16-bit burst corrupts one bit
+  // per codeword — fully correctable.  Without interleaving the same
+  // burst wipes out two codewords.
+  const HammingCode h74(3);
+  const BlockInterleaver il(16, 7);
+  math::Xoshiro256 rng(0xB0057);
+
+  BitVec frame(0);
+  std::vector<BitVec> messages;
+  for (int b = 0; b < 16; ++b) {
+    messages.push_back(random_word(4, rng));
+    frame = frame.concat(h74.encode(messages.back()));
+  }
+
+  const std::size_t burst_start = 23;
+  const auto corrupt = [&](BitVec wire) {
+    for (std::size_t i = 0; i < 16; ++i) wire.flip(burst_start + i);
+    return wire;
+  };
+
+  // With interleaving: corrupt the interleaved wire, deinterleave,
+  // decode.
+  const BitVec received_il =
+      il.deinterleave(corrupt(il.interleave(frame)));
+  bool all_recovered = true;
+  for (int b = 0; b < 16; ++b) {
+    const DecodeResult r = h74.decode(received_il.slice(b * 7, 7));
+    all_recovered &= (r.message == messages[b]);
+  }
+  EXPECT_TRUE(all_recovered);
+
+  // Without interleaving: the burst clusters in adjacent codewords and
+  // at least one payload is corrupted.
+  const BitVec received_plain = corrupt(frame);
+  bool any_corrupted = false;
+  for (int b = 0; b < 16; ++b) {
+    const DecodeResult r = h74.decode(received_plain.slice(b * 7, 7));
+    any_corrupted |= (r.message != messages[b]);
+  }
+  EXPECT_TRUE(any_corrupted);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

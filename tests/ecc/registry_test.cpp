@@ -1,0 +1,68 @@
+#include "photecc/ecc/registry.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace photecc::ecc {
+namespace {
+
+TEST(Registry, MakesEveryAdvertisedCode) {
+  for (const char* name :
+       {"uncoded", "w/o ECC", "H(7,4)", "H(15,11)", "H(31,26)", "H(63,57)",
+        "H(127,120)", "H(71,64)", "H(12,8)", "H(38,32)", "eH(8,4)",
+        "eH(16,11)", "eH(64,57)", "REP(3,1)", "REP(5,1)", "REP(7,1)"}) {
+    const BlockCodePtr code = make_code(name);
+    ASSERT_NE(code, nullptr) << name;
+    EXPECT_GT(code->block_length(), 0u) << name;
+    EXPECT_LE(code->message_length(), code->block_length()) << name;
+  }
+}
+
+TEST(Registry, NameRoundTripsThroughFactory) {
+  for (const char* name :
+       {"H(7,4)", "H(71,64)", "H(63,57)", "eH(8,4)", "REP(3,1)"}) {
+    EXPECT_EQ(make_code(name)->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_code("H(8,4)"), std::invalid_argument);
+  EXPECT_THROW(make_code(""), std::invalid_argument);
+  EXPECT_THROW(make_code("turbo"), std::invalid_argument);
+}
+
+TEST(Registry, PaperSchemesInPresentationOrder) {
+  const auto schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 3u);
+  EXPECT_EQ(schemes[0]->name(), "w/o ECC");
+  EXPECT_EQ(schemes[1]->name(), "H(71,64)");
+  EXPECT_EQ(schemes[2]->name(), "H(7,4)");
+}
+
+TEST(Registry, HammingFamilyCoversLadder) {
+  const auto family = hamming_family();
+  ASSERT_EQ(family.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& code : family) names.insert(code->name());
+  EXPECT_TRUE(names.count("H(7,4)"));
+  EXPECT_TRUE(names.count("H(127,120)"));
+  EXPECT_TRUE(names.count("H(71,64)"));
+}
+
+TEST(Registry, AllKnownCodesAreDistinctAndValid) {
+  const auto all = all_known_codes();
+  EXPECT_GE(all.size(), 15u);
+  std::set<std::string> names;
+  for (const auto& code : all) {
+    EXPECT_TRUE(names.insert(code->name()).second)
+        << "duplicate " << code->name();
+    // Every code must have an invertible BER model at a common target.
+    const double p = code->required_raw_ber(1e-9);
+    EXPECT_GT(p, 0.0) << code->name();
+    EXPECT_LE(p, 0.5) << code->name();
+  }
+}
+
+}  // namespace
+}  // namespace photecc::ecc

@@ -1,0 +1,79 @@
+#include "photecc/ecc/repetition.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace photecc::ecc {
+namespace {
+
+TEST(Repetition, ParametersAndValidation) {
+  const RepetitionCode code(3);
+  EXPECT_EQ(code.name(), "REP(3,1)");
+  EXPECT_EQ(code.block_length(), 3u);
+  EXPECT_EQ(code.message_length(), 1u);
+  EXPECT_EQ(code.min_distance(), 3u);
+  EXPECT_EQ(code.correctable_errors(), 1u);
+  EXPECT_THROW(RepetitionCode(2), std::invalid_argument);
+  EXPECT_THROW(RepetitionCode(4), std::invalid_argument);
+  EXPECT_THROW(RepetitionCode(1), std::invalid_argument);
+}
+
+TEST(Repetition, EncodeReplicates) {
+  const RepetitionCode code(5);
+  EXPECT_EQ(code.encode(BitVec::from_string("1")).to_string(), "11111");
+  EXPECT_EQ(code.encode(BitVec::from_string("0")).to_string(), "00000");
+}
+
+TEST(Repetition, MajorityVoteCorrectsMinorityFlips) {
+  const RepetitionCode code(5);
+  // Two of five flipped: majority still wins.
+  const DecodeResult r = code.decode(BitVec::from_string("11010"));
+  EXPECT_TRUE(r.message.get(0));
+  EXPECT_TRUE(r.error_detected);
+  EXPECT_TRUE(r.corrected);
+}
+
+TEST(Repetition, MajorityVoteFailsBeyondCapability) {
+  const RepetitionCode code(3);
+  // Two of three flipped: decoder picks the wrong bit (expected).
+  const DecodeResult r = code.decode(BitVec::from_string("001"));
+  EXPECT_FALSE(r.message.get(0) == true);
+}
+
+TEST(Repetition, CleanWordsDetectNothing) {
+  const RepetitionCode code(3);
+  EXPECT_FALSE(code.decode(BitVec::from_string("111")).error_detected);
+  EXPECT_FALSE(code.decode(BitVec::from_string("000")).error_detected);
+}
+
+TEST(Repetition, BerModelMatchesBinomialTail) {
+  const RepetitionCode code(3);
+  for (const double p : {1e-6, 1e-3, 0.1}) {
+    const double expected = 3.0 * p * p * (1.0 - p) + p * p * p;
+    EXPECT_NEAR(code.decoded_ber(p) / expected, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Repetition, LongerCodesAreStronger) {
+  const RepetitionCode r3(3), r5(5), r7(7);
+  for (const double p : {1e-4, 1e-2}) {
+    EXPECT_GT(r3.decoded_ber(p), r5.decoded_ber(p));
+    EXPECT_GT(r5.decoded_ber(p), r7.decoded_ber(p));
+  }
+}
+
+TEST(Repetition, TerribleRate) {
+  EXPECT_NEAR(RepetitionCode(3).communication_time(), 3.0, 1e-15);
+  EXPECT_NEAR(RepetitionCode(3).code_rate(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Repetition, SizeValidation) {
+  const RepetitionCode code(3);
+  EXPECT_THROW((void)code.encode(BitVec(2)), std::invalid_argument);
+  EXPECT_THROW((void)code.decode(BitVec(4)), std::invalid_argument);
+  EXPECT_THROW((void)code.decoded_ber(-0.5), std::domain_error);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

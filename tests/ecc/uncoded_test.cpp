@@ -1,0 +1,48 @@
+#include "photecc/ecc/uncoded.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photecc::ecc {
+namespace {
+
+TEST(Uncoded, IsIdentity) {
+  const UncodedScheme scheme(8);
+  const BitVec word = BitVec::from_string("10110001");
+  EXPECT_EQ(scheme.encode(word), word);
+  const DecodeResult r = scheme.decode(word);
+  EXPECT_EQ(r.message, word);
+  EXPECT_FALSE(r.error_detected);
+  EXPECT_FALSE(r.corrected);
+}
+
+TEST(Uncoded, PaperFigures) {
+  const UncodedScheme scheme(64);
+  EXPECT_EQ(scheme.name(), "w/o ECC");
+  EXPECT_DOUBLE_EQ(scheme.code_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.communication_time(), 1.0);  // CT = 1
+  EXPECT_EQ(scheme.min_distance(), 1u);
+  EXPECT_EQ(scheme.correctable_errors(), 0u);
+}
+
+TEST(Uncoded, BerModelIsIdentity) {
+  const UncodedScheme scheme(64);
+  for (const double p : {1e-12, 1e-6, 0.3}) {
+    EXPECT_DOUBLE_EQ(scheme.decoded_ber(p), p);
+    if (p <= 0.5) {
+      EXPECT_DOUBLE_EQ(scheme.required_raw_ber(p), p);
+    }
+  }
+  EXPECT_THROW((void)scheme.decoded_ber(-1.0), std::domain_error);
+  EXPECT_THROW((void)scheme.required_raw_ber(0.0), std::domain_error);
+  EXPECT_THROW((void)scheme.required_raw_ber(0.7), std::domain_error);
+}
+
+TEST(Uncoded, Validation) {
+  EXPECT_THROW(UncodedScheme(0), std::invalid_argument);
+  const UncodedScheme scheme(8);
+  EXPECT_THROW((void)scheme.encode(BitVec(7)), std::invalid_argument);
+  EXPECT_THROW((void)scheme.decode(BitVec(9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::ecc

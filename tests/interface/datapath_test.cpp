@@ -1,0 +1,136 @@
+#include "photecc/interface/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::interface {
+namespace {
+
+ecc::BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  ecc::BitVec word(size);
+  for (std::size_t i = 0; i < size; ++i) word.set(i, rng.bernoulli(0.5));
+  return word;
+}
+
+TEST(Datapath, FrameSizesMatchTableOne) {
+  // Table I: 112-bit frames with H(7,4), 71-bit with H(71,64), 64-bit
+  // uncoded, all for Ndata = 64.
+  EXPECT_EQ(TransmitterDatapath(ecc::make_code("H(7,4)"), 64).frame_bits(),
+            112u);
+  EXPECT_EQ(
+      TransmitterDatapath(ecc::make_code("H(71,64)"), 64).frame_bits(),
+      71u);
+  EXPECT_EQ(
+      TransmitterDatapath(ecc::make_code("w/o ECC"), 64).frame_bits(),
+      64u);
+}
+
+TEST(Datapath, BlockCountsMatchTableOne) {
+  // 16 parallel H(7,4) coders vs a single H(71,64) codec.
+  EXPECT_EQ(TransmitterDatapath(ecc::make_code("H(7,4)"), 64).block_count(),
+            16u);
+  EXPECT_EQ(
+      TransmitterDatapath(ecc::make_code("H(71,64)"), 64).block_count(),
+      1u);
+}
+
+TEST(Datapath, RejectsNonDividingCode) {
+  // H(15,11): 11 does not divide 64.
+  EXPECT_THROW(TransmitterDatapath(ecc::make_code("H(15,11)"), 64),
+               std::invalid_argument);
+  EXPECT_THROW(ReceiverDatapath(ecc::make_code("H(15,11)"), 64),
+               std::invalid_argument);
+  EXPECT_THROW(TransmitterDatapath(nullptr, 64), std::invalid_argument);
+}
+
+class DatapathRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatapathRoundTrip, CleanWireRoundTrips) {
+  const auto code = ecc::make_code(GetParam());
+  const TransmitterDatapath tx(code, 64);
+  const ReceiverDatapath rx(code, 64);
+  math::Xoshiro256 rng(0xDA7A);
+  for (int trial = 0; trial < 25; ++trial) {
+    const ecc::BitVec word = random_word(64, rng);
+    const auto wire = tx.transmit(word);
+    ASSERT_EQ(wire.size(), tx.frame_bits());
+    const ReceiveResult result = rx.receive(wire);
+    EXPECT_EQ(result.word, word);
+    EXPECT_EQ(result.corrected_blocks, 0u);
+    EXPECT_EQ(result.detected_blocks, 0u);
+  }
+}
+
+TEST_P(DatapathRoundTrip, SingleWireErrorPerBlockIsTransparent) {
+  const auto code = ecc::make_code(GetParam());
+  if (code->correctable_errors() == 0) GTEST_SKIP() << "uncoded";
+  const TransmitterDatapath tx(code, 64);
+  const ReceiverDatapath rx(code, 64);
+  math::Xoshiro256 rng(0xE44);
+  const ecc::BitVec word = random_word(64, rng);
+  auto wire = tx.transmit(word);
+  // Flip exactly one bit in every code block on the wire.
+  const std::size_t n = code->block_length();
+  for (std::size_t block = 0; block * n < wire.size(); ++block) {
+    const std::size_t pos = block * n + rng.bounded(n);
+    wire[pos] = !wire[pos];
+  }
+  const ReceiveResult result = rx.receive(wire);
+  EXPECT_EQ(result.word, word);
+  EXPECT_EQ(result.corrected_blocks, tx.block_count());
+  EXPECT_EQ(result.detected_blocks, tx.block_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DatapathRoundTrip,
+                         ::testing::Values("w/o ECC", "H(7,4)", "H(71,64)"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name)
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(Datapath, UncodedPassesErrorsThrough) {
+  const auto code = ecc::make_code("w/o ECC");
+  const TransmitterDatapath tx(code, 64);
+  const ReceiverDatapath rx(code, 64);
+  math::Xoshiro256 rng(0xBAD);
+  const ecc::BitVec word = random_word(64, rng);
+  auto wire = tx.transmit(word);
+  wire[10] = !wire[10];
+  const ReceiveResult result = rx.receive(wire);
+  EXPECT_EQ(result.word.distance(word), 1u);
+  EXPECT_EQ(result.corrected_blocks, 0u);
+}
+
+TEST(Datapath, ReceiverRejectsWrongFrameSize) {
+  const ReceiverDatapath rx(ecc::make_code("H(7,4)"), 64);
+  EXPECT_THROW((void)rx.receive(std::vector<bool>(64)),
+               std::invalid_argument);
+}
+
+TEST(Datapath, TransmitterRejectsWrongWordSize) {
+  const TransmitterDatapath tx(ecc::make_code("H(7,4)"), 64);
+  EXPECT_THROW((void)tx.transmit(ecc::BitVec(63)), std::invalid_argument);
+}
+
+TEST(Datapath, WorksWithNonDefaultBusWidths) {
+  // 32-bit IP bus with H(7,4) does not divide (32/4 = 8 blocks: fine);
+  // with H(71,64) it does not (64 > 32).
+  EXPECT_NO_THROW(TransmitterDatapath(ecc::make_code("H(7,4)"), 32));
+  EXPECT_THROW(TransmitterDatapath(ecc::make_code("H(71,64)"), 32),
+               std::invalid_argument);
+  const auto code = ecc::make_code("H(7,4)");
+  const TransmitterDatapath tx(code, 32);
+  const ReceiverDatapath rx(code, 32);
+  math::Xoshiro256 rng(0x32);
+  const ecc::BitVec word = random_word(32, rng);
+  EXPECT_EQ(rx.receive(tx.transmit(word)).word, word);
+}
+
+}  // namespace
+}  // namespace photecc::interface

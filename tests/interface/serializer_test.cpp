@@ -1,0 +1,98 @@
+#include "photecc/interface/serializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/rng.hpp"
+
+namespace photecc::interface {
+namespace {
+
+TEST(Serializer, ShiftsBitZeroFirst) {
+  Serializer ser(4);
+  ser.load(ecc::BitVec::from_string("1011"));
+  EXPECT_EQ(ser.shift_out(), true);
+  EXPECT_EQ(ser.shift_out(), false);
+  EXPECT_EQ(ser.shift_out(), true);
+  EXPECT_EQ(ser.shift_out(), true);
+  EXPECT_EQ(ser.shift_out(), std::nullopt);
+  EXPECT_TRUE(ser.empty());
+}
+
+TEST(Serializer, LoadDiscardsPendingBits) {
+  Serializer ser(3);
+  ser.load(ecc::BitVec::from_string("111"));
+  (void)ser.shift_out();
+  ser.load(ecc::BitVec::from_string("000"));
+  EXPECT_EQ(ser.shift_out(), false);
+  EXPECT_EQ(ser.shift_out(), false);
+  EXPECT_EQ(ser.shift_out(), false);
+  EXPECT_TRUE(ser.empty());
+}
+
+TEST(Serializer, Validation) {
+  EXPECT_THROW(Serializer(0), std::invalid_argument);
+  Serializer ser(4);
+  EXPECT_THROW(ser.load(ecc::BitVec(3)), std::invalid_argument);
+}
+
+TEST(Deserializer, EmitsFrameWhenFull) {
+  Deserializer des(3);
+  EXPECT_EQ(des.shift_in(true), std::nullopt);
+  EXPECT_EQ(des.fill(), 1u);
+  EXPECT_EQ(des.shift_in(false), std::nullopt);
+  const auto frame = des.shift_in(true);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->to_string(), "101");
+  EXPECT_EQ(des.fill(), 0u);  // reset for the next frame
+}
+
+TEST(Deserializer, Validation) {
+  EXPECT_THROW(Deserializer(0), std::invalid_argument);
+  EXPECT_THROW(Deserializer::deserialize({true, false, true}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(Deserializer::deserialize({true}, 0),
+               std::invalid_argument);
+}
+
+class SerdesRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerdesRoundTrip, WireRoundTripIsBitExact) {
+  const std::size_t width = GetParam();
+  math::Xoshiro256 rng(width * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    ecc::BitVec frame(width);
+    for (std::size_t i = 0; i < width; ++i)
+      frame.set(i, rng.bernoulli(0.5));
+    const std::vector<bool> wire = Serializer::serialize(frame);
+    ASSERT_EQ(wire.size(), width);
+    const auto frames = Deserializer::deserialize(wire, width);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], frame);
+  }
+}
+
+// The paper's three frame sizes (64 / 71 / 112) plus corner widths.
+INSTANTIATE_TEST_SUITE_P(Widths, SerdesRoundTrip,
+                         ::testing::Values(1, 2, 7, 64, 71, 112, 127, 200));
+
+TEST(Serdes, MultiFrameStreamKeepsFrameBoundaries) {
+  math::Xoshiro256 rng(0x515);
+  const std::size_t width = 7;
+  std::vector<ecc::BitVec> sent;
+  std::vector<bool> wire;
+  for (int f = 0; f < 5; ++f) {
+    ecc::BitVec frame(width);
+    for (std::size_t i = 0; i < width; ++i)
+      frame.set(i, rng.bernoulli(0.5));
+    sent.push_back(frame);
+    const auto bits = Serializer::serialize(frame);
+    wire.insert(wire.end(), bits.begin(), bits.end());
+  }
+  const auto received = Deserializer::deserialize(wire, width);
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t f = 0; f < sent.size(); ++f)
+    EXPECT_EQ(received[f], sent[f]) << "frame " << f;
+}
+
+}  // namespace
+}  // namespace photecc::interface

@@ -1,0 +1,198 @@
+#include "photecc/interface/synthesis_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/hamming.hpp"
+
+namespace photecc::interface {
+namespace {
+
+// ---- Table I reference dataset -----------------------------------------
+
+TEST(Table1, TransmitterTotalsMatchThePaper) {
+  const InterfacePair pair = table1_reference();
+  EXPECT_DOUBLE_EQ(pair.transmitter.total_area_um2, 2013.0);
+  EXPECT_DOUBLE_EQ(pair.transmitter.dynamic_uw(InterfaceMode::kHamming74),
+                   9.57);
+  EXPECT_DOUBLE_EQ(
+      pair.transmitter.dynamic_uw(InterfaceMode::kHamming7164), 5.99);
+  EXPECT_DOUBLE_EQ(pair.transmitter.dynamic_uw(InterfaceMode::kUncoded),
+                   3.16);
+}
+
+TEST(Table1, ReceiverTotalsMatchThePaper) {
+  const InterfacePair pair = table1_reference();
+  EXPECT_DOUBLE_EQ(pair.receiver.total_area_um2, 3050.0);
+  EXPECT_DOUBLE_EQ(pair.receiver.dynamic_uw(InterfaceMode::kHamming74),
+                   10.10);
+  EXPECT_DOUBLE_EQ(pair.receiver.dynamic_uw(InterfaceMode::kHamming7164),
+                   7.21);
+  EXPECT_DOUBLE_EQ(pair.receiver.dynamic_uw(InterfaceMode::kUncoded),
+                   4.29);
+}
+
+TEST(Table1, BlockAreasSumToTheTotals) {
+  const InterfacePair pair = table1_reference();
+  double tx_area = 0.0;
+  for (const auto& b : pair.transmitter.blocks) tx_area += b.area_um2;
+  EXPECT_NEAR(tx_area, pair.transmitter.total_area_um2, 0.5);
+  double rx_area = 0.0;
+  for (const auto& b : pair.receiver.blocks) rx_area += b.area_um2;
+  EXPECT_NEAR(rx_area, pair.receiver.total_area_um2, 0.5);
+}
+
+TEST(Table1, ActivePathPowersAreBlockSums) {
+  // H(7,4) TX path = 1-bit mux + H(7,4) coders + 112-bit SER.
+  const InterfacePair pair = table1_reference();
+  const auto& blocks = pair.transmitter.blocks;
+  const double sum =
+      blocks[0].dynamic_uw + blocks[1].dynamic_uw + blocks[3].dynamic_uw;
+  EXPECT_NEAR(sum, pair.transmitter.dynamic_uw(InterfaceMode::kHamming74),
+              0.01);
+}
+
+TEST(Table1, CodedPathsCostMoreThanUncoded) {
+  const InterfacePair pair = table1_reference();
+  for (const auto* side : {&pair.transmitter, &pair.receiver}) {
+    EXPECT_GT(side->dynamic_uw(InterfaceMode::kHamming74),
+              side->dynamic_uw(InterfaceMode::kHamming7164));
+    EXPECT_GT(side->dynamic_uw(InterfaceMode::kHamming7164),
+              side->dynamic_uw(InterfaceMode::kUncoded));
+  }
+}
+
+TEST(Table1, PerWavelengthEncDecPowerIsMicrowattScale) {
+  // Fig. 6a shows P_ENC+DEC as a negligible sliver: ~1.2 uW/lambda for
+  // H(7,4) over 16 wavelengths.
+  const InterfacePair pair = table1_reference();
+  const double w = pair.enc_dec_power_per_wavelength_w(
+      InterfaceMode::kHamming74, 16);
+  EXPECT_NEAR(w, (9.57 + 10.10) * 1e-6 / 16.0, 1e-12);
+  EXPECT_LT(w, 2e-6);
+  EXPECT_THROW(
+      (void)pair.enc_dec_power_per_wavelength_w(InterfaceMode::kUncoded, 0),
+      std::invalid_argument);
+}
+
+TEST(Table1, CriticalPathsMeetTheClocks) {
+  // Every block must close timing: FIP blocks under 1000 ps, SER/DES
+  // blocks under 100 ps (Fmod = 10 GHz).
+  const InterfacePair pair = table1_reference();
+  for (const auto* side : {&pair.transmitter, &pair.receiver}) {
+    for (const auto& block : side->blocks) {
+      const bool serdes = block.name.find("SER") != std::string::npos;
+      EXPECT_LE(block.critical_path_ps, serdes ? 100.0 : 1000.0)
+          << block.name;
+    }
+  }
+}
+
+TEST(Table1, TotalPowerIncludesBothSides) {
+  const InterfacePair pair = table1_reference();
+  EXPECT_NEAR(pair.total_power_w(InterfaceMode::kHamming74),
+              (9.57 + 10.10) * 1e-6, 1e-12);
+}
+
+TEST(InterfaceModeNames, RenderLikeThePaper) {
+  EXPECT_EQ(to_string(InterfaceMode::kUncoded), "w/o ECC");
+  EXPECT_EQ(to_string(InterfaceMode::kHamming74), "H(7,4)");
+  EXPECT_EQ(to_string(InterfaceMode::kHamming7164), "H(71,64)");
+}
+
+// ---- DSENT-style estimator ----------------------------------------------
+
+TEST(Estimator, TransmitterEstimateWithinTwoXOfTableOne) {
+  const SynthesisEstimator estimator;
+  const InterfaceSynthesis tx = estimator.transmitter();
+  const InterfacePair ref = table1_reference();
+  EXPECT_GT(tx.total_area_um2, ref.transmitter.total_area_um2 / 2.0);
+  EXPECT_LT(tx.total_area_um2, ref.transmitter.total_area_um2 * 2.0);
+  for (const auto mode :
+       {InterfaceMode::kUncoded, InterfaceMode::kHamming74,
+        InterfaceMode::kHamming7164}) {
+    const double est = tx.dynamic_uw(mode);
+    const double paper = ref.transmitter.dynamic_uw(mode);
+    EXPECT_GT(est, paper / 3.0) << to_string(mode);
+    EXPECT_LT(est, paper * 3.0) << to_string(mode);
+  }
+}
+
+TEST(Estimator, PreservesTheModeOrdering) {
+  const SynthesisEstimator estimator;
+  for (const InterfaceSynthesis side :
+       {estimator.transmitter(), estimator.receiver()}) {
+    EXPECT_GT(side.dynamic_uw(InterfaceMode::kHamming74),
+              side.dynamic_uw(InterfaceMode::kHamming7164));
+    EXPECT_GT(side.dynamic_uw(InterfaceMode::kHamming7164),
+              side.dynamic_uw(InterfaceMode::kUncoded));
+  }
+}
+
+TEST(Estimator, EncoderBankScalesWithCodeComplexity) {
+  const SynthesisEstimator estimator;
+  const ecc::HammingCode h74(3);
+  const ecc::ShortenedHammingCode h7164(7, 56);
+  const BlockSynthesis bank74 = estimator.encoder_bank(h74);
+  const BlockSynthesis bank7164 = estimator.encoder_bank(h7164);
+  // 16 x H(7,4) registers 16*7=112 output bits, 1 x H(71,64) only 71:
+  // the H(7,4) bank is bigger, like in Table I (551 vs 490 um^2).
+  EXPECT_GT(bank74.area_um2, bank7164.area_um2);
+}
+
+TEST(Estimator, DecoderCostsMoreThanEncoder) {
+  const SynthesisEstimator estimator;
+  const ecc::HammingCode h74(3);
+  EXPECT_GT(estimator.decoder_bank(h74).area_um2,
+            estimator.encoder_bank(h74).area_um2);
+  EXPECT_GT(estimator.decoder_bank(h74).critical_path_ps,
+            estimator.encoder_bank(h74).critical_path_ps);
+}
+
+TEST(Estimator, SerializerScalesWithFrameWidth) {
+  const SynthesisEstimator estimator;
+  const BlockSynthesis ser64 = estimator.serializer(64);
+  const BlockSynthesis ser112 = estimator.serializer(112);
+  EXPECT_GT(ser112.area_um2, ser64.area_um2);
+  EXPECT_GT(ser112.dynamic_uw, ser64.dynamic_uw);
+  EXPECT_GT(ser112.static_nw, ser64.static_nw);
+}
+
+TEST(Estimator, DeserializerIsSmallerThanSerializer) {
+  // No input load muxes on the shift-in pipeline (Table I: 365 vs 433).
+  const SynthesisEstimator estimator;
+  EXPECT_LT(estimator.deserializer(112).area_um2,
+            estimator.serializer(112).area_um2);
+}
+
+TEST(Estimator, StaticPowerStaysNanowattScale) {
+  // "Static power is negligible thanks to the 28 nm low leakage
+  // technology" — totals must stay well below a microwatt.
+  const SynthesisEstimator estimator;
+  for (const InterfaceSynthesis side :
+       {estimator.transmitter(), estimator.receiver()}) {
+    double total_nw = 0.0;
+    for (const auto& block : side.blocks) total_nw += block.static_nw;
+    EXPECT_LT(total_nw, 1000.0);
+  }
+}
+
+TEST(Estimator, RejectsBadClocks) {
+  InterfaceClocks clocks;
+  clocks.f_ip_hz = 0.0;
+  EXPECT_THROW(SynthesisEstimator(fdsoi28(), clocks),
+               std::invalid_argument);
+  clocks = InterfaceClocks{};
+  clocks.n_data = 0;
+  EXPECT_THROW(SynthesisEstimator(fdsoi28(), clocks),
+               std::invalid_argument);
+}
+
+TEST(BlockSynthesis, TotalAddsLeakage) {
+  BlockSynthesis block;
+  block.dynamic_uw = 3.13;
+  block.static_nw = 1.7;
+  EXPECT_NEAR(block.total_uw(), 3.1317, 1e-9);
+}
+
+}  // namespace
+}  // namespace photecc::interface

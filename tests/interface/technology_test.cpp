@@ -1,0 +1,47 @@
+#include "photecc/interface/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photecc::interface {
+namespace {
+
+TEST(Technology, Fdsoi28Defaults) {
+  const TechnologyParams tech = fdsoi28();
+  EXPECT_EQ(tech.name, "28nm FDSOI");
+  EXPECT_DOUBLE_EQ(tech.feature_nm, 28.0);
+  EXPECT_GT(tech.gate_area_um2, 0.0);
+  EXPECT_GT(tech.xor_energy_j, 0.0);
+  EXPECT_GT(tech.flop_energy_j, 0.0);
+  EXPECT_GT(tech.gate_delay_ps, 0.0);
+}
+
+TEST(Technology, ScalingShrinksEverythingAtSmallerNodes) {
+  const TechnologyParams base = fdsoi28();
+  const TechnologyParams small = scaled_node(14.0);
+  EXPECT_LT(small.gate_area_um2, base.gate_area_um2);
+  EXPECT_LT(small.xor_energy_j, base.xor_energy_j);
+  EXPECT_LT(small.flop_energy_j, base.flop_energy_j);
+  EXPECT_LT(small.gate_delay_ps, base.gate_delay_ps);
+  EXPECT_LT(small.leakage_per_gate_w, base.leakage_per_gate_w);
+}
+
+TEST(Technology, AreaScalesQuadratically) {
+  const TechnologyParams base = fdsoi28();
+  const TechnologyParams half = scaled_node(14.0);
+  EXPECT_NEAR(half.gate_area_um2 / base.gate_area_um2, 0.25, 1e-12);
+}
+
+TEST(Technology, IdentityScalingIsIdentity) {
+  const TechnologyParams same = scaled_node(28.0);
+  const TechnologyParams base = fdsoi28();
+  EXPECT_DOUBLE_EQ(same.gate_area_um2, base.gate_area_um2);
+  EXPECT_DOUBLE_EQ(same.gate_delay_ps, base.gate_delay_ps);
+}
+
+TEST(Technology, RejectsNonPositiveFeature) {
+  EXPECT_THROW(scaled_node(0.0), std::invalid_argument);
+  EXPECT_THROW(scaled_node(-28.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::interface

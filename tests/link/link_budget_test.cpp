@@ -1,0 +1,81 @@
+#include "photecc/link/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::link {
+namespace {
+
+TEST(LinkBudget, StagesMultiplyToTotalTransmission) {
+  const MwsrChannel channel{MwsrParams{}};
+  const LinkBudget budget = compute_link_budget(channel, 0);
+  double product = 1.0;
+  for (const auto& stage : budget.stages)
+    product *= math::loss_db_to_transmission(stage.loss_db);
+  EXPECT_NEAR(product / budget.total_transmission, 1.0, 1e-9);
+}
+
+TEST(LinkBudget, TotalMatchesChannelModelExactly) {
+  const MwsrChannel channel{MwsrParams{}};
+  for (const std::size_t ch : {std::size_t{0}, std::size_t{8}}) {
+    const LinkBudget budget = compute_link_budget(channel, ch);
+    EXPECT_NEAR(budget.total_transmission /
+                    channel.signal_path_transmission(ch),
+                1.0, 1e-12)
+        << "ch=" << ch;
+  }
+}
+
+TEST(LinkBudget, CumulativeColumnsAreConsistent) {
+  const MwsrChannel channel{MwsrParams{}};
+  const LinkBudget budget = compute_link_budget(channel, 0);
+  double cumulative = 0.0;
+  for (const auto& stage : budget.stages) {
+    cumulative += stage.loss_db;
+    EXPECT_NEAR(stage.cumulative_loss_db, cumulative, 1e-9);
+    EXPECT_NEAR(stage.cumulative_transmission,
+                math::loss_db_to_transmission(cumulative), 1e-9);
+  }
+  EXPECT_NEAR(budget.total_loss_db, cumulative, 1e-9);
+}
+
+TEST(LinkBudget, ContainsTheSevenPaperStages) {
+  const MwsrChannel channel{MwsrParams{}};
+  const LinkBudget budget = compute_link_budget(channel, 0);
+  ASSERT_EQ(budget.stages.size(), 7u);
+  EXPECT_NE(budget.stages[0].name.find("laser"), std::string::npos);
+  EXPECT_NE(budget.stages[1].name.find("multiplexer"), std::string::npos);
+  EXPECT_NE(budget.stages[2].name.find("waveguide"), std::string::npos);
+  EXPECT_NE(budget.stages[3].name.find("parked"), std::string::npos);
+  EXPECT_NE(budget.stages[4].name.find("modulator"), std::string::npos);
+  EXPECT_NE(budget.stages[5].name.find("drop"), std::string::npos);
+  EXPECT_NE(budget.stages[6].name.find("photodetector"), std::string::npos);
+}
+
+TEST(LinkBudget, WaveguideStageMatchesPaperNumbers) {
+  const MwsrChannel channel{MwsrParams{}};
+  const LinkBudget budget = compute_link_budget(channel, 0);
+  EXPECT_NEAR(budget.stages[2].loss_db, 1.644, 1e-6);  // 0.274 x 6
+}
+
+TEST(LinkBudget, EyePenaltyReportedWhenEnabled) {
+  MwsrParams params;
+  params.include_eye_penalty = true;
+  const LinkBudget with = compute_link_budget(MwsrChannel{params}, 0);
+  EXPECT_GT(with.eye_penalty_db, 0.0);
+  params.include_eye_penalty = false;
+  const LinkBudget without = compute_link_budget(MwsrChannel{params}, 0);
+  EXPECT_DOUBLE_EQ(without.eye_penalty_db, 0.0);
+}
+
+TEST(LinkBudget, CrosstalkTransmissionMirrorsChannel) {
+  const MwsrChannel channel{MwsrParams{}};
+  const std::size_t ch = channel.worst_channel();
+  const LinkBudget budget = compute_link_budget(channel, ch);
+  EXPECT_DOUBLE_EQ(budget.crosstalk_transmission,
+                   channel.crosstalk_transmission(ch));
+}
+
+}  // namespace
+}  // namespace photecc::link

@@ -1,0 +1,146 @@
+#include "photecc/link/mwsr_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::link {
+namespace {
+
+TEST(MwsrChannel, DefaultsMatchPaperSetup) {
+  const MwsrChannel channel{MwsrParams{}};
+  EXPECT_EQ(channel.params().oni_count, 12u);
+  EXPECT_EQ(channel.params().grid.channel_count, 16u);
+  EXPECT_NEAR(channel.params().waveguide_length_m, 0.06, 1e-12);
+  EXPECT_NEAR(channel.params().waveguide_loss_db_per_cm, 0.274, 1e-12);
+  EXPECT_NEAR(math::to_db(channel.extinction_ratio()), 6.9, 1e-9);
+  EXPECT_EQ(channel.writer_count(), 11u);
+  EXPECT_EQ(channel.intermediate_writer_count(), 10u);
+}
+
+TEST(MwsrChannel, ConstructionValidation) {
+  MwsrParams params;
+  params.oni_count = 1;
+  EXPECT_THROW(MwsrChannel{params}, std::invalid_argument);
+  params = MwsrParams{};
+  params.grid.channel_count = 0;
+  EXPECT_THROW(MwsrChannel{params}, std::invalid_argument);
+  params = MwsrParams{};
+  params.chip_activity = 1.5;
+  EXPECT_THROW(MwsrChannel{params}, std::invalid_argument);
+}
+
+TEST(MwsrChannel, SignalPathTransmissionIsAPowerRatio) {
+  const MwsrChannel channel{MwsrParams{}};
+  for (std::size_t ch = 0; ch < 16; ++ch) {
+    const double t = channel.signal_path_transmission(ch);
+    EXPECT_GT(t, 0.0) << ch;
+    EXPECT_LT(t, 1.0) << ch;
+  }
+}
+
+TEST(MwsrChannel, TotalLossInCalibratedRange) {
+  // The calibrated default budget walks ~7.6 dB end to end (see
+  // EXPERIMENTS.md); keep it pinned within a tolerance band so silent
+  // model drift is caught.
+  const MwsrChannel channel{MwsrParams{}};
+  const double loss_db = math::transmission_to_loss_db(
+      channel.signal_path_transmission(channel.worst_channel()));
+  EXPECT_GT(loss_db, 6.5);
+  EXPECT_LT(loss_db, 9.0);
+}
+
+TEST(MwsrChannel, BusTransmissionExcludesDropAndDetector) {
+  const MwsrChannel channel{MwsrParams{}};
+  const std::size_t ch = 0;
+  const double expected =
+      channel.bus_transmission(ch) * channel.ring().drop_aligned() *
+      channel.detector().coupling_transmission();
+  EXPECT_NEAR(channel.signal_path_transmission(ch), expected, 1e-15);
+}
+
+TEST(MwsrChannel, EyePenaltyShrinksSignal) {
+  MwsrParams params;
+  params.include_eye_penalty = true;
+  const MwsrChannel with{params};
+  params.include_eye_penalty = false;
+  const MwsrChannel without{params};
+  const std::size_t ch = 0;
+  EXPECT_LT(with.eye_transmission(ch), without.eye_transmission(ch));
+  // Factor equals 1 - 1/ER.
+  const double er = with.extinction_ratio();
+  EXPECT_NEAR(with.eye_transmission(ch) / without.eye_transmission(ch),
+              1.0 - 1.0 / er, 1e-12);
+}
+
+TEST(MwsrChannel, CrosstalkPositiveAndSmallerThanSignal) {
+  const MwsrChannel channel{MwsrParams{}};
+  for (std::size_t ch = 0; ch < 16; ++ch) {
+    const double xt = channel.crosstalk_transmission(ch);
+    EXPECT_GT(xt, 0.0) << ch;
+    EXPECT_LT(xt, channel.eye_transmission(ch)) << ch;
+  }
+}
+
+TEST(MwsrChannel, CrosstalkFlagDisablesIt) {
+  MwsrParams params;
+  params.include_crosstalk = false;
+  const MwsrChannel channel{params};
+  EXPECT_DOUBLE_EQ(channel.crosstalk_transmission(0), 0.0);
+}
+
+TEST(MwsrChannel, EdgeChannelsSeeLessCrosstalkThanCentre) {
+  const MwsrChannel channel{MwsrParams{}};
+  const double edge = channel.crosstalk_transmission(0);
+  const double centre = channel.crosstalk_transmission(8);
+  EXPECT_LT(edge, centre);
+}
+
+TEST(MwsrChannel, WorstChannelIsACentreChannel) {
+  const MwsrChannel channel{MwsrParams{}};
+  const std::size_t worst = channel.worst_channel();
+  EXPECT_GT(worst, 0u);
+  EXPECT_LT(worst, 15u);
+}
+
+TEST(MwsrChannel, MoreOnisMeansMoreLoss) {
+  MwsrParams params;
+  params.oni_count = 4;
+  const MwsrChannel small{params};
+  params.oni_count = 24;
+  const MwsrChannel large{params};
+  EXPECT_GT(small.signal_path_transmission(0),
+            large.signal_path_transmission(0));
+}
+
+TEST(MwsrChannel, LongerWaveguideMeansMoreLoss) {
+  MwsrParams params;
+  params.waveguide_length_m = 0.02;
+  const MwsrChannel short_wg{params};
+  params.waveguide_length_m = 0.10;
+  const MwsrChannel long_wg{params};
+  EXPECT_GT(short_wg.signal_path_transmission(0),
+            long_wg.signal_path_transmission(0));
+}
+
+TEST(MwsrChannel, WiderChannelSpacingReducesCrosstalk) {
+  MwsrParams params;
+  params.grid.channel_spacing_m = 0.30e-9;
+  const MwsrChannel dense{params};
+  params.grid.channel_spacing_m = 0.60e-9;
+  const MwsrChannel sparse{params};
+  const std::size_t ch = 8;
+  EXPECT_GT(dense.crosstalk_transmission(ch),
+            sparse.crosstalk_transmission(ch));
+}
+
+TEST(MwsrChannel, CustomLaserModelIsUsed) {
+  MwsrParams params;
+  params.laser_model =
+      std::make_shared<photonics::SelfHeatingVcselModel>();
+  const MwsrChannel channel{params};
+  EXPECT_EQ(channel.laser().name(), "self-heating-vcsel");
+}
+
+}  // namespace
+}  // namespace photecc::link

@@ -1,0 +1,146 @@
+#include "photecc/link/snr_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/ber_model.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/special.hpp"
+#include "photecc/math/units.hpp"
+
+namespace photecc::link {
+namespace {
+
+MwsrChannel paper_channel() { return MwsrChannel{MwsrParams{}}; }
+
+TEST(SnrSolver, UncodedAtTenToMinusElevenMatchesPaper) {
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("w/o ECC");
+  const auto point = solve_operating_point(channel, *code, 1e-11);
+  ASSERT_TRUE(point.feasible);
+  EXPECT_NEAR(point.snr, 22.5, 0.2);
+  // Paper Section V-B: 14.35 mW per laser source.
+  EXPECT_NEAR(math::as_milli(point.p_laser_w), 14.35, 0.75);
+}
+
+TEST(SnrSolver, UncodedAtTenToMinusTwelveIsInfeasible) {
+  // The paper's headline feasibility result: BER 1e-12 exceeds the
+  // 700 uW deliverable maximum without coding...
+  const auto channel = paper_channel();
+  const auto uncoded = ecc::make_code("w/o ECC");
+  const auto point = solve_operating_point(channel, *uncoded, 1e-12);
+  EXPECT_FALSE(point.feasible);
+  EXPECT_GT(point.op_laser_w, 700e-6);
+  // ...but both Hamming schemes reach it.
+  for (const char* name : {"H(7,4)", "H(71,64)"}) {
+    const auto coded = ecc::make_code(name);
+    EXPECT_TRUE(solve_operating_point(channel, *coded, 1e-12).feasible)
+        << name;
+  }
+}
+
+TEST(SnrSolver, CodedLaserPowerRoughlyHalvesAtIsoQuality) {
+  // Paper: 14.35 -> 7.12 (H(71,64)) and 6.64 (H(7,4)) mW at 1e-11.
+  const auto channel = paper_channel();
+  const auto uncoded =
+      solve_operating_point(channel, *ecc::make_code("w/o ECC"), 1e-11);
+  const auto h7164 =
+      solve_operating_point(channel, *ecc::make_code("H(71,64)"), 1e-11);
+  const auto h74 =
+      solve_operating_point(channel, *ecc::make_code("H(7,4)"), 1e-11);
+  ASSERT_TRUE(uncoded.feasible && h7164.feasible && h74.feasible);
+  EXPECT_NEAR(uncoded.p_laser_w / h7164.p_laser_w, 2.0, 0.25);
+  EXPECT_NEAR(uncoded.p_laser_w / h74.p_laser_w, 2.16, 0.3);
+  // H(7,4) is the stronger code: lower SNR demand, lower laser power.
+  EXPECT_LT(h74.p_laser_w, h7164.p_laser_w);
+}
+
+TEST(SnrSolver, OperatingPointFieldsAreConsistent) {
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("H(71,64)");
+  const auto point = solve_operating_point(channel, *code, 1e-9);
+  ASSERT_TRUE(point.feasible);
+  // raw p reproduces the target through Eq. 2.
+  EXPECT_NEAR(code->decoded_ber(point.raw_ber) / point.target_ber, 1.0,
+              1e-6);
+  // SNR reproduces raw p through Eq. 3.
+  EXPECT_NEAR(math::raw_ber_from_snr(point.snr) / point.raw_ber, 1.0,
+              1e-9);
+  // Eq. 4 holds at the detector.
+  const auto& det = channel.detector().params();
+  const double snr_check =
+      det.responsivity_a_per_w *
+      (point.op_signal_w - point.op_crosstalk_w) / det.dark_current_a;
+  EXPECT_NEAR(snr_check / point.snr, 1.0, 1e-9);
+}
+
+TEST(SnrSolver, LaserPowerMonotoneInBerTarget) {
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("H(7,4)");
+  double previous = 0.0;
+  for (const double ber : {1e-3, 1e-5, 1e-7, 1e-9, 1e-11}) {
+    const auto point = solve_operating_point(channel, *code, ber);
+    ASSERT_TRUE(point.feasible) << ber;
+    EXPECT_GT(point.op_laser_w, previous) << ber;
+    previous = point.op_laser_w;
+  }
+}
+
+TEST(SnrSolver, ExplicitChannelIndexUsesThatChannel) {
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("w/o ECC");
+  // Edge channel sees less crosstalk -> needs slightly less laser power
+  // than the worst (centre) channel.
+  const auto edge = solve_operating_point(channel, *code, 1e-9, 0);
+  const auto worst = solve_operating_point(channel, *code, 1e-9);
+  EXPECT_LT(edge.op_laser_w, worst.op_laser_w);
+}
+
+TEST(SnrSolver, RejectsNonsenseTargets) {
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("w/o ECC");
+  EXPECT_THROW((void)solve_operating_point(channel, *code, 0.0),
+               std::domain_error);
+  EXPECT_THROW((void)solve_operating_point(channel, *code, 0.5),
+               std::domain_error);
+}
+
+TEST(SnrSolver, CrosstalkDisabledLowersLaserPower) {
+  MwsrParams params;
+  params.include_crosstalk = true;
+  const MwsrChannel with{params};
+  params.include_crosstalk = false;
+  const MwsrChannel without{params};
+  const auto code = ecc::make_code("w/o ECC");
+  EXPECT_GT(solve_operating_point(with, *code, 1e-9).op_laser_w,
+            solve_operating_point(without, *code, 1e-9).op_laser_w);
+}
+
+TEST(SnrSolver, BestAchievableBerOrdersWithCodeStrength) {
+  const auto channel = paper_channel();
+  const double uncoded =
+      best_achievable_ber(channel, *ecc::make_code("w/o ECC"));
+  const double h7164 =
+      best_achievable_ber(channel, *ecc::make_code("H(71,64)"));
+  const double h74 =
+      best_achievable_ber(channel, *ecc::make_code("H(7,4)"));
+  EXPECT_LT(h74, h7164);
+  EXPECT_LT(h7164, uncoded);
+  // Paper: uncoded cannot reach 1e-12, coded can.
+  EXPECT_GT(uncoded, 1e-12);
+  EXPECT_LT(h74, 1e-12);
+}
+
+TEST(SnrSolver, SelfHeatingLaserAblationKeepsTheOrdering) {
+  MwsrParams params;
+  params.laser_model = std::make_shared<photonics::SelfHeatingVcselModel>();
+  const MwsrChannel channel{params};
+  const auto uncoded =
+      solve_operating_point(channel, *ecc::make_code("w/o ECC"), 1e-9);
+  const auto h74 =
+      solve_operating_point(channel, *ecc::make_code("H(7,4)"), 1e-9);
+  ASSERT_TRUE(uncoded.feasible && h74.feasible);
+  EXPECT_GT(uncoded.p_laser_w, h74.p_laser_w);
+}
+
+}  // namespace
+}  // namespace photecc::link

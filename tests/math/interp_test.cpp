@@ -1,0 +1,95 @@
+#include "photecc/math/interp.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  const PiecewiseLinear curve({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(curve.evaluate(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(curve.evaluate(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(curve.evaluate(1.0), 10.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesLinearly) {
+  const PiecewiseLinear curve({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(curve.evaluate(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(curve.evaluate(-1.0), -2.0);
+}
+
+TEST(PiecewiseLinear, ClampedEvaluationPinsEnds) {
+  const PiecewiseLinear curve({0.0, 1.0}, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(curve.evaluate_clamped(-10.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve.evaluate_clamped(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(curve.evaluate_clamped(0.5), 4.0);
+}
+
+TEST(PiecewiseLinear, RejectsMalformedInput) {
+  EXPECT_THROW(PiecewiseLinear({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.0}, {0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {0.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, InverseRoundTripsOnMonotoneCurve) {
+  const PiecewiseLinear curve({0.0, 1.0, 3.0}, {1.0, 2.0, 10.0});
+  for (const double y : {1.0, 1.5, 2.0, 6.0, 10.0}) {
+    EXPECT_NEAR(curve.evaluate(curve.inverse(y)), y, 1e-12) << "y=" << y;
+  }
+}
+
+TEST(PiecewiseLinear, InverseWorksOnDecreasingCurve) {
+  const PiecewiseLinear curve({0.0, 1.0, 2.0}, {10.0, 5.0, 0.0});
+  EXPECT_NEAR(curve.inverse(7.5), 0.5, 1e-12);
+  EXPECT_NEAR(curve.inverse(2.5), 1.5, 1e-12);
+}
+
+TEST(PiecewiseLinear, InverseRejectsNonMonotone) {
+  const PiecewiseLinear curve({0.0, 1.0, 2.0}, {0.0, 5.0, 1.0});
+  EXPECT_THROW((void)curve.inverse(2.0), std::logic_error);
+}
+
+TEST(PiecewiseLinear, MonotonicityDetection) {
+  EXPECT_TRUE(PiecewiseLinear({0.0, 1.0}, {0.0, 1.0})
+                  .is_strictly_monotone());
+  EXPECT_TRUE(PiecewiseLinear({0.0, 1.0}, {1.0, 0.0})
+                  .is_strictly_monotone());
+  EXPECT_FALSE(PiecewiseLinear({0.0, 1.0, 2.0}, {0.0, 1.0, 1.0})
+                   .is_strictly_monotone());
+}
+
+TEST(Linspace, CoversRangeInclusive) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Linspace, HandlesDegenerateCounts) {
+  EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+  const auto one = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+TEST(Logspace, ProducesDecades) {
+  const auto v = logspace(1e-12, 1e-3, 10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_DOUBLE_EQ(v.front(), 1e-12);
+  EXPECT_DOUBLE_EQ(v.back(), 1e-3);
+  EXPECT_NEAR(v[1] / v[0], 10.0, 1e-9);
+}
+
+TEST(Logspace, RejectsNonPositiveBounds) {
+  EXPECT_THROW(logspace(0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::math

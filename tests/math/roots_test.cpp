@@ -1,0 +1,102 @@
+#include "photecc/math/roots.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto result = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->root, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Bisect, ReturnsNulloptWithoutSignChange) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0));
+}
+
+TEST(Bisect, AcceptsRootAtBracketEdge) {
+  const auto result = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->root, 0.0);
+}
+
+TEST(Bisect, RejectsInvertedBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x; }, 1.0, -1.0));
+}
+
+TEST(Brent, FindsSimpleRoot) {
+  const auto result = brent([](double x) { return x * x * x - 8.0; },
+                            0.0, 5.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->root, 2.0, 1e-12);
+}
+
+TEST(Brent, ConvergesFasterThanBisectionOnSmoothFunction) {
+  RootOptions opts;
+  opts.x_tolerance = 1e-13;
+  const auto f = [](double x) { return std::exp(x) - 5.0; };
+  const auto brent_result = brent(f, 0.0, 4.0, opts);
+  const auto bisect_result = bisect(f, 0.0, 4.0, opts);
+  ASSERT_TRUE(brent_result && bisect_result);
+  EXPECT_LT(brent_result->iterations, bisect_result->iterations);
+  EXPECT_NEAR(brent_result->root, std::log(5.0), 1e-11);
+}
+
+TEST(Brent, HandlesSteepTransition) {
+  // Near-step function: f = tanh(1000 (x - 0.3)).
+  const auto result = brent(
+      [](double x) { return std::tanh(1000.0 * (x - 0.3)); }, 0.0, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->root, 0.3, 1e-9);
+}
+
+TEST(Newton, ConvergesQuadratically) {
+  RootOptions opts;
+  opts.f_tolerance = 1e-14;
+  const auto result = newton([](double x) { return x * x - 2.0; },
+                             [](double x) { return 2.0 * x; }, 1.0, 0.0,
+                             2.0, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->root, std::sqrt(2.0), 1e-10);
+  EXPECT_LT(result->iterations, 10);
+}
+
+TEST(Newton, FallsBackToBisectionWhenStepLeavesBracket) {
+  // Derivative nearly zero at the start point would throw Newton far
+  // outside; the safeguarded version must still converge.
+  const auto result = newton(
+      [](double x) { return std::atan(x - 1.5); },
+      [](double x) {
+        const double u = x - 1.5;
+        return 1.0 / (1.0 + u * u);
+      },
+      100.0, -200.0, 200.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->root, 1.5, 1e-7);
+}
+
+TEST(Newton, RejectsStartOutsideBracket) {
+  EXPECT_FALSE(newton([](double x) { return x; },
+                      [](double) { return 1.0; }, 5.0, 0.0, 1.0));
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const auto bracket =
+      expand_bracket([](double x) { return x - 100.0; }, 0.0, 1.0);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_LE(bracket->first, 100.0);
+  EXPECT_GE(bracket->second, 100.0);
+}
+
+TEST(ExpandBracket, GivesUpOnConstantSign) {
+  EXPECT_FALSE(expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 8));
+}
+
+}  // namespace
+}  // namespace photecc::math

@@ -1,0 +1,139 @@
+#include "photecc/math/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(ErfcInv, RoundTripsAtMidRangeValues) {
+  for (const double y : {0.5, 0.8, 1.0, 1.2, 1.5}) {
+    EXPECT_NEAR(std::erfc(erfc_inv(y)), y, 1e-14) << "y=" << y;
+  }
+}
+
+TEST(ErfcInv, CenterIsZero) { EXPECT_DOUBLE_EQ(erfc_inv(1.0), 0.0); }
+
+TEST(ErfcInv, EdgeValuesGiveInfinities) {
+  EXPECT_TRUE(std::isinf(erfc_inv(0.0)));
+  EXPECT_GT(erfc_inv(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(erfc_inv(2.0)));
+  EXPECT_LT(erfc_inv(2.0), 0.0);
+}
+
+TEST(ErfcInv, ThrowsOutsideDomain) {
+  EXPECT_THROW(erfc_inv(-0.1), std::domain_error);
+  EXPECT_THROW(erfc_inv(2.1), std::domain_error);
+}
+
+TEST(ErfcInv, SymmetryAroundOne) {
+  for (const double y : {1e-3, 0.1, 0.4, 0.9}) {
+    EXPECT_NEAR(erfc_inv(y), -erfc_inv(2.0 - y), 1e-12) << "y=" << y;
+  }
+}
+
+TEST(ErfInv, RoundTripsThroughErf) {
+  for (const double x : {-0.99, -0.5, -0.1, 0.0, 0.1, 0.5, 0.99}) {
+    EXPECT_NEAR(std::erf(erf_inv(x)), x, 1e-14) << "x=" << x;
+  }
+}
+
+TEST(ErfInv, ThrowsOutsideOpenInterval) {
+  EXPECT_THROW(erf_inv(-1.5), std::domain_error);
+  EXPECT_THROW(erf_inv(1.5), std::domain_error);
+}
+
+// The BER model relies on tail accuracy down to ~1e-15: the round trip
+// erfc(erfc_inv(y)) must hold to a tight relative tolerance.
+class ErfcInvTailSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErfcInvTailSweep, RelativeRoundTripInTail) {
+  const double y = GetParam();
+  const double z = erfc_inv(y);
+  const double back = std::erfc(z);
+  EXPECT_NEAR(back / y, 1.0, 1e-10) << "y=" << y << " z=" << z;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tails, ErfcInvTailSweep,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5,
+                                           1e-6, 1e-7, 1e-8, 1e-9, 1e-10,
+                                           1e-11, 1e-12, 1e-13, 1e-14,
+                                           1e-15, 3e-16, 2e-1, 4e-1));
+
+TEST(QFunction, MatchesKnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(q_function(1.0), 0.158655253931457, 1e-12);
+  EXPECT_NEAR(q_function(3.0), 1.349898031630095e-3, 1e-12);
+}
+
+TEST(QFunction, InverseRoundTrips) {
+  for (const double p : {0.4, 0.1, 1e-3, 1e-6, 1e-9, 1e-12}) {
+    EXPECT_NEAR(q_function(q_inv(p)) / p, 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(QInv, ThrowsOutsideDomain) {
+  EXPECT_THROW(q_inv(0.0), std::domain_error);
+  EXPECT_THROW(q_inv(1.0), std::domain_error);
+}
+
+TEST(RawBer, MatchesPaperEquationThree) {
+  // p = 1/2 erfc(sqrt(SNR)): spot values.
+  EXPECT_NEAR(raw_ber_from_snr(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(raw_ber_from_snr(1.0), 0.5 * std::erfc(1.0), 1e-15);
+  EXPECT_NEAR(raw_ber_from_snr(4.0), 0.5 * std::erfc(2.0), 1e-15);
+}
+
+TEST(RawBer, MonotoneDecreasingInSnr) {
+  double previous = raw_ber_from_snr(0.0);
+  for (double snr = 0.5; snr < 30.0; snr += 0.5) {
+    const double ber = raw_ber_from_snr(snr);
+    EXPECT_LT(ber, previous) << "snr=" << snr;
+    previous = ber;
+  }
+}
+
+TEST(RawBer, ThrowsOnNegativeSnr) {
+  EXPECT_THROW(raw_ber_from_snr(-1.0), std::domain_error);
+  EXPECT_THROW(snr_from_raw_ber(0.0), std::domain_error);
+  EXPECT_THROW(snr_from_raw_ber(0.6), std::domain_error);
+}
+
+class SnrBerRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrBerRoundTrip, InversionIsConsistent) {
+  const double ber = GetParam();
+  const double snr = snr_from_raw_ber(ber);
+  EXPECT_NEAR(raw_ber_from_snr(snr) / ber, 1.0, 1e-9) << "ber=" << ber;
+}
+
+INSTANTIATE_TEST_SUITE_P(BerRange, SnrBerRoundTrip,
+                         ::testing::Values(0.5, 0.3, 0.1, 1e-2, 1e-3, 1e-4,
+                                           1e-6, 1e-8, 1e-9, 1e-10, 1e-11,
+                                           1e-12, 1e-13, 1e-15));
+
+TEST(SnrFromRawBer, PaperOperatingPoints) {
+  // Values used throughout the evaluation (Section V-B):
+  // BER 1e-11 needs SNR ~22.5 linear; 1e-12 needs ~24.7.
+  EXPECT_NEAR(snr_from_raw_ber(1e-11), 22.5, 0.2);
+  EXPECT_NEAR(snr_from_raw_ber(1e-12), 24.7, 0.2);
+}
+
+TEST(Log10RawBer, MatchesDirectComputationWhereRepresentable) {
+  for (const double snr : {1.0, 5.0, 10.0, 20.0, 30.0}) {
+    EXPECT_NEAR(log10_raw_ber_from_snr(snr),
+                std::log10(raw_ber_from_snr(snr)), 1e-9)
+        << "snr=" << snr;
+  }
+}
+
+TEST(Log10RawBer, StaysFiniteWhereDirectUnderflows) {
+  const double log_ber = log10_raw_ber_from_snr(800.0);
+  EXPECT_TRUE(std::isfinite(log_ber));
+  EXPECT_LT(log_ber, -300.0);
+}
+
+}  // namespace
+}  // namespace photecc::math

@@ -1,0 +1,103 @@
+#include "photecc/math/stats.hpp"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(RunningStats, ComputesMeanVarianceExtrema) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingleSample) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoOp) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(WilsonInterval, ContainsTrueProportionForTypicalCase) {
+  const auto ci = wilson_interval(50, 1000, 0.99);
+  EXPECT_LT(ci.lower, 0.05);
+  EXPECT_GT(ci.upper, 0.05);
+  EXPECT_GT(ci.lower, 0.0);
+  EXPECT_LT(ci.upper, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesStillGivesPositiveUpperBound) {
+  const auto ci = wilson_interval(0, 1000, 0.99);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.02);
+}
+
+TEST(WilsonInterval, AllSuccessesGivesUpperBoundOne) {
+  const auto ci = wilson_interval(1000, 1000, 0.99);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+  EXPECT_GT(ci.lower, 0.98);
+}
+
+TEST(WilsonInterval, TightensWithMoreTrials) {
+  const auto narrow = wilson_interval(100, 10000, 0.99);
+  const auto wide = wilson_interval(1, 100, 0.99);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+TEST(WilsonInterval, HigherConfidenceIsWider) {
+  const auto c90 = wilson_interval(10, 1000, 0.90);
+  const auto c99 = wilson_interval(10, 1000, 0.99);
+  EXPECT_LT(c90.upper - c90.lower, c99.upper - c99.lower);
+}
+
+TEST(WilsonInterval, RejectsBadArguments) {
+  EXPECT_THROW(wilson_interval(0, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(1, 10, 1.0), std::invalid_argument);
+}
+
+TEST(ProportionInterval, ContainsWorks) {
+  const ProportionInterval ci{0.1, 0.3};
+  EXPECT_TRUE(ci.contains(0.2));
+  EXPECT_TRUE(ci.contains(0.1));
+  EXPECT_FALSE(ci.contains(0.05));
+  EXPECT_FALSE(ci.contains(0.35));
+}
+
+}  // namespace
+}  // namespace photecc::math

@@ -1,0 +1,77 @@
+#include "photecc/math/table.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream out;
+  table.render(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos) << text;
+  EXPECT_NE(text.find("| b     | 22222 |"), std::string::npos) << text;
+}
+
+TEST(TextTable, RejectsEmptyHeaderAndArityMismatch) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorRendersAsRule) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  std::ostringstream out;
+  table.render(out);
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] == '+') ++rules;
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable table({"a", "b"});
+  table.add_row({"x,y", "2"});
+  std::ostringstream out;
+  table.render_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n\"x,y\",2\n");
+}
+
+TEST(TextTable, CsvSkipsSeparators) {
+  TextTable table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  std::ostringstream out;
+  table.render_csv(out);
+  EXPECT_EQ(out.str(), "a\n1\n2\n");
+}
+
+TEST(Format, FixedAndScientific) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(format_sci(1.3e-11, 2), "1.30e-11");
+}
+
+TEST(Format, PowerPicksSiPrefix) {
+  EXPECT_EQ(format_power(14.35e-3), "14.35 mW");
+  EXPECT_EQ(format_power(655e-6, 1), "655.0 uW");
+  EXPECT_EQ(format_power(2.5), "2.50 W");
+  EXPECT_EQ(format_power(3.2e-9, 1), "3.2 nW");
+  EXPECT_EQ(format_power(0.0), "0 W");
+}
+
+}  // namespace
+}  // namespace photecc::math

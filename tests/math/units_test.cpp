@@ -1,0 +1,50 @@
+#include "photecc/math/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photecc::math {
+namespace {
+
+TEST(Units, ScaleHelpers) {
+  EXPECT_DOUBLE_EQ(milli_watts(14.35), 0.01435);
+  EXPECT_DOUBLE_EQ(micro_watts(700.0), 700e-6);
+  EXPECT_DOUBLE_EQ(centi_metres(6.0), 0.06);
+  EXPECT_DOUBLE_EQ(nano_metres(1520.25), 1520.25e-9);
+  EXPECT_DOUBLE_EQ(giga_hertz(10.0), 1e10);
+  EXPECT_DOUBLE_EQ(micro_amps(4.0), 4e-6);
+}
+
+TEST(Units, ReportingHelpersInvertScaleHelpers) {
+  EXPECT_DOUBLE_EQ(as_milli(milli_watts(14.35)), 14.35);
+  EXPECT_DOUBLE_EQ(as_micro(micro_watts(655.0)), 655.0);
+  EXPECT_NEAR(as_pico(3.92e-12), 3.92, 1e-12);
+}
+
+TEST(Decibels, RoundTrip) {
+  for (const double db : {-30.0, -6.9, -1.644, 0.0, 3.0, 20.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-12) << "db=" << db;
+  }
+}
+
+TEST(Decibels, KnownValues) {
+  EXPECT_NEAR(to_db(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(from_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(from_db(6.9), 4.898, 1e-3);  // the paper's ER
+}
+
+TEST(Decibels, LossTransmissionConversions) {
+  EXPECT_NEAR(loss_db_to_transmission(3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(transmission_to_loss_db(0.5), 3.0103, 1e-4);
+  EXPECT_DOUBLE_EQ(loss_db_to_transmission(0.0), 1.0);
+  // Waveguide of the paper: 0.274 dB/cm x 6 cm = 1.644 dB.
+  EXPECT_NEAR(loss_db_to_transmission(1.644), 0.6849, 1e-4);
+}
+
+TEST(Constants, PhysicalValues) {
+  EXPECT_NEAR(speed_of_light, 2.99792458e8, 1.0);
+  EXPECT_NEAR(elementary_charge, 1.602e-19, 1e-21);
+  EXPECT_NEAR(boltzmann, 1.380649e-23, 1e-28);
+}
+
+}  // namespace
+}  // namespace photecc::math

@@ -1,0 +1,160 @@
+#include "photecc/noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace photecc::noc {
+namespace {
+
+TEST(UniformTraffic, GeneratesSortedValidSchedule) {
+  const UniformRandomTraffic traffic(12, 1e8, 4096);
+  const auto schedule = traffic.generate(10e-6, 1);
+  ASSERT_FALSE(schedule.empty());
+  double previous = 0.0;
+  for (const auto& m : schedule) {
+    EXPECT_GE(m.creation_time_s, previous);
+    EXPECT_LT(m.creation_time_s, 10e-6);
+    EXPECT_LT(m.source, 12u);
+    EXPECT_LT(m.destination, 12u);
+    EXPECT_NE(m.source, m.destination);
+    EXPECT_EQ(m.payload_bits, 4096u);
+    previous = m.creation_time_s;
+  }
+}
+
+TEST(UniformTraffic, RateControlsVolume) {
+  const UniformRandomTraffic slow(12, 1e7, 4096);
+  const UniformRandomTraffic fast(12, 1e8, 4096);
+  const double horizon = 50e-6;
+  const auto few = slow.generate(horizon, 3);
+  const auto many = fast.generate(horizon, 3);
+  // Poisson means ~500 vs ~5000.
+  EXPECT_GT(many.size(), few.size() * 5);
+  EXPECT_NEAR(static_cast<double>(few.size()), 500.0, 120.0);
+}
+
+TEST(UniformTraffic, SeedReproducibility) {
+  const UniformRandomTraffic traffic(12, 1e8, 4096);
+  const auto a = traffic.generate(5e-6, 7);
+  const auto b = traffic.generate(5e-6, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].destination, b[i].destination);
+    EXPECT_DOUBLE_EQ(a[i].creation_time_s, b[i].creation_time_s);
+  }
+}
+
+TEST(UniformTraffic, Validation) {
+  EXPECT_THROW(UniformRandomTraffic(1, 1e8, 64), std::invalid_argument);
+  EXPECT_THROW(UniformRandomTraffic(12, 0.0, 64), std::invalid_argument);
+  EXPECT_THROW(UniformRandomTraffic(12, 1e8, 0), std::invalid_argument);
+}
+
+TEST(HotspotTraffic, SkewsTowardTheHotspot) {
+  const std::size_t hotspot = 3;
+  const HotspotTraffic traffic(12, 1e8, 4096, hotspot, 0.7);
+  const auto schedule = traffic.generate(100e-6, 11);
+  ASSERT_GT(schedule.size(), 1000u);
+  std::size_t to_hotspot = 0;
+  for (const auto& m : schedule) {
+    EXPECT_NE(m.source, m.destination);
+    if (m.destination == hotspot) ++to_hotspot;
+  }
+  const double fraction =
+      static_cast<double>(to_hotspot) / static_cast<double>(schedule.size());
+  // 70 % directed + ~1/11 of the remaining uniform traffic.
+  EXPECT_NEAR(fraction, 0.7 + 0.3 / 11.0, 0.05);
+}
+
+TEST(HotspotTraffic, Validation) {
+  EXPECT_THROW(HotspotTraffic(12, 1e8, 64, 12, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(HotspotTraffic(12, 1e8, 64, 0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(StreamingTraffic, PeriodicFramesWithDeadlines) {
+  StreamingTraffic::Stream stream;
+  stream.source = 0;
+  stream.destination = 5;
+  stream.period_s = 1e-6;
+  stream.frame_bits = 8192;
+  stream.deadline_fraction = 0.5;
+  const StreamingTraffic traffic({stream});
+  const auto schedule = traffic.generate(10e-6, 0);
+  ASSERT_EQ(schedule.size(), 10u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_NEAR(schedule[i].creation_time_s, 1e-6 * i, 1e-12);
+    ASSERT_TRUE(schedule[i].deadline_s.has_value());
+    EXPECT_NEAR(*schedule[i].deadline_s, 1e-6 * i + 0.5e-6, 1e-12);
+    EXPECT_EQ(schedule[i].traffic_class, TrafficClass::kMultimedia);
+  }
+}
+
+TEST(StreamingTraffic, Validation) {
+  EXPECT_THROW(StreamingTraffic({}), std::invalid_argument);
+  StreamingTraffic::Stream bad;
+  bad.source = bad.destination = 1;
+  EXPECT_THROW(StreamingTraffic({bad}), std::invalid_argument);
+}
+
+TEST(PhaseTraceTraffic, CyclesThroughPhases) {
+  auto quiet = std::make_shared<UniformRandomTraffic>(12, 1e7, 1024);
+  auto burst = std::make_shared<UniformRandomTraffic>(12, 2e8, 8192);
+  PhaseTraceTraffic trace({{5e-6, quiet}, {5e-6, burst}});
+  const auto schedule = trace.generate(20e-6, 42);
+  ASSERT_FALSE(schedule.empty());
+  // Burst phases [5,10) and [15,20) us must contain most messages.
+  std::size_t in_burst = 0;
+  for (const auto& m : schedule) {
+    const double t = m.creation_time_s;
+    const bool burst_window =
+        (t >= 5e-6 && t < 10e-6) || (t >= 15e-6 && t < 20e-6);
+    if (burst_window) ++in_burst;
+  }
+  EXPECT_GT(static_cast<double>(in_burst) /
+                static_cast<double>(schedule.size()),
+            0.8);
+  // Ids unique and times sorted.
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].creation_time_s,
+              schedule[i - 1].creation_time_s);
+    EXPECT_EQ(schedule[i].id, i);
+  }
+}
+
+TEST(PhaseTraceTraffic, Validation) {
+  EXPECT_THROW(PhaseTraceTraffic({}), std::invalid_argument);
+  EXPECT_THROW(PhaseTraceTraffic({{1e-6, nullptr}}),
+               std::invalid_argument);
+}
+
+TEST(MixedTraffic, MergesAndRenumbers) {
+  auto uniform = std::make_shared<UniformRandomTraffic>(12, 5e7, 1024);
+  StreamingTraffic::Stream stream;
+  stream.source = 1;
+  stream.destination = 2;
+  stream.period_s = 1e-6;
+  stream.frame_bits = 2048;
+  auto streaming = std::make_shared<StreamingTraffic>(
+      std::vector<StreamingTraffic::Stream>{stream});
+  const MixedTraffic mixed({uniform, streaming});
+  const auto schedule = mixed.generate(10e-6, 9);
+  ASSERT_GT(schedule.size(), 10u);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].creation_time_s,
+              schedule[i - 1].creation_time_s);
+    EXPECT_EQ(schedule[i].id, i);
+  }
+  EXPECT_THROW(MixedTraffic({}), std::invalid_argument);
+  EXPECT_THROW(MixedTraffic({nullptr}), std::invalid_argument);
+}
+
+TEST(TrafficClassNames, Render) {
+  EXPECT_EQ(to_string(TrafficClass::kRealTime), "real-time");
+  EXPECT_EQ(to_string(TrafficClass::kMultimedia), "multimedia");
+  EXPECT_EQ(to_string(TrafficClass::kBestEffort), "best-effort");
+}
+
+}  // namespace
+}  // namespace photecc::noc

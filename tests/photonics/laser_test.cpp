@@ -1,0 +1,154 @@
+#include "photecc/photonics/laser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+namespace {
+
+constexpr double kActivity = 0.25;  // the paper's evaluation activity
+
+TEST(CalibratedVcsel, LinearRegionHasConstantEfficiency) {
+  const CalibratedVcselModel laser;
+  for (const double op_uw : {50.0, 100.0, 250.0, 500.0}) {
+    const auto eta = laser.efficiency(math::micro_watts(op_uw), kActivity);
+    ASSERT_TRUE(eta.has_value());
+    EXPECT_NEAR(*eta, 0.052, 1e-12) << op_uw << " uW";
+  }
+}
+
+TEST(CalibratedVcsel, ExponentialRegionDegradesEfficiency) {
+  const CalibratedVcselModel laser;
+  const auto eta500 = laser.efficiency(500e-6, kActivity);
+  const auto eta650 = laser.efficiency(650e-6, kActivity);
+  ASSERT_TRUE(eta500 && eta650);
+  EXPECT_LT(*eta650, *eta500);
+}
+
+TEST(CalibratedVcsel, Figure4CalibrationPoint) {
+  // The paper's uncoded operating point at BER 1e-11: ~655 uW out,
+  // 14.35 mW electrical.
+  const CalibratedVcselModel laser;
+  const auto p = laser.electrical_power(655e-6, kActivity);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(math::as_milli(*p), 14.35, 0.2);
+}
+
+TEST(CalibratedVcsel, CurveIsContinuousAtTheKnee) {
+  const CalibratedVcselModel laser;
+  const auto below = laser.electrical_power(500e-6 - 1e-12, kActivity);
+  const auto above = laser.electrical_power(500e-6 + 1e-12, kActivity);
+  ASSERT_TRUE(below && above);
+  EXPECT_NEAR(*below, *above, 1e-9);
+}
+
+TEST(CalibratedVcsel, MonotoneIncreasing) {
+  const CalibratedVcselModel laser;
+  double previous = 0.0;
+  for (double op = 10e-6; op <= 700e-6; op += 10e-6) {
+    const auto p = laser.electrical_power(op, kActivity);
+    ASSERT_TRUE(p.has_value()) << op;
+    EXPECT_GT(*p, previous);
+    previous = *p;
+  }
+}
+
+TEST(CalibratedVcsel, SevenHundredMicrowattCeiling) {
+  const CalibratedVcselModel laser;
+  EXPECT_NEAR(laser.max_optical_power(kActivity), 700e-6, 1e-12);
+  EXPECT_TRUE(laser.electrical_power(700e-6, kActivity).has_value());
+  EXPECT_FALSE(laser.electrical_power(701e-6, kActivity).has_value());
+}
+
+TEST(CalibratedVcsel, HigherActivityMeansWorseLaser) {
+  const CalibratedVcselModel laser;
+  const auto cool = laser.electrical_power(400e-6, 0.25);
+  const auto hot = laser.electrical_power(400e-6, 0.75);
+  ASSERT_TRUE(cool && hot);
+  EXPECT_GT(*hot, *cool);
+  EXPECT_LT(laser.max_optical_power(0.75),
+            laser.max_optical_power(0.25));
+}
+
+TEST(CalibratedVcsel, InputValidation) {
+  const CalibratedVcselModel laser;
+  EXPECT_THROW((void)laser.electrical_power(-1e-6, kActivity),
+               std::invalid_argument);
+  EXPECT_THROW((void)laser.electrical_power(1e-6, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)laser.electrical_power(1e-6, 1.1),
+               std::invalid_argument);
+  CalibratedVcselParams bad;
+  bad.base_efficiency = 0.0;
+  EXPECT_THROW(CalibratedVcselModel{bad}, std::invalid_argument);
+  bad = CalibratedVcselParams{};
+  bad.max_optical_w = bad.knee_optical_w / 2.0;
+  EXPECT_THROW(CalibratedVcselModel{bad}, std::invalid_argument);
+}
+
+TEST(CalibratedVcsel, ZeroOpticalPowerIsFree) {
+  const CalibratedVcselModel laser;
+  const auto p = laser.electrical_power(0.0, kActivity);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Self-heating model
+// ---------------------------------------------------------------------
+
+TEST(SelfHeatingVcsel, NearColdEfficiencyAtLowPower) {
+  const SelfHeatingVcselModel laser;
+  const auto eta = laser.efficiency(10e-6, kActivity);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_NEAR(*eta, laser.params().cold_efficiency, 0.01);
+}
+
+TEST(SelfHeatingVcsel, EfficiencyDropsWithOutputPower) {
+  const SelfHeatingVcselModel laser;
+  const auto low = laser.efficiency(50e-6, kActivity);
+  const auto high = laser.efficiency(
+      0.9 * laser.max_optical_power(kActivity), kActivity);
+  ASSERT_TRUE(low && high);
+  EXPECT_LT(*high, *low);
+}
+
+TEST(SelfHeatingVcsel, FoldYieldsFiniteMaximum) {
+  const SelfHeatingVcselModel laser;
+  const double op_max = laser.max_optical_power(kActivity);
+  EXPECT_GT(op_max, 100e-6);
+  EXPECT_LT(op_max, 5e-3);
+  EXPECT_TRUE(laser.electrical_power(op_max * 0.999, kActivity));
+  EXPECT_FALSE(laser.electrical_power(op_max * 1.01, kActivity));
+}
+
+TEST(SelfHeatingVcsel, JunctionHeatsWithActivityAndPower) {
+  const SelfHeatingVcselModel laser;
+  const auto t_low = laser.junction_temperature(50e-6, 0.1);
+  const auto t_high_power = laser.junction_temperature(300e-6, 0.1);
+  const auto t_high_activity = laser.junction_temperature(50e-6, 0.9);
+  ASSERT_TRUE(t_low && t_high_power && t_high_activity);
+  EXPECT_GT(*t_high_power, *t_low);
+  EXPECT_GT(*t_high_activity, *t_low);
+}
+
+TEST(SelfHeatingVcsel, StableRootIsReturned) {
+  // P should be close to OP/eta_cold for small OP (the unstable root is
+  // much larger).
+  const SelfHeatingVcselModel laser;
+  const auto p = laser.electrical_power(50e-6, kActivity);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(*p, 50e-6 / laser.params().cold_efficiency, 0.15e-3);
+}
+
+TEST(DefaultLaserModel, IsTheCalibratedCurve) {
+  const auto model = default_laser_model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "calibrated-vcsel");
+  // Shared singleton.
+  EXPECT_EQ(model.get(), default_laser_model().get());
+}
+
+}  // namespace
+}  // namespace photecc::photonics

@@ -1,0 +1,116 @@
+#include "photecc/photonics/microring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+namespace {
+
+TEST(MicroRing, DefaultsReproducePaperExtinctionRatio) {
+  const MicroRing ring{MicroRingParams{}};
+  EXPECT_NEAR(math::to_db(ring.extinction_ratio()), 6.9, 1e-9);
+}
+
+TEST(MicroRing, FwhmFollowsQualityFactor) {
+  MicroRingParams params;
+  params.resonance_wavelength_m = 1520.25e-9;
+  params.quality_factor = 65000.0;
+  const MicroRing ring(params);
+  EXPECT_NEAR(ring.fwhm(), 1520.25e-9 / 65000.0, 1e-18);
+  EXPECT_NEAR(ring.hwhm(), ring.fwhm() / 2.0, 1e-20);
+}
+
+TEST(MicroRing, ThroughIsLorentzianNotchAroundResonance) {
+  const MicroRing ring{MicroRingParams{}};
+  const double res = 1520.25e-9;
+  // Deepest at resonance, symmetric, approaching the baseline far away.
+  const double at_res = ring.through(res, res);
+  const double at_hwhm_left = ring.through(res - ring.hwhm(), res);
+  const double at_hwhm_right = ring.through(res + ring.hwhm(), res);
+  const double far = ring.through(res + 100.0 * ring.hwhm(), res);
+  EXPECT_LT(at_res, at_hwhm_left);
+  EXPECT_NEAR(at_hwhm_left, at_hwhm_right, 1e-12);
+  EXPECT_GT(far, 0.99);
+  EXPECT_NEAR(far, ring.params().base_transmission, 1e-3);
+}
+
+TEST(MicroRing, ThroughAtHwhmIsHalfDepth) {
+  // (t_min + 1) / 2 by the Lorentzian definition at u = 1.
+  const MicroRing ring{MicroRingParams{}};
+  const double res = 1520.25e-9;
+  const double expected = ring.params().base_transmission *
+                          (ring.t_min() + 1.0) / 2.0;
+  // res + hwhm() rounds at the 1e-23 m level on a 1.5e-6 m carrier;
+  // allow for that representation error.
+  EXPECT_NEAR(ring.through(res + ring.hwhm(), res), expected, 1e-9);
+}
+
+TEST(MicroRing, DropPeaksAtResonanceWithConfiguredMax) {
+  const MicroRing ring{MicroRingParams{}};
+  const double res = 1520.25e-9;
+  EXPECT_DOUBLE_EQ(ring.drop(res, res), ring.params().drop_max);
+  EXPECT_DOUBLE_EQ(ring.drop_aligned(), ring.params().drop_max);
+  // Half the peak at one HWHM detuning.
+  EXPECT_NEAR(ring.drop(res + ring.hwhm(), res),
+              ring.params().drop_max / 2.0, 1e-9);
+}
+
+TEST(MicroRing, DropTailDecaysQuadratically) {
+  const MicroRing ring{MicroRingParams{}};
+  const double d1 = ring.drop_detuned(10.0 * ring.hwhm());
+  const double d2 = ring.drop_detuned(20.0 * ring.hwhm());
+  EXPECT_NEAR(d1 / d2, 4.0, 0.05);  // 1/u^2 tail
+}
+
+TEST(MicroRing, OnStateAttenuatesMoreThanOffState) {
+  const MicroRing ring{MicroRingParams{}};
+  EXPECT_LT(ring.through_on(), ring.through_off());
+  // '1' (OFF) passes with < 1 dB loss; '0' (ON) is suppressed by ER.
+  EXPECT_GT(math::to_db(ring.through_off()), -1.0);
+  EXPECT_NEAR(ring.through_off() / ring.through_on(),
+              math::from_db(6.9), 1e-9);
+}
+
+TEST(MicroRing, ErShiftConsistencyValidation) {
+  MicroRingParams params;
+  params.modulation_shift_m = 0.0;  // no shift cannot produce any ER
+  EXPECT_THROW(MicroRing{params}, std::invalid_argument);
+
+  params = MicroRingParams{};
+  params.extinction_ratio_db = -1.0;
+  EXPECT_THROW(MicroRing{params}, std::invalid_argument);
+
+  params = MicroRingParams{};
+  params.quality_factor = 0.0;
+  EXPECT_THROW(MicroRing{params}, std::invalid_argument);
+
+  params = MicroRingParams{};
+  params.drop_max = 1.5;
+  EXPECT_THROW(MicroRing{params}, std::invalid_argument);
+
+  params = MicroRingParams{};
+  params.base_transmission = 0.0;
+  EXPECT_THROW(MicroRing{params}, std::invalid_argument);
+}
+
+TEST(MicroRing, HigherErNeedsDeeperNotch) {
+  MicroRingParams params;
+  params.extinction_ratio_db = 6.9;
+  const double tmin_69 = MicroRing(params).t_min();
+  params.extinction_ratio_db = 9.2;  // the [10] transmitter's ER
+  const double tmin_92 = MicroRing(params).t_min();
+  EXPECT_LT(tmin_92, tmin_69);
+}
+
+TEST(MicroRing, LargerShiftLowersOffStateLoss) {
+  MicroRingParams params;
+  params.modulation_shift_m = 2.0 * 1520.25e-9 / 65000.0;
+  const double t_small = MicroRing(params).through_off();
+  params.modulation_shift_m = 4.0 * 1520.25e-9 / 65000.0;
+  const double t_large = MicroRing(params).through_off();
+  EXPECT_GT(t_large, t_small);
+}
+
+}  // namespace
+}  // namespace photecc::photonics

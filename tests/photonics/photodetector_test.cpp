@@ -1,0 +1,75 @@
+#include "photecc/photonics/photodetector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+namespace {
+
+TEST(Photodetector, PaperEquationFour) {
+  // SNR = R (OPsignal - OPxt) / i_n with R = 1 A/W, i_n = 4 uA:
+  // 90 uW signal, 2 uW crosstalk -> SNR = 22.
+  const Photodetector pd;
+  EXPECT_NEAR(pd.snr(90e-6, 2e-6), 22.0, 1e-12);
+}
+
+TEST(Photodetector, SnrClampsToZeroWhenCrosstalkDominates) {
+  const Photodetector pd;
+  EXPECT_DOUBLE_EQ(pd.snr(1e-6, 2e-6), 0.0);
+}
+
+TEST(Photodetector, RequiredSignalPowerInvertsSnr) {
+  const Photodetector pd;
+  for (const double snr : {5.0, 11.05, 22.5}) {
+    for (const double xt : {0.0, 1e-6, 5e-6}) {
+      const double signal = pd.required_signal_power(snr, xt);
+      EXPECT_NEAR(pd.snr(signal, xt), snr, 1e-9)
+          << "snr=" << snr << " xt=" << xt;
+    }
+  }
+}
+
+TEST(Photodetector, PhotocurrentFollowsResponsivity) {
+  PhotodetectorParams params;
+  params.responsivity_a_per_w = 0.8;
+  const Photodetector pd(params);
+  EXPECT_NEAR(pd.photocurrent(100e-6), 80e-6, 1e-15);
+}
+
+TEST(Photodetector, CouplingTransmissionFromLossDb) {
+  PhotodetectorParams params;
+  params.coupling_loss_db = 3.0103;
+  const Photodetector pd(params);
+  EXPECT_NEAR(pd.coupling_transmission(), 0.5, 1e-4);
+}
+
+TEST(Photodetector, Validation) {
+  PhotodetectorParams params;
+  params.responsivity_a_per_w = 0.0;
+  EXPECT_THROW(Photodetector{params}, std::invalid_argument);
+  params = PhotodetectorParams{};
+  params.dark_current_a = -1e-6;
+  EXPECT_THROW(Photodetector{params}, std::invalid_argument);
+  params = PhotodetectorParams{};
+  params.coupling_loss_db = -0.1;
+  EXPECT_THROW(Photodetector{params}, std::invalid_argument);
+
+  const Photodetector pd;
+  EXPECT_THROW((void)pd.snr(-1e-6, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)pd.snr(1e-6, -1e-6), std::invalid_argument);
+  EXPECT_THROW((void)pd.required_signal_power(-1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Photodetector, HigherDarkCurrentNeedsMoreSignal) {
+  PhotodetectorParams noisy;
+  noisy.dark_current_a = 8e-6;
+  const Photodetector quiet_pd;  // 4 uA default
+  const Photodetector noisy_pd(noisy);
+  EXPECT_GT(noisy_pd.required_signal_power(22.5, 0.0),
+            quiet_pd.required_signal_power(22.5, 0.0));
+}
+
+}  // namespace
+}  // namespace photecc::photonics

@@ -1,0 +1,46 @@
+#include "photecc/photonics/waveguide.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+namespace {
+
+TEST(Waveguide, PaperLossOverSixCentimetres) {
+  const Waveguide wg(0.274, 0.06);  // paper: 0.274 dB/cm, 6 cm
+  EXPECT_NEAR(wg.total_loss_db(), 1.644, 1e-12);
+  EXPECT_NEAR(wg.transmission(), math::from_db(-1.644), 1e-12);
+}
+
+TEST(Waveguide, ZeroLossAndZeroLength) {
+  EXPECT_DOUBLE_EQ(Waveguide(0.0, 0.06).transmission(), 1.0);
+  EXPECT_DOUBLE_EQ(Waveguide(0.274, 0.0).transmission(), 1.0);
+}
+
+TEST(Waveguide, TransmissionComposesMultiplicatively) {
+  const Waveguide wg(0.274, 0.06);
+  const double half = wg.transmission_over(0.03);
+  EXPECT_NEAR(half * half, wg.transmission(), 1e-12);
+}
+
+TEST(Waveguide, PartialDistanceValidation) {
+  const Waveguide wg(0.274, 0.06);
+  EXPECT_THROW((void)wg.transmission_over(-0.01), std::out_of_range);
+  EXPECT_THROW((void)wg.transmission_over(0.07), std::out_of_range);
+  EXPECT_NO_THROW((void)wg.transmission_over(0.06));
+}
+
+TEST(Waveguide, ConstructionValidation) {
+  EXPECT_THROW(Waveguide(-0.1, 0.06), std::invalid_argument);
+  EXPECT_THROW(Waveguide(0.274, -1.0), std::invalid_argument);
+}
+
+TEST(Waveguide, LongerGuideLosesMore) {
+  const Waveguide short_wg(0.274, 0.03);
+  const Waveguide long_wg(0.274, 0.12);
+  EXPECT_GT(short_wg.transmission(), long_wg.transmission());
+}
+
+}  // namespace
+}  // namespace photecc::photonics

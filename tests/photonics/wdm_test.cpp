@@ -1,0 +1,46 @@
+#include "photecc/photonics/wdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/units.hpp"
+
+namespace photecc::photonics {
+namespace {
+
+TEST(WdmGrid, DefaultIsSixteenChannels) {
+  const WdmGrid grid;
+  EXPECT_EQ(grid.channel_count, 16u);  // the paper's NW
+  EXPECT_EQ(grid.wavelengths().size(), 16u);
+}
+
+TEST(WdmGrid, WavelengthsAreEquallySpacedAscending) {
+  const WdmGrid grid;
+  const auto all = grid.wavelengths();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_NEAR(all[i] - all[i - 1], grid.channel_spacing_m, 1e-18);
+  }
+  EXPECT_DOUBLE_EQ(all.front(), grid.start_wavelength_m);
+}
+
+TEST(WdmGrid, DetuningIsSymmetricAndLinear) {
+  const WdmGrid grid;
+  EXPECT_DOUBLE_EQ(grid.detuning(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(grid.detuning(2, 5), grid.detuning(5, 2));
+  EXPECT_NEAR(grid.detuning(0, 4), 4.0 * grid.channel_spacing_m, 1e-18);
+}
+
+TEST(WdmGrid, IndexValidation) {
+  const WdmGrid grid;
+  EXPECT_THROW((void)grid.wavelength(16), std::out_of_range);
+  EXPECT_THROW((void)grid.detuning(0, 16), std::out_of_range);
+}
+
+TEST(Multiplexer, TransmissionMatchesInsertionLoss) {
+  const Multiplexer mux{1.0};
+  EXPECT_NEAR(mux.transmission(), math::from_db(-1.0), 1e-12);
+  const Multiplexer lossless{0.0};
+  EXPECT_DOUBLE_EQ(lossless.transmission(), 1.0);
+}
+
+}  // namespace
+}  // namespace photecc::photonics
