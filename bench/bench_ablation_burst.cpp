@@ -85,9 +85,10 @@ int main() {
         interleaved.payload_ber > 0.0
             ? math::format_fixed(
                   plain.payload_ber / interleaved.payload_ber, 1) + "x"
-            : ">" + math::format_fixed(
+            // append() avoids GCC 12's -Wrestrict false positive (PR105651).
+            : std::string(">").append(math::format_fixed(
                   plain.payload_ber * static_cast<double>(frames) * 64.0,
-                  0) + "x",
+                  0)) + "x",
     });
   }
   table.render(std::cout);

@@ -33,7 +33,9 @@ void sweep(const std::string& name,
         math::format_fixed(budget.total_loss_db, 2),
         pu.feasible
             ? math::format_fixed(math::as_micro(pu.op_laser_w), 0)
-            : ">" + math::format_fixed(math::as_micro(pu.op_laser_w), 0),
+            // append() avoids GCC 12's -Wrestrict false positive (PR105651).
+            : std::string(">").append(
+                  math::format_fixed(math::as_micro(pu.op_laser_w), 0)),
         pu.feasible ? math::format_fixed(math::as_milli(pu.p_laser_w), 2)
                     : "infeasible",
         p74.feasible

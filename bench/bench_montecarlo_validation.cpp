@@ -27,8 +27,10 @@ int main() {
     raw.add_row({math::format_fixed(snr, 1),
                  math::format_sci(m.analytic_ber, 3),
                  math::format_sci(m.measured_ber, 3),
-                 "[" + math::format_sci(m.interval.lower, 2) + ", " +
-                     math::format_sci(m.interval.upper, 2) + "]",
+                 // append() avoids GCC 12's -Wrestrict false positive
+                 // (PR105651).
+                 std::string("[").append(math::format_sci(m.interval.lower, 2))
+                     + ", " + math::format_sci(m.interval.upper, 2) + "]",
                  m.consistent() ? "yes" : "NO"});
   }
   std::cout << "Raw channel (uncoded OOK over AWGN):\n";

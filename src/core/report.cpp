@@ -17,8 +17,11 @@ math::TextTable metrics_table(const std::vector<SchemeMetrics>& metrics) {
         math::format_fixed(m.operating_point.snr, 2),
         m.feasible ? math::format_fixed(
                          math::as_micro(m.operating_point.op_laser_w), 1)
-                   : ">" + math::format_fixed(
-                         math::as_micro(m.operating_point.op_laser_w), 1),
+                   // append() instead of "literal" + string: GCC 12's
+                   // -Wrestrict false positive (PR105651) fires on the
+                   // operator+ form under -O2.
+                   : std::string(">").append(math::format_fixed(
+                         math::as_micro(m.operating_point.op_laser_w), 1)),
         m.feasible ? math::format_fixed(math::as_milli(m.p_laser_w), 2)
                    : "-",
         m.feasible ? math::format_fixed(math::as_milli(m.p_channel_w), 2)

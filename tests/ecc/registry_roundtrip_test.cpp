@@ -1,0 +1,57 @@
+// Guards the registry wiring the Table 1 sweep depends on: every code
+// the registry can build must round-trip a clean random message and
+// report a zero post-decoding BER on a perfect channel.
+#include "photecc/ecc/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/bitvec.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+BitVec random_message(std::size_t k, math::Xoshiro256& rng) {
+  BitVec message(k);
+  for (std::size_t i = 0; i < k; ++i) message.set(i, rng.bernoulli(0.5));
+  return message;
+}
+
+TEST(RegistryRoundtrip, EveryKnownCodeRoundTripsRandomMessages) {
+  math::Xoshiro256 rng(0x1234abcdULL);
+  for (const BlockCodePtr& code : all_known_codes()) {
+    ASSERT_NE(code, nullptr);
+    const std::size_t k = code->message_length();
+    for (int trial = 0; trial < 16; ++trial) {
+      const BitVec message = random_message(k, rng);
+      const BitVec codeword = code->encode(message);
+      ASSERT_EQ(codeword.size(), code->block_length()) << code->name();
+      const DecodeResult result = code->decode(codeword);
+      EXPECT_EQ(result.message, message)
+          << code->name() << " trial " << trial;
+      EXPECT_FALSE(result.error_detected)
+          << code->name() << " flagged an error on a clean codeword";
+    }
+  }
+}
+
+TEST(RegistryRoundtrip, SingleErrorIsCorrectedWhenCodeCanCorrect) {
+  math::Xoshiro256 rng(0x7f4a7c15ULL);
+  for (const BlockCodePtr& code : all_known_codes()) {
+    if (code->correctable_errors() < 1) continue;
+    const BitVec message = random_message(code->message_length(), rng);
+    BitVec received = code->encode(message);
+    received.flip(rng.bounded(received.size()));
+    const DecodeResult result = code->decode(received);
+    EXPECT_EQ(result.message, message) << code->name();
+  }
+}
+
+TEST(RegistryRoundtrip, DecodedBerIsZeroOnPerfectChannel) {
+  for (const BlockCodePtr& code : all_known_codes()) {
+    EXPECT_DOUBLE_EQ(code->decoded_ber(0.0), 0.0) << code->name();
+  }
+}
+
+}  // namespace
+}  // namespace photecc::ecc

@@ -119,7 +119,7 @@ TEST(Estimator, TransmitterEstimateWithinTwoXOfTableOne) {
 
 TEST(Estimator, PreservesTheModeOrdering) {
   const SynthesisEstimator estimator;
-  for (const InterfaceSynthesis side :
+  for (const InterfaceSynthesis& side :
        {estimator.transmitter(), estimator.receiver()}) {
     EXPECT_GT(side.dynamic_uw(InterfaceMode::kHamming74),
               side.dynamic_uw(InterfaceMode::kHamming7164));
@@ -168,7 +168,7 @@ TEST(Estimator, StaticPowerStaysNanowattScale) {
   // "Static power is negligible thanks to the 28 nm low leakage
   // technology" — totals must stay well below a microwatt.
   const SynthesisEstimator estimator;
-  for (const InterfaceSynthesis side :
+  for (const InterfaceSynthesis& side :
        {estimator.transmitter(), estimator.receiver()}) {
     double total_nw = 0.0;
     for (const auto& block : side.blocks) total_nw += block.static_nw;

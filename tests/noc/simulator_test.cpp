@@ -259,8 +259,9 @@ TEST(NocSimulator, RoundRobinArbitrationIsFair) {
 }
 
 TEST(NocSimulator, InputValidation) {
-  EXPECT_THROW(NocSimulator(NocConfig{.oni_count = 1}),
-               std::invalid_argument);
+  NocConfig too_small;
+  too_small.oni_count = 1;
+  EXPECT_THROW(NocSimulator{too_small}, std::invalid_argument);
   const NocSimulator sim(base_config());
   EXPECT_THROW((void)sim.run({make_message(0, 1, 1, 64, 0.0)}, 1e-6),
                std::invalid_argument);
