@@ -3,36 +3,46 @@
 // repetition baselines at a fixed BER target, then prints the Pareto
 // front — showing where the paper's two chosen codes sit inside the
 // larger design space.
+//
+// The sweep itself is one declarative grid on the photecc::explore
+// engine; the front comes from the engine's generic Pareto extraction.
 #include <algorithm>
 #include <iostream>
 
 #include "photecc/core/report.hpp"
 #include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/runner.hpp"
 #include "photecc/math/units.hpp"
 
 int main() {
   using namespace photecc;
-  const link::MwsrChannel channel{link::MwsrParams{}};
-  const auto codes = ecc::all_known_codes();
+  std::vector<std::string> code_names;
+  for (const auto& code : ecc::all_known_codes())
+    code_names.push_back(code->name());
 
+  const explore::SweepRunner runner;
   for (const double ber : {1e-9, 1e-11}) {
     std::cout << "=== Ablation AB3: code family sweep @ BER "
               << math::format_sci(ber, 0) << " ===\n\n";
-    const auto sweep = core::sweep_tradeoff(channel, codes, {ber});
+    explore::ScenarioGrid grid;
+    grid.codes(code_names).ber_targets({ber});
+    const auto result = runner.run(grid);
+    const auto sweep = result.to_tradeoff_sweep();
     core::print_table(std::cout, "All codes ('*' = Pareto-optimal):",
                       core::pareto_table(sweep));
 
     // Name the front and locate the paper's picks.
-    const auto front = sweep.pareto_front();
+    const auto front = result.pareto_front(explore::fig6b_objectives());
     std::cout << "Pareto front (by CT): ";
     for (std::size_t i = 0; i < front.size(); ++i) {
       if (i) std::cout << " -> ";
-      std::cout << sweep.points[front[i]].scheme;
+      std::cout << result.cells[front[i]].scheme->scheme;
     }
     std::cout << "\n";
     const auto on_front = [&](const std::string& name) {
       return std::any_of(front.begin(), front.end(), [&](std::size_t i) {
-        return sweep.points[i].scheme == name;
+        return result.cells[i].scheme->scheme == name;
       });
     };
     std::cout << "Paper's picks: H(71,64) "

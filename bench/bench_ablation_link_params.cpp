@@ -2,12 +2,13 @@
 // parameters — crosstalk on/off, eye penalty on/off, ONI count,
 // waveguide length and channel spacing — all at BER 1e-11 for the
 // uncoded scheme (the most stressed configuration).
-#include <functional>
+//
+// Each knob is one link-variant axis on the photecc::explore engine
+// (codes x variants evaluated in parallel); the table rows are read
+// straight out of the engine's cell results.
 #include <iostream>
 
-#include "photecc/ecc/registry.hpp"
-#include "photecc/link/link_budget.hpp"
-#include "photecc/link/snr_solver.hpp"
+#include "photecc/explore/runner.hpp"
 #include "photecc/math/table.hpp"
 #include "photecc/math/units.hpp"
 
@@ -16,21 +17,21 @@ namespace {
 using photecc::link::MwsrParams;
 
 void sweep(const std::string& name,
-           const std::vector<std::pair<std::string, MwsrParams>>& cases,
+           const std::vector<photecc::explore::LinkVariant>& cases,
            photecc::math::TextTable& table) {
   using namespace photecc;
-  const auto uncoded = ecc::make_code("w/o ECC");
-  const auto h74 = ecc::make_code("H(7,4)");
-  for (const auto& [label, params] : cases) {
-    const link::MwsrChannel channel{params};
-    const auto budget =
-        link::compute_link_budget(channel, channel.worst_channel());
-    const auto pu = link::solve_operating_point(channel, *uncoded, 1e-11);
-    const auto p74 = link::solve_operating_point(channel, *h74, 1e-11);
+  explore::ScenarioGrid grid;
+  grid.codes({"w/o ECC", "H(7,4)"}).ber_targets({1e-11}).link_variants(cases);
+  const auto result = explore::SweepRunner{}.run(grid);
+  // Cells are code-minor: variant j holds uncoded at 2j, H(7,4) at 2j+1.
+  for (std::size_t j = 0; j < cases.size(); ++j) {
+    const auto& unc = result.cells[2 * j];
+    const auto& h74 = result.cells[2 * j + 1];
+    const auto& pu = unc.scheme->operating_point;
     table.add_row({
         name,
-        label,
-        math::format_fixed(budget.total_loss_db, 2),
+        cases[j].first,
+        math::format_fixed(*unc.metric("total_loss_db"), 2),
         pu.feasible
             ? math::format_fixed(math::as_micro(pu.op_laser_w), 0)
             // append() avoids GCC 12's -Wrestrict false positive (PR105651).
@@ -38,8 +39,8 @@ void sweep(const std::string& name,
                   math::format_fixed(math::as_micro(pu.op_laser_w), 0)),
         pu.feasible ? math::format_fixed(math::as_milli(pu.p_laser_w), 2)
                     : "infeasible",
-        p74.feasible
-            ? math::format_fixed(math::as_milli(p74.p_laser_w), 2)
+        h74.feasible
+            ? math::format_fixed(math::as_milli(*h74.metric("p_laser_w")), 2)
             : "infeasible",
     });
   }
@@ -56,7 +57,7 @@ int main() {
                          "Plaser H(7,4) [mW]"});
 
   {
-    std::vector<std::pair<std::string, MwsrParams>> cases;
+    std::vector<explore::LinkVariant> cases;
     MwsrParams p;
     cases.emplace_back("on (default)", p);
     p.include_crosstalk = false;
@@ -64,7 +65,7 @@ int main() {
     sweep("crosstalk", cases, table);
   }
   {
-    std::vector<std::pair<std::string, MwsrParams>> cases;
+    std::vector<explore::LinkVariant> cases;
     MwsrParams p;
     cases.emplace_back("on (default)", p);
     p.include_eye_penalty = false;
@@ -72,7 +73,7 @@ int main() {
     sweep("eye penalty", cases, table);
   }
   {
-    std::vector<std::pair<std::string, MwsrParams>> cases;
+    std::vector<explore::LinkVariant> cases;
     for (const std::size_t onis : {4u, 8u, 12u, 16u, 24u}) {
       MwsrParams p;
       p.oni_count = onis;
@@ -81,7 +82,7 @@ int main() {
     sweep("ONI count", cases, table);
   }
   {
-    std::vector<std::pair<std::string, MwsrParams>> cases;
+    std::vector<explore::LinkVariant> cases;
     for (const double cm : {2.0, 6.0, 10.0, 14.0}) {
       MwsrParams p;
       p.waveguide_length_m = cm * 1e-2;
@@ -90,7 +91,7 @@ int main() {
     sweep("waveguide length", cases, table);
   }
   {
-    std::vector<std::pair<std::string, MwsrParams>> cases;
+    std::vector<explore::LinkVariant> cases;
     for (const double nm : {0.15, 0.30, 0.60, 1.20}) {
       MwsrParams p;
       p.grid.channel_spacing_m = nm * 1e-9;

@@ -2,36 +2,48 @@
 // BER targets 1e-6 .. 1e-12.  The paper's claim: for every BER, all
 // three schemes are Pareto-optimal (uncoded = fast & hungry, H(7,4) =
 // slow & frugal, H(71,64) in between).
+//
+// Runs on the photecc::explore engine: the (code x BER) grid is declared
+// once and evaluated by the parallel SweepRunner; per-BER fronts come
+// from the engine's generic N-objective Pareto extraction with the
+// paper's two objectives (CT, Pchannel), on the per-BER slices of the
+// one evaluated grid.
 #include <iostream>
 
 #include "photecc/core/report.hpp"
-#include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/runner.hpp"
+#include "photecc/math/table.hpp"
 
 int main() {
   using namespace photecc;
-  const link::MwsrChannel channel{link::MwsrParams{}};
   const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
-  const auto sweep =
-      core::sweep_tradeoff(channel, ecc::paper_schemes(), bers);
+
+  explore::ScenarioGrid grid;
+  grid.codes(explore::paper_scheme_names()).ber_targets(bers);
+  const auto result = explore::SweepRunner{}.run(grid);
 
   std::cout << "=== Fig. 6b: power/performance trade-off wrt BER and "
                "ECC ===\n\n";
   core::print_table(std::cout,
                     "(CT, Pchannel) points; '*' = on the Pareto front:",
-                    core::pareto_table(sweep));
+                    core::pareto_table(result.to_tradeoff_sweep()));
 
   std::cout << "Per-BER Pareto fronts:\n";
   for (const double ber : bers) {
-    const auto one = core::sweep_tradeoff(channel, ecc::paper_schemes(),
-                                          {ber});
-    const auto front = one.pareto_front();
+    std::vector<explore::CellResult> slice;
+    for (const auto& cell : result.cells)
+      if (cell.label("target_ber") == math::format_sci(ber, 0))
+        slice.push_back(cell);
+    const auto front =
+        explore::pareto_front_indices(slice, explore::fig6b_objectives());
     std::cout << "  BER " << math::format_sci(ber, 0) << ": ";
     for (std::size_t i = 0; i < front.size(); ++i) {
       if (i) std::cout << " -> ";
-      std::cout << one.points[front[i]].scheme;
+      std::cout << slice[front[i]].scheme->scheme;
     }
-    std::cout << "  (" << front.size() << " of "
-              << one.points.size() << " schemes on the front)\n";
+    std::cout << "  (" << front.size() << " of " << slice.size()
+              << " schemes on the front)\n";
   }
   std::cout << "\nPaper: all coding techniques belong to the Pareto front "
                "for every BER; at 1e-12 the uncoded scheme drops out "

@@ -1,0 +1,269 @@
+// Command-line driver of the photecc::explore design-space engine.
+//
+//   explore_cli --fig6b            reproduce the paper's Fig. 6b sweep
+//   explore_cli --noc              multi-axis NoC sweep (traffic x load x
+//                                  gating x policy x ONI count)
+//   explore_cli --smoke            fast end-to-end self-check (CI): runs a
+//                                  small grid sequentially and in parallel
+//                                  and verifies byte-identical exports
+//   explore_cli --bench            sequential-vs-parallel wall time on a
+//                                  600-cell grid, JSON to stdout
+//
+// Common flags: --threads N (0 = hardware), --csv FILE, --json FILE.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "photecc/core/report.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/runner.hpp"
+#include "photecc/math/parallel.hpp"
+#include "photecc/math/table.hpp"
+#include "photecc/math/units.hpp"
+
+namespace {
+
+using namespace photecc;
+
+struct Options {
+  std::string mode;
+  std::size_t threads = 0;
+  std::string csv_path;
+  std::string json_path;
+};
+
+int usage(std::ostream& os, int code) {
+  os << "usage: explore_cli --fig6b | --noc | --smoke | --bench\n"
+        "                   [--threads N] [--csv FILE] [--json FILE]\n";
+  return code;
+}
+
+/// Non-negative integer parse that reports bad input as a usage error
+/// instead of an uncaught std::stoul exception.
+bool parse_size(const std::string& raw, std::size_t& out) {
+  if (raw.empty() || raw[0] == '-') return false;  // stoul wraps negatives
+  try {
+    std::size_t consumed = 0;
+    const unsigned long value = std::stoul(raw, &consumed);
+    if (consumed != raw.size()) return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void export_result(const explore::ExperimentResult& result,
+                   const Options& options) {
+  if (!options.csv_path.empty()) {
+    std::ofstream os(options.csv_path);
+    result.write_csv(os);
+    std::cout << "wrote " << options.csv_path << "\n";
+  }
+  if (!options.json_path.empty()) {
+    std::ofstream os(options.json_path);
+    result.write_json(os);
+    std::cout << "wrote " << options.json_path << "\n";
+  }
+}
+
+// --- --fig6b -----------------------------------------------------------
+
+int run_fig6b(const Options& options) {
+  const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
+  explore::ScenarioGrid grid;
+  grid.codes(explore::paper_scheme_names()).ber_targets(bers);
+  const explore::SweepRunner runner{{options.threads}};
+  const auto result = runner.run(grid);
+
+  std::cout << "=== Fig. 6b on the explore engine (" << result.cells.size()
+            << " cells, " << result.threads_used << " threads, "
+            << math::format_fixed(result.wall_time_s * 1e3, 1) << " ms) ===\n\n";
+  core::print_table(std::cout,
+                    "(CT, Pchannel) points; '*' = on the Pareto front:",
+                    core::pareto_table(result.to_tradeoff_sweep()));
+
+  std::cout << "Per-BER Pareto fronts:\n";
+  for (const double ber : bers) {
+    std::vector<explore::CellResult> slice;
+    for (const auto& cell : result.cells)
+      if (cell.label("target_ber") == math::format_sci(ber, 0))
+        slice.push_back(cell);
+    const auto front =
+        explore::pareto_front_indices(slice, explore::fig6b_objectives());
+    std::cout << "  BER " << math::format_sci(ber, 0) << ": ";
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (i) std::cout << " -> ";
+      std::cout << slice[front[i]].scheme->scheme;
+    }
+    std::cout << "\n";
+  }
+  export_result(result, options);
+  return 0;
+}
+
+// --- --noc -------------------------------------------------------------
+
+int run_noc(const Options& options) {
+  explore::ScenarioGrid grid;
+  grid.traffic_patterns({explore::uniform_traffic(1e8),
+                         explore::uniform_traffic(4e8),
+                         explore::hotspot_traffic(2e8, 0, 0.5)})
+      .laser_gating({true, false})
+      .policies({core::Policy::kMinEnergy, core::Policy::kMinTime})
+      .oni_counts({8, 12})
+      .noc_horizon(1e-6);
+  const explore::SweepRunner runner{{options.threads}};
+  const auto result = runner.run(grid);
+
+  std::cout << "=== Multi-axis NoC sweep (" << result.cells.size()
+            << " cells, " << result.threads_used << " threads, "
+            << math::format_fixed(result.wall_time_s * 1e3, 1)
+            << " ms) ===\n\n";
+  math::TextTable table({"oni", "traffic", "gating", "policy", "delivered",
+                         "mean lat [ns]", "E/bit [pJ]", "idle laser [nJ]"});
+  for (const auto& cell : result.cells) {
+    const auto label = [&](const std::string& axis) {
+      return cell.label(axis).value_or("-");
+    };
+    table.add_row({
+        label("oni_count"),
+        label("traffic"),
+        label("laser_gating"),
+        label("policy"),
+        math::format_fixed(*cell.metric("delivered"), 0),
+        math::format_fixed(*cell.metric("mean_latency_s") * 1e9, 1),
+        math::format_fixed(math::as_pico(*cell.metric("energy_per_bit_j")),
+                           2),
+        math::format_fixed(*cell.metric("idle_laser_energy_j") * 1e9, 2),
+    });
+  }
+  table.render(std::cout);
+
+  const auto front = result.pareto_front(
+      {{"mean_latency_s", true}, {"energy_per_bit_j", true}});
+  std::cout << "\nPareto front in (mean latency, energy/bit): "
+            << front.size() << " of " << result.cells.size()
+            << " cells.\n";
+  export_result(result, options);
+  return 0;
+}
+
+// --- --smoke -----------------------------------------------------------
+
+int run_smoke(const Options& options) {
+  // Link grid: every evaluator metric exercised, sequential vs parallel.
+  explore::ScenarioGrid link_grid;
+  link_grid.codes(explore::paper_scheme_names())
+      .ber_targets({1e-8, 1e-10});
+  // NoC grid: seeded simulation, gating on/off.
+  explore::ScenarioGrid noc_grid;
+  noc_grid.traffic_patterns({explore::uniform_traffic(2e8)})
+      .laser_gating({true, false})
+      .noc_horizon(5e-7);
+
+  const std::size_t parallel_threads = options.threads ? options.threads : 4;
+  const explore::SweepRunner sequential{{1}};
+  const explore::SweepRunner parallel{{parallel_threads}};
+  explore::ExperimentResult link_result;
+  for (const auto* grid : {&link_grid, &noc_grid}) {
+    auto a = sequential.run(*grid);
+    const auto b = parallel.run(*grid);
+    if (a.csv() != b.csv() || a.json() != b.json()) {
+      std::cerr << "smoke FAILED: sequential and parallel exports differ\n";
+      return 1;
+    }
+    if (grid == &link_grid) link_result = std::move(a);
+  }
+  const auto front = link_result.pareto_front(explore::fig6b_objectives());
+  if (front.empty()) {
+    std::cerr << "smoke FAILED: empty Fig. 6b Pareto front\n";
+    return 1;
+  }
+  std::cout << "smoke OK: " << link_grid.size() << "-cell link grid and "
+            << noc_grid.size() << "-cell NoC grid byte-identical at 1 vs "
+            << parallel_threads << " threads; front size " << front.size()
+            << "\n";
+  export_result(link_result, options);
+  return 0;
+}
+
+// --- --bench -----------------------------------------------------------
+
+int run_bench(const Options& options) {
+  // >= 500 cells: full code family x 6 BER targets x 5 waveguide lengths.
+  std::vector<std::string> code_names;
+  for (const auto& code : ecc::all_known_codes())
+    code_names.push_back(code->name());
+  std::vector<explore::LinkVariant> lengths;
+  for (const double cm : {2.0, 4.0, 6.0, 10.0, 14.0}) {
+    link::MwsrParams p;
+    p.waveguide_length_m = cm * 1e-2;
+    lengths.emplace_back(math::format_fixed(cm, 0) + " cm", p);
+  }
+  explore::ScenarioGrid grid;
+  grid.codes(code_names)
+      .ber_targets({1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11})
+      .link_variants(lengths);
+
+  const std::size_t threads =
+      options.threads ? options.threads : math::default_thread_count();
+  const auto sequential = explore::SweepRunner{{1}}.run(grid);
+  const auto parallel = explore::SweepRunner{{threads}}.run(grid);
+  const bool identical = sequential.csv() == parallel.csv() &&
+                         sequential.json() == parallel.json();
+  const double speedup = parallel.wall_time_s > 0.0
+                             ? sequential.wall_time_s / parallel.wall_time_s
+                             : 0.0;
+
+  std::cout << "{\n"
+            << "  \"benchmark\": \"explore_fig6b_multiaxis_sweep\",\n"
+            << "  \"cells\": " << grid.size() << ",\n"
+            << "  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ",\n"
+            << "  \"sequential_s\": " << sequential.wall_time_s << ",\n"
+            << "  \"parallel_threads\": " << threads << ",\n"
+            << "  \"parallel_s\": " << parallel.wall_time_s << ",\n"
+            << "  \"speedup\": " << speedup << ",\n"
+            << "  \"identical_output\": " << (identical ? "true" : "false")
+            << "\n}\n";
+  export_result(parallel, options);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fig6b" || arg == "--noc" || arg == "--smoke" ||
+        arg == "--bench") {
+      options.mode = arg;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!parse_size(argv[++i], options.threads)) {
+        std::cerr << "bad --threads value: " << argv[i] << "\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (arg == "--csv" && i + 1 < argc) {
+      options.csv_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (options.mode == "--fig6b") return run_fig6b(options);
+  if (options.mode == "--noc") return run_noc(options);
+  if (options.mode == "--smoke") return run_smoke(options);
+  if (options.mode == "--bench") return run_bench(options);
+  return usage(std::cerr, 2);
+}

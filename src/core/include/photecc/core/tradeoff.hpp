@@ -20,11 +20,18 @@ struct TradeoffSweep {
   [[nodiscard]] std::vector<std::size_t> pareto_front() const;
 };
 
-/// Evaluates every code at every BER target.
+/// Evaluates every code at every BER target (BER-major, code-minor
+/// order).  Cells are evaluated through the same deterministic parallel
+/// primitive as explore::SweepRunner (math::parallel_for with
+/// slot-indexed writes): `threads` = 1 runs sequentially on the calling
+/// thread, 0 uses hardware concurrency, and the returned points are
+/// identical for any thread count.  For multi-axis sweeps use
+/// explore::ScenarioGrid, the declarative front-end of this engine.
 TradeoffSweep sweep_tradeoff(const link::MwsrChannel& channel,
                              const std::vector<ecc::BlockCodePtr>& codes,
                              const std::vector<double>& ber_targets,
-                             const SystemConfig& config = {});
+                             const SystemConfig& config = {},
+                             std::size_t threads = 1);
 
 /// True when `a` is dominated by `b` (b no worse on both objectives and
 /// strictly better on at least one).  Infeasible points are dominated by

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "photecc/math/parallel.hpp"
+
 namespace photecc::core {
 
 bool is_dominated(const SchemeMetrics& a, const SchemeMetrics& b) {
@@ -41,15 +43,19 @@ std::vector<std::size_t> TradeoffSweep::pareto_front() const {
 TradeoffSweep sweep_tradeoff(const link::MwsrChannel& channel,
                              const std::vector<ecc::BlockCodePtr>& codes,
                              const std::vector<double>& ber_targets,
-                             const SystemConfig& config) {
+                             const SystemConfig& config,
+                             std::size_t threads) {
   TradeoffSweep sweep;
-  sweep.points.reserve(codes.size() * ber_targets.size());
-  for (const double ber : ber_targets) {
-    for (const auto& code : codes) {
-      sweep.points.push_back(
-          evaluate_scheme(channel, *code, ber, config));
-    }
-  }
+  if (codes.empty() || ber_targets.empty()) return sweep;
+  // Slot-indexed writes through the shared parallel engine keep the
+  // BER-major, code-minor point order identical for any thread count.
+  sweep.points.resize(codes.size() * ber_targets.size());
+  math::parallel_for(
+      sweep.points.size(), threads, [&](std::size_t i) {
+        const double ber = ber_targets[i / codes.size()];
+        const auto& code = codes[i % codes.size()];
+        sweep.points[i] = evaluate_scheme(channel, *code, ber, config);
+      });
   return sweep;
 }
 

@@ -1,0 +1,116 @@
+#include "photecc/explore/evaluators.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "photecc/core/channel_power.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/link_budget.hpp"
+#include "photecc/noc/simulator.hpp"
+#include "photecc/noc/traffic.hpp"
+
+namespace photecc::explore {
+
+const std::vector<std::string>& paper_scheme_names() {
+  static const std::vector<std::string> names{"w/o ECC", "H(71,64)",
+                                              "H(7,4)"};
+  return names;
+}
+
+const std::vector<Objective>& fig6b_objectives() {
+  static const std::vector<Objective> objectives{{"ct", true},
+                                                 {"p_channel_w", true}};
+  return objectives;
+}
+
+CellResult evaluate_link_cell(const Scenario& scenario) {
+  CellResult result;
+  result.index = scenario.index;
+  result.labels = scenario.labels;
+
+  const link::MwsrChannel channel{scenario.link};
+  const auto code = ecc::make_code(scenario.code.value_or("w/o ECC"));
+  core::SchemeMetrics m =
+      core::evaluate_scheme(channel, *code, scenario.target_ber,
+                            scenario.system);
+  result.feasible = m.feasible;
+  result.set_metric("ct", m.ct);
+  result.set_metric("p_channel_w", m.p_channel_w);
+  result.set_metric("p_laser_w", m.p_laser_w);
+  result.set_metric("p_mr_w", m.p_mr_w);
+  result.set_metric("p_enc_dec_w", m.p_enc_dec_w);
+  result.set_metric("energy_per_bit_j", m.energy_per_bit_j);
+  result.set_metric("code_rate", m.code_rate);
+  result.set_metric("op_laser_w", m.operating_point.op_laser_w);
+  result.set_metric("snr", m.operating_point.snr);
+  result.set_metric("p_interconnect_w", m.p_interconnect_w);
+
+  const auto budget =
+      link::compute_link_budget(channel, channel.worst_channel());
+  result.set_metric("total_loss_db", budget.total_loss_db);
+
+  result.scheme = std::move(m);
+  return result;
+}
+
+namespace {
+
+std::shared_ptr<const noc::TrafficGenerator> make_generator(
+    const Scenario& scenario) {
+  const TrafficSpec spec = scenario.traffic.value_or(TrafficSpec{});
+  switch (spec.kind) {
+    case TrafficSpec::Kind::kHotspot:
+      return std::make_shared<noc::HotspotTraffic>(
+          scenario.link.oni_count, spec.rate_msgs_per_s, spec.payload_bits,
+          spec.hotspot, spec.hotspot_fraction);
+    case TrafficSpec::Kind::kUniform:
+      break;
+  }
+  return std::make_shared<noc::UniformRandomTraffic>(
+      scenario.link.oni_count, spec.rate_msgs_per_s, spec.payload_bits,
+      noc::TrafficClass::kBestEffort, scenario.target_ber);
+}
+
+}  // namespace
+
+CellResult evaluate_noc_cell(const Scenario& scenario) {
+  CellResult result;
+  result.index = scenario.index;
+  result.labels = scenario.labels;
+
+  noc::NocConfig config;
+  config.oni_count = scenario.link.oni_count;
+  config.link_params = scenario.link;
+  config.system = scenario.system;
+  config.scheme_menu = scenario.code
+                           ? std::vector<ecc::BlockCodePtr>{ecc::make_code(
+                                 *scenario.code)}
+                           : ecc::paper_schemes();
+  config.default_requirements.target_ber = scenario.target_ber;
+  config.default_requirements.policy = scenario.policy;
+  config.laser_gating = scenario.laser_gating;
+
+  const noc::NocSimulator simulator{std::move(config)};
+  const auto generator = make_generator(scenario);
+  const noc::NocRunResult run =
+      simulator.run(*generator, scenario.noc_horizon_s, scenario.seed);
+
+  const noc::NocStats& stats = run.stats;
+  result.feasible = stats.delivered > 0;
+  result.set_metric("delivered", static_cast<double>(stats.delivered));
+  result.set_metric("dropped", static_cast<double>(stats.dropped));
+  result.set_metric("deadline_misses",
+                    static_cast<double>(stats.deadline_misses));
+  result.set_metric("mean_latency_s", stats.mean_latency_s);
+  result.set_metric("p95_latency_s", stats.p95_latency_s);
+  result.set_metric("max_latency_s", stats.max_latency_s);
+  result.set_metric("total_energy_j", stats.total_energy_j);
+  result.set_metric("laser_energy_j", stats.laser_energy_j);
+  result.set_metric("idle_laser_energy_j", stats.idle_laser_energy_j);
+  result.set_metric("energy_per_bit_j",
+                    stats.energy_per_bit_j(run.total_payload_bits));
+  result.set_metric("busy_time_s", stats.busy_time_s);
+  return result;
+}
+
+}  // namespace photecc::explore

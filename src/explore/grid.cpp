@@ -1,0 +1,168 @@
+#include "photecc/explore/grid.hpp"
+
+#include <stdexcept>
+
+#include "photecc/math/rng.hpp"
+#include "photecc/math/table.hpp"
+
+namespace photecc::explore {
+
+TrafficSpec uniform_traffic(double rate_msgs_per_s,
+                            std::uint64_t payload_bits) {
+  TrafficSpec spec;
+  spec.label = "uniform@" + math::format_sci(rate_msgs_per_s, 1);
+  spec.kind = TrafficSpec::Kind::kUniform;
+  spec.rate_msgs_per_s = rate_msgs_per_s;
+  spec.payload_bits = payload_bits;
+  return spec;
+}
+
+TrafficSpec hotspot_traffic(double rate_msgs_per_s, std::size_t hotspot,
+                            double hotspot_fraction,
+                            std::uint64_t payload_bits) {
+  TrafficSpec spec;
+  spec.label = "hotspot" + std::to_string(hotspot) + "@" +
+               math::format_sci(rate_msgs_per_s, 1);
+  spec.kind = TrafficSpec::Kind::kHotspot;
+  spec.rate_msgs_per_s = rate_msgs_per_s;
+  spec.payload_bits = payload_bits;
+  spec.hotspot = hotspot;
+  spec.hotspot_fraction = hotspot_fraction;
+  return spec;
+}
+
+ScenarioGrid& ScenarioGrid::codes(std::vector<std::string> names) {
+  codes_ = std::move(names);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::ber_targets(std::vector<double> bers) {
+  bers_ = std::move(bers);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::link_variants(std::vector<LinkVariant> variants) {
+  link_variants_ = std::move(variants);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::oni_counts(std::vector<std::size_t> counts) {
+  oni_counts_ = std::move(counts);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::traffic_patterns(std::vector<TrafficSpec> specs) {
+  traffic_ = std::move(specs);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::laser_gating(std::vector<bool> values) {
+  gating_ = std::move(values);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::policies(std::vector<core::Policy> values) {
+  policies_ = std::move(values);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::base_link(link::MwsrParams params) {
+  base_link_ = std::move(params);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::base_system(core::SystemConfig config) {
+  base_system_ = std::move(config);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::base_seed(std::uint64_t seed) {
+  base_seed_ = seed;
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::noc_horizon(double horizon_s) {
+  noc_horizon_s_ = horizon_s;
+  return *this;
+}
+
+namespace {
+
+/// Length an axis contributes to the mixed radix (1 when undeclared).
+std::size_t radix(std::size_t axis_length) {
+  return axis_length ? axis_length : 1;
+}
+
+}  // namespace
+
+std::size_t ScenarioGrid::size() const {
+  return radix(codes_.size()) * radix(bers_.size()) *
+         radix(link_variants_.size()) * radix(oni_counts_.size()) *
+         radix(traffic_.size()) * radix(gating_.size()) *
+         radix(policies_.size());
+}
+
+bool ScenarioGrid::has_noc_axes() const {
+  return !traffic_.empty() || !gating_.empty() || !policies_.empty();
+}
+
+Scenario ScenarioGrid::at(std::size_t i) const {
+  if (i >= size())
+    throw std::out_of_range("ScenarioGrid::at: index " + std::to_string(i) +
+                            " >= size " + std::to_string(size()));
+  Scenario s;
+  s.index = i;
+  s.link = base_link_;
+  s.system = base_system_;
+  s.noc_horizon_s = noc_horizon_s_;
+
+  // Deterministic per-cell seed: a stateless splitmix64 mix of the base
+  // seed and the cell index, so cell seeds do not depend on evaluation
+  // order or thread count.
+  std::uint64_t mix = base_seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  s.seed = math::splitmix64(mix);
+
+  // Mixed-radix decode, innermost (fastest-varying) axis first.  The
+  // label list is built in the same canonical order.
+  std::size_t rem = i;
+  const auto digit = [&rem](std::size_t axis_length) {
+    const std::size_t r = radix(axis_length);
+    const std::size_t d = rem % r;
+    rem /= r;
+    return d;
+  };
+
+  if (const std::size_t d = digit(codes_.size()); !codes_.empty()) {
+    s.code = codes_[d];
+    s.labels.emplace_back("code", *s.code);
+  }
+  if (const std::size_t d = digit(bers_.size()); !bers_.empty()) {
+    s.target_ber = bers_[d];
+    s.labels.emplace_back("target_ber", math::format_sci(s.target_ber, 0));
+  }
+  if (const std::size_t d = digit(link_variants_.size());
+      !link_variants_.empty()) {
+    s.link = link_variants_[d].second;
+    s.labels.emplace_back("link", link_variants_[d].first);
+  }
+  if (const std::size_t d = digit(oni_counts_.size()); !oni_counts_.empty()) {
+    s.link.oni_count = oni_counts_[d];
+    s.system.oni_count = oni_counts_[d];
+    s.labels.emplace_back("oni_count", std::to_string(oni_counts_[d]));
+  }
+  if (const std::size_t d = digit(traffic_.size()); !traffic_.empty()) {
+    s.traffic = traffic_[d];
+    s.labels.emplace_back("traffic", traffic_[d].label);
+  }
+  if (const std::size_t d = digit(gating_.size()); !gating_.empty()) {
+    s.laser_gating = gating_[d];
+    s.labels.emplace_back("laser_gating", s.laser_gating ? "on" : "off");
+  }
+  if (const std::size_t d = digit(policies_.size()); !policies_.empty()) {
+    s.policy = policies_[d];
+    s.labels.emplace_back("policy", core::to_string(s.policy));
+  }
+  return s;
+}
+
+}  // namespace photecc::explore

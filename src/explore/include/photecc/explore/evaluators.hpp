@@ -1,0 +1,39 @@
+// Built-in cell evaluators: the analytic link-level evaluation (the
+// paper's Fig. 5/6 machinery) and the dynamic NoC simulation.  Both are
+// pure functions of the Scenario — no shared mutable state — so the
+// runner may call them from any thread.
+#ifndef PHOTECC_EXPLORE_EVALUATORS_HPP
+#define PHOTECC_EXPLORE_EVALUATORS_HPP
+
+#include "photecc/explore/result.hpp"
+#include "photecc/explore/scenario.hpp"
+
+namespace photecc::explore {
+
+/// The paper's three schemes in presentation order — the code-axis twin
+/// of ecc::paper_schemes().
+[[nodiscard]] const std::vector<std::string>& paper_scheme_names();
+
+/// The paper's Fig. 6b objective pair on evaluate_link_cell's metric
+/// names: minimise CT, minimise Pchannel.  Defined next to the metrics
+/// so a metric rename cannot silently drift apart from the front
+/// extraction.
+[[nodiscard]] const std::vector<Objective>& fig6b_objectives();
+
+/// Analytic evaluation: core::evaluate_scheme on the scenario's channel.
+/// Metrics: ct, p_channel_w, p_laser_w, p_mr_w, p_enc_dec_w,
+/// energy_per_bit_j, code_rate, op_laser_w, snr, p_interconnect_w,
+/// total_loss_db.  Also fills CellResult::scheme for the core bridges.
+[[nodiscard]] CellResult evaluate_link_cell(const Scenario& scenario);
+
+/// Dynamic evaluation: one NocSimulator::run seeded with the scenario's
+/// deterministic seed.  The scheme menu is the scenario's single code
+/// when the code axis is set, else the paper's adaptive three-scheme
+/// menu.  Metrics: delivered, dropped, deadline_misses, mean_latency_s,
+/// p95_latency_s, max_latency_s, total_energy_j, laser_energy_j,
+/// idle_laser_energy_j, energy_per_bit_j, busy_time_s.
+[[nodiscard]] CellResult evaluate_noc_cell(const Scenario& scenario);
+
+}  // namespace photecc::explore
+
+#endif  // PHOTECC_EXPLORE_EVALUATORS_HPP

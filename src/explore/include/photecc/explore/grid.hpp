@@ -1,0 +1,111 @@
+// Declarative design-space grid: compose axes (code, BER target, link
+// variant, ONI count, traffic, laser gating, policy) and get a lazily
+// enumerated cartesian product of Scenario cells.
+//
+// Enumeration order is fixed and documented: the code axis varies
+// fastest, then BER, link variant, ONI count, traffic, gating, policy.
+// A grid with only {codes, ber_targets} therefore enumerates in exactly
+// the order of the historical core::sweep_tradeoff loops (BER-major,
+// code-minor), which is what lets the refactored benches reproduce
+// byte-identical tables.
+#ifndef PHOTECC_EXPLORE_GRID_HPP
+#define PHOTECC_EXPLORE_GRID_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "photecc/explore/scenario.hpp"
+
+namespace photecc::explore {
+
+/// A labelled MwsrParams variant for the link-parameter axis.
+using LinkVariant = std::pair<std::string, link::MwsrParams>;
+
+class ScenarioGrid {
+ public:
+  // --- Axes (fluent setters; an unset axis contributes the base value
+  // and no label).  Passing an empty vector clears the axis. ---
+  ScenarioGrid& codes(std::vector<std::string> names);
+  ScenarioGrid& ber_targets(std::vector<double> bers);
+  ScenarioGrid& link_variants(std::vector<LinkVariant> variants);
+  ScenarioGrid& oni_counts(std::vector<std::size_t> counts);
+  ScenarioGrid& traffic_patterns(std::vector<TrafficSpec> specs);
+  ScenarioGrid& laser_gating(std::vector<bool> values);
+  ScenarioGrid& policies(std::vector<core::Policy> values);
+
+  // --- Base values applied to every cell before axis overrides. ---
+  ScenarioGrid& base_link(link::MwsrParams params);
+  ScenarioGrid& base_system(core::SystemConfig config);
+  ScenarioGrid& base_seed(std::uint64_t seed);
+  ScenarioGrid& noc_horizon(double horizon_s);
+
+  /// Number of cells: the product of the declared axis lengths (1 when
+  /// no axis is declared — the grid still holds the single base cell).
+  [[nodiscard]] std::size_t size() const;
+
+  /// True when any NoC-only axis (traffic, gating, policy) is declared.
+  [[nodiscard]] bool has_noc_axes() const;
+
+  /// Materialises cell `i` (mixed-radix decode of the axis indices).
+  /// Throws std::out_of_range for i >= size().
+  [[nodiscard]] Scenario at(std::size_t i) const;
+
+  /// Lazy input iterator over all cells in enumeration order.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Scenario;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Scenario*;
+    using reference = Scenario;
+
+    const_iterator(const ScenarioGrid* grid, std::size_t index)
+        : grid_(grid), index_(index) {}
+
+    [[nodiscard]] Scenario operator*() const { return grid_->at(index_); }
+    const_iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    [[nodiscard]] bool operator==(const const_iterator& other) const {
+      return grid_ == other.grid_ && index_ == other.index_;
+    }
+    [[nodiscard]] bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    const ScenarioGrid* grid_;
+    std::size_t index_;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size()}; }
+
+ private:
+  std::vector<std::string> codes_;
+  std::vector<double> bers_;
+  std::vector<LinkVariant> link_variants_;
+  std::vector<std::size_t> oni_counts_;
+  std::vector<TrafficSpec> traffic_;
+  std::vector<bool> gating_;
+  std::vector<core::Policy> policies_;
+
+  link::MwsrParams base_link_{};
+  core::SystemConfig base_system_{};
+  std::uint64_t base_seed_ = 0x9e3779b97f4a7c15ULL;
+  double noc_horizon_s_ = 2e-6;
+};
+
+}  // namespace photecc::explore
+
+#endif  // PHOTECC_EXPLORE_GRID_HPP

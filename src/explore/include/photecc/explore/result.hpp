@@ -1,0 +1,94 @@
+// Aggregation layer of the exploration engine: per-cell named-metric
+// records, generic N-objective Pareto extraction (generalising
+// core::tradeoff's fixed 2-objective (Pchannel, CT) front) and
+// deterministic CSV / JSON export.
+//
+// Exports deliberately contain only cell data — never timings or thread
+// counts — so a parallel run serialises byte-identically to a
+// sequential one.
+#ifndef PHOTECC_EXPLORE_RESULT_HPP
+#define PHOTECC_EXPLORE_RESULT_HPP
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "photecc/core/channel_power.hpp"
+#include "photecc/core/tradeoff.hpp"
+
+namespace photecc::explore {
+
+/// One evaluated cell: the scenario's axis labels plus a flat record of
+/// named metrics (insertion-ordered, so every evaluator defines the
+/// column order of its exports).
+struct CellResult {
+  std::size_t index = 0;
+  std::vector<std::pair<std::string, std::string>> labels;
+  bool feasible = false;
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Full analytic metrics, set by the link evaluator (bridges back to
+  /// the core::tradeoff reporting machinery).
+  std::optional<core::SchemeMetrics> scheme;
+
+  /// Appends or overwrites the named metric.
+  void set_metric(const std::string& name, double value);
+  /// Value of the named metric, or nullopt when absent.
+  [[nodiscard]] std::optional<double> metric(const std::string& name) const;
+  /// Value of the named axis label, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> label(
+      const std::string& axis) const;
+};
+
+/// One dimension of an N-objective Pareto extraction.
+struct Objective {
+  std::string metric;
+  bool minimize = true;
+};
+
+/// True when `a` is dominated by `b` under `objectives`: b is feasible,
+/// no worse on every objective and strictly better on at least one.
+/// Infeasible cells (or cells missing an objective metric) are dominated
+/// by every feasible cell.  With objectives {ct, p_channel_w} this is
+/// exactly core::is_dominated.
+[[nodiscard]] bool is_dominated(const CellResult& a, const CellResult& b,
+                                const std::vector<Objective>& objectives);
+
+/// Indices of the non-dominated feasible cells, sorted by the first
+/// objective (then the following ones, then index).
+[[nodiscard]] std::vector<std::size_t> pareto_front_indices(
+    const std::vector<CellResult>& cells,
+    const std::vector<Objective>& objectives);
+
+/// Everything one SweepRunner::run produced.
+struct ExperimentResult {
+  std::vector<CellResult> cells;  ///< slot-indexed by Scenario::index
+  std::size_t threads_used = 1;   ///< informational; not exported
+  double wall_time_s = 0.0;       ///< informational; not exported
+
+  [[nodiscard]] std::vector<std::size_t> pareto_front(
+      const std::vector<Objective>& objectives) const;
+
+  /// CSV: header `index,<axis...>,feasible,<metric...>`; axis and metric
+  /// columns are the first-seen-order union over all cells.  Fields are
+  /// minimally quoted (labels like "BCH(15,7,2)" contain commas) and
+  /// doubles use shortest round-trip formatting.
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] std::string csv() const;
+
+  /// JSON: {"cells": [{"index", "labels": {...}, "feasible",
+  /// "metrics": {...}}, ...]}.  Non-finite doubles serialise as null.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Bridges link-evaluator results back to the 2-objective core
+  /// machinery (pareto_table & friends).  Cells without SchemeMetrics
+  /// are skipped.
+  [[nodiscard]] core::TradeoffSweep to_tradeoff_sweep() const;
+};
+
+}  // namespace photecc::explore
+
+#endif  // PHOTECC_EXPLORE_RESULT_HPP

@@ -1,0 +1,62 @@
+// One cell of a declarative design-space grid: every knob the engine can
+// sweep, fully resolved.  A Scenario is cheap to materialise, so the
+// grid enumerates them lazily and the runner never holds more than one
+// per worker.
+#ifndef PHOTECC_EXPLORE_SCENARIO_HPP
+#define PHOTECC_EXPLORE_SCENARIO_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "photecc/core/channel_power.hpp"
+#include "photecc/core/manager.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace photecc::explore {
+
+/// Traffic workload axis value for NoC scenarios.
+struct TrafficSpec {
+  enum class Kind { kUniform, kHotspot };
+  std::string label = "uniform";
+  Kind kind = Kind::kUniform;
+  double rate_msgs_per_s = 2e8;     ///< aggregate injection rate
+  std::uint64_t payload_bits = 4096;
+  std::size_t hotspot = 0;          ///< hot ONI (kHotspot only)
+  double hotspot_fraction = 0.5;    ///< traffic share aimed at the hotspot
+};
+
+/// Poisson uniform-random workload at `rate_msgs_per_s`.
+[[nodiscard]] TrafficSpec uniform_traffic(double rate_msgs_per_s,
+                                          std::uint64_t payload_bits = 4096);
+
+/// Uniform workload with a fraction redirected to one hot ONI.
+[[nodiscard]] TrafficSpec hotspot_traffic(double rate_msgs_per_s,
+                                          std::size_t hotspot,
+                                          double hotspot_fraction,
+                                          std::uint64_t payload_bits = 4096);
+
+/// One fully-specified cell of the design space.
+struct Scenario {
+  std::size_t index = 0;    ///< position in grid enumeration order
+  std::uint64_t seed = 0;   ///< deterministic per-cell seed (index-derived)
+  /// Code registry name; unset = "adaptive" (the NoC evaluator offers
+  /// the manager the full paper menu, the link evaluator uses uncoded).
+  std::optional<std::string> code;
+  double target_ber = 1e-9;
+  link::MwsrParams link{};
+  core::SystemConfig system{};
+  std::optional<TrafficSpec> traffic;  ///< set when the grid has NoC axes
+  bool laser_gating = true;
+  core::Policy policy = core::Policy::kMinEnergy;
+  double noc_horizon_s = 2e-6;
+  /// (axis name, value label) for every axis the grid declares, in the
+  /// grid's canonical axis order.  Carried into CellResult and exports.
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+}  // namespace photecc::explore
+
+#endif  // PHOTECC_EXPLORE_SCENARIO_HPP

@@ -1,0 +1,246 @@
+#include "photecc/explore/result.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace photecc::explore {
+
+void CellResult::set_metric(const std::string& name, double value) {
+  for (auto& [existing, v] : metrics) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+std::optional<double> CellResult::metric(const std::string& name) const {
+  for (const auto& [existing, v] : metrics)
+    if (existing == name) return v;
+  return std::nullopt;
+}
+
+std::optional<std::string> CellResult::label(const std::string& axis) const {
+  for (const auto& [name, value] : labels)
+    if (name == axis) return value;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Objective values of a cell, or nullopt when any metric is missing
+/// (such a cell never dominates and is dominated by every feasible one).
+std::optional<std::vector<double>> objective_values(
+    const CellResult& cell, const std::vector<Objective>& objectives) {
+  if (!cell.feasible) return std::nullopt;
+  std::vector<double> values;
+  values.reserve(objectives.size());
+  for (const auto& objective : objectives) {
+    const auto v = cell.metric(objective.metric);
+    if (!v || !std::isfinite(*v)) return std::nullopt;
+    // Normalise to minimisation so the comparison below is uniform.
+    values.push_back(objective.minimize ? *v : -*v);
+  }
+  return values;
+}
+
+/// b dominates a: no worse on every (minimisation-normalised) objective
+/// and strictly better on at least one.
+bool dominates(const std::vector<double>& b, const std::vector<double>& a) {
+  bool no_worse = true;
+  bool strictly_better = false;
+  for (std::size_t k = 0; k < b.size(); ++k) {
+    if (b[k] > a[k]) no_worse = false;
+    if (b[k] < a[k]) strictly_better = true;
+  }
+  return no_worse && strictly_better;
+}
+
+}  // namespace
+
+bool is_dominated(const CellResult& a, const CellResult& b,
+                  const std::vector<Objective>& objectives) {
+  const auto vb = objective_values(b, objectives);
+  if (!vb) return false;
+  const auto va = objective_values(a, objectives);
+  if (!va) return true;
+  return dominates(*vb, *va);
+}
+
+std::vector<std::size_t> pareto_front_indices(
+    const std::vector<CellResult>& cells,
+    const std::vector<Objective>& objectives) {
+  // Derive each cell's objective vector once up front; the O(n^2)
+  // dominance loop then compares plain doubles instead of re-scanning
+  // string-keyed metric lists.
+  std::vector<std::optional<std::vector<double>>> values;
+  values.reserve(cells.size());
+  for (const auto& cell : cells)
+    values.push_back(objective_values(cell, objectives));
+
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!values[i]) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
+      if (j != i && values[j] && dominates(*values[j], *values[i]))
+        dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t lhs, std::size_t rhs) {
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+      if ((*values[lhs])[k] != (*values[rhs])[k])
+        return (*values[lhs])[k] < (*values[rhs])[k];
+    }
+    return lhs < rhs;
+  });
+  return front;
+}
+
+std::vector<std::size_t> ExperimentResult::pareto_front(
+    const std::vector<Objective>& objectives) const {
+  return pareto_front_indices(cells, objectives);
+}
+
+namespace {
+
+/// Shortest round-trip double formatting (std::to_chars): deterministic
+/// across runs and thread counts, precise enough to reparse exactly.
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("nan");
+}
+
+/// RFC-4180 minimal quoting.
+std::string csv_field(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string quoted = "\"";
+  for (const char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_string(const std::string& raw) {
+  std::string out = "\"";
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  return format_double(value);
+}
+
+/// First-seen-order union of (axis | metric) names over all cells.
+template <typename Pairs, typename Proj>
+std::vector<std::string> column_union(const Pairs& cells, Proj proj) {
+  std::vector<std::string> columns;
+  for (const auto& cell : cells) {
+    for (const auto& [name, value] : proj(cell)) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), name) == columns.end())
+        columns.push_back(name);
+    }
+  }
+  return columns;
+}
+
+}  // namespace
+
+void ExperimentResult::write_csv(std::ostream& os) const {
+  const auto axes =
+      column_union(cells, [](const CellResult& c) { return c.labels; });
+  const auto metric_names =
+      column_union(cells, [](const CellResult& c) { return c.metrics; });
+
+  os << "index";
+  for (const auto& axis : axes) os << ',' << csv_field(axis);
+  os << ",feasible";
+  for (const auto& name : metric_names) os << ',' << csv_field(name);
+  os << '\n';
+
+  for (const auto& cell : cells) {
+    os << cell.index;
+    for (const auto& axis : axes) {
+      os << ',';
+      if (const auto v = cell.label(axis)) os << csv_field(*v);
+    }
+    os << ',' << (cell.feasible ? '1' : '0');
+    for (const auto& name : metric_names) {
+      os << ',';
+      if (const auto v = cell.metric(name)) os << format_double(*v);
+    }
+    os << '\n';
+  }
+}
+
+std::string ExperimentResult::csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+void ExperimentResult::write_json(std::ostream& os) const {
+  os << "{\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    if (i) os << ',';
+    os << "\n  {\"index\":" << cell.index << ",\"labels\":{";
+    for (std::size_t k = 0; k < cell.labels.size(); ++k) {
+      if (k) os << ',';
+      os << json_string(cell.labels[k].first) << ':'
+         << json_string(cell.labels[k].second);
+    }
+    os << "},\"feasible\":" << (cell.feasible ? "true" : "false")
+       << ",\"metrics\":{";
+    for (std::size_t k = 0; k < cell.metrics.size(); ++k) {
+      if (k) os << ',';
+      os << json_string(cell.metrics[k].first) << ':'
+         << json_number(cell.metrics[k].second);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string ExperimentResult::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+core::TradeoffSweep ExperimentResult::to_tradeoff_sweep() const {
+  core::TradeoffSweep sweep;
+  sweep.points.reserve(cells.size());
+  for (const auto& cell : cells)
+    if (cell.scheme) sweep.points.push_back(*cell.scheme);
+  return sweep;
+}
+
+}  // namespace photecc::explore

@@ -1,0 +1,33 @@
+// Deterministic parallel execution over an index space — the execution
+// primitive shared by core::sweep_tradeoff and explore::SweepRunner.
+//
+// Indices are handed out through an atomic counter (work-stealing from a
+// shared queue of one-cell tasks), so the *scheduling* is
+// nondeterministic; callers MUST write the result of cell i into slot i
+// of a pre-sized container.  With that convention the output is
+// byte-identical for any thread count, which is what lets the explore
+// engine promise "parallel == sequential" exports.
+#ifndef PHOTECC_MATH_PARALLEL_HPP
+#define PHOTECC_MATH_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace photecc::math {
+
+/// Worker count used when a caller passes threads == 0:
+/// std::thread::hardware_concurrency(), or 1 when it is unknown.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Evaluates fn(i) for every i in [0, n) exactly once using `threads`
+/// workers (0 = default_thread_count(); 1 = inline on the calling
+/// thread, no spawning).  Blocks until every index has been evaluated.
+/// If any invocation throws, remaining indices are abandoned and the
+/// first exception is rethrown on the calling thread after the workers
+/// join.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_PARALLEL_HPP

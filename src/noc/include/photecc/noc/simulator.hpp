@@ -14,8 +14,11 @@
 #ifndef PHOTECC_NOC_SIMULATOR_HPP
 #define PHOTECC_NOC_SIMULATOR_HPP
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "photecc/core/manager.hpp"

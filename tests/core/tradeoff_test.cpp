@@ -44,6 +44,40 @@ TEST(Domination, EqualPointsDoNotDominateEachOther) {
   EXPECT_FALSE(is_dominated(b, a));
 }
 
+TEST(ParetoFront, EmptyPointSetGivesEmptyFront) {
+  EXPECT_TRUE(pareto_front_indices({}).empty());
+}
+
+TEST(ParetoFront, AllInfeasiblePointsGiveEmptyFront) {
+  SchemeMetrics a, b;
+  a.feasible = b.feasible = false;
+  a.p_channel_w = 1.0;
+  b.p_channel_w = 2.0;
+  EXPECT_TRUE(pareto_front_indices({a, b}).empty());
+}
+
+TEST(ParetoFront, DuplicatePointsAllStayOnTheFront) {
+  SchemeMetrics a;
+  a.feasible = true;
+  a.p_channel_w = 5e-3;
+  a.ct = 1.2;
+  const auto front = pareto_front_indices({a, a, a});
+  EXPECT_EQ(front.size(), 3u);
+}
+
+TEST(ParetoFront, SingleFeasiblePointIsTheWholeFront) {
+  SchemeMetrics feasible, infeasible;
+  feasible.feasible = true;
+  feasible.p_channel_w = 9.0;
+  feasible.ct = 9.0;
+  infeasible.feasible = false;
+  infeasible.p_channel_w = 0.1;
+  infeasible.ct = 0.1;
+  const auto front = pareto_front_indices({infeasible, feasible});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 1u);
+}
+
 TEST(ParetoFront, PaperClaimAllThreeSchemesAreOnTheFront) {
   // Paper Fig. 6b: "For a given BER, all the coding techniques belong
   // to the Pareto front".

@@ -1,0 +1,128 @@
+#include "photecc/explore/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace photecc::explore {
+namespace {
+
+TEST(ScenarioGrid, EmptyGridHoldsTheSingleBaseCell) {
+  const ScenarioGrid grid;
+  EXPECT_EQ(grid.size(), 1u);
+  const Scenario s = grid.at(0);
+  EXPECT_EQ(s.index, 0u);
+  EXPECT_FALSE(s.code.has_value());
+  EXPECT_TRUE(s.labels.empty());
+  EXPECT_FALSE(s.traffic.has_value());
+}
+
+TEST(ScenarioGrid, SizeIsTheProductOfDeclaredAxes) {
+  ScenarioGrid grid;
+  grid.codes({"w/o ECC", "H(7,4)"})
+      .ber_targets({1e-6, 1e-9, 1e-12})
+      .oni_counts({8, 12})
+      .laser_gating({true, false});
+  EXPECT_EQ(grid.size(), 2u * 3u * 2u * 2u);
+}
+
+TEST(ScenarioGrid, CodeAxisVariesFastestThenBer) {
+  // The historical core::sweep_tradeoff order: BER-major, code-minor.
+  ScenarioGrid grid;
+  grid.codes({"a", "b", "c"}).ber_targets({1e-6, 1e-9});
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(*grid.at(0).code, "a");
+  EXPECT_EQ(*grid.at(1).code, "b");
+  EXPECT_EQ(*grid.at(2).code, "c");
+  EXPECT_EQ(*grid.at(3).code, "a");
+  EXPECT_DOUBLE_EQ(grid.at(0).target_ber, 1e-6);
+  EXPECT_DOUBLE_EQ(grid.at(2).target_ber, 1e-6);
+  EXPECT_DOUBLE_EQ(grid.at(3).target_ber, 1e-9);
+  EXPECT_DOUBLE_EQ(grid.at(5).target_ber, 1e-9);
+}
+
+TEST(ScenarioGrid, AtThrowsPastTheEnd) {
+  ScenarioGrid grid;
+  grid.codes({"a"});
+  EXPECT_THROW((void)grid.at(1), std::out_of_range);
+}
+
+TEST(ScenarioGrid, LabelsNameEveryDeclaredAxis) {
+  ScenarioGrid grid;
+  grid.codes({"H(7,4)"})
+      .ber_targets({1e-9})
+      .oni_counts({16})
+      .policies({core::Policy::kMinTime});
+  const Scenario s = grid.at(0);
+  ASSERT_EQ(s.labels.size(), 4u);
+  EXPECT_EQ(s.labels[0].first, "code");
+  EXPECT_EQ(s.labels[0].second, "H(7,4)");
+  EXPECT_EQ(s.labels[1].first, "target_ber");
+  EXPECT_EQ(s.labels[2].first, "oni_count");
+  EXPECT_EQ(s.labels[2].second, "16");
+  EXPECT_EQ(s.labels[3].first, "policy");
+}
+
+TEST(ScenarioGrid, OniAxisOverridesBothLinkAndSystemConfig) {
+  ScenarioGrid grid;
+  grid.oni_counts({24});
+  const Scenario s = grid.at(0);
+  EXPECT_EQ(s.link.oni_count, 24u);
+  EXPECT_EQ(s.system.oni_count, 24u);
+}
+
+TEST(ScenarioGrid, OniAxisAppliesOnTopOfLinkVariants) {
+  link::MwsrParams shorter;
+  shorter.waveguide_length_m = 0.02;
+  ScenarioGrid grid;
+  grid.link_variants({{"2 cm", shorter}}).oni_counts({4});
+  const Scenario s = grid.at(0);
+  EXPECT_DOUBLE_EQ(s.link.waveguide_length_m, 0.02);
+  EXPECT_EQ(s.link.oni_count, 4u);
+}
+
+TEST(ScenarioGrid, NocAxesAreDetected) {
+  ScenarioGrid link_only;
+  link_only.codes({"H(7,4)"}).ber_targets({1e-9});
+  EXPECT_FALSE(link_only.has_noc_axes());
+
+  ScenarioGrid noc;
+  noc.traffic_patterns({uniform_traffic(1e8)});
+  EXPECT_TRUE(noc.has_noc_axes());
+
+  ScenarioGrid gating_only;
+  gating_only.laser_gating({true, false});
+  EXPECT_TRUE(gating_only.has_noc_axes());
+}
+
+TEST(ScenarioGrid, PerCellSeedsAreStableAndDistinct) {
+  ScenarioGrid grid;
+  grid.codes({"a", "b"}).ber_targets({1e-6, 1e-9, 1e-12});
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid.at(i).seed, grid.at(i).seed);  // stable re-materialise
+    seeds.insert(grid.at(i).seed);
+  }
+  EXPECT_EQ(seeds.size(), grid.size());  // no collisions on this grid
+}
+
+TEST(ScenarioGrid, BaseSeedShiftsEveryCellSeed) {
+  ScenarioGrid a, b;
+  a.codes({"x"}).base_seed(1);
+  b.codes({"x"}).base_seed(2);
+  EXPECT_NE(a.at(0).seed, b.at(0).seed);
+}
+
+TEST(ScenarioGrid, IteratorEnumeratesAllCellsInOrder) {
+  ScenarioGrid grid;
+  grid.codes({"a", "b"}).ber_targets({1e-6, 1e-9});
+  std::size_t expected = 0;
+  for (const Scenario& s : grid) {
+    EXPECT_EQ(s.index, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, grid.size());
+}
+
+}  // namespace
+}  // namespace photecc::explore

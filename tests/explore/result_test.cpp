@@ -1,0 +1,179 @@
+#include "photecc/explore/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "photecc/core/tradeoff.hpp"
+
+namespace photecc::explore {
+namespace {
+
+const std::vector<Objective> kMinBoth{{"x", true}, {"y", true}};
+
+CellResult cell(std::size_t index, bool feasible, double x, double y) {
+  CellResult c;
+  c.index = index;
+  c.feasible = feasible;
+  c.set_metric("x", x);
+  c.set_metric("y", y);
+  return c;
+}
+
+TEST(CellResult, SetMetricOverwritesInPlace) {
+  CellResult c;
+  c.set_metric("a", 1.0);
+  c.set_metric("b", 2.0);
+  c.set_metric("a", 3.0);
+  ASSERT_EQ(c.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(*c.metric("a"), 3.0);
+  EXPECT_FALSE(c.metric("missing").has_value());
+}
+
+TEST(GenericPareto, MatchesTheTwoObjectiveCoreSemantics) {
+  const auto a = cell(0, true, 1.0, 10.0);
+  const auto b = cell(1, true, 1.0, 8.0);
+  EXPECT_TRUE(is_dominated(a, b, kMinBoth));   // b no worse, strictly better y
+  EXPECT_FALSE(is_dominated(b, a, kMinBoth));
+  const auto c = cell(2, true, 1.5, 8.0);
+  EXPECT_FALSE(is_dominated(a, c, kMinBoth));  // trade-off: neither wins
+  EXPECT_FALSE(is_dominated(c, a, kMinBoth));
+}
+
+TEST(GenericPareto, EmptyCellSetGivesEmptyFront) {
+  EXPECT_TRUE(pareto_front_indices({}, kMinBoth).empty());
+}
+
+TEST(GenericPareto, AllInfeasibleGivesEmptyFront) {
+  const std::vector<CellResult> cells{cell(0, false, 1.0, 1.0),
+                                      cell(1, false, 2.0, 2.0)};
+  EXPECT_TRUE(pareto_front_indices(cells, kMinBoth).empty());
+}
+
+TEST(GenericPareto, DuplicatePointsAllStayOnTheFront) {
+  const std::vector<CellResult> cells{cell(0, true, 1.0, 1.0),
+                                      cell(1, true, 1.0, 1.0)};
+  EXPECT_EQ(pareto_front_indices(cells, kMinBoth).size(), 2u);
+}
+
+TEST(GenericPareto, SingleFeasiblePointIsTheFront) {
+  const std::vector<CellResult> cells{cell(0, false, 0.0, 0.0),
+                                      cell(1, true, 5.0, 5.0)};
+  const auto front = pareto_front_indices(cells, kMinBoth);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 1u);
+}
+
+TEST(GenericPareto, MissingObjectiveMetricCountsAsInfeasible) {
+  CellResult incomplete;
+  incomplete.index = 0;
+  incomplete.feasible = true;
+  incomplete.set_metric("x", 1.0);  // no "y"
+  const std::vector<CellResult> cells{incomplete, cell(1, true, 9.0, 9.0)};
+  const auto front = pareto_front_indices(cells, kMinBoth);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 1u);
+}
+
+TEST(GenericPareto, MaximizeObjectiveFlipsTheComparison) {
+  // Higher y is better: (1, 10) now dominates (1, 8).
+  const std::vector<Objective> min_x_max_y{{"x", true}, {"y", false}};
+  const auto low = cell(0, true, 1.0, 8.0);
+  const auto high = cell(1, true, 1.0, 10.0);
+  EXPECT_TRUE(is_dominated(low, high, min_x_max_y));
+  EXPECT_FALSE(is_dominated(high, low, min_x_max_y));
+}
+
+TEST(GenericPareto, ThreeObjectivesKeepIncomparableTradeoffs) {
+  const std::vector<Objective> objectives{
+      {"x", true}, {"y", true}, {"z", true}};
+  auto with_z = [](CellResult c, double z) {
+    c.set_metric("z", z);
+    return c;
+  };
+  // Each point is best in one dimension: all three on the front.
+  const std::vector<CellResult> cells{
+      with_z(cell(0, true, 1.0, 5.0), 5.0),
+      with_z(cell(1, true, 5.0, 1.0), 5.0),
+      with_z(cell(2, true, 5.0, 5.0), 1.0)};
+  EXPECT_EQ(pareto_front_indices(cells, objectives).size(), 3u);
+}
+
+TEST(GenericPareto, FrontIsSortedByTheFirstObjective) {
+  const std::vector<CellResult> cells{cell(0, true, 3.0, 1.0),
+                                      cell(1, true, 1.0, 3.0),
+                                      cell(2, true, 2.0, 2.0)};
+  const auto front = pareto_front_indices(cells, kMinBoth);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 1u);
+  EXPECT_EQ(front[1], 2u);
+  EXPECT_EQ(front[2], 0u);
+}
+
+TEST(Export, CsvQuotesLabelsWithCommas) {
+  ExperimentResult result;
+  CellResult c = cell(0, true, 1.5, 2.5);
+  c.labels.emplace_back("code", "BCH(15,7,2)");
+  result.cells.push_back(c);
+  const std::string csv = result.csv();
+  EXPECT_NE(csv.find("\"BCH(15,7,2)\""), std::string::npos);
+  EXPECT_NE(csv.find("index,code,feasible,x,y"), std::string::npos);
+  EXPECT_NE(csv.find("0,\"BCH(15,7,2)\",1,1.5,2.5"), std::string::npos);
+}
+
+TEST(Export, JsonSerialisesLabelsAndMetrics) {
+  ExperimentResult result;
+  CellResult c = cell(7, true, 1.5, 2.5);
+  c.labels.emplace_back("policy", "min-energy");
+  result.cells.push_back(c);
+  const std::string json = result.json();
+  EXPECT_NE(json.find("\"index\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"min-energy\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"feasible\":true"), std::string::npos);
+}
+
+TEST(Export, NonFiniteMetricsBecomeJsonNull) {
+  ExperimentResult result;
+  CellResult c;
+  c.feasible = false;
+  c.set_metric("x", std::numeric_limits<double>::infinity());
+  result.cells.push_back(c);
+  EXPECT_NE(result.json().find("\"x\":null"), std::string::npos);
+}
+
+TEST(Export, MissingMetricIsAnEmptyCsvField) {
+  ExperimentResult result;
+  CellResult a = cell(0, true, 1.0, 2.0);
+  CellResult b;
+  b.index = 1;
+  b.feasible = true;
+  b.set_metric("x", 3.0);  // no "y"
+  result.cells = {a, b};
+  EXPECT_NE(result.csv().find("1,1,3,\n"), std::string::npos);
+}
+
+TEST(Bridge, ToTradeoffSweepKeepsSchemeMetricsOrder) {
+  ExperimentResult result;
+  for (int i = 0; i < 3; ++i) {
+    CellResult c;
+    c.index = static_cast<std::size_t>(i);
+    core::SchemeMetrics m;
+    // append() avoids GCC 12's -Wrestrict false positive (PR105651).
+    m.scheme = std::string("s").append(std::to_string(i));
+    m.feasible = true;
+    m.ct = 1.0 + i;
+    m.p_channel_w = 3.0 - i;
+    c.scheme = m;
+    result.cells.push_back(c);
+  }
+  const auto sweep = result.to_tradeoff_sweep();
+  ASSERT_EQ(sweep.points.size(), 3u);
+  EXPECT_EQ(sweep.points[0].scheme, "s0");
+  EXPECT_EQ(sweep.points[2].scheme, "s2");
+  // And the 2-objective front agrees with the generic extraction.
+  EXPECT_EQ(sweep.pareto_front().size(), 3u);
+}
+
+}  // namespace
+}  // namespace photecc::explore

@@ -1,0 +1,69 @@
+#include "photecc/math/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace photecc::math {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_for(kN, threads, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, SlotWritesAreIndependentOfThreadCount) {
+  constexpr std::size_t kN = 257;
+  const auto run = [](std::size_t threads) {
+    std::vector<double> out(kN);
+    parallel_for(kN, threads, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return out;
+  };
+  const auto sequential = run(1);
+  EXPECT_EQ(sequential, run(3));
+  EXPECT_EQ(sequential, run(8));
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::vector<int> out(3, 0);
+  parallel_for(3, 16, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 3);
+}
+
+TEST(ParallelFor, ZeroThreadsMeansHardwareDefault) {
+  std::vector<int> out(10, 0);
+  parallel_for(10, 0, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallel_for(100, threads,
+                     [](std::size_t i) {
+                       if (i == 42) throw std::runtime_error("cell 42");
+                     }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace photecc::math
