@@ -9,7 +9,10 @@
 //   explore_cli --bench            sequential-vs-parallel wall time on a
 //                                  600-cell grid, JSON to stdout
 //
-// Common flags: --threads N (0 = hardware), --csv FILE, --json FILE.
+// Common flags: --threads N (0 = hardware), --csv FILE, --json FILE,
+// --modulation LIST (comma-separated signaling formats, e.g.
+// "ook,pam4"; adds a modulation axis to the --fig6b/--noc/--bench
+// grids).
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
 #include "photecc/explore/runner.hpp"
+#include "photecc/math/modulation.hpp"
 #include "photecc/math/parallel.hpp"
 #include "photecc/math/table.hpp"
 #include "photecc/math/units.hpp"
@@ -35,12 +39,40 @@ struct Options {
   std::size_t threads = 0;
   std::string csv_path;
   std::string json_path;
+  /// Modulation axis values; empty = no axis (OOK-only, the pre-PAM
+  /// grids, byte-identical to historical outputs).
+  std::vector<math::Modulation> modulations;
 };
 
 int usage(std::ostream& os, int code) {
   os << "usage: explore_cli --fig6b | --noc | --smoke | --bench\n"
-        "                   [--threads N] [--csv FILE] [--json FILE]\n";
+        "                   [--threads N] [--csv FILE] [--json FILE]\n"
+        "                   [--modulation ook,pam4,pam8]\n";
   return code;
+}
+
+/// Comma-separated modulation list, e.g. "ook,pam4".
+bool parse_modulations(const std::string& raw,
+                       std::vector<math::Modulation>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= raw.size()) {
+    const std::size_t comma = raw.find(',', start);
+    const std::size_t end = comma == std::string::npos ? raw.size() : comma;
+    const auto parsed =
+        math::modulation_from_string(raw.substr(start, end - start));
+    if (!parsed) return false;
+    out.push_back(*parsed);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+/// Applies the --modulation axis to a grid when the flag was given.
+void apply_modulation_axis(explore::ScenarioGrid& grid,
+                           const Options& options) {
+  if (!options.modulations.empty()) grid.modulations(options.modulations);
 }
 
 /// Non-negative integer parse that reports bad input as a usage error
@@ -78,6 +110,7 @@ int run_fig6b(const Options& options) {
   const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
   explore::ScenarioGrid grid;
   grid.codes(explore::paper_scheme_names()).ber_targets(bers);
+  apply_modulation_axis(grid, options);
   const explore::SweepRunner runner{{options.threads}};
   const auto result = runner.run(grid);
 
@@ -99,7 +132,9 @@ int run_fig6b(const Options& options) {
     std::cout << "  BER " << math::format_sci(ber, 0) << ": ";
     for (std::size_t i = 0; i < front.size(); ++i) {
       if (i) std::cout << " -> ";
-      std::cout << slice[front[i]].scheme->scheme;
+      // Tags non-OOK formats ("H(7,4) @pam4") so mixed-modulation
+      // fronts stay unambiguous; plain scheme names for OOK.
+      std::cout << core::scheme_display_name(*slice[front[i]].scheme);
     }
     std::cout << "\n";
   }
@@ -118,6 +153,7 @@ int run_noc(const Options& options) {
       .policies({core::Policy::kMinEnergy, core::Policy::kMinTime})
       .oni_counts({8, 12})
       .noc_horizon(1e-6);
+  apply_modulation_axis(grid, options);
   const explore::SweepRunner runner{{options.threads}};
   const auto result = runner.run(grid);
 
@@ -125,23 +161,35 @@ int run_noc(const Options& options) {
             << " cells, " << result.threads_used << " threads, "
             << math::format_fixed(result.wall_time_s * 1e3, 1)
             << " ms) ===\n\n";
-  math::TextTable table({"oni", "traffic", "gating", "policy", "delivered",
-                         "mean lat [ns]", "E/bit [pJ]", "idle laser [nJ]"});
+  // The modulation column appears only when --modulation declared the
+  // axis; without it the historical column set (and output) stays
+  // unchanged.
+  const bool with_modulation = !options.modulations.empty();
+  std::vector<std::string> headers{"oni", "traffic", "gating", "policy"};
+  if (with_modulation) headers.push_back("modulation");
+  for (const char* metric_header :
+       {"delivered", "mean lat [ns]", "E/bit [pJ]", "idle laser [nJ]"})
+    headers.push_back(metric_header);
+  math::TextTable table(headers);
   for (const auto& cell : result.cells) {
     const auto label = [&](const std::string& axis) {
       return cell.label(axis).value_or("-");
     };
-    table.add_row({
+    std::vector<std::string> row{
         label("oni_count"),
         label("traffic"),
         label("laser_gating"),
         label("policy"),
-        math::format_fixed(*cell.metric("delivered"), 0),
-        math::format_fixed(*cell.metric("mean_latency_s") * 1e9, 1),
-        math::format_fixed(math::as_pico(*cell.metric("energy_per_bit_j")),
-                           2),
-        math::format_fixed(*cell.metric("idle_laser_energy_j") * 1e9, 2),
-    });
+    };
+    if (with_modulation) row.push_back(label("modulation"));
+    row.push_back(math::format_fixed(*cell.metric("delivered"), 0));
+    row.push_back(
+        math::format_fixed(*cell.metric("mean_latency_s") * 1e9, 1));
+    row.push_back(math::format_fixed(
+        math::as_pico(*cell.metric("energy_per_bit_j")), 2));
+    row.push_back(
+        math::format_fixed(*cell.metric("idle_laser_energy_j") * 1e9, 2));
+    table.add_row(row);
   }
   table.render(std::cout);
 
@@ -166,12 +214,17 @@ int run_smoke(const Options& options) {
   noc_grid.traffic_patterns({explore::uniform_traffic(2e8)})
       .laser_gating({true, false})
       .noc_horizon(5e-7);
+  // Modulation grid: the OOK-vs-PAM4 sweep of the multilevel layer.
+  explore::ScenarioGrid modulation_grid;
+  modulation_grid.codes(explore::paper_scheme_names())
+      .ber_targets({1e-8, 1e-10})
+      .modulations({math::Modulation::kOok, math::Modulation::kPam4});
 
   const std::size_t parallel_threads = options.threads ? options.threads : 4;
   const explore::SweepRunner sequential{{1}};
   const explore::SweepRunner parallel{{parallel_threads}};
   explore::ExperimentResult link_result;
-  for (const auto* grid : {&link_grid, &noc_grid}) {
+  for (const auto* grid : {&link_grid, &noc_grid, &modulation_grid}) {
     auto a = sequential.run(*grid);
     const auto b = parallel.run(*grid);
     if (a.csv() != b.csv() || a.json() != b.json()) {
@@ -185,8 +238,10 @@ int run_smoke(const Options& options) {
     std::cerr << "smoke FAILED: empty Fig. 6b Pareto front\n";
     return 1;
   }
-  std::cout << "smoke OK: " << link_grid.size() << "-cell link grid and "
-            << noc_grid.size() << "-cell NoC grid byte-identical at 1 vs "
+  std::cout << "smoke OK: " << link_grid.size() << "-cell link grid, "
+            << noc_grid.size() << "-cell NoC grid and "
+            << modulation_grid.size()
+            << "-cell modulation grid byte-identical at 1 vs "
             << parallel_threads << " threads; front size " << front.size()
             << "\n";
   export_result(link_result, options);
@@ -210,6 +265,7 @@ int run_bench(const Options& options) {
   grid.codes(code_names)
       .ber_targets({1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11})
       .link_variants(lengths);
+  apply_modulation_axis(grid, options);
 
   const std::size_t threads =
       options.threads ? options.threads : math::default_thread_count();
@@ -254,6 +310,11 @@ int main(int argc, char** argv) {
       options.csv_path = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       options.json_path = argv[++i];
+    } else if (arg == "--modulation" && i + 1 < argc) {
+      if (!parse_modulations(argv[++i], options.modulations)) {
+        std::cerr << "bad --modulation value: " << argv[i] << "\n";
+        return usage(std::cerr, 2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage(std::cout, 0);
     } else {

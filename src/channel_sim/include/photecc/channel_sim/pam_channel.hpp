@@ -1,0 +1,86 @@
+// Gray-coded M-ary PAM channel with additive white Gaussian noise,
+// calibrated to the same convention as OokChannel: a channel built with
+// full-eye linear SNR `snr` places its M levels at k/(M-1) for
+// k = 0..M-1 with noise deviation sigma = 1/(2 sqrt(2 snr)), so each
+// sub-eye boundary errs with probability exactly
+// 1/2 erfc(sqrt(snr)/(M-1)).
+//
+// Bits map to levels through a Gray code (adjacent levels differ in one
+// bit), so a one-level slip corrupts exactly one of the log2(M) bits of
+// the symbol and the bit error rate matches
+// math::pam_ber_from_snr(snr, M) up to the (exponentially rarer)
+// multi-level slips, which flip up to 2 Gray bits at once.  M = 2 is
+// statistically identical to OokChannel.
+#ifndef PHOTECC_CHANNEL_SIM_PAM_CHANNEL_HPP
+#define PHOTECC_CHANNEL_SIM_PAM_CHANNEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "photecc/ecc/bitvec.hpp"
+#include "photecc/math/modulation.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::channel_sim {
+
+/// AWGN M-PAM channel with Gray-coded level mapping.
+class PamChannel {
+ public:
+  /// `snr` must be positive; `modulation` selects M.
+  PamChannel(double snr, math::Modulation modulation, std::uint64_t seed);
+
+  [[nodiscard]] double snr() const noexcept { return snr_; }
+  [[nodiscard]] double noise_sigma() const noexcept { return sigma_; }
+  [[nodiscard]] math::Modulation modulation() const noexcept {
+    return modulation_;
+  }
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_; }
+  [[nodiscard]] std::size_t bits_per_symbol() const noexcept {
+    return bits_per_symbol_;
+  }
+
+  /// Analytic bit error rate of this channel
+  /// (math::pam_ber_from_snr; adjacent-slip Gray approximation).
+  [[nodiscard]] double analytic_ber() const noexcept;
+
+  /// Transmits one symbol (level index in [0, M)); returns the detected
+  /// level index.
+  [[nodiscard]] std::size_t transmit_symbol(std::size_t level) noexcept;
+
+  /// Analog sample for one symbol before slicing (for eye diagrams).
+  [[nodiscard]] double transmit_analog(std::size_t level) noexcept;
+
+  /// Transmits a whole word, bits_per_symbol() bits per symbol in wire
+  /// order (bit i*b+j is bit j of symbol i, LSB first).  A trailing
+  /// partial symbol is padded with zero bits on the wire; the pad is
+  /// stripped from the returned word, which has word.size() bits.
+  [[nodiscard]] ecc::BitVec transmit(const ecc::BitVec& word) noexcept;
+
+  /// Transmits a wire sequence (serializer output), same grouping and
+  /// tail-padding rules as the BitVec overload.
+  [[nodiscard]] std::vector<bool> transmit(
+      const std::vector<bool>& wire) noexcept;
+
+ private:
+  double snr_;
+  double sigma_;
+  math::Modulation modulation_;
+  std::size_t levels_;
+  std::size_t bits_per_symbol_;
+  /// Shared symbol-grouping loop of the two transmit overloads:
+  /// packs bits [base, base+b) with `get`, runs the symbol through the
+  /// channel, unpacks with `set`; tail bits are zero-padded on the
+  /// wire and the pad stripped on return.
+  template <typename Get, typename Set>
+  void transmit_bits(std::size_t size, Get get, Set set) noexcept;
+
+  /// level_of_code_[c] = Gray rank of bit pattern c; code_of_level_ is
+  /// its inverse (the pattern transmitted at a given amplitude level).
+  std::vector<std::size_t> level_of_code_;
+  std::vector<std::size_t> code_of_level_;
+  math::Xoshiro256 rng_;
+};
+
+}  // namespace photecc::channel_sim
+
+#endif  // PHOTECC_CHANNEL_SIM_PAM_CHANNEL_HPP

@@ -1,0 +1,82 @@
+#include "photecc/channel_sim/pam_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::channel_sim {
+
+PamChannel::PamChannel(double snr, math::Modulation modulation,
+                       std::uint64_t seed)
+    : snr_(snr),
+      modulation_(modulation),
+      levels_(math::levels(modulation)),
+      bits_per_symbol_(math::bits_per_symbol(modulation)),
+      rng_(seed) {
+  if (snr <= 0.0)
+    throw std::invalid_argument("PamChannel: SNR must be positive");
+  sigma_ = 1.0 / (2.0 * std::sqrt(2.0 * snr));
+  code_of_level_.resize(levels_);
+  level_of_code_.resize(levels_);
+  for (std::size_t k = 0; k < levels_; ++k) {
+    const std::size_t gray = k ^ (k >> 1);
+    code_of_level_[k] = gray;
+    level_of_code_[gray] = k;
+  }
+}
+
+double PamChannel::analytic_ber() const noexcept {
+  return math::pam_ber_from_snr(snr_, levels_);
+}
+
+double PamChannel::transmit_analog(std::size_t level) noexcept {
+  const double amplitude =
+      static_cast<double>(level) / static_cast<double>(levels_ - 1);
+  return amplitude + sigma_ * rng_.normal();
+}
+
+std::size_t PamChannel::transmit_symbol(std::size_t level) noexcept {
+  const double sample = transmit_analog(level);
+  const double scaled =
+      sample * static_cast<double>(levels_ - 1);
+  const double nearest = std::round(scaled);
+  if (nearest <= 0.0) return 0;
+  if (nearest >= static_cast<double>(levels_ - 1)) return levels_ - 1;
+  return static_cast<std::size_t>(nearest);
+}
+
+template <typename Get, typename Set>
+void PamChannel::transmit_bits(std::size_t size, Get get,
+                               Set set) noexcept {
+  for (std::size_t base = 0; base < size; base += bits_per_symbol_) {
+    std::size_t code = 0;
+    for (std::size_t j = 0; j < bits_per_symbol_; ++j) {
+      const std::size_t i = base + j;
+      if (i < size && get(i)) code |= std::size_t{1} << j;
+    }
+    const std::size_t detected =
+        code_of_level_[transmit_symbol(level_of_code_[code])];
+    for (std::size_t j = 0; j < bits_per_symbol_; ++j) {
+      const std::size_t i = base + j;
+      if (i < size) set(i, ((detected >> j) & 1u) != 0);
+    }
+  }
+}
+
+ecc::BitVec PamChannel::transmit(const ecc::BitVec& word) noexcept {
+  ecc::BitVec out(word.size());
+  transmit_bits(
+      word.size(), [&](std::size_t i) { return word.get(i); },
+      [&](std::size_t i, bool bit) { out.set(i, bit); });
+  return out;
+}
+
+std::vector<bool> PamChannel::transmit(
+    const std::vector<bool>& wire) noexcept {
+  std::vector<bool> out(wire.size());
+  transmit_bits(
+      wire.size(), [&](std::size_t i) { return wire[i]; },
+      [&](std::size_t i, bool bit) { out[i] = bit; });
+  return out;
+}
+
+}  // namespace photecc::channel_sim

@@ -4,8 +4,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "photecc/math/modulation.hpp"
 #include "photecc/math/roots.hpp"
 #include "photecc/math/special.hpp"
+
+#include "photecc/photonics/microring.hpp"
 
 namespace photecc::core {
 
@@ -30,8 +33,10 @@ std::size_t ArqScheme::frame_bits() const noexcept {
 double ArqScheme::frame_error_rate(double raw_p) const {
   if (raw_p < 0.0 || raw_p > 1.0)
     throw std::domain_error("frame_error_rate: p outside [0, 1]");
-  return 1.0 - std::pow(1.0 - raw_p,
-                        static_cast<double>(frame_bits()));
+  // 1 - (1-p)^bits via expm1/log1p so tiny p does not cancel against
+  // the 1.0 (1 - pow(...) loses the FER entirely for p < ~1e-17).
+  return -std::expm1(static_cast<double>(frame_bits()) *
+                     std::log1p(-raw_p));
 }
 
 double ArqScheme::residual_ber(double raw_p) const {
@@ -58,14 +63,18 @@ std::optional<double> ArqScheme::required_raw_ber(double target_ber) const {
       1.0 - std::pow(1.0 - params_.max_frame_error_rate,
                      1.0 / static_cast<double>(frame_bits()));
   if (residual_ber(p_cap_fer) <= target_ber) return p_cap_fer;
-  // Aliasing floor check: even p -> 0 keeps residual/raw finite, so a
-  // solution exists iff residual(p) can get under target for p > 0 —
-  // it always can (residual -> 0 with p) — solve by bisection.
+  // Explicit saturation at the shared bracket floor (matching
+  // ecc::BlockCode::required_raw_ber_checked).
+  if (residual_ber(ecc::kMinSearchRawBer) >= target_ber)
+    return ecc::kMinSearchRawBer;
+  // residual -> 0 with p, so inside the bracket a solution exists;
+  // solve by bisection.
   const auto f = [&](double log10_p) {
     return std::log10(residual_ber(std::pow(10.0, log10_p))) -
            std::log10(target_ber);
   };
-  const auto result = math::bisect(f, -18.0, std::log10(p_cap_fer));
+  const auto result = math::bisect(f, ecc::kMinSearchLog10RawBer,
+                                   std::log10(p_cap_fer));
   if (!result || !result->converged) return std::nullopt;
   return std::pow(10.0, result->root);
 }
@@ -77,7 +86,8 @@ ArqOperatingPoint ArqScheme::solve(const link::MwsrChannel& channel,
   const auto p = required_raw_ber(target_ber);
   if (!p) return point;
   point.raw_ber = *p;
-  point.snr = math::snr_from_raw_ber(*p);
+  point.snr =
+      math::snr_from_ber_clamped(channel.params().modulation, *p);
   point.frame_error_rate = frame_error_rate(*p);
   point.expected_transmissions = 1.0 / (1.0 - point.frame_error_rate);
   point.effective_ct = effective_ct(*p);
@@ -104,10 +114,13 @@ SchemeMetrics ArqScheme::evaluate(const link::MwsrChannel& channel,
   const ArqOperatingPoint arq = solve(channel, target_ber);
   SchemeMetrics m;
   m.scheme = name();
+  m.modulation = channel.params().modulation;
+  const double bits_per_symbol =
+      static_cast<double>(math::bits_per_symbol(m.modulation));
   m.target_ber = target_ber;
   m.code_rate = static_cast<double>(params_.frame_payload_bits) /
                 static_cast<double>(frame_bits());
-  m.ct = arq.effective_ct;
+  m.ct = arq.effective_ct / bits_per_symbol;
   m.feasible = arq.feasible;
   m.operating_point.target_ber = target_ber;
   m.operating_point.raw_ber = arq.raw_ber;
@@ -115,7 +128,9 @@ SchemeMetrics ArqScheme::evaluate(const link::MwsrChannel& channel,
   m.operating_point.op_laser_w = arq.op_laser_w;
   m.operating_point.p_laser_w = arq.p_laser_w;
   m.operating_point.feasible = arq.feasible;
-  m.p_mr_w = channel.params().ring.modulation_power_w;
+  m.p_mr_w = photonics::multilevel_modulation_power_w(
+      channel.params().ring.modulation_power_w,
+      math::levels(m.modulation));
   // CRC hardware is far simpler than a Hamming codec; charge the
   // uncoded interface figures (SER/DES + mux dominate either way).
   m.p_enc_dec_w = config.interface_pair.enc_dec_power_per_wavelength_w(

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "photecc/photonics/microring.hpp"
+
 namespace photecc::core {
 
 double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
@@ -32,6 +34,11 @@ double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
   return (tx_uw + rx_uw) * 1e-6 / static_cast<double>(config.wavelengths);
 }
 
+std::string scheme_display_name(const SchemeMetrics& metrics) {
+  if (metrics.modulation == math::Modulation::kOok) return metrics.scheme;
+  return metrics.scheme + " @" + math::to_string(metrics.modulation);
+}
+
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const ecc::BlockCode& code, double target_ber,
                               const SystemConfig& config) {
@@ -39,20 +46,29 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
     throw std::invalid_argument("evaluate_scheme: bad SystemConfig");
   SchemeMetrics m;
   m.scheme = code.name();
+  m.modulation = channel.params().modulation;
+  const double bits_per_symbol =
+      static_cast<double>(math::bits_per_symbol(m.modulation));
   m.target_ber = target_ber;
   m.code_rate = code.code_rate();
-  m.ct = code.communication_time();
+  // Multilevel symbols carry bits_per_symbol payload bits per Fmod
+  // cycle, dividing the serial transfer time of the same frame.
+  m.ct = code.communication_time() / bits_per_symbol;
   m.operating_point = link::solve_operating_point(channel, code, target_ber);
   m.feasible = m.operating_point.feasible;
 
-  m.p_mr_w = channel.params().ring.modulation_power_w;
+  m.p_mr_w = photonics::multilevel_modulation_power_w(
+      channel.params().ring.modulation_power_w,
+      math::levels(m.modulation));
   m.p_enc_dec_w = enc_dec_power_per_wavelength_w(code, config);
   if (m.feasible) {
     m.p_laser_w = m.operating_point.p_laser_w;
     m.p_channel_w = m.p_laser_w + m.p_mr_w + m.p_enc_dec_w;
     // Energy per payload bit: the channel burns Pchannel while moving
-    // payload at Fmod * Rc useful bits per second per wavelength.
-    m.energy_per_bit_j = m.p_channel_w / (config.f_mod_hz * m.code_rate);
+    // payload at Fmod * bits_per_symbol * Rc useful bits per second
+    // per wavelength.
+    m.energy_per_bit_j =
+        m.p_channel_w / (config.f_mod_hz * bits_per_symbol * m.code_rate);
     m.p_waveguide_w =
         m.p_channel_w * static_cast<double>(config.wavelengths);
     m.p_interconnect_w =

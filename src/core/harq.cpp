@@ -4,8 +4,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "photecc/math/modulation.hpp"
 #include "photecc/math/roots.hpp"
 #include "photecc/math/special.hpp"
+
+#include "photecc/photonics/microring.hpp"
 
 namespace photecc::core {
 
@@ -33,12 +36,30 @@ double HarqScheme::residual_ber(double raw_p) const {
   // so the small difference is not lost to 1.0-scale rounding;
   // ~4 wrong bits out of n after the bogus "correction".
   const double n = static_cast<double>(n_);
+  if (raw_p > 0.5) {
+    // Degenerate channel: the expm1/log1p forms below need 1-2p > 0.
+    // Direct evaluation is exact here (no cancellation at this scale;
+    // n is an even integer so the negative base is fine for pow).
+    const double odd_total =
+        0.5 * (1.0 - std::pow(1.0 - 2.0 * raw_p, n));
+    const double weight1 = n * raw_p * std::pow(1.0 - raw_p, n - 1.0);
+    return std::max(0.0, odd_total - weight1) * 4.0 / n;
+  }
   // odd_total = (1 - (1-2p)^n) / 2, accurate for tiny p.
   const double odd_total =
       -0.5 * std::expm1(n * std::log1p(-2.0 * raw_p));
   const double weight1 =
       n * raw_p * std::exp((n - 1.0) * std::log1p(-raw_p));
-  const double odd_ge3 = std::max(0.0, odd_total - weight1);
+  double odd_ge3 = odd_total - weight1;
+  if (odd_ge3 <= odd_total * 1e-8) {
+    // The two terms agree to ~8 digits: the subtraction has lost the
+    // weight >= 3 tail to cancellation (for n p << 1 both are ~ n p
+    // while the tail is ~ (n p)^3 / 6).  Use the leading weight-3 term
+    // C(n,3) p^3 (1-p)^(n-3) directly; in this regime the weight-5
+    // correction is below the switchover's own truncation error.
+    odd_ge3 = n * (n - 1.0) * (n - 2.0) / 6.0 * raw_p * raw_p * raw_p *
+              std::exp((n - 3.0) * std::log1p(-raw_p));
+  }
   return odd_ge3 * 4.0 / n;
 }
 
@@ -51,6 +72,15 @@ double HarqScheme::retransmission_rate(double raw_p) const {
   // (1 + (1-2p)^n)/2 - q^n, rearranged to (1 - q^n) - (1 - (1-2p)^n)/2
   // and computed via expm1/log1p to preserve the tiny difference.
   const double n = static_cast<double>(n_);
+  if (raw_p > 0.5) {
+    // The expm1/log1p forms need 1-2p > 0; evaluate directly on the
+    // degenerate half of the domain (no cancellation at this scale,
+    // and n is an even integer so the negative pow base is fine).
+    const double one_minus_qn = 1.0 - std::pow(1.0 - raw_p, n);
+    const double odd_total =
+        0.5 * (1.0 - std::pow(1.0 - 2.0 * raw_p, n));
+    return std::max(0.0, one_minus_qn - odd_total);
+  }
   const double one_minus_qn = -std::expm1(n * std::log1p(-raw_p));
   const double odd_total =
       -0.5 * std::expm1(n * std::log1p(-2.0 * raw_p));
@@ -76,17 +106,25 @@ std::optional<double> HarqScheme::required_raw_ber(
   };
   double log10_p_cap = std::log10(0.4);
   if (rtx_cap(log10_p_cap) > 0.0) {
-    const auto cap = math::bisect(rtx_cap, -18.0, log10_p_cap);
+    const auto cap =
+        math::bisect(rtx_cap, ecc::kMinSearchLog10RawBer, log10_p_cap);
     if (!cap || !cap->converged) return std::nullopt;
     log10_p_cap = cap->root;
   }
   const double p_cap = std::pow(10.0, log10_p_cap);
   if (residual_ber(p_cap) <= target_ber) return p_cap;
+  // Explicit saturation at the shared bracket floor (matching
+  // ecc::BlockCode::required_raw_ber_checked): targets below what
+  // p = kMinSearchRawBer produces have no representable inverse, so
+  // report the floor instead of bisecting outside the bracket.
+  if (residual_ber(ecc::kMinSearchRawBer) >= target_ber)
+    return ecc::kMinSearchRawBer;
   const auto f = [&](double log10_p) {
     return std::log10(residual_ber(std::pow(10.0, log10_p))) -
            std::log10(target_ber);
   };
-  const auto result = math::bisect(f, -18.0, log10_p_cap);
+  const auto result =
+      math::bisect(f, ecc::kMinSearchLog10RawBer, log10_p_cap);
   if (!result || !result->converged) return std::nullopt;
   return std::pow(10.0, result->root);
 }
@@ -98,7 +136,8 @@ HarqOperatingPoint HarqScheme::solve(const link::MwsrChannel& channel,
   const auto p = required_raw_ber(target_ber);
   if (!p) return point;
   point.raw_ber = *p;
-  point.snr = math::snr_from_raw_ber(*p);
+  point.snr =
+      math::snr_from_ber_clamped(channel.params().modulation, *p);
   point.retransmission_rate = retransmission_rate(*p);
   point.expected_transmissions = 1.0 / (1.0 - point.retransmission_rate);
   point.effective_ct = effective_ct(*p);
@@ -125,9 +164,12 @@ SchemeMetrics HarqScheme::evaluate(const link::MwsrChannel& channel,
   const HarqOperatingPoint harq = solve(channel, target_ber);
   SchemeMetrics m;
   m.scheme = name();
+  m.modulation = channel.params().modulation;
+  const double bits_per_symbol =
+      static_cast<double>(math::bits_per_symbol(m.modulation));
   m.target_ber = target_ber;
   m.code_rate = static_cast<double>(k_) / static_cast<double>(n_);
-  m.ct = harq.effective_ct;
+  m.ct = harq.effective_ct / bits_per_symbol;
   m.feasible = harq.feasible;
   m.operating_point.target_ber = target_ber;
   m.operating_point.raw_ber = harq.raw_ber;
@@ -135,7 +177,9 @@ SchemeMetrics HarqScheme::evaluate(const link::MwsrChannel& channel,
   m.operating_point.op_laser_w = harq.op_laser_w;
   m.operating_point.p_laser_w = harq.p_laser_w;
   m.operating_point.feasible = harq.feasible;
-  m.p_mr_w = channel.params().ring.modulation_power_w;
+  m.p_mr_w = photonics::multilevel_modulation_power_w(
+      channel.params().ring.modulation_power_w,
+      math::levels(m.modulation));
   // A SECDED codec costs about what the paper's Hamming codecs cost;
   // charge the H(71,64) interface figures (closest block structure).
   m.p_enc_dec_w = config.interface_pair.enc_dec_power_per_wavelength_w(

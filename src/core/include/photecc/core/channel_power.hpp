@@ -15,6 +15,7 @@
 #include "photecc/ecc/block_code.hpp"
 #include "photecc/interface/synthesis_model.hpp"
 #include "photecc/link/snr_solver.hpp"
+#include "photecc/math/modulation.hpp"
 
 namespace photecc::core {
 
@@ -31,9 +32,13 @@ struct SystemConfig {
 /// All figures the paper reports for one (code, target BER) pair.
 struct SchemeMetrics {
   std::string scheme;          ///< code name
+  /// Signaling format the scheme was evaluated at (from the channel).
+  math::Modulation modulation = math::Modulation::kOok;
   double target_ber = 0.0;
   double code_rate = 1.0;      ///< Rc = k/n
-  double ct = 1.0;             ///< communication time, normalised
+  /// Communication time normalised to an uncoded OOK transmission of
+  /// the same payload: (n/k) / bits_per_symbol(modulation).
+  double ct = 1.0;
   link::LinkOperatingPoint operating_point{};
   bool feasible = false;
 
@@ -53,6 +58,10 @@ struct SchemeMetrics {
 /// codes fall back to the DSENT-style estimator.
 double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
                                       const SystemConfig& config);
+
+/// Display name of one (scheme, modulation) pair: the scheme name for
+/// OOK (the paper's tables), "<scheme> @<format>" otherwise.
+std::string scheme_display_name(const SchemeMetrics& metrics);
 
 /// Full evaluation of one scheme at one target BER on one channel.
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,

@@ -12,7 +12,7 @@ math::TextTable metrics_table(const std::vector<SchemeMetrics>& metrics) {
                          "E/bit [pJ]", "feasible"});
   for (const auto& m : metrics) {
     table.add_row({
-        m.scheme,
+        scheme_display_name(m),
         math::format_sci(m.target_ber, 0),
         math::format_fixed(m.operating_point.snr, 2),
         m.feasible ? math::format_fixed(
@@ -40,11 +40,12 @@ math::TextTable breakdown_table(const std::vector<SchemeMetrics>& metrics) {
                          "Plaser [mW]", "Pchannel [mW]", "laser share"});
   for (const auto& m : metrics) {
     if (!m.feasible) {
-      table.add_row({m.scheme, "-", "-", "-", "infeasible", "-"});
+      table.add_row({scheme_display_name(m), "-", "-", "-", "infeasible",
+                     "-"});
       continue;
     }
     table.add_row({
-        m.scheme,
+        scheme_display_name(m),
         math::format_fixed(math::as_micro(m.p_enc_dec_w), 2),
         math::format_fixed(math::as_milli(m.p_mr_w), 2),
         math::format_fixed(math::as_milli(m.p_laser_w), 2),
@@ -64,7 +65,7 @@ math::TextTable pareto_table(const TradeoffSweep& sweep) {
     const bool on_front =
         std::find(front.begin(), front.end(), i) != front.end();
     table.add_row({
-        m.scheme,
+        scheme_display_name(m),
         math::format_sci(m.target_ber, 0),
         math::format_fixed(m.ct, 3),
         m.feasible ? math::format_fixed(math::as_milli(m.p_channel_w), 2)

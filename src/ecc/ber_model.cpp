@@ -28,27 +28,48 @@ double coding_gain_db(const BlockCode& code, double target_ber) {
   return math::to_db(uncoded / coded);
 }
 
+double achieved_ber(const BlockCode& code, double snr,
+                    math::Modulation modulation) {
+  return code.decoded_ber(math::ber_from_snr(modulation, snr));
+}
+
+double required_snr(const BlockCode& code, double target_ber,
+                    math::Modulation modulation) {
+  return math::snr_from_ber_clamped(modulation,
+                                    code.required_raw_ber(target_ber));
+}
+
+double coding_gain_db(const BlockCode& code, double target_ber,
+                      math::Modulation modulation) {
+  const double coded = required_snr(code, target_ber, modulation);
+  const double uncoded =
+      math::snr_from_ber(modulation, target_ber);
+  return math::to_db(uncoded / coded);
+}
+
 // Default numeric inversion for every BlockCode: decoded_ber is strictly
 // increasing in p on (0, 0.5] for all codes in this library, so a
 // log-space Brent solve is robust.
-double BlockCode::required_raw_ber(double target_ber) const {
+RawBerRequirement BlockCode::required_raw_ber_checked(
+    double target_ber) const {
   if (target_ber <= 0.0 || target_ber >= 0.5)
     throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
   if (decoded_ber(0.5) < target_ber)
     // The code cannot be this bad below p = 0.5; caller asked for a BER
     // the model cannot represent (never happens for targets < ~0.25).
-    return 0.5;
-  // Solve decoded_ber(10^x) = target_ber for x in [-18, log10(0.5)].
+    return {0.5, false};
+  // Solve decoded_ber(10^x) = target_ber for x in
+  // [kMinSearchLog10RawBer, log10(0.5)].
   const auto f = [&](double x) {
     return std::log10(decoded_ber(std::pow(10.0, x))) -
            std::log10(target_ber);
   };
-  const double lo = -18.0;
+  const double lo = kMinSearchLog10RawBer;
   const double hi = std::log10(0.5);
   if (f(lo) > 0.0) {
-    // Target is below what p = 1e-18 produces — numerically zero
-    // channel errors; report the bracket edge.
-    return std::pow(10.0, lo);
+    // Target is below what p = kMinSearchRawBer produces — numerically
+    // zero channel errors; saturate (explicitly) at the bracket edge.
+    return {kMinSearchRawBer, true};
   }
   math::RootOptions opts;
   opts.x_tolerance = 1e-13;
@@ -56,7 +77,13 @@ double BlockCode::required_raw_ber(double target_ber) const {
   if (!result || !result->converged)
     throw std::runtime_error("required_raw_ber: inversion failed for " +
                              name());
-  return std::pow(10.0, result->root);
+  // Roots below p ~ 1e-15 sit where 1-vs-(1-p)^(n-1) style decoded-BER
+  // models have cancelled to rounding noise (the bracket was "crossed"
+  // by noise, not by the model): the target is below the representable
+  // range, so saturate explicitly instead of returning a noise root.
+  constexpr double kNoiseFloorLog10 = -15.0;
+  if (result->root <= kNoiseFloorLog10) return {kMinSearchRawBer, true};
+  return {std::pow(10.0, result->root), false};
 }
 
 }  // namespace photecc::ecc

@@ -12,6 +12,9 @@ bool is_power_of_two(std::size_t x) noexcept {
 }
 
 // Eq. 2 of the paper.  Guard the domain; p = 0 maps to BER = 0.
+// NOTE: the 1 - (1-p)^(n-1) difference cancels below p ~ 1e-14 and the
+// result degrades to 0; required_raw_ber_checked's saturation guard
+// (ber_model.cpp) keeps the numeric inversion out of that zone.
 double hamming_eq2(double p, std::size_t n) {
   if (p < 0.0 || p > 1.0)
     throw std::domain_error("decoded_ber: raw p outside [0, 1]");

@@ -12,6 +12,7 @@
 #define PHOTECC_ECC_BER_MODEL_HPP
 
 #include "photecc/ecc/block_code.hpp"
+#include "photecc/math/modulation.hpp"
 
 namespace photecc::ecc {
 
@@ -30,6 +31,27 @@ double required_snr_uncoded(double target_ber);
 /// Coding gain of `code` at `target_ber` in dB:
 /// 10 log10(SNR_uncoded / SNR_coded).
 double coding_gain_db(const BlockCode& code, double target_ber);
+
+// --- Modulation-aware composition ------------------------------------
+//
+// The raw channel error probability of a multilevel format at full-eye
+// SNR `snr` is math::ber_from_snr(modulation, snr); the code's Eq. 2
+// model then composes on top exactly as for OOK.  The OOK overloads
+// above are the modulation == kOok special case.
+
+/// Post-decoding BER of `code` over a `modulation` channel at full-eye
+/// linear SNR `snr`.
+double achieved_ber(const BlockCode& code, double snr,
+                    math::Modulation modulation);
+
+/// Full-eye SNR required so that `code` over `modulation` reaches
+/// `target_ber` after decoding.
+double required_snr(const BlockCode& code, double target_ber,
+                    math::Modulation modulation);
+
+/// Coding gain at `target_ber` over `modulation`, in dB.
+double coding_gain_db(const BlockCode& code, double target_ber,
+                      math::Modulation modulation);
 
 }  // namespace photecc::ecc
 

@@ -12,6 +12,26 @@
 
 namespace photecc::ecc {
 
+/// Smallest raw channel error probability the analytic BER inversions
+/// search over (the 10^-18 bracket edge).  Targets whose inversion
+/// falls below it saturate to this value — see
+/// BlockCode::required_raw_ber_checked.
+inline constexpr double kMinSearchRawBer = 1e-18;
+
+/// log10(kMinSearchRawBer); the shared lower bracket of every
+/// log-domain BER solve (BlockCode, core::ArqScheme, core::HarqScheme).
+inline constexpr double kMinSearchLog10RawBer = -18.0;
+
+/// Result of inverting a post-decoding BER model: the required raw
+/// channel error probability, plus an explicit flag when the target was
+/// below the representable range and the result is the saturated
+/// bracket edge kMinSearchRawBer (i.e. "any channel at least this
+/// clean"), not an exact inverse.
+struct RawBerRequirement {
+  double raw_ber = 0.0;
+  bool saturated = false;
+};
+
 /// Outcome of decoding one received block.
 struct DecodeResult {
   BitVec message;                ///< recovered k message bits
@@ -53,11 +73,21 @@ class BlockCode {
   /// BER = p - p (1-p)^(n-1).
   [[nodiscard]] virtual double decoded_ber(double raw_p) const = 0;
 
-  /// Inverse of decoded_ber: the raw channel error probability that
-  /// yields exactly `target_ber` after decoding.  The default
+  /// Inverse of decoded_ber with explicit saturation: the raw channel
+  /// error probability that yields `target_ber` after decoding.  When
+  /// the target is below what p = kMinSearchRawBer produces, the result
+  /// is {kMinSearchRawBer, saturated == true}.  The default
   /// implementation inverts decoded_ber numerically (decoded_ber must be
   /// strictly increasing on (0, 0.5], which holds for every code here).
-  [[nodiscard]] virtual double required_raw_ber(double target_ber) const;
+  [[nodiscard]] virtual RawBerRequirement required_raw_ber_checked(
+      double target_ber) const;
+
+  /// Convenience wrapper discarding the saturation flag.  Callers that
+  /// must distinguish an exact inverse from the clamped bracket edge
+  /// use required_raw_ber_checked.
+  [[nodiscard]] double required_raw_ber(double target_ber) const {
+    return required_raw_ber_checked(target_ber).raw_ber;
+  }
 
   /// Guaranteed number of correctable errors: floor((d_min - 1) / 2).
   [[nodiscard]] std::size_t correctable_errors() const noexcept {

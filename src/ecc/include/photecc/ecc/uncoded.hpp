@@ -26,7 +26,9 @@ class UncodedScheme : public BlockCode {
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
   [[nodiscard]] double decoded_ber(double raw_p) const override;
-  [[nodiscard]] double required_raw_ber(double target_ber) const override;
+  /// Identity inverse: the target itself, never saturated.
+  [[nodiscard]] RawBerRequirement required_raw_ber_checked(
+      double target_ber) const override;
 
  private:
   std::size_t width_;

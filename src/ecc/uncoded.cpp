@@ -29,10 +29,11 @@ double UncodedScheme::decoded_ber(double raw_p) const {
   return raw_p;
 }
 
-double UncodedScheme::required_raw_ber(double target_ber) const {
+RawBerRequirement UncodedScheme::required_raw_ber_checked(
+    double target_ber) const {
   if (target_ber <= 0.0 || target_ber > 0.5)
     throw std::domain_error("required_raw_ber: target outside (0, 0.5]");
-  return target_ber;
+  return {target_ber, false};
 }
 
 }  // namespace photecc::ecc

@@ -66,6 +66,12 @@ ScenarioGrid& ScenarioGrid::policies(std::vector<core::Policy> values) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::modulations(
+    std::vector<math::Modulation> values) {
+  modulations_ = std::move(values);
+  return *this;
+}
+
 ScenarioGrid& ScenarioGrid::base_link(link::MwsrParams params) {
   base_link_ = std::move(params);
   return *this;
@@ -99,7 +105,7 @@ std::size_t ScenarioGrid::size() const {
   return radix(codes_.size()) * radix(bers_.size()) *
          radix(link_variants_.size()) * radix(oni_counts_.size()) *
          radix(traffic_.size()) * radix(gating_.size()) *
-         radix(policies_.size());
+         radix(policies_.size()) * radix(modulations_.size());
 }
 
 bool ScenarioGrid::has_noc_axes() const {
@@ -116,11 +122,10 @@ Scenario ScenarioGrid::at(std::size_t i) const {
   s.system = base_system_;
   s.noc_horizon_s = noc_horizon_s_;
 
-  // Deterministic per-cell seed: a stateless splitmix64 mix of the base
-  // seed and the cell index, so cell seeds do not depend on evaluation
-  // order or thread count.
-  std::uint64_t mix = base_seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-  s.seed = math::splitmix64(mix);
+  // Deterministic per-cell seed: the shared splitmix64 mixer over the
+  // base seed and the cell index, so cell seeds do not depend on
+  // evaluation order or thread count.
+  s.seed = math::derive_seed(base_seed_, i);
 
   // Mixed-radix decode, innermost (fastest-varying) axis first.  The
   // label list is built in the same canonical order.
@@ -161,6 +166,12 @@ Scenario ScenarioGrid::at(std::size_t i) const {
   if (const std::size_t d = digit(policies_.size()); !policies_.empty()) {
     s.policy = policies_[d];
     s.labels.emplace_back("policy", core::to_string(s.policy));
+  }
+  if (const std::size_t d = digit(modulations_.size());
+      !modulations_.empty()) {
+    s.link.modulation = modulations_[d];
+    s.labels.emplace_back("modulation",
+                          math::to_string(s.link.modulation));
   }
   return s;
 }

@@ -1,13 +1,15 @@
 // Declarative design-space grid: compose axes (code, BER target, link
-// variant, ONI count, traffic, laser gating, policy) and get a lazily
-// enumerated cartesian product of Scenario cells.
+// variant, ONI count, traffic, laser gating, policy, modulation) and
+// get a lazily enumerated cartesian product of Scenario cells.
 //
 // Enumeration order is fixed and documented: the code axis varies
-// fastest, then BER, link variant, ONI count, traffic, gating, policy.
-// A grid with only {codes, ber_targets} therefore enumerates in exactly
-// the order of the historical core::sweep_tradeoff loops (BER-major,
-// code-minor), which is what lets the refactored benches reproduce
-// byte-identical tables.
+// fastest, then BER, link variant, ONI count, traffic, gating, policy,
+// modulation.  A grid with only {codes, ber_targets} therefore
+// enumerates in exactly the order of the historical
+// core::sweep_tradeoff loops (BER-major, code-minor), which is what
+// lets the refactored benches reproduce byte-identical tables; the
+// modulation axis is outermost so declaring it appends whole-grid
+// repeats after the OOK cells instead of interleaving them.
 #ifndef PHOTECC_EXPLORE_GRID_HPP
 #define PHOTECC_EXPLORE_GRID_HPP
 
@@ -36,6 +38,7 @@ class ScenarioGrid {
   ScenarioGrid& traffic_patterns(std::vector<TrafficSpec> specs);
   ScenarioGrid& laser_gating(std::vector<bool> values);
   ScenarioGrid& policies(std::vector<core::Policy> values);
+  ScenarioGrid& modulations(std::vector<math::Modulation> values);
 
   // --- Base values applied to every cell before axis overrides. ---
   ScenarioGrid& base_link(link::MwsrParams params);
@@ -99,6 +102,7 @@ class ScenarioGrid {
   std::vector<TrafficSpec> traffic_;
   std::vector<bool> gating_;
   std::vector<core::Policy> policies_;
+  std::vector<math::Modulation> modulations_;
 
   link::MwsrParams base_link_{};
   core::SystemConfig base_system_{};

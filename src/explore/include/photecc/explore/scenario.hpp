@@ -17,6 +17,16 @@
 
 namespace photecc::explore {
 
+/// Lookup in an (axis name, value label) list — the label shape shared
+/// by Scenario and CellResult.
+[[nodiscard]] inline std::optional<std::string> find_label(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::string& axis) {
+  for (const auto& [name, value] : labels)
+    if (name == axis) return value;
+  return std::nullopt;
+}
+
 /// Traffic workload axis value for NoC scenarios.
 struct TrafficSpec {
   enum class Kind { kUniform, kHotspot };
@@ -55,6 +65,13 @@ struct Scenario {
   /// (axis name, value label) for every axis the grid declares, in the
   /// grid's canonical axis order.  Carried into CellResult and exports.
   std::vector<std::pair<std::string, std::string>> labels;
+
+  /// Value of the named axis label, or nullopt when the grid does not
+  /// declare that axis.
+  [[nodiscard]] std::optional<std::string> label(
+      const std::string& axis) const {
+    return find_label(labels, axis);
+  }
 };
 
 }  // namespace photecc::explore

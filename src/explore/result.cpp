@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "photecc/explore/scenario.hpp"
+
 namespace photecc::explore {
 
 void CellResult::set_metric(const std::string& name, double value) {
@@ -25,9 +27,7 @@ std::optional<double> CellResult::metric(const std::string& name) const {
 }
 
 std::optional<std::string> CellResult::label(const std::string& axis) const {
-  for (const auto& [name, value] : labels)
-    if (name == axis) return value;
-  return std::nullopt;
+  return find_label(labels, axis);
 }
 
 namespace {

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "photecc/math/modulation.hpp"
 #include "photecc/photonics/laser.hpp"
 #include "photecc/photonics/microring.hpp"
 #include "photecc/photonics/photodetector.hpp"
@@ -45,6 +46,11 @@ struct MwsrParams {
   bool include_eye_penalty = true;
   /// Include worst-case inter-channel crosstalk (Eq. 4's OPcrosstalk).
   bool include_crosstalk = true;
+  /// Signaling format of every wavelength on the channel.  Multilevel
+  /// formats carry bits_per_symbol(modulation) bits per Fmod cycle but
+  /// need (levels-1)^2 times the OOK SNR — and laser power — for the
+  /// same raw BER (see math/modulation.hpp).
+  math::Modulation modulation = math::Modulation::kOok;
   /// Wall-plug model; null selects photonics::default_laser_model().
   std::shared_ptr<const photonics::LaserPowerModel> laser_model{};
 };

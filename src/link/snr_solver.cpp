@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "photecc/ecc/ber_model.hpp"
+#include "photecc/math/modulation.hpp"
 #include "photecc/math/special.hpp"
 
 namespace photecc::link {
@@ -19,7 +20,10 @@ LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
   LinkOperatingPoint point;
   point.target_ber = target_ber;
   point.raw_ber = code.required_raw_ber(target_ber);
-  point.snr = math::snr_from_raw_ber(point.raw_ber);
+  // Full-eye SNR: for multilevel formats the per-boundary requirement
+  // scales by (levels-1)^2, which snr_from_ber_clamped folds in.
+  point.snr = math::snr_from_ber_clamped(channel.params().modulation,
+                                         point.raw_ber);
 
   // Both the eye power and the crosstalk scale linearly with the common
   // per-carrier laser output power OP:
@@ -70,7 +74,7 @@ double best_achievable_ber(const MwsrChannel& channel,
       channel.laser().max_optical_power(channel.params().chip_activity);
   const double snr_max =
       det.responsivity_a_per_w * op_max * margin / det.dark_current_a;
-  return ecc::achieved_ber(code, snr_max);
+  return ecc::achieved_ber(code, snr_max, channel.params().modulation);
 }
 
 }  // namespace photecc::link

@@ -1,0 +1,92 @@
+// Multilevel signaling formats and their BER mappings.
+//
+// The paper evaluates OOK links only; following the cross-layer analysis
+// of Karempudi et al. ("Photonic Networks-on-Chip Employing Multilevel
+// Signaling"), M-ary PAM reuses the same eye opening for M amplitude
+// levels: each symbol carries log2(M) bits at the same symbol rate, at
+// the cost of splitting the eye into M-1 sub-eyes.
+//
+// Conventions (consistent with special.hpp and channel_sim's AWGN
+// calibration, where a channel of linear SNR `snr` has OOK error
+// probability exactly 1/2 erfc(sqrt(snr))):
+//
+//   per-boundary error  p_b = 1/2 erfc(sqrt(snr) / (M-1))
+//   symbol error rate   SER = 2 (M-1)/M * p_b      (interior levels see
+//                                                   two boundaries)
+//   Gray-coded BER      BER = SER / log2(M)        (adjacent-level slips
+//                                                   flip exactly one bit)
+//
+// M = 2 reduces exactly to the paper's Eq. 3.  Because the erfc argument
+// is linear in the per-sub-eye amplitude, reaching a given raw BER with
+// M-PAM requires (M-1)^2 times the OOK SNR — and, through Eq. 4's linear
+// SNR -> optical-power map, (M-1)^2 times the laser output power — while
+// cutting the serial transfer time by log2(M).
+#ifndef PHOTECC_MATH_MODULATION_HPP
+#define PHOTECC_MATH_MODULATION_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace photecc::math {
+
+/// Signaling format of one wavelength channel.
+enum class Modulation {
+  kOok,   ///< 2-level on-off keying (the paper's format)
+  kPam4,  ///< 4-level PAM, 2 bits/symbol
+  kPam8,  ///< 8-level PAM, 3 bits/symbol
+};
+
+/// Amplitude levels M of the format (2, 4, 8).
+[[nodiscard]] std::size_t levels(Modulation modulation);
+
+/// Payload bits carried per symbol: log2(M).
+[[nodiscard]] std::size_t bits_per_symbol(Modulation modulation);
+
+/// Canonical lower-case name: "ook", "pam4", "pam8".
+[[nodiscard]] std::string to_string(Modulation modulation);
+
+/// Inverse of to_string (case-sensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<Modulation> modulation_from_string(
+    std::string_view name);
+
+/// Every supported format, in level order.
+[[nodiscard]] const std::vector<Modulation>& all_modulations();
+
+/// log2(M) for a raw level count M; the shared validation of every
+/// levels-keyed entry point.  Throws std::invalid_argument unless M is
+/// a power of two >= 2.
+[[nodiscard]] std::size_t pam_bits_per_symbol(std::size_t levels);
+
+/// Symbol error rate of Gray-coded M-PAM at full-eye linear SNR `snr`:
+/// SER = (M-1)/M * erfc(sqrt(snr)/(M-1)).  Requires snr >= 0 and
+/// `levels` a power of two >= 2.
+[[nodiscard]] double pam_ser_from_snr(double snr, std::size_t levels);
+
+/// Gray-coded bit error rate: SER / log2(M).  For levels == 2 this is
+/// exactly raw_ber_from_snr (Eq. 3).
+[[nodiscard]] double pam_ber_from_snr(double snr, std::size_t levels);
+
+/// Largest BER the format can produce (at SNR = 0):
+/// (M-1) / (M log2(M)); 0.5 for OOK, 0.375 for PAM4.
+[[nodiscard]] double max_pam_ber(std::size_t levels);
+
+/// Inverse of pam_ber_from_snr: full-eye linear SNR required for a raw
+/// BER of `ber`.  Requires ber in (0, max_pam_ber(levels)].
+[[nodiscard]] double snr_from_pam_ber(double ber, std::size_t levels);
+
+/// Convenience overloads keyed by format.
+[[nodiscard]] double ber_from_snr(Modulation modulation, double snr);
+[[nodiscard]] double snr_from_ber(Modulation modulation, double ber);
+
+/// Like snr_from_ber, but a raw BER at or above the format's zero-SNR
+/// error rate max_pam_ber returns 0 (no eye needed) instead of
+/// throwing — the solver-facing form: code inversions can demand raw
+/// BERs (up to 0.5) that a denser constellation produces at zero SNR.
+[[nodiscard]] double snr_from_ber_clamped(Modulation modulation, double ber);
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_MODULATION_HPP

@@ -20,6 +20,21 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Stateless sub-seed derivation: a splitmix64 finalisation of the base
+/// seed XOR-folded with a golden-ratio multiple of the stream index.
+/// Composite users (nested traffic generators, sweep cells) MUST derive
+/// child seeds with distinct stream indices through this mixer instead
+/// of handing out base+1, base+2, ... — arithmetic neighbours collide
+/// between siblings at different nesting depths and give correlated
+/// child RNG streams.  derive_seed(base, i) and derive_seed(base, j)
+/// are decorrelated for any i != j, as are equal streams of different
+/// bases.
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t base, std::uint64_t stream) noexcept {
+  std::uint64_t state = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(state);
+}
+
 /// xoshiro256** PRNG.
 class Xoshiro256 {
  public:

@@ -1,0 +1,111 @@
+#include "photecc/math/modulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::math {
+namespace {
+
+double log2_levels(std::size_t m) {
+  return static_cast<double>(pam_bits_per_symbol(m));
+}
+
+}  // namespace
+
+std::size_t pam_bits_per_symbol(std::size_t levels) {
+  if (levels < 2 || (levels & (levels - 1)) != 0)
+    throw std::invalid_argument(
+        "modulation: levels must be a power of two >= 2");
+  std::size_t bits = 0;
+  for (std::size_t v = levels; v > 1; v >>= 1) ++bits;
+  return bits;
+}
+
+std::size_t levels(Modulation modulation) {
+  switch (modulation) {
+    case Modulation::kOok: return 2;
+    case Modulation::kPam4: return 4;
+    case Modulation::kPam8: return 8;
+  }
+  throw std::logic_error("levels: bad Modulation");
+}
+
+std::size_t bits_per_symbol(Modulation modulation) {
+  switch (modulation) {
+    case Modulation::kOok: return 1;
+    case Modulation::kPam4: return 2;
+    case Modulation::kPam8: return 3;
+  }
+  throw std::logic_error("bits_per_symbol: bad Modulation");
+}
+
+std::string to_string(Modulation modulation) {
+  switch (modulation) {
+    case Modulation::kOok: return "ook";
+    case Modulation::kPam4: return "pam4";
+    case Modulation::kPam8: return "pam8";
+  }
+  throw std::logic_error("to_string: bad Modulation");
+}
+
+std::optional<Modulation> modulation_from_string(std::string_view name) {
+  if (name == "ook") return Modulation::kOok;
+  if (name == "pam4") return Modulation::kPam4;
+  if (name == "pam8") return Modulation::kPam8;
+  return std::nullopt;
+}
+
+const std::vector<Modulation>& all_modulations() {
+  static const std::vector<Modulation> all{
+      Modulation::kOok, Modulation::kPam4, Modulation::kPam8};
+  return all;
+}
+
+double pam_ser_from_snr(double snr, std::size_t levels) {
+  (void)pam_bits_per_symbol(levels);
+  if (snr < 0.0)
+    throw std::domain_error("pam_ser_from_snr: negative SNR");
+  const double m = static_cast<double>(levels);
+  return (m - 1.0) / m * std::erfc(std::sqrt(snr) / (m - 1.0));
+}
+
+double pam_ber_from_snr(double snr, std::size_t levels) {
+  return pam_ser_from_snr(snr, levels) / log2_levels(levels);
+}
+
+double max_pam_ber(std::size_t levels) {
+  (void)pam_bits_per_symbol(levels);
+  const double m = static_cast<double>(levels);
+  return (m - 1.0) / (m * log2_levels(levels));
+}
+
+double snr_from_pam_ber(double ber, std::size_t levels) {
+  (void)pam_bits_per_symbol(levels);
+  if (ber <= 0.0 || ber > max_pam_ber(levels))
+    throw std::domain_error(
+        "snr_from_pam_ber: BER outside (0, max_pam_ber]");
+  const double m = static_cast<double>(levels);
+  // Invert BER * log2(M) * M/(M-1) = erfc(sqrt(snr)/(M-1)).
+  const double x =
+      erfc_inv(ber * log2_levels(levels) * m / (m - 1.0));
+  const double scaled = (m - 1.0) * x;
+  return scaled * scaled;
+}
+
+double ber_from_snr(Modulation modulation, double snr) {
+  return pam_ber_from_snr(snr, levels(modulation));
+}
+
+double snr_from_ber(Modulation modulation, double ber) {
+  return snr_from_pam_ber(ber, levels(modulation));
+}
+
+double snr_from_ber_clamped(Modulation modulation, double ber) {
+  const std::size_t m = levels(modulation);
+  if (ber >= max_pam_ber(m)) return 0.0;
+  return snr_from_pam_ber(ber, m);
+}
+
+}  // namespace photecc::math

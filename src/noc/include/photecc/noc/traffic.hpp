@@ -14,6 +14,15 @@
 namespace photecc::noc {
 
 /// Generates the complete arrival schedule for one simulation run.
+///
+/// Seed-derivation contract: `generate(horizon, seed)` is a pure
+/// function of its arguments.  A composite generator (PhaseTraceTraffic,
+/// MixedTraffic, or any user-written wrapper) MUST derive the seed for
+/// child k as math::derive_seed(seed, k) — never seed+k or another
+/// arithmetic neighbour.  Arithmetic offsets collide across siblings
+/// and nesting depths (the k-th child of seed s and the (k-1)-th child
+/// of seed s+1 would replay identical RNG streams); the splitmix64
+/// mixer keeps every (seed, child index) pair decorrelated.
 class TrafficGenerator {
  public:
   virtual ~TrafficGenerator() = default;

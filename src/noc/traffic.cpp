@@ -148,7 +148,15 @@ std::vector<Message> StreamingTraffic::generate(double horizon_s,
   std::vector<Message> out;
   std::uint64_t id = 0;
   for (const auto& s : streams_) {
-    for (double t = 0.0; t < horizon_s; t += s.period_s) {
+    // Frame times are computed as i * period, NOT accumulated with
+    // t += period: the accumulated rounding error grows with the frame
+    // index and drops or duplicates frames near the horizon on long
+    // runs.  A frame within 1 part in 1e12 of the horizon counts as AT
+    // the horizon (excluded): when the horizon is a decimal multiple
+    // of the period, i * period can round to just under it.
+    for (std::uint64_t i = 0;; ++i) {
+      const double t = static_cast<double>(i) * s.period_s;
+      if (t >= horizon_s * (1.0 - 1e-12)) break;
       Message m;
       m.id = id++;
       m.creation_time_s = t;
@@ -183,11 +191,15 @@ std::vector<Message> PhaseTraceTraffic::generate(double horizon_s,
   std::vector<Message> out;
   double phase_start = 0.0;
   std::size_t phase_index = 0;
-  std::uint64_t sub_seed = seed;
   while (phase_start < horizon_s) {
     const Phase& phase = phases_[phase_index % phases_.size()];
     const double span = std::min(phase.duration_s, horizon_s - phase_start);
-    auto chunk = phase.generator->generate(span, ++sub_seed);
+    // Sub-seeds go through the splitmix64 mixer, not seed+1, seed+2,
+    // ...: arithmetic neighbours collide with sibling composites
+    // (another generator handed seed+1 would replay this trace's
+    // phases) — see the seed-derivation contract in traffic.hpp.
+    auto chunk = phase.generator->generate(
+        span, math::derive_seed(seed, phase_index));
     for (auto& m : chunk) {
       m.creation_time_s += phase_start;
       if (m.deadline_s) *m.deadline_s += phase_start;
@@ -217,9 +229,10 @@ MixedTraffic::MixedTraffic(
 std::vector<Message> MixedTraffic::generate(double horizon_s,
                                             std::uint64_t seed) const {
   std::vector<Message> out;
-  std::uint64_t sub_seed = seed;
-  for (const auto& part : parts_) {
-    auto chunk = part->generate(horizon_s, ++sub_seed);
+  for (std::size_t part_index = 0; part_index < parts_.size();
+       ++part_index) {
+    auto chunk = parts_[part_index]->generate(
+        horizon_s, math::derive_seed(seed, part_index));
     out.insert(out.end(), chunk.begin(), chunk.end());
   }
   sort_by_time(out);

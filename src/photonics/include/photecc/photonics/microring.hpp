@@ -90,6 +90,17 @@ class MicroRing {
   double t_min_;
 };
 
+/// Electrical modulation power of a ring transmitter driving an M-level
+/// (PAM) eye, scaled from its binary (OOK) driver power.  Models the
+/// segmented/optical-DAC MRM transmitters of Karempudi et al.
+/// ("Photonic Networks-on-Chip Employing Multilevel Signaling"): one
+/// binary-driven ring segment per bit of the symbol, so the driver
+/// power scales with log2(M) while the symbol rate stays at Fmod.
+/// `levels` must be a power of two >= 2; levels == 2 returns
+/// `ook_power_w` unchanged.
+[[nodiscard]] double multilevel_modulation_power_w(double ook_power_w,
+                                                   std::size_t levels);
+
 }  // namespace photecc::photonics
 
 #endif  // PHOTECC_PHOTONICS_MICRORING_HPP

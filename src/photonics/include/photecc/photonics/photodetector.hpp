@@ -6,6 +6,8 @@
 #ifndef PHOTECC_PHOTONICS_PHOTODETECTOR_HPP
 #define PHOTECC_PHOTONICS_PHOTODETECTOR_HPP
 
+#include <cstddef>
+
 namespace photecc::photonics {
 
 /// Receiver photodetector parameters (paper defaults).
@@ -31,6 +33,28 @@ class Photodetector {
   /// target SNR given the crosstalk power.
   [[nodiscard]] double required_signal_power(double snr,
                                              double op_crosstalk_w) const;
+
+  /// Eq. 4 SNR seen by one decision boundary of an M-level PAM eye:
+  /// the full eye amplitude splits into (levels-1) equal sub-eyes, so
+  /// the per-boundary SNR is the full-eye SNR divided by (levels-1)^2
+  /// (the paper's SNR enters the BER through a square root, i.e. it is
+  /// quadratic in the eye amplitude).  levels == 2 returns snr().
+  [[nodiscard]] double pam_boundary_snr(double op_signal_w,
+                                        double op_crosstalk_w,
+                                        std::size_t levels) const;
+
+  /// Inverse of pam_boundary_snr: full-eye signal power required at
+  /// the detector so every PAM sub-eye boundary reaches
+  /// `boundary_snr` — (levels-1)^2 times the OOK requirement before
+  /// crosstalk.  `boundary_snr` is the PER-BOUNDARY (OOK-equivalent)
+  /// requirement, e.g. math::snr_from_raw_ber(raw_ber); do NOT pass a
+  /// full-eye SNR from math::snr_from_ber(modulation, ...) — that
+  /// value already contains the (levels-1)^2 penalty (the link solver
+  /// path uses it with the 2-argument overload) and would double-count
+  /// it here.
+  [[nodiscard]] double required_signal_power(double boundary_snr,
+                                             double op_crosstalk_w,
+                                             std::size_t levels) const;
 
   /// Photocurrent for an incident optical power [A].
   [[nodiscard]] double photocurrent(double op_w) const noexcept;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "photecc/math/modulation.hpp"
 #include "photecc/math/units.hpp"
 
 namespace photecc::photonics {
@@ -67,6 +68,15 @@ double MicroRing::drop_aligned() const noexcept { return params_.drop_max; }
 double MicroRing::drop_detuned(double delta) const noexcept {
   const double u = delta / hwhm_;
   return params_.drop_max / (1.0 + u * u);
+}
+
+double multilevel_modulation_power_w(double ook_power_w,
+                                     std::size_t levels) {
+  if (ook_power_w < 0.0)
+    throw std::invalid_argument(
+        "multilevel_modulation_power_w: negative power");
+  return ook_power_w *
+         static_cast<double>(math::pam_bits_per_symbol(levels));
 }
 
 }  // namespace photecc::photonics

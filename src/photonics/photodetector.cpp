@@ -37,6 +37,27 @@ double Photodetector::required_signal_power(double snr_target,
          op_crosstalk_w;
 }
 
+double Photodetector::pam_boundary_snr(double op_signal_w,
+                                       double op_crosstalk_w,
+                                       std::size_t levels) const {
+  if (levels < 2)
+    throw std::invalid_argument(
+        "Photodetector::pam_boundary_snr: levels < 2");
+  const double sub_eyes = static_cast<double>(levels - 1);
+  return snr(op_signal_w, op_crosstalk_w) / (sub_eyes * sub_eyes);
+}
+
+double Photodetector::required_signal_power(double boundary_snr,
+                                            double op_crosstalk_w,
+                                            std::size_t levels) const {
+  if (levels < 2)
+    throw std::invalid_argument(
+        "Photodetector::required_signal_power: levels < 2");
+  const double sub_eyes = static_cast<double>(levels - 1);
+  return required_signal_power(boundary_snr * sub_eyes * sub_eyes,
+                               op_crosstalk_w);
+}
+
 double Photodetector::photocurrent(double op_w) const noexcept {
   return params_.responsivity_a_per_w * op_w;
 }

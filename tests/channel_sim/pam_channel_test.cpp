@@ -1,0 +1,113 @@
+#include "photecc/channel_sim/pam_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::channel_sim {
+namespace {
+
+TEST(PamChannel, Validation) {
+  EXPECT_THROW(PamChannel(0.0, math::Modulation::kPam4, 1),
+               std::invalid_argument);
+  EXPECT_THROW(PamChannel(-1.0, math::Modulation::kOok, 1),
+               std::invalid_argument);
+}
+
+TEST(PamChannel, AccessorsAndAnalyticBer) {
+  PamChannel channel(9.0, math::Modulation::kPam4, 7);
+  EXPECT_EQ(channel.levels(), 4u);
+  EXPECT_EQ(channel.bits_per_symbol(), 2u);
+  EXPECT_DOUBLE_EQ(channel.analytic_ber(),
+                   math::pam_ber_from_snr(9.0, 4));
+  PamChannel binary(9.0, math::Modulation::kOok, 7);
+  EXPECT_DOUBLE_EQ(binary.analytic_ber(), math::raw_ber_from_snr(9.0));
+}
+
+TEST(PamChannel, NoiselessLimitIsTransparent) {
+  // SNR so high the noise never crosses a boundary.
+  PamChannel channel(1e6, math::Modulation::kPam8, 3);
+  ecc::BitVec word(63 * 3);
+  math::Xoshiro256 rng(17);
+  for (std::size_t i = 0; i < word.size(); ++i)
+    word.set(i, rng.bernoulli(0.5));
+  EXPECT_EQ(channel.transmit(word), word);
+}
+
+TEST(PamChannel, TailBitsArePaddedNotDropped) {
+  PamChannel channel(1e6, math::Modulation::kPam4, 3);
+  ecc::BitVec word(7);  // not a multiple of 2 bits/symbol
+  for (std::size_t i = 0; i < word.size(); ++i) word.set(i, true);
+  const auto out = channel.transmit(word);
+  EXPECT_EQ(out.size(), word.size());
+  EXPECT_EQ(out, word);
+  const std::vector<bool> wire{true, false, true};
+  EXPECT_EQ(channel.transmit(wire), wire);
+}
+
+TEST(PamChannel, MeasuredBerMatchesAnalyticModel) {
+  for (const math::Modulation modulation :
+       {math::Modulation::kOok, math::Modulation::kPam4,
+        math::Modulation::kPam8}) {
+    // Pick the SNR so the BER is ~3e-3 for every format.
+    const double target = 3e-3;
+    const double snr =
+        math::snr_from_ber(modulation, target);
+    PamChannel channel(snr, modulation, 0xC0FFEE);
+    const std::size_t bits_per_word = 6 * 64;
+    const std::size_t words = 1500;
+    math::Xoshiro256 data_rng(99);
+    std::uint64_t errors = 0, total = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      ecc::BitVec word(bits_per_word);
+      for (std::size_t i = 0; i < word.size(); ++i)
+        word.set(i, data_rng.bernoulli(0.5));
+      const ecc::BitVec received = channel.transmit(word);
+      for (std::size_t i = 0; i < word.size(); ++i)
+        errors += received.get(i) != word.get(i);
+      total += word.size();
+    }
+    const double measured =
+        static_cast<double>(errors) / static_cast<double>(total);
+    // ~576k bits at p ~ 3e-3: sigma ~ 7.2e-5; allow 5 sigma.
+    const double sigma =
+        std::sqrt(target * (1.0 - target) / static_cast<double>(total));
+    EXPECT_NEAR(measured, target, 5.0 * sigma)
+        << "modulation=" << math::to_string(modulation);
+  }
+}
+
+TEST(PamChannel, GraySlipsCorruptOneBitPerSymbol) {
+  // At moderate SNR nearly all symbol errors are one-level slips; with
+  // Gray mapping the bit-error count should be close to the symbol
+  // error count (ratio ~1), not bits_per_symbol x.
+  PamChannel channel(math::snr_from_ber(math::Modulation::kPam4, 1e-2),
+                     math::Modulation::kPam4, 0xBEEF);
+  std::uint64_t symbol_errors = 0, bit_errors = 0;
+  math::Xoshiro256 data_rng(5);
+  for (std::size_t s = 0; s < 200000; ++s) {
+    const std::size_t level = data_rng.bounded(4);
+    ecc::BitVec word(2);
+    // Build the 2-bit pattern for this level through the channel's own
+    // transmit path: send the word and compare.
+    word.set(0, (level & 1u) != 0);
+    word.set(1, (level & 2u) != 0);
+    const auto received = channel.transmit(word);
+    const std::size_t flipped =
+        (received.get(0) != word.get(0)) +
+        (received.get(1) != word.get(1));
+    if (flipped > 0) ++symbol_errors;
+    bit_errors += flipped;
+  }
+  ASSERT_GT(symbol_errors, 100u);
+  const double bits_per_symbol_error =
+      static_cast<double>(bit_errors) /
+      static_cast<double>(symbol_errors);
+  EXPECT_LT(bits_per_symbol_error, 1.1);
+}
+
+}  // namespace
+}  // namespace photecc::channel_sim

@@ -33,10 +33,18 @@ TEST(Arq, FrameErrorRateMatchesClosedForm) {
   const ArqScheme scheme;  // 64 + 16 bits
   EXPECT_EQ(scheme.frame_bits(), 80u);
   for (const double p : {1e-6, 1e-3, 1e-2}) {
-    EXPECT_NEAR(scheme.frame_error_rate(p),
-                1.0 - std::pow(1.0 - p, 80.0), 1e-15);
+    // frame_error_rate uses the cancellation-free expm1/log1p form;
+    // this pow reference is itself only accurate to ~1e-16 absolute,
+    // which at small FER is a large relative error — hence the
+    // relative tolerance.
+    const double closed_form = 1.0 - std::pow(1.0 - p, 80.0);
+    EXPECT_NEAR(scheme.frame_error_rate(p), closed_form,
+                1e-10 * closed_form);
   }
   EXPECT_DOUBLE_EQ(scheme.frame_error_rate(0.0), 0.0);
+  // Below p ~ 1e-17 the pow form collapses to zero; the expm1 form
+  // keeps the leading term bits * p.
+  EXPECT_NEAR(scheme.frame_error_rate(1e-18), 80e-18, 1e-21);
 }
 
 TEST(Arq, ResidualBerScalesWithCrcAliasing) {

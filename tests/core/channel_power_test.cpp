@@ -139,6 +139,41 @@ TEST(EncDecPower, UnknownCodesFallBackToEstimator) {
   EXPECT_LT(h3126, 100e-6 / 16.0);
 }
 
+TEST(ChannelPower, Pam4HalvesCtAndScalesModulatorPower) {
+  link::MwsrParams params;
+  params.modulation = math::Modulation::kPam4;
+  const link::MwsrChannel pam4{params};
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("H(7,4)");
+  const SchemeMetrics ook = evaluate_scheme(channel, *code, 1e-9);
+  const SchemeMetrics pam = evaluate_scheme(pam4, *code, 1e-9);
+  EXPECT_EQ(ook.modulation, math::Modulation::kOok);
+  EXPECT_EQ(pam.modulation, math::Modulation::kPam4);
+  // 2 bits/symbol: half the serial transfer time...
+  EXPECT_DOUBLE_EQ(pam.ct, ook.ct / 2.0);
+  // ...twice the segmented-MRM driver power...
+  EXPECT_DOUBLE_EQ(pam.p_mr_w, 2.0 * ook.p_mr_w);
+  // ...and (when both are feasible) an energy/bit that reflects the
+  // doubled payload rate against the inflated laser power.
+  if (pam.feasible) {
+    EXPECT_DOUBLE_EQ(
+        pam.energy_per_bit_j,
+        pam.p_channel_w / (2.0 * 10e9 * pam.code_rate));
+  }
+  // The code itself is modulation-blind: same rate, same raw BER.
+  EXPECT_DOUBLE_EQ(pam.code_rate, ook.code_rate);
+  EXPECT_DOUBLE_EQ(pam.operating_point.raw_ber,
+                   ook.operating_point.raw_ber);
+}
+
+TEST(ChannelPower, SchemeDisplayNameTagsNonOokFormats) {
+  SchemeMetrics m;
+  m.scheme = "H(7,4)";
+  EXPECT_EQ(scheme_display_name(m), "H(7,4)");
+  m.modulation = math::Modulation::kPam4;
+  EXPECT_EQ(scheme_display_name(m), "H(7,4) @pam4");
+}
+
 TEST(EvaluateSchemes, BatchesAndValidates) {
   const auto channel = paper_channel();
   const auto all = evaluate_schemes(channel, ecc::paper_schemes(), 1e-9);

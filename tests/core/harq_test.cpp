@@ -113,5 +113,68 @@ TEST(Harq, InfeasibleBeyondLaserCeiling) {
   }
 }
 
+TEST(Harq, ResidualBerStaysMeaningfulAtTinyP) {
+  // Regression for the catastrophic cancellation in residual_ber: the
+  // expm1 difference underflows to noise below p ~ 1e-9, where the
+  // weight-3 series takes over.  The p^3 scaling must hold all the way
+  // down to the shared search floor.
+  const HarqScheme harq;  // eH(64,57)
+  const double c_n_3 = 41664.0;  // C(64,3)
+  for (const double p : {1e-8, 1e-10, 1e-12, 1e-15, 1e-18}) {
+    const double expected = c_n_3 * p * p * p * 4.0 / 64.0;
+    EXPECT_NEAR(harq.residual_ber(p) / expected, 1.0, 1e-3) << "p=" << p;
+  }
+  // Monotone through the series/difference switchover.
+  double previous = harq.residual_ber(1e-18);
+  for (const double p : {1e-14, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2}) {
+    const double residual = harq.residual_ber(p);
+    EXPECT_GT(residual, previous) << "p=" << p;
+    previous = residual;
+  }
+}
+
+TEST(Harq, ResidualBerIsFiniteOnTheWholeAdmittedDomain) {
+  // The expm1/log1p forms need 1-2p > 0; the p > 0.5 half of the
+  // admitted [0, 1] domain must not leak NaN (it used to be masked to
+  // 0 by a std::max quirk).  For eH(64,57) at p = 0.6 the odd-weight
+  // tail is ~1/2, so residual ~ 0.5 * 4/64.
+  const HarqScheme harq;
+  EXPECT_NEAR(harq.residual_ber(0.6), 0.5 * 4.0 / 64.0, 1e-6);
+  EXPECT_DOUBLE_EQ(harq.residual_ber(1.0), 0.0);  // weight n is even
+  for (const double p : {0.51, 0.75, 0.99}) {
+    const double residual = harq.residual_ber(p);
+    EXPECT_TRUE(std::isfinite(residual)) << p;
+    EXPECT_GE(residual, 0.0) << p;
+  }
+  // Same NaN hazard in the even-weight tail: at p = 0.6 nearly every
+  // block is detected-uncorrectable, so the retransmission rate is
+  // ~1 - odd_total ~ 0.5, not the silent 0 the masked NaN produced.
+  EXPECT_NEAR(harq.retransmission_rate(0.6), 0.5, 1e-6);
+  for (const double p : {0.51, 0.75, 0.99, 1.0}) {
+    const double rtx = harq.retransmission_rate(p);
+    EXPECT_TRUE(std::isfinite(rtx)) << p;
+    EXPECT_GE(rtx, 0.0) << p;
+    EXPECT_LE(rtx, 1.0) << p;
+  }
+}
+
+TEST(Harq, EdgeTargetsSaturateAtTheSearchFloor) {
+  const HarqScheme harq;
+  // residual_ber(1e-18) ~ 1e-50: a 1e-52 target is unrepresentable and
+  // must come back as the explicit floor, not a noise-driven root or
+  // nullopt.
+  const auto saturated = harq.required_raw_ber(1e-52);
+  ASSERT_TRUE(saturated.has_value());
+  EXPECT_DOUBLE_EQ(*saturated, ecc::kMinSearchRawBer);
+  // A deep-but-representable target still inverts exactly.
+  const auto exact = harq.required_raw_ber(1e-30);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_GT(*exact, ecc::kMinSearchRawBer);
+  EXPECT_NEAR(harq.residual_ber(*exact) / 1e-30, 1.0, 1e-3);
+  // And solve() composes the saturated raw BER without blowing up.
+  const auto point = harq.solve(paper_channel(), 1e-30);
+  EXPECT_GT(point.snr, 0.0);
+}
+
 }  // namespace
 }  // namespace photecc::core

@@ -110,5 +110,79 @@ TEST(BerModel, RequiredRawBerRejectsBadTargets) {
   EXPECT_THROW((void)h74.required_raw_ber(-1e-9), std::domain_error);
 }
 
+TEST(BerModel, SaturationIsExplicitForUnrepresentableTargets) {
+  const HammingCode h74(3);
+  // A 1e-40 target would need p below the 1e-18 search floor (the true
+  // inverse is sqrt(1e-40/6) ~ 4e-21); pre-fix the solve silently
+  // returned a cancellation-noise root (~5e-17).  Now it saturates at
+  // the bracket edge and says so.
+  const auto saturated = h74.required_raw_ber_checked(1e-40);
+  EXPECT_TRUE(saturated.saturated);
+  EXPECT_DOUBLE_EQ(saturated.raw_ber, kMinSearchRawBer);
+  EXPECT_DOUBLE_EQ(h74.required_raw_ber(1e-40), kMinSearchRawBer);
+  // Representable targets are exact (non-saturated) inverses and are
+  // bit-identical to the unchecked accessor.
+  for (const double target : {1e-6, 1e-11, 1e-15}) {
+    const auto exact = h74.required_raw_ber_checked(target);
+    EXPECT_FALSE(exact.saturated) << target;
+    EXPECT_NEAR(h74.decoded_ber(exact.raw_ber) / target, 1.0, 1e-6)
+        << target;
+    EXPECT_DOUBLE_EQ(exact.raw_ber, h74.required_raw_ber(target));
+  }
+  // A code whose decoded-BER model stays representable at the floor
+  // (BCH sums positive terms) hits the explicit bracket-edge branch.
+  const auto bch = make_code("BCH(15,7,2)");
+  const auto edge = bch->required_raw_ber_checked(1e-60);
+  EXPECT_TRUE(edge.saturated);
+  EXPECT_DOUBLE_EQ(edge.raw_ber, kMinSearchRawBer);
+}
+
+TEST(BerModel, UncodedInverseNeverSaturates) {
+  const UncodedScheme uncoded;
+  const auto requirement = uncoded.required_raw_ber_checked(1e-15);
+  EXPECT_FALSE(requirement.saturated);
+  EXPECT_DOUBLE_EQ(requirement.raw_ber, 1e-15);
+}
+
+TEST(BerModel, ModulationAwareCompositionReducesToOok) {
+  const HammingCode h74(3);
+  for (const double snr : {10.0, 20.0, 36.0}) {
+    EXPECT_DOUBLE_EQ(achieved_ber(h74, snr, math::Modulation::kOok),
+                     achieved_ber(h74, snr));
+  }
+  for (const double target : {1e-6, 1e-9, 1e-12}) {
+    EXPECT_DOUBLE_EQ(required_snr(h74, target, math::Modulation::kOok),
+                     required_snr(h74, target));
+    EXPECT_DOUBLE_EQ(
+        coding_gain_db(h74, target, math::Modulation::kOok),
+        coding_gain_db(h74, target));
+  }
+}
+
+TEST(BerModel, Pam4NeedsMoreSnrButSameRawBer) {
+  const HammingCode h74(3);
+  for (const double target : {1e-6, 1e-9, 1e-12}) {
+    const double ook = required_snr(h74, target, math::Modulation::kOok);
+    const double pam4 =
+        required_snr(h74, target, math::Modulation::kPam4);
+    EXPECT_GT(pam4, 8.0 * ook) << target;
+    EXPECT_LT(pam4, 9.0 * ook) << target;
+    // Round-trip through the composed model.
+    EXPECT_NEAR(
+        achieved_ber(h74, pam4, math::Modulation::kPam4) / target, 1.0,
+        1e-6);
+  }
+}
+
+TEST(BerModel, CodingGainSimilarAcrossFormats) {
+  // The code sees the raw BER, not the constellation: its SNR gain
+  // ratio (in dB) carries over to PAM almost unchanged.
+  const HammingCode h74(3);
+  const double ook = coding_gain_db(h74, 1e-9, math::Modulation::kOok);
+  const double pam4 =
+      coding_gain_db(h74, 1e-9, math::Modulation::kPam4);
+  EXPECT_NEAR(ook, pam4, 0.2);
+}
+
 }  // namespace
 }  // namespace photecc::ecc

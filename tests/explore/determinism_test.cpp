@@ -73,6 +73,41 @@ TEST(SweepDeterminism, NocGridExportsAreThreadCountInvariant) {
   EXPECT_EQ(sequential.json(), parallel.json());
 }
 
+TEST(SweepDeterminism, ModulationGridExportsAreThreadCountInvariant) {
+  ScenarioGrid grid;
+  grid.codes({"w/o ECC", "H(71,64)", "H(7,4)"})
+      .ber_targets({1e-8, 1e-10})
+      .modulations({math::Modulation::kOok, math::Modulation::kPam4});
+  const auto sequential = SweepRunner{{1}}.run(grid);
+  for (const std::size_t threads : {2u, 4u}) {
+    const auto parallel = SweepRunner{{threads}}.run(grid);
+    EXPECT_EQ(sequential.csv(), parallel.csv()) << "threads=" << threads;
+    EXPECT_EQ(sequential.json(), parallel.json()) << "threads=" << threads;
+  }
+  // The combined OOK-vs-PAM4 front is non-empty and mixes both formats
+  // whenever any PAM4 cell is feasible.
+  const auto front =
+      sequential.pareto_front({{"ct", true}, {"p_channel_w", true}});
+  EXPECT_FALSE(front.empty());
+}
+
+TEST(SweepDeterminism, OokCellsAreUnchangedByTheModulationAxis) {
+  // Declaring the axis with the OOK value only must reproduce the
+  // axis-free grid cell for cell (same metrics, one extra label).
+  ScenarioGrid plain, with_axis;
+  plain.codes({"w/o ECC", "H(7,4)"}).ber_targets({1e-8, 1e-10});
+  with_axis.codes({"w/o ECC", "H(7,4)"})
+      .ber_targets({1e-8, 1e-10})
+      .modulations({math::Modulation::kOok});
+  const auto a = SweepRunner{{1}}.run(plain);
+  const auto b = SweepRunner{{1}}.run(with_axis);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].metrics, b.cells[i].metrics) << "cell " << i;
+    EXPECT_EQ(a.cells[i].feasible, b.cells[i].feasible);
+  }
+}
+
 TEST(SweepDeterminism, RepeatedRunsAreIdentical) {
   ScenarioGrid grid;
   grid.traffic_patterns({uniform_traffic(2e8)})

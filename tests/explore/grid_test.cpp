@@ -124,5 +124,46 @@ TEST(ScenarioGrid, IteratorEnumeratesAllCellsInOrder) {
   EXPECT_EQ(expected, grid.size());
 }
 
+TEST(ScenarioGrid, ModulationAxisIsOutermostAndLabelled) {
+  ScenarioGrid grid;
+  grid.codes({"a", "b"})
+      .ber_targets({1e-6, 1e-9})
+      .modulations({math::Modulation::kOok, math::Modulation::kPam4});
+  ASSERT_EQ(grid.size(), 8u);
+  // Outermost: the first half of the enumeration is the full OOK grid,
+  // in exactly the order the grid enumerates without the axis.
+  ScenarioGrid ook_only;
+  ook_only.codes({"a", "b"}).ber_targets({1e-6, 1e-9});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Scenario with_axis = grid.at(i);
+    const Scenario without_axis = ook_only.at(i);
+    EXPECT_EQ(with_axis.link.modulation, math::Modulation::kOok);
+    EXPECT_EQ(with_axis.code, without_axis.code);
+    EXPECT_EQ(with_axis.target_ber, without_axis.target_ber);
+    EXPECT_EQ(with_axis.label("modulation"),
+              std::make_optional<std::string>("ook"));
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    const Scenario s = grid.at(i);
+    EXPECT_EQ(s.link.modulation, math::Modulation::kPam4);
+    EXPECT_EQ(s.label("modulation"),
+              std::make_optional<std::string>("pam4"));
+  }
+}
+
+TEST(ScenarioGrid, UndeclaredModulationAxisLeavesOokDefault) {
+  ScenarioGrid grid;
+  grid.codes({"a"});
+  const Scenario s = grid.at(0);
+  EXPECT_EQ(s.link.modulation, math::Modulation::kOok);
+  EXPECT_FALSE(s.label("modulation").has_value());
+  // A modulation-only grid still evaluates through the link evaluator.
+  ScenarioGrid modulation_only;
+  modulation_only.modulations({math::Modulation::kPam4});
+  EXPECT_FALSE(modulation_only.has_noc_axes());
+  EXPECT_EQ(modulation_only.at(0).link.modulation,
+            math::Modulation::kPam4);
+}
+
 }  // namespace
 }  // namespace photecc::explore

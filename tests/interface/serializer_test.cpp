@@ -75,6 +75,57 @@ TEST_P(SerdesRoundTrip, WireRoundTripIsBitExact) {
 INSTANTIATE_TEST_SUITE_P(Widths, SerdesRoundTrip,
                          ::testing::Values(1, 2, 7, 64, 71, 112, 127, 200));
 
+TEST(Serdes, BitwiseRoundTripAcrossFrameBoundary) {
+  // Drive the stateful shift_out/shift_in pair bit by bit across
+  // several back-to-back frames: the deserializer must emit each frame
+  // exactly when its last bit lands, and be empty again right after.
+  const std::size_t width = 7;
+  Serializer ser(width);
+  Deserializer des(width);
+  math::Xoshiro256 rng(0xF00D);
+  for (int f = 0; f < 4; ++f) {
+    ecc::BitVec frame(width);
+    for (std::size_t i = 0; i < width; ++i)
+      frame.set(i, rng.bernoulli(0.5));
+    ser.load(frame);
+    for (std::size_t i = 0; i < width; ++i) {
+      const auto bit = ser.shift_out();
+      ASSERT_TRUE(bit.has_value());
+      const auto emitted = des.shift_in(*bit);
+      if (i + 1 < width) {
+        EXPECT_FALSE(emitted.has_value()) << "frame " << f << " bit " << i;
+        EXPECT_EQ(des.fill(), i + 1);
+      } else {
+        ASSERT_TRUE(emitted.has_value()) << "frame " << f;
+        EXPECT_EQ(*emitted, frame);
+        EXPECT_EQ(des.fill(), 0u);
+      }
+    }
+    EXPECT_TRUE(ser.empty());
+  }
+}
+
+TEST(Serdes, ReloadAtExactFrameBoundaryDoesNotLeakBits) {
+  // Loading the next frame the cycle after the previous one fully
+  // drained must not duplicate or drop wire bits.
+  const std::size_t width = 5;
+  Serializer ser(width);
+  Deserializer des(width);
+  const auto a = ecc::BitVec::from_string("10110");
+  const auto b = ecc::BitVec::from_string("01001");
+  std::vector<ecc::BitVec> received;
+  for (const auto& frame : {a, b}) {
+    ser.load(frame);
+    while (auto bit = ser.shift_out()) {
+      if (auto emitted = des.shift_in(*bit))
+        received.push_back(std::move(*emitted));
+    }
+  }
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], a);
+  EXPECT_EQ(received[1], b);
+}
+
 TEST(Serdes, MultiFrameStreamKeepsFrameBoundaries) {
   math::Xoshiro256 rng(0x515);
   const std::size_t width = 7;

@@ -130,6 +130,39 @@ TEST(SnrSolver, BestAchievableBerOrdersWithCodeStrength) {
   EXPECT_LT(h74, 1e-12);
 }
 
+TEST(SnrSolver, Pam4NeedsNearNineTimesTheOokSnr) {
+  MwsrParams params;
+  params.modulation = math::Modulation::kPam4;
+  const MwsrChannel pam4{params};
+  const auto channel = paper_channel();
+  const auto code = ecc::make_code("H(7,4)");
+  const auto ook_point = solve_operating_point(channel, *code, 1e-9);
+  const auto pam_point = solve_operating_point(pam4, *code, 1e-9);
+  // Same code + target => identical required raw BER; the SNR (and so
+  // the optical budget) scales with the (M-1)^2 sub-eye penalty.
+  EXPECT_DOUBLE_EQ(pam_point.raw_ber, ook_point.raw_ber);
+  EXPECT_GT(pam_point.snr, 8.0 * ook_point.snr);
+  EXPECT_LT(pam_point.snr, 9.0 * ook_point.snr);
+  EXPECT_GT(pam_point.op_laser_w, 8.0 * ook_point.op_laser_w);
+}
+
+TEST(SnrSolver, Pam4HitsTheLaserCeilingBeforeOok) {
+  // The multilevel power penalty pushes deep-BER targets past the
+  // 700 uW deliverable maximum that OOK still meets.
+  MwsrParams params;
+  params.modulation = math::Modulation::kPam4;
+  const MwsrChannel pam4{params};
+  const auto uncoded = ecc::make_code("w/o ECC");
+  const auto ook_point =
+      solve_operating_point(paper_channel(), *uncoded, 1e-9);
+  const auto pam_point = solve_operating_point(pam4, *uncoded, 1e-9);
+  EXPECT_TRUE(ook_point.feasible);
+  EXPECT_FALSE(pam_point.feasible);
+  // Consistently, the best achievable BER degrades with level count.
+  EXPECT_GT(best_achievable_ber(pam4, *uncoded),
+            best_achievable_ber(paper_channel(), *uncoded));
+}
+
 TEST(SnrSolver, SelfHeatingLaserAblationKeepsTheOrdering) {
   MwsrParams params;
   params.laser_model = std::make_shared<photonics::SelfHeatingVcselModel>();

@@ -1,0 +1,121 @@
+#include "photecc/math/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "photecc/math/special.hpp"
+
+namespace photecc::math {
+namespace {
+
+TEST(Modulation, LevelAndBitAccessors) {
+  EXPECT_EQ(levels(Modulation::kOok), 2u);
+  EXPECT_EQ(levels(Modulation::kPam4), 4u);
+  EXPECT_EQ(levels(Modulation::kPam8), 8u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kOok), 1u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kPam4), 2u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kPam8), 3u);
+}
+
+TEST(Modulation, StringRoundTrip) {
+  for (const Modulation m : all_modulations()) {
+    const auto parsed = modulation_from_string(to_string(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(modulation_from_string("qam16").has_value());
+  EXPECT_FALSE(modulation_from_string("PAM4").has_value());
+  EXPECT_FALSE(modulation_from_string("").has_value());
+}
+
+TEST(Modulation, OokReducesToEq3) {
+  for (const double snr : {0.5, 4.0, 10.0, 36.0}) {
+    EXPECT_DOUBLE_EQ(pam_ber_from_snr(snr, 2), raw_ber_from_snr(snr));
+    EXPECT_DOUBLE_EQ(ber_from_snr(Modulation::kOok, snr),
+                     raw_ber_from_snr(snr));
+  }
+  for (const double ber : {1e-3, 1e-6, 1e-9, 1e-12}) {
+    EXPECT_DOUBLE_EQ(snr_from_pam_ber(ber, 2), snr_from_raw_ber(ber));
+  }
+}
+
+TEST(Modulation, MaxBerAtZeroSnr) {
+  EXPECT_DOUBLE_EQ(max_pam_ber(2), 0.5);
+  EXPECT_DOUBLE_EQ(max_pam_ber(4), 3.0 / (4.0 * 2.0));
+  EXPECT_DOUBLE_EQ(max_pam_ber(8), 7.0 / (8.0 * 3.0));
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    EXPECT_DOUBLE_EQ(pam_ber_from_snr(0.0, m), max_pam_ber(m));
+  }
+}
+
+TEST(Modulation, DenserConstellationsErrMoreAtEqualSnr) {
+  for (const double snr : {1.0, 9.0, 25.0}) {
+    EXPECT_LT(pam_ber_from_snr(snr, 2), pam_ber_from_snr(snr, 4));
+    EXPECT_LT(pam_ber_from_snr(snr, 4), pam_ber_from_snr(snr, 8));
+  }
+}
+
+TEST(Modulation, Pam4NeedsNineTimesTheOokSnrPerBoundary) {
+  // Same per-boundary erfc argument <=> 9x the full-eye SNR; the
+  // symbol-rate prefactors differ so compare through the SER mapping.
+  const double snr_ook = 16.0;
+  EXPECT_NEAR(pam_ser_from_snr(9.0 * snr_ook, 4) /
+                  pam_ser_from_snr(snr_ook, 2),
+              2.0 * (3.0 / 4.0) / (2.0 * 0.5), 1e-9);
+}
+
+TEST(Modulation, InverseRoundTripsAcrossFormats) {
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    for (const double ber : {1e-2, 1e-5, 1e-9, 1e-12, 1e-15}) {
+      const double snr = snr_from_pam_ber(ber, m);
+      EXPECT_NEAR(pam_ber_from_snr(snr, m) / ber, 1.0, 1e-10)
+          << "levels=" << m << " ber=" << ber;
+    }
+  }
+}
+
+TEST(Modulation, GrayPam4RequiresMoreSnrThanOokAtEqualBer) {
+  for (const double ber : {1e-6, 1e-9, 1e-12}) {
+    const double ook = snr_from_pam_ber(ber, 2);
+    const double pam4 = snr_from_pam_ber(ber, 4);
+    // Slightly below 9x: the Gray BER prefactor (M-1)/(M log2 M) gives
+    // PAM4 a small statistical discount per boundary.
+    EXPECT_GT(pam4, 8.0 * ook);
+    EXPECT_LT(pam4, 9.0 * ook);
+  }
+}
+
+TEST(Modulation, SnrFromBerClampedReturnsZeroAboveMax) {
+  EXPECT_DOUBLE_EQ(snr_from_ber_clamped(Modulation::kPam4, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(
+      snr_from_ber_clamped(Modulation::kPam4, max_pam_ber(4)), 0.0);
+  EXPECT_GT(snr_from_ber_clamped(Modulation::kPam4, 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(snr_from_ber_clamped(Modulation::kOok, 1e-9),
+                   snr_from_raw_ber(1e-9));
+}
+
+TEST(Modulation, PamBitsPerSymbolValidatesAndCounts) {
+  EXPECT_EQ(pam_bits_per_symbol(2), 1u);
+  EXPECT_EQ(pam_bits_per_symbol(4), 2u);
+  EXPECT_EQ(pam_bits_per_symbol(8), 3u);
+  EXPECT_EQ(pam_bits_per_symbol(16), 4u);
+  EXPECT_THROW((void)pam_bits_per_symbol(0), std::invalid_argument);
+  EXPECT_THROW((void)pam_bits_per_symbol(1), std::invalid_argument);
+  EXPECT_THROW((void)pam_bits_per_symbol(6), std::invalid_argument);
+}
+
+TEST(Modulation, DomainErrors) {
+  EXPECT_THROW((void)pam_ber_from_snr(-1.0, 4), std::domain_error);
+  EXPECT_THROW((void)pam_ber_from_snr(1.0, 3), std::invalid_argument);
+  EXPECT_THROW((void)pam_ber_from_snr(1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)snr_from_pam_ber(0.0, 4), std::domain_error);
+  EXPECT_THROW((void)snr_from_pam_ber(0.4, 4), std::domain_error);
+  EXPECT_THROW((void)max_pam_ber(6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::math

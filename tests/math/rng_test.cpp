@@ -93,5 +93,36 @@ TEST(Splitmix64, AdvancesState) {
   EXPECT_NE(first, second);
 }
 
+TEST(DeriveSeed, IsDeterministicAndPure) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  // Stateless: deriving one stream does not disturb another.
+  const std::uint64_t lone = derive_seed(42, 3);
+  (void)derive_seed(42, 0);
+  (void)derive_seed(42, 1);
+  EXPECT_EQ(derive_seed(42, 3), lone);
+}
+
+TEST(DeriveSeed, DistinctStreamsAndBasesDoNotCollide) {
+  // The collision pattern the mixer exists to break: base b stream k
+  // must differ from base b+1 stream k-1 (seed+k handed out
+  // arithmetically would make those identical).
+  for (std::uint64_t base : {0ull, 42ull, 0x9e3779b97f4a7c15ull}) {
+    for (std::uint64_t k = 1; k < 50; ++k) {
+      EXPECT_NE(derive_seed(base, k), derive_seed(base + 1, k - 1))
+          << "base=" << base << " k=" << k;
+      EXPECT_NE(derive_seed(base, k), derive_seed(base, k - 1));
+    }
+  }
+}
+
+TEST(DeriveSeed, DerivedSeedsSpawnDecorrelatedGenerators) {
+  Xoshiro256 a(derive_seed(1234, 0));
+  Xoshiro256 b(derive_seed(1234, 1));
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
 }  // namespace
 }  // namespace photecc::math

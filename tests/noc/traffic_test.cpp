@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace photecc::noc {
 namespace {
 
@@ -154,6 +156,96 @@ TEST(TrafficClassNames, Render) {
   EXPECT_EQ(to_string(TrafficClass::kRealTime), "real-time");
   EXPECT_EQ(to_string(TrafficClass::kMultimedia), "multimedia");
   EXPECT_EQ(to_string(TrafficClass::kBestEffort), "best-effort");
+}
+
+TEST(StreamingTraffic, LongHorizonFrameCountHasNoDrift) {
+  // Regression for the accumulated t += period schedule: summing an
+  // inexact period 100000 times drifts the frame times off the i*period
+  // lattice and mis-counts frames at horizons near a period multiple.
+  StreamingTraffic::Stream stream;
+  stream.source = 0;
+  stream.destination = 1;
+  stream.period_s = 1e-6;  // not exactly representable in binary
+  const StreamingTraffic traffic({stream});
+  const auto schedule = traffic.generate(0.1, 0);
+  ASSERT_EQ(schedule.size(), 100000u);
+  // Every frame time must sit exactly on the i * period lattice — an
+  // accumulated schedule matches only for small i.
+  for (const std::size_t i : {0u, 1u, 999u, 50000u, 99999u}) {
+    EXPECT_DOUBLE_EQ(schedule[i].creation_time_s,
+                     static_cast<double>(i) * 1e-6)
+        << "frame " << i;
+  }
+}
+
+TEST(StreamingTraffic, HorizonAtExactMultipleExcludesBoundaryFrame) {
+  // 10 us horizon / 1 us period = exactly 10 frames; the frame AT the
+  // horizon is excluded even when i*period rounds to just under it.
+  StreamingTraffic::Stream stream;
+  stream.source = 0;
+  stream.destination = 1;
+  stream.period_s = 1e-6;
+  const StreamingTraffic traffic({stream});
+  EXPECT_EQ(traffic.generate(10e-6, 0).size(), 10u);
+  EXPECT_EQ(traffic.generate(1e-3, 0).size(), 1000u);
+}
+
+// Creation-time sequence of a schedule, shifted so chunks generated at
+// different phase offsets can be compared.
+std::vector<double> shifted_times(const std::vector<Message>& schedule,
+                                  double window_start,
+                                  double window_end) {
+  std::vector<double> times;
+  for (const auto& m : schedule)
+    if (m.creation_time_s >= window_start &&
+        m.creation_time_s < window_end)
+      times.push_back(m.creation_time_s - window_start);
+  return times;
+}
+
+TEST(PhaseTraceTraffic, SiblingTracesWithAdjacentSeedsDecorrelate) {
+  // Regression for seed+1, seed+2, ... sub-seeding: phase k of trace
+  // seed s used to replay phase k-1 of trace seed s+1 (identical RNG
+  // streams).  With the splitmix64 mixer every (seed, phase) pair is
+  // distinct.
+  auto uniform = std::make_shared<UniformRandomTraffic>(12, 5e8, 1024);
+  const PhaseTraceTraffic trace({{1e-6, uniform}});
+  const auto a = trace.generate(2e-6, 100);  // phases 0, 1 of seed 100
+  const auto b = trace.generate(2e-6, 101);  // phases 0, 1 of seed 101
+  const auto a_phase1 = shifted_times(a, 1e-6, 2e-6);
+  const auto b_phase0 = shifted_times(b, 0.0, 1e-6);
+  ASSERT_GT(a_phase1.size(), 100u);
+  EXPECT_NE(a_phase1, b_phase0);
+}
+
+TEST(MixedTraffic, NestedCompositesDecorrelateFromSiblings) {
+  // Part k of MixedTraffic(seed) used to share its stream with phase
+  // k-1 of PhaseTraceTraffic(seed): both handed out seed+k
+  // arithmetically.
+  auto uniform = std::make_shared<UniformRandomTraffic>(12, 5e8, 1024);
+  const MixedTraffic mixed({uniform, uniform});
+  const PhaseTraceTraffic trace({{1e-6, uniform}});
+  const auto from_mixed = mixed.generate(1e-6, 7);
+  const auto from_trace = trace.generate(2e-6, 7);
+  // Pre-fix both composites handed their children seeds 8 and 9, so
+  // the mixed schedule was exactly the union of the trace's two phase
+  // chunks (phase 1 shifted back by its phase offset).
+  std::vector<double> trace_union = shifted_times(from_trace, 0.0, 1e-6);
+  const auto phase1 = shifted_times(from_trace, 1e-6, 2e-6);
+  trace_union.insert(trace_union.end(), phase1.begin(), phase1.end());
+  std::sort(trace_union.begin(), trace_union.end());
+  const std::vector<double> mixed_times =
+      shifted_times(from_mixed, 0.0, 1e-6);
+  ASSERT_GT(mixed_times.size(), 100u);
+  EXPECT_NE(mixed_times, trace_union);
+  // And the two identical parts inside one MixedTraffic must not
+  // produce duplicate timestamps (they get distinct derived seeds).
+  std::size_t duplicates = 0;
+  for (std::size_t i = 1; i < from_mixed.size(); ++i)
+    if (from_mixed[i].creation_time_s ==
+        from_mixed[i - 1].creation_time_s)
+      ++duplicates;
+  EXPECT_EQ(duplicates, 0u);
 }
 
 }  // namespace

@@ -112,5 +112,19 @@ TEST(MicroRing, LargerShiftLowersOffStateLoss) {
   EXPECT_GT(t_large, t_small);
 }
 
+TEST(MicroRing, MultilevelDriverPowerScalesWithBitsPerSymbol) {
+  const double ook = 1.36e-3;
+  EXPECT_DOUBLE_EQ(multilevel_modulation_power_w(ook, 2), ook);
+  EXPECT_DOUBLE_EQ(multilevel_modulation_power_w(ook, 4), 2.0 * ook);
+  EXPECT_DOUBLE_EQ(multilevel_modulation_power_w(ook, 8), 3.0 * ook);
+  EXPECT_DOUBLE_EQ(multilevel_modulation_power_w(0.0, 4), 0.0);
+  EXPECT_THROW((void)multilevel_modulation_power_w(ook, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)multilevel_modulation_power_w(ook, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)multilevel_modulation_power_w(-1.0, 4),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace photecc::photonics

@@ -71,5 +71,32 @@ TEST(Photodetector, HigherDarkCurrentNeedsMoreSignal) {
             quiet_pd.required_signal_power(22.5, 0.0));
 }
 
+TEST(Photodetector, PamBoundarySnrSplitsTheEye) {
+  const Photodetector pd;
+  const double op = 500e-6;
+  const double full = pd.snr(op, 0.0);
+  EXPECT_DOUBLE_EQ(pd.pam_boundary_snr(op, 0.0, 2), full);
+  EXPECT_DOUBLE_EQ(pd.pam_boundary_snr(op, 0.0, 4), full / 9.0);
+  EXPECT_DOUBLE_EQ(pd.pam_boundary_snr(op, 0.0, 8), full / 49.0);
+  EXPECT_THROW((void)pd.pam_boundary_snr(op, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Photodetector, PamRequiredSignalPowerInvertsBoundarySnr) {
+  const Photodetector pd;
+  const double crosstalk = 5e-6;
+  for (const std::size_t levels :
+       {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const double op = pd.required_signal_power(22.5, crosstalk, levels);
+    EXPECT_NEAR(pd.pam_boundary_snr(op, crosstalk, levels), 22.5, 1e-9)
+        << levels;
+  }
+  // The OOK overloads are the levels == 2 special case.
+  EXPECT_DOUBLE_EQ(pd.required_signal_power(22.5, crosstalk, 2),
+                   pd.required_signal_power(22.5, crosstalk));
+  EXPECT_THROW((void)pd.required_signal_power(22.5, crosstalk, 0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace photecc::photonics
