@@ -3,25 +3,29 @@
 // three schemes are Pareto-optimal (uncoded = fast & hungry, H(7,4) =
 // slow & frugal, H(71,64) in between).
 //
-// Runs on the photecc::explore engine: the (code x BER) grid is declared
-// once and evaluated by the parallel SweepRunner; per-BER fronts come
-// from the engine's generic N-objective Pareto extraction with the
-// paper's two objectives (CT, Pchannel), on the per-BER slices of the
-// one evaluated grid.
+// Runs on the declarative spec API: the whole experiment — code menu,
+// BER targets and Pareto objectives — is the "fig6b" ExperimentSpec
+// preset (the same spec examples/specs/fig6b.json serializes), lowered
+// by spec::run onto the parallel SweepRunner; per-BER fronts come from
+// the engine's generic N-objective Pareto extraction with the spec's
+// two objectives (CT, Pchannel), on the per-BER slices of the one
+// evaluated grid.
 #include <iostream>
 
 #include "photecc/core/report.hpp"
 #include "photecc/explore/evaluators.hpp"
-#include "photecc/explore/runner.hpp"
 #include "photecc/math/table.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
 
 int main() {
   using namespace photecc;
-  const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
 
-  explore::ScenarioGrid grid;
-  grid.codes(explore::paper_scheme_names()).ber_targets(bers);
-  const auto result = explore::SweepRunner{}.run(grid);
+  const spec::ExperimentSpec experiment =
+      spec::preset_registry().make("fig6b", "preset");
+  const std::vector<double>& bers = experiment.ber_targets;
+  const auto objectives = spec::lower_objectives(experiment);
+  const auto result = spec::run(experiment);
 
   std::cout << "=== Fig. 6b: power/performance trade-off wrt BER and "
                "ECC ===\n\n";
@@ -35,8 +39,7 @@ int main() {
     for (const auto& cell : result.cells)
       if (cell.label("target_ber") == math::format_sci(ber, 0))
         slice.push_back(cell);
-    const auto front =
-        explore::pareto_front_indices(slice, explore::fig6b_objectives());
+    const auto front = explore::pareto_front_indices(slice, objectives);
     std::cout << "  BER " << math::format_sci(ber, 0) << ": ";
     for (std::size_t i = 0; i < front.size(); ++i) {
       if (i) std::cout << " -> ";

@@ -26,40 +26,22 @@
 #include <vector>
 
 #include "photecc/core/report.hpp"
-#include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
-#include "photecc/explore/runner.hpp"
-#include "photecc/math/modulation.hpp"
 #include "photecc/math/table.hpp"
 #include "photecc/math/units.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
 
 namespace {
 
 using namespace photecc;
 
-std::vector<explore::LinkVariant> link_variants() {
-  link::MwsrParams paper;  // 6 cm, 12 ONIs
-  link::MwsrParams short_reach;
-  short_reach.waveguide_length_m = 0.02;
-  short_reach.oni_count = 4;
-  return {{"paper-6cm-12oni", paper},
-          {"short-2cm-4oni", short_reach}};
-}
-
-explore::ScenarioGrid make_grid(bool smoke) {
-  explore::ScenarioGrid grid;
-  if (smoke) {
-    grid.codes(explore::paper_scheme_names()).ber_targets({1e-8, 1e-10});
-  } else {
-    std::vector<std::string> code_names;
-    for (const auto& code : ecc::all_known_codes())
-      code_names.push_back(code->name());
-    grid.codes(code_names)
-        .ber_targets({1e-6, 1e-9})
-        .link_variants(link_variants());
-  }
-  grid.modulations({math::Modulation::kOok, math::Modulation::kPam4});
-  return grid;
+/// The sweeps are the "modulation" / "modulation-smoke" ExperimentSpec
+/// presets: full code menu on the paper channel plus the short-reach
+/// link variant (full), paper schemes OOK-vs-PAM4 (smoke).
+spec::ExperimentSpec make_spec(bool smoke) {
+  return spec::preset_registry().make(
+      smoke ? "modulation-smoke" : "modulation", "preset");
 }
 
 void print_json_summary(const explore::ExperimentResult& result,
@@ -84,13 +66,15 @@ void print_json_summary(const explore::ExperimentResult& result,
 }
 
 int run_smoke() {
-  const explore::ScenarioGrid grid = make_grid(true);
-  const auto sequential = explore::SweepRunner{{1}}.run(grid);
-  const auto parallel = explore::SweepRunner{{4}}.run(grid);
+  spec::ExperimentSpec experiment = make_spec(true);
+  experiment.threads = 1;
+  const auto sequential = spec::run(experiment);
+  experiment.threads = 4;
+  const auto parallel = spec::run(experiment);
   const bool identical = sequential.csv() == parallel.csv() &&
                          sequential.json() == parallel.json();
   const auto front =
-      sequential.pareto_front(explore::fig6b_objectives());
+      sequential.pareto_front(spec::lower_objectives(experiment));
   if (!identical) {
     std::cerr << "smoke FAILED: sequential and parallel exports differ\n";
     return 1;
@@ -99,7 +83,7 @@ int run_smoke() {
     std::cerr << "smoke FAILED: empty OOK-vs-PAM4 Pareto front\n";
     return 1;
   }
-  std::cout << "smoke OK: " << grid.size()
+  std::cout << "smoke OK: " << sequential.cells.size()
             << "-cell OOK-vs-PAM4 grid byte-identical at 1 vs 4 "
                "threads\n";
   print_json_summary(sequential, front, identical);
@@ -107,11 +91,13 @@ int run_smoke() {
 }
 
 int run_full() {
-  const explore::ScenarioGrid grid = make_grid(false);
-  const auto result = explore::SweepRunner{{1}}.run(grid);
+  spec::ExperimentSpec experiment = make_spec(false);
+  experiment.threads = 1;
+  const auto result = spec::run(experiment);
   // The baseline JSON records the same 1-vs-N byte-identity check the
   // smoke mode performs, so the field is backed by a real comparison.
-  const auto parallel = explore::SweepRunner{{4}}.run(grid);
+  experiment.threads = 4;
+  const auto parallel = spec::run(experiment);
   const bool identical = result.csv() == parallel.csv() &&
                          result.json() == parallel.json();
 
@@ -141,7 +127,7 @@ int run_full() {
   }
   core::print_table(std::cout, "Per-format operating points:", table);
 
-  const auto front = result.pareto_front(explore::fig6b_objectives());
+  const auto front = result.pareto_front(spec::lower_objectives(experiment));
   std::cout << "Combined (CT, Pchannel) Pareto front:\n";
   std::size_t sub_unity_ct = 0;
   for (const std::size_t i : front) {

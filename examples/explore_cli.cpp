@@ -1,22 +1,31 @@
-// Command-line driver of the photecc::explore design-space engine.
+// Command-line driver of the photecc experiment stack — a thin shim
+// over photecc::spec: every mode and flag is parsed *into* an
+// ExperimentSpec, which is then validated, optionally printed
+// (--dump-spec) and executed by spec::run on the explore engine.  The
+// same experiment can therefore be launched from C++ (SpecBuilder), a
+// JSON document (--config) or these flags, interchangeably.
 //
 //   explore_cli --fig6b            reproduce the paper's Fig. 6b sweep
 //   explore_cli --noc              multi-axis NoC sweep (traffic x load x
 //                                  gating x policy x ONI count)
+//   explore_cli --config FILE     run an ExperimentSpec JSON document
+//   explore_cli --preset NAME     run a registered spec preset (fig6b,
+//                                  noc, modulation, modulation-smoke)
 //   explore_cli --smoke            fast end-to-end self-check (CI): runs a
 //                                  small grid sequentially and in parallel
-//                                  and verifies byte-identical exports
+//                                  and verifies byte-identical exports;
+//                                  with --config, checks that config's grid
 //   explore_cli --bench            sequential-vs-parallel wall time on a
 //                                  600-cell grid, JSON to stdout
 //
 // Common flags: --threads N (0 = hardware), --csv FILE, --json FILE,
 // --modulation LIST (comma-separated signaling formats, e.g.
-// "ook,pam4"; adds a modulation axis to the --fig6b/--noc/--bench
-// grids).
-#include <chrono>
-#include <cstring>
+// "ook,pam4"; adds a modulation axis to the grid), --dump-spec (print
+// the effective spec as canonical JSON and exit).
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,69 +34,80 @@
 #include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
 #include "photecc/explore/runner.hpp"
-#include "photecc/math/modulation.hpp"
+#include "photecc/math/json.hpp"
 #include "photecc/math/parallel.hpp"
 #include "photecc/math/table.hpp"
 #include "photecc/math/units.hpp"
+#include "photecc/spec/builder.hpp"
+#include "photecc/spec/cli.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
 
 namespace {
 
 using namespace photecc;
 
 struct Options {
-  std::string mode;
-  std::size_t threads = 0;
+  std::string mode;           ///< --fig6b / --noc / --smoke / --bench
+  std::string config_path;    ///< --config FILE
+  std::string preset;         ///< --preset NAME
+  bool dump_spec = false;
+  std::optional<std::size_t> threads;
   std::string csv_path;
   std::string json_path;
-  /// Modulation axis values; empty = no axis (OOK-only, the pre-PAM
+  /// Modulation axis names; empty = no axis (OOK-only, the pre-PAM
   /// grids, byte-identical to historical outputs).
-  std::vector<math::Modulation> modulations;
+  std::vector<std::string> modulations;
 };
 
 int usage(std::ostream& os, int code) {
   os << "usage: explore_cli --fig6b | --noc | --smoke | --bench\n"
+        "                   | --config FILE [--smoke]\n"
+        "                   | --preset NAME [--smoke]\n"
         "                   [--threads N] [--csv FILE] [--json FILE]\n"
-        "                   [--modulation ook,pam4,pam8]\n";
+        "                   [--modulation ook,pam4,pam8] [--dump-spec]\n";
   return code;
 }
 
-/// Comma-separated modulation list, e.g. "ook,pam4".
-bool parse_modulations(const std::string& raw,
-                       std::vector<math::Modulation>& out) {
-  out.clear();
-  std::size_t start = 0;
-  while (start <= raw.size()) {
-    const std::size_t comma = raw.find(',', start);
-    const std::size_t end = comma == std::string::npos ? raw.size() : comma;
-    const auto parsed =
-        math::modulation_from_string(raw.substr(start, end - start));
-    if (!parsed) return false;
-    out.push_back(*parsed);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return !out.empty();
+/// The --bench grid: full code family x 6 BER targets x 5 waveguide
+/// lengths (>= 500 cells).
+spec::ExperimentSpec bench_spec() {
+  std::vector<std::string> code_names;
+  for (const auto& code : ecc::all_known_codes())
+    code_names.push_back(code->name());
+  return spec::SpecBuilder()
+      .name("bench-multiaxis")
+      .codes(std::move(code_names))
+      .ber_targets({1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11})
+      .links({"2 cm", "4 cm", "6 cm", "10 cm", "14 cm"})
+      .build();
 }
 
-/// Applies the --modulation axis to a grid when the flag was given.
-void apply_modulation_axis(explore::ScenarioGrid& grid,
-                           const Options& options) {
-  if (!options.modulations.empty()) grid.modulations(options.modulations);
-}
-
-/// Non-negative integer parse that reports bad input as a usage error
-/// instead of an uncaught std::stoul exception.
-bool parse_size(const std::string& raw, std::size_t& out) {
-  if (raw.empty() || raw[0] == '-') return false;  // stoul wraps negatives
-  try {
-    std::size_t consumed = 0;
-    const unsigned long value = std::stoul(raw, &consumed);
-    if (consumed != raw.size()) return false;
-    out = static_cast<std::size_t>(value);
-    return true;
-  } catch (const std::exception&) {
-    return false;
+/// The effective spec of a single-grid mode: preset / config document /
+/// bench grid, with the flag overrides applied.
+spec::ExperimentSpec effective_spec(const Options& options) {
+  spec::ExperimentSpec spec;
+  if (!options.config_path.empty()) {
+    std::ifstream is(options.config_path);
+    if (!is)
+      throw spec::SpecError("--config",
+                            "cannot open '" + options.config_path + "'");
+    std::ostringstream text;
+    text << is.rdbuf();
+    spec = spec::from_json(text.str());
+  } else if (!options.preset.empty()) {
+    spec = spec::preset_registry().make(options.preset, "--preset");
+  } else if (options.mode == "--fig6b") {
+    spec = spec::preset_registry().make("fig6b", "--fig6b");
+  } else if (options.mode == "--noc") {
+    spec = spec::preset_registry().make("noc", "--noc");
+  } else {  // --bench
+    spec = bench_spec();
   }
+  if (options.threads) spec.threads = *options.threads;
+  if (!options.modulations.empty()) spec.modulations = options.modulations;
+  spec::validate(spec);
+  return spec;
 }
 
 void export_result(const explore::ExperimentResult& result,
@@ -106,13 +126,9 @@ void export_result(const explore::ExperimentResult& result,
 
 // --- --fig6b -----------------------------------------------------------
 
-int run_fig6b(const Options& options) {
-  const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
-  explore::ScenarioGrid grid;
-  grid.codes(explore::paper_scheme_names()).ber_targets(bers);
-  apply_modulation_axis(grid, options);
-  const explore::SweepRunner runner{{options.threads}};
-  const auto result = runner.run(grid);
+int run_fig6b(const spec::ExperimentSpec& experiment,
+              const Options& options) {
+  const auto result = spec::run(experiment);
 
   std::cout << "=== Fig. 6b on the explore engine (" << result.cells.size()
             << " cells, " << result.threads_used << " threads, "
@@ -121,14 +137,14 @@ int run_fig6b(const Options& options) {
                     "(CT, Pchannel) points; '*' = on the Pareto front:",
                     core::pareto_table(result.to_tradeoff_sweep()));
 
+  const auto objectives = spec::lower_objectives(experiment);
   std::cout << "Per-BER Pareto fronts:\n";
-  for (const double ber : bers) {
+  for (const double ber : experiment.ber_targets) {
     std::vector<explore::CellResult> slice;
     for (const auto& cell : result.cells)
       if (cell.label("target_ber") == math::format_sci(ber, 0))
         slice.push_back(cell);
-    const auto front =
-        explore::pareto_front_indices(slice, explore::fig6b_objectives());
+    const auto front = explore::pareto_front_indices(slice, objectives);
     std::cout << "  BER " << math::format_sci(ber, 0) << ": ";
     for (std::size_t i = 0; i < front.size(); ++i) {
       if (i) std::cout << " -> ";
@@ -144,27 +160,17 @@ int run_fig6b(const Options& options) {
 
 // --- --noc -------------------------------------------------------------
 
-int run_noc(const Options& options) {
-  explore::ScenarioGrid grid;
-  grid.traffic_patterns({explore::uniform_traffic(1e8),
-                         explore::uniform_traffic(4e8),
-                         explore::hotspot_traffic(2e8, 0, 0.5)})
-      .laser_gating({true, false})
-      .policies({core::Policy::kMinEnergy, core::Policy::kMinTime})
-      .oni_counts({8, 12})
-      .noc_horizon(1e-6);
-  apply_modulation_axis(grid, options);
-  const explore::SweepRunner runner{{options.threads}};
-  const auto result = runner.run(grid);
+int run_noc(const spec::ExperimentSpec& experiment, const Options& options) {
+  const auto result = spec::run(experiment);
 
   std::cout << "=== Multi-axis NoC sweep (" << result.cells.size()
             << " cells, " << result.threads_used << " threads, "
             << math::format_fixed(result.wall_time_s * 1e3, 1)
             << " ms) ===\n\n";
-  // The modulation column appears only when --modulation declared the
+  // The modulation column appears only when the spec declares the
   // axis; without it the historical column set (and output) stays
   // unchanged.
-  const bool with_modulation = !options.modulations.empty();
+  const bool with_modulation = !experiment.modulations.empty();
   std::vector<std::string> headers{"oni", "traffic", "gating", "policy"};
   if (with_modulation) headers.push_back("modulation");
   for (const char* metric_header :
@@ -193,8 +199,7 @@ int run_noc(const Options& options) {
   }
   table.render(std::cout);
 
-  const auto front = result.pareto_front(
-      {{"mean_latency_s", true}, {"energy_per_bit_j", true}});
+  const auto front = result.pareto_front(spec::lower_objectives(experiment));
   std::cout << "\nPareto front in (mean latency, energy/bit): "
             << front.size() << " of " << result.cells.size()
             << " cells.\n";
@@ -202,45 +207,116 @@ int run_noc(const Options& options) {
   return 0;
 }
 
+// --- --config (generic spec-driven run) --------------------------------
+
+int run_config(const spec::ExperimentSpec& experiment,
+               const Options& options) {
+  const auto result = spec::run(experiment);
+  std::cout << "=== "
+            << (experiment.name.empty() ? std::string("experiment")
+                                        : experiment.name)
+            << " (" << result.cells.size() << " cells, "
+            << result.threads_used << " threads, "
+            << math::format_fixed(result.wall_time_s * 1e3, 1)
+            << " ms) ===\n";
+  std::size_t feasible = 0;
+  for (const auto& cell : result.cells)
+    if (cell.feasible) ++feasible;
+  std::cout << "feasible: " << feasible << " of " << result.cells.size()
+            << "\n";
+  if (!experiment.objectives.empty()) {
+    const auto front =
+        result.pareto_front(spec::lower_objectives(experiment));
+    std::cout << "Pareto front (";
+    for (std::size_t i = 0; i < experiment.objectives.size(); ++i) {
+      if (i) std::cout << ", ";
+      std::cout << (experiment.objectives[i].minimize ? "min " : "max ")
+                << experiment.objectives[i].metric;
+    }
+    std::cout << "): " << front.size() << " cells\n";
+    for (const std::size_t i : front) {
+      const auto& cell = result.cells[i];
+      std::cout << "  #" << cell.index;
+      for (const auto& [axis, value] : cell.labels)
+        std::cout << " " << axis << "=" << value;
+      for (const auto& objective : experiment.objectives)
+        std::cout << " " << objective.metric << "="
+                  << math::json::number(
+                         cell.metric(objective.metric).value_or(0.0));
+      std::cout << "\n";
+    }
+  }
+  export_result(result, options);
+  return 0;
+}
+
+/// 1-vs-N byte-identity self-check of one spec (the --config --smoke
+/// path CI runs on examples/specs/*.json).
+int run_config_smoke(const spec::ExperimentSpec& experiment) {
+  spec::ExperimentSpec sequential_spec = experiment;
+  sequential_spec.threads = 1;
+  spec::ExperimentSpec parallel_spec = experiment;
+  if (parallel_spec.threads <= 1) parallel_spec.threads = 4;
+  const auto sequential = spec::run(sequential_spec);
+  const auto parallel = spec::run(parallel_spec);
+  if (sequential.csv() != parallel.csv() ||
+      sequential.json() != parallel.json()) {
+    std::cerr << "smoke FAILED: sequential and parallel exports differ\n";
+    return 1;
+  }
+  std::cout << "smoke OK: " << sequential.cells.size()
+            << "-cell spec grid byte-identical at 1 vs "
+            << parallel_spec.threads << " threads\n";
+  return 0;
+}
+
 // --- --smoke -----------------------------------------------------------
 
 int run_smoke(const Options& options) {
   // Link grid: every evaluator metric exercised, sequential vs parallel.
-  explore::ScenarioGrid link_grid;
-  link_grid.codes(explore::paper_scheme_names())
-      .ber_targets({1e-8, 1e-10});
+  const spec::ExperimentSpec link_spec =
+      spec::SpecBuilder()
+          .codes(explore::paper_scheme_names())
+          .ber_targets({1e-8, 1e-10})
+          .build();
   // NoC grid: seeded simulation, gating on/off.
-  explore::ScenarioGrid noc_grid;
-  noc_grid.traffic_patterns({explore::uniform_traffic(2e8)})
-      .laser_gating({true, false})
-      .noc_horizon(5e-7);
+  const spec::ExperimentSpec noc_spec = spec::SpecBuilder()
+                                            .uniform_traffic(2e8)
+                                            .laser_gating({true, false})
+                                            .noc_horizon(5e-7)
+                                            .build();
   // Modulation grid: the OOK-vs-PAM4 sweep of the multilevel layer.
-  explore::ScenarioGrid modulation_grid;
-  modulation_grid.codes(explore::paper_scheme_names())
-      .ber_targets({1e-8, 1e-10})
-      .modulations({math::Modulation::kOok, math::Modulation::kPam4});
+  const spec::ExperimentSpec modulation_spec =
+      spec::SpecBuilder()
+          .codes(explore::paper_scheme_names())
+          .ber_targets({1e-8, 1e-10})
+          .modulations({"ook", "pam4"})
+          .build();
 
-  const std::size_t parallel_threads = options.threads ? options.threads : 4;
-  const explore::SweepRunner sequential{{1}};
-  const explore::SweepRunner parallel{{parallel_threads}};
+  const std::size_t parallel_threads =
+      options.threads.value_or(0) ? *options.threads : 4;
   explore::ExperimentResult link_result;
-  for (const auto* grid : {&link_grid, &noc_grid, &modulation_grid}) {
-    auto a = sequential.run(*grid);
-    const auto b = parallel.run(*grid);
+  for (const auto* experiment : {&link_spec, &noc_spec, &modulation_spec}) {
+    spec::ExperimentSpec sequential_spec = *experiment;
+    sequential_spec.threads = 1;
+    spec::ExperimentSpec parallel_spec = *experiment;
+    parallel_spec.threads = parallel_threads;
+    auto a = spec::run(sequential_spec);
+    const auto b = spec::run(parallel_spec);
     if (a.csv() != b.csv() || a.json() != b.json()) {
       std::cerr << "smoke FAILED: sequential and parallel exports differ\n";
       return 1;
     }
-    if (grid == &link_grid) link_result = std::move(a);
+    if (experiment == &link_spec) link_result = std::move(a);
   }
   const auto front = link_result.pareto_front(explore::fig6b_objectives());
   if (front.empty()) {
     std::cerr << "smoke FAILED: empty Fig. 6b Pareto front\n";
     return 1;
   }
-  std::cout << "smoke OK: " << link_grid.size() << "-cell link grid, "
-            << noc_grid.size() << "-cell NoC grid and "
-            << modulation_grid.size()
+  std::cout << "smoke OK: " << spec::lower(link_spec).size()
+            << "-cell link grid, " << spec::lower(noc_spec).size()
+            << "-cell NoC grid and " << spec::lower(modulation_spec).size()
             << "-cell modulation grid byte-identical at 1 vs "
             << parallel_threads << " threads; front size " << front.size()
             << "\n";
@@ -250,27 +326,16 @@ int run_smoke(const Options& options) {
 
 // --- --bench -----------------------------------------------------------
 
-int run_bench(const Options& options) {
-  // >= 500 cells: full code family x 6 BER targets x 5 waveguide lengths.
-  std::vector<std::string> code_names;
-  for (const auto& code : ecc::all_known_codes())
-    code_names.push_back(code->name());
-  std::vector<explore::LinkVariant> lengths;
-  for (const double cm : {2.0, 4.0, 6.0, 10.0, 14.0}) {
-    link::MwsrParams p;
-    p.waveguide_length_m = cm * 1e-2;
-    lengths.emplace_back(math::format_fixed(cm, 0) + " cm", p);
-  }
-  explore::ScenarioGrid grid;
-  grid.codes(code_names)
-      .ber_targets({1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11})
-      .link_variants(lengths);
-  apply_modulation_axis(grid, options);
+int run_bench(const spec::ExperimentSpec& experiment,
+              const Options& options) {
+  spec::ExperimentSpec sequential_spec = experiment;
+  sequential_spec.threads = 1;
+  spec::ExperimentSpec parallel_spec = experiment;
+  if (parallel_spec.threads == 0)
+    parallel_spec.threads = math::default_thread_count();
 
-  const std::size_t threads =
-      options.threads ? options.threads : math::default_thread_count();
-  const auto sequential = explore::SweepRunner{{1}}.run(grid);
-  const auto parallel = explore::SweepRunner{{threads}}.run(grid);
+  const auto sequential = spec::run(sequential_spec);
+  const auto parallel = spec::run(parallel_spec);
   const bool identical = sequential.csv() == parallel.csv() &&
                          sequential.json() == parallel.json();
   const double speedup = parallel.wall_time_s > 0.0
@@ -279,11 +344,11 @@ int run_bench(const Options& options) {
 
   std::cout << "{\n"
             << "  \"benchmark\": \"explore_fig6b_multiaxis_sweep\",\n"
-            << "  \"cells\": " << grid.size() << ",\n"
+            << "  \"cells\": " << sequential.cells.size() << ",\n"
             << "  \"hardware_concurrency\": "
             << std::thread::hardware_concurrency() << ",\n"
             << "  \"sequential_s\": " << sequential.wall_time_s << ",\n"
-            << "  \"parallel_threads\": " << threads << ",\n"
+            << "  \"parallel_threads\": " << parallel_spec.threads << ",\n"
             << "  \"parallel_s\": " << parallel.wall_time_s << ",\n"
             << "  \"speedup\": " << speedup << ",\n"
             << "  \"identical_output\": " << (identical ? "true" : "false")
@@ -292,39 +357,89 @@ int run_bench(const Options& options) {
   return identical ? 0 : 1;
 }
 
+int dispatch(const Options& options) {
+  if (!options.config_path.empty() || !options.preset.empty()) {
+    const spec::ExperimentSpec experiment = effective_spec(options);
+    if (options.dump_spec) {
+      std::cout << experiment.to_json();
+      return 0;
+    }
+    if (options.mode == "--smoke") return run_config_smoke(experiment);
+    return run_config(experiment, options);
+  }
+  if (options.mode == "--smoke") return run_smoke(options);
+  if (options.mode.empty()) return usage(std::cerr, 2);
+
+  const spec::ExperimentSpec experiment = effective_spec(options);
+  if (options.dump_spec) {
+    std::cout << experiment.to_json();
+    return 0;
+  }
+  if (options.mode == "--fig6b") return run_fig6b(experiment, options);
+  if (options.mode == "--noc") return run_noc(experiment, options);
+  return run_bench(experiment, options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fig6b" || arg == "--noc" || arg == "--smoke" ||
-        arg == "--bench") {
-      options.mode = arg;
-    } else if (arg == "--threads" && i + 1 < argc) {
-      if (!parse_size(argv[++i], options.threads)) {
-        std::cerr << "bad --threads value: " << argv[i] << "\n";
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--fig6b" || arg == "--noc" || arg == "--smoke" ||
+          arg == "--bench") {
+        options.mode = arg;
+      } else if (arg == "--config" && i + 1 < argc) {
+        options.config_path = argv[++i];
+      } else if (arg == "--preset" && i + 1 < argc) {
+        options.preset = argv[++i];
+      } else if (arg == "--dump-spec") {
+        options.dump_spec = true;
+      } else if (arg == "--threads" && i + 1 < argc) {
+        options.threads = spec::parse_size("--threads", argv[++i]);
+      } else if (arg == "--csv" && i + 1 < argc) {
+        options.csv_path = argv[++i];
+      } else if (arg == "--json" && i + 1 < argc) {
+        options.json_path = argv[++i];
+      } else if (arg == "--modulation" && i + 1 < argc) {
+        options.modulations =
+            spec::parse_modulation_names("--modulation", argv[++i]);
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(std::cout, 0);
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
         return usage(std::cerr, 2);
       }
-    } else if (arg == "--csv" && i + 1 < argc) {
-      options.csv_path = argv[++i];
-    } else if (arg == "--json" && i + 1 < argc) {
-      options.json_path = argv[++i];
-    } else if (arg == "--modulation" && i + 1 < argc) {
-      if (!parse_modulations(argv[++i], options.modulations)) {
-        std::cerr << "bad --modulation value: " << argv[i] << "\n";
-        return usage(std::cerr, 2);
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      return usage(std::cout, 0);
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n";
+    }
+    if (!options.config_path.empty() && !options.preset.empty()) {
+      std::cerr << "--config cannot be combined with --preset\n";
       return usage(std::cerr, 2);
     }
+    if ((!options.config_path.empty() || !options.preset.empty()) &&
+        !options.mode.empty() && options.mode != "--smoke") {
+      std::cerr << "--config/--preset cannot be combined with "
+                << options.mode << "\n";
+      return usage(std::cerr, 2);
+    }
+    if (options.dump_spec && options.config_path.empty() &&
+        options.preset.empty() &&
+        (options.mode.empty() || options.mode == "--smoke")) {
+      std::cerr << "--dump-spec needs a single-grid mode (--fig6b, --noc, "
+                   "--bench or --config)\n";
+      return usage(std::cerr, 2);
+    }
+    return dispatch(options);
+  } catch (const spec::SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const math::json::ParseError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    // Backstop for anything validation did not anticipate: still a
+    // diagnostic and a clean exit, never std::terminate.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
-  if (options.mode == "--fig6b") return run_fig6b(options);
-  if (options.mode == "--noc") return run_noc(options);
-  if (options.mode == "--smoke") return run_smoke(options);
-  if (options.mode == "--bench") return run_bench(options);
-  return usage(std::cerr, 2);
 }

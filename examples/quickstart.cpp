@@ -3,16 +3,22 @@
 //
 //   $ ./quickstart [target_ber]
 //
-// Walks the public API end to end: build the paper's default channel,
-// inspect its link budget, solve the operating point per scheme, and
-// print the resulting power/performance table.
+// Walks the public API end to end on the declarative spec layer: the
+// experiment — the paper's "paper" link variant, its three-scheme code
+// menu and the BER target — is one ExperimentSpec built fluently, and
+// spec::run evaluates it on the explore engine.  The same spec could
+// equally come from a JSON document (spec::from_json) or explore_cli
+// flags; see README "Three ways to describe an experiment".
 #include <cstdlib>
 #include <iostream>
 
 #include "photecc/core/report.hpp"
-#include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
 #include "photecc/link/link_budget.hpp"
 #include "photecc/math/units.hpp"
+#include "photecc/spec/builder.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
 
 int main(int argc, char** argv) {
   using namespace photecc;
@@ -24,12 +30,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 1. The optical channel: the paper's MWSR setup (12 ONIs,
-  //    16 wavelengths, 6 cm waveguide) with every parameter overridable
-  //    through link::MwsrParams.
-  const link::MwsrChannel channel{link::MwsrParams{}};
+  // 1. The experiment, declaratively: the paper's MWSR channel (12
+  //    ONIs, 16 wavelengths, 6 cm waveguide — the "paper" link-registry
+  //    variant) with the paper's three transmission schemes.
+  const spec::ExperimentSpec experiment =
+      spec::SpecBuilder()
+          .name("quickstart")
+          .link("paper")
+          .codes(explore::paper_scheme_names())
+          .ber_targets({target_ber})
+          .build();
 
-  // 2. Where does the light go?  The stage-by-stage insertion-loss walk.
+  // 2. Where does the light go?  The stage-by-stage insertion-loss walk
+  //    on the channel the spec's link variant describes.
+  const link::MwsrChannel channel{
+      spec::link_registry().make(experiment.base_link, "base.link")};
   std::cout << "Link budget (worst wavelength):\n";
   const auto budget =
       link::compute_link_budget(channel, channel.worst_channel());
@@ -41,10 +56,10 @@ int main(int argc, char** argv) {
             << " dB + eye penalty "
             << math::format_fixed(budget.eye_penalty_db, 2) << " dB\n\n";
 
-  // 3. Solve the operating point for each transmission scheme and print
-  //    the paper's power/performance table.
-  const auto metrics =
-      core::evaluate_schemes(channel, ecc::paper_schemes(), target_ber);
+  // 3. Run the spec and print the paper's power/performance table.
+  const auto result = spec::run(experiment);
+  std::vector<core::SchemeMetrics> metrics;
+  for (const auto& cell : result.cells) metrics.push_back(*cell.scheme);
   core::print_table(std::cout,
                     "Operating points @ target BER " +
                         math::format_sci(target_ber, 0) + ":",

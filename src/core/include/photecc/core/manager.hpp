@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "photecc/core/channel_power.hpp"
@@ -26,6 +27,15 @@ enum class Policy {
 };
 
 [[nodiscard]] std::string to_string(Policy policy);
+
+/// Exact inverse of to_string(Policy): "min-power" / "min-energy" /
+/// "min-time" (case-sensitive); nullopt for anything else.
+[[nodiscard]] std::optional<Policy> policy_from_string(
+    std::string_view name);
+
+/// Every Policy enumerator, in declaration order (for registries and
+/// error messages that list the valid names).
+[[nodiscard]] const std::vector<Policy>& all_policies();
 
 /// One communication request from a source ONI.
 struct CommunicationRequest {

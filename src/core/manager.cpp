@@ -16,6 +16,18 @@ std::string to_string(Policy policy) {
   throw std::logic_error("to_string: bad Policy");
 }
 
+std::optional<Policy> policy_from_string(std::string_view name) {
+  for (const Policy policy : all_policies())
+    if (name == to_string(policy)) return policy;
+  return std::nullopt;
+}
+
+const std::vector<Policy>& all_policies() {
+  static const std::vector<Policy> policies{
+      Policy::kMinPower, Policy::kMinEnergy, Policy::kMinTime};
+  return policies;
+}
+
 LinkManager::LinkManager(link::MwsrChannel channel,
                          std::vector<ecc::BlockCodePtr> codes,
                          SystemConfig config)

@@ -23,6 +23,24 @@ const std::vector<Objective>& fig6b_objectives() {
   return objectives;
 }
 
+const std::vector<std::string>& link_cell_metric_names() {
+  static const std::vector<std::string> names{
+      "ct",          "p_channel_w",      "p_laser_w",
+      "p_mr_w",      "p_enc_dec_w",      "energy_per_bit_j",
+      "code_rate",   "op_laser_w",       "snr",
+      "p_interconnect_w", "total_loss_db"};
+  return names;
+}
+
+const std::vector<std::string>& noc_cell_metric_names() {
+  static const std::vector<std::string> names{
+      "delivered",       "dropped",         "deadline_misses",
+      "mean_latency_s",  "p95_latency_s",   "max_latency_s",
+      "total_energy_j",  "laser_energy_j",  "idle_laser_energy_j",
+      "energy_per_bit_j", "busy_time_s"};
+  return names;
+}
+
 CellResult evaluate_link_cell(const Scenario& scenario) {
   CellResult result;
   result.index = scenario.index;

@@ -20,18 +20,28 @@ namespace photecc::explore {
 /// extraction.
 [[nodiscard]] const std::vector<Objective>& fig6b_objectives();
 
+/// The exact metric names evaluate_link_cell / evaluate_noc_cell
+/// publish, in column order — the validation surface for objective
+/// references (spec layer).  Defined next to the evaluators so a
+/// metric rename cannot silently drift apart from the declared list
+/// (locked by a test).
+[[nodiscard]] const std::vector<std::string>& link_cell_metric_names();
+[[nodiscard]] const std::vector<std::string>& noc_cell_metric_names();
+
 /// Analytic evaluation: core::evaluate_scheme on the scenario's channel.
-/// Metrics: ct, p_channel_w, p_laser_w, p_mr_w, p_enc_dec_w,
-/// energy_per_bit_j, code_rate, op_laser_w, snr, p_interconnect_w,
-/// total_loss_db.  Also fills CellResult::scheme for the core bridges.
+/// Metrics: link_cell_metric_names() — ct, p_channel_w, p_laser_w,
+/// p_mr_w, p_enc_dec_w, energy_per_bit_j, code_rate, op_laser_w, snr,
+/// p_interconnect_w, total_loss_db.  Also fills CellResult::scheme for
+/// the core bridges.
 [[nodiscard]] CellResult evaluate_link_cell(const Scenario& scenario);
 
 /// Dynamic evaluation: one NocSimulator::run seeded with the scenario's
 /// deterministic seed.  The scheme menu is the scenario's single code
 /// when the code axis is set, else the paper's adaptive three-scheme
-/// menu.  Metrics: delivered, dropped, deadline_misses, mean_latency_s,
-/// p95_latency_s, max_latency_s, total_energy_j, laser_energy_j,
-/// idle_laser_energy_j, energy_per_bit_j, busy_time_s.
+/// menu.  Metrics: noc_cell_metric_names() — delivered, dropped,
+/// deadline_misses, mean_latency_s, p95_latency_s, max_latency_s,
+/// total_energy_j, laser_energy_j, idle_laser_energy_j,
+/// energy_per_bit_j, busy_time_s.
 [[nodiscard]] CellResult evaluate_noc_cell(const Scenario& scenario);
 
 }  // namespace photecc::explore

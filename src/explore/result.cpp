@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "photecc/explore/scenario.hpp"
+#include "photecc/math/json.hpp"
 
 namespace photecc::explore {
 
@@ -130,33 +130,6 @@ std::string csv_field(const std::string& raw) {
   return quoted;
 }
 
-std::string json_string(const std::string& raw) {
-  std::string out = "\"";
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";
-  return format_double(value);
-}
-
 /// First-seen-order union of (axis | metric) names over all cells.
 template <typename Pairs, typename Proj>
 std::vector<std::string> column_union(const Pairs& cells, Proj proj) {
@@ -214,15 +187,15 @@ void ExperimentResult::write_json(std::ostream& os) const {
     os << "\n  {\"index\":" << cell.index << ",\"labels\":{";
     for (std::size_t k = 0; k < cell.labels.size(); ++k) {
       if (k) os << ',';
-      os << json_string(cell.labels[k].first) << ':'
-         << json_string(cell.labels[k].second);
+      os << math::json::escape(cell.labels[k].first) << ':'
+         << math::json::escape(cell.labels[k].second);
     }
     os << "},\"feasible\":" << (cell.feasible ? "true" : "false")
        << ",\"metrics\":{";
     for (std::size_t k = 0; k < cell.metrics.size(); ++k) {
       if (k) os << ',';
-      os << json_string(cell.metrics[k].first) << ':'
-         << json_number(cell.metrics[k].second);
+      os << math::json::escape(cell.metrics[k].first) << ':'
+         << math::json::number(cell.metrics[k].second);
     }
     os << "}}";
   }

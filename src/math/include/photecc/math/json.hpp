@@ -1,0 +1,132 @@
+// Strict JSON reader — the parsing twin of the repo's hand-rolled JSON
+// writers (explore::ExperimentResult::write_json, the bench summary
+// blocks, spec::ExperimentSpec::to_json).
+//
+// Design constraints, in order:
+//   1. *Strict*: full RFC 8259 grammar, nothing more.  Duplicate object
+//      keys, trailing garbage, control characters in strings, lone
+//      surrogates, leading zeros and truncated input are all hard
+//      errors — a config that parses is a config whose meaning is
+//      unambiguous.
+//   2. *Precise errors*: every rejection carries 1-based line/column
+//      and says what was expected, so a spec-layer caller can prepend a
+//      field path and hand the user an actionable message.
+//   3. *Exact numbers*: a Number value keeps its source token.
+//      as_double() converts via from_chars (shortest-round-trip exact);
+//      as_uint64() re-parses the token as a decimal integer so 64-bit
+//      seeds survive even beyond 2^53 where a double detour would
+//      silently round.
+//
+// Objects preserve insertion order (vector of pairs, like the writers),
+// so reader + writer compose to byte-stable round trips.
+#ifndef PHOTECC_MATH_JSON_HPP
+#define PHOTECC_MATH_JSON_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace photecc::math::json {
+
+/// Parse failure: `what()` is "json parse error at line L, column C:
+/// <reason>"; line/column are also exposed for callers that want them.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& reason, std::size_t line, std::size_t column)
+      : std::runtime_error("json parse error at line " +
+                           std::to_string(line) + ", column " +
+                           std::to_string(column) + ": " + reason),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+  [[nodiscard]] std::size_t column() const noexcept { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Type-mismatch or range failure on an accessor of an already-parsed
+/// Value ("expected string, got number").
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value.  Accessors throw TypeError on kind mismatch.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  /// Insertion-ordered; the parser guarantees key uniqueness.
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() : data_(nullptr) {}  // null
+  static Value make_bool(bool b) { return Value{Data{b}}; }
+  static Value make_number(std::string token) {
+    return Value{Data{Number{std::move(token)}}};
+  }
+  static Value make_string(std::string s) { return Value{Data{std::move(s)}}; }
+  static Value make_array(Array a) { return Value{Data{std::move(a)}}; }
+  static Value make_object(Object o) { return Value{Data{std::move(o)}}; }
+
+  [[nodiscard]] Type type() const noexcept;
+  /// Lower-case type name ("null", "bool", "number", ...), for messages.
+  [[nodiscard]] std::string type_name() const;
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return type() == Type::kNull;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  /// Exact double of a number token (from_chars).
+  [[nodiscard]] double as_double() const;
+  /// Exact unsigned integer; TypeError when the token is negative,
+  /// fractional, uses an exponent, or overflows 64 bits.
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  /// The verbatim source token of a number ("1e-06", "4096", ...).
+  [[nodiscard]] const std::string& number_token() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (TypeError on non-object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+ private:
+  struct Number {
+    std::string token;
+  };
+  using Data = std::variant<std::nullptr_t, bool, Number, std::string, Array,
+                            Object>;
+
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+/// Parses exactly one JSON document (any trailing non-whitespace is an
+/// error).  Throws ParseError.  Nesting is limited to 128 levels so
+/// adversarial input ("[[[[…") cannot exhaust the stack.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Writer-side helpers shared with the hand-rolled emitters:
+
+/// Quotes and escapes one string ('ab"c' -> "\"ab\\\"c\"").
+[[nodiscard]] std::string escape(std::string_view raw);
+
+/// Shortest round-trip number emission (std::to_chars): deterministic,
+/// and parse(number(x)).as_double() == x exactly.  Non-finite values
+/// emit "null" (JSON has no NaN/Inf).
+[[nodiscard]] std::string number(double value);
+
+}  // namespace photecc::math::json
+
+#endif  // PHOTECC_MATH_JSON_HPP

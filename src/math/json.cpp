@@ -1,0 +1,366 @@
+#include "photecc/math/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace photecc::math::json {
+
+Value::Type Value::type() const noexcept {
+  switch (data_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kNumber;
+    case 3: return Type::kString;
+    case 4: return Type::kArray;
+    default: return Type::kObject;
+  }
+}
+
+std::string Value::type_name() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void type_mismatch(const Value& value, const char* wanted) {
+  throw TypeError(std::string("expected ") + wanted + ", got " +
+                  value.type_name());
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  type_mismatch(*this, "bool");
+}
+
+const std::string& Value::number_token() const {
+  if (const Number* n = std::get_if<Number>(&data_)) return n->token;
+  type_mismatch(*this, "number");
+}
+
+double Value::as_double() const {
+  const std::string& token = number_token();
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw TypeError("number token '" + token + "' does not fit a double");
+  return value;
+}
+
+std::uint64_t Value::as_uint64() const {
+  const std::string& token = number_token();
+  if (token.find_first_of(".eE-") != std::string::npos)
+    throw TypeError("expected unsigned integer, got '" + token + "'");
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw TypeError("integer '" + token + "' does not fit 64 bits");
+  return value;
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  type_mismatch(*this, "string");
+}
+
+const Value::Array& Value::as_array() const {
+  if (const Array* a = std::get_if<Array>(&data_)) return *a;
+  type_mismatch(*this, "array");
+}
+
+const Value::Object& Value::as_object() const {
+  if (const Object* o = std::get_if<Object>(&data_)) return *o;
+  type_mismatch(*this, "object");
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [name, value] : as_object())
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& reason) const {
+    // Derive 1-based line/column from the byte offset on demand; errors
+    // are rare, so the rescan costs nothing on the happy path.
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError(reason, line, column);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c, const char* context) {
+    if (at_end())
+      fail(std::string("unexpected end of input, expected '") + c + "' " +
+           context);
+    if (peek() != c)
+      fail(std::string("expected '") + c + "' " + context + ", got '" +
+           peek() + "'");
+    ++pos_;
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth >= kMaxDepth) fail("nesting deeper than 128 levels");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input, expected a value");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::make_string(parse_string());
+      case 't': return parse_literal("true", Value::make_bool(true));
+      case 'f': return parse_literal("false", Value::make_bool(false));
+      case 'n': return parse_literal("null", Value{});
+      default: return parse_number();
+    }
+  }
+
+  Value parse_literal(std::string_view word, Value value) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail("invalid literal (expected one of true/false/null)");
+    pos_ += word.size();
+    return value;
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{', "to open object");
+    Value::Object members;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"')
+        fail("expected '\"' to start an object key");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        (void)value;
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':', "after object key");
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "to close object");
+      return Value::make_object(std::move(members));
+    }
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[', "to open array");
+    Value::Array elements;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(elements));
+    }
+    while (true) {
+      elements.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "to close array");
+      return Value::make_array(std::move(elements));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "to open string");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(peek());
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (at_end()) fail("unterminated escape sequence");
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': append_unicode_escape(out); break;
+          default:
+            fail(std::string("invalid escape character '\\") + esc + "'");
+        }
+      } else if (c < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: the low half must follow immediately.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("high surrogate not followed by \\u low surrogate");
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF)
+        fail("invalid low surrogate in \\u pair");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("lone low surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    const auto digit = [this] {
+      return !at_end() && peek() >= '0' && peek() <= '9';
+    };
+    if (!at_end() && peek() == '-') ++pos_;
+    if (!digit()) fail("invalid number (expected a digit)");
+    if (peek() == '0') {
+      ++pos_;
+      if (digit()) fail("invalid number (leading zero)");
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (!digit()) fail("invalid number (expected digit after '.')");
+      while (digit()) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) fail("invalid number (expected digit in exponent)");
+      while (digit()) ++pos_;
+    }
+    return Value::make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser{text}.run(); }
+
+std::string escape(std::string_view raw) {
+  std::string out = "\"";
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc{} ? std::string(buffer, ptr) : std::string("null");
+}
+
+}  // namespace photecc::math::json

@@ -1,0 +1,121 @@
+#include "photecc/spec/builder.hpp"
+
+#include <utility>
+
+namespace photecc::spec {
+
+SpecBuilder& SpecBuilder::name(std::string value) {
+  spec_.name = std::move(value);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::evaluator(std::string value) {
+  spec_.evaluator = std::move(value);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::threads(std::size_t value) {
+  spec_.threads = value;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::link(std::string registry_key) {
+  spec_.base_link = std::move(registry_key);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::seed(std::uint64_t value) {
+  spec_.seed = value;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::noc_horizon(double horizon_s) {
+  spec_.noc_horizon_s = horizon_s;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::codes(std::vector<std::string> names) {
+  spec_.codes = std::move(names);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::ber_targets(std::vector<double> bers) {
+  spec_.ber_targets = std::move(bers);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::links(std::vector<std::string> registry_keys) {
+  spec_.links = std::move(registry_keys);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::oni_counts(std::vector<std::size_t> counts) {
+  spec_.oni_counts = std::move(counts);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::traffic(std::vector<TrafficEntry> entries) {
+  spec_.traffic = std::move(entries);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::uniform_traffic(double rate_msgs_per_s,
+                                          std::uint64_t payload_bits) {
+  TrafficEntry entry;
+  entry.kind = "uniform";
+  entry.rate_msgs_per_s = rate_msgs_per_s;
+  entry.payload_bits = payload_bits;
+  spec_.traffic.push_back(entry);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::hotspot_traffic(double rate_msgs_per_s,
+                                          std::size_t hotspot,
+                                          double hotspot_fraction,
+                                          std::uint64_t payload_bits) {
+  TrafficEntry entry;
+  entry.kind = "hotspot";
+  entry.rate_msgs_per_s = rate_msgs_per_s;
+  entry.payload_bits = payload_bits;
+  entry.hotspot = hotspot;
+  entry.hotspot_fraction = hotspot_fraction;
+  spec_.traffic.push_back(entry);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::laser_gating(std::vector<bool> values) {
+  spec_.laser_gating = std::move(values);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::policies(std::vector<std::string> names) {
+  spec_.policies = std::move(names);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::modulations(std::vector<std::string> names) {
+  spec_.modulations = std::move(names);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::modulation(std::string format) {
+  spec_.modulations = {std::move(format)};
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::objective(std::string metric, bool minimize) {
+  spec_.objectives.push_back({std::move(metric), minimize});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::objectives(std::vector<ObjectiveEntry> entries) {
+  spec_.objectives = std::move(entries);
+  return *this;
+}
+
+ExperimentSpec SpecBuilder::build() const {
+  validate(spec_);
+  return spec_;
+}
+
+}  // namespace photecc::spec

@@ -1,0 +1,58 @@
+#include "photecc/spec/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "photecc/spec/registries.hpp"
+
+namespace photecc::spec {
+
+std::size_t parse_size(const std::string& field, const std::string& token) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (token.empty() || ec != std::errc{} ||
+      ptr != token.data() + token.size())
+    throw SpecError(field,
+                    "expected a non-negative integer, got '" + token + "'");
+  return value;
+}
+
+double parse_ber(const std::string& field, const std::string& token) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (token.empty() || ec != std::errc{} ||
+      ptr != token.data() + token.size())
+    throw SpecError(field, "expected a number, got '" + token + "'");
+  if (!std::isfinite(value) || value <= 0.0 || value >= 0.5)
+    throw SpecError(field, "value '" + token +
+                               "' outside the BER range (0, 0.5)");
+  return value;
+}
+
+std::vector<std::string> split_list(const std::string& field,
+                                    const std::string& token) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = token.find(',', start);
+    const std::size_t end = comma == std::string::npos ? token.size() : comma;
+    if (end == start)
+      throw SpecError(field, "empty item in list '" + token + "'");
+    items.push_back(token.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
+}
+
+std::vector<std::string> parse_modulation_names(const std::string& field,
+                                                const std::string& token) {
+  std::vector<std::string> names = split_list(field, token);
+  for (const std::string& name : names)
+    (void)modulation_registry().make(name, field);  // validates the name
+  return names;
+}
+
+}  // namespace photecc::spec

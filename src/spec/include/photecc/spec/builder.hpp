@@ -1,0 +1,78 @@
+// Fluent C++ construction of an ExperimentSpec — the first of the three
+// equivalent entry points (builder / JSON / CLI flags):
+//
+//   const auto spec = spec::SpecBuilder()
+//                         .name("fig6b")
+//                         .link("paper-6cm")
+//                         .codes({"H(71,64)", "BCH(15,7,2)"})
+//                         .ber_targets({1e-8, 1e-10})
+//                         .modulation("pam4")
+//                         .objective("ct")
+//                         .objective("p_channel_w")
+//                         .build();
+//
+// build() validates and throws SpecError with the offending field path;
+// a spec that builds is a spec that runs.
+#ifndef PHOTECC_SPEC_BUILDER_HPP
+#define PHOTECC_SPEC_BUILDER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "photecc/spec/spec.hpp"
+
+namespace photecc::spec {
+
+class SpecBuilder {
+ public:
+  SpecBuilder& name(std::string value);
+  /// Cell evaluator: "auto" (default), "link", "noc" or any registered
+  /// evaluator name.
+  SpecBuilder& evaluator(std::string value);
+  SpecBuilder& threads(std::size_t value);
+
+  /// Base link variant (link_registry() key) applied when the links()
+  /// axis is undeclared.
+  SpecBuilder& link(std::string registry_key);
+  SpecBuilder& seed(std::uint64_t value);
+  SpecBuilder& noc_horizon(double horizon_s);
+
+  // --- Axes (empty vector = leave the axis undeclared). ---
+  SpecBuilder& codes(std::vector<std::string> names);
+  SpecBuilder& ber_targets(std::vector<double> bers);
+  SpecBuilder& links(std::vector<std::string> registry_keys);
+  SpecBuilder& oni_counts(std::vector<std::size_t> counts);
+  SpecBuilder& traffic(std::vector<TrafficEntry> entries);
+  /// Appends one uniform-traffic axis value.
+  SpecBuilder& uniform_traffic(double rate_msgs_per_s,
+                               std::uint64_t payload_bits = 4096);
+  /// Appends one hotspot-traffic axis value.
+  SpecBuilder& hotspot_traffic(double rate_msgs_per_s, std::size_t hotspot,
+                               double hotspot_fraction,
+                               std::uint64_t payload_bits = 4096);
+  SpecBuilder& laser_gating(std::vector<bool> values);
+  SpecBuilder& policies(std::vector<std::string> names);
+  SpecBuilder& modulations(std::vector<std::string> names);
+  /// Single-format shorthand: a modulation axis with one value.
+  SpecBuilder& modulation(std::string format);
+
+  /// Appends one Pareto objective.
+  SpecBuilder& objective(std::string metric, bool minimize = true);
+  SpecBuilder& objectives(std::vector<ObjectiveEntry> entries);
+
+  /// Validates and returns the spec; throws SpecError on any bad field.
+  [[nodiscard]] ExperimentSpec build() const;
+
+  /// The spec under construction, unvalidated (for incremental CLI
+  /// assembly where validation happens once at the end).
+  [[nodiscard]] ExperimentSpec& draft() noexcept { return spec_; }
+
+ private:
+  ExperimentSpec spec_;
+};
+
+}  // namespace photecc::spec
+
+#endif  // PHOTECC_SPEC_BUILDER_HPP

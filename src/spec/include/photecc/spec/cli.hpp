@@ -1,0 +1,39 @@
+// Shared token-parsing layer for CLI flags and other stringly inputs.
+// Every helper takes the field path it is parsing ("--threads",
+// "axes.modulations") and reports failures as SpecError in the uniform
+// "<field>: <reason> '<token>'" shape, so explore_cli and any future
+// front end print identical usage errors.
+#ifndef PHOTECC_SPEC_CLI_HPP
+#define PHOTECC_SPEC_CLI_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "photecc/spec/error.hpp"
+
+namespace photecc::spec {
+
+/// Non-negative integer ("0", "12"); rejects signs, junk suffixes and
+/// overflow with a SpecError instead of an uncaught std::stoul.
+[[nodiscard]] std::size_t parse_size(const std::string& field,
+                                     const std::string& token);
+
+/// Positive double in (0, 0.5) — the BER-target shape.  Rejects
+/// non-numeric and out-of-range input.
+[[nodiscard]] double parse_ber(const std::string& field,
+                               const std::string& token);
+
+/// Splits "a,b,c" into {"a","b","c"}; empty items ("a,,b", trailing
+/// comma, empty string) are errors.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& field,
+                                                  const std::string& token);
+
+/// Comma-separated modulation names validated against
+/// modulation_registry() ("ook,pam4"); returns the canonical names.
+[[nodiscard]] std::vector<std::string> parse_modulation_names(
+    const std::string& field, const std::string& token);
+
+}  // namespace photecc::spec
+
+#endif  // PHOTECC_SPEC_CLI_HPP

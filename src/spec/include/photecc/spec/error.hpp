@@ -1,0 +1,30 @@
+// The spec layer's single error currency: every rejected configuration
+// — a bad CLI flag, a mistyped JSON field, an out-of-range value —
+// surfaces as a SpecError whose message leads with the field path
+// ("axes.ber_targets[2]: ..."), so the user is pointed at the exact
+// knob to fix instead of an assert or a silent default.
+#ifndef PHOTECC_SPEC_ERROR_HPP
+#define PHOTECC_SPEC_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace photecc::spec {
+
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(std::string field, const std::string& message)
+      : std::runtime_error(field + ": " + message),
+        field_(std::move(field)) {}
+
+  /// The dotted field path ("base.link", "axes.codes[1]", "--threads").
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
+}  // namespace photecc::spec
+
+#endif  // PHOTECC_SPEC_ERROR_HPP

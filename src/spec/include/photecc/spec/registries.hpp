@@ -1,0 +1,118 @@
+// String-keyed extensible registries: the indirection that lets an
+// ExperimentSpec stay plain data.  Every axis value a spec names is
+// resolved here — link variants to MwsrParams, evaluator names to cell
+// evaluators, traffic kinds to TrafficSpec lowerings, policy and
+// modulation names to their enums, preset names to whole specs.
+// Registries are process-global and append-only: library users may
+// register their own variants next to the built-ins and reference them
+// from JSON configs without touching this module.
+#ifndef PHOTECC_SPEC_REGISTRIES_HPP
+#define PHOTECC_SPEC_REGISTRIES_HPP
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "photecc/core/manager.hpp"
+#include "photecc/explore/runner.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+#include "photecc/math/modulation.hpp"
+#include "photecc/spec/error.hpp"
+#include "photecc/spec/spec.hpp"
+
+namespace photecc::spec {
+
+/// Insertion-ordered name -> factory map with uniform unknown-name
+/// reporting: make() failures are SpecError listing every known name.
+template <typename T>
+class Registry {
+ public:
+  using Factory = std::function<T()>;
+
+  /// `kind` names the registry in error messages ("link variant", ...).
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers a factory; duplicate or empty names are programming
+  /// errors (std::invalid_argument).
+  void add(std::string name, Factory factory) {
+    if (name.empty())
+      throw std::invalid_argument(kind_ + " registry: empty name");
+    if (contains(name))
+      throw std::invalid_argument(kind_ + " registry: duplicate name '" +
+                                  name + "'");
+    entries_.emplace_back(std::move(name), std::move(factory));
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    for (const auto& [existing, factory] : entries_) {
+      (void)factory;
+      if (existing == name) return true;
+    }
+    return false;
+  }
+
+  /// Resolves `name`, reporting failures against `field` ("base.link").
+  [[nodiscard]] T make(const std::string& name,
+                       const std::string& field) const {
+    for (const auto& [existing, factory] : entries_)
+      if (existing == name) return factory();
+    std::string known;
+    for (const auto& [existing, factory] : entries_) {
+      (void)factory;
+      if (!known.empty()) known += ", ";
+      known += existing;
+    }
+    throw SpecError(field, "unknown " + kind_ + " '" + name +
+                               "' (known: " + known + ")");
+  }
+
+  /// Registered names in insertion order.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, factory] : entries_) {
+      (void)factory;
+      out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+/// Lowers one TrafficEntry to the explore engine's TrafficSpec.
+using TrafficLowering =
+    std::function<explore::TrafficSpec(const TrafficEntry&)>;
+
+/// Named MwsrParams variants.  Built-ins: "paper" (the paper's 6 cm /
+/// 12-ONI channel; aliases "paper-6cm", "paper-6cm-12oni"),
+/// "short-2cm-4oni", and waveguide-length-only variants "2 cm", "4 cm",
+/// "6 cm", "10 cm", "14 cm".
+[[nodiscard]] Registry<link::MwsrParams>& link_registry();
+
+/// Named cell evaluators.  Built-ins: "link" (analytic), "noc"
+/// (dynamic simulation).  The spec value "auto" is not an entry — it
+/// defers to SweepRunner's axis-based choice.
+[[nodiscard]] Registry<explore::SweepRunner::Evaluator>&
+evaluator_registry();
+
+/// Traffic kinds.  Built-ins: "uniform", "hotspot".
+[[nodiscard]] Registry<TrafficLowering>& traffic_registry();
+
+/// Manager policies, prepopulated from core::all_policies().
+[[nodiscard]] Registry<core::Policy>& policy_registry();
+
+/// Signaling formats, prepopulated from math::all_modulations().
+[[nodiscard]] Registry<math::Modulation>& modulation_registry();
+
+/// Whole-experiment presets (the grids the CLI and benches ship):
+/// "fig6b", "noc", "modulation", "modulation-smoke".
+[[nodiscard]] Registry<ExperimentSpec>& preset_registry();
+
+}  // namespace photecc::spec
+
+#endif  // PHOTECC_SPEC_REGISTRIES_HPP

@@ -1,0 +1,107 @@
+// photecc::spec — one declarative, serializable description of a whole
+// cross-layer experiment.
+//
+// An ExperimentSpec is *data*: every knob of the exploration stack —
+// link variant, modulation, code menu, BER targets, traffic, gating,
+// policy, objectives, evaluator, seed, thread count — as plain
+// string-keyed values resolved through the extensible registries of
+// registries.hpp.  The same spec can be produced three equivalent ways
+// (the fluent SpecBuilder, a JSON document, explore_cli flags) and is
+// lowered by run.hpp onto the existing explore::ScenarioGrid /
+// SweepRunner engine.
+//
+// Serialization contract: to_json() is a pure function of the struct
+// (canonical key order, axes omitted when undeclared, shortest
+// round-trip number formatting), and from_json() is strict (unknown
+// keys, wrong types, duplicate keys and unsupported schema versions are
+// all SpecError/ParseError with a field path — never a partial spec).
+// Hence `spec -> to_json -> from_json -> to_json` is byte-identical.
+//
+// Schema versioning: the document carries `"photecc_spec": 1`.  The
+// version is bumped only when a field changes meaning or is removed;
+// adding optional fields keeps the version.  A reader rejects versions
+// it does not know.
+#ifndef PHOTECC_SPEC_SPEC_HPP
+#define PHOTECC_SPEC_SPEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "photecc/spec/error.hpp"
+
+namespace photecc::spec {
+
+/// The schema version to_json() writes and from_json() accepts.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// Default base seed — the ScenarioGrid default, restated here so a
+/// default-constructed spec lowers to a byte-identical grid.
+inline constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+/// One value of the traffic axis, keyed by a traffic-registry kind.
+struct TrafficEntry {
+  std::string kind = "uniform";      ///< traffic_registry() key
+  double rate_msgs_per_s = 2e8;      ///< aggregate injection rate
+  std::uint64_t payload_bits = 4096;
+  std::size_t hotspot = 0;           ///< hot ONI ("hotspot" kind only)
+  double hotspot_fraction = 0.5;     ///< share aimed at the hotspot
+
+  [[nodiscard]] bool operator==(const TrafficEntry&) const = default;
+};
+
+/// One dimension of the Pareto extraction the experiment reports.
+struct ObjectiveEntry {
+  std::string metric;
+  bool minimize = true;
+
+  [[nodiscard]] bool operator==(const ObjectiveEntry&) const = default;
+};
+
+/// The whole experiment, declaratively.  Empty axis vectors mean "axis
+/// not declared" (the grid then holds the base value with no label
+/// column), exactly like ScenarioGrid.
+struct ExperimentSpec {
+  std::string name;                  ///< free-form; "" omits the field
+  std::string evaluator = "auto";    ///< "auto" or evaluator_registry() key
+  std::size_t threads = 0;           ///< 0 = hardware concurrency
+
+  // Base values applied to every cell before axis overrides.
+  std::string base_link = "paper";   ///< link_registry() key
+  std::uint64_t seed = kDefaultSeed;
+  double noc_horizon_s = 2e-6;
+
+  // Axes (canonical grid order: code, BER, link, ONI, traffic, gating,
+  // policy, modulation).
+  std::vector<std::string> codes;         ///< ecc registry names
+  std::vector<double> ber_targets;
+  std::vector<std::string> links;         ///< link_registry() keys
+  std::vector<std::size_t> oni_counts;
+  std::vector<TrafficEntry> traffic;
+  std::vector<bool> laser_gating;
+  std::vector<std::string> policies;      ///< core policy names
+  std::vector<std::string> modulations;   ///< math modulation names
+
+  std::vector<ObjectiveEntry> objectives;
+
+  [[nodiscard]] bool operator==(const ExperimentSpec&) const = default;
+
+  /// Canonical JSON document (ends with a newline).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Strict parse + validate.  Throws math::json::ParseError for
+/// malformed JSON and SpecError (field path + reason) for everything
+/// else: unknown keys, wrong types, unsupported schema version, values
+/// the validator rejects.
+[[nodiscard]] ExperimentSpec from_json(const std::string& text);
+
+/// Semantic validation shared by from_json, SpecBuilder::build and
+/// run(): every name resolves in its registry, every number is in
+/// range.  Throws SpecError naming the offending field.
+void validate(const ExperimentSpec& spec);
+
+}  // namespace photecc::spec
+
+#endif  // PHOTECC_SPEC_SPEC_HPP

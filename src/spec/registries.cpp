@@ -1,0 +1,164 @@
+#include "photecc/spec/registries.hpp"
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/scenario.hpp"
+
+namespace photecc::spec {
+
+namespace {
+
+link::MwsrParams length_variant(double waveguide_length_m) {
+  link::MwsrParams params;
+  params.waveguide_length_m = waveguide_length_m;
+  return params;
+}
+
+}  // namespace
+
+Registry<link::MwsrParams>& link_registry() {
+  static Registry<link::MwsrParams>* registry = [] {
+    auto* r = new Registry<link::MwsrParams>("link variant");
+    const auto paper = [] { return link::MwsrParams{}; };
+    r->add("paper", paper);
+    r->add("paper-6cm", paper);
+    r->add("paper-6cm-12oni", paper);
+    r->add("short-2cm-4oni", [] {
+      link::MwsrParams params;
+      params.waveguide_length_m = 0.02;
+      params.oni_count = 4;
+      return params;
+    });
+    // Length-only variants; the keys match the labels the historical
+    // bench sweeps printed ("2 cm"), keeping their exports byte-stable.
+    r->add("2 cm", [] { return length_variant(0.02); });
+    r->add("4 cm", [] { return length_variant(0.04); });
+    r->add("6 cm", [] { return length_variant(0.06); });
+    r->add("10 cm", [] { return length_variant(0.10); });
+    r->add("14 cm", [] { return length_variant(0.14); });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<explore::SweepRunner::Evaluator>& evaluator_registry() {
+  static Registry<explore::SweepRunner::Evaluator>* registry = [] {
+    auto* r = new Registry<explore::SweepRunner::Evaluator>("evaluator");
+    r->add("link", [] {
+      return explore::SweepRunner::Evaluator{explore::evaluate_link_cell};
+    });
+    r->add("noc", [] {
+      return explore::SweepRunner::Evaluator{explore::evaluate_noc_cell};
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<TrafficLowering>& traffic_registry() {
+  static Registry<TrafficLowering>* registry = [] {
+    auto* r = new Registry<TrafficLowering>("traffic kind");
+    r->add("uniform", [] {
+      return TrafficLowering{[](const TrafficEntry& entry) {
+        return explore::uniform_traffic(entry.rate_msgs_per_s,
+                                        entry.payload_bits);
+      }};
+    });
+    r->add("hotspot", [] {
+      return TrafficLowering{[](const TrafficEntry& entry) {
+        return explore::hotspot_traffic(entry.rate_msgs_per_s, entry.hotspot,
+                                        entry.hotspot_fraction,
+                                        entry.payload_bits);
+      }};
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<core::Policy>& policy_registry() {
+  static Registry<core::Policy>* registry = [] {
+    auto* r = new Registry<core::Policy>("policy");
+    for (const core::Policy policy : core::all_policies())
+      r->add(core::to_string(policy), [policy] { return policy; });
+    return r;
+  }();
+  return *registry;
+}
+
+Registry<math::Modulation>& modulation_registry() {
+  static Registry<math::Modulation>* registry = [] {
+    auto* r = new Registry<math::Modulation>("modulation");
+    for (const math::Modulation modulation : math::all_modulations())
+      r->add(math::to_string(modulation), [modulation] { return modulation; });
+    return r;
+  }();
+  return *registry;
+}
+
+namespace {
+
+ExperimentSpec fig6b_preset() {
+  ExperimentSpec spec;
+  spec.name = "fig6b";
+  spec.codes = explore::paper_scheme_names();
+  spec.ber_targets = {1e-6, 1e-8, 1e-10, 1e-12};
+  spec.objectives = {{"ct", true}, {"p_channel_w", true}};
+  return spec;
+}
+
+ExperimentSpec noc_preset() {
+  ExperimentSpec spec;
+  spec.name = "noc";
+  spec.noc_horizon_s = 1e-6;
+  spec.traffic = {
+      {"uniform", 1e8, 4096, 0, 0.5},
+      {"uniform", 4e8, 4096, 0, 0.5},
+      {"hotspot", 2e8, 4096, 0, 0.5},
+  };
+  spec.laser_gating = {true, false};
+  spec.policies = {"min-energy", "min-time"};
+  spec.oni_counts = {8, 12};
+  spec.objectives = {{"mean_latency_s", true}, {"energy_per_bit_j", true}};
+  return spec;
+}
+
+/// The OOK-vs-PAM4 sweep of bench_modulation_tradeoff: the full code
+/// menu on the paper channel and a short-reach variant.
+ExperimentSpec modulation_preset() {
+  ExperimentSpec spec;
+  spec.name = "modulation";
+  for (const auto& code : ecc::all_known_codes())
+    spec.codes.push_back(code->name());
+  spec.ber_targets = {1e-6, 1e-9};
+  spec.links = {"paper-6cm-12oni", "short-2cm-4oni"};
+  spec.modulations = {"ook", "pam4"};
+  spec.objectives = {{"ct", true}, {"p_channel_w", true}};
+  return spec;
+}
+
+ExperimentSpec modulation_smoke_preset() {
+  ExperimentSpec spec;
+  spec.name = "modulation-smoke";
+  spec.codes = explore::paper_scheme_names();
+  spec.ber_targets = {1e-8, 1e-10};
+  spec.modulations = {"ook", "pam4"};
+  spec.objectives = {{"ct", true}, {"p_channel_w", true}};
+  return spec;
+}
+
+}  // namespace
+
+Registry<ExperimentSpec>& preset_registry() {
+  static Registry<ExperimentSpec>* registry = [] {
+    auto* r = new Registry<ExperimentSpec>("preset");
+    r->add("fig6b", fig6b_preset);
+    r->add("noc", noc_preset);
+    r->add("modulation", modulation_preset);
+    r->add("modulation-smoke", modulation_smoke_preset);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace photecc::spec

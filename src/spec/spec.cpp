@@ -1,0 +1,524 @@
+#include "photecc/spec/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/math/json.hpp"
+#include "photecc/spec/registries.hpp"
+
+namespace photecc::spec {
+
+namespace json = math::json;
+
+// --- Serialization -----------------------------------------------------
+//
+// Canonical emission: fixed key order (photecc_spec, name, evaluator,
+// threads, base, axes in grid order, objectives), unset axes and the
+// empty name/objectives omitted, numbers via to_chars.  from_json below
+// reconstructs the exact struct, so to_json(from_json(to_json(s))) ==
+// to_json(s) byte for byte.
+
+namespace {
+
+std::string string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += json::escape(values[i]);
+  }
+  return out + "]";
+}
+
+std::string double_array(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += json::number(values[i]);
+  }
+  return out + "]";
+}
+
+std::string size_array(const std::vector<std::size_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+std::string bool_array(const std::vector<bool>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += values[i] ? "true" : "false";
+  }
+  return out + "]";
+}
+
+std::string traffic_array(const std::vector<TrafficEntry>& entries) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TrafficEntry& e = entries[i];
+    out += "      {\"kind\": " + json::escape(e.kind) +
+           ", \"rate_msgs_per_s\": " + json::number(e.rate_msgs_per_s) +
+           ", \"payload_bits\": " + std::to_string(e.payload_bits);
+    if (e.kind == "hotspot") {
+      out += ", \"hotspot\": " + std::to_string(e.hotspot) +
+             ", \"hotspot_fraction\": " + json::number(e.hotspot_fraction);
+    }
+    out += i + 1 < entries.size() ? "},\n" : "}\n";
+  }
+  return out + "    ]";
+}
+
+}  // namespace
+
+std::string ExperimentSpec::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"photecc_spec\": " << kSchemaVersion;
+  if (!name.empty()) os << ",\n  \"name\": " << json::escape(name);
+  os << ",\n  \"evaluator\": " << json::escape(evaluator);
+  os << ",\n  \"threads\": " << threads;
+  os << ",\n  \"base\": {\n"
+     << "    \"link\": " << json::escape(base_link) << ",\n"
+     << "    \"seed\": " << seed << ",\n"
+     << "    \"noc_horizon_s\": " << json::number(noc_horizon_s) << "\n"
+     << "  }";
+
+  std::vector<std::string> axis_lines;
+  if (!codes.empty())
+    axis_lines.push_back("\"codes\": " + string_array(codes));
+  if (!ber_targets.empty())
+    axis_lines.push_back("\"ber_targets\": " + double_array(ber_targets));
+  if (!links.empty())
+    axis_lines.push_back("\"links\": " + string_array(links));
+  if (!oni_counts.empty())
+    axis_lines.push_back("\"oni_counts\": " + size_array(oni_counts));
+  if (!traffic.empty())
+    axis_lines.push_back("\"traffic\": " + traffic_array(traffic));
+  if (!laser_gating.empty())
+    axis_lines.push_back("\"laser_gating\": " + bool_array(laser_gating));
+  if (!policies.empty())
+    axis_lines.push_back("\"policies\": " + string_array(policies));
+  if (!modulations.empty())
+    axis_lines.push_back("\"modulations\": " + string_array(modulations));
+  if (!axis_lines.empty()) {
+    os << ",\n  \"axes\": {\n";
+    for (std::size_t i = 0; i < axis_lines.size(); ++i) {
+      os << "    " << axis_lines[i];
+      os << (i + 1 < axis_lines.size() ? ",\n" : "\n");
+    }
+    os << "  }";
+  }
+
+  if (!objectives.empty()) {
+    os << ",\n  \"objectives\": [\n";
+    for (std::size_t i = 0; i < objectives.size(); ++i) {
+      os << "    {\"metric\": " << json::escape(objectives[i].metric)
+         << ", \"minimize\": " << (objectives[i].minimize ? "true" : "false")
+         << (i + 1 < objectives.size() ? "},\n" : "}\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+// --- Parsing -----------------------------------------------------------
+
+namespace {
+
+/// Rewraps a json::TypeError as a SpecError at `path`, so "expected
+/// number, got string" arrives with the offending field attached.
+template <typename Fn>
+auto at_path(const std::string& path, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const json::TypeError& e) {
+    throw SpecError(path, e.what());
+  }
+}
+
+std::string expect_string(const json::Value& v, const std::string& path) {
+  return at_path(path, [&] { return v.as_string(); });
+}
+
+double expect_double(const json::Value& v, const std::string& path) {
+  return at_path(path, [&] { return v.as_double(); });
+}
+
+bool expect_bool(const json::Value& v, const std::string& path) {
+  return at_path(path, [&] { return v.as_bool(); });
+}
+
+std::uint64_t expect_uint64(const json::Value& v, const std::string& path) {
+  return at_path(path, [&] { return v.as_uint64(); });
+}
+
+const json::Value::Array& expect_array(const json::Value& v,
+                                       const std::string& path) {
+  return at_path(path, [&]() -> const json::Value::Array& {
+    const auto& array = v.as_array();
+    if (array.empty())
+      throw SpecError(
+          path, "must not be empty (omit the key to leave it undeclared)");
+    return array;
+  });
+}
+
+const json::Value::Object& expect_object(const json::Value& v,
+                                         const std::string& path) {
+  return at_path(path, [&]() -> const json::Value::Object& {
+    return v.as_object();
+  });
+}
+
+std::string element_path(const std::string& path, std::size_t i) {
+  return path + "[" + std::to_string(i) + "]";
+}
+
+[[noreturn]] void unknown_key(const std::string& path,
+                              std::string_view expected) {
+  throw SpecError(path,
+                  "unknown key (expected: " + std::string(expected) + ")");
+}
+
+std::vector<std::string> parse_string_array(const json::Value& v,
+                                            const std::string& path) {
+  std::vector<std::string> out;
+  const auto& array = expect_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i)
+    out.push_back(expect_string(array[i], element_path(path, i)));
+  return out;
+}
+
+std::vector<double> parse_double_array(const json::Value& v,
+                                       const std::string& path) {
+  std::vector<double> out;
+  const auto& array = expect_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i)
+    out.push_back(expect_double(array[i], element_path(path, i)));
+  return out;
+}
+
+std::vector<std::size_t> parse_size_array(const json::Value& v,
+                                          const std::string& path) {
+  std::vector<std::size_t> out;
+  const auto& array = expect_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i)
+    out.push_back(static_cast<std::size_t>(
+        expect_uint64(array[i], element_path(path, i))));
+  return out;
+}
+
+std::vector<bool> parse_bool_array(const json::Value& v,
+                                   const std::string& path) {
+  std::vector<bool> out;
+  const auto& array = expect_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i)
+    out.push_back(expect_bool(array[i], element_path(path, i)));
+  return out;
+}
+
+TrafficEntry parse_traffic_entry(const json::Value& v,
+                                 const std::string& path) {
+  TrafficEntry entry;
+  bool saw_kind = false;
+  for (const auto& [key, value] : expect_object(v, path)) {
+    const std::string key_path = path + "." + key;
+    if (key == "kind") {
+      entry.kind = expect_string(value, key_path);
+      saw_kind = true;
+    } else if (key == "rate_msgs_per_s") {
+      entry.rate_msgs_per_s = expect_double(value, key_path);
+    } else if (key == "payload_bits") {
+      entry.payload_bits = expect_uint64(value, key_path);
+    } else if (key == "hotspot") {
+      entry.hotspot =
+          static_cast<std::size_t>(expect_uint64(value, key_path));
+    } else if (key == "hotspot_fraction") {
+      entry.hotspot_fraction = expect_double(value, key_path);
+    } else {
+      unknown_key(key_path,
+                  "kind, rate_msgs_per_s, payload_bits, hotspot, "
+                  "hotspot_fraction");
+    }
+  }
+  if (!saw_kind)
+    throw SpecError(path + ".kind", "required (one of: uniform, hotspot)");
+  if (entry.kind != "hotspot" &&
+      (v.find("hotspot") != nullptr || v.find("hotspot_fraction") != nullptr))
+    throw SpecError(path, "hotspot / hotspot_fraction are only valid for "
+                          "kind 'hotspot', got kind '" + entry.kind + "'");
+  return entry;
+}
+
+void parse_base(const json::Value& v, ExperimentSpec& spec) {
+  for (const auto& [key, value] : expect_object(v, "base")) {
+    const std::string key_path = "base." + key;
+    if (key == "link") {
+      spec.base_link = expect_string(value, key_path);
+    } else if (key == "seed") {
+      spec.seed = expect_uint64(value, key_path);
+    } else if (key == "noc_horizon_s") {
+      spec.noc_horizon_s = expect_double(value, key_path);
+    } else {
+      unknown_key(key_path, "link, seed, noc_horizon_s");
+    }
+  }
+}
+
+void parse_axes(const json::Value& v, ExperimentSpec& spec) {
+  for (const auto& [key, value] : expect_object(v, "axes")) {
+    const std::string key_path = "axes." + key;
+    if (key == "codes") {
+      spec.codes = parse_string_array(value, key_path);
+    } else if (key == "ber_targets") {
+      spec.ber_targets = parse_double_array(value, key_path);
+    } else if (key == "links") {
+      spec.links = parse_string_array(value, key_path);
+    } else if (key == "oni_counts") {
+      spec.oni_counts = parse_size_array(value, key_path);
+    } else if (key == "traffic") {
+      const auto& array = expect_array(value, key_path);
+      for (std::size_t i = 0; i < array.size(); ++i)
+        spec.traffic.push_back(
+            parse_traffic_entry(array[i], element_path(key_path, i)));
+    } else if (key == "laser_gating") {
+      spec.laser_gating = parse_bool_array(value, key_path);
+    } else if (key == "policies") {
+      spec.policies = parse_string_array(value, key_path);
+    } else if (key == "modulations") {
+      spec.modulations = parse_string_array(value, key_path);
+    } else {
+      unknown_key(key_path,
+                  "codes, ber_targets, links, oni_counts, traffic, "
+                  "laser_gating, policies, modulations");
+    }
+  }
+}
+
+void parse_objectives(const json::Value& v, ExperimentSpec& spec) {
+  const auto& array = expect_array(v, "objectives");
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    const std::string entry_path = element_path("objectives", i);
+    ObjectiveEntry entry;
+    bool saw_metric = false;
+    for (const auto& [key, value] : expect_object(array[i], entry_path)) {
+      const std::string key_path = entry_path + "." + key;
+      if (key == "metric") {
+        entry.metric = expect_string(value, key_path);
+        saw_metric = true;
+      } else if (key == "minimize") {
+        entry.minimize = expect_bool(value, key_path);
+      } else {
+        unknown_key(key_path, "metric, minimize");
+      }
+    }
+    if (!saw_metric) throw SpecError(entry_path + ".metric", "required");
+    spec.objectives.push_back(std::move(entry));
+  }
+}
+
+}  // namespace
+
+ExperimentSpec from_json(const std::string& text) {
+  const json::Value document = json::parse(text);
+  const auto& members = expect_object(document, "document");
+
+  // Version first: a document from a future schema should fail on the
+  // version mismatch, not on whatever unknown key happens to come first.
+  const json::Value* version = document.find("photecc_spec");
+  if (version == nullptr)
+    throw SpecError("photecc_spec",
+                    "required (the schema version; current: " +
+                        std::to_string(kSchemaVersion) + ")");
+  const std::uint64_t parsed_version =
+      expect_uint64(*version, "photecc_spec");
+  if (parsed_version != kSchemaVersion)
+    throw SpecError("photecc_spec",
+                    "unsupported schema version " +
+                        std::to_string(parsed_version) +
+                        " (supported: " + std::to_string(kSchemaVersion) +
+                        ")");
+
+  ExperimentSpec spec;
+  for (const auto& [key, value] : members) {
+    if (key == "photecc_spec") {
+      continue;  // handled above
+    } else if (key == "name") {
+      spec.name = expect_string(value, key);
+    } else if (key == "evaluator") {
+      spec.evaluator = expect_string(value, key);
+    } else if (key == "threads") {
+      spec.threads = static_cast<std::size_t>(expect_uint64(value, key));
+    } else if (key == "base") {
+      parse_base(value, spec);
+    } else if (key == "axes") {
+      parse_axes(value, spec);
+    } else if (key == "objectives") {
+      parse_objectives(value, spec);
+    } else {
+      unknown_key(key,
+                  "photecc_spec, name, evaluator, threads, base, axes, "
+                  "objectives");
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+// --- Validation --------------------------------------------------------
+
+namespace {
+
+void check_finite_positive(double value, const std::string& path) {
+  if (!std::isfinite(value) || value <= 0.0)
+    throw SpecError(path, "must be a finite value > 0, got " +
+                              json::number(value));
+}
+
+/// Smallest ONI count any cell of the spec can have: the oni_counts
+/// axis when declared, else the link-variant axis, else the base link.
+/// Hotspot indices must fit the smallest count (every traffic entry is
+/// crossed with every ONI/link value).
+std::size_t min_oni_count(const ExperimentSpec& spec) {
+  std::size_t min_oni = std::numeric_limits<std::size_t>::max();
+  if (!spec.oni_counts.empty()) {
+    for (const std::size_t count : spec.oni_counts)
+      min_oni = std::min(min_oni, count);
+  } else if (!spec.links.empty()) {
+    for (std::size_t i = 0; i < spec.links.size(); ++i)
+      min_oni = std::min(
+          min_oni, link_registry()
+                       .make(spec.links[i], element_path("axes.links", i))
+                       .oni_count);
+  } else {
+    min_oni = link_registry().make(spec.base_link, "base.link").oni_count;
+  }
+  return min_oni;
+}
+
+/// Metric names an objective may reference, given the evaluator the
+/// spec will actually use.  Custom registered evaluators are exempt
+/// (their metric sets are unknown here); "auto" resolves exactly like
+/// SweepRunner: the NoC evaluator when any NoC axis is declared.
+const std::vector<std::string>* known_objective_metrics(
+    const ExperimentSpec& spec) {
+  std::string evaluator = spec.evaluator;
+  if (evaluator == "auto") {
+    const bool has_noc_axes = !spec.traffic.empty() ||
+                              !spec.laser_gating.empty() ||
+                              !spec.policies.empty();
+    evaluator = has_noc_axes ? "noc" : "link";
+  }
+  if (evaluator == "link") return &explore::link_cell_metric_names();
+  if (evaluator == "noc") return &explore::noc_cell_metric_names();
+  return nullptr;
+}
+
+}  // namespace
+
+void validate(const ExperimentSpec& spec) {
+  if (spec.evaluator != "auto" &&
+      !evaluator_registry().contains(spec.evaluator)) {
+    std::string known = "auto";
+    for (const auto& name : evaluator_registry().names())
+      known += ", " + name;
+    throw SpecError("evaluator", "unknown evaluator '" + spec.evaluator +
+                                     "' (known: " + known + ")");
+  }
+
+  (void)link_registry().make(spec.base_link, "base.link");
+  check_finite_positive(spec.noc_horizon_s, "base.noc_horizon_s");
+
+  for (std::size_t i = 0; i < spec.codes.size(); ++i) {
+    try {
+      (void)ecc::make_code(spec.codes[i]);
+    } catch (const std::invalid_argument&) {
+      throw SpecError(element_path("axes.codes", i),
+                      "unknown code '" + spec.codes[i] + "'");
+    }
+  }
+  for (std::size_t i = 0; i < spec.ber_targets.size(); ++i) {
+    const double ber = spec.ber_targets[i];
+    if (!std::isfinite(ber) || ber <= 0.0 || ber >= 0.5)
+      throw SpecError(element_path("axes.ber_targets", i),
+                      "value " + json::number(ber) +
+                          " outside the BER range (0, 0.5)");
+  }
+  for (std::size_t i = 0; i < spec.links.size(); ++i)
+    (void)link_registry().make(spec.links[i],
+                               element_path("axes.links", i));
+  for (std::size_t i = 0; i < spec.oni_counts.size(); ++i) {
+    if (spec.oni_counts[i] < 2)
+      throw SpecError(element_path("axes.oni_counts", i),
+                      "an MWSR channel needs >= 2 ONIs (writers + the "
+                      "reader), got " + std::to_string(spec.oni_counts[i]));
+  }
+  for (std::size_t i = 0; i < spec.traffic.size(); ++i) {
+    const TrafficEntry& entry = spec.traffic[i];
+    const std::string entry_path = element_path("axes.traffic", i);
+    (void)traffic_registry().make(entry.kind, entry_path + ".kind");
+    check_finite_positive(entry.rate_msgs_per_s,
+                          entry_path + ".rate_msgs_per_s");
+    if (entry.payload_bits == 0)
+      throw SpecError(entry_path + ".payload_bits", "must be > 0");
+    if (entry.kind != "hotspot" &&
+        (entry.hotspot != TrafficEntry{}.hotspot ||
+         entry.hotspot_fraction != TrafficEntry{}.hotspot_fraction))
+      // Mirrors the JSON reader's rejection of these keys on other
+      // kinds; otherwise to_json() would silently drop the values and
+      // break the struct-level round trip.
+      throw SpecError(entry_path,
+                      "hotspot / hotspot_fraction are only valid for kind "
+                      "'hotspot', got kind '" + entry.kind + "'");
+    if (entry.kind == "hotspot") {
+      if (!std::isfinite(entry.hotspot_fraction) ||
+          entry.hotspot_fraction < 0.0 || entry.hotspot_fraction > 1.0)
+        throw SpecError(entry_path + ".hotspot_fraction",
+                        "value " + json::number(entry.hotspot_fraction) +
+                            " outside [0, 1]");
+      if (const std::size_t min_oni = min_oni_count(spec);
+          entry.hotspot >= min_oni)
+        throw SpecError(entry_path + ".hotspot",
+                        "ONI index " + std::to_string(entry.hotspot) +
+                            " out of range for the smallest ONI count " +
+                            std::to_string(min_oni) + " in this spec");
+    }
+  }
+  for (std::size_t i = 0; i < spec.policies.size(); ++i)
+    (void)policy_registry().make(spec.policies[i],
+                                 element_path("axes.policies", i));
+  for (std::size_t i = 0; i < spec.modulations.size(); ++i)
+    (void)modulation_registry().make(spec.modulations[i],
+                                     element_path("axes.modulations", i));
+  const std::vector<std::string>* known_metrics =
+      known_objective_metrics(spec);
+  for (std::size_t i = 0; i < spec.objectives.size(); ++i) {
+    const std::string& metric = spec.objectives[i].metric;
+    const std::string metric_path =
+        element_path("objectives", i) + ".metric";
+    if (metric.empty()) throw SpecError(metric_path, "must not be empty");
+    if (known_metrics != nullptr &&
+        std::find(known_metrics->begin(), known_metrics->end(), metric) ==
+            known_metrics->end()) {
+      std::string known;
+      for (const std::string& name : *known_metrics) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw SpecError(metric_path, "unknown metric '" + metric +
+                                       "' for this spec's evaluator "
+                                       "(known: " + known + ")");
+    }
+  }
+}
+
+}  // namespace photecc::spec

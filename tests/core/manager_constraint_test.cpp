@@ -1,0 +1,130 @@
+// LinkManager::configure constraint edges: requests exactly at the
+// max_ct / max_channel_power_w boundary must stay feasible (the caps
+// are inclusive), a menu the request cannot satisfy must yield
+// std::nullopt — never a half-filled LinkConfiguration — and an empty
+// or null scheme menu is rejected at construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "photecc/core/manager.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/link/mwsr_channel.hpp"
+
+namespace {
+
+using namespace photecc;
+
+constexpr double kTargetBer = 1e-9;
+
+core::LinkManager paper_manager() {
+  return core::LinkManager{link::MwsrChannel{link::MwsrParams{}},
+                           ecc::paper_schemes()};
+}
+
+/// Feasible candidate metrics at the test BER, for boundary values.
+std::vector<core::SchemeMetrics> feasible_candidates(
+    const core::LinkManager& manager) {
+  std::vector<core::SchemeMetrics> feasible;
+  for (const auto& m : manager.candidates(kTargetBer))
+    if (m.feasible) feasible.push_back(m);
+  return feasible;
+}
+
+}  // namespace
+
+TEST(LinkManagerConstraints, MaxCtExactlyAtBoundaryIsFeasible) {
+  const auto manager = paper_manager();
+  const auto feasible = feasible_candidates(manager);
+  ASSERT_FALSE(feasible.empty());
+  const double min_ct =
+      std::min_element(feasible.begin(), feasible.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.ct < b.ct;
+                       })
+          ->ct;
+
+  core::CommunicationRequest request;
+  request.target_ber = kTargetBer;
+  request.policy = core::Policy::kMinTime;
+  request.max_ct = min_ct;  // exactly at the tightest satisfiable cap
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_DOUBLE_EQ(config->metrics.ct, min_ct);
+  EXPECT_TRUE(config->metrics.feasible);
+  EXPECT_GT(config->laser_output_w, 0.0);
+}
+
+TEST(LinkManagerConstraints, MaxCtJustBelowEveryCandidateIsNullopt) {
+  const auto manager = paper_manager();
+  const auto feasible = feasible_candidates(manager);
+  ASSERT_FALSE(feasible.empty());
+  const double min_ct =
+      std::min_element(feasible.begin(), feasible.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.ct < b.ct;
+                       })
+          ->ct;
+
+  core::CommunicationRequest request;
+  request.target_ber = kTargetBer;
+  request.max_ct = min_ct * (1.0 - 1e-6);
+  EXPECT_EQ(manager.configure(request), std::nullopt);
+}
+
+TEST(LinkManagerConstraints, MaxChannelPowerExactlyAtBoundaryIsFeasible) {
+  const auto manager = paper_manager();
+  const auto feasible = feasible_candidates(manager);
+  ASSERT_FALSE(feasible.empty());
+  const double min_power =
+      std::min_element(feasible.begin(), feasible.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.p_channel_w < b.p_channel_w;
+                       })
+          ->p_channel_w;
+
+  core::CommunicationRequest request;
+  request.target_ber = kTargetBer;
+  request.policy = core::Policy::kMinPower;
+  request.max_channel_power_w = min_power;  // inclusive cap
+  const auto config = manager.configure(request);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_DOUBLE_EQ(config->metrics.p_channel_w, min_power);
+
+  request.max_channel_power_w = min_power * (1.0 - 1e-12);
+  EXPECT_EQ(manager.configure(request), std::nullopt);
+}
+
+TEST(LinkManagerConstraints, UnsatisfiableRequestReturnsNullopt) {
+  const auto manager = paper_manager();
+
+  // No scheme transmits faster than uncoded: CT < 1 is unsatisfiable.
+  core::CommunicationRequest impossible_ct;
+  impossible_ct.target_ber = kTargetBer;
+  impossible_ct.max_ct = 0.5;
+  EXPECT_EQ(manager.configure(impossible_ct), std::nullopt);
+
+  // A channel-power cap below any physical operating point.
+  core::CommunicationRequest impossible_power;
+  impossible_power.target_ber = kTargetBer;
+  impossible_power.max_channel_power_w =
+      std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(manager.configure(impossible_power), std::nullopt);
+
+  // A BER no scheme in the menu can reach on this channel.
+  core::CommunicationRequest impossible_ber;
+  impossible_ber.target_ber = manager.best_reachable_ber() * 1e-6;
+  EXPECT_EQ(manager.configure(impossible_ber), std::nullopt);
+}
+
+TEST(LinkManagerConstraints, EmptyOrNullMenuIsRejectedAtConstruction) {
+  const link::MwsrChannel channel{link::MwsrParams{}};
+  EXPECT_THROW(core::LinkManager(channel, {}), std::invalid_argument);
+  EXPECT_THROW(core::LinkManager(channel, {nullptr}), std::invalid_argument);
+  std::vector<ecc::BlockCodePtr> with_hole = ecc::paper_schemes();
+  with_hole.push_back(nullptr);
+  EXPECT_THROW(core::LinkManager(channel, with_hole), std::invalid_argument);
+}

@@ -1,0 +1,32 @@
+// core::policy_from_string is the exact inverse of to_string(Policy):
+// round-trip over every enumerator, and precise rejection of anything
+// that is not a canonical name.
+#include <gtest/gtest.h>
+
+#include "photecc/core/manager.hpp"
+
+namespace core = photecc::core;
+
+TEST(PolicyString, RoundTripsEveryEnumerator) {
+  ASSERT_EQ(core::all_policies().size(), 3u);
+  for (const core::Policy policy : core::all_policies()) {
+    const auto parsed = core::policy_from_string(core::to_string(policy));
+    ASSERT_TRUE(parsed.has_value()) << core::to_string(policy);
+    EXPECT_EQ(*parsed, policy);
+  }
+}
+
+TEST(PolicyString, KnownNamesMapToTheRightEnumerator) {
+  EXPECT_EQ(core::policy_from_string("min-power"), core::Policy::kMinPower);
+  EXPECT_EQ(core::policy_from_string("min-energy"), core::Policy::kMinEnergy);
+  EXPECT_EQ(core::policy_from_string("min-time"), core::Policy::kMinTime);
+}
+
+TEST(PolicyString, RejectsNonCanonicalNames) {
+  EXPECT_FALSE(core::policy_from_string(""));
+  EXPECT_FALSE(core::policy_from_string("min_energy"));   // wrong separator
+  EXPECT_FALSE(core::policy_from_string("MIN-ENERGY"));   // case-sensitive
+  EXPECT_FALSE(core::policy_from_string("min-energy "));  // trailing space
+  EXPECT_FALSE(core::policy_from_string("minenergy"));
+  EXPECT_FALSE(core::policy_from_string("fastest"));
+}

@@ -1,0 +1,153 @@
+// math::json strict-reader tests: the full happy-path grammar, exact
+// number semantics (uint64 seeds beyond 2^53), and a fuzz-ish battery
+// of malformed documents — every one must fail with a precise
+// ParseError, never UB, never a partial value.
+#include "photecc/math/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace json = photecc::math::json;
+
+TEST(JsonParse, ScalarValues) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(json::parse("-1.5e3").as_double(), -1500.0);
+  EXPECT_EQ(json::parse("42").as_uint64(), 42u);
+}
+
+TEST(JsonParse, SurroundingWhitespaceIsAccepted) {
+  EXPECT_EQ(json::parse(" \t\r\n 7 \n").as_uint64(), 7u);
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const auto v = json::parse(R"({"b":1,"a":2,"z":3})");
+  const auto& members = v.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "b");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "z");
+  ASSERT_NE(v.find("z"), nullptr);
+  EXPECT_EQ(v.find("z")->as_uint64(), 3u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, NestedDocument) {
+  const auto v = json::parse(
+      R"js({"axes":{"codes":["H(7,4)","w/o ECC"],"ber":[1e-06,1e-08]},)js"
+      R"js("ok":true,"n":null})js");
+  EXPECT_EQ(v.find("axes")->find("codes")->as_array()[1].as_string(),
+            "w/o ECC");
+  EXPECT_DOUBLE_EQ(v.find("axes")->find("ber")->as_array()[0].as_double(),
+                   1e-6);
+  EXPECT_TRUE(v.find("n")->is_null());
+}
+
+TEST(JsonParse, Uint64SurvivesBeyondDoublePrecision) {
+  // The grid's default seed does not fit a double exactly.
+  const std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  // 11400714819323198485
+  const auto v = json::parse("11400714819323198485");
+  EXPECT_EQ(v.as_uint64(), seed);
+  EXPECT_EQ(v.number_token(), "11400714819323198485");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(json::parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, AccessorTypeMismatchesThrow) {
+  const auto v = json::parse(R"({"s":"x","n":1.5,"neg":-3})");
+  EXPECT_THROW((void)v.find("s")->as_double(), json::TypeError);
+  EXPECT_THROW((void)v.find("n")->as_string(), json::TypeError);
+  EXPECT_THROW((void)v.find("n")->as_uint64(), json::TypeError);  // fractional
+  EXPECT_THROW((void)v.find("neg")->as_uint64(), json::TypeError);
+  EXPECT_THROW((void)v.as_array(), json::TypeError);
+  EXPECT_THROW((void)json::parse("3").as_object(), json::TypeError);
+}
+
+TEST(JsonParse, DuplicateKeysAreRejected) {
+  try {
+    (void)json::parse(R"({"codes":[1],"codes":[2]})");
+    FAIL() << "duplicate key accepted";
+  } catch (const json::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key \"codes\""),
+              std::string::npos);
+  }
+}
+
+TEST(JsonParse, ErrorsCarryLineAndColumn) {
+  try {
+    (void)json::parse("{\"a\": 1,\n\"b\": }");
+    FAIL() << "malformed document accepted";
+  } catch (const json::ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_GT(e.column(), 1u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, MalformedDocumentsAllFailCleanly) {
+  // Fuzz-ish battery: truncations, bad literals, bad numbers, bad
+  // escapes, structural garbage.  Each must throw ParseError (never
+  // crash, never return a value).
+  const std::vector<std::string> bad = {
+      "",                          // empty input
+      "   ",                       // whitespace only
+      "{",                         // truncated object
+      "[1, 2",                     // truncated array
+      "{\"a\": 1",                 // truncated after value
+      "{\"a\"}",                   // missing colon
+      "{\"a\":}",                  // missing value
+      "{a: 1}",                    // unquoted key
+      "{\"a\":1,}",                // trailing comma (object)
+      "[1,]",                      // trailing comma (array)
+      "[1 2]",                     // missing comma
+      "\"abc",                     // unterminated string
+      "\"a\\x\"",                  // invalid escape
+      "\"a\\u12\"",                // truncated \u escape
+      "\"\\ud800\"",               // lone high surrogate
+      "\"\\udc00\"",               // lone low surrogate
+      "\"\\ud800\\u0041\"",        // high surrogate + non-surrogate
+      "\"a\tb\"",                  // raw control character
+      "tru",                       // truncated literal
+      "True",                      // wrong-case literal
+      "nul",                       // truncated null
+      "01",                        // leading zero
+      "-",                         // lone minus
+      "1.",                        // missing fraction digits
+      ".5",                        // missing integer part
+      "1e",                        // missing exponent digits
+      "1e+",                       // missing exponent digits
+      "+1",                        // leading plus
+      "NaN",                       // not JSON
+      "Infinity",                  // not JSON
+      "1 2",                       // trailing content
+      "{} {}",                     // two documents
+      "[1]]",                      // trailing bracket
+      "\x01",                      // control garbage
+      std::string(200, '['),       // nesting bomb
+  };
+  for (const std::string& doc : bad) {
+    EXPECT_THROW((void)json::parse(doc), json::ParseError)
+        << "accepted malformed input: " << doc.substr(0, 40);
+  }
+}
+
+TEST(JsonParse, DeepButLegalNestingParses) {
+  std::string doc(100, '[');
+  doc += "1";
+  doc += std::string(100, ']');
+  const auto v = json::parse(doc);
+  const json::Value* inner = &v;
+  for (int i = 0; i < 100; ++i) inner = &inner->as_array()[0];
+  EXPECT_EQ(inner->as_uint64(), 1u);
+}

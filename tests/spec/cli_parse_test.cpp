@@ -1,0 +1,61 @@
+// The shared CLI token-parsing layer: uniform "<field>: <reason>
+// '<token>'" errors for sizes, BERs and comma-separated lists — the
+// deduplicated home of explore_cli's old hand-rolled helpers.
+#include <gtest/gtest.h>
+
+#include "photecc/spec/cli.hpp"
+
+namespace spec = photecc::spec;
+
+TEST(CliParse, SizesParseAndReject) {
+  EXPECT_EQ(spec::parse_size("--threads", "0"), 0u);
+  EXPECT_EQ(spec::parse_size("--threads", "12"), 12u);
+  for (const char* bad : {"", "-1", "+1", "1x", "x1", "1.5", " 1",
+                          "99999999999999999999999999"}) {
+    try {
+      (void)spec::parse_size("--threads", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const spec::SpecError& e) {
+      EXPECT_EQ(e.field(), "--threads");
+      EXPECT_NE(std::string(e.what()).find(std::string("'") + bad + "'"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(CliParse, BersParseAndReject) {
+  EXPECT_DOUBLE_EQ(spec::parse_ber("--ber", "1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(spec::parse_ber("--ber", "0.25"), 0.25);
+  for (const char* bad : {"", "x", "0", "0.5", "1", "-1e-9", "1e-9z"}) {
+    try {
+      (void)spec::parse_ber("--ber", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const spec::SpecError& e) {
+      EXPECT_EQ(e.field(), "--ber");
+    }
+  }
+}
+
+TEST(CliParse, ListsSplitAndRejectEmptyItems) {
+  EXPECT_EQ(spec::split_list("f", "a"), std::vector<std::string>{"a"});
+  EXPECT_EQ(spec::split_list("f", "a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  for (const char* bad : {"", ",", "a,", ",a", "a,,b"}) {
+    EXPECT_THROW((void)spec::split_list("f", bad), spec::SpecError)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(CliParse, ModulationListsValidateAgainstTheRegistry) {
+  EXPECT_EQ(spec::parse_modulation_names("--modulation", "ook,pam4"),
+            (std::vector<std::string>{"ook", "pam4"}));
+  try {
+    (void)spec::parse_modulation_names("--modulation", "ook,qam64");
+    FAIL() << "accepted unknown modulation";
+  } catch (const spec::SpecError& e) {
+    EXPECT_EQ(e.field(), "--modulation");
+    EXPECT_NE(std::string(e.what()).find("qam64"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("pam8"), std::string::npos);
+  }
+}

@@ -1,0 +1,184 @@
+// The serialization contract: ExperimentSpec -> to_json -> from_json is
+// the identity, and to_json(from_json(to_json(s))) is byte-identical to
+// to_json(s) — for default specs, every preset, and a spec exercising
+// every field.
+#include <gtest/gtest.h>
+
+#include "photecc/spec/builder.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/spec.hpp"
+
+namespace spec = photecc::spec;
+
+namespace {
+
+spec::ExperimentSpec full_spec() {
+  return spec::SpecBuilder()
+      .name("everything")
+      .evaluator("noc")
+      .threads(4)
+      .link("short-2cm-4oni")
+      .seed(0x9e3779b97f4a7c15ULL)  // > 2^53: must survive exactly
+      .noc_horizon(5e-7)
+      .codes({"w/o ECC", "H(71,64)", "BCH(15,7,2)"})
+      .ber_targets({1e-6, 1e-10})
+      .links({"paper-6cm-12oni", "short-2cm-4oni"})
+      .oni_counts({4, 8})
+      .uniform_traffic(2e8)
+      .hotspot_traffic(1e8, 0, 0.5)
+      .laser_gating({true, false})
+      .policies({"min-energy", "min-time"})
+      .modulations({"ook", "pam4"})
+      .objective("mean_latency_s")
+      .objective("energy_per_bit_j", true)
+      .objective("delivered", false)
+      .build();
+}
+
+}  // namespace
+
+TEST(SpecRoundTrip, DefaultSpecIsByteStable) {
+  const spec::ExperimentSpec original;
+  const std::string json = original.to_json();
+  const spec::ExperimentSpec reparsed = spec::from_json(json);
+  EXPECT_EQ(reparsed, original);
+  EXPECT_EQ(reparsed.to_json(), json);
+}
+
+TEST(SpecRoundTrip, FullSpecIsByteStable) {
+  const spec::ExperimentSpec original = full_spec();
+  const std::string json = original.to_json();
+  const spec::ExperimentSpec reparsed = spec::from_json(json);
+  EXPECT_EQ(reparsed, original);
+  EXPECT_EQ(reparsed.to_json(), json);
+}
+
+TEST(SpecRoundTrip, SeedBeyondDoublePrecisionSurvives) {
+  spec::ExperimentSpec original;
+  original.seed = 0xFFFFFFFFFFFFFFFFULL;
+  const spec::ExperimentSpec reparsed = spec::from_json(original.to_json());
+  EXPECT_EQ(reparsed.seed, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(SpecRoundTrip, EveryPresetIsByteStable) {
+  for (const std::string& name : spec::preset_registry().names()) {
+    const spec::ExperimentSpec preset =
+        spec::preset_registry().make(name, "preset");
+    const std::string json = preset.to_json();
+    const spec::ExperimentSpec reparsed = spec::from_json(json);
+    EXPECT_EQ(reparsed, preset) << "preset " << name;
+    EXPECT_EQ(reparsed.to_json(), json) << "preset " << name;
+  }
+}
+
+TEST(SpecRoundTrip, HandWrittenDocumentNormalizesStably) {
+  // A non-canonical document (reordered keys, extra whitespace, number
+  // spellings the writer would not emit) parses to the same spec, and
+  // one rewrite reaches the canonical fixed point.
+  const std::string handwritten = R"js({
+    "axes": {"ber_targets": [1.0e-6, 0.00000001], "codes": ["H(7,4)"]},
+    "photecc_spec": 1,
+    "base": {"noc_horizon_s": 0.000002, "link": "paper"},
+    "threads": 2
+  })js";
+  const spec::ExperimentSpec parsed = spec::from_json(handwritten);
+  EXPECT_EQ(parsed.codes, std::vector<std::string>{"H(7,4)"});
+  EXPECT_EQ(parsed.ber_targets, (std::vector<double>{1e-6, 1e-8}));
+  EXPECT_EQ(parsed.threads, 2u);
+  const std::string canonical = parsed.to_json();
+  EXPECT_EQ(spec::from_json(canonical).to_json(), canonical);
+}
+
+TEST(SpecRoundTrip, NameIsEscapedCorrectly) {
+  spec::ExperimentSpec original;
+  original.name = "odd \"name\"\twith\nescapes\\";
+  const spec::ExperimentSpec reparsed = spec::from_json(original.to_json());
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.to_json(), original.to_json());
+}
+
+TEST(SpecBuilderValidation, BuildRejectsBadFieldsWithPaths) {
+  const auto field_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const spec::SpecError& e) {
+      return e.field();
+    }
+    return "(no error)";
+  };
+
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().link("no-such-link").build();
+            }),
+            "base.link");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().codes({"H(7,4)", "X(1,2)"}).build();
+            }),
+            "axes.codes[1]");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().ber_targets({1e-9, 0.7}).build();
+            }),
+            "axes.ber_targets[1]");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().oni_counts({8, 1}).build();
+            }),
+            "axes.oni_counts[1]");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().policies({"fastest"}).build();
+            }),
+            "axes.policies[0]");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().modulation("qam64").build();
+            }),
+            "axes.modulations[0]");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().evaluator("magic").build();
+            }),
+            "evaluator");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().noc_horizon(-1.0).build();
+            }),
+            "base.noc_horizon_s");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder().objective("").build();
+            }),
+            "objectives[0].metric");
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder()
+                  .hotspot_traffic(1e8, 0, 1.5)
+                  .build();
+            }),
+            "axes.traffic[0].hotspot_fraction");
+  // Hotspot fields on a non-hotspot kind are rejected builder-side too
+  // (to_json would drop them, silently breaking the round trip).
+  EXPECT_EQ(field_of([] {
+              (void)spec::SpecBuilder()
+                  .traffic({{"uniform", 2e8, 4096, 3, 0.9}})
+                  .build();
+            }),
+            "axes.traffic[0]");
+}
+
+TEST(SpecRegistries, UnknownNamesListTheKnownOnes) {
+  try {
+    (void)spec::link_registry().make("warp-core", "base.link");
+    FAIL() << "unknown link variant accepted";
+  } catch (const spec::SpecError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("base.link"), std::string::npos);
+    EXPECT_NE(message.find("warp-core"), std::string::npos);
+    EXPECT_NE(message.find("paper"), std::string::npos);       // known list
+    EXPECT_NE(message.find("short-2cm-4oni"), std::string::npos);
+  }
+}
+
+TEST(SpecRegistries, DuplicateRegistrationIsRejected) {
+  spec::Registry<int> registry{"test"};
+  registry.add("one", [] { return 1; });
+  EXPECT_THROW(registry.add("one", [] { return 2; }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("", [] { return 0; }), std::invalid_argument);
+  EXPECT_TRUE(registry.contains("one"));
+  EXPECT_FALSE(registry.contains("two"));
+  EXPECT_EQ(registry.make("one", "f"), 1);
+}

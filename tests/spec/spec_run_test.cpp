@@ -1,0 +1,221 @@
+// spec::run lowering equivalence: a spec-driven sweep must be
+// byte-identical (CSV and JSON exports) to the hand-assembled
+// ScenarioGrid it replaces, for link grids, NoC grids and modulation
+// grids, at any thread count.
+#include <gtest/gtest.h>
+
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/runner.hpp"
+#include "photecc/spec/builder.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
+
+namespace spec = photecc::spec;
+namespace explore = photecc::explore;
+using photecc::core::Policy;
+using photecc::math::Modulation;
+
+TEST(SpecRun, Fig6bSpecMatchesHandAssembledGrid) {
+  const std::vector<double> bers{1e-6, 1e-8, 1e-10, 1e-12};
+  explore::ScenarioGrid grid;
+  grid.codes(explore::paper_scheme_names()).ber_targets(bers);
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+
+  const auto by_spec = spec::run(spec::SpecBuilder()
+                                     .codes(explore::paper_scheme_names())
+                                     .ber_targets(bers)
+                                     .threads(1)
+                                     .build());
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+}
+
+TEST(SpecRun, Fig6bPresetIsThreadCountInvariant) {
+  spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  preset.threads = 1;
+  const auto sequential = spec::run(preset);
+  preset.threads = 4;
+  const auto parallel = spec::run(preset);
+  EXPECT_EQ(sequential.csv(), parallel.csv());
+  EXPECT_EQ(sequential.json(), parallel.json());
+}
+
+TEST(SpecRun, NocSpecMatchesHandAssembledGrid) {
+  explore::ScenarioGrid grid;
+  grid.traffic_patterns({explore::uniform_traffic(2e8),
+                         explore::hotspot_traffic(1e8, 0, 0.5)})
+      .laser_gating({true, false})
+      .policies({Policy::kMinEnergy, Policy::kMinTime})
+      .oni_counts({4, 8})
+      .noc_horizon(5e-7);
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+
+  const auto by_spec = spec::run(spec::SpecBuilder()
+                                     .uniform_traffic(2e8)
+                                     .hotspot_traffic(1e8, 0, 0.5)
+                                     .laser_gating({true, false})
+                                     .policies({"min-energy", "min-time"})
+                                     .oni_counts({4, 8})
+                                     .noc_horizon(5e-7)
+                                     .threads(1)
+                                     .build());
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+}
+
+TEST(SpecRun, ModulationAndLinkVariantAxesMatchHandAssembledGrid) {
+  explore::ScenarioGrid grid;
+  grid.codes(explore::paper_scheme_names())
+      .ber_targets({1e-8})
+      .link_variants(
+          {{"paper-6cm-12oni", photecc::link::MwsrParams{}},
+           {"short-2cm-4oni",
+            spec::link_registry().make("short-2cm-4oni", "test")}})
+      .modulations({Modulation::kOok, Modulation::kPam4});
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+
+  const auto by_spec =
+      spec::run(spec::SpecBuilder()
+                    .codes(explore::paper_scheme_names())
+                    .ber_targets({1e-8})
+                    .links({"paper-6cm-12oni", "short-2cm-4oni"})
+                    .modulations({"ook", "pam4"})
+                    .threads(1)
+                    .build());
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+}
+
+TEST(SpecRun, JsonConfigAndBuilderProduceIdenticalResults) {
+  // The three entry points promise equivalence: a spec assembled with
+  // the builder and the same spec round-tripped through its JSON
+  // document must run to byte-identical exports.
+  const spec::ExperimentSpec built = spec::SpecBuilder()
+                                         .codes({"w/o ECC", "H(7,4)"})
+                                         .ber_targets({1e-8, 1e-10})
+                                         .modulation("pam4")
+                                         .threads(1)
+                                         .build();
+  const spec::ExperimentSpec parsed = spec::from_json(built.to_json());
+  const auto from_builder = spec::run(built);
+  const auto from_json_doc = spec::run(parsed);
+  EXPECT_EQ(from_builder.csv(), from_json_doc.csv());
+  EXPECT_EQ(from_builder.json(), from_json_doc.json());
+}
+
+TEST(SpecRun, ExplicitEvaluatorOverridesAutoChoice) {
+  // A code/BER grid normally runs the link evaluator; forcing "noc"
+  // must produce NoC metrics instead.
+  const auto result = spec::run(spec::SpecBuilder()
+                                    .codes({"w/o ECC"})
+                                    .ber_targets({1e-8})
+                                    .evaluator("noc")
+                                    .noc_horizon(2e-7)
+                                    .threads(1)
+                                    .build());
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].metric("delivered").has_value());
+  EXPECT_FALSE(result.cells[0].metric("p_channel_w").has_value());
+}
+
+TEST(SpecRun, LowerObjectivesMatchesFig6bObjectives) {
+  const spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  const auto objectives = spec::lower_objectives(preset);
+  const auto& reference = explore::fig6b_objectives();
+  ASSERT_EQ(objectives.size(), reference.size());
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    EXPECT_EQ(objectives[i].metric, reference[i].metric);
+    EXPECT_EQ(objectives[i].minimize, reference[i].minimize);
+  }
+}
+
+TEST(SpecRun, InvalidSpecIsRejectedBeforeExecution) {
+  spec::ExperimentSpec bad;
+  bad.ber_targets = {2.0};
+  EXPECT_THROW((void)spec::run(bad), spec::SpecError);
+  EXPECT_THROW((void)spec::lower(bad), spec::SpecError);
+}
+
+TEST(SpecRun, HotspotIndexOutOfRangeIsRejectedAtValidation) {
+  // The paper's base link has 12 ONIs: hotspot 20 can never exist, and
+  // must die in validate() with a field path, not abort inside the
+  // traffic generator mid-sweep.
+  try {
+    (void)spec::SpecBuilder().hotspot_traffic(1e8, 20, 0.5).build();
+    FAIL() << "out-of-range hotspot accepted";
+  } catch (const spec::SpecError& e) {
+    EXPECT_EQ(e.field(), "axes.traffic[0].hotspot");
+  }
+  // The same index is fine on a grid whose smallest ONI count admits it.
+  EXPECT_NO_THROW((void)spec::SpecBuilder()
+                      .hotspot_traffic(1e8, 20, 0.5)
+                      .oni_counts({24, 32})
+                      .build());
+  // ...and rejected again when any ONI-count axis value is too small.
+  EXPECT_THROW((void)spec::SpecBuilder()
+                   .hotspot_traffic(1e8, 20, 0.5)
+                   .oni_counts({8, 32})
+                   .build(),
+               spec::SpecError);
+  // The link-variant axis also bounds it (short-2cm-4oni has 4 ONIs).
+  EXPECT_THROW((void)spec::SpecBuilder()
+                   .hotspot_traffic(1e8, 6, 0.5)
+                   .links({"paper-6cm-12oni", "short-2cm-4oni"})
+                   .build(),
+               spec::SpecError);
+}
+
+TEST(SpecRun, UnknownObjectiveMetricIsRejectedAtValidation) {
+  // Typo'd metric names must fail with the known list, not produce an
+  // empty/meaningless Pareto front downstream.
+  try {
+    (void)spec::SpecBuilder()
+        .codes({"w/o ECC"})
+        .objective("latency")  // link evaluator has no such metric
+        .build();
+    FAIL() << "unknown objective metric accepted";
+  } catch (const spec::SpecError& e) {
+    EXPECT_EQ(e.field(), "objectives[0].metric");
+    EXPECT_NE(std::string(e.what()).find("p_channel_w"), std::string::npos);
+  }
+  // The same name is valid NoC-side vocabulary when spelled right.
+  EXPECT_NO_THROW((void)spec::SpecBuilder()
+                      .uniform_traffic(1e8)
+                      .objective("mean_latency_s")
+                      .build());
+  // "auto" resolves the evaluator like the runner: a NoC axis makes
+  // link-only metrics invalid.
+  EXPECT_THROW((void)spec::SpecBuilder()
+                   .uniform_traffic(1e8)
+                   .objective("p_channel_w")
+                   .build(),
+               spec::SpecError);
+}
+
+TEST(SpecRun, DeclaredMetricNamesMatchTheEvaluatorsExactly) {
+  // Locks link_cell_metric_names()/noc_cell_metric_names() to what the
+  // evaluators actually publish, so a metric rename cannot silently
+  // drift apart from the spec-layer objective validation.
+  explore::ScenarioGrid link_grid;
+  link_grid.codes({"w/o ECC"}).ber_targets({1e-8});
+  const auto link_cell = explore::evaluate_link_cell(link_grid.at(0));
+  std::vector<std::string> link_names;
+  for (const auto& [name, value] : link_cell.metrics) {
+    (void)value;
+    link_names.push_back(name);
+  }
+  EXPECT_EQ(link_names, explore::link_cell_metric_names());
+
+  explore::ScenarioGrid noc_grid;
+  noc_grid.traffic_patterns({explore::uniform_traffic(2e8)})
+      .noc_horizon(2e-7);
+  const auto noc_cell = explore::evaluate_noc_cell(noc_grid.at(0));
+  std::vector<std::string> noc_names;
+  for (const auto& [name, value] : noc_cell.metrics) {
+    (void)value;
+    noc_names.push_back(name);
+  }
+  EXPECT_EQ(noc_names, explore::noc_cell_metric_names());
+}
