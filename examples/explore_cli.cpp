@@ -17,6 +17,9 @@
 //                                  with --config, checks that config's grid
 //   explore_cli --bench            sequential-vs-parallel wall time on a
 //                                  600-cell grid, JSON to stdout
+//   explore_cli --list-presets     registered preset names
+//   explore_cli --list-link-variants  registered link variants
+//   explore_cli --list-evaluators  registered cell evaluators
 //
 // Common flags: --threads N (0 = hardware), --csv FILE, --json FILE,
 // --modulation LIST (comma-separated signaling formats, e.g.
@@ -64,9 +67,25 @@ int usage(std::ostream& os, int code) {
   os << "usage: explore_cli --fig6b | --noc | --smoke | --bench\n"
         "                   | --config FILE [--smoke]\n"
         "                   | --preset NAME [--smoke]\n"
+        "                   | --list-presets | --list-link-variants\n"
+        "                   | --list-evaluators\n"
         "                   [--threads N] [--csv FILE] [--json FILE]\n"
         "                   [--modulation ook,pam4,pam8] [--dump-spec]\n";
   return code;
+}
+
+/// The --list-* subcommands: print one registry's contents and exit.
+int run_list(const std::string& flag) {
+  if (flag == "--list-presets")
+    std::cout << spec::render_name_list("presets",
+                                        spec::preset_registry().names());
+  else if (flag == "--list-link-variants")
+    std::cout << spec::render_name_list("link variants",
+                                        spec::link_registry().names());
+  else
+    std::cout << spec::render_name_list("evaluators",
+                                        spec::evaluator_registry().names());
+  return 0;
 }
 
 /// The --bench grid: full code family x 6 BER targets x 5 waveguide
@@ -390,6 +409,9 @@ int main(int argc, char** argv) {
       if (arg == "--fig6b" || arg == "--noc" || arg == "--smoke" ||
           arg == "--bench") {
         options.mode = arg;
+      } else if (arg == "--list-presets" || arg == "--list-link-variants" ||
+                 arg == "--list-evaluators") {
+        return run_list(arg);
       } else if (arg == "--config" && i + 1 < argc) {
         options.config_path = argv[++i];
       } else if (arg == "--preset" && i + 1 < argc) {

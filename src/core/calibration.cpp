@@ -32,7 +32,7 @@ CalibrationResult calibrate_laser(const link::MwsrChannel& channel,
     throw std::invalid_argument("calibrate_laser: bad step/margin");
 
   CalibrationResult result;
-  const double activity = channel.params().chip_activity;
+  const double activity = channel.environment().activity;
   const double op_max = channel.laser().max_optical_power(activity);
 
   // Start 3 dB below the analytic operating point: the loop must climb.

@@ -41,7 +41,8 @@ std::string scheme_display_name(const SchemeMetrics& metrics) {
 
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const ecc::BlockCode& code, double target_ber,
-                              const SystemConfig& config) {
+                              const SystemConfig& config,
+                              const env::EnvironmentSample& environment) {
   if (config.wavelengths == 0 || config.f_mod_hz <= 0.0)
     throw std::invalid_argument("evaluate_scheme: bad SystemConfig");
   SchemeMetrics m;
@@ -54,7 +55,8 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
   // Multilevel symbols carry bits_per_symbol payload bits per Fmod
   // cycle, dividing the serial transfer time of the same frame.
   m.ct = code.communication_time() / bits_per_symbol;
-  m.operating_point = link::solve_operating_point(channel, code, target_ber);
+  m.operating_point =
+      link::solve_operating_point(channel, code, target_ber, environment);
   m.feasible = m.operating_point.feasible;
 
   m.p_mr_w = photonics::multilevel_modulation_power_w(
@@ -79,17 +81,33 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
   return m;
 }
 
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config) {
+  return evaluate_scheme(channel, code, target_ber, config,
+                         channel.environment());
+}
+
 std::vector<SchemeMetrics> evaluate_schemes(
     const link::MwsrChannel& channel,
     const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
-    const SystemConfig& config) {
+    const SystemConfig& config, const env::EnvironmentSample& environment) {
   std::vector<SchemeMetrics> out;
   out.reserve(codes.size());
   for (const auto& code : codes) {
     if (!code) throw std::invalid_argument("evaluate_schemes: null code");
-    out.push_back(evaluate_scheme(channel, *code, target_ber, config));
+    out.push_back(
+        evaluate_scheme(channel, *code, target_ber, config, environment));
   }
   return out;
+}
+
+std::vector<SchemeMetrics> evaluate_schemes(
+    const link::MwsrChannel& channel,
+    const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
+    const SystemConfig& config) {
+  return evaluate_schemes(channel, codes, target_ber, config,
+                          channel.environment());
 }
 
 }  // namespace photecc::core

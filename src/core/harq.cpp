@@ -151,7 +151,7 @@ HarqOperatingPoint HarqScheme::solve(const link::MwsrChannel& channel,
   point.op_laser_w =
       point.snr * det.dark_current_a / (det.responsivity_a_per_w * margin);
   const auto electrical = channel.laser().electrical_power(
-      point.op_laser_w, channel.params().chip_activity);
+      point.op_laser_w, channel.environment().activity);
   if (!electrical) return point;
   point.p_laser_w = *electrical;
   point.feasible = true;

@@ -63,16 +63,31 @@ double enc_dec_power_per_wavelength_w(const ecc::BlockCode& code,
 /// OOK (the paper's tables), "<scheme> @<format>" otherwise.
 std::string scheme_display_name(const SchemeMetrics& metrics);
 
-/// Full evaluation of one scheme at one target BER on one channel.
+/// Full evaluation of one scheme at one target BER on one channel, at
+/// the channel's t = 0 environment sample (the static operating point).
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const ecc::BlockCode& code, double target_ber,
                               const SystemConfig& config = {});
+
+/// Same, at an explicit environment sample — the manager's
+/// recalibration loop re-evaluates here whenever the sampled
+/// environment drifts.
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config,
+                              const env::EnvironmentSample& environment);
 
 /// Evaluates several schemes at the same target.
 std::vector<SchemeMetrics> evaluate_schemes(
     const link::MwsrChannel& channel,
     const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
     const SystemConfig& config = {});
+
+/// Same, at an explicit environment sample.
+std::vector<SchemeMetrics> evaluate_schemes(
+    const link::MwsrChannel& channel,
+    const std::vector<ecc::BlockCodePtr>& codes, double target_ber,
+    const SystemConfig& config, const env::EnvironmentSample& environment);
 
 }  // namespace photecc::core
 

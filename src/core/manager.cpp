@@ -1,7 +1,9 @@
 #include "photecc/core/manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "photecc/link/snr_solver.hpp"
 
@@ -41,12 +43,25 @@ LinkManager::LinkManager(link::MwsrChannel channel,
 }
 
 std::vector<SchemeMetrics> LinkManager::candidates(double target_ber) const {
-  return evaluate_schemes(channel_, codes_, target_ber, config_);
+  return candidates(target_ber, channel_.environment());
+}
+
+std::vector<SchemeMetrics> LinkManager::candidates(
+    double target_ber, const env::EnvironmentSample& environment) const {
+  return evaluate_schemes(channel_, codes_, target_ber, config_,
+                          environment);
 }
 
 std::optional<LinkConfiguration> LinkManager::configure(
     const CommunicationRequest& request) const {
-  const std::vector<SchemeMetrics> all = candidates(request.target_ber);
+  return configure(request, channel_.environment());
+}
+
+std::optional<LinkConfiguration> LinkManager::configure(
+    const CommunicationRequest& request,
+    const env::EnvironmentSample& environment) const {
+  const std::vector<SchemeMetrics> all =
+      candidates(request.target_ber, environment);
 
   std::optional<std::size_t> best;
   const auto objective = [&](const SchemeMetrics& m) {
@@ -79,10 +94,61 @@ std::optional<LinkConfiguration> LinkManager::configure(
 }
 
 double LinkManager::best_reachable_ber() const {
+  return best_reachable_ber(channel_.environment());
+}
+
+double LinkManager::best_reachable_ber(
+    const env::EnvironmentSample& environment) const {
   double best = 0.5;
   for (const auto& code : codes_)
-    best = std::min(best, link::best_achievable_ber(channel_, *code));
+    best = std::min(
+        best, link::best_achievable_ber(channel_, *code, environment));
   return best;
+}
+
+RecalibratingManager::RecalibratingManager(
+    std::shared_ptr<const LinkManager> manager, RecalibrationConfig config)
+    : manager_(std::move(manager)), config_(config) {
+  if (!manager_)
+    throw std::invalid_argument("RecalibratingManager: null manager");
+  if (config_.activity_hysteresis < 0.0)
+    throw std::invalid_argument(
+        "RecalibratingManager: negative hysteresis");
+}
+
+RecalibratingManager::Outcome RecalibratingManager::configure(
+    const CommunicationRequest& request,
+    const env::EnvironmentSample& environment) {
+  CacheEntry* entry = nullptr;
+  for (CacheEntry& candidate : cache_) {
+    if (candidate.request == request) {
+      entry = &candidate;
+      break;
+    }
+  }
+  const bool drifted =
+      entry != nullptr &&
+      std::abs(environment.activity - entry->activity) >
+          config_.activity_hysteresis;
+  if (entry != nullptr && !drifted) {
+    ++stats_.reuses;
+    return {entry->configuration, false};
+  }
+  if (entry == nullptr) {
+    cache_.push_back({request, 0.0, std::nullopt});
+    entry = &cache_.back();
+  }
+  entry->activity = environment.activity;
+  entry->configuration = manager_->configure(request, environment);
+  ++stats_.solves;
+  // Only a drift-triggered re-solve is a recalibration; the cold first
+  // solve of a request is the ordinary manager round trip.
+  if (drifted) {
+    ++stats_.recalibrations;
+    stats_.energy_j += config_.recalibration_energy_j;
+    stats_.latency_s += config_.recalibration_latency_s;
+  }
+  return {entry->configuration, drifted};
 }
 
 }  // namespace photecc::core

@@ -1,0 +1,214 @@
+// photecc::env — the time-varying operating environment of the optical
+// layer.
+//
+// The paper freezes the electrical-layer activity at one value (25 %)
+// and evaluates every scheme at that single operating point.  Its core
+// claim, however, is dynamic: coding buys *thermal headroom*, and
+// headroom only matters when activity (and with it the laser's
+// deliverable optical power) moves at runtime.  This module makes the
+// environment a first-class, time-varying quantity every layer above
+// photonics can share:
+//
+//   * EnvironmentSample    — (time, activity) pair, the unit every
+//                            solver call consumes.
+//   * EnvironmentTimeline  — a declarative piecewise activity process:
+//                            constant, step, linear ramp, cyclic or
+//                            one-shot phase schedules, and a
+//                            self-heating mode whose activity is driven
+//                            by channel busy time through a thermal RC
+//                            time constant.
+//   * ThermalIntegrator    — the stateful closed-loop sampler: a
+//                            simulator advances it event by event,
+//                            feeding measured busy fractions back into
+//                            the self-heating dynamics.
+//
+// Layering: env sits directly above math; link resolves its deprecated
+// MwsrParams::chip_activity alias into a constant timeline here, and
+// core/noc/explore/spec treat timelines as plain declarative data.
+#ifndef PHOTECC_ENV_ENVIRONMENT_HPP
+#define PHOTECC_ENV_ENVIRONMENT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace photecc::env {
+
+/// One sample of the environment: the electrical-layer activity factor
+/// in [0, 1] observed at `time_s`.  This is the unit the link solver
+/// consumes — everything a laser model needs to derate itself.
+struct EnvironmentSample {
+  double time_s = 0.0;
+  double activity = 0.25;
+
+  [[nodiscard]] bool operator==(const EnvironmentSample&) const = default;
+};
+
+/// One phase of a piecewise-constant activity schedule.
+struct EnvironmentPhase {
+  double duration_s = 1e-6;
+  double activity = 0.25;
+  /// Display label carried into per-phase statistics ("compute",
+  /// "burst"); empty labels render as the phase index.
+  std::string label;
+
+  [[nodiscard]] bool operator==(const EnvironmentPhase&) const = default;
+};
+
+/// A declarative piecewise activity process.  Construct through the
+/// named factories; sample_at(t) is a pure function (the self-heating
+/// kind needs the stateful ThermalIntegrator to close the loop — its
+/// pure sample is the zero-traffic baseline).
+class EnvironmentTimeline {
+ public:
+  enum class Kind {
+    kConstant,     ///< activity fixed for all t (the paper's setup)
+    kStep,         ///< before-activity until at_s, after-activity beyond
+    kRamp,         ///< linear ramp between two activities over [t0, t1]
+    kPhases,       ///< piecewise-constant schedule, cyclic or one-shot
+    kSelfHeating,  ///< busy-time-driven activity with an RC constant
+  };
+
+  /// Default: the paper's frozen 25 % activity.
+  EnvironmentTimeline() = default;
+
+  /// Activity fixed at `activity` for all time.
+  [[nodiscard]] static EnvironmentTimeline constant(double activity);
+
+  /// `from` until `at_s`, `to` at and after `at_s`.
+  [[nodiscard]] static EnvironmentTimeline step(double at_s, double from,
+                                                double to);
+
+  /// `from` before `start_s`, linear to `to` over [start_s, end_s],
+  /// `to` afterwards.  Requires end_s > start_s.
+  [[nodiscard]] static EnvironmentTimeline ramp(double start_s, double end_s,
+                                                double from, double to);
+
+  /// Piecewise-constant schedule.  With `cyclic` the schedule repeats
+  /// for all t (a diurnal/application loop); otherwise the last phase's
+  /// activity holds beyond the schedule end.
+  [[nodiscard]] static EnvironmentTimeline phases(
+      std::vector<EnvironmentPhase> schedule, bool cyclic = true);
+
+  /// Self-heating feedback: activity relaxes toward
+  ///   baseline + busy_gain * busy_fraction
+  /// with time constant `tau_s` (thermal RC).  The pure sample_at()
+  /// returns the zero-traffic baseline; ThermalIntegrator closes the
+  /// loop with measured busy fractions.
+  [[nodiscard]] static EnvironmentTimeline self_heating(double baseline,
+                                                        double busy_gain,
+                                                        double tau_s);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  /// True for the kinds whose sample never changes with time — the
+  /// static special case every pre-environment code path assumed.
+  [[nodiscard]] bool is_constant() const noexcept {
+    return kind_ == Kind::kConstant;
+  }
+
+  /// The open-loop activity at time `t` (clamped to [0, 1]).  Self-
+  /// heating returns its baseline (zero traffic); negative t samples
+  /// like t = 0.
+  [[nodiscard]] EnvironmentSample sample_at(double t) const;
+
+  /// The t -> infinity limit of the open-loop activity: the value a
+  /// static analysis (the AB5 table) should be run at.  Cyclic phase
+  /// schedules have no limit and report their time-weighted mean.
+  [[nodiscard]] double steady_state_activity() const;
+
+  /// Phase boundaries of the timeline over [0, horizon_s], for
+  /// per-phase statistics: constant/self-heating contribute one phase,
+  /// a step two, a ramp up to three (pre / ramp / post), and a phase
+  /// schedule one per (repeated) phase.  Boundaries are strictly
+  /// increasing; the last entry ends at horizon_s.
+  struct PhaseWindow {
+    std::string label;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  [[nodiscard]] std::vector<PhaseWindow> phase_windows(
+      double horizon_s) const;
+
+  /// Compact display label, used for grid-axis labels and reports:
+  /// "constant@0.25", "step@1.0e-06:0.25->0.75", "ramp:0.25->1",
+  /// "phases x3 (cyclic)", "self-heating:0.25+0.5b/tau=1.0e-06".
+  [[nodiscard]] std::string label() const;
+
+  // Parameter accessors (meaningful per kind; spec serialization).
+  [[nodiscard]] double constant_activity() const noexcept { return from_; }
+  [[nodiscard]] double step_at_s() const noexcept { return start_s_; }
+  [[nodiscard]] double ramp_start_s() const noexcept { return start_s_; }
+  [[nodiscard]] double ramp_end_s() const noexcept { return end_s_; }
+  [[nodiscard]] double from_activity() const noexcept { return from_; }
+  [[nodiscard]] double to_activity() const noexcept { return to_; }
+  [[nodiscard]] const std::vector<EnvironmentPhase>& phase_schedule()
+      const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] bool cyclic() const noexcept { return cyclic_; }
+  [[nodiscard]] double baseline_activity() const noexcept { return from_; }
+  [[nodiscard]] double busy_gain() const noexcept { return to_; }
+  [[nodiscard]] double tau_s() const noexcept { return tau_s_; }
+
+  [[nodiscard]] bool operator==(const EnvironmentTimeline&) const = default;
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  // Field reuse across kinds (see the accessors above): from_ holds the
+  // constant / pre-step / ramp-start / self-heating-baseline activity,
+  // to_ the post-step / ramp-end activity or the self-heating busy
+  // gain.
+  double from_ = 0.25;
+  double to_ = 0.25;
+  double start_s_ = 0.0;
+  double end_s_ = 0.0;
+  double tau_s_ = 1e-6;
+  bool cyclic_ = true;
+  std::vector<EnvironmentPhase> phases_;
+};
+
+/// The stateful closed-loop sampler.  A discrete-event simulator owns
+/// one integrator per channel and advances it event by event with the
+/// busy fraction it measured since the previous advance.  Declarative
+/// timelines simply sample; the self-heating kind integrates the first-
+/// order thermal response
+///
+///   a(t + dt) = target + (a(t) - target) * exp(-dt / tau),
+///   target    = baseline + busy_gain * busy_fraction
+///
+/// so a streaming workload that keeps the channel busy drags its own
+/// activity — and with it the laser derating — upward over time.
+class ThermalIntegrator {
+ public:
+  explicit ThermalIntegrator(EnvironmentTimeline timeline);
+
+  /// Advances to time `t` (>= the current time; earlier times return
+  /// the current sample unchanged) given the fraction of [current, t]
+  /// the channel spent busy, and returns the sample at `t`.
+  EnvironmentSample advance_to(double t, double busy_fraction);
+
+  [[nodiscard]] const EnvironmentSample& current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] const EnvironmentTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+
+ private:
+  EnvironmentTimeline timeline_;
+  EnvironmentSample current_;
+};
+
+/// Shared entry point for every layer that needs "the activity now":
+/// samples `timeline` at `t`.  Kept as a free function so call sites
+/// read env::sample_at(timeline, t) — one grep finds every
+/// environment consumer.
+[[nodiscard]] inline EnvironmentSample sample_at(
+    const EnvironmentTimeline& timeline, double t) {
+  return timeline.sample_at(t);
+}
+
+}  // namespace photecc::env
+
+#endif  // PHOTECC_ENV_ENVIRONMENT_HPP

@@ -41,6 +41,13 @@ const std::vector<std::string>& noc_cell_metric_names() {
   return names;
 }
 
+const std::vector<std::string>& noc_env_metric_names() {
+  static const std::vector<std::string> names{
+      "dropped_thermal", "recalibrations", "recalibration_energy_j",
+      "peak_activity", "final_activity"};
+  return names;
+}
+
 CellResult evaluate_link_cell(const Scenario& scenario) {
   CellResult result;
   result.index = scenario.index;
@@ -128,6 +135,18 @@ CellResult evaluate_noc_cell(const Scenario& scenario) {
   result.set_metric("energy_per_bit_j",
                     stats.energy_per_bit_j(run.total_payload_bits));
   result.set_metric("busy_time_s", stats.busy_time_s);
+  if (scenario.link.environment) {
+    // Environment-only columns: appended after the stable set so
+    // environment-free grids keep their historical export layout.
+    result.set_metric("dropped_thermal",
+                      static_cast<double>(stats.dropped_thermal));
+    result.set_metric("recalibrations",
+                      static_cast<double>(stats.recalibrations));
+    result.set_metric("recalibration_energy_j",
+                      stats.recalibration_energy_j);
+    result.set_metric("peak_activity", stats.peak_activity);
+    result.set_metric("final_activity", stats.final_activity);
+  }
   return result;
 }
 

@@ -72,6 +72,12 @@ ScenarioGrid& ScenarioGrid::modulations(
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::environments(
+    std::vector<EnvironmentVariant> variants) {
+  environments_ = std::move(variants);
+  return *this;
+}
+
 ScenarioGrid& ScenarioGrid::base_link(link::MwsrParams params) {
   base_link_ = std::move(params);
   return *this;
@@ -105,7 +111,8 @@ std::size_t ScenarioGrid::size() const {
   return radix(codes_.size()) * radix(bers_.size()) *
          radix(link_variants_.size()) * radix(oni_counts_.size()) *
          radix(traffic_.size()) * radix(gating_.size()) *
-         radix(policies_.size()) * radix(modulations_.size());
+         radix(policies_.size()) * radix(modulations_.size()) *
+         radix(environments_.size());
 }
 
 bool ScenarioGrid::has_noc_axes() const {
@@ -172,6 +179,11 @@ Scenario ScenarioGrid::at(std::size_t i) const {
     s.link.modulation = modulations_[d];
     s.labels.emplace_back("modulation",
                           math::to_string(s.link.modulation));
+  }
+  if (const std::size_t d = digit(environments_.size());
+      !environments_.empty()) {
+    s.link.environment = environments_[d].second;
+    s.labels.emplace_back("environment", environments_[d].first);
   }
   return s;
 }

@@ -28,6 +28,14 @@ namespace photecc::explore {
 [[nodiscard]] const std::vector<std::string>& link_cell_metric_names();
 [[nodiscard]] const std::vector<std::string>& noc_cell_metric_names();
 
+/// Extra metrics evaluate_noc_cell publishes *only* when the scenario
+/// declares an environment timeline (appended after
+/// noc_cell_metric_names(), in this order): dropped_thermal,
+/// recalibrations, recalibration_energy_j, peak_activity,
+/// final_activity.  Kept separate so environment-free grids stay
+/// column-stable with their pre-environment exports.
+[[nodiscard]] const std::vector<std::string>& noc_env_metric_names();
+
 /// Analytic evaluation: core::evaluate_scheme on the scenario's channel.
 /// Metrics: link_cell_metric_names() — ct, p_channel_w, p_laser_w,
 /// p_mr_w, p_enc_dec_w, energy_per_bit_j, code_rate, op_laser_w, snr,

@@ -1,15 +1,17 @@
 // Declarative design-space grid: compose axes (code, BER target, link
-// variant, ONI count, traffic, laser gating, policy, modulation) and
-// get a lazily enumerated cartesian product of Scenario cells.
+// variant, ONI count, traffic, laser gating, policy, modulation,
+// environment) and get a lazily enumerated cartesian product of
+// Scenario cells.
 //
 // Enumeration order is fixed and documented: the code axis varies
 // fastest, then BER, link variant, ONI count, traffic, gating, policy,
-// modulation.  A grid with only {codes, ber_targets} therefore
-// enumerates in exactly the order of the historical
+// modulation, environment.  A grid with only {codes, ber_targets}
+// therefore enumerates in exactly the order of the historical
 // core::sweep_tradeoff loops (BER-major, code-minor), which is what
 // lets the refactored benches reproduce byte-identical tables; the
-// modulation axis is outermost so declaring it appends whole-grid
-// repeats after the OOK cells instead of interleaving them.
+// modulation and environment axes are outermost so declaring them
+// appends whole-grid repeats after the base cells instead of
+// interleaving them.
 #ifndef PHOTECC_EXPLORE_GRID_HPP
 #define PHOTECC_EXPLORE_GRID_HPP
 
@@ -27,6 +29,9 @@ namespace photecc::explore {
 /// A labelled MwsrParams variant for the link-parameter axis.
 using LinkVariant = std::pair<std::string, link::MwsrParams>;
 
+/// A labelled environment timeline for the environment axis.
+using EnvironmentVariant = std::pair<std::string, env::EnvironmentTimeline>;
+
 class ScenarioGrid {
  public:
   // --- Axes (fluent setters; an unset axis contributes the base value
@@ -39,6 +44,10 @@ class ScenarioGrid {
   ScenarioGrid& laser_gating(std::vector<bool> values);
   ScenarioGrid& policies(std::vector<core::Policy> values);
   ScenarioGrid& modulations(std::vector<math::Modulation> values);
+  /// Environment axis (outermost): each value overrides the cell's
+  /// link.environment timeline.  Undeclared = the base link's
+  /// environment (the static chip-activity alias by default).
+  ScenarioGrid& environments(std::vector<EnvironmentVariant> variants);
 
   // --- Base values applied to every cell before axis overrides. ---
   ScenarioGrid& base_link(link::MwsrParams params);
@@ -103,6 +112,7 @@ class ScenarioGrid {
   std::vector<bool> gating_;
   std::vector<core::Policy> policies_;
   std::vector<math::Modulation> modulations_;
+  std::vector<EnvironmentVariant> environments_;
 
   link::MwsrParams base_link_{};
   core::SystemConfig base_system_{};

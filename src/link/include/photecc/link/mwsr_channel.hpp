@@ -18,7 +18,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
+#include "photecc/env/environment.hpp"
 #include "photecc/math/modulation.hpp"
 #include "photecc/photonics/laser.hpp"
 #include "photecc/photonics/microring.hpp"
@@ -40,7 +42,16 @@ struct MwsrParams {
   double waveguide_length_m = 0.06;         ///< 6 cm
   double laser_coupling_loss_db = 1.3;      ///< VCSEL -> waveguide
   double mux_insertion_loss_db = 1.3;       ///< MMI combiner [12]
-  double chip_activity = 0.25;              ///< electrical-layer activity
+  /// DEPRECATED alias: the electrical-layer activity as a frozen
+  /// scalar, kept for source compatibility.  When `environment` is
+  /// unset this value seeds a constant env::EnvironmentTimeline (the
+  /// paper's static 25 % operating point); when `environment` is set
+  /// this field is ignored.  MwsrChannel::environment_timeline() is the
+  /// only reader — no other layer may touch this field directly.
+  double chip_activity = 0.25;
+  /// Time-varying operating environment of the channel.  Unset =
+  /// constant timeline seeded from the `chip_activity` alias above.
+  std::optional<env::EnvironmentTimeline> environment{};
   /// Subtract the residual '0'-level power from the eye amplitude
   /// (OPsignal refers to the usable eye, not the raw '1' level).
   bool include_eye_penalty = true;
@@ -102,6 +113,27 @@ class MwsrChannel {
   /// Extinction ratio of the modulator rings (linear).
   [[nodiscard]] double extinction_ratio() const noexcept;
 
+  /// The channel's resolved environment timeline: params().environment
+  /// when set, else a constant timeline seeded from the deprecated
+  /// chip_activity alias.  This resolution is the alias shim — the one
+  /// place in the library that reads MwsrParams::chip_activity.
+  [[nodiscard]] const env::EnvironmentTimeline& environment_timeline()
+      const noexcept {
+    return environment_;
+  }
+
+  /// Environment sample at time `t` on the resolved timeline.
+  [[nodiscard]] env::EnvironmentSample environment_at(double t) const {
+    return env::sample_at(environment_, t);
+  }
+
+  /// The t = 0 sample — what every static (single-operating-point)
+  /// analysis consumes.  For constant timelines this is the whole
+  /// story, reproducing the pre-environment behaviour exactly.
+  [[nodiscard]] env::EnvironmentSample environment() const {
+    return environment_at(0.0);
+  }
+
   [[nodiscard]] const photonics::MicroRing& ring() const noexcept {
     return ring_;
   }
@@ -122,6 +154,7 @@ class MwsrChannel {
   [[nodiscard]] double parked_writer_transmission(std::size_t ch) const;
 
   MwsrParams params_;
+  env::EnvironmentTimeline environment_;
   photonics::MicroRing ring_;
   photonics::Photodetector detector_;
   photonics::Waveguide waveguide_;

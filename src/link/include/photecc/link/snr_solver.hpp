@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "photecc/ecc/block_code.hpp"
+#include "photecc/env/environment.hpp"
 #include "photecc/link/mwsr_channel.hpp"
 
 namespace photecc::link {
@@ -31,7 +32,8 @@ struct LinkOperatingPoint {
 };
 
 /// Solves the full chain for `code` at `target_ber` on `channel`,
-/// using the channel's worst wavelength.
+/// using the channel's worst wavelength and the environment at t = 0
+/// (`channel.environment()` — the static operating point).
 /// Throws std::domain_error for target_ber outside (0, 0.5).
 LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
                                          const ecc::BlockCode& code,
@@ -42,10 +44,28 @@ LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
                                          const ecc::BlockCode& code,
                                          double target_ber, std::size_t ch);
 
+/// Same, at an explicit environment sample — the entry point of every
+/// time-varying analysis: the manager's recalibration loop and the NoC
+/// simulator resolve the timeline to a sample and solve here.
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, const env::EnvironmentSample& environment);
+
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, std::size_t ch,
+    const env::EnvironmentSample& environment);
+
 /// Best post-decoding BER achievable on `channel` with `code` when the
 /// laser runs at its deliverable maximum; the floor of Fig. 5's curves.
+/// Evaluated at the t = 0 environment sample.
 double best_achievable_ber(const MwsrChannel& channel,
                            const ecc::BlockCode& code);
+
+/// Same, at an explicit environment sample.
+double best_achievable_ber(const MwsrChannel& channel,
+                           const ecc::BlockCode& code,
+                           const env::EnvironmentSample& environment);
 
 }  // namespace photecc::link
 

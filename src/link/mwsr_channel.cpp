@@ -10,6 +10,12 @@ namespace photecc::link {
 
 MwsrChannel::MwsrChannel(const MwsrParams& params)
     : params_(params),
+      // Alias shim: the deprecated chip_activity scalar becomes a
+      // constant timeline unless an explicit environment is declared.
+      environment_(params.environment
+                       ? *params.environment
+                       : env::EnvironmentTimeline::constant(
+                             params.chip_activity)),
       ring_(params.ring),
       detector_(params.detector),
       waveguide_(params.waveguide_loss_db_per_cm, params.waveguide_length_m),
@@ -19,8 +25,8 @@ MwsrChannel::MwsrChannel(const MwsrParams& params)
     throw std::invalid_argument("MwsrChannel: need at least 2 ONIs");
   if (params.grid.channel_count == 0)
     throw std::invalid_argument("MwsrChannel: zero wavelengths");
-  if (params.chip_activity < 0.0 || params.chip_activity > 1.0)
-    throw std::invalid_argument("MwsrChannel: activity outside [0, 1]");
+  // Activity range checking happens when the alias shim above builds
+  // the constant timeline; explicit timelines validate on construction.
 }
 
 double MwsrChannel::parked_writer_transmission(std::size_t ch) const {

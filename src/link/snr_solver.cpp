@@ -10,9 +10,10 @@
 
 namespace photecc::link {
 
-LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
-                                         const ecc::BlockCode& code,
-                                         double target_ber, std::size_t ch) {
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, std::size_t ch,
+    const env::EnvironmentSample& environment) {
   if (target_ber <= 0.0 || target_ber >= 0.5)
     throw std::domain_error(
         "solve_operating_point: target BER outside (0, 0.5)");
@@ -46,8 +47,8 @@ LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
   point.op_crosstalk_w = point.op_laser_w * t_xt;
 
   const auto& laser = channel.laser();
-  const double activity = channel.params().chip_activity;
-  const auto electrical = laser.electrical_power(point.op_laser_w, activity);
+  const auto electrical =
+      laser.electrical_power(point.op_laser_w, environment.activity);
   if (electrical) {
     point.feasible = true;
     point.p_laser_w = *electrical;
@@ -55,15 +56,31 @@ LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
   return point;
 }
 
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, const env::EnvironmentSample& environment) {
+  return solve_operating_point(channel, code, target_ber,
+                               channel.worst_channel(), environment);
+}
+
+LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
+                                         const ecc::BlockCode& code,
+                                         double target_ber, std::size_t ch) {
+  return solve_operating_point(channel, code, target_ber, ch,
+                               channel.environment());
+}
+
 LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,
                                          const ecc::BlockCode& code,
                                          double target_ber) {
   return solve_operating_point(channel, code, target_ber,
-                               channel.worst_channel());
+                               channel.worst_channel(),
+                               channel.environment());
 }
 
 double best_achievable_ber(const MwsrChannel& channel,
-                           const ecc::BlockCode& code) {
+                           const ecc::BlockCode& code,
+                           const env::EnvironmentSample& environment) {
   const std::size_t ch = channel.worst_channel();
   const double t_eye = channel.eye_transmission(ch);
   const double t_xt = channel.crosstalk_transmission(ch);
@@ -71,10 +88,15 @@ double best_achievable_ber(const MwsrChannel& channel,
   if (margin <= 0.0) return 0.5;
   const auto& det = channel.detector().params();
   const double op_max =
-      channel.laser().max_optical_power(channel.params().chip_activity);
+      channel.laser().max_optical_power(environment.activity);
   const double snr_max =
       det.responsivity_a_per_w * op_max * margin / det.dark_current_a;
   return ecc::achieved_ber(code, snr_max, channel.params().modulation);
+}
+
+double best_achievable_ber(const MwsrChannel& channel,
+                           const ecc::BlockCode& code) {
+  return best_achievable_ber(channel, code, channel.environment());
 }
 
 }  // namespace photecc::link

@@ -3,9 +3,19 @@
 #ifndef PHOTECC_MATH_STATS_HPP
 #define PHOTECC_MATH_STATS_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace photecc::math {
+
+/// Zero-based index of the nearest-rank percentile in a sorted sample
+/// of `count` elements: the 1-indexed rank is ceil(percentile * count),
+/// clamped to [1, count] — the classic no-interpolation definition
+/// (for count = 20, percentile 0.95 selects the 19th smallest value).
+/// Throws std::invalid_argument for count == 0 or percentile outside
+/// (0, 1].
+[[nodiscard]] std::size_t nearest_rank_index(std::size_t count,
+                                             double percentile);
 
 /// Welford streaming accumulator for mean / variance / extrema.
 class RunningStats {

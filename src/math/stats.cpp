@@ -8,6 +8,17 @@
 
 namespace photecc::math {
 
+std::size_t nearest_rank_index(std::size_t count, double percentile) {
+  if (count == 0)
+    throw std::invalid_argument("nearest_rank_index: empty sample");
+  if (!(percentile > 0.0) || percentile > 1.0)
+    throw std::invalid_argument(
+        "nearest_rank_index: percentile outside (0, 1]");
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(percentile * static_cast<double>(count)));
+  return std::clamp<std::size_t>(rank, 1, count) - 1;
+}
+
 void RunningStats::add(double x) noexcept {
   if (n_ == 0) {
     min_ = x;

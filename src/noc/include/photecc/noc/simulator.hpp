@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "photecc/core/manager.hpp"
+#include "photecc/env/environment.hpp"
 #include "photecc/noc/message.hpp"
 #include "photecc/noc/traffic.hpp"
 
@@ -50,6 +51,11 @@ struct NocConfig {
   double laser_wake_s = 10e-9;     ///< gating wake-up latency
   double arbitration_s = 2e-9;     ///< per-grant arbitration overhead
   double flight_time_s = 0.8e-9;   ///< time of flight over the waveguide
+  /// Closed-loop recalibration knobs, active when link_params declares
+  /// an environment timeline.  Without a timeline the manager solves at
+  /// the static operating point and recalibration costs nothing — the
+  /// pre-environment behaviour, bit for bit.
+  core::RecalibrationConfig recalibration{};
 };
 
 /// Outcome of one delivered message.
@@ -61,15 +67,40 @@ struct DeliveredMessage {
   std::string scheme;              ///< code chosen by the manager
   double energy_j = 0.0;           ///< laser + MR + codec for this transfer
   bool deadline_missed = false;
+  /// Environment activity sampled when this transfer was configured.
+  double activity = 0.0;
+  /// True when this transfer forced a manager re-solve (drift past the
+  /// hysteresis band, or the first transfer of its request).
+  bool recalibrated = false;
+};
+
+/// Statistics of one environment phase window (see
+/// env::EnvironmentTimeline::phase_windows); filled only when the
+/// simulator runs with an environment timeline.
+struct NocPhaseStats {
+  std::string label;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t deadline_misses = 0;
+  double mean_latency_s = 0.0;
 };
 
 /// Aggregate statistics of one run.
 struct NocStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;       ///< no feasible scheme
+  /// Drops caused by a thermal infeasibility window: the request is
+  /// feasible at the timeline's t = 0 baseline but not at the sampled
+  /// environment (subset of `dropped`; zero without a timeline).
+  std::uint64_t dropped_thermal = 0;
   std::uint64_t deadline_misses = 0;
   double mean_latency_s = 0.0;
   double max_latency_s = 0.0;
+  /// 95th-percentile latency by the nearest-rank definition: the value
+  /// at 1-indexed rank ceil(0.95 * N) of the sorted latencies (no
+  /// interpolation; for N = 20 that is the 19th smallest).
   double p95_latency_s = 0.0;
   double total_energy_j = 0.0;
   double laser_energy_j = 0.0;
@@ -78,6 +109,19 @@ struct NocStats {
   double idle_laser_energy_j = 0.0;  ///< burned while idle (no gating)
   double busy_time_s = 0.0;          ///< summed channel busy time
   double horizon_s = 0.0;
+  /// Closed-loop accounting (zero without an environment timeline):
+  /// manager re-solves triggered by drift, and their summed cost.
+  /// recalibration_energy_j is part of total_energy_j.
+  std::uint64_t recalibrations = 0;
+  double recalibration_energy_j = 0.0;
+  double recalibration_latency_s = 0.0;
+  /// Highest / end-of-horizon activity sampled on any channel (the
+  /// hottest channel's view); filled only when a timeline is declared.
+  double peak_activity = 0.0;
+  double final_activity = 0.0;
+  /// Per-phase breakdown over the timeline's phase windows (empty
+  /// without an environment timeline).
+  std::vector<NocPhaseStats> phases;
   /// Scheme usage histogram (scheme name -> transfers).
   std::map<std::string, std::uint64_t> scheme_usage;
   /// Mean latency per traffic class.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <stdexcept>
+#include <utility>
 
 #include "photecc/ecc/registry.hpp"
 #include "photecc/math/stats.hpp"
@@ -45,6 +46,32 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
   const std::size_t nw = config_.system.wavelengths;
   const double f_mod = config_.system.f_mod_hz;
 
+  // The time-varying environment: the channel's resolved timeline.
+  // When the NocConfig declares no timeline the channel falls back to
+  // the constant chip-activity alias, every sample equals the static
+  // operating point and recalibration costs nothing — the
+  // pre-environment event loop, bit for bit.
+  const bool has_env = config_.link_params.environment.has_value();
+  const env::EnvironmentTimeline& timeline =
+      manager_->channel().environment_timeline();
+  // Recalibration cost accrues only on drift-triggered re-solves, so a
+  // constant timeline (and the chip_activity alias) never pays it.
+  const core::RecalibrationConfig& recal_config = config_.recalibration;
+
+  // Per-phase accumulators over the timeline's phase windows.
+  std::vector<env::EnvironmentTimeline::PhaseWindow> windows;
+  std::vector<math::RunningStats> phase_latency;
+  std::vector<NocPhaseStats> phase_stats;
+  if (has_env) {
+    windows = timeline.phase_windows(horizon_s);
+    phase_latency.resize(windows.size());
+    phase_stats.resize(windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      phase_stats[i].label = windows[i].label;
+      phase_stats[i].start_s = windows[i].start_s;
+      phase_stats[i].end_s = windows[i].end_s;
+    }
+  }
   // Partition messages per destination channel (channels are
   // independent: every reader owns its waveguides and wavelengths).
   std::vector<std::vector<Message>> per_channel(config_.oni_count);
@@ -58,6 +85,17 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
 
   std::vector<double> latencies;
   std::map<TrafficClass, math::RunningStats> class_latency;
+  // Baseline (t = 0) feasibility per request, for classifying drops as
+  // thermal: lazily solved, cached by request.
+  std::vector<std::pair<core::CommunicationRequest, bool>>
+      baseline_feasibility;
+  const auto baseline_feasible = [&](const core::CommunicationRequest& r) {
+    for (const auto& [request, feasible] : baseline_feasibility)
+      if (request == r) return feasible;
+    const bool feasible = manager_->configure(r).has_value();
+    baseline_feasibility.emplace_back(r, feasible);
+    return feasible;
+  };
 
   for (std::size_t ch = 0; ch < config_.oni_count; ++ch) {
     auto& messages = per_channel[ch];
@@ -72,6 +110,25 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
     double now = 0.0;
     double last_idle_power_w = 0.0;  // laser power of the last config
     double last_busy_end = 0.0;
+
+    // Closed loop state: the environment integrator (fed with measured
+    // busy fractions) and the recalibrating manager wrapping the
+    // static solver with drift hysteresis.
+    env::ThermalIntegrator integrator{timeline};
+    core::RecalibratingManager recal{manager_, recal_config};
+    double last_advance_t = 0.0;
+    double busy_since_advance = 0.0;
+    // Grant times are monotone per channel, so the phase lookup is an
+    // advancing cursor — O(1) amortised even for cyclic schedules with
+    // many repeated windows.  Events past the horizon (drain) stay in
+    // the tail window.
+    std::size_t phase_cursor = 0;
+    const auto phase_of = [&](double t) {
+      while (phase_cursor + 1 < windows.size() &&
+             t >= windows[phase_cursor + 1].start_s)
+        ++phase_cursor;
+      return phase_cursor;
+    };
 
     const auto pending_count = [&] {
       std::size_t count = 0;
@@ -107,29 +164,55 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
       Message msg = queues[granted].front();
       queues[granted].pop_front();
 
+      const double grant_time = std::max(now, msg.creation_time_s);
+
+      // Advance the environment to the grant, feeding back the busy
+      // fraction observed since the previous advance (the self-heating
+      // loop; declarative timelines just sample).
+      env::EnvironmentSample sample = integrator.current();
+      if (has_env) {
+        const double dt = grant_time - last_advance_t;
+        const double busy_fraction =
+            dt > 0.0 ? std::min(1.0, busy_since_advance / dt) : 0.0;
+        sample = integrator.advance_to(grant_time, busy_fraction);
+        if (dt > 0.0) {
+          last_advance_t = grant_time;
+          busy_since_advance = 0.0;
+        }
+        result.stats.peak_activity =
+            std::max(result.stats.peak_activity, sample.activity);
+      }
+
       const ClassRequirements& req = requirements_for(msg.traffic_class);
       core::CommunicationRequest request;
       request.target_ber = req.target_ber;
       request.policy = req.policy;
       request.max_ct = req.max_ct;
       request.max_channel_power_w = req.max_channel_power_w;
-      const auto configuration = manager_->configure(request);
-      if (!configuration) {
+      const auto outcome = recal.configure(request, sample);
+      if (!outcome.configuration) {
         ++result.stats.dropped;
+        if (has_env) {
+          const std::size_t phase = phase_of(grant_time);
+          ++phase_stats[phase].dropped;
+          if (baseline_feasible(request)) ++result.stats.dropped_thermal;
+        }
         continue;
       }
-      const core::SchemeMetrics& metrics = configuration->metrics;
+      const core::SchemeMetrics& metrics = outcome.configuration->metrics;
 
-      const double grant_time = std::max(now, msg.creation_time_s);
       const bool was_idle = grant_time > last_busy_end + 1e-15;
       const double wake =
           (config_.laser_gating && was_idle) ? config_.laser_wake_s : 0.0;
+      const double recal_latency =
+          outcome.recalibrated ? recal_config.recalibration_latency_s : 0.0;
       // Payload is striped over the NW wavelengths; parity stretches the
       // serialisation by CT = n/k.
       const double bits_per_lambda = std::ceil(
           static_cast<double>(msg.payload_bits) / static_cast<double>(nw));
       const double serialize_s = bits_per_lambda * metrics.ct / f_mod;
-      const double start = grant_time + config_.arbitration_s + wake;
+      const double start =
+          grant_time + config_.arbitration_s + wake + recal_latency;
       const double end = start + serialize_s + config_.flight_time_s;
 
       // Energy for this transfer.
@@ -153,6 +236,7 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
       last_busy_end = end;
       now = end;
       result.stats.busy_time_s += end - grant_time;
+      busy_since_advance += end - grant_time;
 
       const double latency = end - msg.creation_time_s;
       latencies.push_back(latency);
@@ -162,6 +246,12 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
       const bool missed = msg.deadline_s && end > *msg.deadline_s;
       if (missed) ++result.stats.deadline_misses;
       ++result.stats.scheme_usage[metrics.scheme];
+      if (has_env) {
+        const std::size_t phase = phase_of(grant_time);
+        ++phase_stats[phase].delivered;
+        if (missed) ++phase_stats[phase].deadline_misses;
+        phase_latency[phase].add(latency);
+      }
 
       if (keep_log) {
         DeliveredMessage d;
@@ -172,6 +262,8 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
         d.scheme = metrics.scheme;
         d.energy_j = laser_j + mr_j + codec_j;
         d.deadline_missed = missed;
+        d.activity = sample.activity;
+        d.recalibrated = outcome.recalibrated;
         result.log.push_back(std::move(d));
       }
     }
@@ -182,6 +274,22 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
           last_idle_power_w * static_cast<double>(nw) *
           (horizon_s - last_busy_end);
     }
+    if (has_env) {
+      // Coast the integrator to the horizon (idle from the last event)
+      // and report the hottest channel's view.
+      const double dt = horizon_s - last_advance_t;
+      const double busy_fraction =
+          dt > 0.0 ? std::min(1.0, busy_since_advance / dt) : 0.0;
+      const env::EnvironmentSample final_sample =
+          integrator.advance_to(horizon_s, busy_fraction);
+      result.stats.peak_activity =
+          std::max(result.stats.peak_activity, final_sample.activity);
+      result.stats.final_activity =
+          std::max(result.stats.final_activity, final_sample.activity);
+      result.stats.recalibrations += recal.stats().recalibrations;
+      result.stats.recalibration_energy_j += recal.stats().energy_j;
+      result.stats.recalibration_latency_s += recal.stats().latency_s;
+    }
   }
 
   if (!latencies.empty()) {
@@ -190,15 +298,20 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
     for (const double l : latencies) sum += l;
     result.stats.mean_latency_s = sum / static_cast<double>(latencies.size());
     result.stats.max_latency_s = latencies.back();
-    const std::size_t p95_index = static_cast<std::size_t>(
-        std::floor(0.95 * static_cast<double>(latencies.size() - 1)));
-    result.stats.p95_latency_s = latencies[p95_index];
+    result.stats.p95_latency_s =
+        latencies[math::nearest_rank_index(latencies.size(), 0.95)];
   }
   for (const auto& [cls, stats] : class_latency)
     result.stats.class_mean_latency_s[cls] = stats.mean();
+  if (has_env) {
+    for (std::size_t i = 0; i < phase_stats.size(); ++i)
+      phase_stats[i].mean_latency_s = phase_latency[i].mean();
+    result.stats.phases = std::move(phase_stats);
+  }
   result.stats.total_energy_j =
       result.stats.laser_energy_j + result.stats.mr_energy_j +
-      result.stats.codec_energy_j + result.stats.idle_laser_energy_j;
+      result.stats.codec_energy_j + result.stats.idle_laser_energy_j +
+      result.stats.recalibration_energy_j;
   return result;
 }
 

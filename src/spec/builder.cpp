@@ -103,6 +103,17 @@ SpecBuilder& SpecBuilder::modulation(std::string format) {
   return *this;
 }
 
+SpecBuilder& SpecBuilder::environments(
+    std::vector<EnvironmentEntry> entries) {
+  spec_.environments = std::move(entries);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::environment(EnvironmentEntry entry) {
+  spec_.environments.push_back(std::move(entry));
+  return *this;
+}
+
 SpecBuilder& SpecBuilder::objective(std::string metric, bool minimize) {
   spec_.objectives.push_back({std::move(metric), minimize});
   return *this;

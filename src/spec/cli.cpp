@@ -55,4 +55,12 @@ std::vector<std::string> parse_modulation_names(const std::string& field,
   return names;
 }
 
+std::string render_name_list(const std::string& title,
+                             const std::vector<std::string>& names) {
+  std::string out =
+      title + " (" + std::to_string(names.size()) + "):\n";
+  for (const std::string& name : names) out += "  " + name + "\n";
+  return out;
+}
+
 }  // namespace photecc::spec

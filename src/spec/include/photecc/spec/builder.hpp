@@ -57,6 +57,10 @@ class SpecBuilder {
   SpecBuilder& modulations(std::vector<std::string> names);
   /// Single-format shorthand: a modulation axis with one value.
   SpecBuilder& modulation(std::string format);
+  /// Environment axis (schema v2): declarative timeline entries.
+  SpecBuilder& environments(std::vector<EnvironmentEntry> entries);
+  /// Appends one environment axis value.
+  SpecBuilder& environment(EnvironmentEntry entry);
 
   /// Appends one Pareto objective.
   SpecBuilder& objective(std::string metric, bool minimize = true);

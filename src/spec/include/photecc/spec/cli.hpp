@@ -34,6 +34,13 @@ namespace photecc::spec {
 [[nodiscard]] std::vector<std::string> parse_modulation_names(
     const std::string& field, const std::string& token);
 
+/// Renders one registry's contents for the CLI --list-* subcommands:
+/// a "<title> (<count>):" header followed by one indented name per
+/// line, ending with a newline.  Shared so every front end prints
+/// identical listings (and tests can pin the format once).
+[[nodiscard]] std::string render_name_list(
+    const std::string& title, const std::vector<std::string>& names);
+
 }  // namespace photecc::spec
 
 #endif  // PHOTECC_SPEC_CLI_HPP

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "photecc/core/manager.hpp"
+#include "photecc/env/environment.hpp"
 #include "photecc/explore/runner.hpp"
 #include "photecc/link/mwsr_channel.hpp"
 #include "photecc/math/modulation.hpp"
@@ -103,6 +104,16 @@ evaluator_registry();
 /// Traffic kinds.  Built-ins: "uniform", "hotspot".
 [[nodiscard]] Registry<TrafficLowering>& traffic_registry();
 
+/// Lowers one EnvironmentEntry to an env timeline.  The lowering also
+/// range-checks the entry (the env factories throw std::invalid_argument
+/// for out-of-range values, which validate() rewraps as SpecError).
+using EnvironmentLowering =
+    std::function<env::EnvironmentTimeline(const EnvironmentEntry&)>;
+
+/// Environment timeline kinds (schema v2).  Built-ins: "constant",
+/// "step", "ramp", "phases", "self-heating".
+[[nodiscard]] Registry<EnvironmentLowering>& environment_registry();
+
 /// Manager policies, prepopulated from core::all_policies().
 [[nodiscard]] Registry<core::Policy>& policy_registry();
 
@@ -110,7 +121,7 @@ evaluator_registry();
 [[nodiscard]] Registry<math::Modulation>& modulation_registry();
 
 /// Whole-experiment presets (the grids the CLI and benches ship):
-/// "fig6b", "noc", "modulation", "modulation-smoke".
+/// "fig6b", "noc", "modulation", "modulation-smoke", "thermal".
 [[nodiscard]] Registry<ExperimentSpec>& preset_registry();
 
 }  // namespace photecc::spec

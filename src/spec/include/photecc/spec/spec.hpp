@@ -17,10 +17,15 @@
 // all SpecError/ParseError with a field path — never a partial spec).
 // Hence `spec -> to_json -> from_json -> to_json` is byte-identical.
 //
-// Schema versioning: the document carries `"photecc_spec": 1`.  The
+// Schema versioning: the document carries `"photecc_spec": 2`.  The
 // version is bumped only when a field changes meaning or is removed;
 // adding optional fields keeps the version.  A reader rejects versions
-// it does not know.
+// it does not know.  Version history:
+//   1 — the original schema (still accepted; a v1 document parses to
+//       the same spec it always did).
+//   2 — adds the `axes.environments` block (time-varying environment
+//       timelines).  Writers emit 2; an environments block inside a v1
+//       document is rejected with a pointer at the version field.
 #ifndef PHOTECC_SPEC_SPEC_HPP
 #define PHOTECC_SPEC_SPEC_HPP
 
@@ -33,8 +38,10 @@
 
 namespace photecc::spec {
 
-/// The schema version to_json() writes and from_json() accepts.
-inline constexpr std::uint64_t kSchemaVersion = 1;
+/// The schema version to_json() writes.  from_json() accepts every
+/// version in [kMinSchemaVersion, kSchemaVersion].
+inline constexpr std::uint64_t kSchemaVersion = 2;
+inline constexpr std::uint64_t kMinSchemaVersion = 1;
 
 /// Default base seed — the ScenarioGrid default, restated here so a
 /// default-constructed spec lowers to a byte-identical grid.
@@ -49,6 +56,42 @@ struct TrafficEntry {
   double hotspot_fraction = 0.5;     ///< share aimed at the hotspot
 
   [[nodiscard]] bool operator==(const TrafficEntry&) const = default;
+};
+
+/// One phase of a declarative "phases" environment timeline.
+struct EnvironmentPhaseEntry {
+  double duration_s = 1e-6;
+  double activity = 0.25;
+  std::string label;  ///< optional; "" omits the key
+
+  [[nodiscard]] bool operator==(const EnvironmentPhaseEntry&) const = default;
+};
+
+/// One value of the environment axis, keyed by an environment-registry
+/// kind (schema v2).  Only the fields of the declared kind are
+/// serialized; setting fields of another kind is a validation error
+/// (mirroring TrafficEntry's hotspot fields).
+///
+///   constant:     activity
+///   step:         at_s, from_activity, to_activity
+///   ramp:         start_s, end_s, from_activity, to_activity
+///   phases:       phases[], cyclic
+///   self-heating: baseline_activity, busy_gain, tau_s
+struct EnvironmentEntry {
+  std::string kind = "constant";     ///< environment_registry() key
+  double activity = 0.25;            ///< constant
+  double at_s = 0.0;                 ///< step
+  double start_s = 0.0;              ///< ramp
+  double end_s = 0.0;                ///< ramp
+  double from_activity = 0.25;       ///< step / ramp
+  double to_activity = 0.25;         ///< step / ramp
+  std::vector<EnvironmentPhaseEntry> phases;  ///< phases
+  bool cyclic = true;                ///< phases
+  double baseline_activity = 0.25;   ///< self-heating
+  double busy_gain = 0.5;            ///< self-heating
+  double tau_s = 1e-6;               ///< self-heating
+
+  [[nodiscard]] bool operator==(const EnvironmentEntry&) const = default;
 };
 
 /// One dimension of the Pareto extraction the experiment reports.
@@ -73,7 +116,7 @@ struct ExperimentSpec {
   double noc_horizon_s = 2e-6;
 
   // Axes (canonical grid order: code, BER, link, ONI, traffic, gating,
-  // policy, modulation).
+  // policy, modulation, environment).
   std::vector<std::string> codes;         ///< ecc registry names
   std::vector<double> ber_targets;
   std::vector<std::string> links;         ///< link_registry() keys
@@ -82,6 +125,7 @@ struct ExperimentSpec {
   std::vector<bool> laser_gating;
   std::vector<std::string> policies;      ///< core policy names
   std::vector<std::string> modulations;   ///< math modulation names
+  std::vector<EnvironmentEntry> environments;  ///< schema v2
 
   std::vector<ObjectiveEntry> objectives;
 

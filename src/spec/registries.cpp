@@ -76,6 +76,49 @@ Registry<TrafficLowering>& traffic_registry() {
   return *registry;
 }
 
+Registry<EnvironmentLowering>& environment_registry() {
+  static Registry<EnvironmentLowering>* registry = [] {
+    auto* r = new Registry<EnvironmentLowering>("environment kind");
+    r->add("constant", [] {
+      return EnvironmentLowering{[](const EnvironmentEntry& e) {
+        return env::EnvironmentTimeline::constant(e.activity);
+      }};
+    });
+    r->add("step", [] {
+      return EnvironmentLowering{[](const EnvironmentEntry& e) {
+        return env::EnvironmentTimeline::step(e.at_s, e.from_activity,
+                                              e.to_activity);
+      }};
+    });
+    r->add("ramp", [] {
+      return EnvironmentLowering{[](const EnvironmentEntry& e) {
+        return env::EnvironmentTimeline::ramp(e.start_s, e.end_s,
+                                              e.from_activity,
+                                              e.to_activity);
+      }};
+    });
+    r->add("phases", [] {
+      return EnvironmentLowering{[](const EnvironmentEntry& e) {
+        std::vector<env::EnvironmentPhase> schedule;
+        schedule.reserve(e.phases.size());
+        for (const EnvironmentPhaseEntry& phase : e.phases)
+          schedule.push_back(
+              {phase.duration_s, phase.activity, phase.label});
+        return env::EnvironmentTimeline::phases(std::move(schedule),
+                                                e.cyclic);
+      }};
+    });
+    r->add("self-heating", [] {
+      return EnvironmentLowering{[](const EnvironmentEntry& e) {
+        return env::EnvironmentTimeline::self_heating(
+            e.baseline_activity, e.busy_gain, e.tau_s);
+      }};
+    });
+    return r;
+  }();
+  return *registry;
+}
+
 Registry<core::Policy>& policy_registry() {
   static Registry<core::Policy>* registry = [] {
     auto* r = new Registry<core::Policy>("policy");
@@ -137,6 +180,33 @@ ExperimentSpec modulation_preset() {
   return spec;
 }
 
+/// The thermal-transient sweep: the paper's scheme menu under a
+/// mid-horizon activity ramp from the paper's 25 % toward saturation,
+/// plus a self-heating variant — the dynamic twin of ablation AB5.
+ExperimentSpec thermal_preset() {
+  ExperimentSpec spec;
+  spec.name = "thermal";
+  spec.noc_horizon_s = 2e-6;
+  spec.codes = explore::paper_scheme_names();
+  spec.ber_targets = {1e-11};
+  spec.traffic = {{"uniform", 4e8, 4096, 0, 0.5}};
+  EnvironmentEntry constant;
+  EnvironmentEntry ramp;
+  ramp.kind = "ramp";
+  ramp.start_s = 2e-7;
+  ramp.end_s = 1.2e-6;
+  ramp.from_activity = 0.25;
+  ramp.to_activity = 1.0;
+  EnvironmentEntry self_heating;
+  self_heating.kind = "self-heating";
+  self_heating.baseline_activity = 0.25;
+  self_heating.busy_gain = 0.75;
+  self_heating.tau_s = 4e-7;
+  spec.environments = {constant, ramp, self_heating};
+  spec.objectives = {{"dropped_thermal", true}, {"energy_per_bit_j", true}};
+  return spec;
+}
+
 ExperimentSpec modulation_smoke_preset() {
   ExperimentSpec spec;
   spec.name = "modulation-smoke";
@@ -156,6 +226,7 @@ Registry<ExperimentSpec>& preset_registry() {
     r->add("noc", noc_preset);
     r->add("modulation", modulation_preset);
     r->add("modulation-smoke", modulation_smoke_preset);
+    r->add("thermal", thermal_preset);
     return r;
   }();
   return *registry;

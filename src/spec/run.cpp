@@ -65,6 +65,19 @@ explore::ScenarioGrid lower(const ExperimentSpec& spec) {
           "axes.modulations[" + std::to_string(i) + "]"));
     grid.modulations(std::move(modulations));
   }
+  if (!spec.environments.empty()) {
+    std::vector<explore::EnvironmentVariant> variants;
+    variants.reserve(spec.environments.size());
+    for (std::size_t i = 0; i < spec.environments.size(); ++i) {
+      const EnvironmentEntry& entry = spec.environments[i];
+      const EnvironmentLowering lowering = environment_registry().make(
+          entry.kind, "axes.environments[" + std::to_string(i) + "].kind");
+      env::EnvironmentTimeline timeline = lowering(entry);
+      std::string label = timeline.label();
+      variants.emplace_back(std::move(label), std::move(timeline));
+    }
+    grid.environments(std::move(variants));
+  }
   return grid;
 }
 

@@ -61,6 +61,44 @@ std::string bool_array(const std::vector<bool>& values) {
   return out + "]";
 }
 
+std::string environment_array(const std::vector<EnvironmentEntry>& entries) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const EnvironmentEntry& e = entries[i];
+    out += "      {\"kind\": " + json::escape(e.kind);
+    if (e.kind == "constant") {
+      out += ", \"activity\": " + json::number(e.activity);
+    } else if (e.kind == "step") {
+      out += ", \"at_s\": " + json::number(e.at_s) +
+             ", \"from_activity\": " + json::number(e.from_activity) +
+             ", \"to_activity\": " + json::number(e.to_activity);
+    } else if (e.kind == "ramp") {
+      out += ", \"start_s\": " + json::number(e.start_s) +
+             ", \"end_s\": " + json::number(e.end_s) +
+             ", \"from_activity\": " + json::number(e.from_activity) +
+             ", \"to_activity\": " + json::number(e.to_activity);
+    } else if (e.kind == "phases") {
+      out += ", \"cyclic\": " + std::string(e.cyclic ? "true" : "false") +
+             ", \"phases\": [";
+      for (std::size_t p = 0; p < e.phases.size(); ++p) {
+        if (p) out += ", ";
+        out += "{\"duration_s\": " + json::number(e.phases[p].duration_s) +
+               ", \"activity\": " + json::number(e.phases[p].activity);
+        if (!e.phases[p].label.empty())
+          out += ", \"label\": " + json::escape(e.phases[p].label);
+        out += "}";
+      }
+      out += "]";
+    } else if (e.kind == "self-heating") {
+      out += ", \"baseline_activity\": " + json::number(e.baseline_activity) +
+             ", \"busy_gain\": " + json::number(e.busy_gain) +
+             ", \"tau_s\": " + json::number(e.tau_s);
+    }
+    out += i + 1 < entries.size() ? "},\n" : "}\n";
+  }
+  return out + "    ]";
+}
+
 std::string traffic_array(const std::vector<TrafficEntry>& entries) {
   std::string out = "[\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -108,6 +146,9 @@ std::string ExperimentSpec::to_json() const {
     axis_lines.push_back("\"policies\": " + string_array(policies));
   if (!modulations.empty())
     axis_lines.push_back("\"modulations\": " + string_array(modulations));
+  if (!environments.empty())
+    axis_lines.push_back("\"environments\": " +
+                         environment_array(environments));
   if (!axis_lines.empty()) {
     os << ",\n  \"axes\": {\n";
     for (std::size_t i = 0; i < axis_lines.size(); ++i) {
@@ -259,6 +300,95 @@ TrafficEntry parse_traffic_entry(const json::Value& v,
   return entry;
 }
 
+EnvironmentPhaseEntry parse_environment_phase(const json::Value& v,
+                                              const std::string& path) {
+  EnvironmentPhaseEntry phase;
+  for (const auto& [key, value] : expect_object(v, path)) {
+    const std::string key_path = path + "." + key;
+    if (key == "duration_s") {
+      phase.duration_s = expect_double(value, key_path);
+    } else if (key == "activity") {
+      phase.activity = expect_double(value, key_path);
+    } else if (key == "label") {
+      phase.label = expect_string(value, key_path);
+    } else {
+      unknown_key(key_path, "duration_s, activity, label");
+    }
+  }
+  return phase;
+}
+
+EnvironmentEntry parse_environment_entry(const json::Value& v,
+                                         const std::string& path) {
+  EnvironmentEntry entry;
+  bool saw_kind = false;
+  std::vector<std::string> present;
+  for (const auto& [key, value] : expect_object(v, path)) {
+    const std::string key_path = path + "." + key;
+    if (key == "kind") {
+      entry.kind = expect_string(value, key_path);
+      saw_kind = true;
+      continue;
+    }
+    present.push_back(key);
+    if (key == "activity") {
+      entry.activity = expect_double(value, key_path);
+    } else if (key == "at_s") {
+      entry.at_s = expect_double(value, key_path);
+    } else if (key == "start_s") {
+      entry.start_s = expect_double(value, key_path);
+    } else if (key == "end_s") {
+      entry.end_s = expect_double(value, key_path);
+    } else if (key == "from_activity") {
+      entry.from_activity = expect_double(value, key_path);
+    } else if (key == "to_activity") {
+      entry.to_activity = expect_double(value, key_path);
+    } else if (key == "cyclic") {
+      entry.cyclic = expect_bool(value, key_path);
+    } else if (key == "phases") {
+      const auto& array = expect_array(value, key_path);
+      for (std::size_t i = 0; i < array.size(); ++i)
+        entry.phases.push_back(parse_environment_phase(
+            array[i], element_path(key_path, i)));
+    } else if (key == "baseline_activity") {
+      entry.baseline_activity = expect_double(value, key_path);
+    } else if (key == "busy_gain") {
+      entry.busy_gain = expect_double(value, key_path);
+    } else if (key == "tau_s") {
+      entry.tau_s = expect_double(value, key_path);
+    } else {
+      unknown_key(key_path,
+                  "kind, activity, at_s, start_s, end_s, from_activity, "
+                  "to_activity, phases, cyclic, baseline_activity, "
+                  "busy_gain, tau_s");
+    }
+  }
+  if (!saw_kind)
+    throw SpecError(path + ".kind",
+                    "required (one of: constant, step, ramp, phases, "
+                    "self-heating)");
+  // Keys must match the declared kind; otherwise to_json() would drop
+  // them silently and break the round trip (same rule as traffic's
+  // hotspot fields).  Unknown kinds fall through to validate(), which
+  // reports them against the registry.
+  static const std::vector<std::pair<std::string, std::vector<std::string>>>
+      allowed{{"constant", {"activity"}},
+              {"step", {"at_s", "from_activity", "to_activity"}},
+              {"ramp", {"start_s", "end_s", "from_activity", "to_activity"}},
+              {"phases", {"phases", "cyclic"}},
+              {"self-heating", {"baseline_activity", "busy_gain", "tau_s"}}};
+  for (const auto& [kind, keys] : allowed) {
+    if (kind != entry.kind) continue;
+    for (const std::string& key : present) {
+      if (std::find(keys.begin(), keys.end(), key) == keys.end())
+        throw SpecError(path + "." + key,
+                        "not valid for environment kind '" + entry.kind +
+                            "'");
+    }
+  }
+  return entry;
+}
+
 void parse_base(const json::Value& v, ExperimentSpec& spec) {
   for (const auto& [key, value] : expect_object(v, "base")) {
     const std::string key_path = "base." + key;
@@ -274,7 +404,8 @@ void parse_base(const json::Value& v, ExperimentSpec& spec) {
   }
 }
 
-void parse_axes(const json::Value& v, ExperimentSpec& spec) {
+void parse_axes(const json::Value& v, ExperimentSpec& spec,
+                std::uint64_t version) {
   for (const auto& [key, value] : expect_object(v, "axes")) {
     const std::string key_path = "axes." + key;
     if (key == "codes") {
@@ -296,10 +427,19 @@ void parse_axes(const json::Value& v, ExperimentSpec& spec) {
       spec.policies = parse_string_array(value, key_path);
     } else if (key == "modulations") {
       spec.modulations = parse_string_array(value, key_path);
+    } else if (key == "environments") {
+      if (version < 2)
+        throw SpecError("photecc_spec",
+                        "axes.environments needs schema version >= 2, "
+                        "document declares " + std::to_string(version));
+      const auto& array = expect_array(value, key_path);
+      for (std::size_t i = 0; i < array.size(); ++i)
+        spec.environments.push_back(
+            parse_environment_entry(array[i], element_path(key_path, i)));
     } else {
       unknown_key(key_path,
                   "codes, ber_targets, links, oni_counts, traffic, "
-                  "laser_gating, policies, modulations");
+                  "laser_gating, policies, modulations, environments");
     }
   }
 }
@@ -341,12 +481,12 @@ ExperimentSpec from_json(const std::string& text) {
                         std::to_string(kSchemaVersion) + ")");
   const std::uint64_t parsed_version =
       expect_uint64(*version, "photecc_spec");
-  if (parsed_version != kSchemaVersion)
+  if (parsed_version < kMinSchemaVersion || parsed_version > kSchemaVersion)
     throw SpecError("photecc_spec",
                     "unsupported schema version " +
-                        std::to_string(parsed_version) +
-                        " (supported: " + std::to_string(kSchemaVersion) +
-                        ")");
+                        std::to_string(parsed_version) + " (supported: " +
+                        std::to_string(kMinSchemaVersion) + ".." +
+                        std::to_string(kSchemaVersion) + ")");
 
   ExperimentSpec spec;
   for (const auto& [key, value] : members) {
@@ -361,7 +501,7 @@ ExperimentSpec from_json(const std::string& text) {
     } else if (key == "base") {
       parse_base(value, spec);
     } else if (key == "axes") {
-      parse_axes(value, spec);
+      parse_axes(value, spec, parsed_version);
     } else if (key == "objectives") {
       parse_objectives(value, spec);
     } else {
@@ -405,19 +545,22 @@ std::size_t min_oni_count(const ExperimentSpec& spec) {
   return min_oni;
 }
 
+/// The evaluator the spec will actually use: "auto" resolves exactly
+/// like SweepRunner — the NoC evaluator when any NoC axis is declared.
+std::string resolved_evaluator(const ExperimentSpec& spec) {
+  if (spec.evaluator != "auto") return spec.evaluator;
+  const bool has_noc_axes = !spec.traffic.empty() ||
+                            !spec.laser_gating.empty() ||
+                            !spec.policies.empty();
+  return has_noc_axes ? "noc" : "link";
+}
+
 /// Metric names an objective may reference, given the evaluator the
 /// spec will actually use.  Custom registered evaluators are exempt
-/// (their metric sets are unknown here); "auto" resolves exactly like
-/// SweepRunner: the NoC evaluator when any NoC axis is declared.
+/// (their metric sets are unknown here).
 const std::vector<std::string>* known_objective_metrics(
     const ExperimentSpec& spec) {
-  std::string evaluator = spec.evaluator;
-  if (evaluator == "auto") {
-    const bool has_noc_axes = !spec.traffic.empty() ||
-                              !spec.laser_gating.empty() ||
-                              !spec.policies.empty();
-    evaluator = has_noc_axes ? "noc" : "link";
-  }
+  const std::string evaluator = resolved_evaluator(spec);
   if (evaluator == "link") return &explore::link_cell_metric_names();
   if (evaluator == "noc") return &explore::noc_cell_metric_names();
   return nullptr;
@@ -499,8 +642,43 @@ void validate(const ExperimentSpec& spec) {
   for (std::size_t i = 0; i < spec.modulations.size(); ++i)
     (void)modulation_registry().make(spec.modulations[i],
                                      element_path("axes.modulations", i));
+  for (std::size_t i = 0; i < spec.environments.size(); ++i) {
+    const EnvironmentEntry& entry = spec.environments[i];
+    const std::string entry_path = element_path("axes.environments", i);
+    const EnvironmentLowering lowering =
+        environment_registry().make(entry.kind, entry_path + ".kind");
+    // The env factories range-check everything (activities in [0, 1],
+    // ordered ramp endpoints, positive durations/tau); rewrap their
+    // exceptions with the offending entry's field path.
+    try {
+      (void)lowering(entry);
+    } catch (const std::invalid_argument& e) {
+      throw SpecError(entry_path, e.what());
+    }
+    // The link evaluator solves one static operating point (the t = 0
+    // sample): a time-varying timeline would silently collapse to its
+    // initial value.  Only the NoC evaluator (or a custom one) plays
+    // the dynamics out.
+    if (entry.kind != "constant" && resolved_evaluator(spec) == "link")
+      throw SpecError(entry_path + ".kind",
+                      "time-varying environment '" + entry.kind +
+                          "' needs the 'noc' evaluator (the link "
+                          "evaluator solves at the t = 0 sample); use "
+                          "kind 'constant' or declare a NoC axis or "
+                          "evaluator");
+  }
   const std::vector<std::string>* known_metrics =
       known_objective_metrics(spec);
+  std::vector<std::string> metrics_with_env;
+  if (known_metrics != nullptr && !spec.environments.empty() &&
+      known_metrics == &explore::noc_cell_metric_names()) {
+    // An environment axis adds the closed-loop columns to the NoC
+    // evaluator's vocabulary.
+    metrics_with_env = *known_metrics;
+    for (const std::string& name : explore::noc_env_metric_names())
+      metrics_with_env.push_back(name);
+    known_metrics = &metrics_with_env;
+  }
   for (std::size_t i = 0; i < spec.objectives.size(); ++i) {
     const std::string& metric = spec.objectives[i].metric;
     const std::string metric_path =

@@ -1,0 +1,168 @@
+#include "photecc/env/environment.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace photecc::env {
+namespace {
+
+TEST(EnvironmentTimeline, DefaultIsThePaperOperatingPoint) {
+  const EnvironmentTimeline timeline;
+  EXPECT_TRUE(timeline.is_constant());
+  EXPECT_DOUBLE_EQ(timeline.sample_at(0.0).activity, 0.25);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(1.0).activity, 0.25);
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 0.25);
+}
+
+TEST(EnvironmentTimeline, ConstantHoldsForever) {
+  const auto timeline = EnvironmentTimeline::constant(0.6);
+  for (const double t : {0.0, 1e-9, 1e-3, 1.0})
+    EXPECT_DOUBLE_EQ(timeline.sample_at(t).activity, 0.6) << t;
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 0.6);
+  EXPECT_EQ(timeline.label(), "constant@0.60");
+}
+
+TEST(EnvironmentTimeline, StepSwitchesAtTheStepTime) {
+  const auto timeline = EnvironmentTimeline::step(1e-6, 0.2, 0.8);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(0.0).activity, 0.2);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(0.999e-6).activity, 0.2);
+  // The step time itself belongs to the 'after' regime.
+  EXPECT_DOUBLE_EQ(timeline.sample_at(1e-6).activity, 0.8);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(1.0).activity, 0.8);
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 0.8);
+}
+
+TEST(EnvironmentTimeline, RampInterpolatesLinearly) {
+  const auto timeline = EnvironmentTimeline::ramp(1e-6, 3e-6, 0.2, 1.0);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(0.0).activity, 0.2);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(1e-6).activity, 0.2);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(2e-6).activity, 0.6);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(3e-6).activity, 1.0);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(9.0).activity, 1.0);
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 1.0);
+}
+
+TEST(EnvironmentTimeline, NegativeTimesSampleLikeZero) {
+  const auto timeline = EnvironmentTimeline::ramp(0.0, 1e-6, 0.1, 0.9);
+  const auto sample = timeline.sample_at(-5.0);
+  EXPECT_DOUBLE_EQ(sample.activity, 0.1);
+  EXPECT_DOUBLE_EQ(sample.time_s, 0.0);
+}
+
+TEST(EnvironmentTimeline, CyclicPhasesRepeat) {
+  const auto timeline = EnvironmentTimeline::phases(
+      {{1e-6, 0.2, "compute"}, {2e-6, 0.7, "burst"}}, true);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(0.5e-6).activity, 0.2);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(1.5e-6).activity, 0.7);
+  // One full period later: same values.
+  EXPECT_DOUBLE_EQ(timeline.sample_at(3.5e-6).activity, 0.2);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(4.5e-6).activity, 0.7);
+  // Time-weighted mean: (1*0.2 + 2*0.7) / 3.
+  EXPECT_NEAR(timeline.steady_state_activity(), 1.6 / 3.0, 1e-12);
+}
+
+TEST(EnvironmentTimeline, OneShotPhasesHoldTheLastActivity) {
+  const auto timeline = EnvironmentTimeline::phases(
+      {{1e-6, 0.2, ""}, {1e-6, 0.5, ""}}, false);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(10e-6).activity, 0.5);
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 0.5);
+}
+
+TEST(EnvironmentTimeline, SelfHeatingOpenLoopIsTheBaseline) {
+  const auto timeline = EnvironmentTimeline::self_heating(0.3, 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(timeline.sample_at(123.0).activity, 0.3);
+  EXPECT_DOUBLE_EQ(timeline.steady_state_activity(), 0.3);
+}
+
+TEST(EnvironmentTimeline, FactoriesValidate) {
+  EXPECT_THROW((void)EnvironmentTimeline::constant(-0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::constant(1.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::step(-1.0, 0.2, 0.8),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::ramp(1e-6, 1e-6, 0.2, 0.8),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::phases({}, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::phases({{0.0, 0.5, ""}}, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::self_heating(0.2, 1.5, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW((void)EnvironmentTimeline::self_heating(0.2, 0.5, 0.0),
+               std::invalid_argument);
+}
+
+TEST(EnvironmentTimeline, PhaseWindowsCoverTheHorizon) {
+  const auto ramp = EnvironmentTimeline::ramp(1e-6, 2e-6, 0.2, 0.8);
+  const auto windows = ramp.phase_windows(5e-6);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].label, "pre");
+  EXPECT_EQ(windows[1].label, "ramp");
+  EXPECT_EQ(windows[2].label, "post");
+  EXPECT_DOUBLE_EQ(windows.front().start_s, 0.0);
+  EXPECT_DOUBLE_EQ(windows.back().end_s, 5e-6);
+  for (std::size_t i = 1; i < windows.size(); ++i)
+    EXPECT_DOUBLE_EQ(windows[i].start_s, windows[i - 1].end_s) << i;
+
+  // A horizon inside the ramp truncates the window list.
+  const auto short_windows = ramp.phase_windows(1.5e-6);
+  ASSERT_EQ(short_windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(short_windows.back().end_s, 1.5e-6);
+
+  // Cyclic phases repeat with disambiguated labels.
+  const auto cyclic = EnvironmentTimeline::phases(
+      {{1e-6, 0.2, "a"}, {1e-6, 0.7, ""}}, true);
+  const auto cyc_windows = cyclic.phase_windows(3.5e-6);
+  ASSERT_EQ(cyc_windows.size(), 4u);
+  EXPECT_EQ(cyc_windows[0].label, "a");
+  EXPECT_EQ(cyc_windows[1].label, "phase1");
+  EXPECT_EQ(cyc_windows[2].label, "a#1");
+  EXPECT_DOUBLE_EQ(cyc_windows.back().end_s, 3.5e-6);
+}
+
+TEST(ThermalIntegrator, DeclarativeTimelinesJustSample) {
+  ThermalIntegrator integrator{
+      EnvironmentTimeline::ramp(0.0, 1e-6, 0.0, 1.0)};
+  EXPECT_DOUBLE_EQ(integrator.advance_to(0.5e-6, 1.0).activity, 0.5);
+  EXPECT_DOUBLE_EQ(integrator.advance_to(1e-6, 0.0).activity, 1.0);
+  // Going backwards keeps the current sample.
+  EXPECT_DOUBLE_EQ(integrator.advance_to(0.1e-6, 0.0).activity, 1.0);
+}
+
+TEST(ThermalIntegrator, SelfHeatingRelaxesTowardTheBusyTarget) {
+  const double baseline = 0.2, gain = 0.6, tau = 1e-6;
+  ThermalIntegrator integrator{
+      EnvironmentTimeline::self_heating(baseline, gain, tau)};
+  EXPECT_DOUBLE_EQ(integrator.current().activity, baseline);
+
+  // Fully busy for one time constant: 1 - 1/e of the way to the target.
+  const double target = baseline + gain;
+  const auto after_tau = integrator.advance_to(tau, 1.0);
+  EXPECT_NEAR(after_tau.activity,
+              target + (baseline - target) * std::exp(-1.0), 1e-12);
+
+  // Many time constants of full load: settles at baseline + gain.
+  const auto settled = integrator.advance_to(30 * tau, 1.0);
+  EXPECT_NEAR(settled.activity, target, 1e-9);
+
+  // Idle again: cools back toward the baseline.
+  const auto cooled = integrator.advance_to(60 * tau, 0.0);
+  EXPECT_NEAR(cooled.activity, baseline, 1e-9);
+}
+
+TEST(ThermalIntegrator, BusyFractionScalesTheTarget) {
+  ThermalIntegrator integrator{
+      EnvironmentTimeline::self_heating(0.2, 0.6, 1e-7)};
+  const auto settled = integrator.advance_to(1e-5, 0.5);
+  EXPECT_NEAR(settled.activity, 0.2 + 0.6 * 0.5, 1e-9);
+}
+
+TEST(SampleAt, FreeFunctionMatchesTheMethod) {
+  const auto timeline = EnvironmentTimeline::step(1e-6, 0.1, 0.9);
+  EXPECT_EQ(sample_at(timeline, 2e-6), timeline.sample_at(2e-6));
+}
+
+}  // namespace
+}  // namespace photecc::env

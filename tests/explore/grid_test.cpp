@@ -165,5 +165,37 @@ TEST(ScenarioGrid, UndeclaredModulationAxisLeavesOokDefault) {
             math::Modulation::kPam4);
 }
 
+TEST(ScenarioGrid, EnvironmentAxisIsOutermost) {
+  ScenarioGrid grid;
+  grid.codes({"a", "b"}).environments(
+      {{"static", env::EnvironmentTimeline::constant(0.25)},
+       {"hot", env::EnvironmentTimeline::constant(0.75)}});
+  ASSERT_EQ(grid.size(), 4u);
+  // First half: the base grid, with the first environment applied.
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Scenario s = grid.at(i);
+    ASSERT_TRUE(s.link.environment.has_value());
+    EXPECT_DOUBLE_EQ(s.link.environment->sample_at(0.0).activity, 0.25);
+    EXPECT_EQ(s.label("environment"),
+              std::make_optional<std::string>("static"));
+  }
+  for (std::size_t i = 2; i < 4; ++i) {
+    const Scenario s = grid.at(i);
+    EXPECT_DOUBLE_EQ(s.link.environment->sample_at(0.0).activity, 0.75);
+    EXPECT_EQ(s.label("environment"),
+              std::make_optional<std::string>("hot"));
+  }
+  // Undeclared: no label, no override — the alias's static default.
+  ScenarioGrid plain;
+  plain.codes({"a"});
+  EXPECT_FALSE(plain.at(0).link.environment.has_value());
+  EXPECT_FALSE(plain.at(0).label("environment").has_value());
+  // The environment axis alone does not force the NoC evaluator.
+  ScenarioGrid env_only;
+  env_only.environments(
+      {{"ramp", env::EnvironmentTimeline::ramp(0.0, 1e-6, 0.2, 0.8)}});
+  EXPECT_FALSE(env_only.has_noc_axes());
+}
+
 }  // namespace
 }  // namespace photecc::explore

@@ -163,6 +163,56 @@ TEST(SnrSolver, Pam4HitsTheLaserCeilingBeforeOok) {
             best_achievable_ber(paper_channel(), *uncoded));
 }
 
+TEST(SnrSolver, EnvironmentSampleOverloadMatchesTheAliasAtTimeZero) {
+  // The deprecated chip_activity alias and an explicit constant
+  // timeline must produce byte-identical operating points, and the
+  // sample-taking overload must agree with the default one.
+  const auto code = ecc::make_code("H(7,4)");
+  MwsrParams aliased;
+  aliased.chip_activity = 0.4;
+  MwsrParams timed;
+  timed.environment = env::EnvironmentTimeline::constant(0.4);
+  const MwsrChannel a{aliased};
+  const MwsrChannel b{timed};
+  const auto pa = solve_operating_point(a, *code, 1e-11);
+  const auto pb = solve_operating_point(b, *code, 1e-11);
+  EXPECT_EQ(pa.p_laser_w, pb.p_laser_w);
+  EXPECT_EQ(pa.feasible, pb.feasible);
+  const auto sampled =
+      solve_operating_point(a, *code, 1e-11, a.environment());
+  EXPECT_EQ(pa.p_laser_w, sampled.p_laser_w);
+}
+
+TEST(SnrSolver, HotterSampleNeedsMoreElectricalPower) {
+  // Same optical requirement, hotter laser: the environment sample is
+  // what carries the derating into the solve.
+  MwsrParams params;
+  params.environment = env::EnvironmentTimeline::ramp(0.0, 1e-6, 0.25, 1.0);
+  const MwsrChannel channel{params};
+  const auto code = ecc::make_code("H(7,4)");
+  const auto cool = solve_operating_point(channel, *code, 1e-11,
+                                          channel.environment_at(0.0));
+  const auto hot = solve_operating_point(channel, *code, 1e-11,
+                                         channel.environment_at(1e-6));
+  ASSERT_TRUE(cool.feasible && hot.feasible);
+  EXPECT_EQ(cool.op_laser_w, hot.op_laser_w);  // optics are unchanged
+  EXPECT_GT(hot.p_laser_w, cool.p_laser_w);    // wall plug derates
+  // And the uncoded scheme falls off the thermal cliff before 100 %.
+  const auto uncoded_hot =
+      solve_operating_point(channel, *ecc::make_code("w/o ECC"), 1e-11,
+                            channel.environment_at(1e-6));
+  EXPECT_FALSE(uncoded_hot.feasible);
+}
+
+TEST(SnrSolver, BestAchievableBerDegradesWithActivity) {
+  const MwsrChannel channel{MwsrParams{}};
+  const auto code = ecc::make_code("w/o ECC");
+  const double cool =
+      best_achievable_ber(channel, *code, {0.0, 0.25});
+  const double hot = best_achievable_ber(channel, *code, {0.0, 0.9});
+  EXPECT_LT(cool, hot);
+}
+
 TEST(SnrSolver, SelfHeatingLaserAblationKeepsTheOrdering) {
   MwsrParams params;
   params.laser_model = std::make_shared<photonics::SelfHeatingVcselModel>();

@@ -91,6 +91,23 @@ TEST(WilsonInterval, RejectsBadArguments) {
   EXPECT_THROW(wilson_interval(1, 10, 1.0), std::invalid_argument);
 }
 
+TEST(NearestRankIndex, MatchesTheClassicDefinition) {
+  // rank = ceil(p * N), zero-based index = rank - 1.
+  EXPECT_EQ(nearest_rank_index(20, 0.95), 18u);   // ceil(19.0)  = 19
+  EXPECT_EQ(nearest_rank_index(10, 0.95), 9u);    // ceil(9.5)   = 10
+  EXPECT_EQ(nearest_rank_index(89, 0.95), 84u);   // ceil(84.55) = 85
+  EXPECT_EQ(nearest_rank_index(100, 0.95), 94u);  // ceil(95.0)  = 95
+  EXPECT_EQ(nearest_rank_index(1, 0.95), 0u);
+  EXPECT_EQ(nearest_rank_index(5, 1.0), 4u);
+  EXPECT_EQ(nearest_rank_index(5, 0.01), 0u);     // clamps to rank 1
+}
+
+TEST(NearestRankIndex, RejectsBadArguments) {
+  EXPECT_THROW((void)nearest_rank_index(0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)nearest_rank_index(5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)nearest_rank_index(5, 1.1), std::invalid_argument);
+}
+
 TEST(ProportionInterval, ContainsWorks) {
   const ProportionInterval ci{0.1, 0.3};
   EXPECT_TRUE(ci.contains(0.2));

@@ -258,6 +258,77 @@ TEST(NocSimulator, RoundRobinArbitrationIsFair) {
   }
 }
 
+TEST(NocSimulator, NoSecondWakeWhenArrivalCoincidesWithCompletion) {
+  // Gating edge: a message arriving *exactly* when the previous
+  // transfer completes finds the laser still on — it must not be
+  // charged a second wake-up.
+  NocConfig config = base_config();
+  config.laser_gating = true;
+  const NocSimulator sim(config);
+  const auto first =
+      sim.run({make_message(0, 1, 0, 4096, 1e-6)}, 1e-3, true);
+  ASSERT_EQ(first.log.size(), 1u);
+  const double completion = first.log[0].completion_time_s;
+
+  const auto chained = sim.run({make_message(0, 1, 0, 4096, 1e-6),
+                                make_message(1, 2, 0, 4096, completion)},
+                               1e-3, true);
+  ASSERT_EQ(chained.log.size(), 2u);
+  // First message: cold start pays the wake; the coinciding arrival
+  // pays only arbitration + serialization + flight.
+  EXPECT_NEAR(chained.log[1].latency_s,
+              chained.log[0].latency_s - config.laser_wake_s, 1e-15);
+
+  // One tick later the channel has gone idle: the wake is back.
+  const auto gapped = sim.run({make_message(0, 1, 0, 4096, 1e-6),
+                               make_message(1, 2, 0, 4096, completion + 1e-9)},
+                              1e-3, true);
+  ASSERT_EQ(gapped.log.size(), 2u);
+  EXPECT_NEAR(gapped.log[1].latency_s, gapped.log[0].latency_s, 1e-15);
+}
+
+TEST(NocSimulator, NoIdleBurnOverAnEmptyHorizonWithoutGating) {
+  // Gating edge: with gating off but zero messages the simulator has
+  // never configured a laser power, so there is nothing to burn — the
+  // idle-laser energy over the whole horizon is exactly zero.
+  NocConfig config = base_config();
+  config.laser_gating = false;
+  const NocSimulator sim(config);
+  const auto result = sim.run(std::vector<Message>{}, 1e-3);
+  EXPECT_EQ(result.stats.delivered, 0u);
+  EXPECT_DOUBLE_EQ(result.stats.idle_laser_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(result.stats.total_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(result.stats.horizon_s, 1e-3);
+}
+
+TEST(NocSimulator, P95IsNearestRankOnAKnownTwentyMessageTrace) {
+  // 20 lonely messages with strictly increasing payloads => 20 distinct
+  // latencies with no queueing.  Nearest rank: ceil(0.95 * 20) = rank
+  // 19, the 19th smallest (second largest) latency.
+  NocConfig config = base_config();
+  config.laser_gating = false;
+  const NocSimulator sim(config);
+  std::vector<Message> schedule;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    schedule.push_back(make_message(i, 1, 0, 1024 * (i + 1),
+                                    static_cast<double>(i + 1) * 50e-6));
+  const auto result = sim.run(schedule, 2e-3, true);
+  ASSERT_EQ(result.stats.delivered, 20u);
+  std::vector<double> latencies;
+  for (const auto& d : result.log) latencies.push_back(d.latency_s);
+  std::sort(latencies.begin(), latencies.end());
+  EXPECT_DOUBLE_EQ(result.stats.p95_latency_s, latencies[18]);
+  EXPECT_LT(result.stats.p95_latency_s, result.stats.max_latency_s);
+
+  // For 10 messages, rank ceil(9.5) = 10: nearest-rank p95 IS the
+  // maximum (the old floor(0.95 * (N - 1)) definition picked index 8 —
+  // this pins the documented definition).
+  const auto ten = sim.run(
+      std::vector<Message>(schedule.begin(), schedule.begin() + 10), 2e-3);
+  ASSERT_EQ(ten.stats.delivered, 10u);
+  EXPECT_DOUBLE_EQ(ten.stats.p95_latency_s, ten.stats.max_latency_s);
+}
+
 TEST(NocSimulator, InputValidation) {
   NocConfig too_small;
   too_small.oni_count = 1;

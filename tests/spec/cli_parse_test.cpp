@@ -3,7 +3,11 @@
 // deduplicated home of explore_cli's old hand-rolled helpers.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "photecc/spec/cli.hpp"
+#include "photecc/spec/registries.hpp"
 
 namespace spec = photecc::spec;
 
@@ -58,4 +62,40 @@ TEST(CliParse, ModulationListsValidateAgainstTheRegistry) {
     EXPECT_NE(std::string(e.what()).find("qam64"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("pam8"), std::string::npos);
   }
+}
+
+TEST(CliList, RenderedListingsNameEveryBuiltIn) {
+  // The --list-* subcommands print exactly these renderings; pin the
+  // format ("<title> (<count>):" + indented names) and the built-ins.
+  const std::string presets = spec::render_name_list(
+      "presets", spec::preset_registry().names());
+  EXPECT_NE(presets.find("presets ("), std::string::npos);
+  for (const char* name :
+       {"fig6b", "noc", "modulation", "modulation-smoke", "thermal"})
+    EXPECT_NE(presets.find(std::string("\n  ") + name + "\n"),
+              std::string::npos)
+        << name;
+
+  const std::string links = spec::render_name_list(
+      "link variants", spec::link_registry().names());
+  for (const char* name : {"paper", "short-2cm-4oni", "6 cm"})
+    EXPECT_NE(links.find(std::string("  ") + name + "\n"),
+              std::string::npos)
+        << name;
+
+  const std::string evaluators = spec::render_name_list(
+      "evaluators", spec::evaluator_registry().names());
+  EXPECT_NE(evaluators.find("  link\n"), std::string::npos);
+  EXPECT_NE(evaluators.find("  noc\n"), std::string::npos);
+
+  // Exact shape for a tiny input.
+  EXPECT_EQ(spec::render_name_list("things", {"a", "b"}),
+            "things (2):\n  a\n  b\n");
+}
+
+TEST(CliList, EnvironmentRegistryListsEveryKind) {
+  const auto names = spec::environment_registry().names();
+  const std::vector<std::string> expected{
+      "constant", "step", "ramp", "phases", "self-heating"};
+  EXPECT_EQ(names, expected);
 }

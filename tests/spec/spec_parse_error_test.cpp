@@ -47,17 +47,71 @@ TEST(SpecParseErrors, MissingVersionIsRejected) {
 }
 
 TEST(SpecParseErrors, UnknownSchemaVersionIsRejected) {
-  const std::string message = spec_error_of(R"js({"photecc_spec": 2})js");
-  EXPECT_NE(message.find("unsupported schema version 2"), std::string::npos);
-  EXPECT_NE(message.find("supported: 1"), std::string::npos);
+  const std::string message = spec_error_of(R"js({"photecc_spec": 3})js");
+  EXPECT_NE(message.find("unsupported schema version 3"), std::string::npos);
+  EXPECT_NE(message.find("supported: 1..2"), std::string::npos);
 }
 
 TEST(SpecParseErrors, FutureSchemaFailsOnVersionNotOnUnknownKeys) {
-  // A version-2 document with version-2-only keys must report the
+  // A version-3 document with version-3-only keys must report the
   // version mismatch, not whichever unknown key comes first.
   const std::string message = spec_error_of(
-      R"js({"future_field": true, "photecc_spec": 2})js");
+      R"js({"future_field": true, "photecc_spec": 3})js");
   EXPECT_NE(message.find("unsupported schema version"), std::string::npos);
+}
+
+TEST(SpecParseErrors, EveryAcceptedSchemaVersionParses) {
+  // v1 documents (no environments) and v2 documents both parse; the
+  // writer emits kSchemaVersion.
+  for (const char* version : {"1", "2"}) {
+    const auto parsed = spec::from_json(
+        std::string(R"js({"photecc_spec": )js") + version + "}");
+    EXPECT_EQ(parsed, spec::ExperimentSpec{}) << version;
+  }
+}
+
+TEST(SpecParseErrors, EnvironmentsInsideV1DocumentPointAtTheVersion) {
+  const std::string message = spec_error_of(
+      R"js({"photecc_spec": 1, "axes": {"environments": [)js"
+      R"js({"kind": "constant", "activity": 0.5}]}})js");
+  EXPECT_NE(message.find("photecc_spec"), std::string::npos);
+  EXPECT_NE(message.find("schema version >= 2"), std::string::npos);
+}
+
+TEST(SpecParseErrors, EnvironmentEntryErrorsCarryTheFieldPath) {
+  // Keys of another kind are rejected (the round-trip rule).
+  EXPECT_NE(
+      spec_error_of(
+          R"js({"photecc_spec": 2, "axes": {"environments": [)js"
+          R"js({"kind": "constant", "tau_s": 1e-6}]}})js")
+          .find("axes.environments[0].tau_s"),
+      std::string::npos);
+  // Missing kind.
+  EXPECT_NE(spec_error_of(R"js({"photecc_spec": 2, "axes": )js"
+                          R"js({"environments": [{"activity": 0.5}]}})js")
+                .find("axes.environments[0].kind"),
+            std::string::npos);
+  // Unknown kind lists the known ones.
+  EXPECT_NE(spec_error_of(R"js({"photecc_spec": 2, "axes": )js"
+                          R"js({"environments": [{"kind": "diurnal"}]}})js")
+                .find("self-heating"),
+            std::string::npos);
+  // Out-of-range values surface with the entry path (the env factory's
+  // message, rewrapped).
+  EXPECT_NE(
+      spec_error_of(
+          R"js({"photecc_spec": 2, "axes": {"environments": [)js"
+          R"js({"kind": "constant", "activity": 1.5}]}})js")
+          .find("axes.environments[0]"),
+      std::string::npos);
+  // Ramp endpoints must be ordered.
+  EXPECT_NE(
+      spec_error_of(
+          R"js({"photecc_spec": 2, "axes": {"environments": [)js"
+          R"js({"kind": "ramp", "start_s": 1e-6, "end_s": 1e-7,)js"
+          R"js( "from_activity": 0.2, "to_activity": 0.8}]}})js")
+          .find("ramp end <= start"),
+      std::string::npos);
 }
 
 TEST(SpecParseErrors, NonIntegerVersionIsRejected) {

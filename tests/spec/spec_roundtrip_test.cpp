@@ -89,6 +89,57 @@ TEST(SpecRoundTrip, HandWrittenDocumentNormalizesStably) {
   EXPECT_EQ(spec::from_json(canonical).to_json(), canonical);
 }
 
+TEST(SpecRoundTrip, EnvironmentAxisOfEveryKindIsByteStable) {
+  spec::ExperimentSpec original;
+  original.codes = {"H(7,4)"};
+  // Time-varying kinds need the dynamic evaluator to validate.
+  original.evaluator = "noc";
+  spec::EnvironmentEntry constant;
+  constant.activity = 0.4;
+  spec::EnvironmentEntry step;
+  step.kind = "step";
+  step.at_s = 1e-6;
+  step.from_activity = 0.2;
+  step.to_activity = 0.8;
+  spec::EnvironmentEntry ramp;
+  ramp.kind = "ramp";
+  ramp.start_s = 1e-7;
+  ramp.end_s = 2e-6;
+  ramp.from_activity = 0.25;
+  ramp.to_activity = 1.0;
+  spec::EnvironmentEntry phases;
+  phases.kind = "phases";
+  phases.cyclic = false;
+  phases.phases = {{1e-6, 0.25, "compute"}, {5e-7, 0.7, ""}};
+  spec::EnvironmentEntry self_heating;
+  self_heating.kind = "self-heating";
+  self_heating.baseline_activity = 0.3;
+  self_heating.busy_gain = 0.5;
+  self_heating.tau_s = 4e-7;
+  original.environments = {constant, step, ramp, phases, self_heating};
+
+  const std::string json = original.to_json();
+  // The writer stamps the current schema version.
+  EXPECT_NE(json.find("\"photecc_spec\": 2"), std::string::npos);
+  const spec::ExperimentSpec reparsed = spec::from_json(json);
+  EXPECT_EQ(reparsed, original);
+  EXPECT_EQ(reparsed.to_json(), json);
+}
+
+TEST(SpecRoundTrip, V1DocumentsWithoutEnvironmentsStillParse) {
+  const std::string v1 = R"js({
+    "photecc_spec": 1,
+    "axes": {"codes": ["H(7,4)"], "ber_targets": [1e-9]}
+  })js";
+  const spec::ExperimentSpec parsed = spec::from_json(v1);
+  EXPECT_EQ(parsed.codes, std::vector<std::string>{"H(7,4)"});
+  EXPECT_TRUE(parsed.environments.empty());
+  // Rewriting normalizes to the current version, stably.
+  const std::string canonical = parsed.to_json();
+  EXPECT_NE(canonical.find("\"photecc_spec\": 2"), std::string::npos);
+  EXPECT_EQ(spec::from_json(canonical).to_json(), canonical);
+}
+
 TEST(SpecRoundTrip, NameIsEscapedCorrectly) {
   spec::ExperimentSpec original;
   original.name = "odd \"name\"\twith\nescapes\\";

@@ -218,4 +218,133 @@ TEST(SpecRun, DeclaredMetricNamesMatchTheEvaluatorsExactly) {
     noc_names.push_back(name);
   }
   EXPECT_EQ(noc_names, explore::noc_cell_metric_names());
+
+  // With an environment axis the NoC evaluator appends exactly the
+  // declared env metric names, in order.
+  explore::ScenarioGrid env_grid;
+  env_grid.traffic_patterns({explore::uniform_traffic(2e8)})
+      .environments({{"static",
+                      photecc::env::EnvironmentTimeline::constant(0.25)}})
+      .noc_horizon(2e-7);
+  const auto env_cell = explore::evaluate_noc_cell(env_grid.at(0));
+  std::vector<std::string> env_names;
+  for (const auto& [name, value] : env_cell.metrics) {
+    (void)value;
+    env_names.push_back(name);
+  }
+  std::vector<std::string> expected = explore::noc_cell_metric_names();
+  for (const auto& name : explore::noc_env_metric_names())
+    expected.push_back(name);
+  EXPECT_EQ(env_names, expected);
+}
+
+TEST(SpecRun, EnvironmentSpecMatchesHandAssembledGrid) {
+  spec::EnvironmentEntry ramp;
+  ramp.kind = "ramp";
+  ramp.start_s = 1e-7;
+  ramp.end_s = 4e-7;
+  ramp.from_activity = 0.25;
+  ramp.to_activity = 1.0;
+  const auto by_spec = spec::run(spec::SpecBuilder()
+                                     .uniform_traffic(2e8)
+                                     .environment(ramp)
+                                     .noc_horizon(5e-7)
+                                     .threads(1)
+                                     .build());
+
+  const auto timeline =
+      photecc::env::EnvironmentTimeline::ramp(1e-7, 4e-7, 0.25, 1.0);
+  explore::ScenarioGrid grid;
+  grid.traffic_patterns({explore::uniform_traffic(2e8)})
+      .environments({{timeline.label(), timeline}})
+      .noc_horizon(5e-7);
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+}
+
+TEST(SpecRun, TimeVaryingEnvironmentNeedsTheNocEvaluator) {
+  // Without a NoC axis, "auto" resolves to the static link evaluator,
+  // which would silently collapse a ramp to its t = 0 sample — the
+  // validator rejects that; constant entries are fine (AB5-style
+  // static sweeps), as is an explicit "noc" evaluator.
+  spec::EnvironmentEntry ramp;
+  ramp.kind = "ramp";
+  ramp.start_s = 0.0;
+  ramp.end_s = 1e-6;
+  ramp.from_activity = 0.25;
+  ramp.to_activity = 1.0;
+  try {
+    (void)spec::SpecBuilder().environment(ramp).build();
+    FAIL() << "accepted a ramp under the link evaluator";
+  } catch (const spec::SpecError& e) {
+    EXPECT_EQ(e.field(), "axes.environments[0].kind");
+    EXPECT_NE(std::string(e.what()).find("t = 0 sample"),
+              std::string::npos);
+  }
+  spec::EnvironmentEntry constant;
+  constant.activity = 0.75;
+  EXPECT_NO_THROW((void)spec::SpecBuilder().environment(constant).build());
+  EXPECT_NO_THROW(
+      (void)spec::SpecBuilder().evaluator("noc").environment(ramp).build());
+  EXPECT_NO_THROW(
+      (void)spec::SpecBuilder().uniform_traffic(1e8).environment(ramp)
+          .build());
+}
+
+TEST(SpecRun, EnvironmentLabelsDistinguishDifferentTimelines) {
+  // Grid labels come from EnvironmentTimeline::label(); two ramps with
+  // different windows (and two phase schedules with different
+  // durations) must not collide to the same label column value.
+  namespace env = photecc::env;
+  EXPECT_NE(env::EnvironmentTimeline::ramp(0.0, 1e-6, 0.25, 1.0).label(),
+            env::EnvironmentTimeline::ramp(0.0, 2e-6, 0.25, 1.0).label());
+  EXPECT_NE(
+      env::EnvironmentTimeline::phases({{1e-6, 0.2, ""}, {1e-6, 0.8, ""}})
+          .label(),
+      env::EnvironmentTimeline::phases({{2e-6, 0.2, ""}, {2e-6, 0.8, ""}})
+          .label());
+  EXPECT_NE(
+      env::EnvironmentTimeline::phases({{1e-6, 0.2, ""}, {1e-6, 0.8, ""}})
+          .label(),
+      env::EnvironmentTimeline::phases({{1e-6, 0.3, ""}, {1e-6, 0.7, ""}})
+          .label());
+}
+
+TEST(SpecRun, EnvMetricObjectivesNeedAnEnvironmentAxis) {
+  // dropped_thermal is NoC vocabulary only when an environment axis is
+  // declared.
+  spec::EnvironmentEntry constant;
+  EXPECT_NO_THROW((void)spec::SpecBuilder()
+                      .uniform_traffic(1e8)
+                      .environment(constant)
+                      .objective("dropped_thermal")
+                      .build());
+  EXPECT_THROW((void)spec::SpecBuilder()
+                   .uniform_traffic(1e8)
+                   .objective("dropped_thermal")
+                   .build(),
+               spec::SpecError);
+}
+
+TEST(SpecRun, ThermalPresetRunsAndSeparatesTheSchemes) {
+  spec::ExperimentSpec preset =
+      spec::preset_registry().make("thermal", "preset");
+  preset.threads = 1;
+  preset.noc_horizon_s = 1e-6;  // trim for test time
+  const auto result = spec::run(preset);
+  EXPECT_EQ(result.cells.size(), 9u);  // 3 codes x 3 environments
+  // Under the ramp environment, the uncoded scheme suffers thermal
+  // drops that H(7,4) does not.
+  double uncoded_thermal = -1.0, h74_thermal = -1.0;
+  for (const auto& cell : result.cells) {
+    if (cell.label("environment").value_or("").rfind("ramp", 0) != 0)
+      continue;
+    if (cell.label("code") == std::make_optional<std::string>("w/o ECC"))
+      uncoded_thermal = cell.metric("dropped_thermal").value_or(-1.0);
+    if (cell.label("code") == std::make_optional<std::string>("H(7,4)"))
+      h74_thermal = cell.metric("dropped_thermal").value_or(-1.0);
+  }
+  EXPECT_GT(uncoded_thermal, 0.0);
+  EXPECT_EQ(h74_thermal, 0.0);
 }
