@@ -370,8 +370,15 @@ int run_bench(const spec::ExperimentSpec& experiment,
             << "  \"parallel_threads\": " << parallel_spec.threads << ",\n"
             << "  \"parallel_s\": " << parallel.wall_time_s << ",\n"
             << "  \"speedup\": " << speedup << ",\n"
-            << "  \"identical_output\": " << (identical ? "true" : "false")
-            << "\n}\n";
+            << "  \"identical_output\": " << (identical ? "true" : "false");
+  // Lowered-plan observability counters (set whenever the sweep took
+  // the plan hot path): root solves vs warm reuses, solver iterations,
+  // lower/execute split and per-cell throughput.
+  if (sequential.stats)
+    std::cout << ",\n  \"sequential_plan\": " << sequential.stats->json();
+  if (parallel.stats)
+    std::cout << ",\n  \"parallel_plan\": " << parallel.stats->json();
+  std::cout << "\n}\n";
   export_result(parallel, options);
   return identical ? 0 : 1;
 }

@@ -42,7 +42,8 @@ std::string scheme_display_name(const SchemeMetrics& metrics) {
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const ecc::BlockCode& code, double target_ber,
                               const SystemConfig& config,
-                              const env::EnvironmentSample& environment) {
+                              const env::EnvironmentSample& environment,
+                              const SchemeMetrics* previous) {
   if (config.wavelengths == 0 || config.f_mod_hz <= 0.0)
     throw std::invalid_argument("evaluate_scheme: bad SystemConfig");
   SchemeMetrics m;
@@ -55,8 +56,14 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
   // Multilevel symbols carry bits_per_symbol payload bits per Fmod
   // cycle, dividing the serial transfer time of the same frame.
   m.ct = code.communication_time() / bits_per_symbol;
-  m.operating_point =
-      link::solve_operating_point(channel, code, target_ber, environment);
+  // A previous-cell solution is only a valid warm start for the same
+  // code; the link solver additionally requires a bit-equal target.
+  const link::LinkOperatingPoint* warm =
+      (previous && previous->scheme == m.scheme)
+          ? &previous->operating_point
+          : nullptr;
+  m.operating_point = link::solve_operating_point(channel, code, target_ber,
+                                                  environment, warm);
   m.feasible = m.operating_point.feasible;
 
   m.p_mr_w = photonics::multilevel_modulation_power_w(
@@ -83,9 +90,94 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
 
 SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config,
+                              const env::EnvironmentSample& environment) {
+  return evaluate_scheme(channel, code, target_ber, config, environment,
+                         nullptr);
+}
+
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
                               const SystemConfig& config) {
   return evaluate_scheme(channel, code, target_ber, config,
                          channel.environment());
+}
+
+ChannelSweepPlan::ChannelSweepPlan(const link::MwsrChannel& channel,
+                                   std::vector<ecc::BlockCodePtr> codes,
+                                   const SystemConfig& config)
+    : channel_(&channel),
+      solver_(channel),
+      environment_(channel.environment()),
+      modulation_(channel.params().modulation) {
+  if (config.wavelengths == 0 || config.f_mod_hz <= 0.0)
+    throw std::invalid_argument("ChannelSweepPlan: bad SystemConfig");
+  bits_per_symbol_ =
+      static_cast<double>(math::bits_per_symbol(modulation_));
+  f_mod_x_bits_per_symbol_hz_ = config.f_mod_hz * bits_per_symbol_;
+  p_mr_w_ = photonics::multilevel_modulation_power_w(
+      channel.params().ring.modulation_power_w, math::levels(modulation_));
+  wavelengths_d_ = static_cast<double>(config.wavelengths);
+  waveguides_d_ = static_cast<double>(config.waveguides_per_channel);
+  oni_d_ = static_cast<double>(config.oni_count);
+  codes_.reserve(codes.size());
+  for (auto& code : codes) {
+    if (!code)
+      throw std::invalid_argument("ChannelSweepPlan: null code");
+    CodeInvariants inv;
+    inv.name = code->name();
+    inv.code_rate = code->code_rate();
+    inv.communication_time = code->communication_time();
+    inv.p_enc_dec_w = enc_dec_power_per_wavelength_w(*code, config);
+    inv.code = std::move(code);
+    codes_.push_back(std::move(inv));
+  }
+}
+
+SchemeMetrics ChannelSweepPlan::evaluate_with_requirement(
+    std::size_t code_index, double target_ber, double raw_ber) const {
+  return evaluate_with_solution(
+      code_index, target_ber, raw_ber,
+      math::snr_from_ber_clamped(modulation_, raw_ber));
+}
+
+SchemeMetrics ChannelSweepPlan::evaluate_with_solution(
+    std::size_t code_index, double target_ber, double raw_ber,
+    double snr) const {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error(
+        "ChannelSweepPlan: target BER outside (0, 0.5)");
+  const CodeInvariants& inv = codes_.at(code_index);
+  SchemeMetrics m;
+  m.scheme = inv.name;
+  m.modulation = modulation_;
+  m.target_ber = target_ber;
+  m.code_rate = inv.code_rate;
+  m.ct = inv.communication_time / bits_per_symbol_;
+  m.operating_point =
+      solver_.solve_from_snr(raw_ber, snr, target_ber, environment_);
+  m.feasible = m.operating_point.feasible;
+
+  m.p_mr_w = p_mr_w_;
+  m.p_enc_dec_w = inv.p_enc_dec_w;
+  if (m.feasible) {
+    m.p_laser_w = m.operating_point.p_laser_w;
+    m.p_channel_w = m.p_laser_w + m.p_mr_w + m.p_enc_dec_w;
+    m.energy_per_bit_j =
+        m.p_channel_w / (f_mod_x_bits_per_symbol_hz_ * m.code_rate);
+    m.p_waveguide_w = m.p_channel_w * wavelengths_d_;
+    m.p_interconnect_w = m.p_waveguide_w * waveguides_d_ * oni_d_;
+  }
+  return m;
+}
+
+SchemeMetrics ChannelSweepPlan::evaluate(std::size_t code_index,
+                                         double target_ber,
+                                         ecc::RawBerSolveTrace* trace) const {
+  const CodeInvariants& inv = codes_.at(code_index);
+  return evaluate_with_requirement(
+      code_index, target_ber,
+      inv.code->required_raw_ber_checked(target_ber, trace).raw_ber);
 }
 
 std::vector<SchemeMetrics> evaluate_schemes(

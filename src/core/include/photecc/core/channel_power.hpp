@@ -77,6 +77,87 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
                               const SystemConfig& config,
                               const env::EnvironmentSample& environment);
 
+/// Warm-start overload: `previous` is an optional previous-cell result
+/// (nullptr = cold).  When it evaluated the SAME code (matched by
+/// scheme name) its operating point is offered to the link solver,
+/// which reuses the raw-BER/SNR head when the target also bit-matches;
+/// any mismatch degrades to the cold evaluation bit-identically.
+SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
+                              const ecc::BlockCode& code, double target_ber,
+                              const SystemConfig& config,
+                              const env::EnvironmentSample& environment,
+                              const SchemeMetrics* previous);
+
+/// Lower-once/execute-many core of evaluate_scheme over one channel:
+/// hoists the channel geometry (the worst-channel scan inside
+/// link::OperatingPointSolver), the t = 0 environment sample, the
+/// per-modulation ring power and the per-code interface/rate algebra
+/// out of the per-cell path, leaving only the per-(code, target BER)
+/// solve — or, with evaluate_with_requirement, nothing but closed-form
+/// arithmetic.  Every entry point is bit-identical to the one-shot
+/// evaluate_scheme on the same inputs (the hoisted subexpressions keep
+/// its exact evaluation order).  The channel must outlive the plan.
+class ChannelSweepPlan {
+ public:
+  ChannelSweepPlan(const link::MwsrChannel& channel,
+                   std::vector<ecc::BlockCodePtr> codes,
+                   const SystemConfig& config = {});
+
+  [[nodiscard]] std::size_t code_count() const noexcept {
+    return codes_.size();
+  }
+  [[nodiscard]] const ecc::BlockCode& code(std::size_t i) const {
+    return *codes_.at(i).code;
+  }
+  [[nodiscard]] const link::OperatingPointSolver& solver() const noexcept {
+    return solver_;
+  }
+
+  /// Bit-identical to
+  /// evaluate_scheme(channel, *codes[code_index], target_ber, config).
+  [[nodiscard]] SchemeMetrics evaluate(
+      std::size_t code_index, double target_ber,
+      ecc::RawBerSolveTrace* trace = nullptr) const;
+
+  /// Tail of evaluate() from a precomputed raw-BER requirement (the
+  /// explore plan's shared (code, BER) table).  `raw_ber` must equal
+  /// code.required_raw_ber(target_ber) for bit-identity.
+  [[nodiscard]] SchemeMetrics evaluate_with_requirement(
+      std::size_t code_index, double target_ber, double raw_ber) const;
+
+  /// Tail from a precomputed (raw BER, SNR) pair — the batched entry
+  /// for struct-of-arrays cell blocks.  `snr` must equal
+  /// math::snr_from_ber_clamped(modulation, raw_ber) for bit-identity.
+  [[nodiscard]] SchemeMetrics evaluate_with_solution(
+      std::size_t code_index, double target_ber, double raw_ber,
+      double snr) const;
+
+  [[nodiscard]] math::Modulation modulation() const noexcept {
+    return modulation_;
+  }
+
+ private:
+  struct CodeInvariants {
+    ecc::BlockCodePtr code;
+    std::string name;
+    double code_rate = 1.0;
+    double communication_time = 1.0;
+    double p_enc_dec_w = 0.0;
+  };
+
+  const link::MwsrChannel* channel_;
+  link::OperatingPointSolver solver_;
+  env::EnvironmentSample environment_{};
+  math::Modulation modulation_ = math::Modulation::kOok;
+  double bits_per_symbol_ = 1.0;
+  double f_mod_x_bits_per_symbol_hz_ = 0.0;
+  double p_mr_w_ = 0.0;
+  double wavelengths_d_ = 0.0;
+  double waveguides_d_ = 0.0;
+  double oni_d_ = 0.0;
+  std::vector<CodeInvariants> codes_;
+};
+
 /// Evaluates several schemes at the same target.
 std::vector<SchemeMetrics> evaluate_schemes(
     const link::MwsrChannel& channel,

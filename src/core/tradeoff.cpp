@@ -47,14 +47,17 @@ TradeoffSweep sweep_tradeoff(const link::MwsrChannel& channel,
                              std::size_t threads) {
   TradeoffSweep sweep;
   if (codes.empty() || ber_targets.empty()) return sweep;
+  // Lower once: the plan hoists the worst-channel scan and per-code
+  // constants, so each cell only runs the (code, BER) inversion and the
+  // closed-form tail — bit-identical to per-cell evaluate_scheme.
+  const ChannelSweepPlan plan{channel, codes, config};
   // Slot-indexed writes through the shared parallel engine keep the
   // BER-major, code-minor point order identical for any thread count.
   sweep.points.resize(codes.size() * ber_targets.size());
   math::parallel_for(
       sweep.points.size(), threads, [&](std::size_t i) {
-        const double ber = ber_targets[i / codes.size()];
-        const auto& code = codes[i % codes.size()];
-        sweep.points[i] = evaluate_scheme(channel, *code, ber, config);
+        sweep.points[i] = plan.evaluate(i % codes.size(),
+                                        ber_targets[i / codes.size()]);
       });
   return sweep;
 }

@@ -1,6 +1,7 @@
 #include "photecc/ecc/ber_model.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "photecc/math/roots.hpp"
@@ -51,7 +52,8 @@ double coding_gain_db(const BlockCode& code, double target_ber,
 // increasing in p on (0, 0.5] for all codes in this library, so a
 // log-space Brent solve is robust.
 RawBerRequirement BlockCode::required_raw_ber_checked(
-    double target_ber) const {
+    double target_ber, RawBerSolveTrace* trace) const {
+  if (trace) *trace = {};
   if (target_ber <= 0.0 || target_ber >= 0.5)
     throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
   if (decoded_ber(0.5) < target_ber)
@@ -77,10 +79,56 @@ RawBerRequirement BlockCode::required_raw_ber_checked(
   if (!result || !result->converged)
     throw std::runtime_error("required_raw_ber: inversion failed for " +
                              name());
+  if (trace) trace->iterations = result->iterations;
   // Roots below p ~ 1e-15 sit where 1-vs-(1-p)^(n-1) style decoded-BER
   // models have cancelled to rounding noise (the bracket was "crossed"
   // by noise, not by the model): the target is below the representable
   // range, so saturate explicitly instead of returning a noise root.
+  constexpr double kNoiseFloorLog10 = -15.0;
+  if (result->root <= kNoiseFloorLog10) return {kMinSearchRawBer, true};
+  return {std::pow(10.0, result->root), false};
+}
+
+RawBerRequirement BlockCode::required_raw_ber_warm(
+    double target_ber, const RawBerHint* hint,
+    RawBerSolveTrace* trace) const {
+  if (hint && hint->target_ber == target_ber) {
+    if (trace) *trace = {0, true};
+    return hint->requirement;
+  }
+  return required_raw_ber_checked(target_ber, trace);
+}
+
+// Same guards and saturation rules as required_raw_ber_checked, with
+// the Brent solve routed through math::brent_warm around the seed.
+RawBerRequirement BlockCode::required_raw_ber_seeded(
+    double target_ber, double guess_raw_ber, RawBerSolveTrace* trace) const {
+  if (trace) *trace = {};
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error("required_raw_ber: target outside (0, 0.5)");
+  if (decoded_ber(0.5) < target_ber) return {0.5, false};
+  const auto f = [&](double x) {
+    return std::log10(decoded_ber(std::pow(10.0, x))) -
+           std::log10(target_ber);
+  };
+  const double lo = kMinSearchLog10RawBer;
+  const double hi = std::log10(0.5);
+  if (f(lo) > 0.0) return {kMinSearchRawBer, true};
+  math::RootOptions opts;
+  opts.x_tolerance = 1e-13;
+  math::WarmStart warm;
+  warm.guess = (guess_raw_ber > 0.0 && std::isfinite(guess_raw_ber))
+                   ? std::log10(guess_raw_ber)
+                   : std::numeric_limits<double>::quiet_NaN();
+  warm.window = 0.5;  // half a decade either side of the seed
+  const auto result = math::brent_warm(f, lo, hi, warm, opts);
+  if (!result || !result->converged)
+    throw std::runtime_error("required_raw_ber: inversion failed for " +
+                             name());
+  if (trace) {
+    trace->iterations = result->iterations;
+    trace->warm = result->warm;
+  }
   constexpr double kNoiseFloorLog10 = -15.0;
   if (result->root <= kNoiseFloorLog10) return {kMinSearchRawBer, true};
   return {std::pow(10.0, result->root), false};

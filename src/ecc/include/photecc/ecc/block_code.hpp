@@ -32,6 +32,24 @@ struct RawBerRequirement {
   bool saturated = false;
 };
 
+/// Observability record of one BER inversion (sweep-plan counters):
+/// how many root-finder iterations it cost and whether a warm shortcut
+/// (exact hint reuse or warm bracket) served it.  Closed-form
+/// inversions (UncodedScheme) and saturation shortcuts report zero
+/// iterations.
+struct RawBerSolveTrace {
+  int iterations = 0;
+  bool warm = false;
+};
+
+/// A previously solved (target, requirement) pair offered back to
+/// required_raw_ber_warm.  Reused only when the stored target bit-equals
+/// the requested one, so the warm path is bit-identical by construction.
+struct RawBerHint {
+  double target_ber = 0.0;
+  RawBerRequirement requirement{};
+};
+
 /// Outcome of decoding one received block.
 struct DecodeResult {
   BitVec message;                ///< recovered k message bits
@@ -79,8 +97,31 @@ class BlockCode {
   /// is {kMinSearchRawBer, saturated == true}.  The default
   /// implementation inverts decoded_ber numerically (decoded_ber must be
   /// strictly increasing on (0, 0.5], which holds for every code here).
+  /// `trace`, when non-null, receives the solve's iteration count (the
+  /// sweep plans aggregate it); passing nullptr changes nothing.
   [[nodiscard]] virtual RawBerRequirement required_raw_ber_checked(
-      double target_ber) const;
+      double target_ber, RawBerSolveTrace* trace = nullptr) const;
+
+  /// Warm entry point of the sweep hot path: when `hint` is present and
+  /// hint->target_ber bit-equals `target_ber`, returns
+  /// hint->requirement with zero work (trace: 0 iterations, warm);
+  /// otherwise a cold required_raw_ber_checked — bit-identical to
+  /// calling it directly.
+  [[nodiscard]] RawBerRequirement required_raw_ber_warm(
+      double target_ber, const RawBerHint* hint,
+      RawBerSolveTrace* trace = nullptr) const;
+
+  /// Tolerance-level neighbor seeding (bench/diagnostic only — NOT used
+  /// on export paths, whose byte-identity contract requires bit-equal
+  /// reuse): runs the numeric inversion through math::brent_warm with a
+  /// log-domain bracket around `guess_raw_ber`, converging in 1-3
+  /// iterations for a near-miss guess and falling back to the cold
+  /// bracket (bit-identically) when the guess is stale.  Codes with a
+  /// closed-form required_raw_ber_checked override may differ from
+  /// their override at the solver tolerance (~1e-13 relative).
+  [[nodiscard]] RawBerRequirement required_raw_ber_seeded(
+      double target_ber, double guess_raw_ber,
+      RawBerSolveTrace* trace = nullptr) const;
 
   /// Convenience wrapper discarding the saturation flag.  Callers that
   /// must distinguish an exact inverse from the clamped bracket edge

@@ -26,9 +26,10 @@ class UncodedScheme : public BlockCode {
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
   [[nodiscard]] double decoded_ber(double raw_p) const override;
-  /// Identity inverse: the target itself, never saturated.
+  /// Identity inverse: the target itself, never saturated; the trace
+  /// (when given) reports zero iterations.
   [[nodiscard]] RawBerRequirement required_raw_ber_checked(
-      double target_ber) const override;
+      double target_ber, RawBerSolveTrace* trace = nullptr) const override;
 
  private:
   std::size_t width_;

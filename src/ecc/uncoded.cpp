@@ -30,7 +30,8 @@ double UncodedScheme::decoded_ber(double raw_p) const {
 }
 
 RawBerRequirement UncodedScheme::required_raw_ber_checked(
-    double target_ber) const {
+    double target_ber, RawBerSolveTrace* trace) const {
+  if (trace) *trace = {};  // closed form: zero iterations
   if (target_ber <= 0.0 || target_ber > 0.5)
     throw std::domain_error("required_raw_ber: target outside (0, 0.5]");
   return {target_ber, false};

@@ -55,6 +55,38 @@ class ScenarioGrid {
   ScenarioGrid& base_seed(std::uint64_t seed);
   ScenarioGrid& noc_horizon(double horizon_s);
 
+  // --- Axis inspection (read-only views used by the lowered-plan
+  // compiler; an empty vector means the axis is undeclared and every
+  // cell takes the base value). ---
+  [[nodiscard]] const std::vector<std::string>& code_axis() const noexcept {
+    return codes_;
+  }
+  [[nodiscard]] const std::vector<double>& ber_axis() const noexcept {
+    return bers_;
+  }
+  [[nodiscard]] const std::vector<LinkVariant>& link_variant_axis()
+      const noexcept {
+    return link_variants_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& oni_axis() const noexcept {
+    return oni_counts_;
+  }
+  [[nodiscard]] const std::vector<math::Modulation>& modulation_axis()
+      const noexcept {
+    return modulations_;
+  }
+  [[nodiscard]] const std::vector<EnvironmentVariant>& environment_axis()
+      const noexcept {
+    return environments_;
+  }
+  [[nodiscard]] const link::MwsrParams& base_link_params() const noexcept {
+    return base_link_;
+  }
+  [[nodiscard]] const core::SystemConfig& base_system_config()
+      const noexcept {
+    return base_system_;
+  }
+
   /// Number of cells: the product of the declared axis lengths (1 when
   /// no axis is declared — the grid still holds the single base cell).
   [[nodiscard]] std::size_t size() const;

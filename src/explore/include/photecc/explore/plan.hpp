@@ -1,0 +1,113 @@
+// Lowered sweep plans: the lower-once/execute-many hot path of the
+// exploration engine.
+//
+// SweepRunner's legacy evaluator path re-derives every per-cell
+// invariant from scratch: each cell builds an MwsrChannel (two O(NW^2)
+// worst-channel scans — one in the solver, one in the link budget),
+// re-runs the (code, target BER) code-model inversion (~45 Brent
+// iterations) and re-formats its axis labels.  A LoweredPlan compiles a
+// non-NoC ScenarioGrid once:
+//
+//   lower    - one channel + core::ChannelSweepPlan + link budget per
+//              distinct (link variant, ONI count, modulation,
+//              environment) combo; one shared (code, BER) raw-BER
+//              requirement table; one label string per axis value
+//   execute  - axis-contiguous struct-of-arrays cell blocks: a gather
+//              pass decodes indices and reads the requirement table, a
+//              batched pass maps BER -> SNR, an assembly pass finishes
+//              the closed-form power algebra
+//
+// Every cell is bit-identical to evaluate_link_cell on the same
+// Scenario (the hoisted tables are computed by the same functions the
+// one-shot path calls, and the closed-form tail keeps its exact
+// expression trees), so CSV/JSON exports are byte-identical to the
+// legacy path at any thread count and any block size.
+#ifndef PHOTECC_EXPLORE_PLAN_HPP
+#define PHOTECC_EXPLORE_PLAN_HPP
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "photecc/explore/grid.hpp"
+#include "photecc/explore/result.hpp"
+
+namespace photecc::explore {
+
+struct PlanOptions {
+  /// Cells per struct-of-arrays block (and per work-stealing unit).
+  /// Any value yields byte-identical results; 64 keeps the scratch
+  /// arrays cache-resident while amortising queue traffic.
+  std::size_t block_size = 64;
+};
+
+class LoweredPlan {
+ public:
+  /// Compiles `grid` (which must not declare NoC axes — traffic, gating
+  /// or policy cells need the simulator, not the link solver; throws
+  /// std::invalid_argument).  The grid is fully consumed at
+  /// construction and need not outlive the plan.
+  explicit LoweredPlan(const ScenarioGrid& grid, PlanOptions options = {});
+
+  LoweredPlan(const LoweredPlan&) = delete;
+  LoweredPlan& operator=(const LoweredPlan&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Lowering-side counters (cells / execute_time_s are filled per
+  /// execute() call; warm_reuses here reflects one full execution).
+  [[nodiscard]] const SweepStats& lowering_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Evaluates every cell: 0 threads = hardware concurrency, 1 =
+  /// sequential on the calling thread.  The result (and its CSV/JSON
+  /// serialisation) is byte-identical for any thread count, and to
+  /// SweepRunner's legacy evaluate_link_cell path on the same grid.
+  /// result.stats carries this plan's counters.
+  [[nodiscard]] ExperimentResult execute(std::size_t threads = 1) const;
+
+ private:
+  /// One hoisted channel context: everything that depends only on the
+  /// (link variant, ONI count, modulation, environment) axis digits.
+  struct ChannelCombo {
+    std::unique_ptr<link::MwsrChannel> channel;  ///< owns; plan points in
+    std::unique_ptr<core::ChannelSweepPlan> plan;
+    math::Modulation modulation = math::Modulation::kOok;
+    double total_loss_db = 0.0;  ///< channel-invariant link budget
+  };
+
+  void execute_block(std::size_t begin, std::size_t end,
+                     std::vector<CellResult>& cells) const;
+
+  PlanOptions options_;
+  std::size_t size_ = 0;
+
+  // Axis radices in grid enumeration order (1 = undeclared).
+  std::size_t nc_ = 1, nb_ = 1, nv_ = 1, no_ = 1, nm_ = 1, ne_ = 1;
+  bool has_code_axis_ = false;
+  bool has_ber_axis_ = false;
+
+  // Effective axis values (Scenario defaults when undeclared).
+  std::vector<std::string> code_names_;
+  std::vector<double> bers_;
+
+  // Pre-rendered label strings, one per declared axis value.
+  std::vector<std::string> ber_labels_;
+  std::vector<std::string> link_labels_;
+  std::vector<std::string> oni_labels_;
+  std::vector<std::string> mod_labels_;
+  std::vector<std::string> env_labels_;
+
+  /// raw_ber of code ci at BER bi, indexed [bi * nc_ + ci] — the shared
+  /// requirement table every channel combo reads.
+  std::vector<double> requirements_;
+  std::vector<ChannelCombo> combos_;
+
+  SweepStats stats_;
+};
+
+}  // namespace photecc::explore
+
+#endif  // PHOTECC_EXPLORE_PLAN_HPP

@@ -62,11 +62,36 @@ struct Objective {
     const std::vector<CellResult>& cells,
     const std::vector<Objective>& objectives);
 
+/// Observability counters of one lowered-plan sweep.  Informational
+/// only: like the timing fields of ExperimentResult they are never part
+/// of the CSV/JSON cell exports, so enabling the plan cannot perturb
+/// byte-identity.  explore_cli --bench prints them in its summary.
+struct SweepStats {
+  std::size_t cells = 0;             ///< cells executed
+  std::size_t channels_lowered = 0;  ///< distinct channel combos hoisted
+  std::size_t root_solves = 0;       ///< (code, BER) inversions actually run
+  std::size_t solver_iterations = 0; ///< Brent iterations across all solves
+  std::size_t warm_reuses = 0;       ///< cells served from hoisted tables
+  double lower_time_s = 0.0;         ///< plan construction wall time
+  double execute_time_s = 0.0;       ///< cell execution wall time
+
+  /// Fraction of cells that skipped the code-model inversion.
+  [[nodiscard]] double warm_hit_rate() const;
+  /// Cells per second of execute time (0 when unmeasurably fast).
+  [[nodiscard]] double cells_per_second() const;
+  /// Flat JSON object ({"cells":...,"warm_hit_rate":...}) for bench
+  /// summaries; NOT part of ExperimentResult::json().
+  [[nodiscard]] std::string json() const;
+};
+
 /// Everything one SweepRunner::run produced.
 struct ExperimentResult {
   std::vector<CellResult> cells;  ///< slot-indexed by Scenario::index
   std::size_t threads_used = 1;   ///< informational; not exported
   double wall_time_s = 0.0;       ///< informational; not exported
+  /// Set when the run went through explore::LoweredPlan; informational,
+  /// never exported (write_csv / write_json contain cell data only).
+  std::optional<SweepStats> stats;
 
   [[nodiscard]] std::vector<std::size_t> pareto_front(
       const std::vector<Objective>& objectives) const;

@@ -32,8 +32,11 @@ class SweepRunner {
   [[nodiscard]] ExperimentResult run(const ScenarioGrid& grid,
                                      const Evaluator& evaluate) const;
 
-  /// Convenience: picks evaluate_noc_cell when the grid declares NoC
-  /// axes (traffic / gating / policy), else evaluate_link_cell.
+  /// Convenience: NoC grids (traffic / gating / policy axes) run
+  /// evaluate_noc_cell per cell; every other grid is compiled to an
+  /// explore::LoweredPlan and executed on its batched hot path —
+  /// byte-identical exports to the evaluate_link_cell path, with
+  /// result.stats reporting the plan's counters.
   [[nodiscard]] ExperimentResult run(const ScenarioGrid& grid) const;
 
   [[nodiscard]] const SweepOptions& options() const noexcept {

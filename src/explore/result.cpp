@@ -107,6 +107,33 @@ std::vector<std::size_t> ExperimentResult::pareto_front(
   return pareto_front_indices(cells, objectives);
 }
 
+double SweepStats::warm_hit_rate() const {
+  return cells ? static_cast<double>(warm_reuses) /
+                     static_cast<double>(cells)
+               : 0.0;
+}
+
+double SweepStats::cells_per_second() const {
+  return execute_time_s > 0.0
+             ? static_cast<double>(cells) / execute_time_s
+             : 0.0;
+}
+
+std::string SweepStats::json() const {
+  std::ostringstream os;
+  os << "{\"cells\":" << cells
+     << ",\"channels_lowered\":" << channels_lowered
+     << ",\"root_solves\":" << root_solves
+     << ",\"solver_iterations\":" << solver_iterations
+     << ",\"warm_reuses\":" << warm_reuses
+     << ",\"warm_hit_rate\":" << math::json::number(warm_hit_rate())
+     << ",\"lower_time_s\":" << math::json::number(lower_time_s)
+     << ",\"execute_time_s\":" << math::json::number(execute_time_s)
+     << ",\"cells_per_second\":" << math::json::number(cells_per_second())
+     << "}";
+  return os.str();
+}
+
 namespace {
 
 /// Shortest round-trip double formatting (std::to_chars): deterministic

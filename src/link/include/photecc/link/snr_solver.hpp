@@ -31,6 +31,77 @@ struct LinkOperatingPoint {
   double p_laser_w = 0.0;
 };
 
+/// Hoists the per-channel invariants of the operating-point chain —
+/// the O(NW^2) worst-channel scan, the eye/crosstalk transmissions and
+/// the detector constants — so a sweep pays them once per channel
+/// instead of once per (code, BER) cell.  solve() is bit-identical to
+/// the free solve_operating_point on the same channel/wavelength: the
+/// hoisted subexpressions keep the exact evaluation order of the
+/// one-shot path.
+class OperatingPointSolver {
+ public:
+  /// Hoists for the channel's worst wavelength (the default of every
+  /// static analysis).
+  explicit OperatingPointSolver(const MwsrChannel& channel);
+  /// Hoists for an explicit wavelength channel index.
+  OperatingPointSolver(const MwsrChannel& channel, std::size_t ch);
+
+  /// Bit-identical to
+  /// solve_operating_point(channel, code, target_ber, ch, environment).
+  [[nodiscard]] LinkOperatingPoint solve(
+      const ecc::BlockCode& code, double target_ber,
+      const env::EnvironmentSample& environment,
+      ecc::RawBerSolveTrace* trace = nullptr) const;
+
+  /// Same, reusing `previous` when it solved the identical (code,
+  /// target) pair on this channel: the raw-BER/SNR head of the chain is
+  /// taken from the previous solution (bit-equal by construction)
+  /// instead of re-running the code-model inversion.  `previous` must
+  /// come from the same code and channel; a null or target-mismatched
+  /// previous degrades to the cold solve bit-identically.
+  [[nodiscard]] LinkOperatingPoint solve(
+      const ecc::BlockCode& code, double target_ber,
+      const env::EnvironmentSample& environment,
+      const LinkOperatingPoint* previous,
+      ecc::RawBerSolveTrace* trace = nullptr) const;
+
+  /// Tail of the chain from a precomputed raw-BER requirement — the
+  /// lowered-plan entry point, where (code, target) inversions are
+  /// hoisted into a shared table.  `raw_ber` must equal
+  /// code.required_raw_ber(target_ber) for bit-identity with solve().
+  [[nodiscard]] LinkOperatingPoint solve_from_raw_ber(
+      double raw_ber, double target_ber,
+      const env::EnvironmentSample& environment) const;
+
+  /// Tail from a precomputed (raw BER, SNR) pair — the batched entry:
+  /// the explore plan computes SNR for a whole struct-of-arrays cell
+  /// block in one pass, then assembles operating points here.  `snr`
+  /// must equal snr_from_ber_clamped(modulation, raw_ber) for
+  /// bit-identity (solve_from_raw_ber is exactly that composition).
+  [[nodiscard]] LinkOperatingPoint solve_from_snr(
+      double raw_ber, double snr, double target_ber,
+      const env::EnvironmentSample& environment) const;
+
+  [[nodiscard]] std::size_t channel_index() const noexcept { return ch_; }
+  [[nodiscard]] double eye_transmission() const noexcept { return t_eye_; }
+  [[nodiscard]] double crosstalk_transmission() const noexcept {
+    return t_xt_;
+  }
+  /// T_eye - T_xt; <= 0 means no laser power can reach any target.
+  [[nodiscard]] double margin() const noexcept { return margin_; }
+
+ private:
+  const MwsrChannel* channel_;
+  std::size_t ch_;
+  double t_eye_;
+  double t_xt_;
+  double margin_;
+  /// R * (T_eye - T_xt): the denominator of the OP_laser expression,
+  /// precomputed with the same association as the one-shot path.
+  double op_denominator_;
+  double dark_current_a_;
+};
+
 /// Solves the full chain for `code` at `target_ber` on `channel`,
 /// using the channel's worst wavelength and the environment at t = 0
 /// (`channel.environment()` — the static operating point).
@@ -55,6 +126,16 @@ LinkOperatingPoint solve_operating_point(
     const MwsrChannel& channel, const ecc::BlockCode& code,
     double target_ber, std::size_t ch,
     const env::EnvironmentSample& environment);
+
+/// Warm-start overload: `previous` is an optional previous-cell
+/// solution for the SAME code on the same channel (nullptr = cold).
+/// When previous->target_ber bit-equals target_ber the code-model
+/// inversion is skipped and its raw-BER/SNR head reused; otherwise the
+/// result is bit-identical to the cold overload.
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, const env::EnvironmentSample& environment,
+    const LinkOperatingPoint* previous);
 
 /// Best post-decoding BER achievable on `channel` with `code` when the
 /// laser runs at its deliverable maximum; the floor of Fig. 5's curves.

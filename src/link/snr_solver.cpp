@@ -10,45 +10,55 @@
 
 namespace photecc::link {
 
-LinkOperatingPoint solve_operating_point(
-    const MwsrChannel& channel, const ecc::BlockCode& code,
-    double target_ber, std::size_t ch,
-    const env::EnvironmentSample& environment) {
-  if (target_ber <= 0.0 || target_ber >= 0.5)
-    throw std::domain_error(
-        "solve_operating_point: target BER outside (0, 0.5)");
-
-  LinkOperatingPoint point;
-  point.target_ber = target_ber;
-  point.raw_ber = code.required_raw_ber(target_ber);
-  // Full-eye SNR: for multilevel formats the per-boundary requirement
-  // scales by (levels-1)^2, which snr_from_ber_clamped folds in.
-  point.snr = math::snr_from_ber_clamped(channel.params().modulation,
-                                         point.raw_ber);
-
+OperatingPointSolver::OperatingPointSolver(const MwsrChannel& channel,
+                                           std::size_t ch)
+    : channel_(&channel), ch_(ch) {
   // Both the eye power and the crosstalk scale linearly with the common
   // per-carrier laser output power OP:
   //   OP_eye = OP * T_eye,   OP_xt = OP * T_xt
   //   SNR = R (OP_eye - OP_xt) / i_n
   // => OP = SNR i_n / (R (T_eye - T_xt)).
-  const double t_eye = channel.eye_transmission(ch);
-  const double t_xt = channel.crosstalk_transmission(ch);
+  t_eye_ = channel.eye_transmission(ch);
+  t_xt_ = channel.crosstalk_transmission(ch);
+  margin_ = t_eye_ - t_xt_;
   const auto& det = channel.detector().params();
-  const double margin = t_eye - t_xt;
-  if (margin <= 0.0) {
+  op_denominator_ = det.responsivity_a_per_w * margin_;
+  dark_current_a_ = det.dark_current_a;
+}
+
+OperatingPointSolver::OperatingPointSolver(const MwsrChannel& channel)
+    : OperatingPointSolver(channel, channel.worst_channel()) {}
+
+LinkOperatingPoint OperatingPointSolver::solve_from_raw_ber(
+    double raw_ber, double target_ber,
+    const env::EnvironmentSample& environment) const {
+  // Full-eye SNR: for multilevel formats the per-boundary requirement
+  // scales by (levels-1)^2, which snr_from_ber_clamped folds in.
+  return solve_from_snr(
+      raw_ber,
+      math::snr_from_ber_clamped(channel_->params().modulation, raw_ber),
+      target_ber, environment);
+}
+
+LinkOperatingPoint OperatingPointSolver::solve_from_snr(
+    double raw_ber, double snr, double target_ber,
+    const env::EnvironmentSample& environment) const {
+  LinkOperatingPoint point;
+  point.target_ber = target_ber;
+  point.raw_ber = raw_ber;
+  point.snr = snr;
+  if (margin_ <= 0.0) {
     // Crosstalk exceeds the eye: no laser power can reach the target.
     point.feasible = false;
     point.op_laser_w = std::numeric_limits<double>::infinity();
     return point;
   }
-  point.op_laser_w =
-      point.snr * det.dark_current_a / (det.responsivity_a_per_w * margin);
-  point.op_signal_w = point.op_laser_w * t_eye;
-  point.op_crosstalk_w = point.op_laser_w * t_xt;
+  point.op_laser_w = point.snr * dark_current_a_ / op_denominator_;
+  point.op_signal_w = point.op_laser_w * t_eye_;
+  point.op_crosstalk_w = point.op_laser_w * t_xt_;
 
-  const auto& laser = channel.laser();
-  const auto electrical =
-      laser.electrical_power(point.op_laser_w, environment.activity);
+  const auto electrical = channel_->laser().electrical_power(
+      point.op_laser_w, environment.activity);
   if (electrical) {
     point.feasible = true;
     point.p_laser_w = *electrical;
@@ -56,11 +66,53 @@ LinkOperatingPoint solve_operating_point(
   return point;
 }
 
+LinkOperatingPoint OperatingPointSolver::solve(
+    const ecc::BlockCode& code, double target_ber,
+    const env::EnvironmentSample& environment,
+    const LinkOperatingPoint* previous, ecc::RawBerSolveTrace* trace) const {
+  if (target_ber <= 0.0 || target_ber >= 0.5)
+    throw std::domain_error(
+        "solve_operating_point: target BER outside (0, 0.5)");
+  // The raw-BER head depends only on (code, target): a previous-cell
+  // solution for the bit-equal target is reused verbatim, anything else
+  // re-runs the inversion — bit-identical either way.
+  if (previous && previous->target_ber == target_ber) {
+    if (trace) *trace = {0, true};
+    return solve_from_raw_ber(previous->raw_ber, target_ber, environment);
+  }
+  return solve_from_raw_ber(
+      code.required_raw_ber_checked(target_ber, trace).raw_ber, target_ber,
+      environment);
+}
+
+LinkOperatingPoint OperatingPointSolver::solve(
+    const ecc::BlockCode& code, double target_ber,
+    const env::EnvironmentSample& environment,
+    ecc::RawBerSolveTrace* trace) const {
+  return solve(code, target_ber, environment, nullptr, trace);
+}
+
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, std::size_t ch,
+    const env::EnvironmentSample& environment) {
+  return OperatingPointSolver{channel, ch}.solve(code, target_ber,
+                                                 environment);
+}
+
 LinkOperatingPoint solve_operating_point(
     const MwsrChannel& channel, const ecc::BlockCode& code,
     double target_ber, const env::EnvironmentSample& environment) {
   return solve_operating_point(channel, code, target_ber,
                                channel.worst_channel(), environment);
+}
+
+LinkOperatingPoint solve_operating_point(
+    const MwsrChannel& channel, const ecc::BlockCode& code,
+    double target_ber, const env::EnvironmentSample& environment,
+    const LinkOperatingPoint* previous) {
+  return OperatingPointSolver{channel}.solve(code, target_ber, environment,
+                                             previous);
 }
 
 LinkOperatingPoint solve_operating_point(const MwsrChannel& channel,

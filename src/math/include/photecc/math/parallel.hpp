@@ -28,6 +28,19 @@ namespace photecc::math {
 void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Evaluates fn(begin, end) over a FIXED partition of [0, n) into
+/// contiguous blocks of `block_size` indices (the last block may be
+/// short).  The partition depends only on (n, block_size) — never on
+/// the thread count — and blocks are handed to workers through the same
+/// atomic queue as parallel_for, so slot-indexed writers stay
+/// byte-identical at any thread count while each worker sees an
+/// axis-contiguous index range (what keeps sweep warm-starts valid
+/// under work stealing).  block_size == 0 is treated as 1.  Exception
+/// semantics match parallel_for.
+void parallel_for_blocks(std::size_t n, std::size_t block_size,
+                         std::size_t threads,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace photecc::math
 
 #endif  // PHOTECC_MATH_PARALLEL_HPP

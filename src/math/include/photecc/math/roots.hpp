@@ -21,6 +21,18 @@ struct RootResult {
   double residual = 0.0;
   int iterations = 0;
   bool converged = false;
+  /// True when a warm-start shortcut produced the result (exact guess
+  /// hit or a valid warm bracket); false on every cold solve, including
+  /// the cold fallback of brent_warm.
+  bool warm = false;
+};
+
+/// Warm-start hint for brent_warm: a guess (typically the neighboring
+/// cell's root) plus a half-width `window` for the shrunken bracket
+/// [guess - window, guess + window] to try before the cold bracket.
+struct WarmStart {
+  double guess = 0.0;
+  double window = 0.0;  ///< <= 0 disables the warm-bracket attempt
 };
 
 /// Bisection on [lo, hi].  f(lo) and f(hi) must bracket a sign change;
@@ -34,6 +46,24 @@ std::optional<RootResult> bisect(const std::function<double(double)>& f,
 std::optional<RootResult> brent(const std::function<double(double)>& f,
                                 double lo, double hi,
                                 const RootOptions& opts = {});
+
+/// Warm-started Brent on [lo, hi] — the guess/bracket-reuse entry point
+/// of the sweep hot path.  The contract, in order:
+///   1. guess inside [lo, hi] with f(guess) == 0.0 exactly: returns the
+///      guess with zero iterations (warm == true).
+///   2. warm.window > 0 and the shrunken bracket
+///      [max(lo, guess - window), min(hi, guess + window)] shows a sign
+///      change: Brent on that bracket (warm == true) — typically 1-3
+///      iterations for a near-root guess.
+///   3. Anything else — guess outside [lo, hi] or non-finite, stale
+///      window without a sign change, or a monotonicity-violating guess
+///      (f(guess) opposing the sign of both warm endpoints, the
+///      local-dip signature) — falls back to brent(f, lo, hi, opts) and
+///      is bit-identical to the cold solve (warm == false).
+std::optional<RootResult> brent_warm(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const WarmStart& warm,
+                                     const RootOptions& opts = {});
 
 /// Newton-Raphson with analytic derivative, safeguarded by an optional
 /// bracket: steps leaving [lo, hi] are replaced by bisection steps.

@@ -1,5 +1,6 @@
 #include "photecc/math/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -48,6 +49,19 @@ void parallel_for(std::size_t n, std::size_t threads,
   worker();
   for (auto& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
+}
+
+void parallel_for_blocks(
+    std::size_t n, std::size_t block_size, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (block_size == 0) block_size = 1;
+  const std::size_t blocks = (n + block_size - 1) / block_size;
+  parallel_for(blocks, threads, [&](std::size_t b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t end = std::min(n, begin + block_size);
+    fn(begin, end);
+  });
 }
 
 }  // namespace photecc::math

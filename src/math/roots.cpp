@@ -109,6 +109,40 @@ std::optional<RootResult> brent(const std::function<double(double)>& f,
   return r;
 }
 
+std::optional<RootResult> brent_warm(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const WarmStart& warm,
+                                     const RootOptions& opts) {
+  if (lo < hi && std::isfinite(warm.guess) && warm.guess >= lo &&
+      warm.guess <= hi) {
+    const double fg = f(warm.guess);
+    if (fg == 0.0) return RootResult{warm.guess, 0.0, 0, true, true};
+    if (warm.window > 0.0 && std::isfinite(warm.window)) {
+      const double wlo = std::max(lo, warm.guess - warm.window);
+      const double whi = std::min(hi, warm.guess + warm.window);
+      if (wlo < whi && warm.guess > wlo && warm.guess < whi) {
+        const double flo = f(wlo);
+        const double fhi = f(whi);
+        // A monotone f crossing once inside the window has endpoint
+        // signs that differ AND the guess's sign matching one of them.
+        // Same-sign endpoints mean the window is stale (no crossing) or
+        // the guess sits in a local dip/bump (f(guess) opposing both
+        // ends — a monotonicity violation); both reject to cold.
+        const bool brackets = flo != 0.0 && fhi != 0.0 &&
+                              std::signbit(flo) != std::signbit(fhi);
+        if (brackets) {
+          auto result = brent(f, wlo, whi, opts);
+          if (result && result->converged) {
+            result->warm = true;
+            return result;
+          }
+        }
+      }
+    }
+  }
+  return brent(f, lo, hi, opts);  // cold fallback: bit-identical
+}
+
 std::optional<RootResult> newton(const std::function<double(double)>& f,
                                  const std::function<double(double)>& df,
                                  double x0, double lo, double hi,

@@ -92,7 +92,13 @@ std::vector<explore::Objective> lower_objectives(const ExperimentSpec& spec) {
 explore::ExperimentResult run(const ExperimentSpec& spec) {
   const explore::ScenarioGrid grid = lower(spec);
   const explore::SweepRunner runner{{spec.threads}};
-  if (spec.evaluator == "auto") return runner.run(grid);
+  // "auto" — and an explicit "link" on a grid the auto route would give
+  // the link evaluator anyway — take the lowered-plan hot path (byte-
+  // identical exports); named evaluators otherwise run the legacy
+  // per-cell path.
+  if (spec.evaluator == "auto" ||
+      (spec.evaluator == "link" && !grid.has_noc_axes()))
+    return runner.run(grid);
   return runner.run(grid,
                     evaluator_registry().make(spec.evaluator, "evaluator"));
 }

@@ -184,5 +184,79 @@ TEST(BerModel, CodingGainSimilarAcrossFormats) {
   EXPECT_NEAR(ook, pam4, 0.2);
 }
 
+// --- Warm-started requirement entry points (the sweep hot path).
+
+TEST(RequiredRawBerWarm, BitEqualHintIsReusedWithZeroWork) {
+  const HammingCode h74(3);
+  const double target = 1e-9;
+  RawBerSolveTrace cold_trace;
+  const RawBerRequirement cold =
+      h74.required_raw_ber_checked(target, &cold_trace);
+  EXPECT_GT(cold_trace.iterations, 0);
+  EXPECT_FALSE(cold_trace.warm);
+
+  RawBerHint hint;
+  hint.target_ber = target;
+  hint.requirement = cold;
+  RawBerSolveTrace warm_trace;
+  const RawBerRequirement warm =
+      h74.required_raw_ber_warm(target, &hint, &warm_trace);
+  EXPECT_TRUE(warm_trace.warm);
+  EXPECT_EQ(warm_trace.iterations, 0);
+  EXPECT_EQ(warm.raw_ber, cold.raw_ber);  // bit-equal by construction
+  EXPECT_EQ(warm.saturated, cold.saturated);
+}
+
+TEST(RequiredRawBerWarm, MismatchedHintRunsColdBitIdentically) {
+  const HammingCode h74(3);
+  RawBerHint hint;
+  hint.target_ber = 1e-8;  // hint from a different BER target
+  hint.requirement = h74.required_raw_ber_checked(1e-8);
+  RawBerSolveTrace trace;
+  const RawBerRequirement warm =
+      h74.required_raw_ber_warm(1e-9, &hint, &trace);
+  const RawBerRequirement cold = h74.required_raw_ber_checked(1e-9);
+  EXPECT_FALSE(trace.warm);
+  EXPECT_GT(trace.iterations, 0);
+  EXPECT_EQ(warm.raw_ber, cold.raw_ber);
+}
+
+TEST(RequiredRawBerSeeded, NearGuessConvergesFastToTheColdRoot) {
+  const HammingCode h74(3);
+  const double target = 1e-9;
+  RawBerSolveTrace cold_trace;
+  const RawBerRequirement cold =
+      h74.required_raw_ber_checked(target, &cold_trace);
+
+  RawBerSolveTrace seeded_trace;
+  const RawBerRequirement seeded =
+      h74.required_raw_ber_seeded(target, cold.raw_ber, &seeded_trace);
+  EXPECT_TRUE(seeded_trace.warm);
+  EXPECT_LT(seeded_trace.iterations, cold_trace.iterations);
+  // Tolerance-level agreement: the seeded solve is a diagnostic /
+  // bench entry, not an export path, so bit-identity is not promised.
+  EXPECT_NEAR(seeded.raw_ber / cold.raw_ber, 1.0, 1e-9);
+}
+
+TEST(RequiredRawBerSeeded, UselessGuessFallsBackCold) {
+  const HammingCode h74(3);
+  RawBerSolveTrace trace;
+  const RawBerRequirement seeded =
+      h74.required_raw_ber_seeded(1e-9, -1.0, &trace);
+  const RawBerRequirement cold = h74.required_raw_ber_checked(1e-9);
+  EXPECT_FALSE(trace.warm);
+  EXPECT_EQ(seeded.raw_ber, cold.raw_ber);
+}
+
+TEST(RequiredRawBerTrace, UncodedClosedFormReportsZeroIterations) {
+  const UncodedScheme uncoded{64};
+  RawBerSolveTrace trace;
+  const RawBerRequirement req =
+      uncoded.required_raw_ber_checked(1e-9, &trace);
+  EXPECT_EQ(trace.iterations, 0);
+  EXPECT_FALSE(trace.warm);
+  EXPECT_EQ(req.raw_ber, 1e-9);
+}
+
 }  // namespace
 }  // namespace photecc::ecc

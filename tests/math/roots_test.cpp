@@ -1,6 +1,7 @@
 #include "photecc/math/roots.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +97,103 @@ TEST(ExpandBracket, GrowsUntilSignChange) {
 
 TEST(ExpandBracket, GivesUpOnConstantSign) {
   EXPECT_FALSE(expand_bracket([](double) { return 1.0; }, 0.0, 1.0, 8));
+}
+
+// --- brent_warm: the warm-start contract.  Everything that cannot use
+// the warm bracket must fall back to the cold brent BIT-identically —
+// same root, same iteration count, warm == false.
+
+namespace {
+
+double cubic(double x) { return x * x * x - 8.0; }
+
+}  // namespace
+
+TEST(BrentWarm, StaleGuessOutsideRangeFallsBackBitIdentically) {
+  const auto cold = brent(cubic, 0.0, 5.0);
+  ASSERT_TRUE(cold.has_value());
+  WarmStart warm;
+  warm.guess = 42.0;  // outside [0, 5]: a guess from some other regime
+  warm.window = 0.5;
+  const auto result = brent_warm(cubic, 0.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->warm);
+  EXPECT_EQ(result->root, cold->root);  // bit-equal, not just near
+  EXPECT_EQ(result->iterations, cold->iterations);
+  EXPECT_EQ(result->residual, cold->residual);
+}
+
+TEST(BrentWarm, NonFiniteGuessFallsBackBitIdentically) {
+  const auto cold = brent(cubic, 0.0, 5.0);
+  ASSERT_TRUE(cold.has_value());
+  WarmStart warm;
+  warm.guess = std::numeric_limits<double>::quiet_NaN();
+  warm.window = 0.5;
+  const auto result = brent_warm(cubic, 0.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->warm);
+  EXPECT_EQ(result->root, cold->root);
+  EXPECT_EQ(result->iterations, cold->iterations);
+}
+
+TEST(BrentWarm, StaleWindowWithoutSignChangeFallsBackBitIdentically) {
+  const auto cold = brent(cubic, 0.0, 5.0);
+  ASSERT_TRUE(cold.has_value());
+  WarmStart warm;
+  warm.guess = 4.0;   // inside the range but far from the root at 2
+  warm.window = 0.5;  // [3.5, 4.5]: f > 0 throughout, no bracket
+  const auto result = brent_warm(cubic, 0.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->warm);
+  EXPECT_EQ(result->root, cold->root);
+  EXPECT_EQ(result->iterations, cold->iterations);
+}
+
+TEST(BrentWarm, GuessExactlyAtRootReturnsZeroIterationsWarm) {
+  WarmStart warm;
+  warm.guess = 2.0;  // cubic(2) == 0 exactly
+  warm.window = 0.5;
+  const auto result = brent_warm(cubic, 0.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->warm);
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->root, 2.0);
+  EXPECT_EQ(result->iterations, 0);
+  EXPECT_EQ(result->residual, 0.0);
+}
+
+TEST(BrentWarm, MonotonicityViolatingGuessIsRejectedBitIdentically) {
+  // A local dip: the function crosses zero near 3, but around the guess
+  // at 0 it dips negative while both warm-window endpoints stay on the
+  // same side of zero once widened — the warm bracket has no sign
+  // change, so the guess must be rejected for the cold search.
+  const auto dip = [](double x) {
+    return (x - 3.0) + 2.0 * std::exp(-(x * x) * 4.0);
+  };
+  const auto cold = brent(dip, -1.0, 5.0);
+  ASSERT_TRUE(cold.has_value());
+  WarmStart warm;
+  warm.guess = 0.1;    // dip(0.1) < 0 locally...
+  warm.window = 0.05;  // ...and dip < 0 at both 0.05 and 0.15
+  const auto result = brent_warm(dip, -1.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->warm);
+  EXPECT_EQ(result->root, cold->root);
+  EXPECT_EQ(result->iterations, cold->iterations);
+}
+
+TEST(BrentWarm, TightWarmBracketConvergesInFewerIterations) {
+  const auto cold = brent(cubic, 0.0, 5.0);
+  ASSERT_TRUE(cold.has_value());
+  WarmStart warm;
+  warm.guess = 2.0 + 1e-4;  // near-root guess from a neighbouring cell
+  warm.window = 0.01;
+  const auto result = brent_warm(cubic, 0.0, 5.0, warm);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->warm);
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->root, 2.0, 1e-10);
+  EXPECT_LT(result->iterations, cold->iterations);
 }
 
 }  // namespace
