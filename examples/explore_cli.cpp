@@ -17,6 +17,11 @@
 //                                  with --config, checks that config's grid
 //   explore_cli --bench            sequential-vs-parallel wall time on a
 //                                  600-cell grid, JSON to stdout
+//   explore_cli --serve            sweep-service loop on stdin/stdout:
+//                                  NDJSON ExperimentSpec requests in,
+//                                  streamed result records out (see
+//                                  photecc::serve; serve_cli is the
+//                                  full-featured frontend)
 //   explore_cli --list-presets     registered preset names
 //   explore_cli --list-link-variants  registered link variants
 //   explore_cli --list-evaluators  registered cell evaluators
@@ -41,6 +46,7 @@
 #include "photecc/math/parallel.hpp"
 #include "photecc/math/table.hpp"
 #include "photecc/math/units.hpp"
+#include "photecc/serve/service.hpp"
 #include "photecc/spec/builder.hpp"
 #include "photecc/spec/cli.hpp"
 #include "photecc/spec/registries.hpp"
@@ -64,7 +70,7 @@ struct Options {
 };
 
 int usage(std::ostream& os, int code) {
-  os << "usage: explore_cli --fig6b | --noc | --smoke | --bench\n"
+  os << "usage: explore_cli --fig6b | --noc | --smoke | --bench | --serve\n"
         "                   | --config FILE [--smoke]\n"
         "                   | --preset NAME [--smoke]\n"
         "                   | --list-presets | --list-link-variants\n"
@@ -394,6 +400,14 @@ int dispatch(const Options& options) {
     return run_config(experiment, options);
   }
   if (options.mode == "--smoke") return run_smoke(options);
+  if (options.mode == "--serve") {
+    // The daemon mode: specs arrive as requests, not flags, so the
+    // only flag honoured is the thread override (operational — it can
+    // never change a sweep response's bytes).
+    serve::Service service({.threads = options.threads.value_or(0)});
+    service.run(std::cin, std::cout);
+    return 0;
+  }
   if (options.mode.empty()) return usage(std::cerr, 2);
 
   const spec::ExperimentSpec experiment = effective_spec(options);
@@ -414,7 +428,7 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--fig6b" || arg == "--noc" || arg == "--smoke" ||
-          arg == "--bench") {
+          arg == "--bench" || arg == "--serve") {
         options.mode = arg;
       } else if (arg == "--list-presets" || arg == "--list-link-variants" ||
                  arg == "--list-evaluators") {
@@ -453,7 +467,8 @@ int main(int argc, char** argv) {
     }
     if (options.dump_spec && options.config_path.empty() &&
         options.preset.empty() &&
-        (options.mode.empty() || options.mode == "--smoke")) {
+        (options.mode.empty() || options.mode == "--smoke" ||
+         options.mode == "--serve")) {
       std::cerr << "--dump-spec needs a single-grid mode (--fig6b, --noc, "
                    "--bench or --config)\n";
       return usage(std::cerr, 2);

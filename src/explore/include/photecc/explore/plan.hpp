@@ -26,6 +26,7 @@
 #define PHOTECC_EXPLORE_PLAN_HPP
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,27 @@ class LoweredPlan {
   /// SweepRunner's legacy evaluate_link_cell path on the same grid.
   /// result.stats carries this plan's counters.
   [[nodiscard]] ExperimentResult execute(std::size_t threads = 1) const;
+
+  /// Observer of one finished cell block: cells[begin, end) of the
+  /// result vector are fully evaluated when it runs.
+  using BlockCallback = std::function<void(
+      std::size_t begin, std::size_t end,
+      const std::vector<CellResult>& cells)>;
+
+  /// Block-streaming execution: like execute(threads), but invokes
+  /// `on_block` once per block of PlanOptions::block_size cells, in
+  /// ascending block order — block k is always delivered before block
+  /// k+1, at ANY thread count, even though blocks *compute* out of
+  /// order under work stealing (a finished block is held back until
+  /// every earlier one has been delivered; callbacks never run
+  /// concurrently).  Large grids therefore stream results while later
+  /// blocks are still computing, which is what the serve daemon's
+  /// incremental `cells` records are built on.  The assembled result
+  /// is byte-identical to the one-shot execute(threads).  A throwing
+  /// callback aborts the sweep with parallel_for's first-exception
+  /// semantics.
+  [[nodiscard]] ExperimentResult execute(std::size_t threads,
+                                         const BlockCallback& on_block) const;
 
  private:
   /// One hoisted channel context: everything that depends only on the

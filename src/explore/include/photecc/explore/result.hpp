@@ -42,6 +42,15 @@ struct CellResult {
       const std::string& axis) const;
 };
 
+/// Renders one cell as the minified JSON object used everywhere a cell
+/// crosses a serialization boundary — ExperimentResult::write_json's
+/// array elements and the serve layer's streamed `cells` records share
+/// this exact function, so a streamed cell is byte-identical to the
+/// same cell in a one-shot export:
+/// {"index":N,"labels":{...},"feasible":true,"metrics":{...}}.
+/// Non-finite metric values serialise as null.
+void write_cell_json(std::ostream& os, const CellResult& cell);
+
 /// One dimension of an N-objective Pareto extraction.
 struct Objective {
   std::string metric;
@@ -66,6 +75,16 @@ struct Objective {
 /// only: like the timing fields of ExperimentResult they are never part
 /// of the CSV/JSON cell exports, so enabling the plan cannot perturb
 /// byte-identity.  explore_cli --bench prints them in its summary.
+///
+/// Aggregation story (the reuse contract the serve layer builds on):
+/// every field is *per-run* — one lower + one execute of one plan.
+/// A caller that re-serves a run's cells from a cache must NOT reuse
+/// the run's stats verbatim (they would claim solver work that never
+/// happened again); it merges as_replay() instead, which keeps the
+/// cell count and zeroes every work and time counter.  merge() is the
+/// only sanctioned way to aggregate across runs: counters and times
+/// add, so the derived rates (warm_hit_rate, cells_per_second) stay
+/// consistent with the totals.
 struct SweepStats {
   std::size_t cells = 0;             ///< cells executed
   std::size_t channels_lowered = 0;  ///< distinct channel combos hoisted
@@ -79,6 +98,15 @@ struct SweepStats {
   [[nodiscard]] double warm_hit_rate() const;
   /// Cells per second of execute time (0 when unmeasurably fast).
   [[nodiscard]] double cells_per_second() const;
+  /// Accumulates another run into this one: every counter and time
+  /// adds.  Use on a zero-initialised SweepStats to aggregate a
+  /// sequence of runs (the serve daemon's lifetime totals).
+  void merge(const SweepStats& other);
+  /// The cached-replay view of this run: cells kept, every work
+  /// counter (root solves, iterations, warm reuses, channels) and
+  /// time zeroed.  Re-serving cached cells merges this, so replays
+  /// report zero solver work instead of the original run's numbers.
+  [[nodiscard]] SweepStats as_replay() const;
   /// Flat JSON object ({"cells":...,"warm_hit_rate":...}) for bench
   /// summaries; NOT part of ExperimentResult::json().
   [[nodiscard]] std::string json() const;

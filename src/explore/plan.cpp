@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -200,17 +201,41 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
 }
 
 ExperimentResult LoweredPlan::execute(std::size_t threads) const {
+  return execute(threads, BlockCallback{});
+}
+
+ExperimentResult LoweredPlan::execute(std::size_t threads,
+                                      const BlockCallback& on_block) const {
   ExperimentResult result;
   result.cells.resize(size_);
   const std::size_t workers =
       threads ? threads : math::default_thread_count();
   result.threads_used = std::max<std::size_t>(1, std::min(workers, size_));
 
+  // In-order delivery state: parallel_for_blocks hands out the SAME
+  // fixed partition at every thread count, so block k is exactly
+  // [k * block, min(size, (k + 1) * block)).  Whichever worker finishes
+  // the oldest undelivered block drains every consecutive finished one
+  // under the mutex — callbacks are serialised and strictly ascending.
+  const std::size_t block = std::max<std::size_t>(1, options_.block_size);
+  const std::size_t n_blocks = size_ ? (size_ + block - 1) / block : 0;
+  std::vector<char> finished(n_blocks, 0);
+  std::size_t next_to_deliver = 0;
+  std::mutex delivery_mutex;
+
   const auto start = std::chrono::steady_clock::now();
   math::parallel_for_blocks(
       size_, options_.block_size, threads,
       [&](std::size_t begin, std::size_t end) {
         execute_block(begin, end, result.cells);
+        if (!on_block) return;
+        const std::lock_guard<std::mutex> lock(delivery_mutex);
+        finished[begin / block] = 1;
+        while (next_to_deliver < n_blocks && finished[next_to_deliver]) {
+          const std::size_t b = next_to_deliver * block;
+          on_block(b, std::min(size_, b + block), result.cells);
+          ++next_to_deliver;
+        }
       });
   result.wall_time_s = seconds_since(start);
 

@@ -119,6 +119,22 @@ double SweepStats::cells_per_second() const {
              : 0.0;
 }
 
+void SweepStats::merge(const SweepStats& other) {
+  cells += other.cells;
+  channels_lowered += other.channels_lowered;
+  root_solves += other.root_solves;
+  solver_iterations += other.solver_iterations;
+  warm_reuses += other.warm_reuses;
+  lower_time_s += other.lower_time_s;
+  execute_time_s += other.execute_time_s;
+}
+
+SweepStats SweepStats::as_replay() const {
+  SweepStats replay;
+  replay.cells = cells;
+  return replay;
+}
+
 std::string SweepStats::json() const {
   std::ostringstream os;
   os << "{\"cells\":" << cells
@@ -206,25 +222,29 @@ std::string ExperimentResult::csv() const {
   return os.str();
 }
 
+void write_cell_json(std::ostream& os, const CellResult& cell) {
+  os << "{\"index\":" << cell.index << ",\"labels\":{";
+  for (std::size_t k = 0; k < cell.labels.size(); ++k) {
+    if (k) os << ',';
+    os << math::json::escape(cell.labels[k].first) << ':'
+       << math::json::escape(cell.labels[k].second);
+  }
+  os << "},\"feasible\":" << (cell.feasible ? "true" : "false")
+     << ",\"metrics\":{";
+  for (std::size_t k = 0; k < cell.metrics.size(); ++k) {
+    if (k) os << ',';
+    os << math::json::escape(cell.metrics[k].first) << ':'
+       << math::json::number(cell.metrics[k].second);
+  }
+  os << "}}";
+}
+
 void ExperimentResult::write_json(std::ostream& os) const {
   os << "{\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto& cell = cells[i];
     if (i) os << ',';
-    os << "\n  {\"index\":" << cell.index << ",\"labels\":{";
-    for (std::size_t k = 0; k < cell.labels.size(); ++k) {
-      if (k) os << ',';
-      os << math::json::escape(cell.labels[k].first) << ':'
-         << math::json::escape(cell.labels[k].second);
-    }
-    os << "},\"feasible\":" << (cell.feasible ? "true" : "false")
-       << ",\"metrics\":{";
-    for (std::size_t k = 0; k < cell.metrics.size(); ++k) {
-      if (k) os << ',';
-      os << math::json::escape(cell.metrics[k].first) << ':'
-         << math::json::number(cell.metrics[k].second);
-    }
-    os << "}}";
+    os << "\n  ";
+    write_cell_json(os, cells[i]);
   }
   os << "\n]}\n";
 }

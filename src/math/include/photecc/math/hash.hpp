@@ -1,0 +1,53 @@
+// Stable 64-bit hashing for cache keys and content fingerprints.
+//
+// FNV-1a is deliberately simple: a byte-at-a-time multiply/xor with
+// fixed public constants, so the value of fnv1a64(bytes) is a stable
+// part of our serialization contracts — the same bytes hash to the same
+// 64-bit value on every platform, build and run (unlike std::hash,
+// which promises nothing across processes).  The serve layer keys its
+// plan cache on fnv1a64 of the canonical spec dump and tests pin
+// specific values, so the constants here must never change.
+//
+// FNV is *not* collision-resistant; callers that need exactness (the
+// plan cache does) must compare the full byte strings on a hash match.
+#ifndef PHOTECC_MATH_HASH_HPP
+#define PHOTECC_MATH_HASH_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace photecc::math {
+
+/// FNV-1a offset basis / prime (64-bit variant, public constants).
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+/// FNV-1a over `bytes`, continuing from `seed` — chain calls to hash
+/// discontiguous buffers as if concatenated:
+/// fnv1a64("ab") == fnv1a64("b", fnv1a64("a")).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t seed = kFnv1a64OffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+/// Fixed-width lower-case hex rendering ("00ff00ff00ff00ff") — the
+/// canonical wire form of a 64-bit hash (serve's "spec_hash" field).
+[[nodiscard]] inline std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace photecc::math
+
+#endif  // PHOTECC_MATH_HASH_HPP

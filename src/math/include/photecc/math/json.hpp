@@ -127,6 +127,13 @@ class Value {
 /// emit "null" (JSON has no NaN/Inf).
 [[nodiscard]] std::string number(double value);
 
+/// Minified single-line emission of a parsed Value: no whitespace, keys
+/// in insertion order, number tokens verbatim.  parse(write(v)) is the
+/// same Value, and write(parse(text)) is a canonical minification of
+/// `text` — what the serve layer uses to embed a multi-line spec
+/// document in a one-line NDJSON request.
+[[nodiscard]] std::string write(const Value& value);
+
 }  // namespace photecc::math::json
 
 #endif  // PHOTECC_MATH_JSON_HPP

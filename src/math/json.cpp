@@ -363,4 +363,55 @@ std::string number(double value) {
   return ec == std::errc{} ? std::string(buffer, ptr) : std::string("null");
 }
 
+namespace {
+
+void write_value(const Value& value, std::string& out) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kNumber:
+      // The verbatim source token: numbers survive a parse/write round
+      // trip byte-for-byte (a double detour would reformat "1e-06").
+      out += value.number_token();
+      break;
+    case Value::Type::kString:
+      out += escape(value.as_string());
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      const Value::Array& array = value.as_array();
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i) out += ',';
+        write_value(array[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      const Value::Object& object = value.as_object();
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i) out += ',';
+        out += escape(object[i].first);
+        out += ':';
+        write_value(object[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write(const Value& value) {
+  std::string out;
+  write_value(value, out);
+  return out;
+}
+
 }  // namespace photecc::math::json

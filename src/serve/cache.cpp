@@ -1,0 +1,50 @@
+#include "photecc/serve/cache.hpp"
+
+#include <algorithm>
+
+namespace photecc::serve {
+
+std::size_t CachedSweep::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [kind, body] : records)
+    total += kind.size() + body.size();
+  return total;
+}
+
+PlanCache::PlanCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+const CachedSweep* PlanCache::find(std::uint64_t hash,
+                                   const std::string& canonical) {
+  const auto bucket = index_.find(hash);
+  if (bucket == index_.end()) return nullptr;
+  for (const EntryList::iterator it : bucket->second) {
+    if (it->canonical != canonical) continue;  // FNV collision, not a hit
+    lru_.splice(lru_.begin(), lru_, it);
+    return &it->sweep;
+  }
+  return nullptr;
+}
+
+void PlanCache::insert(std::uint64_t hash, std::string canonical,
+                       CachedSweep sweep) {
+  const std::size_t bytes = canonical.size() + sweep.payload_bytes();
+  if (bytes > budget_) return;
+  if (find(hash, canonical) != nullptr) return;
+  lru_.push_front(
+      Entry{hash, std::move(canonical), std::move(sweep), bytes});
+  index_[hash].push_back(lru_.begin());
+  bytes_ += bytes;
+  while (bytes_ > budget_ && lru_.size() > 1) evict_lru();
+}
+
+void PlanCache::evict_lru() {
+  const EntryList::iterator victim = std::prev(lru_.end());
+  auto& bucket = index_[victim->hash];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
+  if (bucket.empty()) index_.erase(victim->hash);
+  bytes_ -= victim->bytes;
+  lru_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace photecc::serve

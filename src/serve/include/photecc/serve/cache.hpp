@@ -1,0 +1,98 @@
+// Memoization core of the sweep service: canonical-spec-bytes ->
+// fully rendered sweep response, with an LRU byte budget.
+//
+// The key is the spec's *canonical* JSON dump (spec::to_json of the
+// validated spec), so any two request documents that mean the same
+// experiment — different whitespace, different key order of the
+// original file, v1 vs v2 framing of the same fields — collapse to one
+// entry, while everything that changes even one canonical byte (a
+// different thread count, one more BER target) is a distinct key.
+// Reuse is EXACT: lookups hash with math::fnv1a64 to find the bucket
+// but always compare the full canonical bytes, so an FNV collision can
+// never serve the wrong sweep (the lesson from the lowered-plan work:
+// only byte-equal-key reuse is allowed on export paths — no
+// tolerance-level sharing).
+//
+// What is cached is the rendered response itself — the (kind, body)
+// split of every header/cells/done record — so a replay is a pure
+// write of stored bytes and byte-identity with the original compute is
+// structural, not re-derived.  The compute run's SweepStats ride along
+// so observability can account replays via SweepStats::as_replay.
+#ifndef PHOTECC_SERVE_CACHE_HPP
+#define PHOTECC_SERVE_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "photecc/explore/result.hpp"
+
+namespace photecc::serve {
+
+/// One cached sweep response: the rendered records of the original
+/// compute, id-less ((kind, body) pairs — protocol.hpp's record() puts
+/// the requesting client's id back at emission time).
+struct CachedSweep {
+  std::vector<std::pair<std::string, std::string>> records;
+  std::size_t cells = 0;
+  /// The original compute run's counters; replays merge
+  /// stats.as_replay() into the daemon totals (zero solver work).
+  explore::SweepStats stats;
+
+  /// Bytes of record payload held (kinds + bodies); the cache adds the
+  /// canonical key on top when accounting an entry against the budget.
+  [[nodiscard]] std::size_t payload_bytes() const;
+};
+
+class PlanCache {
+ public:
+  /// `budget_bytes` caps the summed payload+key bytes of all entries
+  /// (allocator overhead is not modelled).  A single response larger
+  /// than the whole budget is not cached at all — it would only evict
+  /// everything else and then fail to fit.
+  explicit PlanCache(std::size_t budget_bytes);
+
+  /// Exact lookup: the hash narrows to a bucket, the canonical bytes
+  /// decide.  A hit moves the entry to most-recently-used and returns
+  /// a pointer valid until the next insert(); a miss returns nullptr.
+  [[nodiscard]] const CachedSweep* find(std::uint64_t hash,
+                                        const std::string& canonical);
+
+  /// Inserts at most-recently-used and evicts from the LRU end until
+  /// the budget holds again.  Inserting an already-present key is a
+  /// no-op (the first rendering is as good as any — they are
+  /// byte-identical by the determinism contract).
+  void insert(std::uint64_t hash, std::string canonical, CachedSweep sweep);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string canonical;
+    CachedSweep sweep;
+    std::size_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+
+  void evict_lru();
+
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::size_t evictions_ = 0;
+  EntryList lru_;  ///< front = most recently used
+  /// hash -> every entry with that hash (collision chain; the
+  /// canonical strings disambiguate).
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
+};
+
+}  // namespace photecc::serve
+
+#endif  // PHOTECC_SERVE_CACHE_HPP

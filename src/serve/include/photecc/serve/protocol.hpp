@@ -1,0 +1,84 @@
+// Wire protocol of the sweep-service daemon: NDJSON in both
+// directions.  Every request is one JSON object on one line; every
+// response is a stream of JSON records, one per line, in this order
+// for a sweep:
+//
+//   {"kind":"header", ...}   spec hash, cell count, axis/metric names
+//   {"kind":"cells",  ...}   one record per cell block, in ascending
+//                            block order (the deterministic partition
+//                            of math::parallel_for_blocks)
+//   {"kind":"done",   ...}   cell/feasible totals + the deterministic
+//                            lowering counters
+//
+// plus {"kind":"stats"} / {"kind":"bye"} for the control requests and
+// {"kind":"error"} for anything rejected.  Request envelope:
+//
+//   {"kind":"sweep", "id": "r1", "spec": { ...ExperimentSpec doc... }}
+//   {"kind":"stats"}
+//   {"kind":"shutdown"}
+//
+// "id" is optional; when present it is echoed as the second key of
+// every record of that request's response, so clients may interleave
+// correlation ids without affecting what is cached (cached records are
+// stored id-less and the id is re-attached at emission).
+//
+// Determinism contract: the header/cells/done records of a sweep
+// response are a pure function of the spec document's *canonical* form
+// and the service's block size — no timings, no thread counts, no
+// cache state — which is what makes "cached response == recomputed
+// response" a byte-level guarantee.  The stats record is explicitly
+// outside this guarantee (it reports wall times and cache counters).
+#ifndef PHOTECC_SERVE_PROTOCOL_HPP
+#define PHOTECC_SERVE_PROTOCOL_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "photecc/math/json.hpp"
+#include "photecc/spec/spec.hpp"
+
+namespace photecc::serve {
+
+/// One parsed request line.
+struct Request {
+  enum class Kind { kSweep, kStats, kShutdown };
+
+  Kind kind = Kind::kSweep;
+  /// Correlation id ("" = absent); echoed on every response record.
+  std::string id;
+  /// The embedded spec document (kSweep only), still unvalidated —
+  /// the service lowers it with spec::from_json_value so spec-level
+  /// rejections are distinguishable from envelope-level ones.
+  std::optional<math::json::Value> spec_document;
+};
+
+/// Parses one request line.  Throws math::json::ParseError for
+/// malformed JSON and spec::SpecError (field + reason) for envelope
+/// violations: non-object lines, missing/unknown "kind", unknown keys,
+/// a missing "spec" on a sweep or a stray one elsewhere, non-string or
+/// empty "id".
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Renders one response record: {"kind":<kind>[,"id":<id>]<body>}.
+/// `body` is either empty or starts with ',' and supplies the
+/// remaining key/value pairs — the (kind, body) split is what the plan
+/// cache stores, so a cached record can be replayed under any
+/// request's id.
+[[nodiscard]] std::string record(std::string_view kind,
+                                 const std::string& id,
+                                 std::string_view body);
+
+/// Builds the one-line sweep request embedding `experiment`'s
+/// canonical document (minified via math::json::write, since NDJSON
+/// framing forbids the pretty dump's newlines).
+[[nodiscard]] std::string sweep_request_line(
+    const spec::ExperimentSpec& experiment, const std::string& id = "");
+
+/// Builds a bodyless request line ("stats", "shutdown").
+[[nodiscard]] std::string request_line(std::string_view kind,
+                                       const std::string& id = "");
+
+}  // namespace photecc::serve
+
+#endif  // PHOTECC_SERVE_PROTOCOL_HPP

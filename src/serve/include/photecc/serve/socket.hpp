@@ -1,0 +1,35 @@
+// Unix-domain-socket frontend: bind a path, accept one client at a
+// time, run the Service's NDJSON loop over the connection.  Only
+// compiled on __unix__ (the stdin/stdout frontend is the portable
+// one); on other platforms serve_unix_socket reports failure.
+#ifndef PHOTECC_SERVE_SOCKET_HPP
+#define PHOTECC_SERVE_SOCKET_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "photecc/serve/service.hpp"
+
+namespace photecc::serve {
+
+struct SocketOptions {
+  /// Filesystem path to bind; an existing socket file is replaced.
+  std::string path;
+  /// Stop after this many client connections (0 = until a client sends
+  /// a shutdown request).
+  std::size_t max_connections = 0;
+};
+
+/// Binds `options.path`, then accepts clients sequentially, running
+/// `service.run` over each connection — one NDJSON session per client,
+/// all sharing the service's PlanCache, so a spec computed for one
+/// client replays byte-identically for the next.  Returns true after a
+/// clean stop (shutdown request or max_connections reached), false on
+/// any socket-layer failure (message on `error`, left empty on
+/// success).  On non-unix platforms always fails.
+bool serve_unix_socket(Service& service, const SocketOptions& options,
+                       std::string& error);
+
+}  // namespace photecc::serve
+
+#endif  // PHOTECC_SERVE_SOCKET_HPP

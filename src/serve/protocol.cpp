@@ -1,0 +1,96 @@
+#include "photecc/serve/protocol.hpp"
+
+#include <utility>
+
+#include "photecc/spec/error.hpp"
+
+namespace photecc::serve {
+
+namespace json = math::json;
+
+namespace {
+
+std::string expect_string(const json::Value& value, const std::string& path) {
+  try {
+    return value.as_string();
+  } catch (const json::TypeError& e) {
+    throw spec::SpecError(path, e.what());
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const json::Value document = json::parse(line);
+  const json::Value::Object* members = nullptr;
+  try {
+    members = &document.as_object();
+  } catch (const json::TypeError& e) {
+    throw spec::SpecError("request", e.what());
+  }
+
+  Request request;
+  std::string kind;
+  bool saw_kind = false;
+  bool saw_spec = false;
+  for (const auto& [key, value] : *members) {
+    if (key == "kind") {
+      kind = expect_string(value, "kind");
+      saw_kind = true;
+    } else if (key == "id") {
+      request.id = expect_string(value, "id");
+      if (request.id.empty())
+        throw spec::SpecError("id", "must not be empty (omit the key)");
+    } else if (key == "spec") {
+      request.spec_document = value;
+      saw_spec = true;
+    } else {
+      throw spec::SpecError(key,
+                            "unknown request key (expected: kind, id, spec)");
+    }
+  }
+  if (!saw_kind)
+    throw spec::SpecError("kind",
+                          "required (one of: sweep, stats, shutdown)");
+  if (kind == "sweep") {
+    request.kind = Request::Kind::kSweep;
+    if (!saw_spec)
+      throw spec::SpecError("spec", "required for kind 'sweep'");
+  } else if (kind == "stats") {
+    request.kind = Request::Kind::kStats;
+  } else if (kind == "shutdown") {
+    request.kind = Request::Kind::kShutdown;
+  } else {
+    throw spec::SpecError("kind", "unknown request kind '" + kind +
+                                      "' (known: sweep, stats, shutdown)");
+  }
+  if (request.kind != Request::Kind::kSweep && saw_spec)
+    throw spec::SpecError("spec", "only valid for kind 'sweep'");
+  return request;
+}
+
+std::string record(std::string_view kind, const std::string& id,
+                   std::string_view body) {
+  std::string out = "{\"kind\":";
+  out += json::escape(kind);
+  if (!id.empty()) {
+    out += ",\"id\":";
+    out += json::escape(id);
+  }
+  out += body;
+  out += '}';
+  return out;
+}
+
+std::string sweep_request_line(const spec::ExperimentSpec& experiment,
+                               const std::string& id) {
+  std::string body = ",\"spec\":";
+  body += json::write(json::parse(experiment.to_json()));
+  return record("sweep", id, body);
+}
+
+std::string request_line(std::string_view kind, const std::string& id) {
+  return record(kind, id, "");
+}
+
+}  // namespace photecc::serve

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "photecc/math/json.hpp"
 #include "photecc/spec/error.hpp"
 
 namespace photecc::spec {
@@ -140,6 +141,24 @@ struct ExperimentSpec {
 /// else: unknown keys, wrong types, unsupported schema version, values
 /// the validator rejects.
 [[nodiscard]] ExperimentSpec from_json(const std::string& text);
+
+/// Same strictness on an already-parsed document — for callers that
+/// carry a spec inside a larger JSON envelope (the serve layer's
+/// request lines) and must not re-serialise just to re-parse.  Throws
+/// SpecError exactly like from_json; from_json(text) is precisely
+/// from_json_value(math::json::parse(text)).
+[[nodiscard]] ExperimentSpec from_json_value(
+    const math::json::Value& document);
+
+/// Stable content fingerprint of a spec: math::fnv1a64 over the
+/// canonical to_json() dump.  Two specs hash equal iff their canonical
+/// documents are byte-equal (up to FNV collisions — exact-reuse caches
+/// must also compare the canonical bytes).  Because to_json() is
+/// byte-stable, this value is stable across runs, platforms and JSON
+/// formatting differences of the input document; a test pins the hash
+/// of examples/specs/fig6b.json so accidental canonical-form drift
+/// breaks loudly.
+[[nodiscard]] std::uint64_t canonical_hash(const ExperimentSpec& spec);
 
 /// Semantic validation shared by from_json, SpecBuilder::build and
 /// run(): every name resolves in its registry, every number is in

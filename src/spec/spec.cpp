@@ -8,6 +8,7 @@
 
 #include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
+#include "photecc/math/hash.hpp"
 #include "photecc/math/json.hpp"
 #include "photecc/spec/registries.hpp"
 
@@ -469,7 +470,10 @@ void parse_objectives(const json::Value& v, ExperimentSpec& spec) {
 }  // namespace
 
 ExperimentSpec from_json(const std::string& text) {
-  const json::Value document = json::parse(text);
+  return from_json_value(json::parse(text));
+}
+
+ExperimentSpec from_json_value(const json::Value& document) {
   const auto& members = expect_object(document, "document");
 
   // Version first: a document from a future schema should fail on the
@@ -512,6 +516,10 @@ ExperimentSpec from_json(const std::string& text) {
   }
   validate(spec);
   return spec;
+}
+
+std::uint64_t canonical_hash(const ExperimentSpec& spec) {
+  return math::fnv1a64(spec.to_json());
 }
 
 // --- Validation --------------------------------------------------------

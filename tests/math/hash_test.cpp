@@ -1,0 +1,57 @@
+// FNV-1a 64 and the hex renderer.  The reference vectors pin the
+// algorithm's constants: canonical_hash values (and the serve cache's
+// bucket layout) depend on fnv1a64 never changing.
+#include "photecc/math/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using photecc::math::fnv1a64;
+using photecc::math::hex64;
+using photecc::math::kFnv1a64OffsetBasis;
+
+TEST(Fnv1a64, EmptyInputIsTheOffsetBasis) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(""), kFnv1a64OffsetBasis);
+}
+
+TEST(Fnv1a64, ReferenceVectors) {
+  // Published FNV-1a test vectors (Noll's reference implementation).
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, IsConstexpr) {
+  static_assert(fnv1a64("foobar") == 0x85944171f73967e8ULL);
+  SUCCEED();
+}
+
+TEST(Fnv1a64, ChainingEqualsConcatenation) {
+  const std::string text = "the quick brown fox";
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const std::string head = text.substr(0, split);
+    const std::string tail = text.substr(split);
+    EXPECT_EQ(fnv1a64(tail, fnv1a64(head)), fnv1a64(text)) << split;
+  }
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abc "));
+  // Order matters (unlike an additive checksum).
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+  // Embedded NUL bytes are hashed, not terminators.
+  EXPECT_NE(fnv1a64(std::string("a\0b", 3)), fnv1a64("ab"));
+}
+
+TEST(Hex64, FixedWidthLowerCase) {
+  EXPECT_EQ(hex64(0), "0000000000000000");
+  EXPECT_EQ(hex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+  EXPECT_EQ(hex64(0x1), "0000000000000001");
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// PlanCache: exact-byte keying, LRU ordering under a byte budget,
+// collision-chain correctness.
+#include "photecc/serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "photecc/math/hash.hpp"
+
+namespace {
+
+using photecc::math::fnv1a64;
+using photecc::serve::CachedSweep;
+using photecc::serve::PlanCache;
+
+CachedSweep sweep_of(const std::string& body, std::size_t cells = 1) {
+  CachedSweep sweep;
+  sweep.records.emplace_back("cells", body);
+  sweep.cells = cells;
+  return sweep;
+}
+
+/// Entry bytes = key size + record kind ("cells", 5 bytes) + body size.
+std::size_t entry_bytes(const std::string& key, const std::string& body) {
+  return key.size() + 5 + body.size();
+}
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache(1 << 20);
+  const std::string key = "spec-a";
+  EXPECT_EQ(cache.find(fnv1a64(key), key), nullptr);
+  cache.insert(fnv1a64(key), key, sweep_of(",body-a", 3));
+  const CachedSweep* hit = cache.find(fnv1a64(key), key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->cells, 3u);
+  ASSERT_EQ(hit->records.size(), 1u);
+  EXPECT_EQ(hit->records[0].first, "cells");
+  EXPECT_EQ(hit->records[0].second, ",body-a");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.size_bytes(), entry_bytes(key, ",body-a"));
+}
+
+TEST(PlanCache, HashCollisionIsNotAHit) {
+  // Two different canonical strings forced into the same bucket: the
+  // byte comparison must keep them apart.
+  PlanCache cache(1 << 20);
+  cache.insert(42, "canonical-a", sweep_of(",a"));
+  EXPECT_EQ(cache.find(42, "canonical-b"), nullptr);
+  cache.insert(42, "canonical-b", sweep_of(",b"));
+  ASSERT_NE(cache.find(42, "canonical-a"), nullptr);
+  ASSERT_NE(cache.find(42, "canonical-b"), nullptr);
+  EXPECT_EQ(cache.find(42, "canonical-a")->records[0].second, ",a");
+  EXPECT_EQ(cache.find(42, "canonical-b")->records[0].second, ",b");
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(PlanCache, DuplicateInsertIsANoOp) {
+  PlanCache cache(1 << 20);
+  cache.insert(1, "key", sweep_of(",first"));
+  cache.insert(1, "key", sweep_of(",second"));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.find(1, "key")->records[0].second, ",first");
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  // Three entries of entry_bytes("k?", ",xxxx") = 2 + 5 + 5 = 12 bytes
+  // each in a 30-byte budget: the third insert must evict one.
+  PlanCache cache(30);
+  cache.insert(1, "k1", sweep_of(",xxxx"));
+  cache.insert(2, "k2", sweep_of(",xxxx"));
+  EXPECT_EQ(cache.size_bytes(), 24u);
+  // Touch k1 so k2 becomes the LRU victim.
+  ASSERT_NE(cache.find(1, "k1"), nullptr);
+  cache.insert(3, "k3", sweep_of(",xxxx"));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(1, "k1"), nullptr);
+  EXPECT_EQ(cache.find(2, "k2"), nullptr);
+  EXPECT_NE(cache.find(3, "k3"), nullptr);
+  EXPECT_LE(cache.size_bytes(), cache.budget_bytes());
+}
+
+TEST(PlanCache, OversizedEntryIsNotCached) {
+  PlanCache cache(16);
+  cache.insert(1, "small", sweep_of(",a"));
+  EXPECT_EQ(cache.entries(), 1u);
+  // 5 + 5 + 100 bytes > 16: refused outright, existing entry survives.
+  cache.insert(2, "large", sweep_of("," + std::string(99, 'x')));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_NE(cache.find(1, "small"), nullptr);
+}
+
+TEST(PlanCache, PayloadBytesSumsKindsAndBodies) {
+  CachedSweep sweep;
+  sweep.records.emplace_back("header", ",h");  // 6 + 2
+  sweep.records.emplace_back("done", ",d");    // 4 + 2
+  EXPECT_EQ(sweep.payload_bytes(), 14u);
+}
+
+}  // namespace

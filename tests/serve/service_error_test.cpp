@@ -1,0 +1,138 @@
+// serve::Service rejection paths: every malformed input yields one
+// structured "error" record — with the right stage — and the daemon
+// keeps serving afterwards.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "photecc/serve/protocol.hpp"
+#include "photecc/serve/service.hpp"
+
+namespace {
+
+namespace serve = photecc::serve;
+
+std::string respond(serve::Service& service, const std::string& line) {
+  std::ostringstream out;
+  EXPECT_TRUE(service.handle_line(line, out));  // errors never stop the loop
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// The daemon must still answer after an error: a stats request gets a
+/// stats record, not silence or another error.
+void expect_alive(serve::Service& service) {
+  const auto lines = lines_of(respond(service, serve::request_line("stats")));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"stats\",", 0), 0u);
+}
+
+TEST(ServeErrors, TruncatedLineIsAParseError) {
+  serve::Service service;
+  const auto lines =
+      lines_of(respond(service, R"({"kind":"sweep","spec":{)"));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"error\",\"stage\":\"parse\",", 0),
+            0u);
+  EXPECT_EQ(service.stats().errors, 1u);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, OversizedRequestIsRejectedUnparsed) {
+  serve::Service service({.max_request_bytes = 64});
+  const std::string huge =
+      "{\"kind\":\"sweep\",\"spec\":{\"pad\":\"" + std::string(100, 'x') +
+      "\"}}";
+  const auto lines = lines_of(respond(service, huge));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"error\",\"stage\":\"limit\",", 0),
+            0u);
+  EXPECT_NE(lines[0].find("max_request_bytes"), std::string::npos);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, UnknownRequestKind) {
+  serve::Service service;
+  const auto lines =
+      lines_of(respond(service, R"({"kind":"frobnicate"})"));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"error\",\"stage\":\"request\","
+                           "\"field\":\"kind\",",
+                           0),
+            0u);
+  EXPECT_NE(lines[0].find("frobnicate"), std::string::npos);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, EnvelopeViolations) {
+  serve::Service service;
+  // Missing spec on a sweep; stray spec on stats; unknown key; non-
+  // object line; empty id — all stage "request".
+  for (const std::string& line : {
+           std::string(R"({"kind":"sweep"})"),
+           std::string(R"({"kind":"stats","spec":{}})"),
+           std::string(R"({"kind":"stats","surprise":1})"),
+           std::string(R"(["kind","sweep"])"),
+           std::string(R"({"kind":"stats","id":""})"),
+       }) {
+    const auto lines = lines_of(respond(service, line));
+    ASSERT_EQ(lines.size(), 1u) << line;
+    EXPECT_EQ(
+        lines[0].rfind("{\"kind\":\"error\",\"stage\":\"request\",", 0), 0u)
+        << line;
+  }
+  EXPECT_EQ(service.stats().errors, 5u);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, SchemaVersionMixIsASpecError) {
+  // A v1 document carrying the v2-only environments axis: rejected at
+  // the spec stage (the envelope itself is fine), id still echoed.
+  serve::Service service;
+  const std::string line =
+      R"({"kind":"sweep","id":"mix","spec":{"photecc_spec":1,)"
+      R"("axes":{"environments":[{"kind":"constant"}]}}})";
+  const auto lines = lines_of(respond(service, line));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"error\",\"id\":\"mix\","
+                           "\"stage\":\"spec\",\"field\":\"photecc_spec\",",
+                           0),
+            0u);
+  EXPECT_NE(lines[0].find("schema version"), std::string::npos);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, UnknownSpecFieldIsASpecErrorWithItsPath) {
+  serve::Service service;
+  const auto lines = lines_of(respond(
+      service,
+      R"({"kind":"sweep","spec":{"photecc_spec":2,"warp_factor":9}})"));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("{\"kind\":\"error\",\"stage\":\"spec\","
+                           "\"field\":\"warp_factor\",",
+                           0),
+            0u);
+  expect_alive(service);
+}
+
+TEST(ServeErrors, ErrorsDoNotPoisonTheCacheOrCounters) {
+  serve::Service service;
+  (void)respond(service, R"({"kind":"sweep"})");
+  (void)respond(service, "not json at all");
+  EXPECT_EQ(service.stats().errors, 2u);
+  EXPECT_EQ(service.stats().sweeps, 0u);
+  EXPECT_EQ(service.stats().cache_misses, 0u);
+  EXPECT_EQ(service.cache().entries(), 0u);
+  EXPECT_EQ(service.stats().requests, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// spec::canonical_hash — the content fingerprint the serve cache keys
+// on.  The fig6b hash is PINNED: it changes only if the canonical
+// to_json() dump of the fig6b experiment changes, which would silently
+// invalidate every stored fingerprint, so a drift must fail a test
+// instead of passing unnoticed.
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/hash.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/spec.hpp"
+
+namespace {
+
+namespace spec = photecc::spec;
+
+/// The canonical-form fingerprint of the fig6b experiment, computed
+/// once from examples/specs/fig6b.json.  Do not update casually: a new
+/// value here means every previously stored fingerprint (serve cache
+/// keys, logged spec_hash values) silently stopped matching.
+constexpr std::uint64_t kFig6bHash = 0xdb2aee8aa4cae8cbULL;
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(CanonicalHash, Fig6bSpecFileHashIsPinned) {
+  const spec::ExperimentSpec from_file =
+      spec::from_json(read_file(PHOTECC_SOURCE_DIR "/examples/specs/fig6b.json"));
+  EXPECT_EQ(spec::canonical_hash(from_file), kFig6bHash);
+}
+
+TEST(CanonicalHash, PresetAndFileAgree) {
+  const spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  EXPECT_EQ(spec::canonical_hash(preset), kFig6bHash);
+}
+
+TEST(CanonicalHash, IsTheFnv1aOfTheCanonicalDump) {
+  const spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  EXPECT_EQ(spec::canonical_hash(preset),
+            photecc::math::fnv1a64(preset.to_json()));
+}
+
+TEST(CanonicalHash, InsensitiveToInputFormatting) {
+  // Reformatting the document (reparse of the canonical dump, which
+  // has different whitespace from the shipped file) keeps the hash.
+  const spec::ExperimentSpec from_file =
+      spec::from_json(read_file(PHOTECC_SOURCE_DIR "/examples/specs/fig6b.json"));
+  const spec::ExperimentSpec reparsed =
+      spec::from_json(from_file.to_json());
+  EXPECT_EQ(spec::canonical_hash(reparsed), kFig6bHash);
+}
+
+TEST(CanonicalHash, SensitiveToEveryField) {
+  spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  preset.ber_targets.push_back(1e-14);
+  EXPECT_NE(spec::canonical_hash(preset), kFig6bHash);
+}
+
+TEST(CanonicalHash, ThreadCountIsPartOfTheSpec) {
+  // threads IS serialized, so two specs differing only in threads hash
+  // differently — the serve layer's thread override is operational
+  // (ServiceOptions), never spec-level, precisely for this reason.
+  spec::ExperimentSpec preset =
+      spec::preset_registry().make("fig6b", "preset");
+  preset.threads = 7;
+  EXPECT_NE(spec::canonical_hash(preset), kFig6bHash);
+}
+
+}  // namespace
