@@ -25,6 +25,7 @@
 //   explore_cli --list-presets     registered preset names
 //   explore_cli --list-link-variants  registered link variants
 //   explore_cli --list-evaluators  registered cell evaluators
+//   explore_cli --list-traffic     registered traffic kinds
 //
 // Common flags: --threads N (0 = hardware), --csv FILE, --json FILE,
 // --modulation LIST (comma-separated signaling formats, e.g.
@@ -74,7 +75,7 @@ int usage(std::ostream& os, int code) {
         "                   | --config FILE [--smoke]\n"
         "                   | --preset NAME [--smoke]\n"
         "                   | --list-presets | --list-link-variants\n"
-        "                   | --list-evaluators\n"
+        "                   | --list-evaluators | --list-traffic\n"
         "                   [--threads N] [--csv FILE] [--json FILE]\n"
         "                   [--modulation ook,pam4,pam8] [--dump-spec]\n";
   return code;
@@ -88,6 +89,9 @@ int run_list(const std::string& flag) {
   else if (flag == "--list-link-variants")
     std::cout << spec::render_name_list("link variants",
                                         spec::link_registry().names());
+  else if (flag == "--list-traffic")
+    std::cout << spec::render_name_list("traffic kinds",
+                                        spec::traffic_registry().names());
   else
     std::cout << spec::render_name_list("evaluators",
                                         spec::evaluator_registry().names());
@@ -431,7 +435,7 @@ int main(int argc, char** argv) {
           arg == "--bench" || arg == "--serve") {
         options.mode = arg;
       } else if (arg == "--list-presets" || arg == "--list-link-variants" ||
-                 arg == "--list-evaluators") {
+                 arg == "--list-evaluators" || arg == "--list-traffic") {
         return run_list(arg);
       } else if (arg == "--config" && i + 1 < argc) {
         options.config_path = argv[++i];

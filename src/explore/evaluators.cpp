@@ -1,11 +1,14 @@
 #include "photecc/explore/evaluators.hpp"
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "photecc/core/channel_power.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/link/link_budget.hpp"
+#include "photecc/noc/network.hpp"
 #include "photecc/noc/simulator.hpp"
 #include "photecc/noc/traffic.hpp"
 
@@ -48,6 +51,14 @@ const std::vector<std::string>& noc_env_metric_names() {
   return names;
 }
 
+const std::vector<std::string>& network_channel_metric_names() {
+  static const std::vector<std::string> names{
+      "delivered",      "dropped",          "dropped_thermal",
+      "mean_latency_s", "p95_latency_s",    "total_energy_j",
+      "energy_per_bit_j", "recalibrations"};
+  return names;
+}
+
 CellResult evaluate_link_cell(const Scenario& scenario) {
   CellResult result;
   result.index = scenario.index;
@@ -83,17 +94,56 @@ namespace {
 std::shared_ptr<const noc::TrafficGenerator> make_generator(
     const Scenario& scenario) {
   const TrafficSpec spec = scenario.traffic.value_or(TrafficSpec{});
+  const std::size_t tiles = scenario.network ? scenario.network->tile_count
+                                             : scenario.link.oni_count;
   switch (spec.kind) {
     case TrafficSpec::Kind::kHotspot:
       return std::make_shared<noc::HotspotTraffic>(
-          scenario.link.oni_count, spec.rate_msgs_per_s, spec.payload_bits,
-          spec.hotspot, spec.hotspot_fraction);
+          tiles, spec.rate_msgs_per_s, spec.payload_bits, spec.hotspot,
+          spec.hotspot_fraction);
+    case TrafficSpec::Kind::kTrace:
+      return std::make_shared<noc::TraceTraffic>(
+          noc::TraceTraffic::from_file(spec.trace_path));
     case TrafficSpec::Kind::kUniform:
       break;
   }
   return std::make_shared<noc::UniformRandomTraffic>(
-      scenario.link.oni_count, spec.rate_msgs_per_s, spec.payload_bits,
+      tiles, spec.rate_msgs_per_s, spec.payload_bits,
       noc::TrafficClass::kBestEffort, scenario.target_ber);
+}
+
+/// Aggregate columns shared by the NoC and network evaluators, in the
+/// noc_cell_metric_names() order (+ noc_env_metric_names() when
+/// env_columns).
+void set_aggregate_metrics(CellResult& result, const noc::NocStats& stats,
+                           std::uint64_t total_payload_bits,
+                           bool env_columns) {
+  result.feasible = stats.delivered > 0;
+  result.set_metric("delivered", static_cast<double>(stats.delivered));
+  result.set_metric("dropped", static_cast<double>(stats.dropped));
+  result.set_metric("deadline_misses",
+                    static_cast<double>(stats.deadline_misses));
+  result.set_metric("mean_latency_s", stats.mean_latency_s);
+  result.set_metric("p95_latency_s", stats.p95_latency_s);
+  result.set_metric("max_latency_s", stats.max_latency_s);
+  result.set_metric("total_energy_j", stats.total_energy_j);
+  result.set_metric("laser_energy_j", stats.laser_energy_j);
+  result.set_metric("idle_laser_energy_j", stats.idle_laser_energy_j);
+  result.set_metric("energy_per_bit_j",
+                    stats.energy_per_bit_j(total_payload_bits));
+  result.set_metric("busy_time_s", stats.busy_time_s);
+  if (env_columns) {
+    // Environment-only columns: appended after the stable set so
+    // environment-free grids keep their historical export layout.
+    result.set_metric("dropped_thermal",
+                      static_cast<double>(stats.dropped_thermal));
+    result.set_metric("recalibrations",
+                      static_cast<double>(stats.recalibrations));
+    result.set_metric("recalibration_energy_j",
+                      stats.recalibration_energy_j);
+    result.set_metric("peak_activity", stats.peak_activity);
+    result.set_metric("final_activity", stats.final_activity);
+  }
 }
 
 }  // namespace
@@ -120,32 +170,87 @@ CellResult evaluate_noc_cell(const Scenario& scenario) {
   const noc::NocRunResult run =
       simulator.run(*generator, scenario.noc_horizon_s, scenario.seed);
 
-  const noc::NocStats& stats = run.stats;
-  result.feasible = stats.delivered > 0;
-  result.set_metric("delivered", static_cast<double>(stats.delivered));
-  result.set_metric("dropped", static_cast<double>(stats.dropped));
-  result.set_metric("deadline_misses",
-                    static_cast<double>(stats.deadline_misses));
-  result.set_metric("mean_latency_s", stats.mean_latency_s);
-  result.set_metric("p95_latency_s", stats.p95_latency_s);
-  result.set_metric("max_latency_s", stats.max_latency_s);
-  result.set_metric("total_energy_j", stats.total_energy_j);
-  result.set_metric("laser_energy_j", stats.laser_energy_j);
-  result.set_metric("idle_laser_energy_j", stats.idle_laser_energy_j);
-  result.set_metric("energy_per_bit_j",
-                    stats.energy_per_bit_j(run.total_payload_bits));
-  result.set_metric("busy_time_s", stats.busy_time_s);
-  if (scenario.link.environment) {
-    // Environment-only columns: appended after the stable set so
-    // environment-free grids keep their historical export layout.
-    result.set_metric("dropped_thermal",
-                      static_cast<double>(stats.dropped_thermal));
-    result.set_metric("recalibrations",
-                      static_cast<double>(stats.recalibrations));
-    result.set_metric("recalibration_energy_j",
-                      stats.recalibration_energy_j);
-    result.set_metric("peak_activity", stats.peak_activity);
-    result.set_metric("final_activity", stats.final_activity);
+  set_aggregate_metrics(result, run.stats, run.total_payload_bits,
+                        scenario.link.environment.has_value());
+  return result;
+}
+
+CellResult evaluate_network_cell(const Scenario& scenario) {
+  if (!scenario.network) return evaluate_noc_cell(scenario);
+  const NetworkSpec& net = *scenario.network;
+
+  CellResult result;
+  result.index = scenario.index;
+  result.labels = scenario.labels;
+
+  noc::NetworkConfig config;
+  config.topology.tile_count = net.tile_count;
+  config.topology.channel_count = net.channel_count;
+  if (net.mapping == "interleaved")
+    config.topology.mapping = noc::NetworkTopology::Mapping::kInterleaved;
+  else if (net.mapping == "blocked")
+    config.topology.mapping = noc::NetworkTopology::Mapping::kBlocked;
+  else
+    throw std::invalid_argument("NetworkSpec: unknown mapping '" +
+                                net.mapping +
+                                "' (expected interleaved or blocked)");
+  config.base_link = scenario.link;
+  config.system = scenario.system;
+  config.scheme_menu = scenario.code
+                           ? std::vector<ecc::BlockCodePtr>{ecc::make_code(
+                                 *scenario.code)}
+                           : ecc::paper_schemes();
+  config.default_requirements.target_ber = scenario.target_ber;
+  config.default_requirements.policy = scenario.policy;
+  config.laser_gating = scenario.laser_gating;
+
+  if (!net.channel_codes.empty() &&
+      net.channel_codes.size() != net.channel_count)
+    throw std::invalid_argument(
+        "NetworkSpec: channel_codes must name one code per channel");
+  if (!net.channel_environments.empty() &&
+      net.channel_environments.size() != net.channel_count)
+    throw std::invalid_argument(
+        "NetworkSpec: channel_environments must give one timeline per "
+        "channel");
+  if (!net.channel_codes.empty() || !net.channel_environments.empty()) {
+    config.channels.resize(net.channel_count);
+    for (std::size_t ch = 0; ch < net.channel_count; ++ch) {
+      if (!net.channel_codes.empty() && !net.channel_codes[ch].empty())
+        config.channels[ch].scheme_menu = {
+            ecc::make_code(net.channel_codes[ch])};
+      if (!net.channel_environments.empty())
+        config.channels[ch].environment = net.channel_environments[ch].second;
+    }
+  }
+
+  const bool env_columns = scenario.link.environment.has_value() ||
+                           !net.channel_environments.empty();
+
+  const noc::NetworkSimulator simulator{std::move(config)};
+  const auto generator = make_generator(scenario);
+  const noc::NetworkRunResult run =
+      simulator.run(*generator, scenario.noc_horizon_s, scenario.seed);
+
+  set_aggregate_metrics(result, run.stats.aggregate, run.total_payload_bits,
+                        env_columns);
+
+  for (std::size_t ch = 0; ch < run.stats.channels.size(); ++ch) {
+    const noc::NocStats& cs = run.stats.channels[ch];
+    const std::string prefix = "ch" + std::to_string(ch) + "_";
+    result.set_metric(prefix + "delivered",
+                      static_cast<double>(cs.delivered));
+    result.set_metric(prefix + "dropped", static_cast<double>(cs.dropped));
+    result.set_metric(prefix + "dropped_thermal",
+                      static_cast<double>(cs.dropped_thermal));
+    result.set_metric(prefix + "mean_latency_s", cs.mean_latency_s);
+    result.set_metric(prefix + "p95_latency_s", cs.p95_latency_s);
+    result.set_metric(prefix + "total_energy_j", cs.total_energy_j);
+    result.set_metric(
+        prefix + "energy_per_bit_j",
+        cs.energy_per_bit_j(run.stats.channel_payload_bits[ch]));
+    result.set_metric(prefix + "recalibrations",
+                      static_cast<double>(cs.recalibrations));
   }
   return result;
 }

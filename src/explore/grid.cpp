@@ -31,6 +31,14 @@ TrafficSpec hotspot_traffic(double rate_msgs_per_s, std::size_t hotspot,
   return spec;
 }
 
+TrafficSpec trace_traffic(std::string path) {
+  TrafficSpec spec;
+  spec.label = "trace@" + path;
+  spec.kind = TrafficSpec::Kind::kTrace;
+  spec.trace_path = std::move(path);
+  return spec;
+}
+
 ScenarioGrid& ScenarioGrid::codes(std::vector<std::string> names) {
   codes_ = std::move(names);
   return *this;
@@ -98,6 +106,11 @@ ScenarioGrid& ScenarioGrid::noc_horizon(double horizon_s) {
   return *this;
 }
 
+ScenarioGrid& ScenarioGrid::network(NetworkSpec spec) {
+  network_ = std::move(spec);
+  return *this;
+}
+
 namespace {
 
 /// Length an axis contributes to the mixed radix (1 when undeclared).
@@ -127,6 +140,7 @@ Scenario ScenarioGrid::at(std::size_t i) const {
   s.index = i;
   s.link = base_link_;
   s.system = base_system_;
+  s.network = network_;
   s.noc_horizon_s = noc_horizon_s_;
 
   // Deterministic per-cell seed: the shared splitmix64 mixer over the

@@ -36,6 +36,13 @@ namespace photecc::explore {
 /// column-stable with their pre-environment exports.
 [[nodiscard]] const std::vector<std::string>& noc_env_metric_names();
 
+/// Per-channel metrics evaluate_network_cell publishes for every
+/// channel k, as columns named "ch<k>_<metric>" (appended after the
+/// aggregate columns): delivered, dropped, dropped_thermal,
+/// mean_latency_s, p95_latency_s, total_energy_j, energy_per_bit_j,
+/// recalibrations.
+[[nodiscard]] const std::vector<std::string>& network_channel_metric_names();
+
 /// Analytic evaluation: core::evaluate_scheme on the scenario's channel.
 /// Metrics: link_cell_metric_names() — ct, p_channel_w, p_laser_w,
 /// p_mr_w, p_enc_dec_w, energy_per_bit_j, code_rate, op_laser_w, snr,
@@ -51,6 +58,15 @@ namespace photecc::explore {
 /// total_energy_j, laser_energy_j, idle_laser_energy_j,
 /// energy_per_bit_j, busy_time_s.
 [[nodiscard]] CellResult evaluate_noc_cell(const Scenario& scenario);
+
+/// Tiled-network evaluation: one NetworkSimulator::run over the
+/// scenario's NetworkSpec.  Aggregate metrics are the evaluate_noc_cell
+/// set (env columns appended when the scenario or any channel declares
+/// an environment), followed by "ch<k>_<metric>" columns per channel
+/// (network_channel_metric_names()).  Falls back to evaluate_noc_cell
+/// when the scenario has no NetworkSpec, so mixed grids stay
+/// column-compatible.
+[[nodiscard]] CellResult evaluate_network_cell(const Scenario& scenario);
 
 }  // namespace photecc::explore
 

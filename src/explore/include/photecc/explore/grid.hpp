@@ -54,6 +54,10 @@ class ScenarioGrid {
   ScenarioGrid& base_system(core::SystemConfig config);
   ScenarioGrid& base_seed(std::uint64_t seed);
   ScenarioGrid& noc_horizon(double horizon_s);
+  /// Tiled-network configuration applied to every cell (not an axis:
+  /// the topology and per-channel assignment are fixed while the
+  /// declared axes sweep).  Routes the grid to the network evaluator.
+  ScenarioGrid& network(NetworkSpec spec);
 
   // --- Axis inspection (read-only views used by the lowered-plan
   // compiler; an empty vector means the axis is undeclared and every
@@ -93,6 +97,15 @@ class ScenarioGrid {
 
   /// True when any NoC-only axis (traffic, gating, policy) is declared.
   [[nodiscard]] bool has_noc_axes() const;
+
+  /// True when a tiled-network configuration is declared.
+  [[nodiscard]] bool has_network() const noexcept {
+    return network_.has_value();
+  }
+  [[nodiscard]] const std::optional<NetworkSpec>& network_spec()
+      const noexcept {
+    return network_;
+  }
 
   /// Materialises cell `i` (mixed-radix decode of the axis indices).
   /// Throws std::out_of_range for i >= size().
@@ -148,6 +161,7 @@ class ScenarioGrid {
 
   link::MwsrParams base_link_{};
   core::SystemConfig base_system_{};
+  std::optional<NetworkSpec> network_;
   std::uint64_t base_seed_ = 0x9e3779b97f4a7c15ULL;
   double noc_horizon_s_ = 2e-6;
 };

@@ -32,7 +32,8 @@ class SweepRunner {
   [[nodiscard]] ExperimentResult run(const ScenarioGrid& grid,
                                      const Evaluator& evaluate) const;
 
-  /// Convenience: NoC grids (traffic / gating / policy axes) run
+  /// Convenience: grids with a NetworkSpec run evaluate_network_cell
+  /// per cell; NoC grids (traffic / gating / policy axes) run
   /// evaluate_noc_cell per cell; every other grid is compiled to an
   /// explore::LoweredPlan and executed on its batched hot path —
   /// byte-identical exports to the evaluate_link_cell path, with

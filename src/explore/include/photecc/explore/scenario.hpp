@@ -29,24 +29,49 @@ namespace photecc::explore {
 
 /// Traffic workload axis value for NoC scenarios.
 struct TrafficSpec {
-  enum class Kind { kUniform, kHotspot };
+  enum class Kind { kUniform, kHotspot, kTrace };
   std::string label = "uniform";
   Kind kind = Kind::kUniform;
   double rate_msgs_per_s = 2e8;     ///< aggregate injection rate
   std::uint64_t payload_bits = 4096;
-  std::size_t hotspot = 0;          ///< hot ONI (kHotspot only)
+  std::size_t hotspot = 0;          ///< hot tile (kHotspot only)
   double hotspot_fraction = 0.5;    ///< traffic share aimed at the hotspot
+  std::string trace_path;           ///< message timeline file (kTrace only)
 };
 
 /// Poisson uniform-random workload at `rate_msgs_per_s`.
 [[nodiscard]] TrafficSpec uniform_traffic(double rate_msgs_per_s,
                                           std::uint64_t payload_bits = 4096);
 
-/// Uniform workload with a fraction redirected to one hot ONI.
+/// Uniform workload with a fraction redirected to one hot tile.
 [[nodiscard]] TrafficSpec hotspot_traffic(double rate_msgs_per_s,
                                           std::size_t hotspot,
                                           double hotspot_fraction,
                                           std::uint64_t payload_bits = 4096);
+
+/// Message timeline replayed from a trace file (noc::TraceTraffic
+/// format; see traffic.hpp).  The file is read when a cell evaluates.
+[[nodiscard]] TrafficSpec trace_traffic(std::string path);
+
+/// Tiled-network configuration (see noc::NetworkSimulator): the
+/// topology plus the per-channel coding and environment assignment.  A
+/// grid with a NetworkSpec routes cells through the network evaluator;
+/// all declared axes still sweep on top of it.
+struct NetworkSpec {
+  std::size_t tile_count = 16;
+  std::size_t channel_count = 4;
+  std::string mapping = "interleaved";  ///< "interleaved" or "blocked"
+  /// Per-channel pinned codes (registry names, one per channel).  An
+  /// empty vector — or an empty string entry — leaves the channel on
+  /// the scenario's menu (single code when the code axis is set, else
+  /// the adaptive paper menu).
+  std::vector<std::string> channel_codes;
+  /// Labelled per-channel environment timelines (one per channel when
+  /// non-empty); empty inherits the scenario link's timeline
+  /// everywhere.  The labels feed exports and bench tables.
+  std::vector<std::pair<std::string, env::EnvironmentTimeline>>
+      channel_environments;
+};
 
 /// One fully-specified cell of the design space.
 struct Scenario {
@@ -59,6 +84,9 @@ struct Scenario {
   link::MwsrParams link{};
   core::SystemConfig system{};
   std::optional<TrafficSpec> traffic;  ///< set when the grid has NoC axes
+  /// Tiled-network configuration; set when the grid declares one (the
+  /// cell then evaluates on NetworkSimulator instead of NocSimulator).
+  std::optional<NetworkSpec> network;
   bool laser_gating = true;
   core::Policy policy = core::Policy::kMinEnergy;
   double noc_horizon_s = 2e-6;

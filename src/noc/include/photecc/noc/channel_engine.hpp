@@ -1,0 +1,104 @@
+// The per-channel discrete-event engine shared by NocSimulator (one
+// reader channel per ONI, homogeneous) and NetworkSimulator (K channels
+// with per-channel managers, menus and thermal timelines).
+//
+// One call simulates one MWSR channel: round-robin arbitration over
+// per-writer virtual-channel queues, laser gating/wake, closed-loop
+// thermal integration and drift-triggered recalibration, and the
+// paper's per-transfer energy model.  The engine itself holds no
+// totals — every statistic is written through one or more ChannelSinks.
+//
+// The multi-sink design is what keeps the refactor bit-identical: a
+// network run hands each channel BOTH its per-channel sink and the
+// shared aggregate sink, so the aggregate accumulates message by
+// message in channel order — the exact floating-point addition order of
+// the original single-loop simulator.  Summing per-channel subtotals
+// after the fact would regroup the additions ((a+b)+(c+d) instead of
+// ((a+b)+c)+d) and drift in the last ulp.
+#ifndef PHOTECC_NOC_CHANNEL_ENGINE_HPP
+#define PHOTECC_NOC_CHANNEL_ENGINE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "photecc/core/manager.hpp"
+#include "photecc/env/environment.hpp"
+#include "photecc/math/stats.hpp"
+#include "photecc/noc/message.hpp"
+#include "photecc/noc/simulator.hpp"
+
+namespace photecc::noc {
+
+/// Accumulation target of one channel run.  Null members are skipped,
+/// so a sink can collect only what its owner finalises (e.g. the
+/// aggregate sink of a heterogeneous network skips phase accumulators).
+struct ChannelSink {
+  NocStats* stats = nullptr;
+  /// Delivered latencies, appended in completion order; the owner sorts
+  /// and finalises mean/max/p95 after all channels ran.
+  std::vector<double>* latencies = nullptr;
+  std::map<TrafficClass, math::RunningStats>* class_latency = nullptr;
+  std::uint64_t* total_payload_bits = nullptr;
+  std::vector<DeliveredMessage>* log = nullptr;
+  /// Phase accumulators sized to the params' phase windows; only valid
+  /// when the sink's owner shares the channel's timeline.
+  std::vector<NocPhaseStats>* phase_stats = nullptr;
+  std::vector<math::RunningStats>* phase_latency = nullptr;
+};
+
+/// Static inputs of one channel run.
+struct ChannelParams {
+  /// Writer virtual-channel queues, one per message source index.  The
+  /// single-channel simulator queues per ONI; the network queues per
+  /// tile.  This is an addressing size, independent of the photonic
+  /// oni_count the link budget was solved with.
+  std::size_t queue_count = 0;
+  std::size_t wavelengths = 0;
+  double f_mod_hz = 0.0;
+  bool laser_gating = true;
+  double laser_wake_s = 0.0;
+  double arbitration_s = 0.0;
+  double flight_time_s = 0.0;
+  double horizon_s = 0.0;
+  std::size_t channel_index = 0;  ///< stamped on DeliveredMessage rows
+  bool keep_log = false;
+  /// Closed-loop environment; `timeline` must outlive the call and
+  /// `windows` must be timeline->phase_windows(horizon_s) when has_env.
+  bool has_env = false;
+  const env::EnvironmentTimeline* timeline = nullptr;
+  const std::vector<env::EnvironmentTimeline::PhaseWindow>* windows = nullptr;
+  core::RecalibrationConfig recalibration{};
+  /// Per-class requirements; classes not present use the default.
+  const std::map<TrafficClass, ClassRequirements>* class_requirements =
+      nullptr;
+  const ClassRequirements* default_requirements = nullptr;
+};
+
+/// Simulates one channel's schedule (sorted in place by creation time)
+/// and accumulates into every sink.  `baseline_feasible` classifies a
+/// drop as thermal when the request is feasible at the t = 0 baseline;
+/// it is consulted only on drops under an environment timeline, and the
+/// caller owns any caching (the single-channel simulator shares one
+/// cache across channels because they share one manager).
+void run_channel(std::vector<Message>& messages, const ChannelParams& params,
+                 const std::shared_ptr<const core::LinkManager>& manager,
+                 const std::function<bool(const core::CommunicationRequest&)>&
+                     baseline_feasible,
+                 const std::vector<ChannelSink>& sinks);
+
+/// Finalises a sink's accumulated statistics after its last channel
+/// ran: sorts `latencies` (in place) and fills mean/max/p95, per-class
+/// mean latencies, per-phase mean latencies (moving `phase_stats` into
+/// stats.phases when non-null), and the total-energy sum.
+void finalize_stats(
+    NocStats& stats, std::vector<double>& latencies,
+    const std::map<TrafficClass, math::RunningStats>& class_latency,
+    std::vector<NocPhaseStats>* phase_stats,
+    const std::vector<math::RunningStats>* phase_latency);
+
+}  // namespace photecc::noc
+
+#endif  // PHOTECC_NOC_CHANNEL_ENGINE_HPP

@@ -19,16 +19,20 @@ enum class TrafficClass : std::uint8_t {
 
 [[nodiscard]] std::string to_string(TrafficClass cls);
 
-/// One end-to-end transfer request.
+/// One end-to-end transfer request.  Sources and destinations are tile
+/// indices; the single-channel simulator identifies tile == ONI, the
+/// tiled network routes to the destination tile's home channel.
 struct Message {
   std::uint64_t id = 0;
-  std::size_t source = 0;       ///< writer ONI
-  std::size_t destination = 0;  ///< reader ONI (channel owner)
+  std::size_t source = 0;       ///< writer tile
+  std::size_t destination = 0;  ///< reader tile (its channel delivers)
   std::uint64_t payload_bits = 0;
   double creation_time_s = 0.0;
   TrafficClass traffic_class = TrafficClass::kBestEffort;
   /// Absolute deadline [s]; empty for no deadline.
   std::optional<double> deadline_s;
+
+  [[nodiscard]] bool operator==(const Message&) const = default;
 };
 
 }  // namespace photecc::noc

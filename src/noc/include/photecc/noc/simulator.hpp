@@ -61,6 +61,10 @@ struct NocConfig {
 /// Outcome of one delivered message.
 struct DeliveredMessage {
   Message message;
+  /// Index of the channel that delivered it: the destination ONI in the
+  /// single-channel simulator, the shared network channel in a tiled
+  /// network run.
+  std::size_t channel = 0;
   double start_time_s = 0.0;       ///< transmission start (after grant)
   double completion_time_s = 0.0;
   double latency_s = 0.0;          ///< completion - creation
@@ -85,6 +89,8 @@ struct NocPhaseStats {
   std::uint64_t dropped = 0;
   std::uint64_t deadline_misses = 0;
   double mean_latency_s = 0.0;
+
+  [[nodiscard]] bool operator==(const NocPhaseStats&) const = default;
 };
 
 /// Aggregate statistics of one run.
@@ -132,6 +138,10 @@ struct NocStats {
     return payload_bits ? total_energy_j / static_cast<double>(payload_bits)
                         : 0.0;
   }
+
+  /// Exact (bitwise on doubles) equality — the back-compat contract of
+  /// the network refactor is pinned with this.
+  [[nodiscard]] bool operator==(const NocStats&) const = default;
 };
 
 /// Result of a run: stats plus (optionally) the per-message log.

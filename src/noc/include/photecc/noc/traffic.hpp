@@ -1,11 +1,18 @@
-// Synthetic traffic generation for the ONoC simulator: uniform random,
-// hotspot, periodic streaming and phase-based application traces — the
-// workloads the paper's introduction motivates (real-time + multimedia
-// mixes on a many-core).
+// Traffic generation for the ONoC simulators: uniform random, hotspot,
+// periodic streaming, phase-based application traces and file-driven
+// message timelines — the workloads the paper's introduction motivates
+// (real-time + multimedia mixes on a many-core).
+//
+// Generators address tiles: message sources and destinations are tile
+// indices.  The single-channel NocSimulator identifies tile == ONI (one
+// reader channel per tile); NetworkSimulator routes each message to the
+// destination tile's home channel (see network.hpp).
 #ifndef PHOTECC_NOC_TRAFFIC_HPP
 #define PHOTECC_NOC_TRAFFIC_HPP
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "photecc/math/rng.hpp"
@@ -34,11 +41,11 @@ class TrafficGenerator {
       double horizon_s, std::uint64_t seed) const = 0;
 };
 
-/// Poisson arrivals, uniformly random source/destination pairs.
+/// Poisson arrivals, uniformly random source/destination tile pairs.
 class UniformRandomTraffic final : public TrafficGenerator {
  public:
   /// `rate_msgs_per_s`: aggregate injection rate over the whole NoC.
-  UniformRandomTraffic(std::size_t oni_count, double rate_msgs_per_s,
+  UniformRandomTraffic(std::size_t tile_count, double rate_msgs_per_s,
                        std::uint64_t payload_bits,
                        TrafficClass cls = TrafficClass::kBestEffort,
                        double target_ber = 1e-9);
@@ -50,18 +57,18 @@ class UniformRandomTraffic final : public TrafficGenerator {
   [[nodiscard]] double target_ber() const noexcept { return target_ber_; }
 
  private:
-  std::size_t oni_count_;
+  std::size_t tile_count_;
   double rate_;
   std::uint64_t payload_bits_;
   TrafficClass class_;
   double target_ber_;
 };
 
-/// Like uniform, but a fraction of the traffic targets one hot ONI
+/// Like uniform, but a fraction of the traffic targets one hot tile
 /// (e.g. a memory controller).
 class HotspotTraffic final : public TrafficGenerator {
  public:
-  HotspotTraffic(std::size_t oni_count, double rate_msgs_per_s,
+  HotspotTraffic(std::size_t tile_count, double rate_msgs_per_s,
                  std::uint64_t payload_bits, std::size_t hotspot,
                  double hotspot_fraction);
 
@@ -70,7 +77,7 @@ class HotspotTraffic final : public TrafficGenerator {
       double horizon_s, std::uint64_t seed) const override;
 
  private:
-  std::size_t oni_count_;
+  std::size_t tile_count_;
   double rate_;
   std::uint64_t payload_bits_;
   std::size_t hotspot_;
@@ -119,6 +126,50 @@ class PhaseTraceTraffic final : public TrafficGenerator {
 
  private:
   std::vector<Phase> phases_;
+};
+
+/// Message timeline read from a trace file — replayed measurements or
+/// externally generated workloads.
+///
+/// Trace format (one message per line, whitespace-separated):
+///
+///     # comment — '#' lines and blank lines are ignored
+///     <time_s> <source> <destination> <payload_bits> [class] [deadline_s]
+///
+/// where `time_s` is the creation time in seconds (>= 0, any order —
+/// the trace is sorted on load), `source`/`destination` are tile
+/// indices (self-loops rejected), `payload_bits` > 0, `class` is one of
+/// `rt`/`real-time`, `mm`/`multimedia`, `be`/`best-effort` (default
+/// `be`), and `deadline_s` is an optional absolute deadline.  A
+/// deadline requires the class column.  See examples/traces/ for a
+/// sample.
+class TraceTraffic final : public TrafficGenerator {
+ public:
+  /// Parses the trace format from `in`; `origin` names the source in
+  /// parse errors (std::invalid_argument, with a line number).
+  [[nodiscard]] static TraceTraffic parse(std::istream& in,
+                                          const std::string& origin = "trace");
+
+  /// Reads and parses `path`; std::runtime_error when unreadable.
+  [[nodiscard]] static TraceTraffic from_file(const std::string& path);
+
+  /// Adopts an in-memory timeline (sorted on construction, ids
+  /// renumbered in time order).
+  explicit TraceTraffic(std::vector<Message> messages);
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+  /// The messages with creation_time_s < horizon_s.  Deterministic:
+  /// `seed` is unused, replays are bit-identical.
+  [[nodiscard]] std::vector<Message> generate(
+      double horizon_s, std::uint64_t seed) const override;
+
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept {
+    return messages_;
+  }
+
+ private:
+  std::vector<Message> messages_;  ///< sorted by creation time
 };
 
 /// Merges the schedules of several generators.

@@ -1,13 +1,12 @@
 #include "photecc/noc/simulator.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
 #include <stdexcept>
 #include <utility>
 
 #include "photecc/ecc/registry.hpp"
 #include "photecc/math/stats.hpp"
+#include "photecc/noc/channel_engine.hpp"
 
 namespace photecc::noc {
 
@@ -97,221 +96,44 @@ NocRunResult NocSimulator::run(std::vector<Message> schedule,
     return feasible;
   };
 
+  // Every reader channel runs through the shared channel engine with
+  // one sink: this simulator's aggregate.  Channels run in ONI order,
+  // so the aggregate accumulates message by message exactly as the
+  // original single-loop implementation did.
+  ChannelParams params;
+  params.queue_count = config_.oni_count;
+  params.wavelengths = nw;
+  params.f_mod_hz = f_mod;
+  params.laser_gating = config_.laser_gating;
+  params.laser_wake_s = config_.laser_wake_s;
+  params.arbitration_s = config_.arbitration_s;
+  params.flight_time_s = config_.flight_time_s;
+  params.horizon_s = horizon_s;
+  params.keep_log = keep_log;
+  params.has_env = has_env;
+  params.timeline = &timeline;
+  params.windows = &windows;
+  params.recalibration = recal_config;
+  params.class_requirements = &config_.class_requirements;
+  params.default_requirements = &config_.default_requirements;
+
+  ChannelSink sink;
+  sink.stats = &result.stats;
+  sink.latencies = &latencies;
+  sink.class_latency = &class_latency;
+  sink.total_payload_bits = &result.total_payload_bits;
+  sink.log = keep_log ? &result.log : nullptr;
+  sink.phase_stats = has_env ? &phase_stats : nullptr;
+  sink.phase_latency = has_env ? &phase_latency : nullptr;
+
   for (std::size_t ch = 0; ch < config_.oni_count; ++ch) {
-    auto& messages = per_channel[ch];
-    std::stable_sort(messages.begin(), messages.end(),
-                     [](const Message& a, const Message& b) {
-                       return a.creation_time_s < b.creation_time_s;
-                     });
-    // Round-robin arbitration among the writers of this channel.
-    std::vector<std::deque<Message>> queues(config_.oni_count);
-    std::size_t arrival_index = 0;
-    std::size_t rr_next = 0;
-    double now = 0.0;
-    double last_idle_power_w = 0.0;  // laser power of the last config
-    double last_busy_end = 0.0;
-
-    // Closed loop state: the environment integrator (fed with measured
-    // busy fractions) and the recalibrating manager wrapping the
-    // static solver with drift hysteresis.
-    env::ThermalIntegrator integrator{timeline};
-    core::RecalibratingManager recal{manager_, recal_config};
-    double last_advance_t = 0.0;
-    double busy_since_advance = 0.0;
-    // Grant times are monotone per channel, so the phase lookup is an
-    // advancing cursor — O(1) amortised even for cyclic schedules with
-    // many repeated windows.  Events past the horizon (drain) stay in
-    // the tail window.
-    std::size_t phase_cursor = 0;
-    const auto phase_of = [&](double t) {
-      while (phase_cursor + 1 < windows.size() &&
-             t >= windows[phase_cursor + 1].start_s)
-        ++phase_cursor;
-      return phase_cursor;
-    };
-
-    const auto pending_count = [&] {
-      std::size_t count = 0;
-      for (const auto& q : queues) count += q.size();
-      return count;
-    };
-
-    while (arrival_index < messages.size() || pending_count() > 0) {
-      // Admit every arrival up to `now`; if the channel is idle with no
-      // pending work, fast-forward to the next arrival.
-      if (pending_count() == 0 &&
-          messages[arrival_index].creation_time_s > now) {
-        now = messages[arrival_index].creation_time_s;
-      }
-      while (arrival_index < messages.size() &&
-             messages[arrival_index].creation_time_s <= now + 1e-15) {
-        const Message& m = messages[arrival_index];
-        queues[m.source].push_back(m);
-        ++arrival_index;
-      }
-      if (pending_count() == 0) continue;
-
-      // Round-robin grant.
-      std::size_t granted = rr_next;
-      for (std::size_t step = 0; step < config_.oni_count; ++step) {
-        const std::size_t candidate = (rr_next + step) % config_.oni_count;
-        if (!queues[candidate].empty()) {
-          granted = candidate;
-          break;
-        }
-      }
-      rr_next = (granted + 1) % config_.oni_count;
-      Message msg = queues[granted].front();
-      queues[granted].pop_front();
-
-      const double grant_time = std::max(now, msg.creation_time_s);
-
-      // Advance the environment to the grant, feeding back the busy
-      // fraction observed since the previous advance (the self-heating
-      // loop; declarative timelines just sample).
-      env::EnvironmentSample sample = integrator.current();
-      if (has_env) {
-        const double dt = grant_time - last_advance_t;
-        const double busy_fraction =
-            dt > 0.0 ? std::min(1.0, busy_since_advance / dt) : 0.0;
-        sample = integrator.advance_to(grant_time, busy_fraction);
-        if (dt > 0.0) {
-          last_advance_t = grant_time;
-          busy_since_advance = 0.0;
-        }
-        result.stats.peak_activity =
-            std::max(result.stats.peak_activity, sample.activity);
-      }
-
-      const ClassRequirements& req = requirements_for(msg.traffic_class);
-      core::CommunicationRequest request;
-      request.target_ber = req.target_ber;
-      request.policy = req.policy;
-      request.max_ct = req.max_ct;
-      request.max_channel_power_w = req.max_channel_power_w;
-      const auto outcome = recal.configure(request, sample);
-      if (!outcome.configuration) {
-        ++result.stats.dropped;
-        if (has_env) {
-          const std::size_t phase = phase_of(grant_time);
-          ++phase_stats[phase].dropped;
-          if (baseline_feasible(request)) ++result.stats.dropped_thermal;
-        }
-        continue;
-      }
-      const core::SchemeMetrics& metrics = outcome.configuration->metrics;
-
-      const bool was_idle = grant_time > last_busy_end + 1e-15;
-      const double wake =
-          (config_.laser_gating && was_idle) ? config_.laser_wake_s : 0.0;
-      const double recal_latency =
-          outcome.recalibrated ? recal_config.recalibration_latency_s : 0.0;
-      // Payload is striped over the NW wavelengths; parity stretches the
-      // serialisation by CT = n/k.
-      const double bits_per_lambda = std::ceil(
-          static_cast<double>(msg.payload_bits) / static_cast<double>(nw));
-      const double serialize_s = bits_per_lambda * metrics.ct / f_mod;
-      const double start =
-          grant_time + config_.arbitration_s + wake + recal_latency;
-      const double end = start + serialize_s + config_.flight_time_s;
-
-      // Energy for this transfer.
-      const double laser_j =
-          metrics.p_laser_w * static_cast<double>(nw) * (serialize_s + wake);
-      const double mr_j =
-          metrics.p_mr_w * static_cast<double>(nw) * serialize_s;
-      const double codec_j =
-          metrics.p_enc_dec_w * static_cast<double>(nw) * serialize_s;
-      result.stats.laser_energy_j += laser_j;
-      result.stats.mr_energy_j += mr_j;
-      result.stats.codec_energy_j += codec_j;
-
-      // Idle laser burn between transfers when gating is off.
-      if (!config_.laser_gating && was_idle && last_idle_power_w > 0.0) {
-        result.stats.idle_laser_energy_j +=
-            last_idle_power_w * static_cast<double>(nw) *
-            (grant_time - last_busy_end);
-      }
-      last_idle_power_w = metrics.p_laser_w;
-      last_busy_end = end;
-      now = end;
-      result.stats.busy_time_s += end - grant_time;
-      busy_since_advance += end - grant_time;
-
-      const double latency = end - msg.creation_time_s;
-      latencies.push_back(latency);
-      class_latency[msg.traffic_class].add(latency);
-      ++result.stats.delivered;
-      result.total_payload_bits += msg.payload_bits;
-      const bool missed = msg.deadline_s && end > *msg.deadline_s;
-      if (missed) ++result.stats.deadline_misses;
-      ++result.stats.scheme_usage[metrics.scheme];
-      if (has_env) {
-        const std::size_t phase = phase_of(grant_time);
-        ++phase_stats[phase].delivered;
-        if (missed) ++phase_stats[phase].deadline_misses;
-        phase_latency[phase].add(latency);
-      }
-
-      if (keep_log) {
-        DeliveredMessage d;
-        d.message = msg;
-        d.start_time_s = start;
-        d.completion_time_s = end;
-        d.latency_s = latency;
-        d.scheme = metrics.scheme;
-        d.energy_j = laser_j + mr_j + codec_j;
-        d.deadline_missed = missed;
-        d.activity = sample.activity;
-        d.recalibrated = outcome.recalibrated;
-        result.log.push_back(std::move(d));
-      }
-    }
-    // Tail idle burn up to the horizon when gating is off.
-    if (!config_.laser_gating && last_idle_power_w > 0.0 &&
-        horizon_s > last_busy_end) {
-      result.stats.idle_laser_energy_j +=
-          last_idle_power_w * static_cast<double>(nw) *
-          (horizon_s - last_busy_end);
-    }
-    if (has_env) {
-      // Coast the integrator to the horizon (idle from the last event)
-      // and report the hottest channel's view.
-      const double dt = horizon_s - last_advance_t;
-      const double busy_fraction =
-          dt > 0.0 ? std::min(1.0, busy_since_advance / dt) : 0.0;
-      const env::EnvironmentSample final_sample =
-          integrator.advance_to(horizon_s, busy_fraction);
-      result.stats.peak_activity =
-          std::max(result.stats.peak_activity, final_sample.activity);
-      result.stats.final_activity =
-          std::max(result.stats.final_activity, final_sample.activity);
-      result.stats.recalibrations += recal.stats().recalibrations;
-      result.stats.recalibration_energy_j += recal.stats().energy_j;
-      result.stats.recalibration_latency_s += recal.stats().latency_s;
-    }
+    params.channel_index = ch;
+    run_channel(per_channel[ch], params, manager_, baseline_feasible, {sink});
   }
 
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    double sum = 0.0;
-    for (const double l : latencies) sum += l;
-    result.stats.mean_latency_s = sum / static_cast<double>(latencies.size());
-    result.stats.max_latency_s = latencies.back();
-    result.stats.p95_latency_s =
-        latencies[math::nearest_rank_index(latencies.size(), 0.95)];
-  }
-  for (const auto& [cls, stats] : class_latency)
-    result.stats.class_mean_latency_s[cls] = stats.mean();
-  if (has_env) {
-    for (std::size_t i = 0; i < phase_stats.size(); ++i)
-      phase_stats[i].mean_latency_s = phase_latency[i].mean();
-    result.stats.phases = std::move(phase_stats);
-  }
-  result.stats.total_energy_j =
-      result.stats.laser_energy_j + result.stats.mr_energy_j +
-      result.stats.codec_energy_j + result.stats.idle_laser_energy_j +
-      result.stats.recalibration_energy_j;
+  finalize_stats(result.stats, latencies, class_latency,
+                 has_env ? &phase_stats : nullptr,
+                 has_env ? &phase_latency : nullptr);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 namespace photecc::noc {
@@ -36,18 +38,18 @@ std::string to_string(TrafficClass cls) { return class_name(cls); }
 // UniformRandomTraffic
 // ---------------------------------------------------------------------
 
-UniformRandomTraffic::UniformRandomTraffic(std::size_t oni_count,
+UniformRandomTraffic::UniformRandomTraffic(std::size_t tile_count,
                                            double rate_msgs_per_s,
                                            std::uint64_t payload_bits,
                                            TrafficClass cls,
                                            double target_ber)
-    : oni_count_(oni_count),
+    : tile_count_(tile_count),
       rate_(rate_msgs_per_s),
       payload_bits_(payload_bits),
       class_(cls),
       target_ber_(target_ber) {
-  if (oni_count < 2)
-    throw std::invalid_argument("UniformRandomTraffic: need >= 2 ONIs");
+  if (tile_count < 2)
+    throw std::invalid_argument("UniformRandomTraffic: need >= 2 tiles");
   if (rate_msgs_per_s <= 0.0 || payload_bits == 0)
     throw std::invalid_argument("UniformRandomTraffic: bad rate/payload");
 }
@@ -62,9 +64,9 @@ std::vector<Message> UniformRandomTraffic::generate(
     Message m;
     m.id = id++;
     m.creation_time_s = t;
-    m.source = rng.bounded(oni_count_);
+    m.source = rng.bounded(tile_count_);
     do {
-      m.destination = rng.bounded(oni_count_);
+      m.destination = rng.bounded(tile_count_);
     } while (m.destination == m.source);
     m.payload_bits = payload_bits_;
     m.traffic_class = class_;
@@ -78,17 +80,17 @@ std::vector<Message> UniformRandomTraffic::generate(
 // HotspotTraffic
 // ---------------------------------------------------------------------
 
-HotspotTraffic::HotspotTraffic(std::size_t oni_count, double rate_msgs_per_s,
+HotspotTraffic::HotspotTraffic(std::size_t tile_count, double rate_msgs_per_s,
                                std::uint64_t payload_bits,
                                std::size_t hotspot, double hotspot_fraction)
-    : oni_count_(oni_count),
+    : tile_count_(tile_count),
       rate_(rate_msgs_per_s),
       payload_bits_(payload_bits),
       hotspot_(hotspot),
       hotspot_fraction_(hotspot_fraction) {
-  if (oni_count < 2)
-    throw std::invalid_argument("HotspotTraffic: need >= 2 ONIs");
-  if (hotspot >= oni_count)
+  if (tile_count < 2)
+    throw std::invalid_argument("HotspotTraffic: need >= 2 tiles");
+  if (hotspot >= tile_count)
     throw std::invalid_argument("HotspotTraffic: hotspot out of range");
   if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0)
     throw std::invalid_argument("HotspotTraffic: fraction outside [0, 1]");
@@ -109,12 +111,12 @@ std::vector<Message> HotspotTraffic::generate(double horizon_s,
     if (rng.bernoulli(hotspot_fraction_)) {
       m.destination = hotspot_;
       do {
-        m.source = rng.bounded(oni_count_);
+        m.source = rng.bounded(tile_count_);
       } while (m.source == hotspot_);
     } else {
-      m.source = rng.bounded(oni_count_);
+      m.source = rng.bounded(tile_count_);
       do {
-        m.destination = rng.bounded(oni_count_);
+        m.destination = rng.bounded(tile_count_);
       } while (m.destination == m.source);
     }
     m.payload_bits = payload_bits_;
@@ -211,6 +213,85 @@ std::vector<Message> PhaseTraceTraffic::generate(double horizon_s,
   sort_by_time(out);
   // Re-number to keep ids unique after merging.
   for (std::size_t i = 0; i < out.size(); ++i) out[i].id = i;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// TraceTraffic
+// ---------------------------------------------------------------------
+
+namespace {
+
+TrafficClass parse_class(const std::string& token, const std::string& origin,
+                         std::size_t line) {
+  if (token == "rt" || token == "real-time") return TrafficClass::kRealTime;
+  if (token == "mm" || token == "multimedia") return TrafficClass::kMultimedia;
+  if (token == "be" || token == "best-effort") return TrafficClass::kBestEffort;
+  throw std::invalid_argument("TraceTraffic: " + origin + ":" +
+                              std::to_string(line) + ": unknown class '" +
+                              token + "'");
+}
+
+}  // namespace
+
+TraceTraffic TraceTraffic::parse(std::istream& in, const std::string& origin) {
+  std::vector<Message> messages;
+  std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&](const std::string& what) -> std::invalid_argument {
+    return std::invalid_argument("TraceTraffic: " + origin + ":" +
+                                 std::to_string(line_number) + ": " + what);
+  };
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream fields(line);
+    double time_s = 0.0;
+    if (!(fields >> time_s)) continue;  // blank / comment-only line
+    Message m;
+    m.creation_time_s = time_s;
+    std::uint64_t payload = 0;
+    if (!(fields >> m.source >> m.destination >> payload))
+      throw fail("expected <time_s> <source> <destination> <payload_bits>");
+    m.payload_bits = payload;
+    if (time_s < 0.0) throw fail("negative time");
+    if (m.source == m.destination) throw fail("self loop message");
+    if (payload == 0) throw fail("zero payload");
+    std::string cls;
+    if (fields >> cls) {
+      m.traffic_class = parse_class(cls, origin, line_number);
+      double deadline_s = 0.0;
+      if (fields >> deadline_s) m.deadline_s = deadline_s;
+    }
+    std::string extra;
+    if (fields >> extra) throw fail("trailing field '" + extra + "'");
+    messages.push_back(m);
+  }
+  return TraceTraffic(std::move(messages));
+}
+
+TraceTraffic TraceTraffic::from_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good())
+    throw std::runtime_error("TraceTraffic: cannot read " + path);
+  return parse(file, path);
+}
+
+TraceTraffic::TraceTraffic(std::vector<Message> messages)
+    : messages_(std::move(messages)) {
+  sort_by_time(messages_);
+  for (std::size_t i = 0; i < messages_.size(); ++i) messages_[i].id = i;
+}
+
+std::vector<Message> TraceTraffic::generate(double horizon_s,
+                                            std::uint64_t seed) const {
+  (void)seed;  // a recorded timeline replays deterministically
+  std::vector<Message> out;
+  for (const Message& m : messages_) {
+    if (m.creation_time_s >= horizon_s) break;  // sorted: nothing later fits
+    out.push_back(m);
+  }
   return out;
 }
 

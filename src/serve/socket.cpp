@@ -27,7 +27,10 @@ class FdStreamBuf : public std::streambuf {
 
  protected:
   int_type underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    ssize_t n;
+    do {
+      n = ::read(fd_, in_, sizeof(in_));
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return traits_type::eof();
     setg(in_, in_, in_ + n);
     return traits_type::to_int_type(in_[0]);
@@ -50,6 +53,7 @@ class FdStreamBuf : public std::streambuf {
     std::size_t remaining = static_cast<std::size_t>(pptr() - pbase());
     while (remaining > 0) {
       const ssize_t n = ::write(fd_, data, remaining);
+      if (n < 0 && errno == EINTR) continue;  // retry interrupted writes
       if (n <= 0) return false;
       data += n;
       remaining -= static_cast<std::size_t>(n);
@@ -101,6 +105,7 @@ bool serve_unix_socket(Service& service, const SocketOptions& options,
   while (!shutdown_seen) {
     const int client = ::accept(listener, nullptr, nullptr);
     if (client < 0) {
+      if (errno == EINTR) continue;  // signal during accept, not an error
       error = errno_message("accept");
       break;
     }

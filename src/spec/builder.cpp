@@ -83,6 +83,19 @@ SpecBuilder& SpecBuilder::hotspot_traffic(double rate_msgs_per_s,
   return *this;
 }
 
+SpecBuilder& SpecBuilder::trace_traffic(std::string path) {
+  TrafficEntry entry;
+  entry.kind = "trace";
+  entry.trace_path = std::move(path);
+  spec_.traffic.push_back(std::move(entry));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::network(NetworkEntry entry) {
+  spec_.network = std::move(entry);
+  return *this;
+}
+
 SpecBuilder& SpecBuilder::laser_gating(std::vector<bool> values) {
   spec_.laser_gating = std::move(values);
   return *this;

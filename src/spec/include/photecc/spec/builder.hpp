@@ -39,6 +39,10 @@ class SpecBuilder {
   SpecBuilder& seed(std::uint64_t value);
   SpecBuilder& noc_horizon(double horizon_s);
 
+  /// Tiled-network section (schema v3).  Routes the grid to the
+  /// network evaluator; every declared axis sweeps on top of it.
+  SpecBuilder& network(NetworkEntry entry);
+
   // --- Axes (empty vector = leave the axis undeclared). ---
   SpecBuilder& codes(std::vector<std::string> names);
   SpecBuilder& ber_targets(std::vector<double> bers);
@@ -52,6 +56,9 @@ class SpecBuilder {
   SpecBuilder& hotspot_traffic(double rate_msgs_per_s, std::size_t hotspot,
                                double hotspot_fraction,
                                std::uint64_t payload_bits = 4096);
+  /// Appends one trace-traffic axis value (schema v3): replays the
+  /// noc::TraceTraffic file at `path`.
+  SpecBuilder& trace_traffic(std::string path);
   SpecBuilder& laser_gating(std::vector<bool> values);
   SpecBuilder& policies(std::vector<std::string> names);
   SpecBuilder& modulations(std::vector<std::string> names);

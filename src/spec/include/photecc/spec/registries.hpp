@@ -96,12 +96,14 @@ using TrafficLowering =
 [[nodiscard]] Registry<link::MwsrParams>& link_registry();
 
 /// Named cell evaluators.  Built-ins: "link" (analytic), "noc"
-/// (dynamic simulation).  The spec value "auto" is not an entry — it
-/// defers to SweepRunner's axis-based choice.
+/// (dynamic simulation), "network" (tiled multi-channel simulation).
+/// The spec value "auto" is not an entry — it defers to SweepRunner's
+/// section/axis-based choice.
 [[nodiscard]] Registry<explore::SweepRunner::Evaluator>&
 evaluator_registry();
 
-/// Traffic kinds.  Built-ins: "uniform", "hotspot".
+/// Traffic kinds.  Built-ins: "uniform", "hotspot", "trace" (schema
+/// v3: replays a noc::TraceTraffic message file).
 [[nodiscard]] Registry<TrafficLowering>& traffic_registry();
 
 /// Lowers one EnvironmentEntry to an env timeline.  The lowering also
@@ -121,7 +123,8 @@ using EnvironmentLowering =
 [[nodiscard]] Registry<math::Modulation>& modulation_registry();
 
 /// Whole-experiment presets (the grids the CLI and benches ship):
-/// "fig6b", "noc", "modulation", "modulation-smoke", "thermal".
+/// "fig6b", "noc", "modulation", "modulation-smoke", "thermal",
+/// "network" (tiled multi-channel sweep, schema v3).
 [[nodiscard]] Registry<ExperimentSpec>& preset_registry();
 
 }  // namespace photecc::spec

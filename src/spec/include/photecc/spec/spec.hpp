@@ -17,20 +17,29 @@
 // all SpecError/ParseError with a field path — never a partial spec).
 // Hence `spec -> to_json -> from_json -> to_json` is byte-identical.
 //
-// Schema versioning: the document carries `"photecc_spec": 2`.  The
+// Schema versioning: the document carries `"photecc_spec": <N>`.  The
 // version is bumped only when a field changes meaning or is removed;
 // adding optional fields keeps the version.  A reader rejects versions
-// it does not know.  Version history:
+// it does not know.  Writers emit the *smallest* version that can
+// express the spec (a spec without v3 features serialises exactly as
+// it did under v2, so existing documents and canonical hashes stay
+// byte-stable).  Version history:
 //   1 — the original schema (still accepted; a v1 document parses to
 //       the same spec it always did).
 //   2 — adds the `axes.environments` block (time-varying environment
-//       timelines).  Writers emit 2; an environments block inside a v1
-//       document is rejected with a pointer at the version field.
+//       timelines).  An environments block inside a v1 document is
+//       rejected with a pointer at the version field.
+//   3 — adds the kind-discriminated top-level `network` section (tiled
+//       multi-channel topology with per-channel coding and
+//       environments) and the "trace" traffic kind (file-driven
+//       message timelines).  Either feature inside a v1/v2 document is
+//       rejected with a pointer at the version field.
 #ifndef PHOTECC_SPEC_SPEC_HPP
 #define PHOTECC_SPEC_SPEC_HPP
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,9 +48,10 @@
 
 namespace photecc::spec {
 
-/// The schema version to_json() writes.  from_json() accepts every
-/// version in [kMinSchemaVersion, kSchemaVersion].
-inline constexpr std::uint64_t kSchemaVersion = 2;
+/// The newest schema version to_json() can write (it emits the
+/// smallest version that expresses the spec).  from_json() accepts
+/// every version in [kMinSchemaVersion, kSchemaVersion].
+inline constexpr std::uint64_t kSchemaVersion = 3;
 inline constexpr std::uint64_t kMinSchemaVersion = 1;
 
 /// Default base seed — the ScenarioGrid default, restated here so a
@@ -49,12 +59,17 @@ inline constexpr std::uint64_t kMinSchemaVersion = 1;
 inline constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
 
 /// One value of the traffic axis, keyed by a traffic-registry kind.
+/// The "trace" kind (schema v3) replays a noc::TraceTraffic file and
+/// carries only `trace_path` (serialized as "path"); the rate/payload/
+/// hotspot fields belong to the generated kinds, exactly as the hotspot
+/// fields belong to "hotspot" only.
 struct TrafficEntry {
   std::string kind = "uniform";      ///< traffic_registry() key
   double rate_msgs_per_s = 2e8;      ///< aggregate injection rate
   std::uint64_t payload_bits = 4096;
-  std::size_t hotspot = 0;           ///< hot ONI ("hotspot" kind only)
+  std::size_t hotspot = 0;           ///< hot tile ("hotspot" kind only)
   double hotspot_fraction = 0.5;     ///< share aimed at the hotspot
+  std::string trace_path;            ///< message file ("trace" kind only)
 
   [[nodiscard]] bool operator==(const TrafficEntry&) const = default;
 };
@@ -95,6 +110,27 @@ struct EnvironmentEntry {
   [[nodiscard]] bool operator==(const EnvironmentEntry&) const = default;
 };
 
+/// The kind-discriminated `network` section (schema v3): a tiled
+/// multi-channel topology the whole grid evaluates on (it is a base
+/// setting, not an axis — every declared axis sweeps on top of it).
+/// The only built-in kind is "tiled" (N tiles sharing K MWSR channels,
+/// lowered to noc::NetworkSimulator).
+struct NetworkEntry {
+  std::string kind = "tiled";
+  std::size_t tile_count = 16;
+  std::size_t channel_count = 4;
+  std::string mapping = "interleaved";  ///< "interleaved" or "blocked"
+  /// Per-channel pinned codes (one name per channel; "" leaves that
+  /// channel on the grid's menu).  Empty = every channel inherits.
+  std::vector<std::string> channel_codes;
+  /// Per-channel environment timelines (one entry per channel when
+  /// non-empty; hot-spot readers vs cool edges).  Empty = every channel
+  /// inherits the base link's timeline.
+  std::vector<EnvironmentEntry> channel_environments;
+
+  [[nodiscard]] bool operator==(const NetworkEntry&) const = default;
+};
+
 /// One dimension of the Pareto extraction the experiment reports.
 struct ObjectiveEntry {
   std::string metric;
@@ -115,6 +151,10 @@ struct ExperimentSpec {
   std::string base_link = "paper";   ///< link_registry() key
   std::uint64_t seed = kDefaultSeed;
   double noc_horizon_s = 2e-6;
+
+  /// Tiled-network section (schema v3); unset = the classic
+  /// single-channel evaluation path, byte-identical to pre-v3 specs.
+  std::optional<NetworkEntry> network;
 
   // Axes (canonical grid order: code, BER, link, ONI, traffic, gating,
   // policy, modulation, environment).

@@ -50,6 +50,9 @@ Registry<explore::SweepRunner::Evaluator>& evaluator_registry() {
     r->add("noc", [] {
       return explore::SweepRunner::Evaluator{explore::evaluate_noc_cell};
     });
+    r->add("network", [] {
+      return explore::SweepRunner::Evaluator{explore::evaluate_network_cell};
+    });
     return r;
   }();
   return *registry;
@@ -69,6 +72,11 @@ Registry<TrafficLowering>& traffic_registry() {
         return explore::hotspot_traffic(entry.rate_msgs_per_s, entry.hotspot,
                                         entry.hotspot_fraction,
                                         entry.payload_bits);
+      }};
+    });
+    r->add("trace", [] {
+      return TrafficLowering{[](const TrafficEntry& entry) {
+        return explore::trace_traffic(entry.trace_path);
       }};
     });
     return r;
@@ -155,9 +163,9 @@ ExperimentSpec noc_preset() {
   spec.name = "noc";
   spec.noc_horizon_s = 1e-6;
   spec.traffic = {
-      {"uniform", 1e8, 4096, 0, 0.5},
-      {"uniform", 4e8, 4096, 0, 0.5},
-      {"hotspot", 2e8, 4096, 0, 0.5},
+      {"uniform", 1e8, 4096, 0, 0.5, ""},
+      {"uniform", 4e8, 4096, 0, 0.5, ""},
+      {"hotspot", 2e8, 4096, 0, 0.5, ""},
   };
   spec.laser_gating = {true, false};
   spec.policies = {"min-energy", "min-time"};
@@ -189,7 +197,7 @@ ExperimentSpec thermal_preset() {
   spec.noc_horizon_s = 2e-6;
   spec.codes = explore::paper_scheme_names();
   spec.ber_targets = {1e-11};
-  spec.traffic = {{"uniform", 4e8, 4096, 0, 0.5}};
+  spec.traffic = {{"uniform", 4e8, 4096, 0, 0.5, ""}};
   EnvironmentEntry constant;
   EnvironmentEntry ramp;
   ramp.kind = "ramp";
@@ -203,6 +211,35 @@ ExperimentSpec thermal_preset() {
   self_heating.busy_gain = 0.75;
   self_heating.tau_s = 4e-7;
   spec.environments = {constant, ramp, self_heating};
+  spec.objectives = {{"dropped_thermal", true}, {"energy_per_bit_j", true}};
+  return spec;
+}
+
+/// The tiled-network sweep (schema v3): 16 tiles over 4 MWSR channels
+/// where the interleaved mapping puts channels 0-1 under a thermal
+/// ramp (hot cluster) and leaves 2-3 at the paper's 25 % activity —
+/// per-code sweeps on top expose where uniform coding loses to the
+/// per-channel assignment of bench_network_pareto.
+ExperimentSpec network_preset() {
+  ExperimentSpec spec;
+  spec.name = "network";
+  spec.noc_horizon_s = 2e-6;
+  spec.ber_targets = {1e-11};
+  spec.codes = explore::paper_scheme_names();
+  spec.traffic = {{"uniform", 4e8, 4096, 0, 0.5, ""}};
+  NetworkEntry net;
+  net.tile_count = 16;
+  net.channel_count = 4;
+  EnvironmentEntry hot;
+  hot.kind = "ramp";
+  hot.start_s = 2e-7;
+  hot.end_s = 1.2e-6;
+  hot.from_activity = 0.25;
+  hot.to_activity = 1.0;
+  EnvironmentEntry cool;
+  cool.activity = 0.25;
+  net.channel_environments = {hot, hot, cool, cool};
+  spec.network = net;
   spec.objectives = {{"dropped_thermal", true}, {"energy_per_bit_j", true}};
   return spec;
 }
@@ -227,6 +264,7 @@ Registry<ExperimentSpec>& preset_registry() {
     r->add("modulation", modulation_preset);
     r->add("modulation-smoke", modulation_smoke_preset);
     r->add("thermal", thermal_preset);
+    r->add("network", network_preset);
     return r;
   }();
   return *registry;

@@ -78,6 +78,26 @@ explore::ScenarioGrid lower(const ExperimentSpec& spec) {
     }
     grid.environments(std::move(variants));
   }
+  if (spec.network) {
+    const NetworkEntry& entry = *spec.network;
+    explore::NetworkSpec net;
+    net.tile_count = entry.tile_count;
+    net.channel_count = entry.channel_count;
+    net.mapping = entry.mapping;
+    net.channel_codes = entry.channel_codes;
+    net.channel_environments.reserve(entry.channel_environments.size());
+    for (std::size_t i = 0; i < entry.channel_environments.size(); ++i) {
+      const EnvironmentLowering lowering = environment_registry().make(
+          entry.channel_environments[i].kind,
+          "network.channel_environments[" + std::to_string(i) + "].kind");
+      env::EnvironmentTimeline timeline =
+          lowering(entry.channel_environments[i]);
+      std::string label = timeline.label();
+      net.channel_environments.emplace_back(std::move(label),
+                                            std::move(timeline));
+    }
+    grid.network(std::move(net));
+  }
   return grid;
 }
 
@@ -97,7 +117,8 @@ explore::ExperimentResult run(const ExperimentSpec& spec) {
   // identical exports); named evaluators otherwise run the legacy
   // per-cell path.
   if (spec.evaluator == "auto" ||
-      (spec.evaluator == "link" && !grid.has_noc_axes()))
+      (spec.evaluator == "link" && !grid.has_noc_axes() &&
+       !grid.has_network()))
     return runner.run(grid);
   return runner.run(grid,
                     evaluator_registry().make(spec.evaluator, "evaluator"));

@@ -62,40 +62,47 @@ std::string bool_array(const std::vector<bool>& values) {
   return out + "]";
 }
 
+/// One environment entry as a single-line `{...}` object (without
+/// surrounding indentation) — shared by the environments axis and the
+/// network section's channel_environments.
+std::string environment_object(const EnvironmentEntry& e) {
+  std::string out = "{\"kind\": " + json::escape(e.kind);
+  if (e.kind == "constant") {
+    out += ", \"activity\": " + json::number(e.activity);
+  } else if (e.kind == "step") {
+    out += ", \"at_s\": " + json::number(e.at_s) +
+           ", \"from_activity\": " + json::number(e.from_activity) +
+           ", \"to_activity\": " + json::number(e.to_activity);
+  } else if (e.kind == "ramp") {
+    out += ", \"start_s\": " + json::number(e.start_s) +
+           ", \"end_s\": " + json::number(e.end_s) +
+           ", \"from_activity\": " + json::number(e.from_activity) +
+           ", \"to_activity\": " + json::number(e.to_activity);
+  } else if (e.kind == "phases") {
+    out += ", \"cyclic\": " + std::string(e.cyclic ? "true" : "false") +
+           ", \"phases\": [";
+    for (std::size_t p = 0; p < e.phases.size(); ++p) {
+      if (p) out += ", ";
+      out += "{\"duration_s\": " + json::number(e.phases[p].duration_s) +
+             ", \"activity\": " + json::number(e.phases[p].activity);
+      if (!e.phases[p].label.empty())
+        out += ", \"label\": " + json::escape(e.phases[p].label);
+      out += "}";
+    }
+    out += "]";
+  } else if (e.kind == "self-heating") {
+    out += ", \"baseline_activity\": " + json::number(e.baseline_activity) +
+           ", \"busy_gain\": " + json::number(e.busy_gain) +
+           ", \"tau_s\": " + json::number(e.tau_s);
+  }
+  return out + "}";
+}
+
 std::string environment_array(const std::vector<EnvironmentEntry>& entries) {
   std::string out = "[\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    const EnvironmentEntry& e = entries[i];
-    out += "      {\"kind\": " + json::escape(e.kind);
-    if (e.kind == "constant") {
-      out += ", \"activity\": " + json::number(e.activity);
-    } else if (e.kind == "step") {
-      out += ", \"at_s\": " + json::number(e.at_s) +
-             ", \"from_activity\": " + json::number(e.from_activity) +
-             ", \"to_activity\": " + json::number(e.to_activity);
-    } else if (e.kind == "ramp") {
-      out += ", \"start_s\": " + json::number(e.start_s) +
-             ", \"end_s\": " + json::number(e.end_s) +
-             ", \"from_activity\": " + json::number(e.from_activity) +
-             ", \"to_activity\": " + json::number(e.to_activity);
-    } else if (e.kind == "phases") {
-      out += ", \"cyclic\": " + std::string(e.cyclic ? "true" : "false") +
-             ", \"phases\": [";
-      for (std::size_t p = 0; p < e.phases.size(); ++p) {
-        if (p) out += ", ";
-        out += "{\"duration_s\": " + json::number(e.phases[p].duration_s) +
-               ", \"activity\": " + json::number(e.phases[p].activity);
-        if (!e.phases[p].label.empty())
-          out += ", \"label\": " + json::escape(e.phases[p].label);
-        out += "}";
-      }
-      out += "]";
-    } else if (e.kind == "self-heating") {
-      out += ", \"baseline_activity\": " + json::number(e.baseline_activity) +
-             ", \"busy_gain\": " + json::number(e.busy_gain) +
-             ", \"tau_s\": " + json::number(e.tau_s);
-    }
-    out += i + 1 < entries.size() ? "},\n" : "}\n";
+    out += "      " + environment_object(entries[i]);
+    out += i + 1 < entries.size() ? ",\n" : "\n";
   }
   return out + "    ]";
 }
@@ -104,23 +111,37 @@ std::string traffic_array(const std::vector<TrafficEntry>& entries) {
   std::string out = "[\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const TrafficEntry& e = entries[i];
-    out += "      {\"kind\": " + json::escape(e.kind) +
-           ", \"rate_msgs_per_s\": " + json::number(e.rate_msgs_per_s) +
-           ", \"payload_bits\": " + std::to_string(e.payload_bits);
-    if (e.kind == "hotspot") {
-      out += ", \"hotspot\": " + std::to_string(e.hotspot) +
-             ", \"hotspot_fraction\": " + json::number(e.hotspot_fraction);
+    out += "      {\"kind\": " + json::escape(e.kind);
+    if (e.kind == "trace") {
+      out += ", \"path\": " + json::escape(e.trace_path);
+    } else {
+      out += ", \"rate_msgs_per_s\": " + json::number(e.rate_msgs_per_s) +
+             ", \"payload_bits\": " + std::to_string(e.payload_bits);
+      if (e.kind == "hotspot") {
+        out += ", \"hotspot\": " + std::to_string(e.hotspot) +
+               ", \"hotspot_fraction\": " + json::number(e.hotspot_fraction);
+      }
     }
     out += i + 1 < entries.size() ? "},\n" : "}\n";
   }
   return out + "    ]";
 }
 
+/// True when the spec uses a v3 feature; to_json then writes 3, else 2
+/// (the minimal-version rule that keeps pre-v3 documents and their
+/// canonical hashes byte-stable).
+bool needs_schema_v3(const ExperimentSpec& spec) {
+  if (spec.network) return true;
+  for (const TrafficEntry& entry : spec.traffic)
+    if (entry.kind == "trace") return true;
+  return false;
+}
+
 }  // namespace
 
 std::string ExperimentSpec::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"photecc_spec\": " << kSchemaVersion;
+  os << "{\n  \"photecc_spec\": " << (needs_schema_v3(*this) ? 3 : 2);
   if (!name.empty()) os << ",\n  \"name\": " << json::escape(name);
   os << ",\n  \"evaluator\": " << json::escape(evaluator);
   os << ",\n  \"threads\": " << threads;
@@ -129,6 +150,26 @@ std::string ExperimentSpec::to_json() const {
      << "    \"seed\": " << seed << ",\n"
      << "    \"noc_horizon_s\": " << json::number(noc_horizon_s) << "\n"
      << "  }";
+
+  if (network) {
+    const NetworkEntry& n = *network;
+    os << ",\n  \"network\": {\n"
+       << "    \"kind\": " << json::escape(n.kind) << ",\n"
+       << "    \"tile_count\": " << n.tile_count << ",\n"
+       << "    \"channel_count\": " << n.channel_count << ",\n"
+       << "    \"mapping\": " << json::escape(n.mapping);
+    if (!n.channel_codes.empty())
+      os << ",\n    \"channel_codes\": " << string_array(n.channel_codes);
+    if (!n.channel_environments.empty()) {
+      os << ",\n    \"channel_environments\": [\n";
+      for (std::size_t i = 0; i < n.channel_environments.size(); ++i) {
+        os << "      " << environment_object(n.channel_environments[i]);
+        os << (i + 1 < n.channel_environments.size() ? ",\n" : "\n");
+      }
+      os << "    ]";
+    }
+    os << "\n  }";
+  }
 
   std::vector<std::string> axis_lines;
   if (!codes.empty())
@@ -269,7 +310,8 @@ std::vector<bool> parse_bool_array(const json::Value& v,
 }
 
 TrafficEntry parse_traffic_entry(const json::Value& v,
-                                 const std::string& path) {
+                                 const std::string& path,
+                                 std::uint64_t version) {
   TrafficEntry entry;
   bool saw_kind = false;
   for (const auto& [key, value] : expect_object(v, path)) {
@@ -286,18 +328,34 @@ TrafficEntry parse_traffic_entry(const json::Value& v,
           static_cast<std::size_t>(expect_uint64(value, key_path));
     } else if (key == "hotspot_fraction") {
       entry.hotspot_fraction = expect_double(value, key_path);
+    } else if (key == "path") {
+      entry.trace_path = expect_string(value, key_path);
     } else {
       unknown_key(key_path,
                   "kind, rate_msgs_per_s, payload_bits, hotspot, "
-                  "hotspot_fraction");
+                  "hotspot_fraction, path");
     }
   }
   if (!saw_kind)
-    throw SpecError(path + ".kind", "required (one of: uniform, hotspot)");
+    throw SpecError(path + ".kind",
+                    "required (one of: uniform, hotspot, trace)");
+  if (entry.kind == "trace" && version < 3)
+    throw SpecError("photecc_spec",
+                    "traffic kind 'trace' needs schema version >= 3, "
+                    "document declares " + std::to_string(version));
   if (entry.kind != "hotspot" &&
       (v.find("hotspot") != nullptr || v.find("hotspot_fraction") != nullptr))
     throw SpecError(path, "hotspot / hotspot_fraction are only valid for "
                           "kind 'hotspot', got kind '" + entry.kind + "'");
+  if (entry.kind != "trace" && v.find("path") != nullptr)
+    throw SpecError(path, "path is only valid for kind 'trace', got kind '" +
+                              entry.kind + "'");
+  if (entry.kind == "trace" &&
+      (v.find("rate_msgs_per_s") != nullptr ||
+       v.find("payload_bits") != nullptr))
+    throw SpecError(path,
+                    "rate_msgs_per_s / payload_bits are not valid for kind "
+                    "'trace' (the trace file carries the schedule)");
   return entry;
 }
 
@@ -420,8 +478,8 @@ void parse_axes(const json::Value& v, ExperimentSpec& spec,
     } else if (key == "traffic") {
       const auto& array = expect_array(value, key_path);
       for (std::size_t i = 0; i < array.size(); ++i)
-        spec.traffic.push_back(
-            parse_traffic_entry(array[i], element_path(key_path, i)));
+        spec.traffic.push_back(parse_traffic_entry(
+            array[i], element_path(key_path, i), version));
     } else if (key == "laser_gating") {
       spec.laser_gating = parse_bool_array(value, key_path);
     } else if (key == "policies") {
@@ -443,6 +501,45 @@ void parse_axes(const json::Value& v, ExperimentSpec& spec,
                   "laser_gating, policies, modulations, environments");
     }
   }
+}
+
+void parse_network(const json::Value& v, ExperimentSpec& spec,
+                   std::uint64_t version) {
+  if (version < 3)
+    throw SpecError("photecc_spec",
+                    "the network section needs schema version >= 3, "
+                    "document declares " + std::to_string(version));
+  NetworkEntry entry;
+  bool saw_kind = false;
+  for (const auto& [key, value] : expect_object(v, "network")) {
+    const std::string key_path = "network." + key;
+    if (key == "kind") {
+      entry.kind = expect_string(value, key_path);
+      saw_kind = true;
+    } else if (key == "tile_count") {
+      entry.tile_count =
+          static_cast<std::size_t>(expect_uint64(value, key_path));
+    } else if (key == "channel_count") {
+      entry.channel_count =
+          static_cast<std::size_t>(expect_uint64(value, key_path));
+    } else if (key == "mapping") {
+      entry.mapping = expect_string(value, key_path);
+    } else if (key == "channel_codes") {
+      entry.channel_codes = parse_string_array(value, key_path);
+    } else if (key == "channel_environments") {
+      const auto& array = expect_array(value, key_path);
+      for (std::size_t i = 0; i < array.size(); ++i)
+        entry.channel_environments.push_back(parse_environment_entry(
+            array[i], element_path(key_path, i)));
+    } else {
+      unknown_key(key_path,
+                  "kind, tile_count, channel_count, mapping, "
+                  "channel_codes, channel_environments");
+    }
+  }
+  if (!saw_kind)
+    throw SpecError("network.kind", "required (the only built-in: tiled)");
+  spec.network = std::move(entry);
 }
 
 void parse_objectives(const json::Value& v, ExperimentSpec& spec) {
@@ -504,14 +601,16 @@ ExperimentSpec from_json_value(const json::Value& document) {
       spec.threads = static_cast<std::size_t>(expect_uint64(value, key));
     } else if (key == "base") {
       parse_base(value, spec);
+    } else if (key == "network") {
+      parse_network(value, spec, parsed_version);
     } else if (key == "axes") {
       parse_axes(value, spec, parsed_version);
     } else if (key == "objectives") {
       parse_objectives(value, spec);
     } else {
       unknown_key(key,
-                  "photecc_spec, name, evaluator, threads, base, axes, "
-                  "objectives");
+                  "photecc_spec, name, evaluator, threads, base, network, "
+                  "axes, objectives");
     }
   }
   validate(spec);
@@ -554,9 +653,11 @@ std::size_t min_oni_count(const ExperimentSpec& spec) {
 }
 
 /// The evaluator the spec will actually use: "auto" resolves exactly
-/// like SweepRunner — the NoC evaluator when any NoC axis is declared.
+/// like SweepRunner — the network evaluator when a network section is
+/// declared, else the NoC evaluator when any NoC axis is declared.
 std::string resolved_evaluator(const ExperimentSpec& spec) {
   if (spec.evaluator != "auto") return spec.evaluator;
+  if (spec.network) return "network";
   const bool has_noc_axes = !spec.traffic.empty() ||
                             !spec.laser_gating.empty() ||
                             !spec.policies.empty();
@@ -564,14 +665,29 @@ std::string resolved_evaluator(const ExperimentSpec& spec) {
 }
 
 /// Metric names an objective may reference, given the evaluator the
-/// spec will actually use.  Custom registered evaluators are exempt
-/// (their metric sets are unknown here).
-const std::vector<std::string>* known_objective_metrics(
+/// spec will actually use — nullopt for custom registered evaluators
+/// (their metric sets are unknown here).  The simulation evaluators'
+/// vocabulary grows with the spec: the closed-loop environment columns
+/// when any timeline is declared, and the per-channel "ch<k>_<metric>"
+/// columns of a network section.
+std::optional<std::vector<std::string>> known_objective_metrics(
     const ExperimentSpec& spec) {
   const std::string evaluator = resolved_evaluator(spec);
-  if (evaluator == "link") return &explore::link_cell_metric_names();
-  if (evaluator == "noc") return &explore::noc_cell_metric_names();
-  return nullptr;
+  if (evaluator == "link") return explore::link_cell_metric_names();
+  if (evaluator != "noc" && evaluator != "network") return std::nullopt;
+  std::vector<std::string> metrics = explore::noc_cell_metric_names();
+  const bool has_environment =
+      !spec.environments.empty() ||
+      (spec.network && !spec.network->channel_environments.empty());
+  if (has_environment)
+    for (const std::string& name : explore::noc_env_metric_names())
+      metrics.push_back(name);
+  if (evaluator == "network" && spec.network) {
+    for (std::size_t ch = 0; ch < spec.network->channel_count; ++ch)
+      for (const std::string& name : explore::network_channel_metric_names())
+        metrics.push_back("ch" + std::to_string(ch) + "_" + name);
+  }
+  return metrics;
 }
 
 }  // namespace
@@ -617,10 +733,27 @@ void validate(const ExperimentSpec& spec) {
     const TrafficEntry& entry = spec.traffic[i];
     const std::string entry_path = element_path("axes.traffic", i);
     (void)traffic_registry().make(entry.kind, entry_path + ".kind");
-    check_finite_positive(entry.rate_msgs_per_s,
-                          entry_path + ".rate_msgs_per_s");
-    if (entry.payload_bits == 0)
-      throw SpecError(entry_path + ".payload_bits", "must be > 0");
+    if (entry.kind == "trace") {
+      // The trace file carries the whole schedule; every generator
+      // field must stay at its default or to_json() would silently
+      // drop it (same round-trip rule as the hotspot fields below).
+      if (entry.trace_path.empty())
+        throw SpecError(entry_path + ".path", "required for kind 'trace'");
+      if (entry.rate_msgs_per_s != TrafficEntry{}.rate_msgs_per_s ||
+          entry.payload_bits != TrafficEntry{}.payload_bits)
+        throw SpecError(entry_path,
+                        "rate_msgs_per_s / payload_bits are not valid for "
+                        "kind 'trace' (the trace file carries the schedule)");
+    } else {
+      if (!entry.trace_path.empty())
+        throw SpecError(entry_path,
+                        "path is only valid for kind 'trace', got kind '" +
+                            entry.kind + "'");
+      check_finite_positive(entry.rate_msgs_per_s,
+                            entry_path + ".rate_msgs_per_s");
+      if (entry.payload_bits == 0)
+        throw SpecError(entry_path + ".payload_bits", "must be > 0");
+    }
     if (entry.kind != "hotspot" &&
         (entry.hotspot != TrafficEntry{}.hotspot ||
          entry.hotspot_fraction != TrafficEntry{}.hotspot_fraction))
@@ -636,12 +769,16 @@ void validate(const ExperimentSpec& spec) {
         throw SpecError(entry_path + ".hotspot_fraction",
                         "value " + json::number(entry.hotspot_fraction) +
                             " outside [0, 1]");
-      if (const std::size_t min_oni = min_oni_count(spec);
-          entry.hotspot >= min_oni)
+      // Hotspot indices address tiles: the network's tile count when a
+      // network section is declared, else the smallest ONI count any
+      // cell can take.
+      if (const std::size_t tiles = spec.network ? spec.network->tile_count
+                                                 : min_oni_count(spec);
+          entry.hotspot >= tiles)
         throw SpecError(entry_path + ".hotspot",
-                        "ONI index " + std::to_string(entry.hotspot) +
-                            " out of range for the smallest ONI count " +
-                            std::to_string(min_oni) + " in this spec");
+                        "tile index " + std::to_string(entry.hotspot) +
+                            " out of range for the smallest tile count " +
+                            std::to_string(tiles) + " in this spec");
     }
   }
   for (std::size_t i = 0; i < spec.policies.size(); ++i)
@@ -675,24 +812,66 @@ void validate(const ExperimentSpec& spec) {
                           "kind 'constant' or declare a NoC axis or "
                           "evaluator");
   }
-  const std::vector<std::string>* known_metrics =
-      known_objective_metrics(spec);
-  std::vector<std::string> metrics_with_env;
-  if (known_metrics != nullptr && !spec.environments.empty() &&
-      known_metrics == &explore::noc_cell_metric_names()) {
-    // An environment axis adds the closed-loop columns to the NoC
-    // evaluator's vocabulary.
-    metrics_with_env = *known_metrics;
-    for (const std::string& name : explore::noc_env_metric_names())
-      metrics_with_env.push_back(name);
-    known_metrics = &metrics_with_env;
+  if (spec.network) {
+    const NetworkEntry& net = *spec.network;
+    if (net.kind != "tiled")
+      throw SpecError("network.kind", "unknown network kind '" + net.kind +
+                                          "' (known: tiled)");
+    if (net.tile_count < 2)
+      throw SpecError("network.tile_count",
+                      "a tiled network needs >= 2 tiles, got " +
+                          std::to_string(net.tile_count));
+    if (net.channel_count < 1 || net.channel_count > net.tile_count)
+      throw SpecError("network.channel_count",
+                      "must be in [1, tile_count], got " +
+                          std::to_string(net.channel_count));
+    if (net.mapping != "interleaved" && net.mapping != "blocked")
+      throw SpecError("network.mapping", "unknown mapping '" + net.mapping +
+                                             "' (known: interleaved, "
+                                             "blocked)");
+    if (!net.channel_codes.empty() &&
+        net.channel_codes.size() != net.channel_count)
+      throw SpecError("network.channel_codes",
+                      "must name one code per channel (" +
+                          std::to_string(net.channel_count) + "), got " +
+                          std::to_string(net.channel_codes.size()));
+    for (std::size_t i = 0; i < net.channel_codes.size(); ++i) {
+      if (net.channel_codes[i].empty()) continue;  // inherit the menu
+      try {
+        (void)ecc::make_code(net.channel_codes[i]);
+      } catch (const std::invalid_argument&) {
+        throw SpecError(element_path("network.channel_codes", i),
+                        "unknown code '" + net.channel_codes[i] + "'");
+      }
+    }
+    if (!net.channel_environments.empty() &&
+        net.channel_environments.size() != net.channel_count)
+      throw SpecError("network.channel_environments",
+                      "must give one timeline per channel (" +
+                          std::to_string(net.channel_count) + "), got " +
+                          std::to_string(net.channel_environments.size()));
+    for (std::size_t i = 0; i < net.channel_environments.size(); ++i) {
+      const EnvironmentEntry& entry = net.channel_environments[i];
+      const std::string entry_path =
+          element_path("network.channel_environments", i);
+      const EnvironmentLowering lowering =
+          environment_registry().make(entry.kind, entry_path + ".kind");
+      try {
+        (void)lowering(entry);
+      } catch (const std::invalid_argument& e) {
+        throw SpecError(entry_path, e.what());
+      }
+    }
   }
+
+  const std::optional<std::vector<std::string>> known_metrics =
+      known_objective_metrics(spec);
   for (std::size_t i = 0; i < spec.objectives.size(); ++i) {
     const std::string& metric = spec.objectives[i].metric;
     const std::string metric_path =
         element_path("objectives", i) + ".metric";
     if (metric.empty()) throw SpecError(metric_path, "must not be empty");
-    if (known_metrics != nullptr &&
+    if (known_metrics &&
         std::find(known_metrics->begin(), known_metrics->end(), metric) ==
             known_metrics->end()) {
       std::string known;

@@ -1,0 +1,125 @@
+// The tiled-network evaluator: grids with a NetworkSpec route through
+// NetworkSimulator, publish per-channel columns on top of the aggregate
+// set, stay thread-count invariant, and leave non-network grids
+// untouched.
+#include <gtest/gtest.h>
+
+#include "photecc/env/environment.hpp"
+#include "photecc/explore/evaluators.hpp"
+#include "photecc/explore/runner.hpp"
+
+namespace photecc::explore {
+namespace {
+
+NetworkSpec small_network() {
+  NetworkSpec net;
+  net.tile_count = 8;
+  net.channel_count = 2;
+  return net;
+}
+
+TEST(NetworkGrid, PublishesAggregateAndPerChannelColumns) {
+  ScenarioGrid grid;
+  grid.network(small_network())
+      .traffic_patterns({uniform_traffic(4e8)})
+      .noc_horizon(2e-6);
+  const auto result = SweepRunner{{1}}.run(grid);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& cell = result.cells[0];
+  EXPECT_TRUE(cell.feasible);
+  for (const auto& name : noc_cell_metric_names())
+    EXPECT_TRUE(cell.metric(name).has_value()) << name;
+  double delivered_sum = 0.0;
+  for (std::size_t ch = 0; ch < 2; ++ch) {
+    const std::string prefix = "ch" + std::to_string(ch) + "_";
+    for (const auto& name : network_channel_metric_names())
+      EXPECT_TRUE(cell.metric(prefix + name).has_value()) << prefix + name;
+    delivered_sum += *cell.metric(prefix + "delivered");
+  }
+  EXPECT_EQ(delivered_sum, *cell.metric("delivered"));
+}
+
+TEST(NetworkGrid, PerChannelEnvironmentsAndCodesFeedTheSimulator) {
+  NetworkSpec net;
+  net.tile_count = 4;
+  net.channel_count = 2;
+  net.channel_codes = {"H(7,4)", "w/o ECC"};
+  net.channel_environments = {
+      {"hot", env::EnvironmentTimeline::ramp(2e-6, 4e-6, 0.25, 1.0)},
+      {"cool", env::EnvironmentTimeline::constant(0.25)}};
+  ScenarioGrid grid;
+  grid.network(net)
+      .traffic_patterns({uniform_traffic(4e8)})
+      .ber_targets({1e-11})
+      .noc_horizon(6e-6);
+  const auto result = SweepRunner{{1}}.run(grid);
+  ASSERT_EQ(result.cells.size(), 1u);
+  const CellResult& cell = result.cells[0];
+  // Environment columns appear because channels declare timelines.
+  for (const auto& name : noc_env_metric_names())
+    EXPECT_TRUE(cell.metric(name).has_value()) << name;
+  // The hot channel is pinned to H(7,4), which survives the ramp.
+  EXPECT_GT(*cell.metric("ch0_delivered"), 0.0);
+}
+
+TEST(NetworkGrid, ExportsAreThreadCountInvariant) {
+  ScenarioGrid grid;
+  grid.network(small_network())
+      .traffic_patterns({uniform_traffic(2e8), hotspot_traffic(4e8, 1, 0.5)})
+      .laser_gating({true, false})
+      .noc_horizon(1e-6);
+  const auto sequential = SweepRunner{{1}}.run(grid);
+  const auto parallel = SweepRunner{{4}}.run(grid);
+  EXPECT_EQ(sequential.csv(), parallel.csv());
+  EXPECT_EQ(sequential.json(), parallel.json());
+}
+
+TEST(NetworkGrid, EvaluatorFallsBackWithoutANetworkSpec) {
+  // Without a NetworkSpec the network evaluator must be
+  // evaluate_noc_cell exactly, cell for cell.
+  ScenarioGrid grid;
+  grid.traffic_patterns({uniform_traffic(2e8)})
+      .laser_gating({true, false})
+      .noc_horizon(1e-6);
+  for (const Scenario& scenario : grid) {
+    const CellResult via_network = evaluate_network_cell(scenario);
+    const CellResult via_noc = evaluate_noc_cell(scenario);
+    EXPECT_EQ(via_network.metrics, via_noc.metrics);
+    EXPECT_EQ(via_network.feasible, via_noc.feasible);
+  }
+}
+
+TEST(NetworkGrid, TraceTrafficDrivesNetworkCells) {
+  ScenarioGrid grid;
+  grid.network(small_network())
+      .traffic_patterns({trace_traffic(PHOTECC_SOURCE_DIR
+                                       "/examples/traces/sample.trace")})
+      .noc_horizon(5e-6);
+  const auto result = SweepRunner{{1}}.run(grid);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].feasible);
+  EXPECT_GT(*result.cells[0].metric("delivered"), 0.0);
+  const auto label = result.cells[0].label("traffic");
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(label->rfind("trace@", 0), 0u);
+}
+
+TEST(NetworkGrid, RejectsMalformedNetworkSpecs) {
+  {
+    NetworkSpec net = small_network();
+    net.mapping = "torus";
+    ScenarioGrid grid;
+    grid.network(net).traffic_patterns({uniform_traffic(2e8)});
+    EXPECT_THROW((void)SweepRunner{{1}}.run(grid), std::invalid_argument);
+  }
+  {
+    NetworkSpec net = small_network();
+    net.channel_codes = {"H(7,4)"};  // one entry for two channels
+    ScenarioGrid grid;
+    grid.network(net).traffic_patterns({uniform_traffic(2e8)});
+    EXPECT_THROW((void)SweepRunner{{1}}.run(grid), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace photecc::explore

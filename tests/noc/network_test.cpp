@@ -1,0 +1,270 @@
+// The tiled photonic network: topology mapping, bit-identical
+// reduction to the single-channel simulator, per-channel statistics,
+// and heterogeneous per-channel coding/environment behaviour.
+#include "photecc/noc/network.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/registry.hpp"
+#include "photecc/noc/simulator.hpp"
+#include "photecc/noc/traffic.hpp"
+
+namespace photecc::noc {
+namespace {
+
+Message make_message(std::uint64_t id, std::size_t src, std::size_t dst,
+                     std::uint64_t bits, double t,
+                     TrafficClass cls = TrafficClass::kBestEffort) {
+  Message m;
+  m.id = id;
+  m.source = src;
+  m.destination = dst;
+  m.payload_bits = bits;
+  m.creation_time_s = t;
+  m.traffic_class = cls;
+  return m;
+}
+
+TEST(NetworkTopology, InterleavedMappingSpreadsNeighbours) {
+  NetworkTopology topo;
+  topo.tile_count = 8;
+  topo.channel_count = 4;
+  topo.mapping = NetworkTopology::Mapping::kInterleaved;
+  topo.validate();
+  EXPECT_EQ(topo.channel_of_tile(0), 0u);
+  EXPECT_EQ(topo.channel_of_tile(1), 1u);
+  EXPECT_EQ(topo.channel_of_tile(5), 1u);
+  EXPECT_EQ(topo.tiles_of_channel(2), (std::vector<std::size_t>{2, 6}));
+}
+
+TEST(NetworkTopology, BlockedMappingKeepsNeighboursTogether) {
+  NetworkTopology topo;
+  topo.tile_count = 8;
+  topo.channel_count = 4;
+  topo.mapping = NetworkTopology::Mapping::kBlocked;
+  topo.validate();
+  EXPECT_EQ(topo.channel_of_tile(0), 0u);
+  EXPECT_EQ(topo.channel_of_tile(1), 0u);
+  EXPECT_EQ(topo.channel_of_tile(7), 3u);
+  EXPECT_EQ(topo.tiles_of_channel(1), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(NetworkTopology, EveryTileBelongsToExactlyOneChannel) {
+  for (const auto mapping : {NetworkTopology::Mapping::kInterleaved,
+                             NetworkTopology::Mapping::kBlocked}) {
+    NetworkTopology topo;
+    topo.tile_count = 13;  // deliberately not divisible by K
+    topo.channel_count = 5;
+    topo.mapping = mapping;
+    topo.validate();
+    std::size_t covered = 0;
+    for (std::size_t ch = 0; ch < topo.channel_count; ++ch) {
+      for (const std::size_t tile : topo.tiles_of_channel(ch)) {
+        EXPECT_EQ(topo.channel_of_tile(tile), ch);
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, topo.tile_count);
+  }
+}
+
+TEST(NetworkTopology, RejectsUnusableGeometries) {
+  NetworkTopology topo;
+  topo.tile_count = 1;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+  topo.tile_count = 4;
+  topo.channel_count = 0;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+  topo.channel_count = 5;
+  EXPECT_THROW(topo.validate(), std::invalid_argument);
+}
+
+// The headline back-compat contract: a network with one channel per
+// tile and a uniform configuration IS the single-channel simulator —
+// same managers, same arbitration domains, same accumulation order —
+// so every statistic matches bit for bit, not approximately.
+TEST(NetworkSimulator, OneChannelPerTileReproducesNocSimulatorBitForBit) {
+  constexpr std::size_t kOnis = 8;
+  NocConfig noc_config;
+  noc_config.oni_count = kOnis;
+  const NocSimulator reference(noc_config);
+
+  NetworkConfig net_config;
+  net_config.topology.tile_count = kOnis;
+  net_config.topology.channel_count = kOnis;
+  const NetworkSimulator network(net_config);
+
+  const UniformRandomTraffic traffic(kOnis, 4e8, 4096);
+  const double horizon = 10e-6;
+  const auto schedule = traffic.generate(horizon, 42);
+
+  const NocRunResult expected = reference.run(schedule, horizon, true);
+  const NetworkRunResult actual = network.run(schedule, horizon, true);
+
+  EXPECT_TRUE(actual.stats.aggregate == expected.stats);
+  EXPECT_EQ(actual.total_payload_bits, expected.total_payload_bits);
+  ASSERT_EQ(actual.log.size(), expected.log.size());
+  for (std::size_t i = 0; i < actual.log.size(); ++i) {
+    EXPECT_EQ(actual.log[i].message.id, expected.log[i].message.id);
+    EXPECT_EQ(actual.log[i].completion_time_s,
+              expected.log[i].completion_time_s);
+    EXPECT_EQ(actual.log[i].energy_j, expected.log[i].energy_j);
+    // In the reduction a message's channel is its destination ONI.
+    EXPECT_EQ(actual.log[i].channel, actual.log[i].message.destination);
+  }
+}
+
+// Same reduction under a time-varying environment: recalibration,
+// thermal drops and phase statistics all flow through the same engine.
+TEST(NetworkSimulator, EnvironmentReductionIsBitForBitToo) {
+  constexpr std::size_t kOnis = 6;
+  const auto ramp = env::EnvironmentTimeline::ramp(2e-6, 4e-6, 0.25, 1.0);
+
+  // Uncoded-only at BER 1e-11: the ramp opens a thermal window, so the
+  // reduction also covers drops, thermal classification and
+  // recalibration accounting.
+  NocConfig noc_config;
+  noc_config.oni_count = kOnis;
+  noc_config.link_params.environment = ramp;
+  noc_config.scheme_menu = {ecc::make_code("w/o ECC")};
+  noc_config.default_requirements.target_ber = 1e-11;
+  const NocSimulator reference(noc_config);
+
+  NetworkConfig net_config;
+  net_config.topology.tile_count = kOnis;
+  net_config.topology.channel_count = kOnis;
+  net_config.base_link.environment = ramp;
+  net_config.scheme_menu = {ecc::make_code("w/o ECC")};
+  net_config.default_requirements.target_ber = 1e-11;
+  const NetworkSimulator network(net_config);
+
+  const UniformRandomTraffic traffic(kOnis, 4e8, 4096);
+  const double horizon = 6e-6;
+  const auto schedule = traffic.generate(horizon, 7);
+
+  const NocRunResult expected = reference.run(schedule, horizon);
+  const NetworkRunResult actual = network.run(schedule, horizon);
+  EXPECT_TRUE(actual.stats.aggregate == expected.stats);
+  EXPECT_GT(actual.stats.aggregate.dropped, 0u);  // the ramp bites
+  EXPECT_FALSE(actual.stats.aggregate.phases.empty());
+}
+
+TEST(NetworkSimulator, PerChannelStatsSumToTheAggregate) {
+  NetworkConfig config;
+  config.topology.tile_count = 8;
+  config.topology.channel_count = 4;
+  const NetworkSimulator network(config);
+
+  const UniformRandomTraffic traffic(8, 4e8, 4096);
+  const double horizon = 10e-6;
+  const auto result = network.run(traffic, horizon, 3, true);
+
+  ASSERT_EQ(result.stats.channels.size(), 4u);
+  std::uint64_t delivered = 0;
+  std::uint64_t payload = 0;
+  double laser = 0.0;
+  for (std::size_t ch = 0; ch < 4; ++ch) {
+    delivered += result.stats.channels[ch].delivered;
+    payload += result.stats.channel_payload_bits[ch];
+    laser += result.stats.channels[ch].laser_energy_j;
+    EXPECT_EQ(result.stats.channels[ch].horizon_s, horizon);
+  }
+  EXPECT_EQ(delivered, result.stats.aggregate.delivered);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(payload, result.total_payload_bits);
+  // Energies agree to rounding (the aggregate accumulates in message
+  // order, the channel totals per channel — grouping may differ in the
+  // last ulp, which is exactly why the aggregate has its own sink).
+  EXPECT_NEAR(laser, result.stats.aggregate.laser_energy_j,
+              1e-12 * laser + 1e-30);
+  // Every logged delivery names the channel that carried it.
+  for (const auto& d : result.log)
+    EXPECT_EQ(d.channel,
+              network.config().topology.channel_of_tile(d.message.destination));
+}
+
+TEST(NetworkSimulator, SharedChannelsSerialiseCrossTileTraffic) {
+  // Two tiles per channel: inbound traffic for both tiles of a channel
+  // contends on it, so latency is at least the one-reader-per-tile
+  // latency under the same schedule.
+  NetworkConfig shared;
+  shared.topology.tile_count = 8;
+  shared.topology.channel_count = 2;
+  NetworkConfig private_channels;
+  private_channels.topology.tile_count = 8;
+  private_channels.topology.channel_count = 8;
+
+  const UniformRandomTraffic traffic(8, 8e8, 4096);
+  const double horizon = 10e-6;
+  const auto schedule = traffic.generate(horizon, 11);
+  const auto contended = NetworkSimulator(shared).run(schedule, horizon);
+  const auto free = NetworkSimulator(private_channels).run(schedule, horizon);
+  EXPECT_EQ(contended.stats.aggregate.delivered,
+            free.stats.aggregate.delivered);
+  EXPECT_GE(contended.stats.aggregate.mean_latency_s,
+            free.stats.aggregate.mean_latency_s);
+}
+
+TEST(NetworkSimulator, HeterogeneousCodingSavesTheHotChannel) {
+  // Channel 0 rides a ramp into saturation, channel 1 stays cool.  An
+  // uncoded-only network drops on the hot channel at BER 1e-11; giving
+  // just the hot channel H(7,4) clears every drop while the cool
+  // channel still runs uncoded (visible in per-channel scheme usage).
+  NetworkConfig config;
+  config.topology.tile_count = 4;
+  config.topology.channel_count = 2;
+  config.default_requirements.target_ber = 1e-11;
+  config.scheme_menu = {ecc::make_code("w/o ECC")};
+  config.channels.resize(2);
+  config.channels[0].environment =
+      env::EnvironmentTimeline::ramp(2e-6, 4e-6, 0.25, 1.0);
+  config.channels[1].environment = env::EnvironmentTimeline::constant(0.25);
+
+  std::vector<Message> schedule;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double t = 100e-9 * static_cast<double>(i);
+    schedule.push_back(make_message(2 * i, 1, 0, 4096, t));      // hot ch 0
+    schedule.push_back(make_message(2 * i + 1, 0, 1, 4096, t));  // cool ch 1
+  }
+  const double horizon = 6e-6;
+
+  const auto uniform = NetworkSimulator(config).run(schedule, horizon);
+  EXPECT_GT(uniform.stats.channels[0].dropped, 0u);
+  EXPECT_EQ(uniform.stats.channels[0].dropped_thermal,
+            uniform.stats.channels[0].dropped);
+  EXPECT_EQ(uniform.stats.channels[1].dropped, 0u);
+  // Heterogeneous aggregate: phases stay empty (no single phase axis).
+  EXPECT_TRUE(uniform.stats.aggregate.phases.empty());
+  EXPECT_FALSE(uniform.stats.channels[0].phases.empty());
+
+  config.channels[0].scheme_menu = {ecc::make_code("H(7,4)")};
+  const auto hardened = NetworkSimulator(config).run(schedule, horizon);
+  EXPECT_EQ(hardened.stats.aggregate.dropped, 0u);
+  EXPECT_EQ(hardened.stats.channels[0].scheme_usage.count("H(7,4)"), 1u);
+  EXPECT_EQ(hardened.stats.channels[1].scheme_usage.count("w/o ECC"), 1u);
+}
+
+TEST(NetworkSimulator, RejectsBadSchedulesAndGeometries) {
+  NetworkConfig config;
+  config.topology.tile_count = 4;
+  config.topology.channel_count = 2;
+  const NetworkSimulator network(config);
+  EXPECT_THROW(network.run({make_message(0, 0, 4, 64, 0.0)}, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(network.run({make_message(0, 2, 2, 64, 0.0)}, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(network.run({}, 0.0), std::invalid_argument);
+
+  NetworkConfig wrong_channels;
+  wrong_channels.topology.tile_count = 4;
+  wrong_channels.topology.channel_count = 2;
+  wrong_channels.channels.resize(3);
+  EXPECT_THROW(NetworkSimulator{wrong_channels}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace photecc::noc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 
 namespace photecc::noc {
 namespace {
@@ -246,6 +247,65 @@ TEST(MixedTraffic, NestedCompositesDecorrelateFromSiblings) {
         from_mixed[i - 1].creation_time_s)
       ++duplicates;
   EXPECT_EQ(duplicates, 0u);
+}
+
+TEST(TraceTraffic, ParsesSortsAndRenumbers) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "1.0e-6 2 3 512 rt 1.25e-6\n"
+      "0.5e-6 1 0 16384 mm 1.5e-6   # trailing comment\n"
+      "0.1e-6 4 5 4096\n");
+  const auto trace = TraceTraffic::parse(in);
+  ASSERT_EQ(trace.messages().size(), 3u);
+  // Sorted by time, ids renumbered in time order.
+  EXPECT_DOUBLE_EQ(trace.messages()[0].creation_time_s, 0.1e-6);
+  EXPECT_EQ(trace.messages()[0].id, 0u);
+  EXPECT_EQ(trace.messages()[0].traffic_class, TrafficClass::kBestEffort);
+  EXPECT_FALSE(trace.messages()[0].deadline_s.has_value());
+  EXPECT_EQ(trace.messages()[1].traffic_class, TrafficClass::kMultimedia);
+  ASSERT_TRUE(trace.messages()[1].deadline_s.has_value());
+  EXPECT_DOUBLE_EQ(*trace.messages()[1].deadline_s, 1.5e-6);
+  EXPECT_EQ(trace.messages()[2].traffic_class, TrafficClass::kRealTime);
+}
+
+TEST(TraceTraffic, GenerateClipsToHorizonAndIgnoresSeed) {
+  std::istringstream in(
+      "0.1e-6 0 1 64\n"
+      "0.9e-6 1 2 64\n"
+      "2.0e-6 2 0 64\n");
+  const auto trace = TraceTraffic::parse(in);
+  const auto clipped = trace.generate(1e-6, 123);
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_EQ(trace.generate(1e-6, 0), clipped);  // seed-independent
+  EXPECT_EQ(trace.generate(5e-6, 0).size(), 3u);
+}
+
+TEST(TraceTraffic, ShippedSampleDrivesBothSimulatorsCleanly) {
+  const auto trace =
+      TraceTraffic::from_file(PHOTECC_SOURCE_DIR "/examples/traces/sample.trace");
+  ASSERT_FALSE(trace.messages().empty());
+  for (const auto& m : trace.messages()) {
+    EXPECT_LT(m.source, 8u);
+    EXPECT_LT(m.destination, 8u);
+    EXPECT_NE(m.source, m.destination);
+  }
+}
+
+TEST(TraceTraffic, RejectsMalformedLines) {
+  const auto parse_one = [](const std::string& text) {
+    std::istringstream in(text);
+    return TraceTraffic::parse(in, "test");
+  };
+  EXPECT_THROW(parse_one("0.1 0 1\n"), std::invalid_argument);      // short
+  EXPECT_THROW(parse_one("-0.1 0 1 64\n"), std::invalid_argument);  // time
+  EXPECT_THROW(parse_one("0.1 2 2 64\n"), std::invalid_argument);   // loop
+  EXPECT_THROW(parse_one("0.1 0 1 0\n"), std::invalid_argument);    // payload
+  EXPECT_THROW(parse_one("0.1 0 1 64 urgent\n"), std::invalid_argument);
+  EXPECT_THROW(parse_one("0.1 0 1 64 rt 1e-6 extra\n"),
+               std::invalid_argument);
+  EXPECT_THROW(TraceTraffic::from_file("/nonexistent/path.trace"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -71,7 +71,8 @@ TEST(CliList, RenderedListingsNameEveryBuiltIn) {
       "presets", spec::preset_registry().names());
   EXPECT_NE(presets.find("presets ("), std::string::npos);
   for (const char* name :
-       {"fig6b", "noc", "modulation", "modulation-smoke", "thermal"})
+       {"fig6b", "noc", "modulation", "modulation-smoke", "thermal",
+        "network"})
     EXPECT_NE(presets.find(std::string("\n  ") + name + "\n"),
               std::string::npos)
         << name;
@@ -87,6 +88,14 @@ TEST(CliList, RenderedListingsNameEveryBuiltIn) {
       "evaluators", spec::evaluator_registry().names());
   EXPECT_NE(evaluators.find("  link\n"), std::string::npos);
   EXPECT_NE(evaluators.find("  noc\n"), std::string::npos);
+  EXPECT_NE(evaluators.find("  network\n"), std::string::npos);
+
+  const std::string traffic = spec::render_name_list(
+      "traffic kinds", spec::traffic_registry().names());
+  for (const char* name : {"uniform", "hotspot", "trace"})
+    EXPECT_NE(traffic.find(std::string("  ") + name + "\n"),
+              std::string::npos)
+        << name;
 
   // Exact shape for a tiny input.
   EXPECT_EQ(spec::render_name_list("things", {"a", "b"}),

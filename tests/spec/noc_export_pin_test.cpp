@@ -1,0 +1,54 @@
+// Byte-level pin of the dynamic NoC sweep exports.  The tiled-network
+// engine replaced the original single-channel event loop, and the
+// refactor's contract is that every pre-existing export is
+// byte-identical: same CSV, same JSON, bit-for-bit, because the
+// one-channel path is now a special case of the network engine.  These
+// fingerprints were captured from the single-channel implementation
+// immediately before the refactor; any drift here means the contract
+// broke — floating-point accumulation order, event ordering, or stat
+// finalisation changed — and must be treated as a bug, not re-pinned.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "photecc/math/hash.hpp"
+#include "photecc/spec/registries.hpp"
+#include "photecc/spec/run.hpp"
+
+namespace {
+
+namespace spec = photecc::spec;
+
+/// fnv1a64 of ExperimentResult::csv() / ::json() for the "noc" preset
+/// (24 dynamic-simulation cells) run by the pre-network simulator.
+constexpr std::uint64_t kNocPresetCsvHash = 0x21bd70f3cb6fe90dULL;
+constexpr std::uint64_t kNocPresetJsonHash = 0x1d5592537dc35f7aULL;
+
+/// Same pin for the "thermal" preset — covers the time-varying
+/// environment path (recalibration, thermal drops, phase stats)
+/// through the event loop.
+constexpr std::uint64_t kThermalPresetCsvHash = 0x014fed17197d3677ULL;
+constexpr std::uint64_t kThermalPresetJsonHash = 0xcb985094fd49192fULL;
+
+TEST(NocExportPin, NocPresetExportsAreByteIdenticalToPreNetworkEngine) {
+  spec::ExperimentSpec preset = spec::preset_registry().make("noc", "preset");
+  preset.threads = 1;
+  const auto result = spec::run(preset);
+  EXPECT_EQ(photecc::math::fnv1a64(result.csv()), kNocPresetCsvHash)
+      << "csv hash 0x" << std::hex << photecc::math::fnv1a64(result.csv());
+  EXPECT_EQ(photecc::math::fnv1a64(result.json()), kNocPresetJsonHash)
+      << "json hash 0x" << std::hex << photecc::math::fnv1a64(result.json());
+}
+
+TEST(NocExportPin, ThermalPresetExportsAreByteIdenticalToPreNetworkEngine) {
+  spec::ExperimentSpec preset =
+      spec::preset_registry().make("thermal", "preset");
+  preset.threads = 1;
+  const auto result = spec::run(preset);
+  EXPECT_EQ(photecc::math::fnv1a64(result.csv()), kThermalPresetCsvHash)
+      << "csv hash 0x" << std::hex << photecc::math::fnv1a64(result.csv());
+  EXPECT_EQ(photecc::math::fnv1a64(result.json()), kThermalPresetJsonHash)
+      << "json hash 0x" << std::hex << photecc::math::fnv1a64(result.json());
+}
+
+}  // namespace

@@ -47,27 +47,81 @@ TEST(SpecParseErrors, MissingVersionIsRejected) {
 }
 
 TEST(SpecParseErrors, UnknownSchemaVersionIsRejected) {
-  const std::string message = spec_error_of(R"js({"photecc_spec": 3})js");
-  EXPECT_NE(message.find("unsupported schema version 3"), std::string::npos);
-  EXPECT_NE(message.find("supported: 1..2"), std::string::npos);
+  const std::string message = spec_error_of(R"js({"photecc_spec": 4})js");
+  EXPECT_NE(message.find("unsupported schema version 4"), std::string::npos);
+  EXPECT_NE(message.find("supported: 1..3"), std::string::npos);
 }
 
 TEST(SpecParseErrors, FutureSchemaFailsOnVersionNotOnUnknownKeys) {
-  // A version-3 document with version-3-only keys must report the
+  // A version-4 document with version-4-only keys must report the
   // version mismatch, not whichever unknown key comes first.
   const std::string message = spec_error_of(
-      R"js({"future_field": true, "photecc_spec": 3})js");
+      R"js({"future_field": true, "photecc_spec": 4})js");
   EXPECT_NE(message.find("unsupported schema version"), std::string::npos);
 }
 
 TEST(SpecParseErrors, EveryAcceptedSchemaVersionParses) {
-  // v1 documents (no environments) and v2 documents both parse; the
-  // writer emits kSchemaVersion.
-  for (const char* version : {"1", "2"}) {
+  // v1 (no environments), v2 (no network/trace) and v3 documents all
+  // parse; the writer emits the smallest version expressing the spec.
+  for (const char* version : {"1", "2", "3"}) {
     const auto parsed = spec::from_json(
         std::string(R"js({"photecc_spec": )js") + version + "}");
     EXPECT_EQ(parsed, spec::ExperimentSpec{}) << version;
   }
+}
+
+TEST(SpecParseErrors, V3FeaturesInsideOlderDocumentsPointAtTheVersion) {
+  // The network section and the trace traffic kind both need v3.
+  const std::string network_message = spec_error_of(
+      R"js({"photecc_spec": 2, "network": {"kind": "tiled"}})js");
+  EXPECT_NE(network_message.find("photecc_spec"), std::string::npos);
+  EXPECT_NE(network_message.find("schema version >= 3"), std::string::npos);
+
+  const std::string trace_message = spec_error_of(
+      R"js({"photecc_spec": 2, "axes": {"traffic": [)js"
+      R"js({"kind": "trace", "path": "a.trace"}]}})js");
+  EXPECT_NE(trace_message.find("photecc_spec"), std::string::npos);
+  EXPECT_NE(trace_message.find("schema version >= 3"), std::string::npos);
+}
+
+TEST(SpecParseErrors, TraceTrafficRejectsGeneratorFields) {
+  const std::string message = spec_error_of(
+      R"js({"photecc_spec": 3, "axes": {"traffic": [)js"
+      R"js({"kind": "trace", "path": "a.trace", "rate_msgs_per_s": 1e8}]}})js");
+  EXPECT_NE(message.find("not valid for kind 'trace'"), std::string::npos);
+
+  const std::string path_message = spec_error_of(
+      R"js({"photecc_spec": 3, "axes": {"traffic": [)js"
+      R"js({"kind": "uniform", "path": "a.trace"}]}})js");
+  EXPECT_NE(path_message.find("only valid for kind 'trace'"),
+            std::string::npos);
+}
+
+TEST(SpecParseErrors, NetworkSectionIsValidated) {
+  const std::string kind_message = spec_error_of(
+      R"js({"photecc_spec": 3, "network": {"kind": "mesh"}})js");
+  EXPECT_NE(kind_message.find("unknown network kind 'mesh'"),
+            std::string::npos);
+
+  const std::string mapping_message = spec_error_of(
+      R"js({"photecc_spec": 3, "network": {"kind": "tiled",)js"
+      R"js( "mapping": "torus"}})js");
+  EXPECT_NE(mapping_message.find("network.mapping"), std::string::npos);
+
+  const std::string codes_message = spec_error_of(
+      R"js({"photecc_spec": 3, "network": {"kind": "tiled",)js"
+      R"js( "channel_count": 2, "channel_codes": ["H(7,4)"]}})js");
+  EXPECT_NE(codes_message.find("one code per channel"), std::string::npos);
+
+  const std::string unknown_code_message = spec_error_of(
+      R"js({"photecc_spec": 3, "network": {"kind": "tiled",)js"
+      R"js( "channel_count": 2, "channel_codes": ["H(7,4)", "X(1,1)"]}})js");
+  EXPECT_NE(unknown_code_message.find("network.channel_codes[1]"),
+            std::string::npos);
+
+  const std::string missing_kind_message =
+      spec_error_of(R"js({"photecc_spec": 3, "network": {}})js");
+  EXPECT_NE(missing_kind_message.find("network.kind"), std::string::npos);
 }
 
 TEST(SpecParseErrors, EnvironmentsInsideV1DocumentPointAtTheVersion) {

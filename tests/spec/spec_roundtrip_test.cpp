@@ -140,6 +140,46 @@ TEST(SpecRoundTrip, V1DocumentsWithoutEnvironmentsStillParse) {
   EXPECT_EQ(spec::from_json(canonical).to_json(), canonical);
 }
 
+TEST(SpecRoundTrip, NetworkAndTraceSpecIsByteStableAtVersion3) {
+  spec::NetworkEntry net;
+  net.tile_count = 8;
+  net.channel_count = 2;
+  net.mapping = "blocked";
+  net.channel_codes = {"H(7,4)", "w/o ECC"};
+  spec::EnvironmentEntry hot;
+  hot.kind = "ramp";
+  hot.start_s = 1e-6;
+  hot.end_s = 4e-6;
+  hot.from_activity = 0.25;
+  hot.to_activity = 1.0;
+  spec::EnvironmentEntry cool;
+  cool.activity = 0.25;
+  net.channel_environments = {hot, cool};
+
+  const spec::ExperimentSpec original =
+      spec::SpecBuilder()
+          .name("tiled")
+          .network(net)
+          .trace_traffic("examples/traces/sample.trace")
+          .uniform_traffic(2e8)
+          .codes({"H(7,4)"})
+          .build();
+  const std::string json = original.to_json();
+  // v3 features force the writer up to schema version 3.
+  EXPECT_NE(json.find("\"photecc_spec\": 3"), std::string::npos);
+  const spec::ExperimentSpec reparsed = spec::from_json(json);
+  EXPECT_EQ(reparsed, original);
+  EXPECT_EQ(reparsed.to_json(), json);
+}
+
+TEST(SpecRoundTrip, WriterEmitsTheSmallestExpressingVersion) {
+  // A spec using no v3 feature keeps writing version 2, so pre-v3
+  // documents (and their canonical hashes) stay byte-identical.
+  const std::string plain = spec::ExperimentSpec{}.to_json();
+  EXPECT_NE(plain.find("\"photecc_spec\": 2"), std::string::npos);
+  EXPECT_EQ(plain.find("\"photecc_spec\": 3"), std::string::npos);
+}
+
 TEST(SpecRoundTrip, NameIsEscapedCorrectly) {
   spec::ExperimentSpec original;
   original.name = "odd \"name\"\twith\nescapes\\";
@@ -204,7 +244,7 @@ TEST(SpecBuilderValidation, BuildRejectsBadFieldsWithPaths) {
   // (to_json would drop them, silently breaking the round trip).
   EXPECT_EQ(field_of([] {
               (void)spec::SpecBuilder()
-                  .traffic({{"uniform", 2e8, 4096, 3, 0.9}})
+                  .traffic({{"uniform", 2e8, 4096, 3, 0.9, ""}})
                   .build();
             }),
             "axes.traffic[0]");

@@ -327,6 +327,76 @@ TEST(SpecRun, EnvMetricObjectivesNeedAnEnvironmentAxis) {
                spec::SpecError);
 }
 
+TEST(SpecRun, NetworkSpecMatchesHandAssembledGrid) {
+  spec::NetworkEntry entry;
+  entry.tile_count = 8;
+  entry.channel_count = 2;
+  entry.channel_codes = {"H(7,4)", "w/o ECC"};
+  const auto by_spec = spec::run(spec::SpecBuilder()
+                                     .network(entry)
+                                     .uniform_traffic(4e8)
+                                     .noc_horizon(5e-7)
+                                     .threads(1)
+                                     .build());
+
+  explore::NetworkSpec net;
+  net.tile_count = 8;
+  net.channel_count = 2;
+  net.channel_codes = {"H(7,4)", "w/o ECC"};
+  explore::ScenarioGrid grid;
+  grid.network(net)
+      .traffic_patterns({explore::uniform_traffic(4e8)})
+      .noc_horizon(5e-7);
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+  // The network evaluator publishes per-channel columns.
+  ASSERT_FALSE(by_spec.cells.empty());
+  EXPECT_TRUE(by_spec.cells[0].metric("ch0_delivered").has_value());
+  EXPECT_TRUE(by_spec.cells[0].metric("ch1_delivered").has_value());
+}
+
+TEST(SpecRun, PerChannelMetricsAreObjectiveVocabulary) {
+  // ch<k>_ objective names validate up to the declared channel count
+  // and no further.
+  spec::NetworkEntry entry;
+  entry.tile_count = 8;
+  entry.channel_count = 2;
+  EXPECT_NO_THROW((void)spec::SpecBuilder()
+                      .network(entry)
+                      .uniform_traffic(1e8)
+                      .objective("ch1_mean_latency_s")
+                      .build());
+  EXPECT_THROW((void)spec::SpecBuilder()
+                   .network(entry)
+                   .uniform_traffic(1e8)
+                   .objective("ch2_delivered")
+                   .build(),
+               spec::SpecError);
+}
+
+TEST(SpecRun, TraceTrafficSpecMatchesHandAssembledGrid) {
+  const std::string path =
+      std::string(PHOTECC_SOURCE_DIR) + "/examples/traces/sample.trace";
+  const auto by_spec = spec::run(spec::SpecBuilder()
+                                     .trace_traffic(path)
+                                     .oni_counts({8})
+                                     .noc_horizon(5e-7)
+                                     .threads(1)
+                                     .build());
+
+  explore::ScenarioGrid grid;
+  grid.traffic_patterns({explore::trace_traffic(path)})
+      .oni_counts({8})
+      .noc_horizon(5e-7);
+  const auto by_hand = explore::SweepRunner{{1}}.run(grid);
+  EXPECT_EQ(by_spec.csv(), by_hand.csv());
+  EXPECT_EQ(by_spec.json(), by_hand.json());
+  ASSERT_FALSE(by_spec.cells.empty());
+  EXPECT_EQ(by_spec.cells[0].label("traffic").value_or("").rfind("trace@", 0),
+            0u);
+}
+
 TEST(SpecRun, ThermalPresetRunsAndSeparatesTheSchemes) {
   spec::ExperimentSpec preset =
       spec::preset_registry().make("thermal", "preset");
