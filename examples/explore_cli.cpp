@@ -26,6 +26,7 @@
 //   explore_cli --list-link-variants  registered link variants
 //   explore_cli --list-evaluators  registered cell evaluators
 //   explore_cli --list-traffic     registered traffic kinds
+//   explore_cli --list-environments  registered environment kinds
 //
 // Common flags: --threads N (0 = hardware), --csv FILE, --json FILE,
 // --modulation LIST (comma-separated signaling formats, e.g.
@@ -76,6 +77,7 @@ int usage(std::ostream& os, int code) {
         "                   | --preset NAME [--smoke]\n"
         "                   | --list-presets | --list-link-variants\n"
         "                   | --list-evaluators | --list-traffic\n"
+        "                   | --list-environments\n"
         "                   [--threads N] [--csv FILE] [--json FILE]\n"
         "                   [--modulation ook,pam4,pam8] [--dump-spec]\n";
   return code;
@@ -92,6 +94,9 @@ int run_list(const std::string& flag) {
   else if (flag == "--list-traffic")
     std::cout << spec::render_name_list("traffic kinds",
                                         spec::traffic_registry().names());
+  else if (flag == "--list-environments")
+    std::cout << spec::render_name_list("environment kinds",
+                                        spec::environment_registry().names());
   else
     std::cout << spec::render_name_list("evaluators",
                                         spec::evaluator_registry().names());
@@ -435,7 +440,8 @@ int main(int argc, char** argv) {
           arg == "--bench" || arg == "--serve") {
         options.mode = arg;
       } else if (arg == "--list-presets" || arg == "--list-link-variants" ||
-                 arg == "--list-evaluators" || arg == "--list-traffic") {
+                 arg == "--list-evaluators" || arg == "--list-traffic" ||
+                 arg == "--list-environments") {
         return run_list(arg);
       } else if (arg == "--config" && i + 1 < argc) {
         options.config_path = argv[++i];

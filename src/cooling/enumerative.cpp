@@ -1,0 +1,112 @@
+#include "photecc/cooling/enumerative.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace photecc::cooling {
+namespace {
+
+constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+[[nodiscard]] std::uint64_t saturating_add(std::uint64_t a,
+                                           std::uint64_t b) noexcept {
+  return (a > kSaturated - b) ? kSaturated : a + b;
+}
+
+}  // namespace
+
+BoundedWeightCoder::BoundedWeightCoder(std::size_t length,
+                                       std::size_t max_weight)
+    : length_(length), max_weight_(max_weight) {
+  if (length < 2) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder: length must be >= 2, got " +
+        std::to_string(length));
+  }
+  if (max_weight < 1 || max_weight > length) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder: max_weight must be in [1, " +
+        std::to_string(length) + "], got " + std::to_string(max_weight));
+  }
+
+  // Prefix-binomial table cle(j, r) = sum_{i=0}^{r} C(j, i) via the
+  // Pascal-style recurrence cle(j, r) = cle(j-1, r) + cle(j-1, r-1),
+  // with cle(0, r) = 1 and cle(j, 0) = 1.  Saturating adds keep every
+  // entry an upper bound that is exact whenever it is below kSaturated;
+  // rank/unrank only ever compare saturated entries against ranks
+  // < 2^63, for which the comparison result is unchanged.
+  cle_.assign((length_ + 1) * (max_weight_ + 1), 1);
+  for (std::size_t j = 1; j <= length_; ++j) {
+    for (std::size_t r = 1; r <= max_weight_; ++r) {
+      cle_[j * (max_weight_ + 1) + r] =
+          saturating_add(cle_[(j - 1) * (max_weight_ + 1) + r],
+                         cle_[(j - 1) * (max_weight_ + 1) + r - 1]);
+    }
+  }
+
+  count_ = count_le(length_, max_weight_);
+  message_bits_ = 0;
+  while (message_bits_ < 63 &&
+         (std::uint64_t{1} << (message_bits_ + 1)) <= count_) {
+    ++message_bits_;
+  }
+  if (count_ == kSaturated) message_bits_ = 63;
+}
+
+ecc::BitVec BoundedWeightCoder::unrank(std::uint64_t value) const {
+  if (message_bits_ < 63 && value >= (std::uint64_t{1} << message_bits_)) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder::unrank: value " + std::to_string(value) +
+        " out of range for " + std::to_string(message_bits_) +
+        " message bits");
+  }
+  ecc::BitVec word(length_);
+  std::uint64_t remaining = value;
+  std::size_t ones = 0;
+  // Scan from the most significant position down.  At position j there
+  // are cle(j, max_weight_ - ones) words with bit j clear and all the
+  // remaining freedom below; ranks below that count keep bit j = 0.
+  for (std::size_t j = length_; j-- > 0;) {
+    const std::uint64_t zero_branch = count_le(j, max_weight_ - ones);
+    if (remaining < zero_branch) continue;
+    word.set(j, true);
+    remaining -= zero_branch;
+    ++ones;
+    if (ones == max_weight_) {
+      // No capacity left: every remaining bit must be 0 and each
+      // zero-branch count is exactly 1, so remaining must hit 0 here.
+      break;
+    }
+  }
+  if (remaining != 0) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder::unrank: value " + std::to_string(value) +
+        " exceeds word count");
+  }
+  return word;
+}
+
+std::uint64_t BoundedWeightCoder::rank(const ecc::BitVec& word) const {
+  if (word.size() != length_) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder::rank: word length " +
+        std::to_string(word.size()) + " != " + std::to_string(length_));
+  }
+  if (word.popcount() > max_weight_) {
+    throw std::invalid_argument(
+        "BoundedWeightCoder::rank: word weight " +
+        std::to_string(word.popcount()) + " exceeds bound " +
+        std::to_string(max_weight_));
+  }
+  std::uint64_t value = 0;
+  std::size_t ones = 0;
+  for (std::size_t j = length_; j-- > 0;) {
+    if (!word.get(j)) continue;
+    value = saturating_add(value, count_le(j, max_weight_ - ones));
+    ++ones;
+  }
+  return value;
+}
+
+}  // namespace photecc::cooling

@@ -1,0 +1,82 @@
+// Enumerative coding of bounded-weight binary words — the combinatorial
+// core of the cooling-code subsystem.
+//
+// A cooling code C(m, w) transmits only words whose Hamming weight is at
+// most w, bounding the number of simultaneously-hot wires (Chee/Etzion/
+// Kiah/Vardy, "Cooling Codes", PAPERS.md).  The words of length m with
+// weight <= w form a set of size
+//
+//   N(m, w) = sum_{i=0}^{w} C(m, i)
+//
+// and the encoder is the classic combinatorial number system: rank() maps
+// a bounded-weight word to its index in increasing integer order,
+// unrank() inverts it.  A k = floor(log2 N) bit message therefore embeds
+// injectively into the bounded-weight set — the enumerative (arithmetic)
+// encoding of the paper's Construction.
+//
+// All counts are computed in saturating uint64 arithmetic: ranks are
+// bounded by 2^63 (k is capped at 63 so messages fit BitVec::to_uint),
+// and a saturated count compares correctly against any representable
+// rank, so unrank stays exact even when the full N(m, w) overflows.
+#ifndef PHOTECC_COOLING_ENUMERATIVE_HPP
+#define PHOTECC_COOLING_ENUMERATIVE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include <vector>
+
+#include "photecc/ecc/bitvec.hpp"
+
+namespace photecc::cooling {
+
+/// Enumerative encoder/decoder between integers and length-`length`
+/// words of Hamming weight <= `max_weight`.  Bit `length - 1` is the
+/// most significant digit of the ordering (words compare as integers).
+class BoundedWeightCoder {
+ public:
+  /// Requires 1 <= max_weight <= length and length >= 2.
+  /// Throws std::invalid_argument otherwise.
+  BoundedWeightCoder(std::size_t length, std::size_t max_weight);
+
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+  [[nodiscard]] std::size_t max_weight() const noexcept {
+    return max_weight_;
+  }
+
+  /// N(length, max_weight), saturated at uint64 max when the true count
+  /// overflows (the saturation is invisible to rank/unrank — see above).
+  [[nodiscard]] std::uint64_t word_count() const noexcept { return count_; }
+
+  /// Message width k = floor(log2 N(length, max_weight)), capped at 63
+  /// so every message value round-trips through BitVec::to_uint.
+  [[nodiscard]] std::size_t message_bits() const noexcept {
+    return message_bits_;
+  }
+
+  /// The `value`-th bounded-weight word (value in [0, 2^message_bits)).
+  /// Throws std::invalid_argument when value is out of range.
+  [[nodiscard]] ecc::BitVec unrank(std::uint64_t value) const;
+
+  /// Index of `word` in the bounded-weight ordering — the exact inverse
+  /// of unrank.  Throws std::invalid_argument when the word has the
+  /// wrong length or weight > max_weight.
+  [[nodiscard]] std::uint64_t rank(const ecc::BitVec& word) const;
+
+ private:
+  /// cle_[j * (max_weight_ + 1) + r] = sum_{i=0}^{r} C(j, i), saturating.
+  [[nodiscard]] std::uint64_t count_le(std::size_t j,
+                                       std::size_t r) const noexcept {
+    return cle_[j * (max_weight_ + 1) + r];
+  }
+
+  std::size_t length_ = 0;
+  std::size_t max_weight_ = 0;
+  std::uint64_t count_ = 0;
+  std::size_t message_bits_ = 0;
+  std::vector<std::uint64_t> cle_;
+};
+
+}  // namespace photecc::cooling
+
+#endif  // PHOTECC_COOLING_ENUMERATIVE_HPP

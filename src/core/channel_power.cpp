@@ -65,6 +65,7 @@ SchemeMetrics evaluate_scheme(const link::MwsrChannel& channel,
   m.operating_point = link::solve_operating_point(channel, code, target_ber,
                                                   environment, warm);
   m.feasible = m.operating_point.feasible;
+  m.duty_bound = code.transmit_duty_bound();
 
   m.p_mr_w = photonics::multilevel_modulation_power_w(
       channel.params().ring.modulation_power_w,
@@ -129,6 +130,7 @@ ChannelSweepPlan::ChannelSweepPlan(const link::MwsrChannel& channel,
     inv.code_rate = code->code_rate();
     inv.communication_time = code->communication_time();
     inv.p_enc_dec_w = enc_dec_power_per_wavelength_w(*code, config);
+    inv.duty_bound = code->transmit_duty_bound();
     inv.code = std::move(code);
     codes_.push_back(std::move(inv));
   }
@@ -154,9 +156,10 @@ SchemeMetrics ChannelSweepPlan::evaluate_with_solution(
   m.target_ber = target_ber;
   m.code_rate = inv.code_rate;
   m.ct = inv.communication_time / bits_per_symbol_;
-  m.operating_point =
-      solver_.solve_from_snr(raw_ber, snr, target_ber, environment_);
+  m.operating_point = solver_.solve_from_snr(raw_ber, snr, target_ber,
+                                             environment_, inv.duty_bound);
   m.feasible = m.operating_point.feasible;
+  m.duty_bound = inv.duty_bound;
 
   m.p_mr_w = p_mr_w_;
   m.p_enc_dec_w = inv.p_enc_dec_w;
@@ -178,6 +181,16 @@ SchemeMetrics ChannelSweepPlan::evaluate(std::size_t code_index,
   return evaluate_with_requirement(
       code_index, target_ber,
       inv.code->required_raw_ber_checked(target_ber, trace).raw_ber);
+}
+
+double thermal_headroom_w(const link::MwsrChannel& channel,
+                          const SchemeMetrics& metrics,
+                          const env::EnvironmentSample& environment) {
+  const double op_max = channel.laser().max_optical_power(
+      metrics.duty_bound < 1.0
+          ? environment.activity * metrics.duty_bound
+          : environment.activity);
+  return op_max - metrics.operating_point.op_laser_w;
 }
 
 std::vector<SchemeMetrics> evaluate_schemes(

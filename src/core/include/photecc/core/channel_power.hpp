@@ -41,6 +41,9 @@ struct SchemeMetrics {
   double ct = 1.0;
   link::LinkOperatingPoint operating_point{};
   bool feasible = false;
+  /// The code's guaranteed wire-duty bound (see
+  /// ecc::BlockCode::transmit_duty_bound); 1.0 for non-cooling codes.
+  double duty_bound = 1.0;
 
   // Per-wavelength power breakdown [W]:
   double p_laser_w = 0.0;
@@ -143,6 +146,7 @@ class ChannelSweepPlan {
     double code_rate = 1.0;
     double communication_time = 1.0;
     double p_enc_dec_w = 0.0;
+    double duty_bound = 1.0;
   };
 
   const link::MwsrChannel* channel_;
@@ -157,6 +161,15 @@ class ChannelSweepPlan {
   double oni_d_ = 0.0;
   std::vector<CodeInvariants> codes_;
 };
+
+/// Laser-power headroom of an evaluated scheme under `environment`: the
+/// deliverable maximum at the duty-bounded activity minus the required
+/// operating point, in watts.  Negative means infeasible.  Shared by
+/// the explore evaluators and the lowered plan so the cooling metric
+/// columns are byte-identical across both paths.
+double thermal_headroom_w(const link::MwsrChannel& channel,
+                          const SchemeMetrics& metrics,
+                          const env::EnvironmentSample& environment);
 
 /// Evaluates several schemes at the same target.
 std::vector<SchemeMetrics> evaluate_schemes(

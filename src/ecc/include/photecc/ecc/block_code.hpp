@@ -148,6 +148,17 @@ class BlockCode {
     return static_cast<double>(block_length()) /
            static_cast<double>(message_length());
   }
+
+  /// Guaranteed upper bound on the fraction of codeword bits that are 1
+  /// in ANY transmitted word, in (0, 1].  1.0 (the default) means no
+  /// guarantee — an adversarial payload can light every wire.  Cooling
+  /// codes (photecc::cooling) override this with w_max / n; the thermal
+  /// stack multiplies the channel activity by it (laser derating and
+  /// self-heating both scale with the number of simultaneously-hot
+  /// wires), so a bound < 1 widens the feasible activity window.
+  [[nodiscard]] virtual double transmit_duty_bound() const noexcept {
+    return 1.0;
+  }
 };
 
 using BlockCodePtr = std::shared_ptr<const BlockCode>;

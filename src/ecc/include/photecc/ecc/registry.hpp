@@ -3,12 +3,24 @@
 #ifndef PHOTECC_ECC_REGISTRY_HPP
 #define PHOTECC_ECC_REGISTRY_HPP
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "photecc/ecc/block_code.hpp"
 
 namespace photecc::ecc {
+
+/// Extension hook for code families living in modules that depend on
+/// photecc::ecc (and therefore cannot be hard-wired into make_code):
+/// a factory receives the requested name and returns a code, or nullptr
+/// when the name is not its own.  Factories are consulted, in
+/// registration order, after the built-in names fail to match.
+/// Registration is idempotent per `key`: re-registering an existing key
+/// is a no-op, so module initialisers can call this unconditionally.
+/// Thread-safe.
+using CodeFactory = std::function<BlockCodePtr(const std::string& name)>;
+void register_code_factory(const std::string& key, CodeFactory factory);
 
 /// Builds a code by name.  Recognised names:
 ///   "uncoded" / "w/o ECC"        -> UncodedScheme(64)

@@ -1,6 +1,8 @@
 #include "photecc/ecc/registry.hpp"
 
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "photecc/ecc/bch.hpp"
 #include "photecc/ecc/extended_hamming.hpp"
@@ -9,6 +11,44 @@
 #include "photecc/ecc/uncoded.hpp"
 
 namespace photecc::ecc {
+namespace {
+
+struct FactoryRegistry {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, CodeFactory>> factories;
+};
+
+FactoryRegistry& factory_registry() {
+  static FactoryRegistry registry;
+  return registry;
+}
+
+BlockCodePtr make_from_factories(const std::string& name) {
+  auto& registry = factory_registry();
+  // Snapshot under the lock, invoke outside it: a factory may call
+  // make_code recursively (e.g. a cooling wrap resolving its inner
+  // code), which must not re-enter the held mutex.
+  std::vector<std::pair<std::string, CodeFactory>> factories;
+  {
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    factories = registry.factories;
+  }
+  for (const auto& [key, factory] : factories) {
+    if (auto code = factory(name)) return code;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void register_code_factory(const std::string& key, CodeFactory factory) {
+  auto& registry = factory_registry();
+  const std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& [existing, _] : registry.factories) {
+    if (existing == key) return;
+  }
+  registry.factories.emplace_back(key, std::move(factory));
+}
 
 BlockCodePtr make_code(const std::string& name) {
   if (name == "uncoded" || name == "w/o ECC")
@@ -35,6 +75,7 @@ BlockCodePtr make_code(const std::string& name) {
   if (name == "BCH(31,21,2)") return std::make_shared<BchCode>(5, 2);
   if (name == "BCH(63,51,2)") return std::make_shared<BchCode>(6, 2);
   if (name == "BCH(127,113,2)") return std::make_shared<BchCode>(7, 2);
+  if (auto code = make_from_factories(name)) return code;
   throw std::invalid_argument("make_code: unknown code '" + name + "'");
 }
 

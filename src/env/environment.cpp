@@ -267,6 +267,16 @@ ThermalIntegrator::ThermalIntegrator(EnvironmentTimeline timeline)
       current_(timeline_.sample_at(0.0)) {}
 
 EnvironmentSample ThermalIntegrator::advance_to(double t,
+                                                double busy_fraction,
+                                                double duty_bound) {
+  // The branch keeps duty_bound == 1.0 bit-identical to the two-arg
+  // overload (no multiply on the legacy path).
+  return advance_to(t, duty_bound < 1.0
+                           ? busy_fraction * std::clamp(duty_bound, 0.0, 1.0)
+                           : busy_fraction);
+}
+
+EnvironmentSample ThermalIntegrator::advance_to(double t,
                                                 double busy_fraction) {
   if (!(t > current_.time_s)) return current_;
   if (timeline_.kind() != EnvironmentTimeline::Kind::kSelfHeating) {

@@ -188,6 +188,14 @@ class ThermalIntegrator {
   /// the channel spent busy, and returns the sample at `t`.
   EnvironmentSample advance_to(double t, double busy_fraction);
 
+  /// Same, under a guaranteed wire-duty bound (see
+  /// ecc::BlockCode::transmit_duty_bound): a cooling code that lights
+  /// at most a `duty_bound` fraction of the wires heats the array as if
+  /// the channel were only `busy_fraction * duty_bound` busy.
+  /// duty_bound == 1.0 is bit-identical to the two-argument overload.
+  EnvironmentSample advance_to(double t, double busy_fraction,
+                               double duty_bound);
+
   [[nodiscard]] const EnvironmentSample& current() const noexcept {
     return current_;
   }

@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include <algorithm>
+
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/core/channel_power.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/link/link_budget.hpp"
@@ -59,7 +62,27 @@ const std::vector<std::string>& network_channel_metric_names() {
   return names;
 }
 
+const std::vector<std::string>& cooling_metric_names() {
+  static const std::vector<std::string> names{"duty_bound",
+                                              "thermal_headroom_w"};
+  return names;
+}
+
+namespace {
+
+/// Smallest transmit duty bound across a scheme menu — what the
+/// hottest-case wire count of an adaptive channel is bounded by.
+double menu_duty_bound(const std::vector<ecc::BlockCodePtr>& menu) {
+  double bound = 1.0;
+  for (const auto& code : menu)
+    bound = std::min(bound, code->transmit_duty_bound());
+  return bound;
+}
+
+}  // namespace
+
 CellResult evaluate_link_cell(const Scenario& scenario) {
+  cooling::register_cooling_codes();
   CellResult result;
   result.index = scenario.index;
   result.labels = scenario.labels;
@@ -84,6 +107,13 @@ CellResult evaluate_link_cell(const Scenario& scenario) {
   const auto budget =
       link::compute_link_budget(channel, channel.worst_channel());
   result.set_metric("total_loss_db", budget.total_loss_db);
+
+  if (scenario.cooling_weight) {
+    result.set_metric("duty_bound", m.duty_bound);
+    result.set_metric(
+        "thermal_headroom_w",
+        core::thermal_headroom_w(channel, m, channel.environment()));
+  }
 
   result.scheme = std::move(m);
   return result;
@@ -149,6 +179,7 @@ void set_aggregate_metrics(CellResult& result, const noc::NocStats& stats,
 }  // namespace
 
 CellResult evaluate_noc_cell(const Scenario& scenario) {
+  cooling::register_cooling_codes();
   CellResult result;
   result.index = scenario.index;
   result.labels = scenario.labels;
@@ -164,6 +195,7 @@ CellResult evaluate_noc_cell(const Scenario& scenario) {
   config.default_requirements.target_ber = scenario.target_ber;
   config.default_requirements.policy = scenario.policy;
   config.laser_gating = scenario.laser_gating;
+  const double duty_bound = menu_duty_bound(config.scheme_menu);
 
   const noc::NocSimulator simulator{std::move(config)};
   const auto generator = make_generator(scenario);
@@ -172,11 +204,13 @@ CellResult evaluate_noc_cell(const Scenario& scenario) {
 
   set_aggregate_metrics(result, run.stats, run.total_payload_bits,
                         scenario.link.environment.has_value());
+  if (scenario.cooling_weight) result.set_metric("duty_bound", duty_bound);
   return result;
 }
 
 CellResult evaluate_network_cell(const Scenario& scenario) {
   if (!scenario.network) return evaluate_noc_cell(scenario);
+  cooling::register_cooling_codes();
   const NetworkSpec& net = *scenario.network;
 
   CellResult result;
@@ -226,6 +260,22 @@ CellResult evaluate_network_cell(const Scenario& scenario) {
 
   const bool env_columns = scenario.link.environment.has_value() ||
                            !net.channel_environments.empty();
+  // The network-wide duty bound is the loosest channel's: every channel
+  // without a pinned cooling code can light all its wires.
+  double duty_bound = net.channel_codes.empty()
+                          ? menu_duty_bound(config.scheme_menu)
+                          : 0.0;
+  if (!net.channel_codes.empty()) {
+    const double menu_bound = menu_duty_bound(config.scheme_menu);
+    for (std::size_t ch = 0; ch < net.channel_count; ++ch) {
+      const bool pinned =
+          ch < config.channels.size() && !config.channels[ch].scheme_menu.empty();
+      duty_bound = std::max(
+          duty_bound, pinned
+                          ? menu_duty_bound(config.channels[ch].scheme_menu)
+                          : menu_bound);
+    }
+  }
 
   const noc::NetworkSimulator simulator{std::move(config)};
   const auto generator = make_generator(scenario);
@@ -234,6 +284,7 @@ CellResult evaluate_network_cell(const Scenario& scenario) {
 
   set_aggregate_metrics(result, run.stats.aggregate, run.total_payload_bits,
                         env_columns);
+  if (scenario.cooling_weight) result.set_metric("duty_bound", duty_bound);
 
   for (std::size_t ch = 0; ch < run.stats.channels.size(); ++ch) {
     const noc::NocStats& cs = run.stats.channels[ch];

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/math/rng.hpp"
 #include "photecc/math/table.hpp"
 
@@ -41,6 +42,12 @@ TrafficSpec trace_traffic(std::string path) {
 
 ScenarioGrid& ScenarioGrid::codes(std::vector<std::string> names) {
   codes_ = std::move(names);
+  return *this;
+}
+
+ScenarioGrid& ScenarioGrid::cooling_weights(
+    std::vector<std::size_t> weights) {
+  cooling_weights_ = std::move(weights);
   return *this;
 }
 
@@ -121,7 +128,8 @@ std::size_t radix(std::size_t axis_length) {
 }  // namespace
 
 std::size_t ScenarioGrid::size() const {
-  return radix(codes_.size()) * radix(bers_.size()) *
+  return radix(codes_.size()) * radix(cooling_weights_.size()) *
+         radix(bers_.size()) *
          radix(link_variants_.size()) * radix(oni_counts_.size()) *
          radix(traffic_.size()) * radix(gating_.size()) *
          radix(policies_.size()) * radix(modulations_.size()) *
@@ -161,6 +169,17 @@ Scenario ScenarioGrid::at(std::size_t i) const {
   if (const std::size_t d = digit(codes_.size()); !codes_.empty()) {
     s.code = codes_[d];
     s.labels.emplace_back("code", *s.code);
+  }
+  if (const std::size_t d = digit(cooling_weights_.size());
+      !cooling_weights_.empty()) {
+    // The code label above keeps the base name; the wrap shows up in
+    // the cooling label and in the scheme column of the cell result.
+    const std::size_t w = cooling_weights_[d];
+    s.cooling_weight = w;
+    if (w > 0)
+      s.code = cooling::cooling_name(s.code.value_or("w/o ECC"), w);
+    s.labels.emplace_back("cooling",
+                          w == 0 ? "off" : "w" + std::to_string(w));
   }
   if (const std::size_t d = digit(bers_.size()); !bers_.empty()) {
     s.target_ber = bers_[d];

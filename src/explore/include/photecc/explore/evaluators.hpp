@@ -43,6 +43,13 @@ namespace photecc::explore {
 /// recalibrations.
 [[nodiscard]] const std::vector<std::string>& network_channel_metric_names();
 
+/// Cooling-axis metrics, emitted *only* when the scenario declares the
+/// cooling axis (Scenario::cooling_weight), so cooling-free grids stay
+/// column-stable: evaluate_link_cell appends duty_bound and
+/// thermal_headroom_w; the NoC/network evaluators append duty_bound
+/// (the minimum over their scheme menu).
+[[nodiscard]] const std::vector<std::string>& cooling_metric_names();
+
 /// Analytic evaluation: core::evaluate_scheme on the scenario's channel.
 /// Metrics: link_cell_metric_names() — ct, p_channel_w, p_laser_w,
 /// p_mr_w, p_enc_dec_w, energy_per_bit_j, code_rate, op_laser_w, snr,

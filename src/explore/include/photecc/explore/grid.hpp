@@ -4,8 +4,9 @@
 // Scenario cells.
 //
 // Enumeration order is fixed and documented: the code axis varies
-// fastest, then BER, link variant, ONI count, traffic, gating, policy,
-// modulation, environment.  A grid with only {codes, ber_targets}
+// fastest, then cooling weight, BER, link variant, ONI count, traffic,
+// gating, policy, modulation, environment.  A grid with only
+// {codes, ber_targets}
 // therefore enumerates in exactly the order of the historical
 // core::sweep_tradeoff loops (BER-major, code-minor), which is what
 // lets the refactored benches reproduce byte-identical tables; the
@@ -37,6 +38,13 @@ class ScenarioGrid {
   // --- Axes (fluent setters; an unset axis contributes the base value
   // and no label).  Passing an empty vector clears the axis. ---
   ScenarioGrid& codes(std::vector<std::string> names);
+  /// Cooling axis (between code and BER): each weight w > 0 wraps the
+  /// cell's code into COOL(<code>, w) — the enumerative weight-bounding
+  /// outer code of photecc::cooling — and 0 leaves the plain code
+  /// ("cooling off", the comparison baseline).  Declaring the axis also
+  /// switches on the cooling metric columns (duty_bound,
+  /// thermal_headroom_w) in every evaluator.
+  ScenarioGrid& cooling_weights(std::vector<std::size_t> weights);
   ScenarioGrid& ber_targets(std::vector<double> bers);
   ScenarioGrid& link_variants(std::vector<LinkVariant> variants);
   ScenarioGrid& oni_counts(std::vector<std::size_t> counts);
@@ -64,6 +72,10 @@ class ScenarioGrid {
   // cell takes the base value). ---
   [[nodiscard]] const std::vector<std::string>& code_axis() const noexcept {
     return codes_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& cooling_axis()
+      const noexcept {
+    return cooling_weights_;
   }
   [[nodiscard]] const std::vector<double>& ber_axis() const noexcept {
     return bers_;
@@ -150,6 +162,7 @@ class ScenarioGrid {
 
  private:
   std::vector<std::string> codes_;
+  std::vector<std::size_t> cooling_weights_;
   std::vector<double> bers_;
   std::vector<LinkVariant> link_variants_;
   std::vector<std::size_t> oni_counts_;

@@ -107,8 +107,10 @@ class LoweredPlan {
   std::size_t size_ = 0;
 
   // Axis radices in grid enumeration order (1 = undeclared).
-  std::size_t nc_ = 1, nb_ = 1, nv_ = 1, no_ = 1, nm_ = 1, ne_ = 1;
+  std::size_t nc_ = 1, nw_ = 1, nb_ = 1, nv_ = 1, no_ = 1, nm_ = 1,
+              ne_ = 1;
   bool has_code_axis_ = false;
+  bool has_cooling_axis_ = false;
   bool has_ber_axis_ = false;
 
   // Effective axis values (Scenario defaults when undeclared).
@@ -116,14 +118,19 @@ class LoweredPlan {
   std::vector<double> bers_;
 
   // Pre-rendered label strings, one per declared axis value.
+  std::vector<std::string> cooling_labels_;
   std::vector<std::string> ber_labels_;
   std::vector<std::string> link_labels_;
   std::vector<std::string> oni_labels_;
   std::vector<std::string> mod_labels_;
   std::vector<std::string> env_labels_;
 
-  /// raw_ber of code ci at BER bi, indexed [bi * nc_ + ci] — the shared
-  /// requirement table every channel combo reads.
+  /// raw_ber of plan code (wi * nc_ + ci) at BER bi, indexed
+  /// [bi * nc_ * nw_ + wi * nc_ + ci] — the shared requirement table
+  /// every channel combo reads.  A cooling axis expands the plan's code
+  /// list to nc_ * nw_ entries (each base code wrapped per weight,
+  /// weight 0 = unwrapped), so inversions still run once per distinct
+  /// (effective code, BER) pair.
   std::vector<double> requirements_;
   std::vector<ChannelCombo> combos_;
 

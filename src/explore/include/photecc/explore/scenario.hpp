@@ -80,6 +80,12 @@ struct Scenario {
   /// Code registry name; unset = "adaptive" (the NoC evaluator offers
   /// the manager the full paper menu, the link evaluator uses uncoded).
   std::optional<std::string> code;
+  /// Cooling axis value: set when the grid declares cooling_weights().
+  /// 0 = cooling off (the plain code above); w > 0 means `code` has
+  /// already been wrapped into COOL(<base>, w) by the grid, and the
+  /// evaluators emit the cooling metric columns (duty_bound,
+  /// thermal_headroom_w).
+  std::optional<std::size_t> cooling_weight;
   double target_ber = 1e-9;
   link::MwsrParams link{};
   core::SystemConfig system{};

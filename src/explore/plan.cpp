@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/link/link_budget.hpp"
 #include "photecc/math/modulation.hpp"
@@ -35,9 +36,12 @@ LoweredPlan::LoweredPlan(const ScenarioGrid& grid, PlanOptions options)
   // --- Effective axes: Scenario's defaults stand in for undeclared
   // ones (evaluate_link_cell uses code "w/o ECC" and target 1e-9), with
   // no label emitted.
+  cooling::register_cooling_codes();
   code_names_ = grid.code_axis();
   has_code_axis_ = !code_names_.empty();
   if (!has_code_axis_) code_names_ = {"w/o ECC"};
+  const auto& weights = grid.cooling_axis();
+  has_cooling_axis_ = !weights.empty();
   bers_ = grid.ber_axis();
   has_ber_axis_ = !bers_.empty();
   if (!has_ber_axis_) bers_ = {1e-9};
@@ -47,6 +51,7 @@ LoweredPlan::LoweredPlan(const ScenarioGrid& grid, PlanOptions options)
   const auto& mods = grid.modulation_axis();
   const auto& envs = grid.environment_axis();
   nc_ = code_names_.size();
+  nw_ = std::max<std::size_t>(1, weights.size());
   nb_ = bers_.size();
   nv_ = std::max<std::size_t>(1, variants.size());
   no_ = std::max<std::size_t>(1, onis.size());
@@ -56,6 +61,11 @@ LoweredPlan::LoweredPlan(const ScenarioGrid& grid, PlanOptions options)
 
   // --- Label strings, rendered once per axis value with the exact
   // formatting of ScenarioGrid::at.
+  if (has_cooling_axis_) {
+    cooling_labels_.reserve(nw_);
+    for (const std::size_t w : weights)
+      cooling_labels_.push_back(w == 0 ? "off" : "w" + std::to_string(w));
+  }
   if (has_ber_axis_) {
     ber_labels_.reserve(nb_);
     for (const double ber : bers_)
@@ -77,16 +87,24 @@ LoweredPlan::LoweredPlan(const ScenarioGrid& grid, PlanOptions options)
   // --- Shared (code, BER) requirement table.  The inversion depends
   // only on the code model, never on the channel, so every combo reads
   // the same table; bit-equal to the per-cell inversion because it IS
-  // the per-cell inversion, run once per distinct pair.
+  // the per-cell inversion, run once per distinct pair.  The cooling
+  // axis expands the plan's code list to nc_ * nw_ effective codes —
+  // the same COOL(<base>, w) wrap ScenarioGrid::at applies per cell.
   std::vector<ecc::BlockCodePtr> codes;
-  codes.reserve(nc_);
-  for (const auto& name : code_names_) codes.push_back(ecc::make_code(name));
-  requirements_.resize(nc_ * nb_);
+  codes.reserve(nc_ * nw_);
+  for (std::size_t wi = 0; wi < nw_; ++wi) {
+    for (const auto& name : code_names_) {
+      const bool wrap = has_cooling_axis_ && weights[wi] > 0;
+      codes.push_back(ecc::make_code(
+          wrap ? cooling::cooling_name(name, weights[wi]) : name));
+    }
+  }
+  requirements_.resize(nc_ * nw_ * nb_);
   for (std::size_t bi = 0; bi < nb_; ++bi) {
-    for (std::size_t ci = 0; ci < nc_; ++ci) {
+    for (std::size_t pci = 0; pci < nc_ * nw_; ++pci) {
       ecc::RawBerSolveTrace trace;
-      requirements_[bi * nc_ + ci] =
-          codes[ci]->required_raw_ber_checked(bers_[bi], &trace).raw_ber;
+      requirements_[bi * nc_ * nw_ + pci] =
+          codes[pci]->required_raw_ber_checked(bers_[bi], &trace).raw_ber;
       ++stats_.root_solves;
       stats_.solver_iterations +=
           static_cast<std::size_t>(std::max(0, trace.iterations));
@@ -135,8 +153,8 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   // Struct-of-arrays scratch: decode once, then run the transcendental
   // BER -> SNR map as one tight batch before any per-cell assembly.
-  std::vector<std::size_t> ci(n), bi(n), vi(n), oi(n), mi(n), ei(n);
-  std::vector<std::size_t> combo(n);
+  std::vector<std::size_t> ci(n), wi(n), bi(n), vi(n), oi(n), mi(n), ei(n);
+  std::vector<std::size_t> pci(n), combo(n);
   std::vector<double> raw_ber(n), snr(n);
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -145,6 +163,8 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
     std::size_t rem = begin + k;
     ci[k] = rem % nc_;
     rem /= nc_;
+    wi[k] = rem % nw_;
+    rem /= nw_;
     bi[k] = rem % nb_;
     rem /= nb_;
     vi[k] = rem % nv_;
@@ -155,7 +175,8 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
     rem /= nm_;
     ei[k] = rem % ne_;
     combo[k] = vi[k] + nv_ * (oi[k] + no_ * (mi[k] + nm_ * ei[k]));
-    raw_ber[k] = requirements_[bi[k] * nc_ + ci[k]];
+    pci[k] = wi[k] * nc_ + ci[k];
+    raw_ber[k] = requirements_[bi[k] * nc_ * nw_ + pci[k]];
   }
 
   for (std::size_t k = 0; k < n; ++k)
@@ -170,6 +191,8 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
     // strings.
     if (has_code_axis_)
       cell.labels.emplace_back("code", code_names_[ci[k]]);
+    if (has_cooling_axis_)
+      cell.labels.emplace_back("cooling", cooling_labels_[wi[k]]);
     if (has_ber_axis_)
       cell.labels.emplace_back("target_ber", ber_labels_[bi[k]]);
     if (!link_labels_.empty())
@@ -182,7 +205,7 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
       cell.labels.emplace_back("environment", env_labels_[ei[k]]);
 
     core::SchemeMetrics m = c.plan->evaluate_with_solution(
-        ci[k], bers_[bi[k]], raw_ber[k], snr[k]);
+        pci[k], bers_[bi[k]], raw_ber[k], snr[k]);
     cell.feasible = m.feasible;
     cell.set_metric("ct", m.ct);
     cell.set_metric("p_channel_w", m.p_channel_w);
@@ -195,6 +218,12 @@ void LoweredPlan::execute_block(std::size_t begin, std::size_t end,
     cell.set_metric("snr", m.operating_point.snr);
     cell.set_metric("p_interconnect_w", m.p_interconnect_w);
     cell.set_metric("total_loss_db", c.total_loss_db);
+    if (has_cooling_axis_) {
+      cell.set_metric("duty_bound", m.duty_bound);
+      cell.set_metric("thermal_headroom_w",
+                      core::thermal_headroom_w(*c.channel, m,
+                                               c.channel->environment()));
+    }
     cell.scheme = std::move(m);
     cells[begin + k] = std::move(cell);
   }

@@ -48,6 +48,8 @@ class OperatingPointSolver {
 
   /// Bit-identical to
   /// solve_operating_point(channel, code, target_ber, ch, environment).
+  /// The code's transmit_duty_bound() is applied to the activity the
+  /// laser derating sees (1.0 for non-cooling codes — no change).
   [[nodiscard]] LinkOperatingPoint solve(
       const ecc::BlockCode& code, double target_ber,
       const env::EnvironmentSample& environment,
@@ -69,9 +71,14 @@ class OperatingPointSolver {
   /// lowered-plan entry point, where (code, target) inversions are
   /// hoisted into a shared table.  `raw_ber` must equal
   /// code.required_raw_ber(target_ber) for bit-identity with solve().
+  /// `duty_bound` is the code's transmit_duty_bound(): values < 1 scale
+  /// the activity the laser derating sees (fewer simultaneously-hot
+  /// wires heat the array less); 1.0 (the default) is bit-identical to
+  /// the pre-duty solver.
   [[nodiscard]] LinkOperatingPoint solve_from_raw_ber(
       double raw_ber, double target_ber,
-      const env::EnvironmentSample& environment) const;
+      const env::EnvironmentSample& environment,
+      double duty_bound = 1.0) const;
 
   /// Tail from a precomputed (raw BER, SNR) pair — the batched entry:
   /// the explore plan computes SNR for a whole struct-of-arrays cell
@@ -80,7 +87,8 @@ class OperatingPointSolver {
   /// bit-identity (solve_from_raw_ber is exactly that composition).
   [[nodiscard]] LinkOperatingPoint solve_from_snr(
       double raw_ber, double snr, double target_ber,
-      const env::EnvironmentSample& environment) const;
+      const env::EnvironmentSample& environment,
+      double duty_bound = 1.0) const;
 
   [[nodiscard]] std::size_t channel_index() const noexcept { return ch_; }
   [[nodiscard]] double eye_transmission() const noexcept { return t_eye_; }

@@ -29,20 +29,33 @@ OperatingPointSolver::OperatingPointSolver(const MwsrChannel& channel,
 OperatingPointSolver::OperatingPointSolver(const MwsrChannel& channel)
     : OperatingPointSolver(channel, channel.worst_channel()) {}
 
+namespace {
+
+/// Activity the laser thermally sees under a guaranteed wire-duty
+/// bound.  The branch (rather than an unconditional multiply) keeps the
+/// duty_bound == 1.0 path bit-identical to the pre-duty solver even for
+/// activities where `activity * 1.0` could round.
+[[nodiscard]] double effective_activity(double activity,
+                                        double duty_bound) noexcept {
+  return duty_bound < 1.0 ? activity * duty_bound : activity;
+}
+
+}  // namespace
+
 LinkOperatingPoint OperatingPointSolver::solve_from_raw_ber(
     double raw_ber, double target_ber,
-    const env::EnvironmentSample& environment) const {
+    const env::EnvironmentSample& environment, double duty_bound) const {
   // Full-eye SNR: for multilevel formats the per-boundary requirement
   // scales by (levels-1)^2, which snr_from_ber_clamped folds in.
   return solve_from_snr(
       raw_ber,
       math::snr_from_ber_clamped(channel_->params().modulation, raw_ber),
-      target_ber, environment);
+      target_ber, environment, duty_bound);
 }
 
 LinkOperatingPoint OperatingPointSolver::solve_from_snr(
     double raw_ber, double snr, double target_ber,
-    const env::EnvironmentSample& environment) const {
+    const env::EnvironmentSample& environment, double duty_bound) const {
   LinkOperatingPoint point;
   point.target_ber = target_ber;
   point.raw_ber = raw_ber;
@@ -58,7 +71,8 @@ LinkOperatingPoint OperatingPointSolver::solve_from_snr(
   point.op_crosstalk_w = point.op_laser_w * t_xt_;
 
   const auto electrical = channel_->laser().electrical_power(
-      point.op_laser_w, environment.activity);
+      point.op_laser_w,
+      effective_activity(environment.activity, duty_bound));
   if (electrical) {
     point.feasible = true;
     point.p_laser_w = *electrical;
@@ -78,11 +92,12 @@ LinkOperatingPoint OperatingPointSolver::solve(
   // re-runs the inversion — bit-identical either way.
   if (previous && previous->target_ber == target_ber) {
     if (trace) *trace = {0, true};
-    return solve_from_raw_ber(previous->raw_ber, target_ber, environment);
+    return solve_from_raw_ber(previous->raw_ber, target_ber, environment,
+                              code.transmit_duty_bound());
   }
   return solve_from_raw_ber(
       code.required_raw_ber_checked(target_ber, trace).raw_ber, target_ber,
-      environment);
+      environment, code.transmit_duty_bound());
 }
 
 LinkOperatingPoint OperatingPointSolver::solve(
@@ -139,8 +154,10 @@ double best_achievable_ber(const MwsrChannel& channel,
   const double margin = t_eye - t_xt;
   if (margin <= 0.0) return 0.5;
   const auto& det = channel.detector().params();
-  const double op_max =
-      channel.laser().max_optical_power(environment.activity);
+  const double op_max = channel.laser().max_optical_power(
+      code.transmit_duty_bound() < 1.0
+          ? environment.activity * code.transmit_duty_bound()
+          : environment.activity);
   const double snr_max =
       det.responsivity_a_per_w * op_max * margin / det.dark_current_a;
   return ecc::achieved_ber(code, snr_max, channel.params().modulation);

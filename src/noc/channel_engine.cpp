@@ -198,7 +198,12 @@ void run_channel(std::vector<Message>& messages, const ChannelParams& params,
     now = end;
     for (const ChannelSink& sink : sinks)
       sink.stats->busy_time_s += end - grant_time;
-    busy_since_advance += end - grant_time;
+    // The self-heating loop sees the duty-bounded busy time: a cooling
+    // code lighting at most duty_bound of the wires heats the array
+    // proportionally less.  busy_time_s above stays raw occupancy.
+    busy_since_advance += metrics.duty_bound < 1.0
+                              ? (end - grant_time) * metrics.duty_bound
+                              : (end - grant_time);
 
     const double latency = end - msg.creation_time_s;
     const bool missed = msg.deadline_s && end > *msg.deadline_s;

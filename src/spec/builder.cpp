@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "photecc/cooling/cooling_code.hpp"
+
 namespace photecc::spec {
 
 SpecBuilder& SpecBuilder::name(std::string value) {
@@ -36,6 +38,17 @@ SpecBuilder& SpecBuilder::noc_horizon(double horizon_s) {
 
 SpecBuilder& SpecBuilder::codes(std::vector<std::string> names) {
   spec_.codes = std::move(names);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::cooling(const std::string& inner,
+                                  std::size_t weight) {
+  spec_.codes.push_back(cooling::cooling_name(inner, weight));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::cooling(std::size_t length, std::size_t weight) {
+  spec_.codes.push_back(cooling::cooling_name(length, weight));
   return *this;
 }
 

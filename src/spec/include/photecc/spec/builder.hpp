@@ -45,6 +45,13 @@ class SpecBuilder {
 
   // --- Axes (empty vector = leave the axis undeclared). ---
   SpecBuilder& codes(std::vector<std::string> names);
+  /// Appends one concatenated cooling code "COOL(<inner>,w)" to the
+  /// codes axis (schema v4): bounded-weight words through the
+  /// systematic `inner` FEC.
+  SpecBuilder& cooling(const std::string& inner, std::size_t weight);
+  /// Appends one pure cooling code "COOL(n,w)" to the codes axis
+  /// (schema v4): n-wire words of weight <= w, no error correction.
+  SpecBuilder& cooling(std::size_t length, std::size_t weight);
   SpecBuilder& ber_targets(std::vector<double> bers);
   SpecBuilder& links(std::vector<std::string> registry_keys);
   SpecBuilder& oni_counts(std::vector<std::size_t> counts);

@@ -34,6 +34,13 @@
 //       environments) and the "trace" traffic kind (file-driven
 //       message timelines).  Either feature inside a v1/v2 document is
 //       rejected with a pointer at the version field.
+//   4 — adds the "cooling" scheme kind to `axes.codes` and
+//       `network.channel_codes`: entries may be objects
+//       `{"kind": "cooling", "inner": <code>|"n": <bits>, "weight": w}`
+//       (or equivalently "COOL(...)" name strings) naming a
+//       weight-bounded cooling code, pure or concatenated with an inner
+//       FEC.  A cooling entry inside a v1..v3 document is rejected with
+//       a pointer at the version field.
 #ifndef PHOTECC_SPEC_SPEC_HPP
 #define PHOTECC_SPEC_SPEC_HPP
 
@@ -51,7 +58,7 @@ namespace photecc::spec {
 /// The newest schema version to_json() can write (it emits the
 /// smallest version that expresses the spec).  from_json() accepts
 /// every version in [kMinSchemaVersion, kSchemaVersion].
-inline constexpr std::uint64_t kSchemaVersion = 3;
+inline constexpr std::uint64_t kSchemaVersion = 4;
 inline constexpr std::uint64_t kMinSchemaVersion = 1;
 
 /// Default base seed — the ScenarioGrid default, restated here so a

@@ -1,5 +1,6 @@
 #include "photecc/spec/registries.hpp"
 
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
 #include "photecc/explore/scenario.hpp"
@@ -244,6 +245,37 @@ ExperimentSpec network_preset() {
   return spec;
 }
 
+/// The cooling-code sweep (schema v4): the ramp / self-heating
+/// environments of the thermal preset, with weight-bounded cooling
+/// wraps of H(71,64) next to the bare FEC menu — the duty-bound
+/// columns and dropped_thermal objective expose the thermal headroom a
+/// cooling code buys at its rate cost.
+ExperimentSpec cooling_preset() {
+  ExperimentSpec spec;
+  spec.name = "cooling";
+  spec.noc_horizon_s = 2e-6;
+  spec.codes = {"w/o ECC", "H(71,64)",
+                cooling::cooling_name(std::size_t{64}, std::size_t{16}),
+                cooling::cooling_name("H(71,64)", 16),
+                cooling::cooling_name("H(71,64)", 32)};
+  spec.ber_targets = {1e-11};
+  spec.traffic = {{"uniform", 4e8, 4096, 0, 0.5, ""}};
+  EnvironmentEntry ramp;
+  ramp.kind = "ramp";
+  ramp.start_s = 2e-7;
+  ramp.end_s = 1.2e-6;
+  ramp.from_activity = 0.25;
+  ramp.to_activity = 1.0;
+  EnvironmentEntry self_heating;
+  self_heating.kind = "self-heating";
+  self_heating.baseline_activity = 0.25;
+  self_heating.busy_gain = 0.75;
+  self_heating.tau_s = 4e-7;
+  spec.environments = {ramp, self_heating};
+  spec.objectives = {{"dropped_thermal", true}, {"energy_per_bit_j", true}};
+  return spec;
+}
+
 ExperimentSpec modulation_smoke_preset() {
   ExperimentSpec spec;
   spec.name = "modulation-smoke";
@@ -265,6 +297,7 @@ Registry<ExperimentSpec>& preset_registry() {
     r->add("modulation-smoke", modulation_smoke_preset);
     r->add("thermal", thermal_preset);
     r->add("network", network_preset);
+    r->add("cooling", cooling_preset);
     return r;
   }();
   return *registry;

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string_view>
 
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/explore/evaluators.hpp"
 #include "photecc/math/hash.hpp"
@@ -31,6 +33,34 @@ std::string string_array(const std::vector<std::string>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) out += ", ";
     out += json::escape(values[i]);
+  }
+  return out + "]";
+}
+
+/// One codes-axis / channel_codes entry.  Cooling codes (schema v4)
+/// serialize as kind-discriminated objects so the document states the
+/// weight bound explicitly; every other code name stays a plain string,
+/// byte-identical to the pre-v4 form.
+std::string code_entry(const std::string& name) {
+  if (cooling::is_cooling_name(name)) {
+    try {
+      const cooling::CoolingName parsed = *cooling::parse_cooling_name(name);
+      std::string out = "{\"kind\": \"cooling\", ";
+      out += parsed.pure ? "\"n\": " + std::to_string(parsed.length)
+                         : "\"inner\": " + json::escape(parsed.inner);
+      return out + ", \"weight\": " + std::to_string(parsed.weight) + "}";
+    } catch (const std::invalid_argument&) {
+      // Malformed COOL(...) — validate() rejects it; emit verbatim.
+    }
+  }
+  return json::escape(name);
+}
+
+std::string code_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ", ";
+    out += code_entry(values[i]);
   }
   return out + "]";
 }
@@ -137,11 +167,26 @@ bool needs_schema_v3(const ExperimentSpec& spec) {
   return false;
 }
 
+/// True when the spec uses a v4 feature (a cooling code on either code
+/// axis); composes with needs_schema_v3 under the same minimal-version
+/// rule.
+bool needs_schema_v4(const ExperimentSpec& spec) {
+  for (const std::string& name : spec.codes)
+    if (cooling::is_cooling_name(name)) return true;
+  if (spec.network)
+    for (const std::string& name : spec.network->channel_codes)
+      if (cooling::is_cooling_name(name)) return true;
+  return false;
+}
+
 }  // namespace
 
 std::string ExperimentSpec::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"photecc_spec\": " << (needs_schema_v3(*this) ? 3 : 2);
+  os << "{\n  \"photecc_spec\": "
+     << (needs_schema_v4(*this)   ? 4
+         : needs_schema_v3(*this) ? 3
+                                  : 2);
   if (!name.empty()) os << ",\n  \"name\": " << json::escape(name);
   os << ",\n  \"evaluator\": " << json::escape(evaluator);
   os << ",\n  \"threads\": " << threads;
@@ -159,7 +204,7 @@ std::string ExperimentSpec::to_json() const {
        << "    \"channel_count\": " << n.channel_count << ",\n"
        << "    \"mapping\": " << json::escape(n.mapping);
     if (!n.channel_codes.empty())
-      os << ",\n    \"channel_codes\": " << string_array(n.channel_codes);
+      os << ",\n    \"channel_codes\": " << code_array(n.channel_codes);
     if (!n.channel_environments.empty()) {
       os << ",\n    \"channel_environments\": [\n";
       for (std::size_t i = 0; i < n.channel_environments.size(); ++i) {
@@ -173,7 +218,7 @@ std::string ExperimentSpec::to_json() const {
 
   std::vector<std::string> axis_lines;
   if (!codes.empty())
-    axis_lines.push_back("\"codes\": " + string_array(codes));
+    axis_lines.push_back("\"codes\": " + code_array(codes));
   if (!ber_targets.empty())
     axis_lines.push_back("\"ber_targets\": " + double_array(ber_targets));
   if (!links.empty())
@@ -278,6 +323,80 @@ std::vector<std::string> parse_string_array(const json::Value& v,
   const auto& array = expect_array(v, path);
   for (std::size_t i = 0; i < array.size(); ++i)
     out.push_back(expect_string(array[i], element_path(path, i)));
+  return out;
+}
+
+[[noreturn]] void cooling_needs_v4(std::uint64_t version) {
+  throw SpecError("photecc_spec",
+                  "cooling codes need schema version >= 4, "
+                  "document declares " + std::to_string(version));
+}
+
+/// One codes-axis / channel_codes entry: a plain code-name string, or
+/// (schema v4) the kind-discriminated cooling object, canonicalised to
+/// its COOL(...) name so the spec struct stays a vector of registry
+/// names.  COOL(...) *strings* are gated on v4 too — a pre-v4 document
+/// cannot smuggle the feature past the version check.
+std::string parse_code_entry(const json::Value& v, const std::string& path,
+                             std::uint64_t version) {
+  if (v.type() == json::Value::Type::kString) {
+    const std::string& name = v.as_string();
+    if (cooling::is_cooling_name(name) && version < 4)
+      cooling_needs_v4(version);
+    return name;
+  }
+  // Anything that is neither a name string nor a cooling object is a
+  // plain type error on the entry, not a version problem.
+  if (v.type() != json::Value::Type::kObject)
+    (void)expect_string(v, path);
+  if (version < 4) cooling_needs_v4(version);
+  std::string kind;
+  bool saw_kind = false;
+  std::optional<std::string> inner;
+  std::optional<std::uint64_t> length;
+  std::optional<std::uint64_t> weight;
+  for (const auto& [key, value] : expect_object(v, path)) {
+    const std::string key_path = path + "." + key;
+    if (key == "kind") {
+      kind = expect_string(value, key_path);
+      saw_kind = true;
+    } else if (key == "inner") {
+      inner = expect_string(value, key_path);
+    } else if (key == "n") {
+      length = expect_uint64(value, key_path);
+    } else if (key == "weight") {
+      weight = expect_uint64(value, key_path);
+    } else {
+      unknown_key(key_path, "kind, inner, n, weight");
+    }
+  }
+  if (!saw_kind)
+    throw SpecError(path + ".kind",
+                    "required (the only scheme kind: cooling)");
+  if (kind != "cooling")
+    throw SpecError(path + ".kind",
+                    "unknown scheme kind '" + kind + "' (known: cooling)");
+  if (inner.has_value() == length.has_value())
+    throw SpecError(path,
+                    "a cooling entry takes exactly one of 'inner' "
+                    "(concatenated with a FEC) or 'n' (pure)");
+  if (!weight)
+    throw SpecError(path + ".weight", "required (the wire weight bound)");
+  return inner ? cooling::cooling_name(
+                     *inner, static_cast<std::size_t>(*weight))
+               : cooling::cooling_name(
+                     static_cast<std::size_t>(*length),
+                     static_cast<std::size_t>(*weight));
+}
+
+std::vector<std::string> parse_code_array(const json::Value& v,
+                                          const std::string& path,
+                                          std::uint64_t version) {
+  std::vector<std::string> out;
+  const auto& array = expect_array(v, path);
+  for (std::size_t i = 0; i < array.size(); ++i)
+    out.push_back(
+        parse_code_entry(array[i], element_path(path, i), version));
   return out;
 }
 
@@ -468,7 +587,7 @@ void parse_axes(const json::Value& v, ExperimentSpec& spec,
   for (const auto& [key, value] : expect_object(v, "axes")) {
     const std::string key_path = "axes." + key;
     if (key == "codes") {
-      spec.codes = parse_string_array(value, key_path);
+      spec.codes = parse_code_array(value, key_path, version);
     } else if (key == "ber_targets") {
       spec.ber_targets = parse_double_array(value, key_path);
     } else if (key == "links") {
@@ -525,7 +644,7 @@ void parse_network(const json::Value& v, ExperimentSpec& spec,
     } else if (key == "mapping") {
       entry.mapping = expect_string(value, key_path);
     } else if (key == "channel_codes") {
-      entry.channel_codes = parse_string_array(value, key_path);
+      entry.channel_codes = parse_code_array(value, key_path, version);
     } else if (key == "channel_environments") {
       const auto& array = expect_array(value, key_path);
       for (std::size_t i = 0; i < array.size(); ++i)
@@ -693,6 +812,10 @@ std::optional<std::vector<std::string>> known_objective_metrics(
 }  // namespace
 
 void validate(const ExperimentSpec& spec) {
+  // The COOL(...) family resolves through the ecc factory hook; make
+  // sure it is installed before any make_code call below.
+  cooling::register_cooling_codes();
+
   if (spec.evaluator != "auto" &&
       !evaluator_registry().contains(spec.evaluator)) {
     std::string known = "auto";

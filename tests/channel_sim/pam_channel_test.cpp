@@ -66,8 +66,7 @@ TEST(PamChannel, MeasuredBerMatchesAnalyticModel) {
       for (std::size_t i = 0; i < word.size(); ++i)
         word.set(i, data_rng.bernoulli(0.5));
       const ecc::BitVec received = channel.transmit(word);
-      for (std::size_t i = 0; i < word.size(); ++i)
-        errors += received.get(i) != word.get(i);
+      errors += received.distance(word);
       total += word.size();
     }
     const double measured =

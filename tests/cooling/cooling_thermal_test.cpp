@@ -1,0 +1,138 @@
+// The cooling guarantee threaded through the thermal stack: the
+// integrator's duty-bounded busy fraction, the link solver's derated
+// activity, and the thermal-headroom metric.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "photecc/cooling/cooling_code.hpp"
+#include "photecc/core/channel_power.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/env/environment.hpp"
+#include "photecc/link/snr_solver.hpp"
+
+namespace photecc {
+namespace {
+
+/// The bench's hot channel: long enough that strong FEC alone runs out
+/// of thermal headroom below full activity.
+link::MwsrParams hot_channel_params() {
+  link::MwsrParams params;
+  params.waveguide_length_m = 0.14;
+  params.oni_count = 16;
+  return params;
+}
+
+TEST(ThermalIntegratorDuty, UnitDutyIsBitIdenticalToTheTwoArgOverload) {
+  const auto timeline =
+      env::EnvironmentTimeline::self_heating(0.2, 0.6, 1e-6);
+  env::ThermalIntegrator plain{timeline};
+  env::ThermalIntegrator bounded{timeline};
+  double t = 0.0;
+  for (const double busy : {1.0, 0.3, 0.0, 0.7}) {
+    t += 3e-7;
+    const auto a = plain.advance_to(t, busy);
+    const auto b = bounded.advance_to(t, busy, 1.0);
+    EXPECT_EQ(a, b) << "t=" << t;
+  }
+}
+
+TEST(ThermalIntegratorDuty, DutyBoundScalesTheBusyFraction) {
+  // advance_to(t, busy, duty) must equal advance_to(t, busy * duty):
+  // a channel whose wires are lit at most a `duty` fraction of the
+  // time heats the array like a proportionally less busy channel.
+  const auto timeline =
+      env::EnvironmentTimeline::self_heating(0.25, 0.75, 4e-7);
+  const double duty = 2.0 / 3.0;
+  env::ThermalIntegrator bounded{timeline};
+  env::ThermalIntegrator reference{timeline};
+  double t = 0.0;
+  for (const double busy : {1.0, 0.5, 0.9, 0.2}) {
+    t += 2e-7;
+    const auto a = bounded.advance_to(t, busy, duty);
+    const auto b = reference.advance_to(t, busy * duty);
+    EXPECT_DOUBLE_EQ(a.activity, b.activity) << "t=" << t;
+  }
+  // Settled under full load: baseline + gain * duty.
+  const auto settled = bounded.advance_to(1e-3, 1.0, duty);
+  EXPECT_NEAR(settled.activity, 0.25 + 0.75 * duty, 1e-9);
+}
+
+TEST(CoolingThermal, DutyBoundWidensTheFeasibleActivityWindow) {
+  cooling::register_cooling_codes();
+  const link::MwsrChannel channel{hot_channel_params()};
+  const double target_ber = 1e-11;
+  const auto inner = ecc::make_code("BCH(15,7,2)");
+  const auto cooled = ecc::make_code("COOL(BCH(15,7,2),3)");
+
+  // At high activity the plain inner code runs out of laser headroom
+  // while the duty-bounded wrap still solves.
+  const env::EnvironmentSample hot{0.0, 0.9};
+  EXPECT_FALSE(
+      link::solve_operating_point(channel, *inner, target_ber, hot)
+          .feasible);
+  EXPECT_TRUE(
+      link::solve_operating_point(channel, *cooled, target_ber, hot)
+          .feasible);
+
+  // At a mild activity both are feasible — the wrap widens the window
+  // without shrinking it at the bottom of the covered range.
+  const env::EnvironmentSample mild{0.0, 0.5};
+  EXPECT_TRUE(
+      link::solve_operating_point(channel, *inner, target_ber, mild)
+          .feasible);
+  EXPECT_TRUE(
+      link::solve_operating_point(channel, *cooled, target_ber, mild)
+          .feasible);
+}
+
+TEST(CoolingThermal, HeadroomIsPositiveIffFeasibleAndCoolingGainsIt) {
+  cooling::register_cooling_codes();
+  const link::MwsrChannel channel{hot_channel_params()};
+  const double target_ber = 1e-11;
+  const core::SystemConfig config;
+  const env::EnvironmentSample hot{0.0, 0.9};
+
+  const auto inner = ecc::make_code("BCH(15,7,2)");
+  const auto cooled = ecc::make_code("COOL(BCH(15,7,2),3)");
+  const core::SchemeMetrics fec =
+      core::evaluate_scheme(channel, *inner, target_ber, config, hot);
+  const core::SchemeMetrics cool =
+      core::evaluate_scheme(channel, *cooled, target_ber, config, hot);
+
+  EXPECT_DOUBLE_EQ(fec.duty_bound, 1.0);
+  EXPECT_DOUBLE_EQ(cool.duty_bound, cooled->transmit_duty_bound());
+  EXPECT_LT(cool.duty_bound, 1.0);
+
+  const double fec_headroom =
+      core::thermal_headroom_w(channel, fec, hot);
+  const double cool_headroom =
+      core::thermal_headroom_w(channel, cool, hot);
+  EXPECT_FALSE(fec.feasible);
+  EXPECT_LT(fec_headroom, 0.0);
+  EXPECT_TRUE(cool.feasible);
+  EXPECT_GT(cool_headroom, 0.0);
+  EXPECT_GT(cool_headroom, fec_headroom);
+}
+
+TEST(CoolingThermal, HeadroomShrinksMonotonicallyWithActivity) {
+  cooling::register_cooling_codes();
+  const link::MwsrChannel channel{hot_channel_params()};
+  const double target_ber = 1e-11;
+  const core::SystemConfig config;
+  const auto code = ecc::make_code("COOL(BCH(15,7,2),3)");
+
+  double previous = std::numeric_limits<double>::infinity();
+  for (const double activity : {0.2, 0.5, 0.8, 1.0}) {
+    const env::EnvironmentSample sample{0.0, activity};
+    const core::SchemeMetrics m =
+        core::evaluate_scheme(channel, *code, target_ber, config, sample);
+    const double headroom = core::thermal_headroom_w(channel, m, sample);
+    EXPECT_LT(headroom, previous) << "activity=" << activity;
+    previous = headroom;
+  }
+}
+
+}  // namespace
+}  // namespace photecc

@@ -1,0 +1,112 @@
+#include "photecc/cooling/enumerative.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace photecc::cooling {
+namespace {
+
+using ecc::BitVec;
+
+TEST(BoundedWeightCoder, ConstructorValidates) {
+  EXPECT_THROW(BoundedWeightCoder(1, 1), std::invalid_argument);
+  EXPECT_THROW(BoundedWeightCoder(8, 0), std::invalid_argument);
+  EXPECT_THROW(BoundedWeightCoder(8, 9), std::invalid_argument);
+  EXPECT_NO_THROW(BoundedWeightCoder(2, 1));
+  EXPECT_NO_THROW(BoundedWeightCoder(8, 8));
+}
+
+TEST(BoundedWeightCoder, CountsMatchTheBinomialSums) {
+  // N(8, 2) = C(8,0) + C(8,1) + C(8,2) = 1 + 8 + 28 = 37 -> k = 5.
+  const BoundedWeightCoder c82(8, 2);
+  EXPECT_EQ(c82.length(), 8u);
+  EXPECT_EQ(c82.max_weight(), 2u);
+  EXPECT_EQ(c82.word_count(), 37u);
+  EXPECT_EQ(c82.message_bits(), 5u);
+
+  // N(4, 1) = 5 -> k = 2;  N(11, 2) = 1 + 11 + 55 = 67 -> k = 6.
+  EXPECT_EQ(BoundedWeightCoder(4, 1).word_count(), 5u);
+  EXPECT_EQ(BoundedWeightCoder(4, 1).message_bits(), 2u);
+  EXPECT_EQ(BoundedWeightCoder(11, 2).word_count(), 67u);
+  EXPECT_EQ(BoundedWeightCoder(11, 2).message_bits(), 6u);
+
+  // w = length: the full space, k = length (exact power of two).
+  EXPECT_EQ(BoundedWeightCoder(6, 6).word_count(), 64u);
+  EXPECT_EQ(BoundedWeightCoder(6, 6).message_bits(), 6u);
+}
+
+TEST(BoundedWeightCoder, UnrankRankRoundTripsEveryMessage) {
+  for (const auto& [length, weight] :
+       {std::pair<std::size_t, std::size_t>{8, 2}, {4, 1}, {11, 2},
+        {6, 6}, {16, 3}}) {
+    const BoundedWeightCoder coder(length, weight);
+    for (std::uint64_t value = 0;
+         value < (std::uint64_t{1} << coder.message_bits()); ++value) {
+      const BitVec word = coder.unrank(value);
+      EXPECT_EQ(word.size(), length);
+      EXPECT_LE(word.popcount(), weight);
+      EXPECT_EQ(coder.rank(word), value)
+          << "length=" << length << " weight=" << weight
+          << " value=" << value;
+    }
+  }
+}
+
+TEST(BoundedWeightCoder, UnrankEnumeratesWordsInIncreasingIntegerOrder) {
+  const BoundedWeightCoder coder(10, 3);
+  std::uint64_t previous = coder.unrank(0).to_uint();
+  for (std::uint64_t value = 1;
+       value < (std::uint64_t{1} << coder.message_bits()); ++value) {
+    const std::uint64_t current = coder.unrank(value).to_uint();
+    EXPECT_GT(current, previous) << "value=" << value;
+    previous = current;
+  }
+}
+
+TEST(BoundedWeightCoder, RankIsExhaustivelyTheOrderingIndex) {
+  // Walk ALL 2^8 words in integer order; the bounded-weight ones must
+  // rank 0, 1, 2, ... consecutively, and the rest must throw.
+  const BoundedWeightCoder coder(8, 2);
+  std::uint64_t expected_rank = 0;
+  for (std::uint64_t bits = 0; bits < 256; ++bits) {
+    const BitVec word = BitVec::from_uint(bits, 8);
+    if (word.popcount() <= 2) {
+      EXPECT_EQ(coder.rank(word), expected_rank) << "bits=" << bits;
+      ++expected_rank;
+    } else {
+      EXPECT_THROW((void)coder.rank(word), std::invalid_argument);
+    }
+  }
+  EXPECT_EQ(expected_rank, coder.word_count());
+}
+
+TEST(BoundedWeightCoder, OutOfRangeInputsThrow) {
+  const BoundedWeightCoder coder(8, 2);
+  // 2^k = 32 messages; values 32.. are rejected even though ranks up
+  // to 36 name valid words (the encoder only uses the power-of-two
+  // prefix).
+  EXPECT_NO_THROW((void)coder.unrank(31));
+  EXPECT_THROW((void)coder.unrank(32), std::invalid_argument);
+  EXPECT_THROW((void)coder.unrank(37), std::invalid_argument);
+  EXPECT_THROW((void)coder.rank(BitVec(7)), std::invalid_argument);
+  EXPECT_THROW((void)coder.rank(BitVec(9)), std::invalid_argument);
+}
+
+TEST(BoundedWeightCoder, SaturatingCountsStillRoundTripWideCoders) {
+  // N(128, 64) overflows uint64; the message width caps at 63 and
+  // rank/unrank stay exact on the representable range.
+  const BoundedWeightCoder coder(128, 64);
+  EXPECT_EQ(coder.message_bits(), 63u);
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{12345},
+        (std::uint64_t{1} << 62), (std::uint64_t{1} << 63) - 1}) {
+    const BitVec word = coder.unrank(value);
+    EXPECT_LE(word.popcount(), 64u);
+    EXPECT_EQ(coder.rank(word), value) << value;
+  }
+}
+
+}  // namespace
+}  // namespace photecc::cooling

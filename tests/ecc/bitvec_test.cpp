@@ -105,5 +105,23 @@ TEST(BitVec, PopcountOverMultipleWords) {
   EXPECT_EQ(v.popcount(), 67u);
 }
 
+TEST(BitVec, PopcountEmptyVectorIsZero) {
+  EXPECT_EQ(BitVec{}.popcount(), 0u);
+  EXPECT_EQ(BitVec(0).popcount(), 0u);
+}
+
+TEST(BitVec, PopcountPartialTailWord) {
+  // 70 bits: one full word plus a 6-bit tail.  Every set() keeps the
+  // unused tail bits zero, so the word-parallel count must equal the
+  // number of *valid* set bits exactly.
+  BitVec v(70);
+  for (std::size_t i = 64; i < 70; ++i) v.set(i, true);
+  EXPECT_EQ(v.popcount(), 6u);
+  for (std::size_t i = 0; i < 70; ++i) v.set(i, true);
+  EXPECT_EQ(v.popcount(), 70u);
+  v.flip(69);
+  EXPECT_EQ(v.popcount(), 69u);
+}
+
 }  // namespace
 }  // namespace photecc::ecc

@@ -70,11 +70,10 @@ TEST_P(InterleaverShapes, BurstSpreadsToOneErrorPerRow) {
     BitVec burst(total);  // error mask
     for (std::size_t i = 0; i < rows; ++i) burst.set(start + i, true);
     const BitVec spread = il.deinterleave(burst);
-    // Count errors per row of the deinterleaved frame.
+    // Count errors per row of the deinterleaved frame (word-parallel
+    // weight of each row slice).
     for (std::size_t r = 0; r < rows; ++r) {
-      std::size_t errors = 0;
-      for (std::size_t c = 0; c < cols; ++c)
-        if (spread.get(r * cols + c)) ++errors;
+      const std::size_t errors = spread.slice(r * cols, cols).popcount();
       EXPECT_LE(errors, 1u) << "rows=" << rows << " cols=" << cols
                             << " start=" << start << " row=" << r;
     }

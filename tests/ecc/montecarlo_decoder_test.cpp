@@ -1,0 +1,81 @@
+// Bit-true encode -> flip -> decode Monte Carlo against the analytic
+// decoded_ber model.  Errors are injected directly at an exact raw BER
+// (no channel in between), so this cross-checks the code model itself:
+// Eq. 2 is an approximation of the true post-decoding BER, hence the
+// factor band rather than a tight confidence interval.
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "photecc/ecc/bitvec.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::ecc {
+namespace {
+
+struct CrossCheckCase {
+  const char* code;
+  double raw_p;
+  std::size_t words;
+};
+
+double measured_residual_ber(const BlockCode& code, double raw_p,
+                             std::size_t words, math::Xoshiro256& rng) {
+  const std::size_t k = code.message_length();
+  const std::size_t n = code.block_length();
+  std::uint64_t errors = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    BitVec message(k);
+    for (std::size_t i = 0; i < k; ++i)
+      message.set(i, rng.bernoulli(0.5));
+    BitVec wire = code.encode(message);
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(raw_p)) wire.flip(i);
+    errors += code.decode(wire).message.distance(message);
+  }
+  return static_cast<double>(errors) /
+         static_cast<double>(words * k);
+}
+
+class DecoderCrossCheck
+    : public ::testing::TestWithParam<CrossCheckCase> {};
+
+TEST_P(DecoderCrossCheck, ResidualBerAgreesWithTheAnalyticModel) {
+  const auto [name, raw_p, words] = GetParam();
+  const auto code = make_code(name);
+  const double analytic = code->decoded_ber(raw_p);
+  math::Xoshiro256 rng(0xC001D00DULL ^
+                       static_cast<std::uint64_t>(1e6 * raw_p));
+  const double measured =
+      measured_residual_ber(*code, raw_p, words, rng);
+  // Enough statistics that zero observed errors would itself be a
+  // failure, then the Eq. 2 factor band.
+  EXPECT_GT(measured, 0.0) << name << " p=" << raw_p;
+  EXPECT_GT(measured, analytic / 3.0)
+      << name << " p=" << raw_p << " analytic=" << analytic;
+  EXPECT_LT(measured, analytic * 3.0)
+      << name << " p=" << raw_p << " analytic=" << analytic;
+  // Decoding must not amplify beyond the raw channel at these rates.
+  EXPECT_LT(measured, raw_p) << name << " p=" << raw_p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoRawBerPoints, DecoderCrossCheck,
+    ::testing::Values(CrossCheckCase{"H(7,4)", 1e-2, 60000},
+                      CrossCheckCase{"H(7,4)", 3e-2, 20000},
+                      CrossCheckCase{"BCH(15,7,2)", 1e-2, 120000},
+                      CrossCheckCase{"BCH(15,7,2)", 3e-2, 30000}),
+    [](const auto& info) {
+      std::string tag = std::string(info.param.code) + "_p" +
+                        std::to_string(static_cast<int>(
+                            1000 * info.param.raw_p));
+      for (char& c : tag)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return tag;
+    });
+
+}  // namespace
+}  // namespace photecc::ecc

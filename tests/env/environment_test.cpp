@@ -152,6 +152,27 @@ TEST(ThermalIntegrator, SelfHeatingRelaxesTowardTheBusyTarget) {
   EXPECT_NEAR(cooled.activity, baseline, 1e-9);
 }
 
+TEST(ThermalIntegrator, DutyBoundScalesTheBusyFraction) {
+  // The three-argument overload models a cooling code's wire-duty
+  // guarantee: advance_to(t, busy, duty) == advance_to(t, busy * duty),
+  // and duty == 1.0 is bit-identical to the two-argument form.
+  const auto timeline = EnvironmentTimeline::self_heating(0.25, 0.75, 4e-7);
+  ThermalIntegrator bounded{timeline};
+  ThermalIntegrator scaled{timeline};
+  ThermalIntegrator plain{timeline};
+  const double duty = 11.0 / 15.0;
+  double t = 0.0;
+  for (const double busy : {1.0, 0.4, 0.0, 0.8}) {
+    t += 2e-7;
+    EXPECT_DOUBLE_EQ(bounded.advance_to(t, busy, duty).activity,
+                     scaled.advance_to(t, busy * duty).activity)
+        << t;
+  }
+  ThermalIntegrator unit{timeline};
+  EXPECT_EQ(unit.advance_to(1e-6, 0.6, 1.0),
+            plain.advance_to(1e-6, 0.6));
+}
+
 TEST(ThermalIntegrator, BusyFractionScalesTheTarget) {
   ThermalIntegrator integrator{
       EnvironmentTimeline::self_heating(0.2, 0.6, 1e-7)};

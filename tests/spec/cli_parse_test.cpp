@@ -102,6 +102,18 @@ TEST(CliList, RenderedListingsNameEveryBuiltIn) {
             "things (2):\n  a\n  b\n");
 }
 
+TEST(CliList, EnvironmentListingIsFormatPinned) {
+  // Exactly what explore_cli --list-environments prints.
+  EXPECT_EQ(spec::render_name_list("environment kinds",
+                                   spec::environment_registry().names()),
+            "environment kinds (5):\n"
+            "  constant\n"
+            "  step\n"
+            "  ramp\n"
+            "  phases\n"
+            "  self-heating\n");
+}
+
 TEST(CliList, EnvironmentRegistryListsEveryKind) {
   const auto names = spec::environment_registry().names();
   const std::vector<std::string> expected{

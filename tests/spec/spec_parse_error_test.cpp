@@ -47,23 +47,24 @@ TEST(SpecParseErrors, MissingVersionIsRejected) {
 }
 
 TEST(SpecParseErrors, UnknownSchemaVersionIsRejected) {
-  const std::string message = spec_error_of(R"js({"photecc_spec": 4})js");
-  EXPECT_NE(message.find("unsupported schema version 4"), std::string::npos);
-  EXPECT_NE(message.find("supported: 1..3"), std::string::npos);
+  const std::string message = spec_error_of(R"js({"photecc_spec": 5})js");
+  EXPECT_NE(message.find("unsupported schema version 5"), std::string::npos);
+  EXPECT_NE(message.find("supported: 1..4"), std::string::npos);
 }
 
 TEST(SpecParseErrors, FutureSchemaFailsOnVersionNotOnUnknownKeys) {
-  // A version-4 document with version-4-only keys must report the
+  // A version-5 document with version-5-only keys must report the
   // version mismatch, not whichever unknown key comes first.
   const std::string message = spec_error_of(
-      R"js({"future_field": true, "photecc_spec": 4})js");
+      R"js({"future_field": true, "photecc_spec": 5})js");
   EXPECT_NE(message.find("unsupported schema version"), std::string::npos);
 }
 
 TEST(SpecParseErrors, EveryAcceptedSchemaVersionParses) {
-  // v1 (no environments), v2 (no network/trace) and v3 documents all
-  // parse; the writer emits the smallest version expressing the spec.
-  for (const char* version : {"1", "2", "3"}) {
+  // v1 (no environments), v2 (no network/trace), v3 (no cooling) and
+  // v4 documents all parse; the writer emits the smallest version
+  // expressing the spec.
+  for (const char* version : {"1", "2", "3", "4"}) {
     const auto parsed = spec::from_json(
         std::string(R"js({"photecc_spec": )js") + version + "}");
     EXPECT_EQ(parsed, spec::ExperimentSpec{}) << version;
