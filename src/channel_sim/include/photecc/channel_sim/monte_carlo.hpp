@@ -52,6 +52,24 @@ BerMeasurement measure_end_to_end_ber(const ecc::BlockCodePtr& code,
                                       std::size_t n_data = 64,
                                       const MonteCarloOptions& options = {});
 
+/// Batch (word-parallel) form of measure_coded_ber, 64 codewords per
+/// slab pass through the bitsliced kernels.  The hard-decision AWGN OOK
+/// channel is exactly a BSC with p = raw_ber_from_snr(snr), so the
+/// batch path injects iid flips at p straight into the slab words
+/// (codec::inject_errors): the same error law as the scalar channel,
+/// sampled by a different deterministic stream — reproducible per seed,
+/// but not draw-for-draw equal to measure_coded_ber.
+BerMeasurement measure_coded_ber_batch(const ecc::BlockCode& code, double snr,
+                                       std::uint64_t blocks,
+                                       const MonteCarloOptions& options = {});
+
+/// Batch form of measure_end_to_end_ber: 64 IP words per slab through
+/// the batch datapaths (transmit_batch -> BSC injection ->
+/// receive_batch).  Same channel-law note as measure_coded_ber_batch.
+BerMeasurement measure_end_to_end_ber_batch(
+    const ecc::BlockCodePtr& code, double snr, std::uint64_t words,
+    std::size_t n_data = 64, const MonteCarloOptions& options = {});
+
 }  // namespace photecc::channel_sim
 
 #endif  // PHOTECC_CHANNEL_SIM_MONTE_CARLO_HPP

@@ -1,0 +1,76 @@
+#include "photecc/codec/batch_mc.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace photecc::codec {
+
+void inject_errors(BitSlab& slab, double p, math::Xoshiro256& rng) {
+  if (!(p > 0.0)) return;
+  const std::size_t lanes = slab.lanes();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(slab.bits()) * lanes;
+  if (p >= 1.0) {
+    const std::uint64_t mask = slab.lane_mask();
+    for (std::uint64_t& w : slab.words()) w ^= mask;
+    return;
+  }
+  // Geometric gap sampling: the index of the next flipped cell is the
+  // current index plus floor(log(u) / log(1-p)) with u uniform in
+  // (0, 1] — the exact distribution of the number of untouched cells
+  // before the next Bernoulli(p) success.
+  const double inv_log_q = 1.0 / std::log1p(-p);
+  std::uint64_t cell = 0;
+  while (cell < total) {
+    const double u = 1.0 - rng.uniform01();  // (0, 1]
+    const double gap = std::floor(std::log(u) * inv_log_q);
+    if (gap >= static_cast<double>(total - cell)) break;
+    cell += static_cast<std::uint64_t>(gap);
+    slab.word(static_cast<std::size_t>(cell / lanes)) ^=
+        std::uint64_t{1} << (cell % lanes);
+    ++cell;
+  }
+}
+
+std::uint64_t count_errors(const BitSlab& a, const BitSlab& b) {
+  if (a.bits() != b.bits() || a.lanes() != b.lanes())
+    throw std::invalid_argument("codec::count_errors: shape mismatch");
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < a.bits(); ++i)
+    total += static_cast<std::uint64_t>(std::popcount(a.word(i) ^ b.word(i)));
+  return total;
+}
+
+BitSlab random_message_slab(std::size_t bits, std::size_t lanes,
+                            math::Xoshiro256& rng) {
+  BitSlab slab(bits, lanes);
+  const std::uint64_t mask = slab.lane_mask();
+  for (std::size_t i = 0; i < bits; ++i) slab.word(i) = rng() & mask;
+  return slab;
+}
+
+BatchTrialResult run_coded_trials(const ecc::BlockCode& code, double raw_p,
+                                  std::uint64_t words, std::uint64_t seed) {
+  math::Xoshiro256 rng(seed);
+  const std::size_t k = code.message_length();
+  BatchTrialResult result;
+  for (std::uint64_t done = 0; done < words;) {
+    const std::size_t lanes = static_cast<std::size_t>(
+        words - done < BitSlab::kLanes ? words - done : BitSlab::kLanes);
+    const BitSlab messages = random_message_slab(k, lanes, rng);
+    BitSlab sent = code.encode_batch(messages);
+    inject_errors(sent, raw_p, rng);
+    const ecc::BatchDecodeResult decoded = code.decode_batch(sent);
+    result.bit_errors += count_errors(messages, decoded.messages);
+    result.bits += static_cast<std::uint64_t>(k) * lanes;
+    result.detected_blocks +=
+        static_cast<std::uint64_t>(std::popcount(decoded.error_detected));
+    result.corrected_blocks +=
+        static_cast<std::uint64_t>(std::popcount(decoded.corrected));
+    done += lanes;
+  }
+  return result;
+}
+
+}  // namespace photecc::codec

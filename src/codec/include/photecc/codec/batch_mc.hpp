@@ -1,0 +1,60 @@
+// Word-parallel Monte-Carlo building blocks for the batch codec
+// datapath: iid error injection straight into slab words, word-wide
+// error counting, and the coded-trial engine the channel-level
+// measurements and the Monte-Carlo cross-check tests run on.
+//
+// Determinism contract: everything here is a pure function of its seed
+// (or the passed-in RNG state), so measurements are reproducible across
+// runs and platforms.  inject_errors consumes one RNG draw per flipped
+// bit (geometric gap sampling), NOT one per channel cell — that is what
+// makes the batch path fast at low error rates while sampling the exact
+// iid Bernoulli(p) flip distribution.
+#ifndef PHOTECC_CODEC_BATCH_MC_HPP
+#define PHOTECC_CODEC_BATCH_MC_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "photecc/codec/bitslab.hpp"
+#include "photecc/ecc/block_code.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::codec {
+
+/// Flips each bit of the active lanes independently with probability p
+/// (iid BSC noise), sampled by geometric gap skipping: one uniform draw
+/// per flipped bit.  Cells are ordered position-major (position 0 lane
+/// 0, position 0 lane 1, ...); inactive lanes are not part of the cell
+/// space, so the lane-mask invariant is preserved.  p <= 0 is a no-op;
+/// p >= 1 flips every in-mask bit.
+void inject_errors(BitSlab& slab, double p, math::Xoshiro256& rng);
+
+/// Total number of differing bits between two slabs of identical shape
+/// (XOR + popcount per word).  Throws std::invalid_argument on a shape
+/// mismatch.
+[[nodiscard]] std::uint64_t count_errors(const BitSlab& a, const BitSlab& b);
+
+/// Fills a message slab with uniform random bits (one rng() draw per
+/// bit position, masked to the active lanes).
+[[nodiscard]] BitSlab random_message_slab(std::size_t bits, std::size_t lanes,
+                                          math::Xoshiro256& rng);
+
+/// Outcome of a batch of coded Monte-Carlo trials.
+struct BatchTrialResult {
+  std::uint64_t bit_errors = 0;  ///< message bits decoded wrong
+  std::uint64_t bits = 0;        ///< message bits transmitted
+  std::uint64_t detected_blocks = 0;
+  std::uint64_t corrected_blocks = 0;
+};
+
+/// Runs `words` encode -> BSC(raw_p) -> decode trials through the batch
+/// kernels, 64 codewords per slab pass, and counts residual message-bit
+/// errors word-parallel.  Deterministic in `seed`.
+[[nodiscard]] BatchTrialResult run_coded_trials(const ecc::BlockCode& code,
+                                                double raw_p,
+                                                std::uint64_t words,
+                                                std::uint64_t seed);
+
+}  // namespace photecc::codec
+
+#endif  // PHOTECC_CODEC_BATCH_MC_HPP

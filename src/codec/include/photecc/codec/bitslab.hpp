@@ -1,0 +1,11 @@
+// Public entry point of the batch codec datapath: re-exports
+// codec::BitSlab, which physically lives in the ecc include tree so the
+// code classes can implement batch kernels against it without a
+// dependency cycle (see photecc/ecc/bitslab.hpp for the layout and the
+// lane-mask invariant).
+#ifndef PHOTECC_CODEC_BITSLAB_HPP
+#define PHOTECC_CODEC_BITSLAB_HPP
+
+#include "photecc/ecc/bitslab.hpp"
+
+#endif  // PHOTECC_CODEC_BITSLAB_HPP

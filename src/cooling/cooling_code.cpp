@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -173,6 +175,57 @@ ecc::DecodeResult CoolingScheme::decode(const ecc::BitVec& received) const {
     return result;
   }
   result.message = ecc::BitVec::from_uint(value, k);
+  return result;
+}
+
+codec::BitSlab CoolingScheme::encode_batch(
+    const codec::BitSlab& messages) const {
+  const std::size_t k = message_length();
+  if (messages.bits() != k) {
+    throw std::invalid_argument(
+        "CoolingScheme::encode_batch: message size " +
+        std::to_string(messages.bits()) + " != " + std::to_string(k));
+  }
+  // Lane-serial enumerative unrank into the inner message slab, then
+  // the inner code's batch kernel.
+  codec::BitSlab inner_messages(inner_->message_length(), messages.lanes());
+  for (std::size_t l = 0; l < messages.lanes(); ++l) {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      value |= ((messages.word(i) >> l) & 1u) << i;
+    const ecc::BitVec word = coder_.unrank(value);
+    const std::span<const std::uint64_t> ww = word.words();
+    for (std::size_t i = 0; i < word.size(); ++i)
+      inner_messages.word(i) |= ((ww[i / 64] >> (i % 64)) & 1u) << l;
+  }
+  return inner_->encode_batch(inner_messages);
+}
+
+ecc::BatchDecodeResult CoolingScheme::decode_batch(
+    const codec::BitSlab& received) const {
+  ecc::BatchDecodeResult inner_result = inner_->decode_batch(received);
+  const std::size_t k = message_length();
+  ecc::BatchDecodeResult result;
+  result.messages = codec::BitSlab(k, received.lanes());
+  result.error_detected = inner_result.error_detected;
+  result.corrected = inner_result.corrected;
+  for (std::size_t l = 0; l < received.lanes(); ++l) {
+    const ecc::BitVec word = inner_result.messages.transpose_out(l);
+    if (word.popcount() > coder_.max_weight()) {
+      // Outside the bounded-weight set: detectable even for the pure
+      // (distance-1) form; the lane's message stays zero.
+      result.error_detected |= std::uint64_t{1} << l;
+      continue;
+    }
+    const std::uint64_t value = coder_.rank(word);
+    if (k < 63 && value >= (std::uint64_t{1} << k)) {
+      // Valid bounded-weight word, but outside the 2^k message range.
+      result.error_detected |= std::uint64_t{1} << l;
+      continue;
+    }
+    for (std::size_t i = 0; i < k; ++i)
+      result.messages.word(i) |= ((value >> i) & 1u) << l;
+  }
   return result;
 }
 

@@ -76,6 +76,17 @@ class CoolingScheme : public ecc::BlockCode {
   [[nodiscard]] ecc::BitVec encode(const ecc::BitVec& message) const override;
   [[nodiscard]] ecc::DecodeResult decode(
       const ecc::BitVec& received) const override;
+
+  /// Bitsliced wraps: the inner FEC runs its batch kernel; the
+  /// enumerative rank/unrank stays lane-serial (it is a data-dependent
+  /// walk of Pascal's triangle) but works on whole 64-bit lane values,
+  /// so the FEC datapath still dominates.  Bit-identical to the scalar
+  /// path.
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] ecc::BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
+
   [[nodiscard]] double decoded_ber(double raw_p) const override;
   [[nodiscard]] double transmit_duty_bound() const noexcept override {
     return duty_bound_;

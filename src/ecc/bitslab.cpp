@@ -1,0 +1,72 @@
+#include "photecc/ecc/bitslab.hpp"
+
+#include <stdexcept>
+
+namespace photecc::codec {
+
+BitSlab::BitSlab(std::size_t bits, std::size_t lanes)
+    : lanes_(lanes), words_(bits, 0) {
+  if (lanes == 0 || lanes > kLanes)
+    throw std::invalid_argument("BitSlab: lanes must be in [1, 64]");
+}
+
+BitSlab BitSlab::transpose_in(std::span<const ecc::BitVec> batch) {
+  if (batch.empty())
+    throw std::invalid_argument("BitSlab::transpose_in: empty batch");
+  if (batch.size() > kLanes)
+    throw std::invalid_argument("BitSlab::transpose_in: more than 64 lanes");
+  const std::size_t bits = batch[0].size();
+  for (const auto& vec : batch) {
+    if (vec.size() != bits)
+      throw std::invalid_argument(
+          "BitSlab::transpose_in: mismatched word sizes");
+  }
+  BitSlab slab(bits, batch.size());
+  // Word-at-a-time gather: lane l contributes bit i of its word to bit
+  // l of slab word i.
+  for (std::size_t l = 0; l < batch.size(); ++l) {
+    const std::span<const std::uint64_t> lane_words = batch[l].words();
+    for (std::size_t i = 0; i < bits; ++i) {
+      const std::uint64_t bit = (lane_words[i / 64] >> (i % 64)) & 1u;
+      slab.words_[i] |= bit << l;
+    }
+  }
+  return slab;
+}
+
+ecc::BitVec BitSlab::transpose_out(std::size_t lane) const {
+  if (lane >= lanes_)
+    throw std::out_of_range("BitSlab::transpose_out: lane out of range");
+  ecc::BitVec out(bits());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] >> lane) & 1u) out.set(i, true);
+  }
+  return out;
+}
+
+std::vector<ecc::BitVec> BitSlab::transpose_out() const {
+  std::vector<ecc::BitVec> out;
+  out.reserve(lanes_);
+  for (std::size_t l = 0; l < lanes_; ++l) out.push_back(transpose_out(l));
+  return out;
+}
+
+BitSlab BitSlab::slice(std::size_t offset, std::size_t count) const {
+  if (offset + count > bits())
+    throw std::out_of_range("BitSlab::slice: range out of bounds");
+  BitSlab out(count, lanes_);
+  for (std::size_t i = 0; i < count; ++i)
+    out.words_[i] = words_[offset + i];
+  return out;
+}
+
+void BitSlab::paste(std::size_t offset, const BitSlab& other) {
+  if (other.lanes_ != lanes_)
+    throw std::invalid_argument("BitSlab::paste: lane count mismatch");
+  if (offset + other.bits() > bits())
+    throw std::out_of_range("BitSlab::paste: range out of bounds");
+  for (std::size_t i = 0; i < other.bits(); ++i)
+    words_[offset + i] = other.words_[i];
+}
+
+}  // namespace photecc::codec

@@ -57,9 +57,9 @@ std::size_t BitVec::popcount() const noexcept {
   return total;
 }
 
-std::size_t BitVec::distance(const BitVec& other) const {
+std::size_t BitVec::count_errors(const BitVec& other) const {
   if (size_ != other.size_)
-    throw std::invalid_argument("BitVec::distance: size mismatch");
+    throw std::invalid_argument("BitVec::count_errors: size mismatch");
   std::size_t total = 0;
   for (std::size_t i = 0; i < words_.size(); ++i)
     total += std::popcount(words_[i] ^ other.words_[i]);

@@ -1,0 +1,47 @@
+// Scalar fallbacks of the batch codec API: transpose out, run the
+// per-word codec lane by lane, transpose back in.  Bit-identical to the
+// scalar path by construction — this is the reference every kernel
+// override is pinned against (tests/codec/batch_equivalence_test.cpp).
+#include "photecc/ecc/block_code.hpp"
+
+#include <stdexcept>
+
+namespace photecc::ecc {
+
+codec::BitSlab BlockCode::encode_batch(const codec::BitSlab& messages) const {
+  if (messages.bits() != message_length())
+    throw std::invalid_argument(name() +
+                                "::encode_batch: message size mismatch");
+  codec::BitSlab out(block_length(), messages.lanes());
+  for (std::size_t l = 0; l < messages.lanes(); ++l) {
+    const BitVec codeword = encode(messages.transpose_out(l));
+    const std::span<const std::uint64_t> words = codeword.words();
+    for (std::size_t i = 0; i < codeword.size(); ++i) {
+      const std::uint64_t bit = (words[i / 64] >> (i % 64)) & 1u;
+      out.word(i) |= bit << l;
+    }
+  }
+  return out;
+}
+
+BatchDecodeResult BlockCode::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != block_length())
+    throw std::invalid_argument(name() +
+                                "::decode_batch: block size mismatch");
+  BatchDecodeResult result;
+  result.messages = codec::BitSlab(message_length(), received.lanes());
+  for (std::size_t l = 0; l < received.lanes(); ++l) {
+    const DecodeResult lane = decode(received.transpose_out(l));
+    const std::span<const std::uint64_t> words = lane.message.words();
+    for (std::size_t i = 0; i < lane.message.size(); ++i) {
+      const std::uint64_t bit = (words[i / 64] >> (i % 64)) & 1u;
+      result.messages.word(i) |= bit << l;
+    }
+    if (lane.error_detected) result.error_detected |= std::uint64_t{1} << l;
+    if (lane.corrected) result.corrected |= std::uint64_t{1} << l;
+  }
+  return result;
+}
+
+}  // namespace photecc::ecc

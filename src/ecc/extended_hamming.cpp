@@ -1,5 +1,6 @@
 #include "photecc/ecc/extended_hamming.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -65,6 +66,64 @@ DecodeResult ExtendedHammingCode::decode(const BitVec& received) const {
   // hand back the raw data bits.
   result.message = extract_raw_data(inner, k_);
   result.corrected = false;
+  return result;
+}
+
+codec::BitSlab ExtendedHammingCode::encode_batch(
+    const codec::BitSlab& messages) const {
+  if (messages.bits() != k_)
+    throw std::invalid_argument(name() +
+                                "::encode_batch: message size mismatch");
+  const codec::BitSlab inner = base_.encode_batch(messages);
+  codec::BitSlab out(n_, messages.lanes());
+  std::uint64_t overall = 0;
+  for (std::size_t i = 0; i + 1 < n_; ++i) {
+    out.word(i) = inner.word(i);
+    overall ^= inner.word(i);
+  }
+  out.word(n_ - 1) = overall;  // even overall parity across the codeword
+  return out;
+}
+
+BatchDecodeResult ExtendedHammingCode::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != n_)
+    throw std::invalid_argument(name() + "::decode_batch: block size mismatch");
+  const std::size_t inner_n = n_ - 1;
+  const std::size_t m = base_.parity_bits();
+  // Overall-parity plane (bit l set <=> lane l has odd overall parity)
+  // and the inner syndrome bit-planes, all word-parallel.
+  std::uint64_t odd_parity = received.word(n_ - 1);
+  std::uint64_t syn[16] = {};
+  for (std::size_t pos = 1; pos <= inner_n; ++pos) {
+    const std::uint64_t w = received.word(pos - 1);
+    odd_parity ^= w;
+    for (std::size_t j = 0; j < m; ++j)
+      if (pos & (std::size_t{1} << j)) syn[j] ^= w;
+  }
+  std::uint64_t any_syn = 0;
+  for (std::size_t j = 0; j < m; ++j) any_syn |= syn[j];
+
+  // SECDED case split as lane masks.  Odd overall parity => single
+  // error, the inner correction is trustworthy (a zero inner syndrome
+  // means the flip hit the parity bit itself — nothing to repair).
+  // Even parity with a non-zero inner syndrome => double error: detect,
+  // suppress the inner miscorrection, hand back the raw data words.
+  codec::BitSlab corrected = received;
+  for (std::uint64_t fix = odd_parity & any_syn; fix != 0; fix &= fix - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(fix));
+    std::size_t s = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      s |= static_cast<std::size_t>((syn[j] >> l) & 1u) << j;
+    corrected.word(s - 1) ^= std::uint64_t{1} << l;
+  }
+
+  BatchDecodeResult result;
+  result.messages = codec::BitSlab(k_, received.lanes());
+  for (std::size_t i = 0; i < k_; ++i)
+    result.messages.word(i) = corrected.word(base_.data_position(i) - 1);
+  result.error_detected = odd_parity | any_syn;
+  result.corrected = odd_parity;
   return result;
 }
 

@@ -85,6 +85,62 @@ DecodeResult HammingCode::decode(const BitVec& received) const {
   return result;
 }
 
+codec::BitSlab HammingCode::encode_batch(const codec::BitSlab& messages) const {
+  if (messages.bits() != k_)
+    throw std::invalid_argument(name() +
+                                "::encode_batch: message size mismatch");
+  codec::BitSlab code(n_, messages.lanes());
+  // Data words move straight to their codeword positions; each parity
+  // word is a single XOR reduction over its coverage set — the
+  // word-parallel image of the scalar per-bit loops above.
+  for (std::size_t i = 0; i < k_; ++i)
+    code.word(data_positions_[i] - 1) = messages.word(i);
+  for (std::size_t j = 0; j < m_; ++j) {
+    const std::size_t pbit = std::size_t{1} << j;
+    std::uint64_t parity = 0;
+    for (std::size_t pos = 1; pos <= n_; ++pos) {
+      if ((pos & pbit) && pos != pbit) parity ^= code.word(pos - 1);
+    }
+    code.word(pbit - 1) = parity;
+  }
+  return code;
+}
+
+BatchDecodeResult HammingCode::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != n_)
+    throw std::invalid_argument(name() + "::decode_batch: block size mismatch");
+  // Syndrome bit-planes: syn[j] bit l = bit j of lane l's syndrome.
+  std::uint64_t syn[16] = {};
+  for (std::size_t pos = 1; pos <= n_; ++pos) {
+    const std::uint64_t w = received.word(pos - 1);
+    for (std::size_t j = 0; j < m_; ++j)
+      if (pos & (std::size_t{1} << j)) syn[j] ^= w;
+  }
+  std::uint64_t any = 0;
+  for (std::size_t j = 0; j < m_; ++j) any |= syn[j];
+
+  codec::BitSlab corrected = received;
+  // Every non-zero syndrome names a valid position (perfect code), so
+  // the only lane-serial work is gathering the syndrome of each dirty
+  // lane and flipping its addressed word bit.
+  for (std::uint64_t dirty = any; dirty != 0; dirty &= dirty - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(dirty));
+    std::size_t s = 0;
+    for (std::size_t j = 0; j < m_; ++j)
+      s |= static_cast<std::size_t>((syn[j] >> l) & 1u) << j;
+    corrected.word(s - 1) ^= std::uint64_t{1} << l;
+  }
+
+  BatchDecodeResult result;
+  result.messages = codec::BitSlab(k_, received.lanes());
+  for (std::size_t i = 0; i < k_; ++i)
+    result.messages.word(i) = corrected.word(data_positions_[i] - 1);
+  result.error_detected = any;
+  result.corrected = any;
+  return result;
+}
+
 double HammingCode::decoded_ber(double raw_p) const {
   return hamming_eq2(raw_p, n_);
 }
@@ -130,6 +186,15 @@ ShortenedHammingCode::ShortenedHammingCode(std::size_t m,
         "ShortenedHammingCode: shortening removes the whole message");
   n_ = base_.block_length() - shorten_by;
   k_ = base_.message_length() - shorten_by;
+  // Precompute the shortening layout once: which base positions are
+  // removed (the *last* shorten_by data positions), and the base
+  // position of each transmitted wire, in wire order.
+  removed_.assign(base_.block_length(), false);
+  for (std::size_t i = k_; i < base_.message_length(); ++i)
+    removed_[base_.data_position(i) - 1] = true;
+  wire_positions_.reserve(n_);
+  for (std::size_t pos = 0; pos < base_.block_length(); ++pos)
+    if (!removed_[pos]) wire_positions_.push_back(pos);
 }
 
 std::string ShortenedHammingCode::name() const {
@@ -151,13 +216,7 @@ BitVec ShortenedHammingCode::encode(const BitVec& message) const {
   // Transmit every base-codeword position except the removed (zero)
   // data positions.
   BitVec out(n_);
-  std::size_t o = 0;
-  std::vector<bool> removed(base_.block_length(), false);
-  for (std::size_t i = k_; i < base_.message_length(); ++i)
-    removed[base_.data_position(i) - 1] = true;
-  for (std::size_t pos = 0; pos < base_.block_length(); ++pos) {
-    if (!removed[pos]) out.set(o++, full.get(pos));
-  }
+  for (std::size_t o = 0; o < n_; ++o) out.set(o, full.get(wire_positions_[o]));
   return out;
 }
 
@@ -165,14 +224,9 @@ DecodeResult ShortenedHammingCode::decode(const BitVec& received) const {
   if (received.size() != n_)
     throw std::invalid_argument(name() + "::decode: block size mismatch");
   // Re-insert the removed (zero) positions, then run the base decoder.
-  std::vector<bool> removed(base_.block_length(), false);
-  for (std::size_t i = k_; i < base_.message_length(); ++i)
-    removed[base_.data_position(i) - 1] = true;
   BitVec full(base_.block_length());
-  std::size_t o = 0;
-  for (std::size_t pos = 0; pos < base_.block_length(); ++pos) {
-    if (!removed[pos]) full.set(pos, received.get(o++));
-  }
+  for (std::size_t o = 0; o < n_; ++o)
+    full.set(wire_positions_[o], received.get(o));
   DecodeResult base_result = base_.decode(full);
   DecodeResult result;
   result.error_detected = base_result.error_detected;
@@ -180,20 +234,79 @@ DecodeResult ShortenedHammingCode::decode(const BitVec& received) const {
   // report detection without correction.
   if (base_result.corrected) {
     const std::size_t pos = *base_result.corrected_position;
-    if (removed[pos]) {
+    if (removed_[pos]) {
       result.corrected = false;
     } else {
       result.corrected = true;
       // Translate base position to shortened codeword index.
       std::size_t shortened_index = 0;
       for (std::size_t p = 0; p < pos; ++p)
-        if (!removed[p]) ++shortened_index;
+        if (!removed_[p]) ++shortened_index;
       result.corrected_position = shortened_index;
     }
   }
   result.message = BitVec(k_);
   for (std::size_t i = 0; i < k_; ++i)
     result.message.set(i, base_result.message.get(i));
+  return result;
+}
+
+codec::BitSlab ShortenedHammingCode::encode_batch(
+    const codec::BitSlab& messages) const {
+  if (messages.bits() != k_)
+    throw std::invalid_argument(name() +
+                                "::encode_batch: message size mismatch");
+  // Pad with zero words at the removed data positions (word moves only),
+  // run the base parity network, compact to wire order.
+  codec::BitSlab padded(base_.message_length(), messages.lanes());
+  for (std::size_t i = 0; i < k_; ++i) padded.word(i) = messages.word(i);
+  const codec::BitSlab full = base_.encode_batch(padded);
+  codec::BitSlab out(n_, messages.lanes());
+  for (std::size_t o = 0; o < n_; ++o)
+    out.word(o) = full.word(wire_positions_[o]);
+  return out;
+}
+
+BatchDecodeResult ShortenedHammingCode::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != n_)
+    throw std::invalid_argument(name() + "::decode_batch: block size mismatch");
+  // Expand to the base layout (removed positions stay zero words) and
+  // compute the base syndrome bit-planes word-parallel.
+  codec::BitSlab full(base_.block_length(), received.lanes());
+  for (std::size_t o = 0; o < n_; ++o)
+    full.word(wire_positions_[o]) = received.word(o);
+  const std::size_t m = base_.parity_bits();
+  std::uint64_t syn[16] = {};
+  for (std::size_t pos = 1; pos <= base_.block_length(); ++pos) {
+    const std::uint64_t w = full.word(pos - 1);
+    for (std::size_t j = 0; j < m; ++j)
+      if (pos & (std::size_t{1} << j)) syn[j] ^= w;
+  }
+  std::uint64_t any = 0;
+  for (std::size_t j = 0; j < m; ++j) any |= syn[j];
+
+  std::uint64_t corrected_mask = 0;
+  for (std::uint64_t dirty = any; dirty != 0; dirty &= dirty - 1) {
+    const unsigned l = static_cast<unsigned>(std::countr_zero(dirty));
+    std::size_t s = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      s |= static_cast<std::size_t>((syn[j] >> l) & 1u) << j;
+    // A syndrome addressing a removed position cannot be a single
+    // error: detected, not corrected.  Removed positions are data
+    // positions past k_, so skipping the flip cannot change the first
+    // k_ extracted message words either (matching the scalar path).
+    if (removed_[s - 1]) continue;
+    full.word(s - 1) ^= std::uint64_t{1} << l;
+    corrected_mask |= std::uint64_t{1} << l;
+  }
+
+  BatchDecodeResult result;
+  result.messages = codec::BitSlab(k_, received.lanes());
+  for (std::size_t i = 0; i < k_; ++i)
+    result.messages.word(i) = full.word(base_.data_position(i) - 1);
+  result.error_detected = any;
+  result.corrected = corrected_mask;
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,11 +32,27 @@ class BitVec {
   void set(std::size_t i, bool value);
   void flip(std::size_t i);
 
+  /// Read-only view of the backing 64-bit words (bit i lives at bit
+  /// i % 64 of word i / 64; bits past size() are zero).  The word-
+  /// parallel entry point for bitsliced consumers (codec::BitSlab
+  /// transposes through it) and word-at-a-time error counting.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const noexcept;
 
+  /// Word-parallel error count against another vector of the same size:
+  /// one XOR + popcount per 64 bits, no per-bit addressing.  This is
+  /// the primitive the Monte-Carlo harnesses count with; distance() is
+  /// an alias.  Throws std::invalid_argument on size mismatch.
+  [[nodiscard]] std::size_t count_errors(const BitVec& other) const;
+
   /// Hamming distance to another vector of the same size.
-  [[nodiscard]] std::size_t distance(const BitVec& other) const;
+  [[nodiscard]] std::size_t distance(const BitVec& other) const {
+    return count_errors(other);
+  }
 
   /// XOR-assign with a vector of the same size.
   BitVec& operator^=(const BitVec& other);

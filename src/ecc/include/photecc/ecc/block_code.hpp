@@ -4,10 +4,12 @@
 #ifndef PHOTECC_ECC_BLOCK_CODE_HPP
 #define PHOTECC_ECC_BLOCK_CODE_HPP
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "photecc/ecc/bitslab.hpp"
 #include "photecc/ecc/bitvec.hpp"
 
 namespace photecc::ecc {
@@ -50,6 +52,18 @@ struct RawBerHint {
   RawBerRequirement requirement{};
 };
 
+/// Outcome of decoding one 64-lane slab of received blocks.  The masks
+/// carry one bit per lane (bit l = lane l), restricted to the slab's
+/// lane_mask(); lane semantics match the scalar DecodeResult flags
+/// exactly — the batch contract is bit identity with per-lane decode().
+/// (corrected_position has no batch counterpart: no shipped consumer
+/// reads it in bulk, and carrying it would serialise the kernels.)
+struct BatchDecodeResult {
+  codec::BitSlab messages;              ///< k-position slab of messages
+  std::uint64_t error_detected = 0;     ///< lanes with a non-zero syndrome
+  std::uint64_t corrected = 0;          ///< lanes where a correction applied
+};
+
 /// Outcome of decoding one received block.
 struct DecodeResult {
   BitVec message;                ///< recovered k message bits
@@ -85,6 +99,25 @@ class BlockCode {
   /// correction capability.  Throws std::invalid_argument on size
   /// mismatch.
   [[nodiscard]] virtual DecodeResult decode(const BitVec& received) const = 0;
+
+  /// Batch encode: a k-position message slab (one message per lane) to
+  /// an n-position codeword slab with the same lane count.  The base
+  /// implementation is a scalar fallback — transpose out, encode() each
+  /// lane, transpose back in — so overrides are bit-identical to it by
+  /// construction; the menu codes override it with straight-line
+  /// word-parallel kernels (parity-mask XOR networks for Hamming,
+  /// word-wide LFSR division for BCH, ...).  Throws std::invalid_argument
+  /// when messages.bits() != message_length().
+  [[nodiscard]] virtual codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const;
+
+  /// Batch decode: an n-position received slab to per-lane messages and
+  /// detected/corrected lane masks.  Same contract as encode_batch:
+  /// the scalar fallback decodes lane by lane, and every override must
+  /// be bit-identical to it (messages and masks) for all inputs.
+  /// Throws std::invalid_argument when received.bits() != block_length().
+  [[nodiscard]] virtual BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const;
 
   /// Post-decoding bit error rate as a function of the raw channel bit
   /// error probability p.  For Hamming codes this is the paper's Eq. 2:

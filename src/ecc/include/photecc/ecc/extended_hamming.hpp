@@ -31,6 +31,15 @@ class ExtendedHammingCode : public BlockCode {
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
 
+  /// Bitsliced kernels: the overall-parity plane is one XOR reduction
+  /// over all n words; the SECDED case split (clean / correct single /
+  /// detect double) becomes three lane masks combined from that plane
+  /// and the inner syndrome planes.  Bit-identical to the scalar path.
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
+
   /// Post-decoding BER model: same structural form as Eq. 2 with the
   /// double-error-detection benefit folded in — a detected double error
   /// is *not* miscorrected, so only odd-weight >=3 patterns corrupt a

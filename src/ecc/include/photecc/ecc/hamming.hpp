@@ -37,6 +37,16 @@ class HammingCode : public BlockCode {
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
 
+  /// Bitsliced kernels (see codec::BitSlab): encode is a parity-mask
+  /// XOR network (m word-XOR reductions over the coverage sets), decode
+  /// computes the m syndrome bit-planes word-parallel and flips the
+  /// addressed position per non-clean lane.  Bit-identical to the
+  /// scalar path for every input.
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
+
   /// Paper Eq. 2: BER = p - p (1-p)^(n-1).
   [[nodiscard]] double decoded_ber(double raw_p) const override;
 
@@ -51,6 +61,7 @@ class HammingCode : public BlockCode {
 
  private:
   friend class ShortenedHammingCode;
+  friend class ExtendedHammingCode;
 
   /// Codeword position (1-based) of message bit i (0-based).
   [[nodiscard]] std::size_t data_position(std::size_t i) const noexcept {
@@ -91,6 +102,16 @@ class ShortenedHammingCode : public BlockCode {
   }
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+
+  /// Bitsliced kernels: pad/compact are pure word moves between the
+  /// shortened and base layouts; the syndrome network is the base
+  /// code's, with a syndrome naming a removed position reported as
+  /// detected-uncorrectable (matching the scalar path bit for bit).
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
+
   [[nodiscard]] double decoded_ber(double raw_p) const override;
 
   [[nodiscard]] std::size_t parity_bits() const noexcept {
@@ -106,6 +127,10 @@ class ShortenedHammingCode : public BlockCode {
   std::size_t shorten_by_;
   std::size_t n_;
   std::size_t k_;
+  /// removed_[pos] (0-based base position): shortened away, fixed zero.
+  std::vector<bool> removed_;
+  /// Transmitted base positions (0-based), in wire order; size n_.
+  std::vector<std::size_t> wire_positions_;
 };
 
 }  // namespace photecc::ecc

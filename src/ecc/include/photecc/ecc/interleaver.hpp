@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "photecc/ecc/bitslab.hpp"
 #include "photecc/ecc/bitvec.hpp"
 
 namespace photecc::ecc {
@@ -33,6 +34,14 @@ class BlockInterleaver {
 
   /// Inverse permutation.
   [[nodiscard]] BitVec deinterleave(const BitVec& frame) const;
+
+  /// Bitsliced forms: the interleave permutation acts on bit positions
+  /// only, so on a slab it is a pure word shuffle — 64 frames permuted
+  /// per word move.  Bit-identical to the scalar permutations per lane.
+  [[nodiscard]] codec::BitSlab interleave_batch(
+      const codec::BitSlab& frames) const;
+  [[nodiscard]] codec::BitSlab deinterleave_batch(
+      const codec::BitSlab& frames) const;
 
  private:
   std::size_t rows_;

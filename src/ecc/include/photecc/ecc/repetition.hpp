@@ -27,6 +27,15 @@ class RepetitionCode : public BlockCode {
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
 
+  /// Bitsliced kernels: encode broadcasts the message word to all r
+  /// positions; decode runs a carry-save popcount over the r words plus
+  /// a bitsliced MSB-first comparator for the 64 majority votes at
+  /// once.  Bit-identical to the scalar path.
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
+
   /// Exact majority-vote error probability:
   /// BER = sum_{j > r/2} C(r, j) p^j (1-p)^(r-j).
   [[nodiscard]] double decoded_ber(double raw_p) const override;

@@ -25,6 +25,11 @@ class UncodedScheme : public BlockCode {
   }
   [[nodiscard]] BitVec encode(const BitVec& message) const override;
   [[nodiscard]] DecodeResult decode(const BitVec& received) const override;
+  /// Identity batch kernels: straight word copies, no flags.
+  [[nodiscard]] codec::BitSlab encode_batch(
+      const codec::BitSlab& messages) const override;
+  [[nodiscard]] BatchDecodeResult decode_batch(
+      const codec::BitSlab& received) const override;
   [[nodiscard]] double decoded_ber(double raw_p) const override;
   /// Identity inverse: the target itself, never saturated; the trace
   /// (when given) reports zero iterations.

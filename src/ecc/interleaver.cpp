@@ -35,4 +35,26 @@ BitVec BlockInterleaver::deinterleave(const BitVec& frame) const {
   return out;
 }
 
+codec::BitSlab BlockInterleaver::interleave_batch(
+    const codec::BitSlab& frames) const {
+  if (frames.bits() != frame_bits())
+    throw std::invalid_argument("BlockInterleaver: frame size mismatch");
+  codec::BitSlab out(frame_bits(), frames.lanes());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.word(c * rows_ + r) = frames.word(r * cols_ + c);
+  return out;
+}
+
+codec::BitSlab BlockInterleaver::deinterleave_batch(
+    const codec::BitSlab& frames) const {
+  if (frames.bits() != frame_bits())
+    throw std::invalid_argument("BlockInterleaver: frame size mismatch");
+  codec::BitSlab out(frame_bits(), frames.lanes());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out.word(r * cols_ + c) = frames.word(c * rows_ + r);
+  return out;
+}
+
 }  // namespace photecc::ecc

@@ -37,6 +37,58 @@ DecodeResult RepetitionCode::decode(const BitVec& received) const {
   return result;
 }
 
+codec::BitSlab RepetitionCode::encode_batch(
+    const codec::BitSlab& messages) const {
+  if (messages.bits() != 1)
+    throw std::invalid_argument(name() +
+                                "::encode_batch: message size mismatch");
+  codec::BitSlab out(r_, messages.lanes());
+  for (std::size_t i = 0; i < r_; ++i) out.word(i) = messages.word(0);
+  return out;
+}
+
+BatchDecodeResult RepetitionCode::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != r_)
+    throw std::invalid_argument(name() + "::decode_batch: block size mismatch");
+  // Carry-save popcount: cnt[b] is bit b of the per-lane ones count.
+  std::size_t count_bits = 0;
+  while ((std::size_t{1} << count_bits) <= r_) ++count_bits;
+  std::vector<std::uint64_t> cnt(count_bits, 0);
+  std::uint64_t or_all = 0;
+  std::uint64_t and_all = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < r_; ++i) {
+    const std::uint64_t w = received.word(i);
+    or_all |= w;
+    and_all &= w;
+    std::uint64_t carry = w;
+    for (std::size_t b = 0; b < count_bits && carry != 0; ++b) {
+      const std::uint64_t tmp = cnt[b] & carry;
+      cnt[b] ^= carry;
+      carry = tmp;
+    }
+  }
+  // Bitsliced MSB-first comparator: majority lane mask = (count >= T)
+  // with T = r/2 + 1 (ones > r/2 for odd r).
+  const std::size_t threshold = r_ / 2 + 1;
+  std::uint64_t gt = 0;
+  std::uint64_t eq = ~std::uint64_t{0};
+  for (std::size_t b = count_bits; b-- > 0;) {
+    const std::uint64_t tb =
+        (threshold >> b) & 1u ? ~std::uint64_t{0} : std::uint64_t{0};
+    gt |= eq & cnt[b] & ~tb;
+    eq &= ~(cnt[b] ^ tb);
+  }
+
+  BatchDecodeResult result;
+  result.messages = codec::BitSlab(1, received.lanes());
+  result.messages.word(0) = (gt | eq) & received.lane_mask();
+  // Any mixed pattern means at least one bit differs from the majority.
+  result.error_detected = or_all & ~(and_all & received.lane_mask());
+  result.corrected = result.error_detected;
+  return result;
+}
+
 double RepetitionCode::decoded_ber(double raw_p) const {
   if (raw_p < 0.0 || raw_p > 1.0)
     throw std::domain_error("decoded_ber: raw p outside [0, 1]");

@@ -23,6 +23,22 @@ DecodeResult UncodedScheme::decode(const BitVec& received) const {
   return result;  // no redundancy: nothing to detect or correct
 }
 
+codec::BitSlab UncodedScheme::encode_batch(
+    const codec::BitSlab& messages) const {
+  if (messages.bits() != width_)
+    throw std::invalid_argument("UncodedScheme::encode_batch: size mismatch");
+  return messages;
+}
+
+BatchDecodeResult UncodedScheme::decode_batch(
+    const codec::BitSlab& received) const {
+  if (received.bits() != width_)
+    throw std::invalid_argument("UncodedScheme::decode_batch: size mismatch");
+  BatchDecodeResult result;
+  result.messages = received;
+  return result;  // no redundancy: nothing to detect or correct
+}
+
 double UncodedScheme::decoded_ber(double raw_p) const {
   if (raw_p < 0.0 || raw_p > 1.0)
     throw std::domain_error("decoded_ber: raw p outside [0, 1]");

@@ -1,5 +1,6 @@
 #include "photecc/interface/datapath.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace photecc::interface {
@@ -39,6 +40,20 @@ std::vector<bool> TransmitterDatapath::transmit(
   return Serializer::serialize(frame);
 }
 
+codec::BitSlab TransmitterDatapath::transmit_batch(
+    const codec::BitSlab& words) const {
+  if (words.bits() != n_data_)
+    throw std::invalid_argument("transmit_batch: word size mismatch");
+  const std::size_t k = code_->message_length();
+  const std::size_t n = code_->block_length();
+  codec::BitSlab frame(frame_bits(), words.lanes());
+  for (std::size_t b = 0; b < blocks_; ++b)
+    frame.paste(b * n, code_->encode_batch(words.slice(b * k, k)));
+  // Serializer order is bit 0 first, so the frame slab already is the
+  // wire slab.
+  return frame;
+}
+
 ReceiverDatapath::ReceiverDatapath(ecc::BlockCodePtr code,
                                    std::size_t n_data)
     : code_(std::move(code)), n_data_(n_data) {
@@ -62,6 +77,26 @@ ReceiveResult ReceiverDatapath::receive(const std::vector<bool>& wire) const {
     if (decoded.error_detected) ++result.detected_blocks;
     if (decoded.corrected) ++result.corrected_blocks;
     result.word = result.word.concat(decoded.message);
+  }
+  return result;
+}
+
+BatchReceiveResult ReceiverDatapath::receive_batch(
+    const codec::BitSlab& wire) const {
+  if (wire.bits() != frame_bits())
+    throw std::invalid_argument("receive_batch: frame size mismatch");
+  const std::size_t k = code_->message_length();
+  const std::size_t n = code_->block_length();
+  BatchReceiveResult result;
+  result.words = codec::BitSlab(n_data_, wire.lanes());
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    const ecc::BatchDecodeResult decoded =
+        code_->decode_batch(wire.slice(b * n, n));
+    result.words.paste(b * k, decoded.messages);
+    result.detected_blocks +=
+        static_cast<std::uint64_t>(std::popcount(decoded.error_detected));
+    result.corrected_blocks +=
+        static_cast<std::uint64_t>(std::popcount(decoded.corrected));
   }
   return result;
 }

@@ -31,6 +31,13 @@ class TransmitterDatapath {
   /// Encodes and serialises one IP word (size must equal n_data).
   [[nodiscard]] std::vector<bool> transmit(const ecc::BitVec& word) const;
 
+  /// Batch form: 64 IP words per slab through the encoder bank's batch
+  /// kernels.  The serializer puts bit 0 first on the wire, so slab
+  /// position order IS wire order — lane l of the result is exactly
+  /// transmit() of lane l of `words`.
+  [[nodiscard]] codec::BitSlab transmit_batch(
+      const codec::BitSlab& words) const;
+
   [[nodiscard]] const ecc::BlockCode& code() const noexcept { return *code_; }
 
  private:
@@ -46,6 +53,15 @@ struct ReceiveResult {
   std::size_t detected_blocks = 0;  ///< blocks with a non-zero syndrome
 };
 
+/// Result of receiving one slab of frames (one frame per lane).  The
+/// block counters aggregate over all lanes and blocks, matching the sum
+/// of the per-lane scalar ReceiveResult counters.
+struct BatchReceiveResult {
+  codec::BitSlab words;                ///< recovered IP words, one per lane
+  std::uint64_t corrected_blocks = 0;
+  std::uint64_t detected_blocks = 0;
+};
+
 /// Receiver: deserialises a frame and decodes it back to the IP word.
 class ReceiverDatapath {
  public:
@@ -56,6 +72,12 @@ class ReceiverDatapath {
 
   /// Decodes one frame of wire bits (size must equal frame_bits()).
   [[nodiscard]] ReceiveResult receive(const std::vector<bool>& wire) const;
+
+  /// Batch form of receive(): one frame_bits()-position wire slab to
+  /// the recovered IP-word slab via the decoder bank's batch kernels;
+  /// bit-identical per lane to the scalar path.
+  [[nodiscard]] BatchReceiveResult receive_batch(
+      const codec::BitSlab& wire) const;
 
   [[nodiscard]] const ecc::BlockCode& code() const noexcept { return *code_; }
 

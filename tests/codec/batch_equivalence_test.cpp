@@ -1,0 +1,216 @@
+// The batch contract: encode_batch / decode_batch are bit-identical to
+// the scalar per-lane codec — messages, detected masks and corrected
+// masks — for EVERY registry code (and cooling wraps on top of it).
+// Exhaustive over all single- and double-error patterns for n <= 31
+// (plus all weight-3 patterns for n <= 15 and every codeword of
+// H(7,4)), randomized across error rates beyond that.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "photecc/codec/batch_mc.hpp"
+#include "photecc/codec/bitslab.hpp"
+#include "photecc/cooling/cooling_code.hpp"
+#include "photecc/ecc/registry.hpp"
+#include "photecc/math/rng.hpp"
+
+namespace photecc::codec {
+namespace {
+
+std::vector<std::string> menu_names() {
+  cooling::register_cooling_codes();
+  std::vector<std::string> names;
+  for (const auto& code : ecc::all_known_codes()) names.push_back(code->name());
+  // Cooling wraps: pure, Hamming, shortened-Hamming and BCH inner codes.
+  names.push_back("COOL(8,2)");
+  names.push_back("COOL(H(7,4),1)");
+  names.push_back("COOL(H(15,11),2)");
+  names.push_back("COOL(BCH(15,7,2),3)");
+  return names;
+}
+
+// Runs both paths over a batch of received words and compares
+// everything lane by lane against the scalar decoder.
+void expect_decode_identical(const ecc::BlockCode& code,
+                             const std::vector<ecc::BitVec>& received,
+                             const std::string& what) {
+  const BitSlab slab = BitSlab::transpose_in(received);
+  const ecc::BatchDecodeResult batch = code.decode_batch(slab);
+  ASSERT_EQ(batch.messages.bits(), code.message_length());
+  ASSERT_EQ(batch.messages.lanes(), received.size());
+  EXPECT_EQ(batch.error_detected & ~slab.lane_mask(), 0u) << what;
+  EXPECT_EQ(batch.corrected & ~slab.lane_mask(), 0u) << what;
+  for (std::size_t l = 0; l < received.size(); ++l) {
+    const ecc::DecodeResult scalar = code.decode(received[l]);
+    EXPECT_EQ(batch.messages.transpose_out(l), scalar.message)
+        << what << " lane " << l << " message";
+    EXPECT_EQ(((batch.error_detected >> l) & 1u) != 0, scalar.error_detected)
+        << what << " lane " << l << " detected flag";
+    EXPECT_EQ(((batch.corrected >> l) & 1u) != 0, scalar.corrected)
+        << what << " lane " << l << " corrected flag";
+  }
+}
+
+void expect_encode_identical(const ecc::BlockCode& code,
+                             const std::vector<ecc::BitVec>& messages,
+                             const std::string& what) {
+  const BitSlab slab = BitSlab::transpose_in(messages);
+  const BitSlab batch = code.encode_batch(slab);
+  ASSERT_EQ(batch.bits(), code.block_length());
+  for (std::size_t l = 0; l < messages.size(); ++l)
+    EXPECT_EQ(batch.transpose_out(l), code.encode(messages[l]))
+        << what << " lane " << l;
+}
+
+void drain(const ecc::BlockCode& code, std::vector<ecc::BitVec>& pending,
+           std::size_t& batch_no) {
+  if (pending.empty()) return;
+  expect_decode_identical(code, pending,
+                          code.name() + " batch " + std::to_string(batch_no));
+  pending.clear();
+  ++batch_no;
+}
+
+ecc::BitVec random_word(std::size_t size, math::Xoshiro256& rng) {
+  ecc::BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) v.set(i, rng.bernoulli(0.5));
+  return v;
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BatchEquivalence, EncodeMatchesScalarOnRandomMessages) {
+  const auto code = ecc::make_code(GetParam());
+  math::Xoshiro256 rng(0xE2C0DE);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    std::vector<ecc::BitVec> messages;
+    for (std::size_t l = 0; l < lanes; ++l)
+      messages.push_back(random_word(code->message_length(), rng));
+    expect_encode_identical(*code, messages,
+                            GetParam() + " lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST_P(BatchEquivalence, DecodeMatchesScalarOnErrorPatterns) {
+  const auto code = ecc::make_code(GetParam());
+  const std::size_t n = code->block_length();
+  math::Xoshiro256 rng(0xDEC0DE);
+  const ecc::BitVec base = code->encode(random_word(code->message_length(),
+                                                    rng));
+  std::vector<ecc::BitVec> pending;
+  std::size_t batch_no = 0;
+  const auto push = [&](const ecc::BitVec& word) {
+    pending.push_back(word);
+    if (pending.size() == BitSlab::kLanes) drain(*code, pending, batch_no);
+  };
+
+  push(base);  // the clean codeword
+  if (n <= 31) {
+    // Exhaustive single and double errors on one codeword.
+    for (std::size_t i = 0; i < n; ++i) {
+      ecc::BitVec e1 = base;
+      e1.flip(i);
+      push(e1);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        ecc::BitVec e2 = e1;
+        e2.flip(j);
+        push(e2);
+      }
+    }
+    if (n <= 15) {
+      // All weight-3 patterns too (exercises the beyond-capability
+      // paths of BCH t=2 and the SECDED double-detect logic).
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+          for (std::size_t l = j + 1; l < n; ++l) {
+            ecc::BitVec e3 = base;
+            e3.flip(i);
+            e3.flip(j);
+            e3.flip(l);
+            push(e3);
+          }
+    }
+  } else {
+    // Randomized: error rates from "mostly clean" to "garbage".
+    for (const double p : {0.001, 0.01, 0.1, 0.5}) {
+      for (std::size_t trial = 0; trial < 256; ++trial) {
+        ecc::BitVec word =
+            code->encode(random_word(code->message_length(), rng));
+        for (std::size_t i = 0; i < n; ++i)
+          if (rng.bernoulli(p)) word.flip(i);
+        push(word);
+      }
+    }
+  }
+  drain(*code, pending, batch_no);
+}
+
+TEST_P(BatchEquivalence, PartialSlabsMatchScalar) {
+  const auto code = ecc::make_code(GetParam());
+  math::Xoshiro256 rng(0x9A27);
+  for (const std::size_t lanes :
+       {std::size_t{1}, std::size_t{2}, std::size_t{63}}) {
+    std::vector<ecc::BitVec> received;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ecc::BitVec word = code->encode(random_word(code->message_length(),
+                                                  rng));
+      for (std::size_t i = 0; i < word.size(); ++i)
+        if (rng.bernoulli(0.05)) word.flip(i);
+      received.push_back(word);
+    }
+    expect_decode_identical(*code, received,
+                            GetParam() + " lanes=" + std::to_string(lanes));
+  }
+}
+
+TEST_P(BatchEquivalence, BatchRejectsMismatchedShapes) {
+  const auto code = ecc::make_code(GetParam());
+  EXPECT_THROW((void)code->encode_batch(
+                   BitSlab(code->message_length() + 1, 4)),
+               std::invalid_argument);
+  EXPECT_THROW((void)code->decode_batch(BitSlab(code->block_length() + 1, 4)),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(FullMenu, BatchEquivalence,
+                         ::testing::ValuesIn(menu_names()),
+                         [](const auto& info) {
+                           std::string tag = info.param;
+                           for (char& c : tag)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return tag;
+                         });
+
+TEST(BatchEquivalenceExhaustive, HammingSevenFourAllCodewordsAllSingles) {
+  // Every message, every single-error position: 16 * 8 received words
+  // (clean + 7 flips), proving the kernels on the whole code book.
+  const auto code = ecc::make_code("H(7,4)");
+  std::vector<ecc::BitVec> received;
+  for (std::uint64_t msg = 0; msg < 16; ++msg) {
+    const ecc::BitVec codeword = code->encode(ecc::BitVec::from_uint(msg, 4));
+    received.push_back(codeword);
+    for (std::size_t i = 0; i < 7; ++i) {
+      ecc::BitVec e = codeword;
+      e.flip(i);
+      received.push_back(e);
+    }
+  }
+  for (std::size_t off = 0; off < received.size(); off += BitSlab::kLanes) {
+    const std::size_t lanes =
+        std::min<std::size_t>(BitSlab::kLanes, received.size() - off);
+    const std::vector<ecc::BitVec> chunk(received.begin() + off,
+                                         received.begin() + off + lanes);
+    expect_decode_identical(*code, chunk, "H(7,4) full codebook");
+  }
+}
+
+}  // namespace
+}  // namespace photecc::codec

@@ -110,6 +110,39 @@ TEST(BitVec, PopcountEmptyVectorIsZero) {
   EXPECT_EQ(BitVec(0).popcount(), 0u);
 }
 
+TEST(BitVec, WordsExposeLittleEndianBackingStore) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  const auto w = v.words();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], (std::uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(w[1], 1u);
+  EXPECT_EQ(w[2], std::uint64_t{1} << 1);
+  EXPECT_TRUE(BitVec{}.words().empty());
+  // Bits past size() stay zero, so word-parallel consumers can trust
+  // the tail.
+  BitVec tail(70);
+  for (std::size_t i = 0; i < 70; ++i) tail.set(i, true);
+  EXPECT_EQ(tail.words()[1], 0x3Fu);
+}
+
+TEST(BitVec, CountErrorsMatchesPerBitComparison) {
+  BitVec a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i, true);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i, true);
+  std::size_t reference = 0;
+  for (std::size_t i = 0; i < 200; ++i)
+    if (a.get(i) != b.get(i)) ++reference;
+  EXPECT_EQ(a.count_errors(b), reference);
+  EXPECT_EQ(b.count_errors(a), reference);
+  EXPECT_EQ(a.count_errors(a), 0u);
+  EXPECT_EQ(a.distance(b), reference) << "distance() must stay an alias";
+  EXPECT_THROW((void)a.count_errors(BitVec(199)), std::invalid_argument);
+}
+
 TEST(BitVec, PopcountPartialTailWord) {
   // 70 bits: one full word plus a 6-bit tail.  Every set() keeps the
   // unused tail bits zero, so the word-parallel count must equal the

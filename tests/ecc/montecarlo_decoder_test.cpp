@@ -3,13 +3,23 @@
 // (no channel in between), so this cross-checks the code model itself:
 // Eq. 2 is an approximation of the true post-decoding BER, hence the
 // factor band rather than a tight confidence interval.
+//
+// The sweep runs through the batch codec kernels (codec::run_coded_trials,
+// 64 codewords per slab pass) — the kernels' bit-identity to the scalar
+// path is pinned separately in tests/codec/batch_equivalence_test.cpp,
+// and the word counts here would be prohibitive per-bit: the menu spans
+// every registry code family (Hamming ladder, shortened, SECDED,
+// repetition, BCH t in {2,3}, cooling wraps).
 #include <cctype>
 #include <cstdint>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "photecc/codec/batch_mc.hpp"
+#include "photecc/cooling/cooling_code.hpp"
 #include "photecc/ecc/bitvec.hpp"
+#include "photecc/ecc/interleaver.hpp"
 #include "photecc/ecc/registry.hpp"
 #include "photecc/math/rng.hpp"
 
@@ -23,34 +33,24 @@ struct CrossCheckCase {
 };
 
 double measured_residual_ber(const BlockCode& code, double raw_p,
-                             std::size_t words, math::Xoshiro256& rng) {
-  const std::size_t k = code.message_length();
-  const std::size_t n = code.block_length();
-  std::uint64_t errors = 0;
-  for (std::size_t w = 0; w < words; ++w) {
-    BitVec message(k);
-    for (std::size_t i = 0; i < k; ++i)
-      message.set(i, rng.bernoulli(0.5));
-    BitVec wire = code.encode(message);
-    for (std::size_t i = 0; i < n; ++i)
-      if (rng.bernoulli(raw_p)) wire.flip(i);
-    errors += code.decode(wire).message.distance(message);
-  }
-  return static_cast<double>(errors) /
-         static_cast<double>(words * k);
+                             std::size_t words, std::uint64_t seed) {
+  const codec::BatchTrialResult trials =
+      codec::run_coded_trials(code, raw_p, words, seed);
+  return static_cast<double>(trials.bit_errors) /
+         static_cast<double>(trials.bits);
 }
 
 class DecoderCrossCheck
     : public ::testing::TestWithParam<CrossCheckCase> {};
 
 TEST_P(DecoderCrossCheck, ResidualBerAgreesWithTheAnalyticModel) {
+  cooling::register_cooling_codes();
   const auto [name, raw_p, words] = GetParam();
   const auto code = make_code(name);
   const double analytic = code->decoded_ber(raw_p);
-  math::Xoshiro256 rng(0xC001D00DULL ^
-                       static_cast<std::uint64_t>(1e6 * raw_p));
-  const double measured =
-      measured_residual_ber(*code, raw_p, words, rng);
+  const std::uint64_t seed =
+      0xC001D00DULL ^ static_cast<std::uint64_t>(1e6 * raw_p);
+  const double measured = measured_residual_ber(*code, raw_p, words, seed);
   // Enough statistics that zero observed errors would itself be a
   // failure, then the Eq. 2 factor band.
   EXPECT_GT(measured, 0.0) << name << " p=" << raw_p;
@@ -63,19 +63,83 @@ TEST_P(DecoderCrossCheck, ResidualBerAgreesWithTheAnalyticModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    TwoRawBerPoints, DecoderCrossCheck,
-    ::testing::Values(CrossCheckCase{"H(7,4)", 1e-2, 60000},
-                      CrossCheckCase{"H(7,4)", 3e-2, 20000},
-                      CrossCheckCase{"BCH(15,7,2)", 1e-2, 120000},
-                      CrossCheckCase{"BCH(15,7,2)", 3e-2, 30000}),
+    FullMenu, DecoderCrossCheck,
+    ::testing::Values(
+        // The original two-code pin, at two raw BER points each.
+        CrossCheckCase{"H(7,4)", 1e-2, 60000},
+        CrossCheckCase{"H(7,4)", 3e-2, 20000},
+        CrossCheckCase{"BCH(15,7,2)", 1e-2, 120000},
+        CrossCheckCase{"BCH(15,7,2)", 3e-2, 30000},
+        // The rest of the Hamming ladder plus the shortened forms.
+        CrossCheckCase{"H(15,11)", 1e-2, 60000},
+        CrossCheckCase{"H(31,26)", 1e-2, 40000},
+        CrossCheckCase{"H(63,57)", 5e-3, 40000},
+        CrossCheckCase{"H(127,120)", 2e-3, 60000},
+        CrossCheckCase{"H(71,64)", 5e-3, 40000},
+        CrossCheckCase{"H(12,8)", 1e-2, 60000},
+        CrossCheckCase{"H(38,32)", 1e-2, 40000},
+        // SECDED: Eq. 2 stays the (conservative) model; double-detect
+        // only helps, so the band still holds at these rates.
+        CrossCheckCase{"eH(8,4)", 1e-2, 60000},
+        CrossCheckCase{"eH(16,11)", 1e-2, 60000},
+        CrossCheckCase{"eH(64,57)", 5e-3, 40000},
+        // Repetition majority vote (exact model, tight agreement).
+        CrossCheckCase{"REP(3,1)", 3e-2, 400000},
+        CrossCheckCase{"REP(5,1)", 5e-2, 300000},
+        CrossCheckCase{"REP(7,1)", 5e-2, 400000},
+        // The BCH family across t in {2, 3} and lengths 15..127.
+        CrossCheckCase{"BCH(15,5,3)", 5e-2, 60000},
+        CrossCheckCase{"BCH(31,21,2)", 2e-2, 40000},
+        CrossCheckCase{"BCH(63,51,2)", 1e-2, 60000},
+        CrossCheckCase{"BCH(127,113,2)", 5e-3, 60000},
+        // Cooling wraps: pure (detection-only) and FEC-concatenated.
+        CrossCheckCase{"COOL(H(7,4),1)", 1e-2, 60000},
+        CrossCheckCase{"COOL(BCH(15,7,2),3)", 1e-2, 80000}),
     [](const auto& info) {
       std::string tag = std::string(info.param.code) + "_p" +
                         std::to_string(static_cast<int>(
-                            1000 * info.param.raw_p));
+                            1e5 * info.param.raw_p));
       for (char& c : tag)
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return tag;
     });
+
+TEST(InterleavedBurst, DepthCoversBurstThroughBatchKernels) {
+  // Deterministic burst case: rows codewords interleaved column-wise; a
+  // contiguous wire burst of length <= rows lands at most one error per
+  // codeword, so H(7,4) repairs every lane of every frame.  Frames ride
+  // the batch kernels and the batch interleaver (word permutation).
+  const auto code = make_code("H(7,4)");
+  const std::size_t rows = 4;
+  const std::size_t n = code->block_length();
+  const BlockInterleaver il(rows, n);
+  math::Xoshiro256 rng(0xB1157);
+  for (std::size_t burst_start = 0; burst_start + rows <= il.frame_bits();
+       burst_start += 5) {
+    // 64 frames of rows codewords each.
+    codec::BitSlab messages(rows * code->message_length(), 64);
+    for (std::size_t i = 0; i < messages.bits(); ++i)
+      messages.word(i) = rng();
+    codec::BitSlab frame(il.frame_bits(), 64);
+    for (std::size_t r = 0; r < rows; ++r)
+      frame.paste(r * n, code->encode_batch(messages.slice(
+                             r * code->message_length(),
+                             code->message_length())));
+    codec::BitSlab wire = il.interleave_batch(frame);
+    // The burst hits every lane of `rows` consecutive wire positions.
+    for (std::size_t b = 0; b < rows; ++b)
+      wire.word(burst_start + b) ^= wire.lane_mask();
+    const codec::BitSlab back = il.deinterleave_batch(wire);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const BatchDecodeResult decoded =
+          code->decode_batch(back.slice(r * n, n));
+      EXPECT_EQ(decoded.messages,
+                messages.slice(r * code->message_length(),
+                               code->message_length()))
+          << "burst at " << burst_start << " row " << r;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace photecc::ecc
